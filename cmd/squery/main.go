@@ -1,0 +1,110 @@
+// Command squery runs a demo stream processing job (the Q-commerce
+// workload of §VIII) and serves an interactive SQL prompt over its live
+// and snapshot state — the "opening the black box" experience end to end.
+//
+// Usage:
+//
+//	squery [-nodes 3] [-orders 10000] [-interval 1s]
+//
+// Then type SQL at the prompt:
+//
+//	squery> SELECT COUNT(*), deliveryZone FROM "snapshot_orderinfo"
+//	        JOIN "snapshot_orderstate" USING(partitionKey)
+//	        WHERE orderState='PICKED_UP' GROUP BY deliveryZone;
+//
+// Meta-commands: \tables, \snapshots, \explain <sql>, \q1..\q4 (the
+// paper's queries), \quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"squery"
+	"squery/internal/qcommerce"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 3, "simulated cluster size")
+	orders := flag.Int64("orders", 10_000, "unique orders in the workload")
+	interval := flag.Duration("interval", time.Second, "checkpoint interval")
+	flag.Parse()
+
+	eng := squery.New(squery.Config{Nodes: *nodes})
+	dag := qcommerce.DAG(qcommerce.Config{
+		Orders:              *orders,
+		Rate:                50_000,
+		SourceParallelism:   *nodes,
+		OperatorParallelism: *nodes * 2,
+	}, squery.SinkVertex("sink", *nodes, func(squery.Record) {}))
+
+	job, err := eng.SubmitJob(dag, squery.JobSpec{
+		Name:             "qcommerce",
+		State:            squery.StateConfig{Live: true, Snapshots: true},
+		SnapshotInterval: *interval,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "submit:", err)
+		os.Exit(1)
+	}
+	defer job.Stop()
+
+	fmt.Printf("Q-commerce job running on %d nodes (%d orders, checkpoint every %s).\n",
+		*nodes, *orders, *interval)
+	fmt.Println(`Tables: orderinfo, orderstate, riderlocation (+ snapshot_ variants).`)
+	fmt.Println(`Type SQL, or \tables \snapshots \explain <sql> \q1..\q4 \quit.`)
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("squery> ")
+		if !in.Scan() {
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\tables`:
+			for _, op := range job.Operators() {
+				fmt.Printf("  %s, snapshot_%s\n", op, op)
+			}
+		case line == `\snapshots`:
+			fmt.Printf("  latest committed: %d, queryable: %v\n",
+				job.LatestSnapshotID(), job.QueryableSnapshots())
+		case strings.HasPrefix(line, `\explain `):
+			plan, err := eng.Explain(strings.TrimPrefix(line, `\explain `))
+			if err != nil {
+				fmt.Println("  error:", err)
+				continue
+			}
+			fmt.Print(plan)
+		case strings.HasPrefix(line, `\q`) && len(line) == 3:
+			idx := int(line[2] - '1')
+			if idx < 0 || idx >= len(qcommerce.Queries) {
+				fmt.Println("  no such query; \\q1..\\q4")
+				continue
+			}
+			runQuery(eng, qcommerce.Queries[idx])
+		default:
+			runQuery(eng, line)
+		}
+	}
+}
+
+func runQuery(eng *squery.Engine, q string) {
+	start := time.Now()
+	res, err := eng.Query(q)
+	if err != nil {
+		fmt.Println("  error:", err)
+		return
+	}
+	fmt.Print(res.String())
+	fmt.Printf("(%d rows in %s)\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
+}

@@ -1,0 +1,79 @@
+// Audit example: the compliance use case of §III. A job persists its
+// checkpoints to stable storage; later — with the job long gone, as after
+// a GDPR data-access request — a separate engine opens the archive and
+// answers SQL over the preserved state, including per-subject lookups.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"squery"
+	"squery/internal/qcommerce"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "squery-audit-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// --- Lifetime 1: the production job, checkpointing to disk. ------
+	eng := squery.New(squery.Config{Nodes: 3})
+	dag := qcommerce.DAG(qcommerce.Config{
+		Orders:              2_000,
+		Riders:              200,
+		Rate:                40_000,
+		SourceParallelism:   3,
+		OperatorParallelism: 3,
+	}, squery.SinkVertex("sink", 3, func(squery.Record) {}))
+	job, err := eng.SubmitJob(dag, squery.JobSpec{
+		Name:             "production",
+		State:            squery.StateConfig{Snapshots: true},
+		SnapshotInterval: 300 * time.Millisecond,
+		PersistDir:       dir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for job.LatestSnapshotID() < 2 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	processed := job.SourceRecords()
+	job.Stop()
+	fmt.Printf("production job stopped after %d events; snapshots archived in %s\n\n", processed, dir)
+
+	// --- Lifetime 2: the auditor's engine, job not running. ----------
+	auditor := squery.New(squery.Config{Nodes: 2})
+	ssid, ops, err := auditor.OpenArchive(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("opened archive: snapshot %d, operators %v\n\n", ssid, ops)
+
+	// Aggregate compliance report: how much personal data is held?
+	res, err := auditor.QueryIsolated(
+		`SELECT COUNT(*) AS orders_on_file FROM snapshot_orderinfo`, squery.Serializable)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("orders on file:\n%s\n", res)
+
+	// Subject access request: everything stored about one order.
+	res, err = auditor.Query(
+		`SELECT * FROM snapshot_orderinfo WHERE partitionKey = 'order-42'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("data held for order-42:\n%s\n", res)
+
+	res, err = auditor.Query(
+		`SELECT orderState, lateTimestamp FROM snapshot_orderstate WHERE partitionKey = 'order-42'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("processing state for order-42:\n%s", res)
+}

@@ -1,0 +1,100 @@
+// Time-travel debugging example: the use case of §III ("Debugging") and
+// §VII's isolation-level discussion, shown end to end.
+//
+// A counting job runs with snapshots retained; we
+//  1. watch the live (read-uncommitted) state run ahead of the latest
+//     committed snapshot,
+//  2. pin queries to older snapshot ids to see how the state mutated over
+//     time,
+//  3. inject a failure and observe the dirty read of Figure 5: the value
+//     a live query returned before the crash "never happened", while the
+//     snapshot-pinned query (Figure 6) keeps returning the same answer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"squery"
+)
+
+func main() {
+	eng := squery.New(squery.Config{Nodes: 3})
+
+	// A steady counter: one record per key per tick.
+	src := squery.GeneratorSource("ticks", 1, 2000, func(instance int, seq int64) (squery.Record, bool) {
+		return squery.Record{Key: int(seq % 8), Value: 1}, true
+	})
+	dag := squery.NewDAG().
+		AddVertex(src).
+		AddVertex(squery.StatefulMapVertex("counter", 2,
+			func(state any, rec squery.Record) (any, []squery.Record) {
+				n := 0
+				if state != nil {
+					n = state.(int)
+				}
+				return n + 1, nil
+			})).
+		AddVertex(squery.SinkVertex("sink", 1, func(squery.Record) {})).
+		Connect("ticks", "counter", squery.EdgePartitioned).
+		Connect("counter", "sink", squery.EdgePartitioned)
+
+	job, err := eng.SubmitJob(dag, squery.JobSpec{
+		Name:             "timetravel",
+		State:            squery.StateConfig{Live: true, Snapshots: true},
+		SnapshotInterval: 250 * time.Millisecond,
+		Retention:        4, // keep more history than the default 2
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer job.Stop()
+
+	// Let a few snapshots accumulate.
+	for len(job.QueryableSnapshots()) < 4 {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// 1. Live state runs ahead of the snapshot state.
+	live := total(eng, `SELECT SUM(value) AS total FROM counter`)
+	snap := total(eng, `SELECT SUM(value) AS total FROM snapshot_counter`)
+	fmt.Printf("live total=%d  latest-snapshot total=%d  (live runs ahead: %v)\n",
+		live, snap, live >= snap)
+
+	// 2. Time travel: the same query pinned to each retained version.
+	fmt.Println("\nstate history across retained snapshots:")
+	for _, ssid := range job.QueryableSnapshots() {
+		v := total(eng, fmt.Sprintf(`SELECT SUM(value) AS total FROM snapshot_counter WHERE ssid = %d`, ssid))
+		fmt.Printf("  snapshot %2d: total=%d\n", ssid, v)
+	}
+
+	// 3. Figure 5: dirty read demonstration.
+	pinned := job.LatestSnapshotID()
+	before := total(eng, `SELECT SUM(value) AS total FROM counter`)
+	pinnedBefore := total(eng, fmt.Sprintf(`SELECT SUM(value) AS total FROM snapshot_counter WHERE ssid = %d`, pinned))
+
+	recoveredTo, err := job.InjectFailure()
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := total(eng, `SELECT SUM(value) AS total FROM counter`)
+	pinnedAfter := total(eng, fmt.Sprintf(`SELECT SUM(value) AS total FROM snapshot_counter WHERE ssid = %d`, pinned))
+
+	fmt.Printf("\nfailure injected; recovered to snapshot %d\n", recoveredTo)
+	fmt.Printf("  live total before crash: %d (read uncommitted — a dirty read)\n", before)
+	fmt.Printf("  live total right after recovery: %d (rolled back)\n", after)
+	fmt.Printf("  snapshot-%d total before/after crash: %d / %d (serializable — unchanged: %v)\n",
+		pinned, pinnedBefore, pinnedAfter, pinnedBefore == pinnedAfter)
+}
+
+func total(eng *squery.Engine, q string) int64 {
+	res, err := eng.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res.Rows) == 0 || res.Rows[0][0] == nil {
+		return 0
+	}
+	return res.Rows[0][0].(int64)
+}

@@ -1,0 +1,80 @@
+// Windowed-analytics example: event-time tumbling windows whose *open*
+// windows are themselves queryable state — the "black box" opened for
+// in-flight aggregations, not just completed ones.
+//
+// A payment stream is summed per merchant in 1-minute event-time windows.
+// While the stream is running, S-QUERY answers: how much money is sitting
+// in windows that have not closed yet?
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"squery"
+)
+
+func main() {
+	eng := squery.New(squery.Config{Nodes: 3})
+
+	// Payments with deterministic event times: merchant m receives
+	// amount a at a synthetic timestamp walking forward 700ms per event.
+	base := time.Date(2026, 7, 1, 9, 0, 0, 0, time.UTC)
+	src := squery.GeneratorSource("payments", 1, 5_000, func(instance int, seq int64) (squery.Record, bool) {
+		if seq >= 600 {
+			return squery.Record{}, false
+		}
+		return squery.Record{
+			Key:       fmt.Sprintf("merchant-%d", seq%4),
+			Value:     100 + int(seq%37),
+			EventTime: base.Add(time.Duration(seq) * 700 * time.Millisecond),
+		}, true
+	})
+	src.Watermarks = &squery.WatermarkPolicy{Every: 8, Lag: 2 * time.Second}
+
+	sum := func(acc any, rec squery.Record) any {
+		n := 0
+		if acc != nil {
+			n = acc.(int)
+		}
+		return n + rec.Value.(int)
+	}
+
+	closed := 0
+	dag := squery.NewDAG().
+		AddVertex(src).
+		AddVertex(squery.TumblingWindowVertex("revenue", 2, time.Minute, sum)).
+		AddVertex(squery.SinkVertex("sink", 1, func(rec squery.Record) {
+			wr := rec.Value.(squery.WindowResult)
+			closed++
+			if closed <= 8 {
+				fmt.Printf("closed window %s [%s, %s): total %v\n",
+					rec.Key,
+					wr.Start.Format("15:04:05"), wr.End.Format("15:04:05"), wr.Value)
+			}
+		})).
+		Connect("payments", "revenue", squery.EdgePartitioned).
+		Connect("revenue", "sink", squery.EdgePartitioned)
+
+	job, err := eng.SubmitJob(dag, squery.JobSpec{
+		Name:             "revenue-windows",
+		State:            squery.StateConfig{Live: true, Snapshots: true},
+		SnapshotInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer job.Stop()
+
+	// Mid-stream: query the open (unfinished) windows live.
+	time.Sleep(60 * time.Millisecond)
+	res, err := eng.Query(`SELECT partitionKey AS merchant, openWindows FROM revenue ORDER BY merchant`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nopen windows per merchant (live, mid-stream):\n%s\n", res)
+
+	job.Wait()
+	fmt.Printf("stream drained; %d windows closed in total\n", closed)
+}

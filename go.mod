@@ -1,0 +1,3 @@
+module squery
+
+go 1.22

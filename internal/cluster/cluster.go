@@ -1,0 +1,202 @@
+// Package cluster simulates the multi-node deployment of the paper's
+// experiments inside one process: a set of nodes, a partition table mapping
+// KV partitions (and, via co-location, operator instances) onto nodes, and
+// a transport that charges a configurable latency for every inter-node
+// message. The public surface of the system is identical to a networked
+// deployment; only the wire is simulated — which is exactly the
+// substitution DESIGN.md documents for the paper's 7-node AWS cluster.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"squery/internal/kv"
+	"squery/internal/partition"
+)
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Nodes is the number of cluster members. Default 3 (the paper's
+	// overhead experiments run on 3 nodes; snapshot experiments on 7).
+	Nodes int
+	// Partitions is the number of KV/state partitions. Default 271.
+	Partitions int
+	// NetworkLatency is the one-way cost of an inter-node message.
+	// Zero disables the simulated network entirely.
+	NetworkLatency time.Duration
+	// NetworkJitter adds up to this much uniformly random extra latency
+	// per message.
+	NetworkJitter time.Duration
+	// ReplicateState enables synchronous backup copies of every KV
+	// partition: a node failure then promotes backups instead of losing
+	// the partitions' data (§V.A).
+	ReplicateState bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 3
+	}
+	if c.Partitions == 0 {
+		c.Partitions = partition.DefaultCount
+	}
+	return c
+}
+
+// Cluster owns the simulated topology: the partitioner, the partition
+// assignment, the shared KV store, and the network model.
+type Cluster struct {
+	cfg    Config
+	part   partition.Partitioner
+	assign *partition.Assignment
+	store  *kv.Store
+
+	messages atomic.Uint64 // inter-node messages sent
+
+	mu     sync.Mutex
+	failed map[int]bool
+	rng    *rand.Rand
+}
+
+// New builds a cluster from the config.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 1 {
+		panic(fmt.Sprintf("cluster: Nodes must be >= 1, got %d", cfg.Nodes))
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		part:   partition.New(cfg.Partitions),
+		assign: partition.Assign(cfg.Partitions, cfg.Nodes),
+		failed: make(map[int]bool),
+		rng:    rand.New(rand.NewSource(1)),
+	}
+	var delay kv.DelayFunc
+	if cfg.NetworkLatency > 0 || cfg.NetworkJitter > 0 {
+		delay = c.networkDelay
+	} else {
+		delay = c.countOnly
+	}
+	c.store = kv.NewStore(c.part, c.assign, delay)
+	if cfg.ReplicateState {
+		c.store.SetReplicated()
+	}
+	return c
+}
+
+func (c *Cluster) countOnly(from, to int) {
+	if from != to {
+		c.messages.Add(1)
+	}
+}
+
+func (c *Cluster) networkDelay(from, to int) {
+	if from == to {
+		return
+	}
+	c.messages.Add(1)
+	d := c.cfg.NetworkLatency
+	if j := c.cfg.NetworkJitter; j > 0 {
+		c.mu.Lock()
+		d += time.Duration(c.rng.Int63n(int64(j) + 1))
+		c.mu.Unlock()
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Nodes returns the configured node count.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+
+// Partitioner returns the shared partitioner.
+func (c *Cluster) Partitioner() partition.Partitioner { return c.part }
+
+// Assignment returns the live partition table.
+func (c *Cluster) Assignment() *partition.Assignment { return c.assign }
+
+// Store returns the cluster-wide KV store.
+func (c *Cluster) Store() *kv.Store { return c.store }
+
+// NodeView returns the KV view for a member node. It panics on an unknown
+// node id; use ClientView for external clients.
+func (c *Cluster) NodeView(node int) kv.NodeView {
+	if node < 0 || node >= c.cfg.Nodes {
+		panic(fmt.Sprintf("cluster: no node %d in a %d-node cluster", node, c.cfg.Nodes))
+	}
+	return c.store.View(node)
+}
+
+// ClientView returns the KV view used by external query clients: every
+// partition is remote to it.
+func (c *Cluster) ClientView() kv.NodeView { return c.store.View(kv.ClientNode) }
+
+// Messages returns the number of inter-node messages sent so far.
+func (c *Cluster) Messages() uint64 { return c.messages.Load() }
+
+// NodeForKey returns the node that owns the partition of key — the node a
+// co-located operator instance for this key must run on.
+func (c *Cluster) NodeForKey(key partition.Key) int {
+	return c.assign.Owner(c.part.Of(key))
+}
+
+// ScheduleInstances assigns n operator instances to nodes round-robin, the
+// same discipline as the partition table, so instance i of every vertex of
+// a job lands with its peers. It returns the node of each instance.
+func (c *Cluster) ScheduleInstances(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i % c.cfg.Nodes
+	}
+	return out
+}
+
+// Fail marks a node failed and promotes its partitions to their backups,
+// modelling the IMDG failover the paper's recovery path relies on. Failing
+// an already-failed node is a no-op. Failing the last live node panics.
+func (c *Cluster) Fail(node int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed[node] {
+		return
+	}
+	live := 0
+	for n := 0; n < c.cfg.Nodes; n++ {
+		if !c.failed[n] {
+			live++
+		}
+	}
+	if live <= 1 {
+		panic("cluster: cannot fail the last live node")
+	}
+	c.failed[node] = true
+	// The failed node's memory is gone: its partitions' primary copies
+	// are dropped (or recovered from backups when replication is on),
+	// then ownership moves to the backups.
+	c.store.FailNode(c.assign.OwnedBy(node))
+	c.assign.Promote(node)
+}
+
+// Failed reports whether node is failed.
+func (c *Cluster) Failed(node int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed[node]
+}
+
+// LiveNodes returns the ids of nodes that have not failed, ascending.
+func (c *Cluster) LiveNodes() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for n := 0; n < c.cfg.Nodes; n++ {
+		if !c.failed[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

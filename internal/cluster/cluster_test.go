@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"squery/internal/partition"
+)
+
+func TestDefaults(t *testing.T) {
+	c := New(Config{})
+	if c.Nodes() != 3 {
+		t.Errorf("default Nodes = %d, want 3", c.Nodes())
+	}
+	if c.Partitioner().Count() != partition.DefaultCount {
+		t.Errorf("default Partitions = %d, want %d", c.Partitioner().Count(), partition.DefaultCount)
+	}
+}
+
+func TestMessageCounting(t *testing.T) {
+	c := New(Config{Nodes: 2, Partitions: 8})
+	v0 := c.NodeView(0)
+	// Find one key owned by node 0 and one by node 1.
+	var local, remote partition.Key
+	for i := 0; local == nil || remote == nil; i++ {
+		if c.NodeForKey(i) == 0 {
+			local = i
+		} else {
+			remote = i
+		}
+	}
+	v0.Put("m", local, 1)
+	if c.Messages() != 0 {
+		t.Fatalf("local put counted %d messages", c.Messages())
+	}
+	v0.Put("m", remote, 1)
+	if c.Messages() != 1 {
+		t.Fatalf("remote put counted %d messages, want 1", c.Messages())
+	}
+}
+
+func TestNetworkLatencyApplied(t *testing.T) {
+	c := New(Config{Nodes: 2, Partitions: 8, NetworkLatency: 2 * time.Millisecond})
+	var remote partition.Key
+	for i := 0; ; i++ {
+		if c.NodeForKey(i) == 1 {
+			remote = i
+			break
+		}
+	}
+	start := time.Now()
+	c.NodeView(0).Put("m", remote, 1)
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("remote put took %v, want >= 2ms", elapsed)
+	}
+}
+
+func TestClientViewIsRemoteEverywhere(t *testing.T) {
+	c := New(Config{Nodes: 3, Partitions: 9})
+	c.ClientView().Put("m", "k", 1)
+	if c.Messages() == 0 {
+		t.Error("client put was treated as local")
+	}
+}
+
+func TestNodeViewPanicsOutOfRange(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NodeView(5) did not panic")
+		}
+	}()
+	c.NodeView(5)
+}
+
+func TestScheduleInstancesRoundRobin(t *testing.T) {
+	c := New(Config{Nodes: 3})
+	got := c.ScheduleInstances(7)
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScheduleInstances = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFailPromotesPartitions(t *testing.T) {
+	c := New(Config{Nodes: 3, Partitions: 27})
+	if len(c.Assignment().OwnedBy(1)) == 0 {
+		t.Fatal("node 1 owns nothing before failure")
+	}
+	c.Fail(1)
+	if !c.Failed(1) {
+		t.Fatal("node 1 not marked failed")
+	}
+	if got := c.Assignment().OwnedBy(1); len(got) != 0 {
+		t.Fatalf("failed node still owns partitions: %v", got)
+	}
+	if live := c.LiveNodes(); len(live) != 2 || live[0] != 0 || live[1] != 2 {
+		t.Fatalf("LiveNodes = %v", live)
+	}
+	c.Fail(1) // idempotent
+}
+
+func TestFailLastNodePanics(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	c.Fail(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("failing last node did not panic")
+		}
+	}()
+	c.Fail(1)
+}
+
+func TestDataSurvivesFailoverWithReplication(t *testing.T) {
+	c := New(Config{Nodes: 3, Partitions: 27, ReplicateState: true})
+	v := c.ClientView()
+	for i := 0; i < 100; i++ {
+		v.Put("m", i, i)
+	}
+	c.Fail(0)
+	for i := 0; i < 100; i++ {
+		got, ok := v.Get("m", i)
+		if !ok || got != i {
+			t.Fatalf("key %d lost after failover: %v, %v", i, got, ok)
+		}
+	}
+	// A second failure is also survivable: backups were re-seeded.
+	c.Fail(1)
+	for i := 0; i < 100; i++ {
+		if _, ok := v.Get("m", i); !ok {
+			t.Fatalf("key %d lost after second failover", i)
+		}
+	}
+}
+
+func TestNodeFailureLosesDataWithoutReplication(t *testing.T) {
+	c := New(Config{Nodes: 3, Partitions: 27})
+	v := c.ClientView()
+	for i := 0; i < 100; i++ {
+		v.Put("m", i, i)
+	}
+	lostOwner := 0
+	c.Fail(lostOwner)
+	lost, kept := 0, 0
+	for i := 0; i < 100; i++ {
+		if _, ok := v.Get("m", i); ok {
+			kept++
+		} else {
+			lost++
+		}
+	}
+	// Roughly a third of the partitions were on the failed node; without
+	// replication their entries are gone, the rest survive.
+	if lost == 0 {
+		t.Fatal("no data lost — failure semantics not enforced")
+	}
+	if kept == 0 {
+		t.Fatal("all data lost — failure dropped too much")
+	}
+}
+
+func TestReplicationMaintainsBackupCopies(t *testing.T) {
+	c := New(Config{Nodes: 3, Partitions: 27, ReplicateState: true})
+	v := c.ClientView()
+	for i := 0; i < 50; i++ {
+		v.Put("m", i, i)
+	}
+	m := c.Store().GetMap("m")
+	if m.BackupSize() != 50 {
+		t.Fatalf("backup copies = %d, want 50", m.BackupSize())
+	}
+	for i := 0; i < 25; i++ {
+		v.Delete("m", i)
+	}
+	if m.BackupSize() != 25 {
+		t.Fatalf("backup copies after deletes = %d, want 25", m.BackupSize())
+	}
+	m.Clear()
+	if m.BackupSize() != 0 {
+		t.Fatalf("backup copies after clear = %d", m.BackupSize())
+	}
+}

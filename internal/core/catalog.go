@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"squery/internal/kv"
+	"squery/internal/partition"
+	"squery/internal/snapshot"
+)
+
+// Pseudo-column names every S-QUERY table exposes in addition to the
+// state object's own fields (Figure 4 of the paper).
+const (
+	// ColPartitionKey is the operator's state key — the join column of
+	// the paper's queries (JOIN ... USING(partitionKey)).
+	ColPartitionKey = "partitionKey"
+	// ColSSID is the snapshot id of a snapshot-table row.
+	ColSSID = "ssid"
+)
+
+// TableRow is one row of a live or snapshot table: the state key, the
+// snapshot version it came from (0 for live rows) and the state object's
+// columns.
+type TableRow struct {
+	Key   partition.Key
+	SSID  int64
+	Value kv.Row
+	// Raw is the state object itself, before Row adaptation — the direct
+	// object interface hands it back unwrapped.
+	Raw any
+}
+
+// Field implements kv.Row, layering the pseudo-columns over the state
+// object's fields.
+func (r TableRow) Field(name string) (any, bool) {
+	switch name {
+	case ColPartitionKey:
+		return r.Key, true
+	case ColSSID:
+		return r.SSID, true
+	}
+	return r.Value.Field(name)
+}
+
+// Columns implements kv.Row.
+func (r TableRow) Columns() []string {
+	return append(r.Value.Columns(), ColPartitionKey, ColSSID)
+}
+
+// Catalog resolves SQL table names to scannable state tables. A table
+// name is either an operator name (live state) or snapshot_<operator>
+// (snapshot state); the catalog knows which snapshot registry governs
+// each operator so that unpinned snapshot queries resolve to the latest
+// committed id atomically (§VI.A).
+type Catalog struct {
+	store *kv.Store
+
+	mu   sync.RWMutex
+	regs map[string]*snapshot.Registry // sanitized op name -> registry
+}
+
+// NewCatalog creates an empty catalog over the store.
+func NewCatalog(store *kv.Store) *Catalog {
+	return &Catalog{store: store, regs: make(map[string]*snapshot.Registry)}
+}
+
+// RegisterJob associates the stateful operators of a job with its
+// snapshot registry. Operator names must be unique across jobs.
+func (c *Catalog) RegisterJob(reg *snapshot.Registry, operators ...string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, op := range operators {
+		key := sanitize(op)
+		if _, dup := c.regs[key]; dup {
+			return fmt.Errorf("core: operator %q already registered in catalog", op)
+		}
+		c.regs[key] = reg
+	}
+	return nil
+}
+
+// UnregisterJob removes a job's operators (on job cancellation).
+func (c *Catalog) UnregisterJob(operators ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, op := range operators {
+		delete(c.regs, sanitize(op))
+	}
+}
+
+// Operators returns the names of all registered stateful operators.
+func (c *Catalog) Operators() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.regs))
+	for op := range c.regs {
+		out = append(out, op)
+	}
+	return out
+}
+
+// Table resolves a SQL table name. The returned TableRef is bound to the
+// client view (remote to all nodes) — queries come from outside.
+func (c *Catalog) Table(name string) (*TableRef, error) {
+	op := sanitize(name)
+	isSnap := false
+	if rest, ok := strings.CutPrefix(op, "snapshot_"); ok {
+		isSnap = true
+		op = rest
+	}
+	c.mu.RLock()
+	reg, known := c.regs[op]
+	c.mu.RUnlock()
+	if !known {
+		return nil, fmt.Errorf("core: unknown table %q: no stateful operator %q", name, op)
+	}
+	return &TableRef{
+		name:     name,
+		op:       op,
+		snapshot: isSnap,
+		reg:      reg,
+		store:    c.store,
+		view:     c.store.View(kv.ClientNode),
+	}, nil
+}
+
+// TableRef is a resolved, scannable state table.
+type TableRef struct {
+	name     string
+	op       string
+	snapshot bool
+	reg      *snapshot.Registry
+	store    *kv.Store
+	view     kv.NodeView
+}
+
+// Name returns the table name as written in the query.
+func (t *TableRef) Name() string { return t.name }
+
+// IsSnapshot reports whether this is a snapshot_<op> table.
+func (t *TableRef) IsSnapshot() bool { return t.snapshot }
+
+// Partitions returns the number of state partitions, for scatter-gather
+// execution.
+func (t *TableRef) Partitions() int { return t.store.Partitioner().Count() }
+
+// PartitionOwner returns the node owning partition p.
+func (t *TableRef) PartitionOwner(p int) int { return t.store.Assignment().Owner(p) }
+
+// ResolveSSID validates and defaults the snapshot id a query targets.
+// pinned == 0 means "latest committed" (the paper's default). For live
+// tables it always returns 0.
+func (t *TableRef) ResolveSSID(pinned int64) (int64, error) {
+	if !t.snapshot {
+		return 0, nil
+	}
+	if pinned == 0 {
+		latest := t.reg.LatestCommitted()
+		if latest == snapshot.NoSnapshot {
+			return 0, fmt.Errorf("core: no committed snapshot for table %q yet", t.name)
+		}
+		return latest, nil
+	}
+	if !t.reg.IsQueryable(pinned) {
+		return 0, fmt.Errorf("core: snapshot %d of %q is not queryable (not committed or already pruned)", pinned, t.name)
+	}
+	return pinned, nil
+}
+
+// ScanPartition streams the rows of one partition as of snapshot ssid
+// (which the caller obtained from ResolveSSID; ignored for live tables).
+// The charge for reaching the partition's node is paid by the view.
+func (t *TableRef) ScanPartition(ssid int64, p int, fn func(TableRow) bool) {
+	if t.snapshot {
+		t.store.GetMap(SnapshotMapName(t.op)).ScanPartition(p, func(e kv.Entry) bool {
+			v, ok := e.Value.(*Chain).At(ssid)
+			if !ok {
+				return true
+			}
+			return fn(TableRow{Key: e.Key, SSID: v.SSID, Value: kv.AsRow(v.Value), Raw: v.Value})
+		})
+		return
+	}
+	t.store.GetMap(LiveMapName(t.op)).ScanPartition(p, func(e kv.Entry) bool {
+		return fn(TableRow{Key: e.Key, Value: kv.AsRow(e.Value), Raw: e.Value})
+	})
+}
+
+// ScanNode streams the rows of every partition owned by node, as of
+// snapshot ssid, charging one client→node network hop. The SQL executor
+// fans one ScanNode goroutine out per node — the scatter half of its
+// scatter-gather plan.
+func (t *TableRef) ScanNode(ssid int64, node int, fn func(TableRow) bool) {
+	t.view.ChargeHop(node)
+	for _, p := range t.store.Assignment().OwnedBy(node) {
+		stop := false
+		t.ScanPartition(ssid, p, func(r TableRow) bool {
+			if !fn(r) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// ChargeClientHop charges one client→node network hop, for executors
+// that drive ScanPartition directly (e.g. partition-wise joins).
+func (t *TableRef) ChargeClientHop(node int) { t.view.ChargeHop(node) }
+
+// Scan streams all rows of the table as of snapshot ssid, charging one
+// network hop per remote node like any client-side full scan.
+func (t *TableRef) Scan(ssid int64, fn func(TableRow) bool) {
+	mapName := LiveMapName(t.op)
+	if t.snapshot {
+		mapName = SnapshotMapName(t.op)
+	}
+	// Charge hops through the view by scanning via it, but decode
+	// chains ourselves for snapshot tables.
+	stop := false
+	t.view.Scan(mapName, func(e kv.Entry) bool {
+		if stop {
+			return false
+		}
+		if t.snapshot {
+			v, ok := e.Value.(*Chain).At(ssid)
+			if !ok {
+				return true
+			}
+			if !fn(TableRow{Key: e.Key, SSID: v.SSID, Value: kv.AsRow(v.Value), Raw: v.Value}) {
+				stop = true
+				return false
+			}
+			return true
+		}
+		if !fn(TableRow{Key: e.Key, Value: kv.AsRow(e.Value), Raw: e.Value}) {
+			stop = true
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChainNilSafe(t *testing.T) {
+	var c *Chain
+	if c.Len() != 0 {
+		t.Fatal("nil chain Len != 0")
+	}
+	if _, ok := c.At(5); ok {
+		t.Fatal("nil chain At returned ok")
+	}
+	if _, ok := c.Newest(); ok {
+		t.Fatal("nil chain Newest returned ok")
+	}
+	if c.Prune(1) != nil {
+		t.Fatal("pruning nil chain should stay nil")
+	}
+	c2 := c.With(Versioned{SSID: 1, Value: "a"})
+	if c2.Len() != 1 {
+		t.Fatal("With on nil chain failed")
+	}
+}
+
+func TestChainAtResolvesLatestLE(t *testing.T) {
+	c := NewChain(
+		Versioned{SSID: 2, Value: "v2"},
+		Versioned{SSID: 5, Value: "v5"},
+		Versioned{SSID: 9, Value: "v9"},
+	)
+	cases := []struct {
+		target int64
+		want   string
+		ok     bool
+	}{
+		{1, "", false},
+		{2, "v2", true},
+		{3, "v2", true},
+		{5, "v5", true},
+		{8, "v5", true},
+		{9, "v9", true},
+		{100, "v9", true},
+	}
+	for _, tc := range cases {
+		v, ok := c.At(tc.target)
+		if ok != tc.ok || (ok && v.Value != tc.want) {
+			t.Errorf("At(%d) = %v, %v; want %q, %v", tc.target, v.Value, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestChainTombstoneHidesKey(t *testing.T) {
+	c := NewChain(
+		Versioned{SSID: 1, Value: "alive"},
+		Versioned{SSID: 3, Tombstone: true},
+		Versioned{SSID: 5, Value: "back"},
+	)
+	if _, ok := c.At(1); !ok {
+		t.Error("At(1) should see the key")
+	}
+	if _, ok := c.At(3); ok {
+		t.Error("At(3) should hide the deleted key")
+	}
+	if _, ok := c.At(4); ok {
+		t.Error("At(4) should still hide the key")
+	}
+	if v, ok := c.At(5); !ok || v.Value != "back" {
+		t.Error("At(5) should see the re-created key")
+	}
+}
+
+func TestChainWithImmutable(t *testing.T) {
+	c1 := NewChain(Versioned{SSID: 1, Value: "a"})
+	c2 := c1.With(Versioned{SSID: 2, Value: "b"})
+	if c1.Len() != 1 || c2.Len() != 2 {
+		t.Fatalf("lens = %d, %d", c1.Len(), c2.Len())
+	}
+	if v, _ := c1.At(10); v.Value != "a" {
+		t.Error("original chain mutated by With")
+	}
+}
+
+func TestChainWithSameSSIDReplaces(t *testing.T) {
+	c := NewChain(Versioned{SSID: 1, Value: "a"}).With(Versioned{SSID: 1, Value: "b"})
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if v, _ := c.At(1); v.Value != "b" {
+		t.Errorf("At(1) = %v, want b", v.Value)
+	}
+}
+
+func TestChainWithOutOfOrder(t *testing.T) {
+	c := NewChain(Versioned{SSID: 5, Value: "v5"}).With(Versioned{SSID: 3, Value: "v3"})
+	if v, _ := c.At(4); v.Value != "v3" {
+		t.Errorf("At(4) = %v, want v3", v.Value)
+	}
+	if v, _ := c.At(5); v.Value != "v5" {
+		t.Errorf("At(5) = %v, want v5", v.Value)
+	}
+}
+
+func TestChainPrune(t *testing.T) {
+	c := NewChain(
+		Versioned{SSID: 1, Value: "v1"},
+		Versioned{SSID: 2, Value: "v2"},
+		Versioned{SSID: 4, Value: "v4"},
+		Versioned{SSID: 6, Value: "v6"},
+	)
+	p := c.Prune(4)
+	// v2 becomes the base (newest < 4), v1 is dropped.
+	if p.Len() != 3 {
+		t.Fatalf("pruned Len = %d, want 3", p.Len())
+	}
+	if _, ok := p.At(1); ok {
+		t.Error("pruned chain still answers below base")
+	}
+	// At the oldest retained id, the base must still answer for keys
+	// unchanged since before it.
+	if v, ok := p.At(3); !ok || v.Value != "v2" {
+		t.Errorf("At(3) after prune = %v, %v; want v2", v.Value, ok)
+	}
+	if v, ok := p.At(6); !ok || v.Value != "v6" {
+		t.Errorf("At(6) after prune = %v, %v", v.Value, ok)
+	}
+}
+
+func TestChainPruneNoOpReturnsSame(t *testing.T) {
+	c := NewChain(Versioned{SSID: 5, Value: "x"})
+	if c.Prune(3) != c {
+		t.Error("prune below all versions should return the same chain")
+	}
+}
+
+func TestChainPruneTombstoneBaseDropped(t *testing.T) {
+	c := NewChain(
+		Versioned{SSID: 1, Value: "v1"},
+		Versioned{SSID: 2, Tombstone: true},
+	)
+	if got := c.Prune(5); got != nil {
+		t.Errorf("chain ending in pre-oldest tombstone should prune to nil, got %d versions", got.Len())
+	}
+	// Tombstone base followed by a retained live version: only the
+	// tombstone and its predecessors go.
+	c = NewChain(
+		Versioned{SSID: 1, Value: "v1"},
+		Versioned{SSID: 2, Tombstone: true},
+		Versioned{SSID: 7, Value: "v7"},
+	)
+	p := c.Prune(5)
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", p.Len())
+	}
+	if _, ok := p.At(5); ok {
+		t.Error("key should be absent at 5 (deleted before oldest)")
+	}
+	if v, ok := p.At(7); !ok || v.Value != "v7" {
+		t.Error("retained version lost by prune")
+	}
+}
+
+// Property: for any random version set and any target ≥ oldest retained,
+// pruning never changes the result of At.
+func TestChainPrunePreservesReads(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewChain()
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			c = c.With(Versioned{
+				SSID:      int64(1 + rng.Intn(20)),
+				Value:     rng.Intn(100),
+				Tombstone: rng.Intn(5) == 0,
+			})
+		}
+		oldest := int64(1 + rng.Intn(20))
+		p := c.Prune(oldest)
+		for target := oldest; target <= 21; target++ {
+			v1, ok1 := c.At(target)
+			v2, ok2 := p.At(target)
+			if ok1 != ok2 || (ok1 && v1.Value != v2.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: versions are always sorted ascending after any insert order.
+func TestChainAlwaysSorted(t *testing.T) {
+	f := func(ssids []uint8) bool {
+		c := NewChain()
+		for _, s := range ssids {
+			c = c.With(Versioned{SSID: int64(s), Value: int(s)})
+		}
+		vs := c.Versions()
+		for i := 1; i < len(vs); i++ {
+			if vs[i].SSID < vs[i-1].SSID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

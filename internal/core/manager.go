@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"squery/internal/kv"
+	"squery/internal/persist"
+	"squery/internal/snapshot"
+)
+
+// OperatorMeta describes one stateful operator whose state S-QUERY manages.
+type OperatorMeta struct {
+	Name        string
+	Parallelism int
+	Config      Config
+}
+
+// Manager owns the snapshot lifecycle of one job: the version registry,
+// the atomic publication of the latest committed id, and the pruning of
+// evicted versions from the state store. The dataflow checkpoint
+// coordinator drives it: Begin → (operators prepare) → Commit.
+type Manager struct {
+	store *kv.Store
+	reg   *snapshot.Registry
+
+	mu        sync.Mutex
+	ops       map[string]OperatorMeta
+	persister *persist.Store
+}
+
+// NewManager creates a manager over the store retaining `retention`
+// committed snapshot versions (<1 selects the paper's default of 2).
+func NewManager(store *kv.Store, retention int) *Manager {
+	return &Manager{
+		store: store,
+		reg:   snapshot.NewRegistry(retention),
+		ops:   make(map[string]OperatorMeta),
+	}
+}
+
+// Registry exposes the snapshot version registry.
+func (m *Manager) Registry() *snapshot.Registry { return m.reg }
+
+// RegisterOperator records a stateful operator. Names must be unique: the
+// operator name is the SQL table name (§V.B).
+func (m *Manager) RegisterOperator(meta OperatorMeta) error {
+	if meta.Name == "" {
+		return fmt.Errorf("core: operator name must not be empty")
+	}
+	if meta.Parallelism < 1 {
+		return fmt.Errorf("core: operator %q has parallelism %d", meta.Name, meta.Parallelism)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := sanitize(meta.Name)
+	if _, dup := m.ops[key]; dup {
+		return fmt.Errorf("core: duplicate stateful operator name %q", meta.Name)
+	}
+	m.ops[key] = meta
+	return nil
+}
+
+// Operators returns the registered operators.
+func (m *Manager) Operators() []OperatorMeta {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]OperatorMeta, 0, len(m.ops))
+	for _, meta := range m.ops {
+		out = append(out, meta)
+	}
+	return out
+}
+
+// Begin starts a checkpoint, returning its snapshot id.
+func (m *Manager) Begin() (int64, error) { return m.reg.Begin() }
+
+// Abort cancels an in-flight checkpoint after a failure.
+func (m *Manager) Abort(ssid int64) { m.reg.Abort(ssid) }
+
+// Commit atomically publishes ssid as the latest committed snapshot
+// (phase 2 of the paper's 2PC) and prunes versions evicted by the
+// retention policy from every registered operator's snapshot state. It
+// returns the evicted ids.
+func (m *Manager) Commit(ssid int64) []int64 {
+	// Stable storage first: once the registry publishes the id, queries
+	// may rely on it, so the durable copy must already exist.
+	if err := m.persistCommitted(ssid); err != nil {
+		panic(fmt.Sprintf("core: persisting snapshot %d: %v", ssid, err))
+	}
+	evicted := m.reg.Commit(ssid)
+	if len(evicted) > 0 {
+		m.prune(evicted)
+		m.mu.Lock()
+		p := m.persister
+		m.mu.Unlock()
+		if p != nil {
+			if err := p.Prune(evicted); err != nil {
+				panic(fmt.Sprintf("core: pruning persisted snapshots: %v", err))
+			}
+		}
+	}
+	return evicted
+}
+
+// prune removes evicted snapshot versions. Chains are compacted against
+// the oldest retained id (keeping one base version per key); blob
+// snapshots are deleted outright. All writes are issued from the owning
+// node — pruning, like snapshotting, is local work.
+func (m *Manager) prune(evicted []int64) {
+	oldest := m.reg.OldestRetained()
+	m.mu.Lock()
+	ops := make([]OperatorMeta, 0, len(m.ops))
+	for _, meta := range m.ops {
+		ops = append(ops, meta)
+	}
+	m.mu.Unlock()
+
+	assign := m.store.Assignment()
+	for _, meta := range ops {
+		if meta.Config.JetBlob {
+			for inst := 0; inst < meta.Parallelism; inst++ {
+				for _, ev := range evicted {
+					key := blobKey(inst, ev)
+					owner := assign.Owner(m.store.Partitioner().Of(key))
+					m.store.View(owner).Delete(blobMapName(meta.Name), key)
+				}
+			}
+			continue
+		}
+		if !meta.Config.Snapshots {
+			continue
+		}
+		name := SnapshotMapName(meta.Name)
+		if !m.store.HasMap(name) {
+			continue
+		}
+		snapMap := m.store.GetMap(name)
+		for p := 0; p < m.store.Partitioner().Count(); p++ {
+			view := m.store.View(assign.Owner(p))
+			type rewrite struct {
+				key   any
+				chain *Chain
+			}
+			var changes []rewrite
+			snapMap.ScanPartition(p, func(e kv.Entry) bool {
+				chain := e.Value.(*Chain)
+				pruned := chain.Prune(oldest)
+				if pruned != chain {
+					changes = append(changes, rewrite{key: e.Key, chain: pruned})
+				}
+				return true
+			})
+			for _, ch := range changes {
+				if ch.chain.Len() == 0 {
+					view.Delete(name, ch.key)
+				} else {
+					view.Put(name, ch.key, ch.chain)
+				}
+			}
+		}
+	}
+}

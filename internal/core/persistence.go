@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"squery/internal/kv"
+	"squery/internal/persist"
+)
+
+// Persistence integration: when a persister is attached, every committed
+// checkpoint is also written to stable storage (one segment per queryable
+// operator), and a fresh manager can cold-start from the latest durable
+// snapshot — the paper's stable-storage requirement (§IV) implemented on
+// top of internal/persist.
+
+// SetPersister attaches stable storage. Subsequent Commit calls write
+// every queryable operator's state at the committed snapshot id to disk
+// before pruning; evicted ids are pruned from disk as well. Attaching a
+// persister makes commits O(total state) — it is an opt-in durability
+// level, not the default.
+func (m *Manager) SetPersister(p *persist.Store) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.persister = p
+}
+
+// persistCommitted writes the state of every queryable operator at ssid
+// to stable storage and durably commits the id.
+func (m *Manager) persistCommitted(ssid int64) error {
+	m.mu.Lock()
+	p := m.persister
+	ops := make([]OperatorMeta, 0, len(m.ops))
+	for _, meta := range m.ops {
+		ops = append(ops, meta)
+	}
+	m.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	for _, meta := range ops {
+		if !meta.Config.Snapshots {
+			continue
+		}
+		var entries []persist.Entry
+		name := SnapshotMapName(meta.Name)
+		if !m.store.HasMap(name) {
+			continue
+		}
+		snapMap := m.store.GetMap(name)
+		for part := 0; part < m.store.Partitioner().Count(); part++ {
+			snapMap.ScanPartition(part, func(e kv.Entry) bool {
+				if v, ok := e.Value.(*Chain).At(ssid); ok {
+					entries = append(entries, persist.Entry{Key: e.Key, Value: v.Value})
+				}
+				return true
+			})
+		}
+		if err := p.WriteSegment(ssid, sanitize(meta.Name), entries); err != nil {
+			return err
+		}
+	}
+	return p.Commit(ssid)
+}
+
+// ImportPersisted cold-starts the manager's registry and snapshot maps
+// from the latest snapshot in stable storage. It must be called on a
+// fresh manager, with the target operators already registered, before
+// any checkpoint runs. It returns the imported snapshot id (0 when the
+// store is empty).
+func (m *Manager) ImportPersisted(p *persist.Store) (int64, error) {
+	latest, err := p.Latest()
+	if err != nil {
+		return 0, err
+	}
+	if latest == 0 {
+		return 0, nil
+	}
+	ops, err := p.Operators(latest)
+	if err != nil {
+		return 0, err
+	}
+	assign := m.store.Assignment()
+	for _, op := range ops {
+		entries, err := p.ReadSegment(latest, op)
+		if err != nil {
+			return 0, err
+		}
+		name := SnapshotMapName(op)
+		for _, e := range entries {
+			owner := assign.Owner(m.store.Partitioner().Of(e.Key))
+			view := m.store.View(owner)
+			var chain *Chain
+			if cur, ok := view.Get(name, e.Key); ok {
+				chain = cur.(*Chain)
+			}
+			view.Put(name, e.Key, chain.With(Versioned{SSID: latest, Value: e.Value}))
+		}
+	}
+	if err := m.reg.Seed([]int64{latest}); err != nil {
+		return 0, fmt.Errorf("core: importing persisted snapshot: %w", err)
+	}
+	return latest, nil
+}

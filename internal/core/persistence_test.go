@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"squery/internal/persist"
+)
+
+func TestPersistedCommitAndColdStart(t *testing.T) {
+	dir := t.TempDir()
+	p, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First lifetime: run checkpoints with persistence attached.
+	store := newTestStore()
+	mgr := NewManager(store, 2)
+	cfg := Config{Snapshots: true}
+	if err := mgr.RegisterOperator(OperatorMeta{Name: "op", Parallelism: 1, Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	mgr.SetPersister(p)
+	b := NewBackend("op", 0, store.View(0), cfg)
+	for i := 0; i < 40; i++ {
+		b.Update(i, i*i)
+	}
+	checkpoint(t, mgr, b)
+	for i := 0; i < 10; i++ {
+		b.Update(i, -i)
+	}
+	checkpoint(t, mgr, b)
+
+	latest, err := p.Latest()
+	if err != nil || latest != 2 {
+		t.Fatalf("persisted latest = %d, %v", latest, err)
+	}
+	entries, err := p.ReadSegment(2, "op")
+	if err != nil || len(entries) != 40 {
+		t.Fatalf("segment = %d entries, %v", len(entries), err)
+	}
+
+	// Second lifetime: brand-new store + manager cold-start from disk.
+	store2 := newTestStore()
+	mgr2 := NewManager(store2, 2)
+	if err := mgr2.RegisterOperator(OperatorMeta{Name: "op", Parallelism: 1, Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported, err := mgr2.ImportPersisted(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported != 2 {
+		t.Fatalf("imported ssid = %d, want 2", imported)
+	}
+	if mgr2.Registry().LatestCommitted() != 2 {
+		t.Fatalf("registry latest = %d", mgr2.Registry().LatestCommitted())
+	}
+
+	// Snapshot queries against the imported state see the second
+	// checkpoint's values.
+	cat := NewCatalog(store2)
+	if err := cat.RegisterJob(mgr2.Registry(), "op"); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := cat.Table("snapshot_op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := tab.ResolveSSID(0)
+	if err != nil || target != 2 {
+		t.Fatalf("ResolveSSID = %d, %v", target, err)
+	}
+	got := map[int]int{}
+	tab.Scan(target, func(r TableRow) bool {
+		got[r.Key.(int)] = r.Raw.(int)
+		return true
+	})
+	if len(got) != 40 {
+		t.Fatalf("imported rows = %d, want 40", len(got))
+	}
+	if got[3] != -3 || got[20] != 400 {
+		t.Fatalf("imported values wrong: %v, %v", got[3], got[20])
+	}
+
+	// Restored state can also repopulate an operator backend.
+	b2 := NewBackend("op", 0, store2.View(0), cfg)
+	if err := b2.Restore(2, ownsAll); err != nil {
+		t.Fatal(err)
+	}
+	if b2.Size() != 40 {
+		t.Fatalf("backend restored %d keys", b2.Size())
+	}
+
+	// New checkpoints continue after the imported id.
+	ssid := checkpoint(t, mgr2, b2)
+	if ssid != 3 {
+		t.Fatalf("next checkpoint = %d, want 3", ssid)
+	}
+	if latest, _ := p2.Latest(); latest != 2 {
+		t.Fatalf("second lifetime persisted without a persister: latest = %d", latest)
+	}
+}
+
+func TestImportPersistedEmptyStore(t *testing.T) {
+	p, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(newTestStore(), 2)
+	got, err := mgr.ImportPersisted(p)
+	if err != nil || got != 0 {
+		t.Fatalf("ImportPersisted on empty = %d, %v", got, err)
+	}
+}
+
+func TestPersistPrunesWithRetention(t *testing.T) {
+	p, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := newTestStore()
+	mgr := NewManager(store, 2)
+	cfg := Config{Snapshots: true}
+	mgr.RegisterOperator(OperatorMeta{Name: "op", Parallelism: 1, Config: cfg})
+	mgr.SetPersister(p)
+	b := NewBackend("op", 0, store.View(0), cfg)
+	b.Update("k", 1)
+	for i := 0; i < 5; i++ {
+		checkpoint(t, mgr, b)
+	}
+	ids, err := p.Committed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 4 || ids[1] != 5 {
+		t.Fatalf("persisted ids = %v, want [4 5]", ids)
+	}
+}

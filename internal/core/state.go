@@ -1,0 +1,363 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+
+	"squery/internal/kv"
+	"squery/internal/partition"
+)
+
+// Config selects which state representations S-QUERY maintains for an
+// operator. The paper evaluates all combinations in Figure 8: live+snap,
+// live only, snap only, and neither (plain Jet).
+type Config struct {
+	// Live mirrors every state update into the live map <op>.
+	Live bool
+	// Snapshots writes queryable per-key snapshot entries into
+	// snapshot_<op> at every checkpoint.
+	Snapshots bool
+	// Incremental writes only the keys changed since the previous
+	// checkpoint instead of the full state (§VI.A, incremental
+	// snapshots). Only meaningful when Snapshots is true.
+	Incremental bool
+	// JetBlob is the baseline: checkpoints serialize each instance's
+	// whole state as one opaque blob, the way Jet snapshots state
+	// without S-QUERY. Mutually exclusive with Snapshots.
+	JetBlob bool
+	// ActiveStandby maintains a synchronously updated replica of every
+	// instance's state (§VII, read committed): on failure the replica is
+	// promoted instead of rolling back to the last checkpoint, so live
+	// queries never observe state regressing — the high-availability
+	// setup the paper describes for raising live queries to the read
+	// committed isolation level.
+	ActiveStandby bool
+}
+
+// LiveMapName returns the KV map holding the operator's live state. The
+// convention is the paper's: the map is named after the operator, with
+// spaces removed ("stateful map" -> "statefulmap", §V.B).
+func LiveMapName(op string) string { return sanitize(op) }
+
+// SnapshotMapName returns the KV map holding the operator's snapshot
+// state: snapshot_<operator>.
+func SnapshotMapName(op string) string { return "snapshot_" + sanitize(op) }
+
+// blobMapName is the internal (unqueryable) map for Jet-style blob
+// snapshots.
+func blobMapName(op string) string { return "__jetsnap_" + sanitize(op) }
+
+// standbyMapName is the internal map holding the active-standby replica.
+func standbyMapName(op string) string { return "__standby_" + sanitize(op) }
+
+func sanitize(op string) string {
+	return strings.ToLower(strings.ReplaceAll(op, " ", ""))
+}
+
+// entry is one key's live state inside a Backend.
+type entry struct {
+	key   partition.Key
+	value any
+}
+
+// Backend is the state store of one parallel instance of a stateful
+// operator. The instance owns a disjoint set of keys (its partitions), so
+// the backend is single-writer by construction; reads from the query side
+// never touch it — they go to the KV maps it mirrors into.
+type Backend struct {
+	op       string
+	instance int
+	view     kv.NodeView
+	cfg      Config
+
+	data  map[string]entry
+	dirty map[string]partition.Key // keys touched since the last checkpoint
+}
+
+// NewBackend creates the state backend for instance `instance` of
+// operator `op`, issuing KV operations from the node of view.
+func NewBackend(op string, instance int, view kv.NodeView, cfg Config) *Backend {
+	if cfg.JetBlob && cfg.Snapshots {
+		panic("core: JetBlob and Snapshots are mutually exclusive")
+	}
+	return &Backend{
+		op:       op,
+		instance: instance,
+		view:     view,
+		cfg:      cfg,
+		data:     make(map[string]entry),
+		dirty:    make(map[string]partition.Key),
+	}
+}
+
+// Op returns the operator name.
+func (b *Backend) Op() string { return b.op }
+
+// Instance returns the instance index.
+func (b *Backend) Instance() int { return b.instance }
+
+// Get returns the instance-local state for key.
+func (b *Backend) Get(key partition.Key) (any, bool) {
+	e, ok := b.data[partition.KeyString(key)]
+	if !ok {
+		return nil, false
+	}
+	return e.value, true
+}
+
+// Update sets the state for key and, when live state is enabled, mirrors
+// it into the live map under key-level locking (the KV store's striped
+// key locks synchronise this write against concurrent query reads).
+func (b *Backend) Update(key partition.Key, value any) {
+	ks := partition.KeyString(key)
+	b.data[ks] = entry{key: key, value: value}
+	b.dirty[ks] = key
+	if b.cfg.Live {
+		b.view.Put(LiveMapName(b.op), key, value)
+	}
+	if b.cfg.ActiveStandby {
+		b.view.Put(standbyMapName(b.op), key, value)
+	}
+}
+
+// Delete removes the state for key.
+func (b *Backend) Delete(key partition.Key) {
+	ks := partition.KeyString(key)
+	delete(b.data, ks)
+	b.dirty[ks] = key
+	if b.cfg.Live {
+		b.view.Delete(LiveMapName(b.op), key)
+	}
+	if b.cfg.ActiveStandby {
+		b.view.Delete(standbyMapName(b.op), key)
+	}
+}
+
+// Size returns the number of keys held by this instance.
+func (b *Backend) Size() int { return len(b.data) }
+
+// ForEach visits every key-value pair of the instance's state.
+func (b *Backend) ForEach(fn func(key partition.Key, value any) bool) {
+	for _, e := range b.data {
+		if !fn(e.key, e.value) {
+			return
+		}
+	}
+}
+
+// SnapshotPrepare is phase 1 of the checkpoint for this instance: it
+// records the instance's state at snapshot id ssid into the state store.
+// Full mode writes every key; incremental mode writes only keys dirtied
+// since the previous checkpoint (including deletions, as tombstones); blob
+// mode serializes the whole state into one opaque entry. It returns the
+// number of entries written.
+func (b *Backend) SnapshotPrepare(ssid int64) (written int, err error) {
+	switch {
+	case b.cfg.JetBlob:
+		return b.prepareBlob(ssid)
+	case !b.cfg.Snapshots:
+		return 0, nil
+	case b.cfg.Incremental:
+		written = b.writeVersions(ssid, b.dirtyEntries())
+	default:
+		// A full snapshot rewrites every live key — but keys deleted
+		// since the previous checkpoint still need tombstones, or a
+		// query at this ssid would resolve them through their stale
+		// older version.
+		written = b.writeVersions(ssid, append(b.allEntries(), b.deletedEntries()...))
+	}
+	b.dirty = make(map[string]partition.Key)
+	return written, nil
+}
+
+type keyedVersion struct {
+	key       partition.Key
+	value     any
+	tombstone bool
+}
+
+func (b *Backend) allEntries() []keyedVersion {
+	out := make([]keyedVersion, 0, len(b.data))
+	for _, e := range b.data {
+		out = append(out, keyedVersion{key: e.key, value: e.value})
+	}
+	return out
+}
+
+func (b *Backend) dirtyEntries() []keyedVersion {
+	out := make([]keyedVersion, 0, len(b.dirty))
+	for ks, key := range b.dirty {
+		if e, ok := b.data[ks]; ok {
+			out = append(out, keyedVersion{key: e.key, value: e.value})
+		} else {
+			// Key was deleted since the last checkpoint; the tombstone
+			// must live under the original key so it lands in (and
+			// shadows) the same chain as earlier versions.
+			out = append(out, keyedVersion{key: key, tombstone: true})
+		}
+	}
+	return out
+}
+
+// deletedEntries returns tombstones for keys deleted since the last
+// checkpoint.
+func (b *Backend) deletedEntries() []keyedVersion {
+	var out []keyedVersion
+	for ks, key := range b.dirty {
+		if _, ok := b.data[ks]; !ok {
+			out = append(out, keyedVersion{key: key, tombstone: true})
+		}
+	}
+	return out
+}
+
+func (b *Backend) writeVersions(ssid int64, kvs []keyedVersion) int {
+	name := SnapshotMapName(b.op)
+	for _, e := range kvs {
+		var chain *Chain
+		if cur, ok := b.view.Get(name, e.key); ok {
+			chain = cur.(*Chain)
+		}
+		chain = chain.With(Versioned{SSID: ssid, Value: e.value, Tombstone: e.tombstone})
+		b.view.Put(name, e.key, chain)
+	}
+	return len(kvs)
+}
+
+// blobKey addresses one instance's blob for one snapshot.
+func blobKey(instance int, ssid int64) string {
+	return fmt.Sprintf("inst-%d@%d", instance, ssid)
+}
+
+// blobState is the gob payload of a Jet-style snapshot blob. Keys keep
+// their original dynamic type: restore routes keys by partition, and the
+// partition of a key depends on its type, not just its string form.
+type blobState struct {
+	Keys   []partition.Key
+	Values []any
+}
+
+func init() {
+	// Scalar key/value types that may travel inside interface slots of a
+	// blob snapshot. Workload packages register their own state structs.
+	gob.Register(int(0))
+	gob.Register(int32(0))
+	gob.Register(int64(0))
+	gob.Register(uint64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+	gob.Register(map[string]any{})
+}
+
+func (b *Backend) prepareBlob(ssid int64) (int, error) {
+	st := blobState{
+		Keys:   make([]partition.Key, 0, len(b.data)),
+		Values: make([]any, 0, len(b.data)),
+	}
+	for _, e := range b.data {
+		st.Keys = append(st.Keys, e.key)
+		st.Values = append(st.Values, e.value)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return 0, fmt.Errorf("core: encoding blob snapshot of %s/%d: %w", b.op, b.instance, err)
+	}
+	b.view.Put(blobMapName(b.op), blobKey(b.instance, ssid), buf.Bytes())
+	b.dirty = make(map[string]partition.Key)
+	return 1, nil
+}
+
+// Restore rebuilds the instance's state from snapshot ssid, keeping only
+// keys this instance owns according to ownsKey (recovery may reshuffle
+// instances, so ownership is decided by the router, not by what the
+// instance held before the failure). Live state is re-mirrored so queries
+// do not observe rolled-back keys as still live.
+func (b *Backend) Restore(ssid int64, ownsKey func(partition.Key) bool) error {
+	b.data = make(map[string]entry)
+	b.dirty = make(map[string]partition.Key)
+	if b.cfg.JetBlob {
+		if err := b.restoreBlob(ssid, ownsKey); err != nil {
+			return err
+		}
+	} else {
+		b.view.Scan(SnapshotMapName(b.op), func(e kv.Entry) bool {
+			if !ownsKey(e.Key) {
+				return true
+			}
+			if v, ok := e.Value.(*Chain).At(ssid); ok {
+				b.data[partition.KeyString(e.Key)] = entry{key: e.Key, value: v.Value}
+			}
+			return true
+		})
+	}
+	if b.cfg.Live {
+		b.resetLive(ownsKey)
+	}
+	return nil
+}
+
+func (b *Backend) restoreBlob(ssid int64, ownsKey func(partition.Key) bool) error {
+	raw, ok := b.view.Get(blobMapName(b.op), blobKey(b.instance, ssid))
+	if !ok {
+		// No blob means the instance had no state at that snapshot.
+		return nil
+	}
+	var st blobState
+	if err := gob.NewDecoder(bytes.NewReader(raw.([]byte))).Decode(&st); err != nil {
+		return fmt.Errorf("core: decoding blob snapshot of %s/%d: %w", b.op, b.instance, err)
+	}
+	for i, k := range st.Keys {
+		if ownsKey(k) {
+			b.data[partition.KeyString(k)] = entry{key: k, value: st.Values[i]}
+		}
+	}
+	return nil
+}
+
+// PromoteStandby rebuilds the instance's state from the active-standby
+// replica — the failover path of §VII's read-committed setup. Unlike
+// Restore there is no rollback: the replica was updated synchronously
+// with the primary, so the promoted state is exactly the primary's state
+// at the moment of failure. Live state is re-mirrored for consistency.
+func (b *Backend) PromoteStandby(ownsKey func(partition.Key) bool) error {
+	if !b.cfg.ActiveStandby {
+		return fmt.Errorf("core: operator %q has no active standby", b.op)
+	}
+	b.data = make(map[string]entry)
+	b.dirty = make(map[string]partition.Key)
+	b.view.Scan(standbyMapName(b.op), func(e kv.Entry) bool {
+		if ownsKey(e.Key) {
+			b.data[partition.KeyString(e.Key)] = entry{key: e.Key, value: e.Value}
+		}
+		return true
+	})
+	if b.cfg.Live {
+		b.resetLive(ownsKey)
+	}
+	return nil
+}
+
+// resetLive replaces this instance's keys in the live map with the
+// restored state. Keys that existed live but not in the snapshot must be
+// removed — they are the dirty reads of Figure 5. Only keys this instance
+// owns are touched; sibling instances reset theirs.
+func (b *Backend) resetLive(ownsKey func(partition.Key) bool) {
+	name := LiveMapName(b.op)
+	var stale []partition.Key
+	b.view.Scan(name, func(e kv.Entry) bool {
+		ks := partition.KeyString(e.Key)
+		if _, ok := b.data[ks]; !ok && ownsKey(e.Key) {
+			stale = append(stale, e.Key)
+		}
+		return true
+	})
+	for _, k := range stale {
+		b.view.Delete(name, k)
+	}
+	for _, e := range b.data {
+		b.view.Put(name, e.key, e.value)
+	}
+}

@@ -1,0 +1,280 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"squery/internal/core"
+	"squery/internal/partition"
+)
+
+// VertexKind distinguishes the three roles a vertex can play.
+type VertexKind int
+
+// Vertex kinds.
+const (
+	KindSource VertexKind = iota
+	KindOperator
+	KindSink
+)
+
+// Vertex is one node of a job DAG.
+type Vertex struct {
+	Name        string
+	Kind        VertexKind
+	Parallelism int
+
+	// Stateful marks the vertex as holding keyed state; the runtime
+	// creates a core.Backend per instance and registers the operator
+	// with the snapshot manager and query catalog.
+	Stateful bool
+	// StateOverride replaces the job-wide state config for this vertex
+	// when non-nil (e.g. a source that snapshots offsets in blob mode
+	// while operators use queryable snapshots).
+	StateOverride *core.Config
+
+	// Watermarks, when set on a source vertex, makes the runtime emit
+	// event-time watermarks derived from the source's records; windowing
+	// operators downstream fire on them.
+	Watermarks *WatermarkPolicy
+
+	// Exactly one of these is set, matching Kind.
+	NewSource    SourceFactory
+	NewProcessor ProcessorFactory
+}
+
+// EdgeKind selects the routing discipline of an edge.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	// EdgePartitioned routes each record by the hash of its key — the
+	// discipline shared with the state store, which is what lets the
+	// scheduler co-locate compute with state.
+	EdgePartitioned EdgeKind = iota
+	// EdgeForward sends records to the same-index downstream instance
+	// (requires equal parallelism upstream and downstream).
+	EdgeForward
+	// EdgeRoundRobin spreads records evenly without keying.
+	EdgeRoundRobin
+)
+
+// Edge connects two vertices.
+type Edge struct {
+	From, To string
+	Kind     EdgeKind
+}
+
+// DAG is a job graph under construction.
+type DAG struct {
+	vertices map[string]*Vertex
+	order    []string
+	edges    []Edge
+}
+
+// NewDAG returns an empty DAG.
+func NewDAG() *DAG {
+	return &DAG{vertices: make(map[string]*Vertex)}
+}
+
+// AddVertex adds a vertex; names must be unique within the DAG.
+func (d *DAG) AddVertex(v *Vertex) *DAG {
+	if v.Name == "" {
+		panic("dataflow: vertex name must not be empty")
+	}
+	if _, dup := d.vertices[v.Name]; dup {
+		panic(fmt.Sprintf("dataflow: duplicate vertex %q", v.Name))
+	}
+	if v.Parallelism < 1 {
+		panic(fmt.Sprintf("dataflow: vertex %q parallelism %d", v.Name, v.Parallelism))
+	}
+	d.vertices[v.Name] = v
+	d.order = append(d.order, v.Name)
+	return d
+}
+
+// Connect adds an edge between two existing vertices.
+func (d *DAG) Connect(from, to string, kind EdgeKind) *DAG {
+	d.edges = append(d.edges, Edge{From: from, To: to, Kind: kind})
+	return d
+}
+
+// Vertices returns the vertices in insertion order.
+func (d *DAG) Vertices() []*Vertex {
+	out := make([]*Vertex, len(d.order))
+	for i, n := range d.order {
+		out[i] = d.vertices[n]
+	}
+	return out
+}
+
+// Edges returns the edges in insertion order.
+func (d *DAG) Edges() []Edge { return append([]Edge(nil), d.edges...) }
+
+// Validate checks structural invariants: known endpoints, sources without
+// inputs, sinks without outputs, acyclicity, every vertex reachable, and
+// forward edges connecting equal parallelism.
+func (d *DAG) Validate() error {
+	if len(d.vertices) == 0 {
+		return fmt.Errorf("dataflow: empty DAG")
+	}
+	in := map[string]int{}
+	out := map[string]int{}
+	for _, e := range d.edges {
+		f, ok := d.vertices[e.From]
+		if !ok {
+			return fmt.Errorf("dataflow: edge from unknown vertex %q", e.From)
+		}
+		t, ok := d.vertices[e.To]
+		if !ok {
+			return fmt.Errorf("dataflow: edge to unknown vertex %q", e.To)
+		}
+		if e.Kind == EdgeForward && f.Parallelism != t.Parallelism {
+			return fmt.Errorf("dataflow: forward edge %s->%s requires equal parallelism (%d != %d)",
+				e.From, e.To, f.Parallelism, t.Parallelism)
+		}
+		in[e.To]++
+		out[e.From]++
+	}
+	hasSource := false
+	for name, v := range d.vertices {
+		switch v.Kind {
+		case KindSource:
+			hasSource = true
+			if in[name] > 0 {
+				return fmt.Errorf("dataflow: source %q has input edges", name)
+			}
+			if v.NewSource == nil {
+				return fmt.Errorf("dataflow: source %q has no source factory", name)
+			}
+		case KindSink:
+			if out[name] > 0 {
+				return fmt.Errorf("dataflow: sink %q has output edges", name)
+			}
+			if v.NewProcessor == nil {
+				return fmt.Errorf("dataflow: sink %q has no processor factory", name)
+			}
+			if in[name] == 0 {
+				return fmt.Errorf("dataflow: sink %q has no inputs", name)
+			}
+		default:
+			if v.NewProcessor == nil {
+				return fmt.Errorf("dataflow: operator %q has no processor factory", name)
+			}
+			if in[name] == 0 {
+				return fmt.Errorf("dataflow: operator %q has no inputs", name)
+			}
+		}
+	}
+	if !hasSource {
+		return fmt.Errorf("dataflow: DAG has no source vertex")
+	}
+	return d.checkAcyclic()
+}
+
+func (d *DAG) checkAcyclic() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	adj := map[string][]string{}
+	for _, e := range d.edges {
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	var visit func(string) error
+	visit = func(n string) error {
+		color[n] = gray
+		for _, m := range adj[n] {
+			switch color[m] {
+			case gray:
+				return fmt.Errorf("dataflow: cycle through %q", m)
+			case white:
+				if err := visit(m); err != nil {
+					return err
+				}
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for name := range d.vertices {
+		if color[name] == white {
+			if err := visit(name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ProcContext is handed to processor factories when instances start.
+type ProcContext struct {
+	// Vertex is the vertex name.
+	Vertex string
+	// Instance is this instance's index in [0, Parallelism).
+	Instance int
+	// Parallelism of the vertex.
+	Parallelism int
+	// State is the instance's S-QUERY state backend; nil for stateless
+	// vertices.
+	State *core.Backend
+}
+
+// Emit sends a record downstream.
+type Emit func(Record)
+
+// Processor handles the records of one operator or sink instance. An
+// instance is single-threaded: Process calls are never concurrent.
+type Processor interface {
+	Process(rec Record, emit Emit)
+}
+
+// Flusher is implemented by processors that emit residual output at
+// end-of-stream.
+type Flusher interface {
+	Flush(emit Emit)
+}
+
+// ProcessorFactory builds a processor for one instance.
+type ProcessorFactory func(ctx ProcContext) Processor
+
+// SourceStatus is the result of one source poll.
+type SourceStatus int
+
+// Source poll outcomes.
+const (
+	// SourceOK: a record was produced.
+	SourceOK SourceStatus = iota
+	// SourceIdle: no record available right now; poll again shortly.
+	// Sources must return Idle instead of blocking internally so the
+	// runtime can keep injecting checkpoint barriers while they wait.
+	SourceIdle
+	// SourceDone: end of stream.
+	SourceDone
+)
+
+// SourceInstance produces the records of one parallel source instance
+// through a non-blocking poll, like Jet's cooperative source API.
+// Instances must be deterministic given their offset: recovery rewinds to
+// the offset captured in the last committed snapshot and replays — the
+// paper's exactly-once contract (§IV).
+type SourceInstance interface {
+	// Next polls for the next record.
+	Next() (rec Record, status SourceStatus)
+	// Offset reports the replay position *after* the last record
+	// returned by Next.
+	Offset() int64
+	// Rewind rewinds (or forwards) the instance to a prior offset.
+	Rewind(offset int64)
+}
+
+// SourceFactory builds the source instance for index in [0, parallelism).
+type SourceFactory func(instance, parallelism int) SourceInstance
+
+// routeKey maps a record key to a downstream instance index on a
+// partitioned edge — the same partitioner as the state layer, mod the
+// vertex parallelism, keeping compute and state aligned.
+func routeKey(p partition.Partitioner, key partition.Key, parallelism int) int {
+	return p.Of(key) % parallelism
+}

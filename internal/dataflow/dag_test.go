@@ -1,0 +1,121 @@
+package dataflow
+
+import (
+	"testing"
+)
+
+func nopProcessor(ProcContext) Processor {
+	return mapProc{fn: func(r Record) (Record, bool) { return r, true }}
+}
+
+func nopSource(instance, par int) SourceInstance { return &sliceSource{} }
+
+func vertex(name string, kind VertexKind, par int) *Vertex {
+	v := &Vertex{Name: name, Kind: kind, Parallelism: par}
+	if kind == KindSource {
+		v.NewSource = nopSource
+	} else {
+		v.NewProcessor = nopProcessor
+	}
+	return v
+}
+
+func TestDAGValidateOK(t *testing.T) {
+	d := NewDAG().
+		AddVertex(vertex("src", KindSource, 2)).
+		AddVertex(vertex("op", KindOperator, 4)).
+		AddVertex(vertex("sink", KindSink, 2)).
+		Connect("src", "op", EdgePartitioned).
+		Connect("op", "sink", EdgeRoundRobin)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(d.Vertices()) != 3 || len(d.Edges()) != 2 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestDAGValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		dag  *DAG
+	}{
+		{"empty", NewDAG()},
+		{"no source", NewDAG().
+			AddVertex(vertex("op", KindOperator, 1)).
+			AddVertex(vertex("sink", KindSink, 1)).
+			Connect("op", "sink", EdgeForward)},
+		{"unknown from", NewDAG().
+			AddVertex(vertex("src", KindSource, 1)).
+			Connect("ghost", "src", EdgeForward)},
+		{"unknown to", NewDAG().
+			AddVertex(vertex("src", KindSource, 1)).
+			Connect("src", "ghost", EdgeForward)},
+		{"source with input", NewDAG().
+			AddVertex(vertex("src", KindSource, 1)).
+			AddVertex(vertex("src2", KindSource, 1)).
+			Connect("src", "src2", EdgeForward)},
+		{"sink with output", NewDAG().
+			AddVertex(vertex("src", KindSource, 1)).
+			AddVertex(vertex("sink", KindSink, 1)).
+			AddVertex(vertex("op", KindOperator, 1)).
+			Connect("src", "sink", EdgeForward).
+			Connect("sink", "op", EdgeForward)},
+		{"orphan operator", NewDAG().
+			AddVertex(vertex("src", KindSource, 1)).
+			AddVertex(vertex("op", KindOperator, 1))},
+		{"forward parallelism mismatch", NewDAG().
+			AddVertex(vertex("src", KindSource, 2)).
+			AddVertex(vertex("sink", KindSink, 3)).
+			Connect("src", "sink", EdgeForward)},
+		{"cycle", NewDAG().
+			AddVertex(vertex("src", KindSource, 1)).
+			AddVertex(vertex("a", KindOperator, 1)).
+			AddVertex(vertex("b", KindOperator, 1)).
+			Connect("src", "a", EdgeForward).
+			Connect("a", "b", EdgeForward).
+			Connect("b", "a", EdgeForward)},
+	}
+	for _, c := range cases {
+		if err := c.dag.Validate(); err == nil {
+			t.Errorf("%s: Validate succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestDAGPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("empty name", func() {
+		NewDAG().AddVertex(&Vertex{Name: "", Kind: KindSource, Parallelism: 1})
+	})
+	expectPanic("duplicate", func() {
+		NewDAG().AddVertex(vertex("x", KindSource, 1)).AddVertex(vertex("x", KindSource, 1))
+	})
+	expectPanic("zero parallelism", func() {
+		NewDAG().AddVertex(&Vertex{Name: "x", Kind: KindSource, Parallelism: 0})
+	})
+}
+
+func TestMissingFactories(t *testing.T) {
+	d := NewDAG().
+		AddVertex(&Vertex{Name: "src", Kind: KindSource, Parallelism: 1}).
+		AddVertex(vertex("sink", KindSink, 1)).
+		Connect("src", "sink", EdgeForward)
+	if err := d.Validate(); err == nil {
+		t.Error("source without factory validated")
+	}
+	d2 := NewDAG().
+		AddVertex(vertex("src", KindSource, 1)).
+		AddVertex(&Vertex{Name: "sink", Kind: KindSink, Parallelism: 1}).
+		Connect("src", "sink", EdgeForward)
+	if err := d2.Validate(); err == nil {
+		t.Error("sink without factory validated")
+	}
+}

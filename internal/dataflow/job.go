@@ -1,0 +1,361 @@
+package dataflow
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"squery/internal/cluster"
+	"squery/internal/core"
+	"squery/internal/metrics"
+	"squery/internal/partition"
+	"squery/internal/persist"
+)
+
+// Config configures a job.
+type Config struct {
+	// Name identifies the job (used for internal KV map names).
+	Name string
+	// Cluster the job runs on.
+	Cluster *cluster.Cluster
+	// State is the default S-QUERY state configuration for stateful
+	// vertices (overridable per vertex).
+	State core.Config
+	// SnapshotInterval is the checkpoint period; 0 disables automatic
+	// checkpoints (tests drive them via CheckpointNow).
+	SnapshotInterval time.Duration
+	// Retention is the number of committed snapshot versions kept
+	// (<1 selects the paper's default of 2).
+	Retention int
+	// ChannelCapacity bounds operator input queues (backpressure).
+	// Default 1024.
+	ChannelCapacity int
+	// PersistDir, when set, writes every committed snapshot to stable
+	// storage in that directory (see internal/persist) before it is
+	// published. Opt-in durability: commits become O(total state).
+	PersistDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChannelCapacity <= 0 {
+		c.ChannelCapacity = 1024
+	}
+	if c.Name == "" {
+		c.Name = "job"
+	}
+	return c
+}
+
+// ack is one instance's phase-1 acknowledgement of a checkpoint barrier.
+type ack struct {
+	vertex   string
+	instance int
+	ssid     int64
+	offset   int64 // source replay offset; -1 for non-sources
+}
+
+// Job is a running dataflow job.
+type Job struct {
+	cfg Config
+	dag *DAG
+	clu *cluster.Cluster
+	mgr *core.Manager
+
+	part        partition.Partitioner
+	acksNeeded  int
+	statefulOps []string
+
+	phase1Hist *metrics.Histogram // barrier injection -> all prepared
+	totalHist  *metrics.Histogram // barrier injection -> committed
+	sourceOut  *metrics.Meter
+
+	liveOffsets sync.Map // offsetKey -> *atomic.Int64, survives restarts
+
+	mu          sync.Mutex
+	running     bool
+	killCh      chan struct{}
+	ackCh       chan ack
+	retiredCh   chan retireMsg
+	manualCoord *coordState
+	workers     []*worker
+	sources     []*sourceWorker
+	wg          sync.WaitGroup
+	coordWg     sync.WaitGroup
+	coordTkr    *time.Ticker
+	stopTick    chan struct{}
+}
+
+// Run validates the DAG, registers its stateful operators with a fresh
+// snapshot manager, and starts the job.
+func Run(dag *DAG, cfg Config) (*Job, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("dataflow: Config.Cluster is required")
+	}
+	if err := dag.Validate(); err != nil {
+		return nil, err
+	}
+	j := &Job{
+		cfg:        cfg,
+		dag:        dag,
+		clu:        cfg.Cluster,
+		mgr:        core.NewManager(cfg.Cluster.Store(), cfg.Retention),
+		part:       cfg.Cluster.Partitioner(),
+		phase1Hist: metrics.NewHistogram(),
+		totalHist:  metrics.NewHistogram(),
+		sourceOut:  metrics.NewMeter(),
+	}
+	if cfg.PersistDir != "" {
+		p, err := persist.Open(cfg.PersistDir)
+		if err != nil {
+			return nil, err
+		}
+		j.mgr.SetPersister(p)
+	}
+	for _, v := range dag.Vertices() {
+		j.acksNeeded += v.Parallelism
+		if v.Stateful {
+			if err := j.mgr.RegisterOperator(core.OperatorMeta{
+				Name:        v.Name,
+				Parallelism: v.Parallelism,
+				Config:      j.stateConfigFor(v),
+			}); err != nil {
+				return nil, err
+			}
+			j.statefulOps = append(j.statefulOps, v.Name)
+		}
+	}
+	j.start(0, false)
+	return j, nil
+}
+
+func (j *Job) stateConfigFor(v *Vertex) core.Config {
+	if v.StateOverride != nil {
+		return *v.StateOverride
+	}
+	return j.cfg.State
+}
+
+// Manager returns the job's snapshot manager (registry + pruning).
+func (j *Job) Manager() *core.Manager { return j.mgr }
+
+// StatefulOperators returns the names of the job's stateful vertices, for
+// catalog registration.
+func (j *Job) StatefulOperators() []string {
+	return append([]string(nil), j.statefulOps...)
+}
+
+// SnapshotPhase1 returns the histogram of phase-1 (prepare) latencies.
+func (j *Job) SnapshotPhase1() *metrics.Histogram { return j.phase1Hist }
+
+// SnapshotTotal returns the histogram of full 2PC (prepare+commit)
+// latencies.
+func (j *Job) SnapshotTotal() *metrics.Histogram { return j.totalHist }
+
+// SourceMeter counts records emitted by all sources.
+func (j *Job) SourceMeter() *metrics.Meter { return j.sourceOut }
+
+// start builds channels, workers and sources and launches them. When
+// restoreSSID > 0, stateful instances restore their state and sources
+// rewind to the offsets captured by that snapshot before processing
+// begins. With standby set, instances instead promote their active
+// replicas and sources resume from their live offsets — the §VII
+// read-committed failover (no rollback).
+func (j *Job) start(restoreSSID int64, standby bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+
+	j.killCh = make(chan struct{})
+	j.ackCh = make(chan ack, j.acksNeeded)
+	j.retiredCh = make(chan retireMsg, j.acksNeeded)
+	j.manualCoord = nil
+	j.workers = nil
+	j.sources = nil
+
+	vertices := j.dag.Vertices()
+	nodesOf := map[string][]int{}
+	inboxes := map[string][]chan item{}
+	producers := map[string]int{}
+	for _, v := range vertices {
+		nodesOf[v.Name] = j.clu.ScheduleInstances(v.Parallelism)
+		if v.Kind != KindSource {
+			chans := make([]chan item, v.Parallelism)
+			for i := range chans {
+				chans[i] = make(chan item, j.cfg.ChannelCapacity)
+			}
+			inboxes[v.Name] = chans
+		}
+	}
+	for _, e := range j.dag.Edges() {
+		producers[e.To] += j.dag.vertices[e.From].Parallelism
+	}
+
+	// Output wiring per upstream instance: one edgeOut per out-edge.
+	outsFor := func(name string, instance int) []*edgeOut {
+		var outs []*edgeOut
+		for ei, e := range j.dag.Edges() {
+			if e.From != name {
+				continue
+			}
+			outs = append(outs, &edgeOut{
+				kind:    e.Kind,
+				targets: inboxes[e.To],
+				prod:    producerID{edge: ei, instance: instance},
+			})
+		}
+		return outs
+	}
+
+	offsets := map[string]int64{}
+	if restoreSSID > 0 && !standby {
+		offsets = j.loadOffsets(restoreSSID)
+	}
+
+	for _, v := range vertices {
+		for i := 0; i < v.Parallelism; i++ {
+			node := nodesOf[v.Name][i]
+			var backend *core.Backend
+			if v.Stateful {
+				backend = core.NewBackend(v.Name, i, j.clu.NodeView(node), j.stateConfigFor(v))
+				par := v.Parallelism
+				inst := i
+				ownsKey := func(k partition.Key) bool {
+					return routeKey(j.part, k, par) == inst
+				}
+				switch {
+				case standby:
+					if err := backend.PromoteStandby(ownsKey); err != nil {
+						panic(fmt.Sprintf("dataflow: promote %s/%d: %v", v.Name, i, err))
+					}
+				case restoreSSID > 0:
+					if err := backend.Restore(restoreSSID, ownsKey); err != nil {
+						panic(fmt.Sprintf("dataflow: restore %s/%d: %v", v.Name, i, err))
+					}
+				}
+			}
+			if v.Kind == KindSource {
+				src := v.NewSource(i, v.Parallelism)
+				switch {
+				case standby:
+					src.Rewind(j.liveOffset(v.Name, i).Load())
+				case restoreSSID > 0:
+					src.Rewind(offsets[offsetKey(v.Name, i)])
+				}
+				sw := &sourceWorker{
+					job:       j,
+					vertex:    v.Name,
+					instance:  i,
+					src:       src,
+					outs:      outsFor(v.Name, i),
+					barrierCh: make(chan int64, 4),
+					killCh:    j.killCh,
+					offset:    j.liveOffset(v.Name, i),
+					wmPolicy:  v.Watermarks,
+				}
+				j.sources = append(j.sources, sw)
+				continue
+			}
+			w := &worker{
+				job:       j,
+				vertex:    v.Name,
+				instance:  i,
+				inbox:     inboxes[v.Name][i],
+				producers: producers[v.Name],
+				outs:      outsFor(v.Name, i),
+				backend:   backend,
+				killCh:    j.killCh,
+				aligned:   make(map[producerID]bool),
+				eos:       make(map[producerID]bool),
+			}
+			w.proc = v.NewProcessor(ProcContext{
+				Vertex:      v.Name,
+				Instance:    i,
+				Parallelism: v.Parallelism,
+				State:       backend,
+			})
+			j.workers = append(j.workers, w)
+		}
+	}
+
+	for _, w := range j.workers {
+		j.wg.Add(1)
+		go w.run()
+	}
+	for _, sw := range j.sources {
+		j.wg.Add(1)
+		go sw.run()
+	}
+	if j.cfg.SnapshotInterval > 0 {
+		j.stopTick = make(chan struct{})
+		j.coordTkr = time.NewTicker(j.cfg.SnapshotInterval)
+		j.coordWg.Add(1)
+		go j.coordinate(j.coordTkr.C, j.stopTick)
+	}
+	j.running = true
+}
+
+// Wait blocks until all workers have exited (finite sources drained, the
+// job was stopped, or a failure was injected).
+func (j *Job) Wait() { j.wg.Wait() }
+
+// Stop terminates the job. In-flight records may be dropped; state already
+// checkpointed remains queryable.
+func (j *Job) Stop() {
+	j.mu.Lock()
+	if !j.running {
+		j.mu.Unlock()
+		return
+	}
+	j.running = false
+	close(j.killCh)
+	j.stopCoordinatorLocked()
+	j.mu.Unlock()
+	j.wg.Wait()
+}
+
+func (j *Job) stopCoordinatorLocked() {
+	if j.coordTkr != nil {
+		j.coordTkr.Stop()
+		close(j.stopTick)
+		j.coordTkr = nil
+	}
+}
+
+func (j *Job) waitCoordinator() { j.coordWg.Wait() }
+
+// liveOffset returns the shared live-offset cell of a source instance;
+// the cell survives restarts so standby failover can resume from it.
+func (j *Job) liveOffset(vertex string, instance int) *atomic.Int64 {
+	key := offsetKey(vertex, instance)
+	if v, ok := j.liveOffsets.Load(key); ok {
+		return v.(*atomic.Int64)
+	}
+	v, _ := j.liveOffsets.LoadOrStore(key, new(atomic.Int64))
+	return v.(*atomic.Int64)
+}
+
+// offsetKey names one source instance in the offsets snapshot.
+func offsetKey(vertex string, instance int) string {
+	return fmt.Sprintf("%s/%d", vertex, instance)
+}
+
+func (j *Job) offsetsMapName() string { return "__offsets_" + j.cfg.Name }
+
+func (j *Job) saveOffsets(ssid int64, offsets map[string]int64) {
+	j.clu.Store().View(0).Put(j.offsetsMapName(), fmt.Sprintf("ss-%d", ssid), offsets)
+}
+
+func (j *Job) loadOffsets(ssid int64) map[string]int64 {
+	v, ok := j.clu.Store().View(0).Get(j.offsetsMapName(), fmt.Sprintf("ss-%d", ssid))
+	if !ok {
+		return map[string]int64{}
+	}
+	return v.(map[string]int64)
+}
+
+func (j *Job) dropOffsets(ssids []int64) {
+	for _, s := range ssids {
+		j.clu.Store().View(0).Delete(j.offsetsMapName(), fmt.Sprintf("ss-%d", s))
+	}
+}

@@ -1,0 +1,210 @@
+package dataflow
+
+import (
+	"sync"
+	"time"
+
+	"squery/internal/metrics"
+)
+
+// This file provides the built-in vertices jobs are assembled from: map /
+// filter operators, the keyed stateful-map operator backing every stateful
+// computation in the workloads, and the standard sinks and sources used by
+// the experiments.
+
+// MapVertex builds a stateless operator applying fn to every record.
+// Returning ok=false drops the record (filtering).
+func MapVertex(name string, parallelism int, fn func(Record) (Record, bool)) *Vertex {
+	return &Vertex{
+		Name:        name,
+		Kind:        KindOperator,
+		Parallelism: parallelism,
+		NewProcessor: func(ProcContext) Processor {
+			return mapProc{fn: fn}
+		},
+	}
+}
+
+type mapProc struct {
+	fn func(Record) (Record, bool)
+}
+
+func (p mapProc) Process(rec Record, emit Emit) {
+	if out, ok := p.fn(rec); ok {
+		emit(out)
+	}
+}
+
+// StatefulMapVertex builds the canonical stateful keyed operator: for each
+// record, fn receives the current state for the record's key (nil at
+// first) and returns the new state plus zero or more output records. The
+// state lives in the S-QUERY backend, making it live- and
+// snapshot-queryable under the vertex name.
+func StatefulMapVertex(name string, parallelism int, fn func(state any, rec Record) (newState any, out []Record)) *Vertex {
+	return &Vertex{
+		Name:        name,
+		Kind:        KindOperator,
+		Parallelism: parallelism,
+		Stateful:    true,
+		NewProcessor: func(ctx ProcContext) Processor {
+			return &statefulMapProc{ctx: ctx, fn: fn}
+		},
+	}
+}
+
+type statefulMapProc struct {
+	ctx ProcContext
+	fn  func(any, Record) (any, []Record)
+}
+
+func (p *statefulMapProc) Process(rec Record, emit Emit) {
+	cur, _ := p.ctx.State.Get(rec.Key)
+	next, outs := p.fn(cur, rec)
+	if next == nil {
+		p.ctx.State.Delete(rec.Key)
+	} else {
+		p.ctx.State.Update(rec.Key, next)
+	}
+	for _, o := range outs {
+		emit(o)
+	}
+}
+
+// SinkVertex builds a sink from a per-record function.
+func SinkVertex(name string, parallelism int, fn func(Record)) *Vertex {
+	return &Vertex{
+		Name:        name,
+		Kind:        KindSink,
+		Parallelism: parallelism,
+		NewProcessor: func(ProcContext) Processor {
+			return sinkProc{fn: fn}
+		},
+	}
+}
+
+type sinkProc struct {
+	fn func(Record)
+}
+
+func (p sinkProc) Process(rec Record, _ Emit) { p.fn(rec) }
+
+// LatencySinkVertex builds the measurement sink of the overhead
+// experiments: it records source→sink latency for every arriving record.
+func LatencySinkVertex(name string, parallelism int, hist *metrics.Histogram) *Vertex {
+	return SinkVertex(name, parallelism, func(rec Record) {
+		hist.Record(time.Since(rec.EventTime))
+	})
+}
+
+// CollectSink gathers records for test assertions.
+type CollectSink struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// Vertex returns a sink vertex feeding this collector.
+func (c *CollectSink) Vertex(name string, parallelism int) *Vertex {
+	return SinkVertex(name, parallelism, func(rec Record) {
+		c.mu.Lock()
+		c.recs = append(c.recs, rec)
+		c.mu.Unlock()
+	})
+}
+
+// Records returns a copy of the collected records.
+func (c *CollectSink) Records() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Record(nil), c.recs...)
+}
+
+// Len returns the number of collected records.
+func (c *CollectSink) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}
+
+// SliceSource builds a finite, replayable source vertex that partitions a
+// fixed record slice over its instances round-robin. Rewind support makes
+// it exactly-once under recovery.
+func SliceSource(name string, parallelism int, recs []Record) *Vertex {
+	return &Vertex{
+		Name:        name,
+		Kind:        KindSource,
+		Parallelism: parallelism,
+		NewSource: func(instance, par int) SourceInstance {
+			var own []Record
+			for i := instance; i < len(recs); i += par {
+				own = append(own, recs[i])
+			}
+			return &sliceSource{recs: own}
+		},
+	}
+}
+
+type sliceSource struct {
+	recs []Record
+	pos  int64
+}
+
+func (s *sliceSource) Next() (Record, SourceStatus) {
+	if int(s.pos) >= len(s.recs) {
+		return Record{}, SourceDone
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, SourceOK
+}
+
+func (s *sliceSource) Offset() int64  { return s.pos }
+func (s *sliceSource) Rewind(o int64) { s.pos = o }
+
+// GeneratorSource builds a deterministic, possibly infinite source: gen
+// produces the record at sequence seq for this instance (ok=false ends the
+// stream). Determinism in seq is what makes recovery exactly-once. A
+// non-positive rate means unthrottled; otherwise each instance emits at
+// most `rate` records per second, and Throttled sources measure offered
+// load for the sustainable-throughput experiments.
+func GeneratorSource(name string, parallelism int, rate float64, gen func(instance int, seq int64) (Record, bool)) *Vertex {
+	return &Vertex{
+		Name:        name,
+		Kind:        KindSource,
+		Parallelism: parallelism,
+		NewSource: func(instance, par int) SourceInstance {
+			return &genSource{instance: instance, rate: rate, gen: gen}
+		},
+	}
+}
+
+type genSource struct {
+	instance int
+	rate     float64
+	gen      func(int, int64) (Record, bool)
+	seq      int64
+	started  time.Time
+}
+
+func (g *genSource) Next() (Record, SourceStatus) {
+	if g.rate > 0 {
+		if g.started.IsZero() {
+			g.started = time.Now()
+		}
+		// Pace to the configured rate: the seq-th record is due at
+		// started + seq/rate. Report Idle (rather than sleeping) while
+		// it is not due, so barriers keep flowing.
+		due := g.started.Add(time.Duration(float64(g.seq) / g.rate * float64(time.Second)))
+		if time.Until(due) > 0 {
+			return Record{}, SourceIdle
+		}
+	}
+	rec, ok := g.gen(g.instance, g.seq)
+	if !ok {
+		return Record{}, SourceDone
+	}
+	g.seq++
+	return rec, SourceOK
+}
+
+func (g *genSource) Offset() int64  { return g.seq }
+func (g *genSource) Rewind(o int64) { g.seq = o }

@@ -1,0 +1,52 @@
+// Package dataflow implements the distributed stream processor S-QUERY is
+// layered on — the role Hazelcast Jet plays in the paper. Jobs are DAGs of
+// operators; each vertex runs as a set of parallel single-threaded
+// instances scheduled co-located with the state partitions they own;
+// records flow over bounded channels (backpressure); and a checkpoint
+// coordinator drives the aligned-barrier snapshot protocol (Chandy–Lamport
+// adapted to dataflows, §IV of the paper) with a two-phase commit whose
+// latency the paper's Figures 10–12 measure.
+package dataflow
+
+import (
+	"time"
+
+	"squery/internal/partition"
+)
+
+// Record is one data item flowing through a job. Key determines routing on
+// keyed edges and state addressing in stateful operators. EventTime is
+// stamped at the source; sinks subtract it from the wall clock to measure
+// the source→sink latency of the paper's overhead experiments.
+type Record struct {
+	Key       partition.Key
+	Value     any
+	EventTime time.Time
+}
+
+// itemKind tags items on operator input channels: data records, checkpoint
+// barriers (the paper's markers), or end-of-stream.
+type itemKind uint8
+
+const (
+	kindRecord itemKind = iota
+	kindBarrier
+	kindEOS
+	kindWatermark
+)
+
+// producerID identifies one upstream instance on one edge — barrier
+// alignment counts barriers per distinct producer.
+type producerID struct {
+	edge     int
+	instance int
+}
+
+// item is one message on an operator input channel.
+type item struct {
+	kind itemKind
+	rec  Record
+	ssid int64
+	wm   time.Time
+	from producerID
+}

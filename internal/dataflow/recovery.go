@@ -1,0 +1,69 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"squery/internal/core"
+	"squery/internal/snapshot"
+)
+
+// InjectFailure crashes the running job — all workers stop where they
+// stand, in-flight records and uncommitted state are lost — and then
+// recovers it: every stateful instance restores from the latest committed
+// snapshot, sources rewind to the offsets captured by that snapshot, and
+// processing resumes. This is the paper's recovery path (§IV) and the
+// mechanism behind the dirty-read demonstration of Figure 5: live state
+// written after the last checkpoint vanishes, so a live query issued
+// before the failure may have observed state that "never happened".
+//
+// It returns the snapshot id recovered to, or 0 when no snapshot had
+// committed yet (the job restarts from scratch).
+func (j *Job) InjectFailure() (int64, error) {
+	j.mu.Lock()
+	if !j.running {
+		j.mu.Unlock()
+		return 0, fmt.Errorf("dataflow: job is not running")
+	}
+	j.running = false
+	close(j.killCh)
+	j.stopCoordinatorLocked()
+	j.mu.Unlock()
+
+	// Wait for the crash to complete: all workers and the coordinator
+	// gone. An in-flight checkpoint is aborted by the coordinator when
+	// it observes the closed kill channel.
+	j.wg.Wait()
+	j.waitCoordinator()
+	if in := j.mgr.Registry().InProgress(); in != 0 {
+		j.mgr.Abort(in)
+	}
+
+	// With active standby replicas (§VII, read committed) the failure is
+	// masked by promoting the replicas: no rollback, sources resume from
+	// their live offsets.
+	if j.cfg.State.ActiveStandby {
+		j.start(0, true)
+		return j.mgr.Registry().LatestCommitted(), nil
+	}
+
+	restoreSSID := j.mgr.Registry().LatestCommitted()
+	if restoreSSID == snapshot.NoSnapshot {
+		// Nothing ever committed: clear any live state the crashed run
+		// mirrored and start over.
+		j.clearLiveState()
+		j.start(0, false)
+		return 0, nil
+	}
+	j.start(restoreSSID, false)
+	return restoreSSID, nil
+}
+
+// clearLiveState wipes the live maps of all stateful operators; used when
+// recovering a job that never committed a snapshot.
+func (j *Job) clearLiveState() {
+	for _, meta := range j.mgr.Operators() {
+		if meta.Config.Live {
+			j.clu.Store().DropMap(core.LiveMapName(meta.Name))
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package dataflow
+
+import (
+	"sync"
+	"testing"
+
+	"squery/internal/core"
+)
+
+// recordingProc notes which instance processed each key.
+type recordingProc struct {
+	mu       *sync.Mutex
+	seen     map[any][]int
+	instance int
+}
+
+func (p recordingProc) Process(rec Record, emit Emit) {
+	p.mu.Lock()
+	p.seen[rec.Key] = append(p.seen[rec.Key], p.instance)
+	p.mu.Unlock()
+	emit(rec)
+}
+
+func runRoutingJob(t *testing.T, kind EdgeKind, par int, recs []Record) map[any][]int {
+	t.Helper()
+	mu := &sync.Mutex{}
+	seen := map[any][]int{}
+	dag := NewDAG().
+		AddVertex(SliceSource("src", par, recs)).
+		AddVertex(&Vertex{
+			Name: "op", Kind: KindOperator, Parallelism: par,
+			NewProcessor: func(ctx ProcContext) Processor {
+				return recordingProc{mu: mu, seen: seen, instance: ctx.Instance}
+			},
+		}).
+		AddVertex(LatencySinkVertexForTest("sink", par)).
+		Connect("src", "op", kind).
+		Connect("op", "sink", EdgeRoundRobin)
+	job, err := Run(dag, Config{Cluster: testCluster()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Wait()
+	job.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	out := map[any][]int{}
+	for k, v := range seen {
+		out[k] = append([]int(nil), v...)
+	}
+	return out
+}
+
+func TestPartitionedRoutingIsSticky(t *testing.T) {
+	recs := keyedRecords(200, 10)
+	seen := runRoutingJob(t, EdgePartitioned, 4, recs)
+	if len(seen) != 10 {
+		t.Fatalf("keys seen = %d", len(seen))
+	}
+	for k, insts := range seen {
+		first := insts[0]
+		for _, i := range insts {
+			if i != first {
+				t.Fatalf("key %v visited instances %v — partitioned routing must be sticky", k, insts)
+			}
+		}
+	}
+}
+
+func TestRoundRobinSpreadsLoad(t *testing.T) {
+	recs := make([]Record, 400)
+	for i := range recs {
+		recs[i] = Record{Key: 0, Value: i} // all the same key
+	}
+	seen := runRoutingJob(t, EdgeRoundRobin, 4, recs)
+	counts := map[int]int{}
+	for _, insts := range seen {
+		for _, i := range insts {
+			counts[i]++
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("round-robin used %d instances, want 4", len(counts))
+	}
+	for inst, n := range counts {
+		if n < 50 {
+			t.Errorf("instance %d got only %d records", inst, n)
+		}
+	}
+}
+
+func TestForwardRoutingPreservesInstance(t *testing.T) {
+	// With a forward edge, records stay on the same instance index as
+	// their source instance. SliceSource partitions its slice round-
+	// robin over instances, so instance i holds records i, i+par, ...
+	recs := make([]Record, 100)
+	for i := range recs {
+		recs[i] = Record{Key: i, Value: i}
+	}
+	par := 4
+	seen := runRoutingJob(t, EdgeForward, par, recs)
+	for k, insts := range seen {
+		want := k.(int) % par
+		for _, got := range insts {
+			if got != want {
+				t.Fatalf("key %v processed by instance %d, want %d", k, got, want)
+			}
+		}
+	}
+}
+
+// flushingProc counts records and emits the count at end-of-stream.
+type flushingProc struct {
+	n int
+}
+
+func (p *flushingProc) Process(rec Record, emit Emit) { p.n++ }
+func (p *flushingProc) Flush(emit Emit) {
+	emit(Record{Key: "total", Value: p.n})
+}
+
+func TestFlusherRunsAtEOS(t *testing.T) {
+	sink := &CollectSink{}
+	dag := NewDAG().
+		AddVertex(SliceSource("src", 1, keyedRecords(25, 5))).
+		AddVertex(&Vertex{
+			Name: "op", Kind: KindOperator, Parallelism: 1,
+			NewProcessor: func(ProcContext) Processor { return &flushingProc{} },
+		}).
+		AddVertex(sink.Vertex("sink", 1)).
+		Connect("src", "op", EdgePartitioned).
+		Connect("op", "sink", EdgePartitioned)
+	job, err := Run(dag, Config{Cluster: testCluster()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Wait()
+	job.Stop()
+	recs := sink.Records()
+	if len(recs) != 1 || recs[0].Value != 25 {
+		t.Fatalf("flush output = %v", recs)
+	}
+}
+
+func TestStateOverridePerVertex(t *testing.T) {
+	clu := testCluster()
+	// Job default disables everything; the override enables live state
+	// for just one vertex.
+	override := &core.Config{Live: true}
+	v := StatefulMapVertex("overridden", 1, countFn)
+	v.StateOverride = override
+	dag := NewDAG().
+		AddVertex(SliceSource("src", 1, keyedRecords(10, 2))).
+		AddVertex(v).
+		AddVertex(StatefulMapVertex("plain", 1, countFn)).
+		AddVertex(LatencySinkVertexForTest("sink", 1)).
+		Connect("src", "overridden", EdgePartitioned).
+		Connect("overridden", "plain", EdgePartitioned).
+		Connect("plain", "sink", EdgePartitioned)
+	job, err := Run(dag, Config{Cluster: clu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Wait()
+	job.Stop()
+	if clu.Store().GetMap(core.LiveMapName("overridden")).Size() == 0 {
+		t.Error("override vertex has no live state")
+	}
+	if clu.Store().HasMap(core.LiveMapName("plain")) && clu.Store().GetMap(core.LiveMapName("plain")).Size() > 0 {
+		t.Error("plain vertex unexpectedly mirrored live state")
+	}
+}

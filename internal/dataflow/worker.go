@@ -1,0 +1,371 @@
+package dataflow
+
+import (
+	"sync/atomic"
+	"time"
+
+	"squery/internal/core"
+)
+
+// edgeOut is the output side of one edge for one upstream instance.
+type edgeOut struct {
+	kind    EdgeKind
+	targets []chan item
+	prod    producerID
+	rr      int
+}
+
+// worker runs one instance of an operator or sink vertex: a single
+// goroutine consuming a bounded inbox, aligning checkpoint barriers, and
+// snapshotting its state backend at each checkpoint.
+type worker struct {
+	job       *Job
+	vertex    string
+	instance  int
+	inbox     chan item
+	producers int
+	outs      []*edgeOut
+	proc      Processor
+	backend   *core.Backend
+	killCh    chan struct{}
+
+	// Barrier alignment state (§IV, Figure 3): producers that already
+	// delivered the current barrier are "aligned"; their subsequent
+	// items are stashed until the snapshot completes.
+	aligned      map[producerID]bool
+	alignedCount int
+	curSSID      int64
+	stash        []item
+	eos          map[producerID]bool
+	killed       bool
+
+	// Event-time state: the last watermark received per producer and
+	// the operator's combined (minimum) watermark.
+	wmFrom map[producerID]time.Time
+	curWM  time.Time
+}
+
+func (w *worker) run() {
+	defer w.job.wg.Done()
+	for {
+		select {
+		case <-w.killCh:
+			return
+		case it := <-w.inbox:
+			done := w.handle(it)
+			if w.killed {
+				return
+			}
+			if done {
+				w.job.retire(w.vertex, w.instance, -1)
+				return
+			}
+		}
+	}
+}
+
+// handle processes one inbox item; it reports whether the worker is done.
+func (w *worker) handle(it item) bool {
+	// Items from producers that already delivered the current barrier
+	// wait until alignment completes (Figure 3a: the top channel at the
+	// marker must wait for the bottom one).
+	if w.aligned[it.from] {
+		w.stash = append(w.stash, it)
+		return false
+	}
+	switch it.kind {
+	case kindRecord:
+		w.proc.Process(it.rec, w.emit)
+	case kindBarrier:
+		w.aligned[it.from] = true
+		w.alignedCount++
+		w.curSSID = it.ssid
+		if w.alignmentComplete() {
+			return w.completeCheckpoint()
+		}
+	case kindWatermark:
+		w.handleWatermark(it)
+	case kindEOS:
+		w.eos[it.from] = true
+		// A finished producer no longer gates the combined watermark.
+		w.advanceWatermark()
+		// A finished producer can no longer deliver barriers; check
+		// whether it was the last straggler of an in-flight alignment.
+		if w.alignedCount > 0 && w.alignmentComplete() {
+			if done := w.completeCheckpoint(); done {
+				return true
+			}
+		}
+		if len(w.eos) == w.producers {
+			w.finish()
+			return true
+		}
+	}
+	return false
+}
+
+// handleWatermark records a producer's watermark and advances the
+// operator watermark when the minimum over live producers moves.
+func (w *worker) handleWatermark(it item) {
+	if w.wmFrom == nil {
+		w.wmFrom = make(map[producerID]time.Time, w.producers)
+	}
+	if cur, ok := w.wmFrom[it.from]; !ok || it.wm.After(cur) {
+		w.wmFrom[it.from] = it.wm
+	}
+	w.advanceWatermark()
+}
+
+func (w *worker) advanceWatermark() {
+	// The combined watermark is the minimum over live producers; it can
+	// only advance once every live producer has reported.
+	var min time.Time
+	reported := 0
+	for p, t := range w.wmFrom {
+		if w.eos[p] {
+			continue
+		}
+		reported++
+		if min.IsZero() || t.Before(min) {
+			min = t
+		}
+	}
+	if reported < w.producers-len(w.eos) || reported == 0 {
+		return
+	}
+	if !min.After(w.curWM) {
+		return
+	}
+	w.curWM = min
+	if h, ok := w.proc.(WatermarkHandler); ok {
+		h.OnWatermark(min, w.emit)
+	}
+	w.broadcast(item{kind: kindWatermark, wm: min})
+}
+
+// alignmentComplete reports whether every producer still alive has
+// delivered the current barrier.
+func (w *worker) alignmentComplete() bool {
+	live := 0
+	for p := range w.aligned {
+		if !w.eos[p] {
+			live++
+		}
+	}
+	needed := w.producers - len(w.eos)
+	return needed > 0 && live == needed || (needed == 0 && w.alignedCount > 0)
+}
+
+// completeCheckpoint runs phase 1 for this instance: snapshot the state,
+// ack the coordinator, forward the barrier downstream (Figure 3c), then
+// replay the stashed items. It reports whether the worker finished while
+// replaying.
+func (w *worker) completeCheckpoint() bool {
+	if w.backend != nil {
+		if _, err := w.backend.SnapshotPrepare(w.curSSID); err != nil {
+			panic("dataflow: snapshot prepare failed: " + err.Error())
+		}
+	}
+	w.job.sendAck(ack{vertex: w.vertex, instance: w.instance, ssid: w.curSSID, offset: -1})
+	w.broadcast(item{kind: kindBarrier, ssid: w.curSSID})
+	w.aligned = make(map[producerID]bool)
+	w.alignedCount = 0
+	stash := w.stash
+	w.stash = nil
+	for _, it := range stash {
+		if w.killed {
+			return true
+		}
+		if done := w.handle(it); done {
+			return true
+		}
+	}
+	return false
+}
+
+// finish flushes the processor and propagates end-of-stream.
+func (w *worker) finish() {
+	if f, ok := w.proc.(Flusher); ok {
+		f.Flush(w.emit)
+	}
+	w.broadcast(item{kind: kindEOS})
+}
+
+// emit routes one record over every out edge.
+func (w *worker) emit(rec Record) {
+	for _, o := range w.outs {
+		var t int
+		switch o.kind {
+		case EdgePartitioned:
+			t = routeKey(w.job.part, rec.Key, len(o.targets))
+		case EdgeForward:
+			t = w.instance
+		default:
+			t = o.rr
+			o.rr = (o.rr + 1) % len(o.targets)
+		}
+		w.send(o.targets[t], item{kind: kindRecord, rec: rec, from: o.prod})
+	}
+}
+
+// broadcast sends a control item to every downstream instance of every
+// out edge.
+func (w *worker) broadcast(it item) {
+	for _, o := range w.outs {
+		it := it
+		it.from = o.prod
+		for _, ch := range o.targets {
+			w.send(ch, it)
+		}
+	}
+}
+
+// send delivers an item with backpressure; a closed kill channel aborts
+// the send so failure injection cannot deadlock on full queues.
+func (w *worker) send(ch chan item, it item) {
+	select {
+	case ch <- it:
+	case <-w.killCh:
+		w.killed = true
+	}
+}
+
+// sourceWorker drives one source instance: it pulls records, stamps event
+// time, and injects checkpoint barriers on the coordinator's request.
+type sourceWorker struct {
+	job       *Job
+	vertex    string
+	instance  int
+	src       SourceInstance
+	outs      []*edgeOut
+	barrierCh chan int64
+	killCh    chan struct{}
+	killed    bool
+	// offset mirrors the source's replay position after every record;
+	// standby failover resumes from it.
+	offset *atomic.Int64
+
+	// Watermark emission (nil = none).
+	wmPolicy *WatermarkPolicy
+	maxEvent time.Time
+	sinceWM  int
+}
+
+func (s *sourceWorker) run() {
+	defer s.job.wg.Done()
+	for {
+		select {
+		case <-s.killCh:
+			return
+		case ssid := <-s.barrierCh:
+			// Phase 1 for a source: its snapshot is the replay offset.
+			s.job.sendAck(ack{vertex: s.vertex, instance: s.instance, ssid: ssid, offset: s.src.Offset()})
+			s.broadcast(item{kind: kindBarrier, ssid: ssid})
+		default:
+			rec, st := s.src.Next()
+			switch st {
+			case SourceDone:
+				s.drainBarriers()
+				s.broadcast(item{kind: kindEOS})
+				s.job.retire(s.vertex, s.instance, s.src.Offset())
+				return
+			case SourceIdle:
+				// Stay responsive to barriers and shutdown while the
+				// source has nothing to offer.
+				select {
+				case <-s.killCh:
+					return
+				case ssid := <-s.barrierCh:
+					s.job.sendAck(ack{vertex: s.vertex, instance: s.instance, ssid: ssid, offset: s.src.Offset()})
+					s.broadcast(item{kind: kindBarrier, ssid: ssid})
+				case <-time.After(20 * time.Microsecond):
+				}
+			default:
+				if rec.EventTime.IsZero() {
+					rec.EventTime = time.Now()
+				}
+				s.emit(rec)
+				s.offset.Store(s.src.Offset())
+				s.job.sourceOut.Inc()
+				s.maybeWatermark(rec.EventTime)
+			}
+		}
+		if s.killed {
+			return
+		}
+	}
+}
+
+// maybeWatermark emits a watermark every policy.Every records, lagged by
+// policy.Lag behind the highest event time seen.
+func (s *sourceWorker) maybeWatermark(et time.Time) {
+	if s.wmPolicy == nil {
+		return
+	}
+	if et.After(s.maxEvent) {
+		s.maxEvent = et
+	}
+	s.sinceWM++
+	if s.sinceWM < s.wmPolicy.every() {
+		return
+	}
+	s.sinceWM = 0
+	s.broadcast(item{kind: kindWatermark, wm: s.maxEvent.Add(-s.wmPolicy.Lag)})
+}
+
+// drainBarriers acks any barrier requests that raced with end-of-stream
+// so the coordinator's in-flight checkpoint can still complete.
+func (s *sourceWorker) drainBarriers() {
+	for {
+		select {
+		case ssid := <-s.barrierCh:
+			s.job.sendAck(ack{vertex: s.vertex, instance: s.instance, ssid: ssid, offset: s.src.Offset()})
+			s.broadcast(item{kind: kindBarrier, ssid: ssid})
+		default:
+			return
+		}
+	}
+}
+
+func (s *sourceWorker) emit(rec Record) {
+	for _, o := range s.outs {
+		var t int
+		switch o.kind {
+		case EdgePartitioned:
+			t = routeKey(s.job.part, rec.Key, len(o.targets))
+		case EdgeForward:
+			t = s.instance
+		default:
+			t = o.rr
+			o.rr = (o.rr + 1) % len(o.targets)
+		}
+		s.send(o.targets[t], item{kind: kindRecord, rec: rec, from: o.prod})
+	}
+}
+
+func (s *sourceWorker) broadcast(it item) {
+	for _, o := range s.outs {
+		it := it
+		it.from = o.prod
+		for _, ch := range o.targets {
+			s.send(ch, it)
+		}
+	}
+}
+
+func (s *sourceWorker) send(ch chan item, it item) {
+	select {
+	case ch <- it:
+	case <-s.killCh:
+		s.killed = true
+	}
+}
+
+// sendAck delivers a phase-1 ack to the coordinator without blocking the
+// worker if the job is being torn down.
+func (j *Job) sendAck(a ack) {
+	select {
+	case j.ackCh <- a:
+	case <-j.killCh:
+	}
+}

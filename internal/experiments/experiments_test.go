@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// ultraQuick shrinks options beyond Quick for unit testing: these tests
+// verify the harness runs and its outputs have the right shape, not the
+// measured values.
+var ultraQuick = Options{Quick: true}
+
+func TestFig8ProducesFourSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness, -short")
+	}
+	series := Fig8(ultraQuick)
+	if len(series) != 4 {
+		t.Fatalf("series = %d, want 4", len(series))
+	}
+	for _, s := range series {
+		if s.Summary.Count == 0 {
+			t.Errorf("%s recorded nothing", s.Label)
+		}
+	}
+	tbl := Table("fig8", series)
+	if !strings.Contains(tbl, "S-Query live+snap") || !strings.Contains(tbl, "Jet") {
+		t.Errorf("table missing labels:\n%s", tbl)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness, -short")
+	}
+	series := Fig10(ultraQuick)
+	// 2 key counts (quick) × 2 systems.
+	if len(series) != 4 {
+		t.Fatalf("series = %d, want 4", len(series))
+	}
+	for _, s := range series {
+		if s.Summary.Count == 0 {
+			t.Errorf("%s has no 2PC samples", s.Label)
+		}
+	}
+}
+
+func TestFig12DeltaOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness, -short")
+	}
+	series := Fig12(ultraQuick)
+	if len(series) != 4 {
+		t.Fatalf("series = %d, want 4", len(series))
+	}
+	byLabel := map[string]time.Duration{}
+	for _, s := range series {
+		byLabel[s.Label] = s.Summary.Quantiles[0.5]
+	}
+	// The headline trade-off: a 1% delta snapshot must be cheaper than a
+	// full snapshot.
+	if byLabel["1% delta"] >= byLabel["Full snapshot"] {
+		t.Errorf("1%% delta (%v) not cheaper than full (%v)", byLabel["1% delta"], byLabel["Full snapshot"])
+	}
+}
+
+func TestFig14ShapeAndWinner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness, -short")
+	}
+	rows := Fig14(ultraQuick)
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	get := func(system string, sel int) float64 {
+		for _, r := range rows {
+			if r.System == system && r.KeysSelected == sel {
+				return r.QueriesPerS
+			}
+		}
+		t.Fatalf("missing row %s/%d", system, sel)
+		return 0
+	}
+	// Power-law: more keys selected, lower throughput (each system).
+	for _, sys := range []string{"S-Query", "TSpoon"} {
+		if !(get(sys, 1) > get(sys, 100) && get(sys, 100) > get(sys, 1000)) {
+			t.Errorf("%s throughput not decreasing with selection size", sys)
+		}
+	}
+	// S-QUERY leads at single-key selection.
+	if get("S-Query", 1) <= get("TSpoon", 1) {
+		t.Errorf("S-Query (%0.f q/s) did not beat TSpoon (%0.f q/s) at 1 key",
+			get("S-Query", 1), get("TSpoon", 1))
+	}
+}
+
+func TestPaperQueriesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness, -short")
+	}
+	reports := PaperQueries(ultraQuick)
+	if len(reports) != 4 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	for _, r := range reports {
+		if r.Latency <= 0 || r.Result == "" {
+			t.Errorf("%s: latency=%v result=%q", r.Name, r.Latency, r.Result)
+		}
+	}
+}

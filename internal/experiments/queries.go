@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"squery/internal/cluster"
+	"squery/internal/core"
+	"squery/internal/dataflow"
+	"squery/internal/metrics"
+	"squery/internal/qcommerce"
+	"squery/internal/sql"
+)
+
+// QueryReport is the result of running one of the paper's production
+// queries: the rendered result set and its end-to-end latency.
+type QueryReport struct {
+	Name    string
+	Query   string
+	Latency time.Duration
+	Result  string
+	Rows    int
+}
+
+// PaperQueries runs the four Delivery Hero queries (§VIII) against a live
+// Q-commerce job's snapshot state and reports results and latencies.
+func PaperQueries(o Options) []QueryReport {
+	nodes := 7
+	keys := 10_000
+	if o.Quick {
+		keys = 1_000
+	}
+	clu := cluster.New(cluster.Config{Nodes: nodes})
+	cfg := qcommerce.Config{
+		Orders:              int64(keys),
+		SourceParallelism:   nodes,
+		OperatorParallelism: nodes * 2,
+	}
+	dag := qcommerce.DAG(cfg, dataflow.LatencySinkVertex("sink", nodes, metrics.NewHistogram()))
+	job, err := dataflow.Run(dag, dataflow.Config{
+		Name:             "qcommerce-queries",
+		Cluster:          clu,
+		State:            core.Config{Snapshots: true},
+		SnapshotInterval: o.interval(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer job.Stop()
+
+	cat := core.NewCatalog(clu.Store())
+	if err := cat.RegisterJob(job.Manager().Registry(), job.StatefulOperators()...); err != nil {
+		panic(err)
+	}
+	ex := sql.NewExecutor(cat, nodes)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for job.Manager().Registry().LatestCommitted() == 0 ||
+		job.SourceMeter().Count() < uint64(keys*2) {
+		if time.Now().After(deadline) {
+			panic("experiments: query workload did not warm up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	out := make([]QueryReport, 0, len(qcommerce.Queries))
+	for i, q := range qcommerce.Queries {
+		sw := metrics.StartStopwatch()
+		res, err := ex.Query(q)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: query %d: %v", i+1, err))
+		}
+		out = append(out, QueryReport{
+			Name:    fmt.Sprintf("Query %d", i+1),
+			Query:   strings.Join(strings.Fields(q), " "),
+			Latency: sw.Elapsed(),
+			Result:  res.String(),
+			Rows:    len(res.Rows),
+		})
+	}
+	return out
+}

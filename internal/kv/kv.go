@@ -1,0 +1,378 @@
+// Package kv implements the partitioned in-memory key-value store that
+// plays the role of Hazelcast IMDG in the paper: the state backend that
+// S-QUERY exposes to external queries. Data is split into partitions by the
+// shared partitioner (see internal/partition); each named map stores its
+// entries per partition, guarded by striped key-level locks — the same
+// locking S-QUERY uses to synchronise live-state updates against concurrent
+// reads (§VII, read committed discussion).
+//
+// The store is cluster-wide; callers address it through a NodeView, which
+// identifies the calling node so that operations on partitions owned by a
+// different node pay the (simulated) network cost. Operator instances use
+// the view of the node they are scheduled on — with co-located scheduling
+// their state operations are always local — while external query clients
+// use a client view that is remote to every node.
+package kv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"squery/internal/partition"
+)
+
+// DelayFunc models the network: it blocks for the cost of a message from
+// node `from` to node `to`. A nil DelayFunc means a zero-cost network.
+// from == to is always free. The cluster package provides implementations.
+type DelayFunc func(from, to int)
+
+// ClientNode is the pseudo node id used by external clients (the query
+// system); it is remote to every store node.
+const ClientNode = -1
+
+// Store is a cluster-wide collection of named partitioned maps.
+type Store struct {
+	part       partition.Partitioner
+	assign     *partition.Assignment
+	delay      DelayFunc
+	replicated bool
+
+	mu   sync.RWMutex
+	maps map[string]*Map
+}
+
+// NewStore creates a store over the given partitioning and assignment.
+func NewStore(p partition.Partitioner, a *partition.Assignment, delay DelayFunc) *Store {
+	if a.Partitions() != p.Count() {
+		panic(fmt.Sprintf("kv: assignment has %d partitions, partitioner %d", a.Partitions(), p.Count()))
+	}
+	return &Store{part: p, assign: a, delay: delay, maps: make(map[string]*Map)}
+}
+
+// Partitioner returns the store's partitioner.
+func (s *Store) Partitioner() partition.Partitioner { return s.part }
+
+// Assignment returns the partition-to-node assignment.
+func (s *Store) Assignment() *partition.Assignment { return s.assign }
+
+// GetMap returns the named map, creating it if absent.
+func (s *Store) GetMap(name string) *Map {
+	s.mu.RLock()
+	m := s.maps[name]
+	s.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m = s.maps[name]; m == nil {
+		m = newMap(s, name)
+		s.maps[name] = m
+	}
+	return m
+}
+
+// HasMap reports whether a map with this name exists (has been created).
+func (s *Store) HasMap(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.maps[name]
+	return ok
+}
+
+// MapNames returns the names of all maps in the store, sorted.
+func (s *Store) MapNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.maps))
+	for n := range s.maps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DropMap removes the named map and its data.
+func (s *Store) DropMap(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.maps, name)
+}
+
+// View returns a NodeView for operations issued from the given node.
+// Use ClientNode for external clients.
+func (s *Store) View(node int) NodeView {
+	return NodeView{store: s, node: node}
+}
+
+// networkHop charges the network cost of touching partition p from node.
+func (s *Store) networkHop(fromNode, p int) {
+	if s.delay == nil || fromNode == s.assign.Owner(p) {
+		return
+	}
+	s.delay(fromNode, s.assign.Owner(p))
+}
+
+// Entry is one key-value pair in a map.
+type Entry struct {
+	Key   partition.Key
+	Value any
+}
+
+// lockStripes is the number of key-lock stripes per partition segment.
+// Striping approximates per-key locks without per-key mutex allocation.
+const lockStripes = 8
+
+// segment is the slice of one map living in one partition.
+type segment struct {
+	mu      sync.RWMutex // guards the entries map structure
+	stripes [lockStripes]sync.Mutex
+	entries map[string]Entry // canonical key string -> entry
+}
+
+func (g *segment) stripe(ks string) *sync.Mutex {
+	var h uint32
+	for i := 0; i < len(ks); i++ {
+		h = h*31 + uint32(ks[i])
+	}
+	return &g.stripes[h%lockStripes]
+}
+
+// Map is a named, partitioned key-value map. With replication enabled,
+// every partition has a synchronously maintained backup copy (notionally
+// on the partition's backup node).
+type Map struct {
+	store   *Store
+	name    string
+	segs    []*segment
+	backups []*segment
+}
+
+func newMap(s *Store, name string) *Map {
+	m := &Map{store: s, name: name, segs: make([]*segment, s.part.Count())}
+	for i := range m.segs {
+		m.segs[i] = &segment{entries: make(map[string]Entry)}
+	}
+	if s.replicated {
+		m.backups = make([]*segment, s.part.Count())
+		for i := range m.backups {
+			m.backups[i] = &segment{entries: make(map[string]Entry)}
+		}
+	}
+	return m
+}
+
+// Name returns the map's name. Live-state maps are named after their
+// operator; snapshot maps use the snapshot_<operator> convention (§V.B).
+func (m *Map) Name() string { return m.name }
+
+// PartitionOf returns the partition owning the key.
+func (m *Map) PartitionOf(key partition.Key) int { return m.store.part.Of(key) }
+
+// put stores the entry, charging network cost from the calling node.
+func (m *Map) put(node int, key partition.Key, value any) {
+	p := m.store.part.Of(key)
+	m.store.networkHop(node, p)
+	seg := m.segs[p]
+	ks := partition.KeyString(key)
+	lk := seg.stripe(ks)
+	lk.Lock()
+	seg.mu.Lock()
+	e := Entry{Key: key, Value: value}
+	seg.entries[ks] = e
+	seg.mu.Unlock()
+	lk.Unlock()
+	if m.store.replicated {
+		m.replicatePut(p, ks, e)
+	}
+}
+
+// get loads the value for key; ok is false if absent.
+func (m *Map) get(node int, key partition.Key) (any, bool) {
+	p := m.store.part.Of(key)
+	m.store.networkHop(node, p)
+	seg := m.segs[p]
+	ks := partition.KeyString(key)
+	lk := seg.stripe(ks)
+	lk.Lock()
+	seg.mu.RLock()
+	e, ok := seg.entries[ks]
+	seg.mu.RUnlock()
+	lk.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return e.Value, true
+}
+
+// delete removes the key; it reports whether the key was present.
+func (m *Map) delete(node int, key partition.Key) bool {
+	p := m.store.part.Of(key)
+	m.store.networkHop(node, p)
+	seg := m.segs[p]
+	ks := partition.KeyString(key)
+	lk := seg.stripe(ks)
+	lk.Lock()
+	seg.mu.Lock()
+	_, ok := seg.entries[ks]
+	delete(seg.entries, ks)
+	seg.mu.Unlock()
+	lk.Unlock()
+	if m.store.replicated {
+		m.replicateDelete(p, ks)
+	}
+	return ok
+}
+
+// Size returns the total number of entries across all partitions.
+func (m *Map) Size() int {
+	n := 0
+	for _, seg := range m.segs {
+		seg.mu.RLock()
+		n += len(seg.entries)
+		seg.mu.RUnlock()
+	}
+	return n
+}
+
+// Clear removes all entries (and their backup copies).
+func (m *Map) Clear() {
+	for _, seg := range m.segs {
+		seg.mu.Lock()
+		seg.entries = make(map[string]Entry)
+		seg.mu.Unlock()
+	}
+	for _, seg := range m.backups {
+		seg.mu.Lock()
+		seg.entries = make(map[string]Entry)
+		seg.mu.Unlock()
+	}
+}
+
+// ScanPartition calls fn for a point-in-time copy of every entry in
+// partition p. Copy-then-iterate keeps the lock hold time proportional to
+// partition size, never to fn's cost — queries must not stall processing.
+func (m *Map) ScanPartition(p int, fn func(Entry) bool) {
+	seg := m.segs[p]
+	seg.mu.RLock()
+	entries := make([]Entry, 0, len(seg.entries))
+	for _, e := range seg.entries {
+		entries = append(entries, e)
+	}
+	seg.mu.RUnlock()
+	for _, e := range entries {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// NodeView is the handle a specific node (or external client) uses to
+// operate on the store. All network accounting flows through it.
+type NodeView struct {
+	store *Store
+	node  int
+}
+
+// Node returns the node this view represents.
+func (v NodeView) Node() int { return v.node }
+
+// Store returns the underlying store.
+func (v NodeView) Store() *Store { return v.store }
+
+// ChargeHop charges the network cost of one message from this view's node
+// to the given node. Callers that bypass per-key accounting (e.g. a query
+// engine scanning whole partitions per node) use it to keep the network
+// model honest.
+func (v NodeView) ChargeHop(to int) {
+	if v.store.delay != nil && v.node != to {
+		v.store.delay(v.node, to)
+	}
+}
+
+// Put stores value under key in the named map.
+func (v NodeView) Put(mapName string, key partition.Key, value any) {
+	v.store.GetMap(mapName).put(v.node, key, value)
+}
+
+// Get loads the value under key from the named map.
+func (v NodeView) Get(mapName string, key partition.Key) (any, bool) {
+	return v.store.GetMap(mapName).get(v.node, key)
+}
+
+// Delete removes key from the named map.
+func (v NodeView) Delete(mapName string, key partition.Key) bool {
+	return v.store.GetMap(mapName).delete(v.node, key)
+}
+
+// GetAll loads the values for all keys, preserving order; missing keys
+// yield nil entries in the result. It is the batched read path: one
+// network hop per distinct remote node touched and one lock acquisition
+// per partition rather than per key — the getAll batching a distributed
+// map offers. (Reads only need the segment read-lock: writers hold the
+// segment write-lock for the actual mutation, so a reader can never
+// observe a torn entry; the per-key stripe locks serialize only the
+// single-key read-modify cycles.)
+func (v NodeView) GetAll(mapName string, keys []partition.Key) []any {
+	m := v.store.GetMap(mapName)
+	// Charge one hop per remote node involved.
+	if v.store.delay != nil {
+		touched := make(map[int]bool)
+		for _, k := range keys {
+			owner := v.store.assign.Owner(v.store.part.Of(k))
+			if owner != v.node && !touched[owner] {
+				touched[owner] = true
+				v.store.delay(v.node, owner)
+			}
+		}
+	}
+	out := make([]any, len(keys))
+	for i, k := range keys {
+		seg := m.segs[v.store.part.Of(k)]
+		seg.mu.RLock()
+		e, ok := seg.entries[partition.KeyString(k)]
+		seg.mu.RUnlock()
+		if ok {
+			out[i] = e.Value
+		}
+	}
+	return out
+}
+
+// Scan streams a point-in-time copy of every entry in the map to fn,
+// partition by partition, charging one network hop per remote node. fn
+// returning false stops the scan.
+func (v NodeView) Scan(mapName string, fn func(Entry) bool) {
+	m := v.store.GetMap(mapName)
+	if v.store.delay != nil {
+		touched := make(map[int]bool)
+		for p := 0; p < v.store.part.Count(); p++ {
+			owner := v.store.assign.Owner(p)
+			if owner != v.node && !touched[owner] {
+				touched[owner] = true
+				v.store.delay(v.node, owner)
+			}
+		}
+	}
+	stop := false
+	for p := 0; p < v.store.part.Count() && !stop; p++ {
+		m.ScanPartition(p, func(e Entry) bool {
+			if !fn(e) {
+				stop = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// Entries returns a point-in-time copy of all entries in the map.
+func (v NodeView) Entries(mapName string) []Entry {
+	var out []Entry
+	v.Scan(mapName, func(e Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,282 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"squery/internal/partition"
+)
+
+func testStore() *Store {
+	p := partition.New(partition.DefaultCount)
+	return NewStore(p, partition.Assign(p.Count(), 3), nil)
+}
+
+func TestPutGetDelete(t *testing.T) {
+	v := testStore().View(0)
+	v.Put("m", "a", 1)
+	v.Put("m", "b", 2)
+	if got, ok := v.Get("m", "a"); !ok || got != 1 {
+		t.Fatalf(`Get("a") = %v, %v; want 1, true`, got, ok)
+	}
+	if got, ok := v.Get("m", "b"); !ok || got != 2 {
+		t.Fatalf(`Get("b") = %v, %v; want 2, true`, got, ok)
+	}
+	if _, ok := v.Get("m", "missing"); ok {
+		t.Fatal("Get on missing key returned ok")
+	}
+	if !v.Delete("m", "a") {
+		t.Fatal("Delete existing key returned false")
+	}
+	if v.Delete("m", "a") {
+		t.Fatal("Delete missing key returned true")
+	}
+	if _, ok := v.Get("m", "a"); ok {
+		t.Fatal("key still present after Delete")
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	v := testStore().View(0)
+	v.Put("m", 7, "old")
+	v.Put("m", 7, "new")
+	got, _ := v.Get("m", 7)
+	if got != "new" {
+		t.Fatalf("Get = %v, want new", got)
+	}
+	if n := v.Store().GetMap("m").Size(); n != 1 {
+		t.Fatalf("Size = %d, want 1", n)
+	}
+}
+
+func TestMapsAreIndependent(t *testing.T) {
+	v := testStore().View(0)
+	v.Put("live_avg", "k", 1)
+	v.Put("snapshot_avg", "k", 2)
+	a, _ := v.Get("live_avg", "k")
+	b, _ := v.Get("snapshot_avg", "k")
+	if a == b {
+		t.Fatal("maps share entries")
+	}
+}
+
+func TestSizeAndClear(t *testing.T) {
+	v := testStore().View(0)
+	for i := 0; i < 500; i++ {
+		v.Put("m", i, i*i)
+	}
+	m := v.Store().GetMap("m")
+	if m.Size() != 500 {
+		t.Fatalf("Size = %d, want 500", m.Size())
+	}
+	m.Clear()
+	if m.Size() != 0 {
+		t.Fatalf("Size after Clear = %d", m.Size())
+	}
+}
+
+func TestScanVisitsAll(t *testing.T) {
+	v := testStore().View(0)
+	want := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		v.Put("m", k, i)
+		want[k] = true
+	}
+	seen := map[string]bool{}
+	v.Scan("m", func(e Entry) bool {
+		seen[partition.KeyString(e.Key)] = true
+		return true
+	})
+	if len(seen) != len(want) {
+		t.Fatalf("scan saw %d keys, want %d", len(seen), len(want))
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	v := testStore().View(0)
+	for i := 0; i < 100; i++ {
+		v.Put("m", i, i)
+	}
+	n := 0
+	v.Scan("m", func(Entry) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("scan visited %d entries after early stop, want 10", n)
+	}
+}
+
+func TestGetAllPreservesOrderAndMisses(t *testing.T) {
+	v := testStore().View(0)
+	v.Put("m", "x", 10)
+	v.Put("m", "z", 30)
+	got := v.GetAll("m", []partition.Key{"x", "y", "z"})
+	if got[0] != 10 || got[1] != nil || got[2] != 30 {
+		t.Fatalf("GetAll = %v, want [10 <nil> 30]", got)
+	}
+}
+
+func TestMapNamesSortedAndDrop(t *testing.T) {
+	s := testStore()
+	s.GetMap("b")
+	s.GetMap("a")
+	if !s.HasMap("a") || s.HasMap("zz") {
+		t.Fatal("HasMap wrong")
+	}
+	names := s.MapNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("MapNames = %v", names)
+	}
+	s.DropMap("a")
+	if s.HasMap("a") {
+		t.Fatal("map a still present after drop")
+	}
+}
+
+// Property: the store behaves exactly like a plain map under any sequence
+// of puts and deletes.
+func TestStoreMatchesModelMap(t *testing.T) {
+	type op struct {
+		Key    uint8
+		Value  int
+		Delete bool
+	}
+	f := func(ops []op) bool {
+		v := testStore().View(0)
+		model := map[string]int{}
+		for _, o := range ops {
+			k := fmt.Sprintf("k%d", o.Key)
+			if o.Delete {
+				delete(model, k)
+				v.Delete("m", k)
+			} else {
+				model[k] = o.Value
+				v.Put("m", k, o.Value)
+			}
+		}
+		if v.Store().GetMap("m").Size() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got, ok := v.Get("m", k)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentPutsDistinctKeys(t *testing.T) {
+	v := testStore().View(0)
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v.Put("m", fmt.Sprintf("w%d-%d", w, i), i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := v.Store().GetMap("m").Size(); n != workers*per {
+		t.Fatalf("Size = %d, want %d", n, workers*per)
+	}
+}
+
+func TestConcurrentReadWriteSameKey(t *testing.T) {
+	v := testStore().View(0)
+	v.Put("m", "hot", 0)
+	var wg sync.WaitGroup
+	stop := atomic.Bool{}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 2000; i++ {
+			v.Put("m", "hot", i)
+		}
+		stop.Store(true)
+	}()
+	go func() {
+		defer wg.Done()
+		last := -1
+		for !stop.Load() {
+			got, ok := v.Get("m", "hot")
+			if !ok {
+				t.Error("hot key vanished")
+				return
+			}
+			if got.(int) < last {
+				t.Errorf("read went backwards: %d after %d", got, last)
+				return
+			}
+			last = got.(int)
+		}
+	}()
+	wg.Wait()
+}
+
+func TestNetworkChargesRemoteOnly(t *testing.T) {
+	p := partition.New(16)
+	a := partition.Assign(16, 4)
+	var hops atomic.Int64
+	s := NewStore(p, a, func(from, to int) { hops.Add(1) })
+
+	// A put from the owning node must be free; from any other node it
+	// must cost exactly one hop.
+	key := "some-key"
+	owner := a.Owner(p.Of(key))
+	s.View(owner).Put("m", key, 1)
+	if hops.Load() != 0 {
+		t.Fatalf("local put charged %d hops", hops.Load())
+	}
+	other := (owner + 1) % 4
+	s.View(other).Put("m", key, 2)
+	if hops.Load() != 1 {
+		t.Fatalf("remote put charged %d hops, want 1", hops.Load())
+	}
+
+	// A client scan touches each node once.
+	hops.Store(0)
+	s.View(ClientNode).Scan("m", func(Entry) bool { return true })
+	if hops.Load() != 4 {
+		t.Fatalf("client scan charged %d hops, want 4 (one per node)", hops.Load())
+	}
+}
+
+func TestGetAllBatchesHops(t *testing.T) {
+	p := partition.New(16)
+	a := partition.Assign(16, 4)
+	var hops atomic.Int64
+	s := NewStore(p, a, func(from, to int) { hops.Add(1) })
+	v := s.View(ClientNode)
+	keys := make([]partition.Key, 64)
+	for i := range keys {
+		keys[i] = i
+		v.Put("m", i, i)
+	}
+	hops.Store(0)
+	v.GetAll("m", keys)
+	if hops.Load() > 4 {
+		t.Fatalf("batched GetAll charged %d hops, want <= 4", hops.Load())
+	}
+}
+
+func TestStorePanicsOnMismatchedAssignment(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewStore with mismatched assignment did not panic")
+		}
+	}()
+	NewStore(partition.New(8), partition.Assign(16, 2), nil)
+}

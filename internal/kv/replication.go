@@ -1,0 +1,116 @@
+package kv
+
+// Replication gives each partition a synchronous backup copy, notionally
+// held by the partition's backup node (§V.A of the paper: snapshots are
+// first written locally and replicated by the store; "if a node fails,
+// the respective operator can be scheduled on the node holding that
+// snapshot's replica"). Without replication, a node failure loses the
+// primary copies of its partitions — the semantics FailNode enforces so
+// that the simulation cannot silently rely on everything living in one
+// process.
+
+// SetReplicated enables synchronous backup copies. It must be called
+// before any data is written (enabling it later would leave earlier
+// entries unprotected); enabling on a non-empty store panics.
+func (s *Store) SetReplicated() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.maps {
+		if m.sizeLocked() > 0 {
+			panic("kv: SetReplicated on a non-empty store")
+		}
+	}
+	s.replicated = true
+}
+
+// Replicated reports whether synchronous backups are enabled.
+func (s *Store) Replicated() bool { return s.replicated }
+
+func (m *Map) sizeLocked() int {
+	n := 0
+	for _, seg := range m.segs {
+		n += len(seg.entries)
+	}
+	return n
+}
+
+// backupHop charges the synchronous replication message primary→backup.
+func (s *Store) backupHop(p int) {
+	if s.delay == nil {
+		return
+	}
+	owner := s.assign.Owner(p)
+	backup := s.assign.Backup(p)
+	if owner != backup {
+		s.delay(owner, backup)
+	}
+}
+
+// FailNode simulates the memory loss of a node: the primary copies of
+// the given partitions vanish. With replication enabled each partition's
+// backup copy is promoted to primary and re-seeded as a fresh backup;
+// without replication the partitions come back empty. The caller
+// (cluster.Fail) updates the partition table separately.
+func (s *Store) FailNode(partitions []int) {
+	s.mu.RLock()
+	maps := make([]*Map, 0, len(s.maps))
+	for _, m := range s.maps {
+		maps = append(maps, m)
+	}
+	s.mu.RUnlock()
+	for _, m := range maps {
+		for _, p := range partitions {
+			seg := m.segs[p]
+			seg.mu.Lock()
+			if s.replicated {
+				bak := m.backups[p]
+				bak.mu.Lock()
+				seg.entries = bak.entries
+				// Re-seed the backup with a fresh copy for the next
+				// failure.
+				cp := make(map[string]Entry, len(seg.entries))
+				for k, v := range seg.entries {
+					cp[k] = v
+				}
+				bak.entries = cp
+				bak.mu.Unlock()
+			} else {
+				seg.entries = make(map[string]Entry)
+			}
+			seg.mu.Unlock()
+		}
+	}
+}
+
+// replicatePut mirrors a write into the backup copy.
+func (m *Map) replicatePut(p int, ks string, e Entry) {
+	m.store.backupHop(p)
+	bak := m.backups[p]
+	bak.mu.Lock()
+	bak.entries[ks] = e
+	bak.mu.Unlock()
+}
+
+// replicateDelete mirrors a delete into the backup copy.
+func (m *Map) replicateDelete(p int, ks string) {
+	m.store.backupHop(p)
+	bak := m.backups[p]
+	bak.mu.Lock()
+	delete(bak.entries, ks)
+	bak.mu.Unlock()
+}
+
+// BackupSize returns the number of entries in backup copies of the map —
+// diagnostics and tests only.
+func (m *Map) BackupSize() int {
+	if !m.store.replicated {
+		return 0
+	}
+	n := 0
+	for _, seg := range m.backups {
+		seg.mu.RLock()
+		n += len(seg.entries)
+		seg.mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,92 @@
+package kv
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+type orderInfo struct {
+	DeliveryZone   string
+	VendorCategory string `col:"vendor_cat"`
+	CustomerLat    float64
+	hidden         int //lint:ignore U1000 exercises unexported-field skipping
+}
+
+func TestAsRowStruct(t *testing.T) {
+	r := AsRow(orderInfo{DeliveryZone: "Z1", VendorCategory: "food", CustomerLat: 52.0})
+	if v, ok := r.Field("deliveryZone"); !ok || v != "Z1" {
+		t.Fatalf("deliveryZone = %v, %v", v, ok)
+	}
+	if v, ok := r.Field("vendor_cat"); !ok || v != "food" {
+		t.Fatalf("tagged column = %v, %v", v, ok)
+	}
+	if _, ok := r.Field("vendorCategory"); ok {
+		t.Fatal("tag should replace the default column name")
+	}
+	if _, ok := r.Field("hidden"); ok {
+		t.Fatal("unexported field leaked as column")
+	}
+	want := []string{"customerLat", "deliveryZone", "vendor_cat"}
+	if got := r.Columns(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Columns = %v, want %v", got, want)
+	}
+}
+
+func TestAsRowStructPointer(t *testing.T) {
+	r := AsRow(&orderInfo{DeliveryZone: "Z9"})
+	if v, ok := r.Field("deliveryZone"); !ok || v != "Z9" {
+		t.Fatalf("pointer struct field = %v, %v", v, ok)
+	}
+	var nilPtr *orderInfo
+	r = AsRow(nilPtr)
+	if _, ok := r.Field("deliveryZone"); ok {
+		t.Fatal("nil pointer should not expose struct fields")
+	}
+}
+
+func TestAsRowMap(t *testing.T) {
+	r := AsRow(map[string]any{"b": 2, "a": 1})
+	if v, ok := r.Field("a"); !ok || v != 1 {
+		t.Fatalf("map field = %v, %v", v, ok)
+	}
+	if got := r.Columns(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("map columns = %v", got)
+	}
+}
+
+func TestAsRowScalar(t *testing.T) {
+	r := AsRow(42)
+	if v, ok := r.Field("value"); !ok || v != 42 {
+		t.Fatalf("scalar row = %v, %v", v, ok)
+	}
+	if _, ok := r.Field("other"); ok {
+		t.Fatal("scalar row exposed unexpected column")
+	}
+	if got := r.Columns(); !reflect.DeepEqual(got, []string{"value"}) {
+		t.Fatalf("scalar columns = %v", got)
+	}
+}
+
+func TestAsRowPassthrough(t *testing.T) {
+	m := MapRow{"x": 1}
+	if r := AsRow(m); !reflect.DeepEqual(r, m) {
+		t.Fatal("Row values should pass through AsRow unchanged")
+	}
+}
+
+// Property: every column reported by Columns() is retrievable via Field().
+func TestRowColumnsRetrievable(t *testing.T) {
+	f := func(zone string, lat float64) bool {
+		r := AsRow(orderInfo{DeliveryZone: zone, CustomerLat: lat})
+		for _, c := range r.Columns() {
+			if _, ok := r.Field(c); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Meter counts events and reports rates over the elapsed wall-clock window.
+// It backs the sustainable-throughput measurements of the scalability
+// experiment (Figure 15).
+type Meter struct {
+	count atomic.Uint64
+	start atomic.Int64 // unix nanos
+}
+
+// NewMeter returns a meter whose window starts now.
+func NewMeter() *Meter {
+	m := &Meter{}
+	m.start.Store(time.Now().UnixNano())
+	return m
+}
+
+// Add records n events.
+func (m *Meter) Add(n uint64) { m.count.Add(n) }
+
+// Inc records one event.
+func (m *Meter) Inc() { m.count.Add(1) }
+
+// Count returns the number of events recorded since the last Reset.
+func (m *Meter) Count() uint64 { return m.count.Load() }
+
+// Rate returns events per second since the window start.
+func (m *Meter) Rate() float64 {
+	elapsed := time.Since(time.Unix(0, m.start.Load()))
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.count.Load()) / elapsed.Seconds()
+}
+
+// Reset zeroes the counter and restarts the window.
+func (m *Meter) Reset() {
+	m.count.Store(0)
+	m.start.Store(time.Now().UnixNano())
+}
+
+// Stopwatch measures one interval at a time; it exists so call sites read as
+// measurement code rather than raw time arithmetic.
+type Stopwatch struct {
+	t0 time.Time
+}
+
+// StartStopwatch begins timing.
+func StartStopwatch() Stopwatch { return Stopwatch{t0: time.Now()} }
+
+// Elapsed reports the time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.t0) }

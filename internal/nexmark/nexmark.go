@@ -1,0 +1,214 @@
+// Package nexmark implements the NEXMark workload the paper's overhead and
+// scalability experiments run on (§IX.A-B, Figures 8, 9 and 15): an
+// auction/bid stream feeding query 6 — the average selling price of each
+// seller's last 10 closed auctions. The job has two stateful operators:
+//
+//	auctionwinner  keyed by auction id: tracks the highest bid until the
+//	               auction closes, then emits (seller, price)
+//	selleravg      keyed by seller id: ring buffer of the seller's last 10
+//	               selling prices and their running average
+//
+// Both operators' state is live- and snapshot-queryable; the scalability
+// experiment's concurrent SQL workload selects sellers' latest prices from
+// selleravg.
+package nexmark
+
+import (
+	"encoding/gob"
+	"strconv"
+
+	"squery/internal/dataflow"
+	"squery/internal/metrics"
+)
+
+// Event kinds on the auction stream.
+const (
+	// EventAuctionOpen opens an auction for a seller.
+	EventAuctionOpen = iota
+	// EventBid places a bid on an auction.
+	EventBid
+	// EventAuctionClose closes an auction; the highest bid wins.
+	EventAuctionClose
+)
+
+// Event is one record of the generated auction/bid stream.
+type Event struct {
+	Kind    int
+	Auction int64
+	Seller  int64
+	Price   int64 // bid amount; meaningful for EventBid
+}
+
+// AuctionState is the auctionwinner operator's per-auction state.
+type AuctionState struct {
+	Seller int64
+	MaxBid int64
+	Bids   int64
+	Closed bool
+}
+
+// Window is the number of closed auctions query 6 averages over.
+const Window = 10
+
+// SellerState is the selleravg operator's per-seller state: the last
+// Window selling prices and their running average — the state the paper's
+// queries select.
+type SellerState struct {
+	Prices  []int64 // most recent last
+	Sold    int64
+	Average float64
+}
+
+func init() {
+	gob.Register(Event{})
+	gob.Register(AuctionState{})
+	gob.Register(SellerState{})
+}
+
+// Config parameterizes the workload.
+type Config struct {
+	// Sellers is the number of unique sellers (the paper uses 10K).
+	Sellers int64
+	// BidsPerAuction is the number of bids before each auction closes.
+	BidsPerAuction int64
+	// Rate is the per-source-instance offered load in events/s
+	// (0 = unthrottled).
+	Rate float64
+	// SourceParallelism, OperatorParallelism size the job's vertices.
+	SourceParallelism   int
+	OperatorParallelism int
+	// Events bounds the stream per source instance (0 = unbounded).
+	Events int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sellers == 0 {
+		c.Sellers = 10_000
+	}
+	if c.BidsPerAuction == 0 {
+		c.BidsPerAuction = 3
+	}
+	if c.SourceParallelism == 0 {
+		c.SourceParallelism = 2
+	}
+	if c.OperatorParallelism == 0 {
+		c.OperatorParallelism = 2
+	}
+	return c
+}
+
+// eventAt deterministically generates the seq-th event of a source
+// instance. Each auction occupies a block of BidsPerAuction+2 events:
+// open, bids, close. Determinism is what makes recovery exactly-once.
+func eventAt(cfg Config, instance int, seq int64) Event {
+	block := cfg.BidsPerAuction + 2
+	auction := (seq/block)*int64(cfg.SourceParallelism) + int64(instance)
+	seller := auction % cfg.Sellers
+	pos := seq % block
+	switch pos {
+	case 0:
+		return Event{Kind: EventAuctionOpen, Auction: auction, Seller: seller}
+	case block - 1:
+		return Event{Kind: EventAuctionClose, Auction: auction, Seller: seller}
+	default:
+		// Bid prices grow with position so the winner is the last bid;
+		// a multiplicative hash spreads absolute prices across auctions.
+		price := 100 + (auction*2654435761)%900 + pos*10
+		return Event{Kind: EventBid, Auction: auction, Seller: seller, Price: price}
+	}
+}
+
+// WinningPrice returns the price the generator's auction will close at —
+// tests use it to verify end-to-end correctness.
+func WinningPrice(cfg Config, auction int64) int64 {
+	return 100 + (auction*2654435761)%900 + cfg.BidsPerAuction*10
+}
+
+// auctionWinnerFn folds auction events into AuctionState and emits the
+// (seller, winning price) pair at close.
+func auctionWinnerFn(state any, rec dataflow.Record) (any, []dataflow.Record) {
+	ev := rec.Value.(Event)
+	st := AuctionState{Seller: ev.Seller}
+	if state != nil {
+		st = state.(AuctionState)
+	}
+	switch ev.Kind {
+	case EventAuctionOpen:
+		st.Seller = ev.Seller
+	case EventBid:
+		st.Bids++
+		if ev.Price > st.MaxBid {
+			st.MaxBid = ev.Price
+		}
+	case EventAuctionClose:
+		// The auction is finished: emit the winning price and drop the
+		// auction's state, keeping the operator's footprint bounded by
+		// the number of *open* auctions (the paper's job accumulates
+		// state for the 10K sellers, not for every auction ever run).
+		if st.MaxBid > 0 {
+			return nil, []dataflow.Record{{
+				Key:       st.Seller,
+				Value:     st.MaxBid,
+				EventTime: rec.EventTime,
+			}}
+		}
+		return nil, nil
+	}
+	return st, nil
+}
+
+// sellerAvgFn maintains the last-Window selling prices per seller.
+func sellerAvgFn(state any, rec dataflow.Record) (any, []dataflow.Record) {
+	price := rec.Value.(int64)
+	st := SellerState{}
+	if state != nil {
+		st = state.(SellerState)
+	}
+	st.Prices = append(append([]int64(nil), st.Prices...), price)
+	if len(st.Prices) > Window {
+		st.Prices = st.Prices[len(st.Prices)-Window:]
+	}
+	st.Sold++
+	var sum int64
+	for _, p := range st.Prices {
+		sum += p
+	}
+	st.Average = float64(sum) / float64(len(st.Prices))
+	return st, []dataflow.Record{{Key: rec.Key, Value: st.Average, EventTime: rec.EventTime}}
+}
+
+// Query6DAG builds the NEXMark query-6 job: source → auctionwinner →
+// selleravg → latency sink. The sink records source→sink latency into
+// hist, reproducing the measurement of Figures 8 and 9.
+func Query6DAG(cfg Config, hist *metrics.Histogram) *dataflow.DAG {
+	cfg = cfg.withDefaults()
+	src := dataflow.GeneratorSource("auctions", cfg.SourceParallelism, cfg.Rate,
+		func(instance int, seq int64) (dataflow.Record, bool) {
+			if cfg.Events > 0 && seq >= cfg.Events {
+				return dataflow.Record{}, false
+			}
+			ev := eventAt(cfg, instance, seq)
+			return dataflow.Record{Key: ev.Auction, Value: ev}, true
+		})
+	return dataflow.NewDAG().
+		AddVertex(src).
+		AddVertex(dataflow.StatefulMapVertex("auctionwinner", cfg.OperatorParallelism, auctionWinnerFn)).
+		AddVertex(dataflow.StatefulMapVertex("selleravg", cfg.OperatorParallelism, sellerAvgFn)).
+		AddVertex(dataflow.LatencySinkVertex("sink", cfg.OperatorParallelism, hist)).
+		Connect("auctions", "auctionwinner", dataflow.EdgePartitioned).
+		Connect("auctionwinner", "selleravg", dataflow.EdgePartitioned).
+		Connect("selleravg", "sink", dataflow.EdgePartitioned)
+}
+
+// SellerPricesQuery is the SQL query the scalability experiment issues 10
+// times per second: the latest prices of one seller (§IX.E).
+func SellerPricesQuery(seller int64) string {
+	return `SELECT prices, average FROM "snapshot_selleravg" WHERE partitionKey = ` + strconv.FormatInt(seller, 10)
+}
+
+// SellerJoinQuery joins the two operators' snapshot state — the "JOIN
+// queries on the state of the job's operators" of §IX.E. It relates each
+// seller's average to the auctions they ran.
+func SellerJoinQuery() string {
+	return `SELECT COUNT(*), AVG(average) FROM "snapshot_selleravg" JOIN "snapshot_auctionwinner" ON snapshot_selleravg.partitionKey = snapshot_auctionwinner.seller`
+}

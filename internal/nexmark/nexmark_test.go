@@ -1,0 +1,159 @@
+package nexmark
+
+import (
+	"testing"
+	"testing/quick"
+
+	"squery/internal/cluster"
+	"squery/internal/core"
+	"squery/internal/dataflow"
+	"squery/internal/kv"
+	"squery/internal/metrics"
+)
+
+func TestEventGeneratorStructure(t *testing.T) {
+	cfg := Config{Sellers: 100, BidsPerAuction: 3, SourceParallelism: 2}.withDefaults()
+	block := cfg.BidsPerAuction + 2
+	// Every auction block is open, bids..., close, all for one auction.
+	for inst := 0; inst < 2; inst++ {
+		for a := int64(0); a < 5; a++ {
+			base := a * block
+			open := eventAt(cfg, inst, base)
+			if open.Kind != EventAuctionOpen {
+				t.Fatalf("block start kind = %d", open.Kind)
+			}
+			for i := int64(1); i <= cfg.BidsPerAuction; i++ {
+				ev := eventAt(cfg, inst, base+i)
+				if ev.Kind != EventBid || ev.Auction != open.Auction {
+					t.Fatalf("bid event = %+v", ev)
+				}
+			}
+			cl := eventAt(cfg, inst, base+block-1)
+			if cl.Kind != EventAuctionClose || cl.Auction != open.Auction {
+				t.Fatalf("close event = %+v", cl)
+			}
+			if open.Seller != open.Auction%cfg.Sellers {
+				t.Fatalf("seller = %d", open.Seller)
+			}
+		}
+	}
+}
+
+// Property: auction ids are unique across instances and the generator is
+// deterministic.
+func TestEventGeneratorDeterministicAndDisjoint(t *testing.T) {
+	cfg := Config{Sellers: 50, BidsPerAuction: 2, SourceParallelism: 3}.withDefaults()
+	f := func(rawSeq uint16, rawInst uint8) bool {
+		seq := int64(rawSeq)
+		inst := int(rawInst) % 3
+		e1 := eventAt(cfg, inst, seq)
+		e2 := eventAt(cfg, inst, seq)
+		if e1 != e2 {
+			return false
+		}
+		// Auction id mod SourceParallelism identifies the instance.
+		return e1.Auction%3 == int64(inst)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuery6EndToEnd(t *testing.T) {
+	clu := cluster.New(cluster.Config{Nodes: 3, Partitions: 27})
+	hist := metrics.NewHistogram()
+	cfg := Config{
+		Sellers:             10,
+		BidsPerAuction:      3,
+		SourceParallelism:   2,
+		OperatorParallelism: 2,
+		Events:              200, // 40 auctions per instance
+	}
+	dag := Query6DAG(cfg, hist)
+	job, err := dataflow.Run(dag, dataflow.Config{
+		Cluster: clu,
+		State:   core.Config{Live: true, Snapshots: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Stop()
+	job.Wait()
+
+	// 200 events / block 5 = 40 auctions per instance, 80 total.
+	if hist.Count() != 80 {
+		t.Fatalf("sink saw %d averages, want 80 (one per closed auction)", hist.Count())
+	}
+
+	// Closed auctions drop their state: with every auction closed, the
+	// auctionwinner operator's footprint is empty.
+	view := clu.ClientView()
+	leftovers := 0
+	view.Scan(core.LiveMapName("auctionwinner"), func(e kv.Entry) bool {
+		leftovers++
+		return true
+	})
+	if leftovers != 0 {
+		t.Fatalf("auctionwinner still holds %d closed auctions", leftovers)
+	}
+
+	// Seller state: 80 auctions over 10 sellers = 8 sales each; the ring
+	// keeps at most Window prices, and the ring contents match the
+	// generator's winning prices for that seller's auctions.
+	sellers := 0
+	view.Scan(core.LiveMapName("selleravg"), func(e kv.Entry) bool {
+		st := e.Value.(SellerState)
+		if st.Sold != 8 {
+			t.Errorf("seller %v sold = %d, want 8", e.Key, st.Sold)
+		}
+		if len(st.Prices) > Window {
+			t.Errorf("seller %v holds %d prices", e.Key, len(st.Prices))
+		}
+		want := map[int64]bool{}
+		for a := int64(0); a < 80; a++ {
+			if a%cfg.Sellers == e.Key.(int64) {
+				want[WinningPrice(cfg, a)] = true
+			}
+		}
+		for _, p := range st.Prices {
+			if !want[p] {
+				t.Errorf("seller %v has unexpected price %d", e.Key, p)
+			}
+		}
+		if st.Average <= 0 {
+			t.Errorf("seller %v average = %v", e.Key, st.Average)
+		}
+		sellers++
+		return true
+	})
+	if sellers != 10 {
+		t.Fatalf("sellers in state = %d, want 10", sellers)
+	}
+}
+
+func TestSellerWindowKeepsLastTen(t *testing.T) {
+	var st any
+	for p := int64(1); p <= 25; p++ {
+		st, _ = sellerAvgFn(st, dataflow.Record{Key: int64(1), Value: p})
+	}
+	got := st.(SellerState)
+	if got.Sold != 25 || len(got.Prices) != Window {
+		t.Fatalf("sold=%d window=%d", got.Sold, len(got.Prices))
+	}
+	if got.Prices[0] != 16 || got.Prices[Window-1] != 25 {
+		t.Fatalf("window = %v", got.Prices)
+	}
+	// Average of 16..25 = 20.5.
+	if got.Average != 20.5 {
+		t.Fatalf("average = %v", got.Average)
+	}
+}
+
+func TestQueryTemplates(t *testing.T) {
+	if q := SellerPricesQuery(42); q == "" || q[len(q)-2:] != "42" {
+		t.Errorf("SellerPricesQuery = %q", q)
+	}
+	if SellerJoinQuery() == "" {
+		t.Error("SellerJoinQuery empty")
+	}
+}

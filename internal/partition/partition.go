@@ -1,0 +1,202 @@
+// Package partition implements the hash-partitioning scheme shared by the
+// KV store and the dataflow runtime. Sharing one partitioner is the
+// co-location contract at the heart of S-QUERY (§II of the paper): because
+// streams and state are split with the same function, the scheduler can
+// place an operator instance on the node that owns its state partitions,
+// and every live-state update or snapshot write stays local.
+package partition
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCount mirrors Hazelcast's default of 271 partitions: a prime,
+// large enough to spread keys, small enough that per-partition overheads
+// stay negligible.
+const DefaultCount = 271
+
+// Partitioner maps keys to a fixed number of partitions. The zero value is
+// unusable; construct with New.
+type Partitioner struct {
+	count int
+}
+
+// New returns a partitioner over count partitions. It panics if count is
+// not positive, as that is a programming error rather than runtime input.
+func New(count int) Partitioner {
+	if count <= 0 {
+		panic(fmt.Sprintf("partition: count must be positive, got %d", count))
+	}
+	return Partitioner{count: count}
+}
+
+// Count returns the number of partitions.
+func (p Partitioner) Count() int { return p.count }
+
+// Of returns the partition that owns key, in [0, Count()).
+func (p Partitioner) Of(key Key) int {
+	return int(Hash(key) % uint64(p.count))
+}
+
+// Key is a partitioning key. Streaming operators key their state by values
+// of these types; anything else must be converted by the caller (keeping
+// the conversion explicit avoids silently inconsistent hashing between the
+// compute and state layers).
+type Key interface{}
+
+// Hash returns a stable 64-bit FNV-1a hash of the key. Stability across
+// processes matters: snapshots written by one run must hash identically
+// when restored by another.
+func Hash(key Key) uint64 {
+	h := fnv.New64a()
+	switch k := key.(type) {
+	case string:
+		h.Write([]byte(k))
+	case int:
+		writeInt(h, int64(k))
+	case int32:
+		writeInt(h, int64(k))
+	case int64:
+		writeInt(h, k)
+	case uint64:
+		writeInt(h, int64(k))
+	case float64:
+		writeInt(h, int64(math.Float64bits(k)))
+	case bool:
+		if k {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	case fmt.Stringer:
+		h.Write([]byte(k.String()))
+	default:
+		h.Write([]byte(fmt.Sprintf("%v", k)))
+	}
+	return h.Sum64()
+}
+
+func writeInt(h interface{ Write([]byte) (int, error) }, v int64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+}
+
+// KeyString renders a key in the canonical form used for map addressing
+// and snapshot entry naming. Two keys with equal KeyString are the same
+// key for state purposes.
+func KeyString(key Key) string {
+	switch k := key.(type) {
+	case string:
+		return k
+	case int:
+		return strconv.FormatInt(int64(k), 10)
+	case int32:
+		return strconv.FormatInt(int64(k), 10)
+	case int64:
+		return strconv.FormatInt(k, 10)
+	case uint64:
+		return strconv.FormatUint(k, 10)
+	default:
+		return fmt.Sprintf("%v", k)
+	}
+}
+
+// Assignment maps every partition to an owner (and optional backup) node.
+// It is computed once per topology and shared by the KV store (data
+// placement) and the job scheduler (compute placement). Reads are
+// lock-free (the table is on the hot path of every state operation);
+// Promote swaps in a rewritten copy atomically.
+type Assignment struct {
+	state atomic.Pointer[assignTable]
+	wmu   sync.Mutex // serializes Promote
+	nodes int
+}
+
+// assignTable is an immutable owner/backup snapshot.
+type assignTable struct {
+	owners  []int
+	backups []int
+}
+
+// Assign distributes partitions round-robin over nodes, with the backup of
+// each partition on the next node. Round-robin keeps ownership balanced
+// within one partition per node, which the scalability experiment relies
+// on. It panics if nodes is not positive.
+func Assign(partitions, nodes int) *Assignment {
+	if nodes <= 0 {
+		panic(fmt.Sprintf("partition: nodes must be positive, got %d", nodes))
+	}
+	t := &assignTable{
+		owners:  make([]int, partitions),
+		backups: make([]int, partitions),
+	}
+	for p := 0; p < partitions; p++ {
+		t.owners[p] = p % nodes
+		t.backups[p] = (p + 1) % nodes
+	}
+	a := &Assignment{nodes: nodes}
+	a.state.Store(t)
+	return a
+}
+
+// Owner returns the node owning partition p.
+func (a *Assignment) Owner(p int) int { return a.state.Load().owners[p] }
+
+// Backup returns the node holding the backup replica of partition p. With a
+// single node the backup coincides with the owner.
+func (a *Assignment) Backup(p int) int { return a.state.Load().backups[p] }
+
+// Nodes returns the number of nodes in the assignment.
+func (a *Assignment) Nodes() int { return a.nodes }
+
+// Partitions returns the number of partitions in the assignment.
+func (a *Assignment) Partitions() int { return len(a.state.Load().owners) }
+
+// OwnedBy returns the partitions owned by node, in ascending order.
+func (a *Assignment) OwnedBy(node int) []int {
+	t := a.state.Load()
+	var out []int
+	for p, o := range t.owners {
+		if o == node {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Promote reassigns every partition owned by failed to its backup and
+// picks a new backup for affected partitions. It models the IMDG failover
+// behaviour the paper relies on for recovery: the operator restarts on the
+// node that already holds the snapshot replica. Concurrent readers see
+// either the old or the new table, never a torn mix.
+func (a *Assignment) Promote(failed int) {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	old := a.state.Load()
+	t := &assignTable{
+		owners:  append([]int(nil), old.owners...),
+		backups: append([]int(nil), old.backups...),
+	}
+	for p := range t.owners {
+		if t.owners[p] == failed {
+			t.owners[p] = t.backups[p]
+		}
+		if t.backups[p] == failed || t.backups[p] == t.owners[p] {
+			// Re-seat the backup on the next live node after the owner.
+			b := (t.owners[p] + 1) % a.nodes
+			if b == failed {
+				b = (b + 1) % a.nodes
+			}
+			t.backups[p] = b
+		}
+	}
+	a.state.Store(t)
+}

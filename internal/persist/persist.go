@@ -1,0 +1,215 @@
+// Package persist is the stable-storage substrate for checkpoints: the
+// paper assumes operator state snapshots are kept on storage that
+// survives process failures (§IV: "the state of operators is typically
+// stored in stable storage in order to survive node failures"; §VI.B
+// discusses HDFS/S3 for Flink). This package implements that layer as a
+// directory of gob-encoded snapshot segments with an atomically updated
+// manifest:
+//
+//	<dir>/
+//	  MANIFEST              committed snapshot ids (atomic rename)
+//	  ss-<ssid>/<op>.gob    one segment per operator per snapshot
+//
+// Writes happen segment by segment; a snapshot id only becomes visible
+// once the manifest rename lands, so readers never observe half-written
+// checkpoints — the same commit discipline as the in-memory registry.
+package persist
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one persisted key-value pair of an operator's state.
+type Entry struct {
+	Key   any
+	Value any
+}
+
+// Store is a directory-backed snapshot store.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and opens a snapshot store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) snapshotDir(ssid int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("ss-%d", ssid))
+}
+
+func (s *Store) manifestPath() string { return filepath.Join(s.dir, "MANIFEST") }
+
+// WriteSegment persists one operator's state for one snapshot. Segments
+// of the same ssid may be written by concurrent callers for different
+// operators; the snapshot becomes durable only at Commit.
+func (s *Store) WriteSegment(ssid int64, op string, entries []Entry) error {
+	dir := s.snapshotDir(ssid)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("persist: creating %s: %w", dir, err)
+	}
+	tmp := filepath.Join(dir, op+".gob.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("persist: creating segment: %w", err)
+	}
+	enc := gob.NewEncoder(f)
+	if err := enc.Encode(entries); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: encoding segment %s/ss-%d: %w", op, ssid, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: syncing segment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: closing segment: %w", err)
+	}
+	final := filepath.Join(dir, op+".gob")
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("persist: publishing segment: %w", err)
+	}
+	return nil
+}
+
+// ReadSegment loads one operator's persisted state at ssid.
+func (s *Store) ReadSegment(ssid int64, op string) ([]Entry, error) {
+	f, err := os.Open(filepath.Join(s.snapshotDir(ssid), op+".gob"))
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening segment %s/ss-%d: %w", op, ssid, err)
+	}
+	defer f.Close()
+	var entries []Entry
+	if err := gob.NewDecoder(f).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("persist: decoding segment %s/ss-%d: %w", op, ssid, err)
+	}
+	return entries, nil
+}
+
+// Operators lists the operators with a segment in snapshot ssid.
+func (s *Store) Operators(ssid int64) ([]string, error) {
+	des, err := os.ReadDir(s.snapshotDir(ssid))
+	if err != nil {
+		return nil, fmt.Errorf("persist: listing snapshot %d: %w", ssid, err)
+	}
+	var out []string
+	for _, de := range des {
+		if name, ok := strings.CutSuffix(de.Name(), ".gob"); ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Commit durably publishes ssid as committed by rewriting the manifest
+// atomically. Ids must be committed in increasing order.
+func (s *Store) Commit(ssid int64) error {
+	ids, err := s.Committed()
+	if err != nil {
+		return err
+	}
+	if n := len(ids); n > 0 && ids[n-1] >= ssid {
+		return fmt.Errorf("persist: commit of %d after %d", ssid, ids[n-1])
+	}
+	ids = append(ids, ssid)
+	return s.writeManifest(ids)
+}
+
+func (s *Store) writeManifest(ids []int64) error {
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%d\n", id)
+	}
+	tmp := s.manifestPath() + ".tmp"
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("persist: writing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, s.manifestPath()); err != nil {
+		return fmt.Errorf("persist: publishing manifest: %w", err)
+	}
+	return nil
+}
+
+// Committed returns the durably committed snapshot ids, ascending. A
+// missing manifest means no snapshot has committed.
+func (s *Store) Committed() ([]int64, error) {
+	raw, err := os.ReadFile(s.manifestPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading manifest: %w", err)
+	}
+	var out []int64
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if line == "" {
+			continue
+		}
+		id, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("persist: corrupt manifest line %q", line)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// Latest returns the most recent committed id, or 0 if none.
+func (s *Store) Latest() (int64, error) {
+	ids, err := s.Committed()
+	if err != nil || len(ids) == 0 {
+		return 0, err
+	}
+	return ids[len(ids)-1], nil
+}
+
+// Prune removes the given snapshot ids from the manifest and deletes
+// their segments. Pruning an id that is not committed is a no-op.
+func (s *Store) Prune(ssids []int64) error {
+	if len(ssids) == 0 {
+		return nil
+	}
+	drop := map[int64]bool{}
+	for _, id := range ssids {
+		drop[id] = true
+	}
+	ids, err := s.Committed()
+	if err != nil {
+		return err
+	}
+	kept := ids[:0]
+	for _, id := range ids {
+		if !drop[id] {
+			kept = append(kept, id)
+		}
+	}
+	if err := s.writeManifest(kept); err != nil {
+		return err
+	}
+	// Segment removal happens after the manifest no longer references
+	// the ids, so a crash between the two steps only leaks files.
+	for id := range drop {
+		if err := os.RemoveAll(s.snapshotDir(id)); err != nil {
+			return fmt.Errorf("persist: removing snapshot %d: %w", id, err)
+		}
+	}
+	return nil
+}

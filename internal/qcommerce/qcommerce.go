@@ -1,0 +1,261 @@
+// Package qcommerce implements the Delivery Hero order-delivery workload
+// of §VIII: a stream of rider-location, order-status and order-info events
+// feeding three stateful operators whose state answers the paper's four
+// real-time business queries (Queries 1–4). The production data is
+// proprietary; this generator synthesizes events with the same schema,
+// state machine and joinable shape (see DESIGN.md, substitutions).
+package qcommerce
+
+import (
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"squery/internal/dataflow"
+)
+
+// Order states, in lifecycle order (§VIII lists RECEIVED → PICKED_UP →
+// DELIVERED "and several other states omitted for space"; the queries
+// reference the intermediate ones reproduced here).
+var OrderStates = []string{
+	"ORDER_RECEIVED",
+	"NOTIFIED",
+	"ACCEPTED",
+	"VENDOR_ACCEPTED",
+	"PICKED_UP",
+	"LEFT_PICKUP",
+	"NEAR_CUSTOMER",
+	"DELIVERED",
+}
+
+// Zones and vendor categories used by the generator; Queries 1, 3 and 4
+// group by zone, Query 2 by category.
+var (
+	Zones      = []string{"centrum", "noord", "zuid", "oost", "west", "haven"}
+	Categories = []string{"restaurant", "groceries", "pharmacy", "flowers", "electronics"}
+)
+
+// RiderLocation is the rider-location event and state: coordinates plus
+// the latest update timestamp (two doubles and a time — the state the
+// direct-object experiment of Figure 14 reads).
+type RiderLocation struct {
+	Lat       float64
+	Lon       float64
+	UpdatedAt time.Time
+}
+
+// OrderStatus is the order-status event and state: the order's current
+// lifecycle state and the deadline by which it should have transitioned.
+type OrderStatus struct {
+	OrderState    string
+	LateTimestamp time.Time
+}
+
+// OrderInfo is the one-time order-info event and state: customer and
+// vendor locations, vendor category, delivery zone.
+type OrderInfo struct {
+	CustomerLat    float64
+	CustomerLon    float64
+	VendorLat      float64
+	VendorLon      float64
+	VendorCategory string
+	DeliveryZone   string
+}
+
+func init() {
+	gob.Register(RiderLocation{})
+	gob.Register(OrderStatus{})
+	gob.Register(OrderInfo{})
+}
+
+// Event is one generated record, exactly one of whose payload fields is
+// set.
+type Event struct {
+	OrderKey string
+	RiderKey string
+	Info     *OrderInfo
+	Status   *OrderStatus
+	Rider    *RiderLocation
+}
+
+// Config parameterizes the generator.
+type Config struct {
+	// Orders is the number of unique orders (1K/10K/100K in §IX.C).
+	Orders int64
+	// Riders is the number of unique riders.
+	Riders int64
+	// Rate is the per-source-instance offered load (0 = unthrottled).
+	Rate float64
+	// SourceParallelism, OperatorParallelism size the job.
+	SourceParallelism   int
+	OperatorParallelism int
+	// Events bounds the stream per source instance (0 = unbounded).
+	Events int64
+	// LateFraction of orders get a LateTimestamp in the past, making
+	// them "late" for Query 1. Default 0.25.
+	LateFraction float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Orders == 0 {
+		c.Orders = 10_000
+	}
+	if c.Riders == 0 {
+		c.Riders = c.Orders / 10
+		if c.Riders == 0 {
+			c.Riders = 1
+		}
+	}
+	if c.SourceParallelism == 0 {
+		c.SourceParallelism = 2
+	}
+	if c.OperatorParallelism == 0 {
+		c.OperatorParallelism = 2
+	}
+	if c.LateFraction == 0 {
+		c.LateFraction = 0.25
+	}
+	return c
+}
+
+// OrderKey returns the canonical key of order i.
+func OrderKey(i int64) string { return fmt.Sprintf("order-%d", i) }
+
+// RiderKey returns the canonical key of rider i.
+func RiderKey(i int64) string { return fmt.Sprintf("rider-%d", i) }
+
+// EventAt deterministically generates the seq-th event of a source
+// instance. The stream interleaves: order-info for new orders, status
+// transitions walking the lifecycle, and rider location pings.
+func EventAt(cfg Config, instance int, seq int64) Event {
+	cfg = cfg.withDefaults()
+	g := seq*int64(cfg.SourceParallelism) + int64(instance)
+	switch g % 4 {
+	case 0: // order info (idempotent per order)
+		order := (g / 4) % cfg.Orders
+		return Event{OrderKey: OrderKey(order), Info: infoFor(cfg, order)}
+	case 1, 2: // status transition
+		order := (g / 2) % cfg.Orders
+		// Stagger lifecycles so that at any instant the population
+		// spreads over all states (as a production order book does) —
+		// each order starts at a phase derived from its id.
+		step := (g/(2*cfg.Orders) + order) % int64(len(OrderStates))
+		late := isLate(cfg, order)
+		ts := time.Now().Add(30 * time.Minute)
+		if late {
+			ts = time.Now().Add(-30 * time.Minute)
+		}
+		return Event{OrderKey: OrderKey(order), Status: &OrderStatus{
+			OrderState:    OrderStates[step],
+			LateTimestamp: ts,
+		}}
+	default: // rider ping
+		rider := g % cfg.Riders
+		return Event{RiderKey: RiderKey(rider), Rider: &RiderLocation{
+			Lat:       52.0 + float64(rider%100)/1000,
+			Lon:       4.3 + float64(g%100)/1000,
+			UpdatedAt: time.Now(),
+		}}
+	}
+}
+
+func infoFor(cfg Config, order int64) *OrderInfo {
+	return &OrderInfo{
+		CustomerLat:    52.0 + float64(order%97)/100,
+		CustomerLon:    4.3 + float64(order%89)/100,
+		VendorLat:      52.0 + float64(order%83)/100,
+		VendorLon:      4.3 + float64(order%79)/100,
+		VendorCategory: Categories[order%int64(len(Categories))],
+		DeliveryZone:   Zones[order%int64(len(Zones))],
+	}
+}
+
+func isLate(cfg Config, order int64) bool {
+	if cfg.LateFraction <= 0 {
+		return false
+	}
+	period := int64(1 / cfg.LateFraction)
+	if period < 1 {
+		period = 1
+	}
+	return order%period == 0
+}
+
+// replace is the stateful-map function for operators whose state is the
+// latest event payload (all three Q-commerce operators).
+func replace(field func(Event) (any, bool)) func(any, dataflow.Record) (any, []dataflow.Record) {
+	return func(state any, rec dataflow.Record) (any, []dataflow.Record) {
+		ev := rec.Value.(Event)
+		if v, ok := field(ev); ok {
+			return v, []dataflow.Record{{Key: rec.Key, Value: v, EventTime: rec.EventTime}}
+		}
+		return state, nil
+	}
+}
+
+// DAG builds the Q-commerce job: one source fanning out to the three
+// stateful operators of §VIII — riderlocation, orderstate, orderinfo —
+// each followed into a shared sink. Operator names match the tables the
+// paper's Queries 1–4 reference.
+func DAG(cfg Config, sink *dataflow.Vertex) *dataflow.DAG {
+	cfg = cfg.withDefaults()
+	src := dataflow.GeneratorSource("orders", cfg.SourceParallelism, cfg.Rate,
+		func(instance int, seq int64) (dataflow.Record, bool) {
+			if cfg.Events > 0 && seq >= cfg.Events {
+				return dataflow.Record{}, false
+			}
+			ev := EventAt(cfg, instance, seq)
+			key := ev.OrderKey
+			if key == "" {
+				key = ev.RiderKey
+			}
+			return dataflow.Record{Key: key, Value: ev}, true
+		})
+	return dataflow.NewDAG().
+		AddVertex(src).
+		AddVertex(dataflow.StatefulMapVertex("orderinfo", cfg.OperatorParallelism,
+			replace(func(e Event) (any, bool) {
+				if e.Info != nil {
+					return *e.Info, true
+				}
+				return nil, false
+			}))).
+		AddVertex(dataflow.StatefulMapVertex("orderstate", cfg.OperatorParallelism,
+			replace(func(e Event) (any, bool) {
+				if e.Status != nil {
+					return *e.Status, true
+				}
+				return nil, false
+			}))).
+		AddVertex(dataflow.StatefulMapVertex("riderlocation", cfg.OperatorParallelism,
+			replace(func(e Event) (any, bool) {
+				if e.Rider != nil {
+					return *e.Rider, true
+				}
+				return nil, false
+			}))).
+		AddVertex(sink).
+		Connect("orders", "orderinfo", dataflow.EdgePartitioned).
+		Connect("orders", "orderstate", dataflow.EdgePartitioned).
+		Connect("orders", "riderlocation", dataflow.EdgePartitioned).
+		Connect("orderinfo", sink.Name, dataflow.EdgePartitioned).
+		Connect("orderstate", sink.Name, dataflow.EdgePartitioned).
+		Connect("riderlocation", sink.Name, dataflow.EdgePartitioned)
+}
+
+// The paper's four production queries, verbatim (§VIII, Queries 1-4).
+const (
+	// Query1 — how many orders are late (in preparation by the vendor
+	// for too long) per area?
+	Query1 = `SELECT COUNT(*), deliveryZone FROM "snapshot_orderinfo" JOIN "snapshot_orderstate" USING(partitionKey) WHERE (orderState='VENDOR_ACCEPTED' AND lateTimestamp<LOCALTIMESTAMP) GROUP BY deliveryZone;`
+	// Query2 — how many deliveries are ready for pickup per shop
+	// category?
+	Query2 = `SELECT COUNT(*), vendorCategory FROM "snapshot_orderinfo" JOIN "snapshot_orderstate" USING(partitionKey) WHERE (orderState='NOTIFIED' OR orderState='ACCEPTED') GROUP BY vendorCategory;`
+	// Query3 — how many deliveries are being prepared per area?
+	Query3 = `SELECT COUNT(*), deliveryZone FROM "snapshot_orderinfo" JOIN "snapshot_orderstate" USING(partitionKey) WHERE (orderState='VENDOR_ACCEPTED') GROUP BY deliveryZone;`
+	// Query4 — how many deliveries are in transit per area?
+	Query4 = `SELECT COUNT(*), deliveryZone FROM "snapshot_orderinfo" JOIN "snapshot_orderstate" USING(partitionKey) WHERE orderState='PICKED_UP' OR orderState='LEFT_PICKUP' OR orderState='NEAR_CUSTOMER' GROUP BY deliveryZone;`
+)
+
+// Queries lists the four production queries in order.
+var Queries = []string{Query1, Query2, Query3, Query4}

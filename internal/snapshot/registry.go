@@ -1,0 +1,166 @@
+// Package snapshot manages snapshot versions for a streaming job: which
+// snapshot ids exist, which one is the latest *committed* one (the id
+// queries resolve to by default), which ids are retained, and which must be
+// pruned. The paper's default of keeping the two most recent versions —
+// constant memory, always one version queryable while the next is in
+// flight — is the default here too (§VI.A, "Snapshot Versions").
+package snapshot
+
+import (
+	"fmt"
+	"sync"
+)
+
+// NoSnapshot is the id reported before any snapshot has committed.
+const NoSnapshot int64 = 0
+
+// DefaultRetention keeps the two most recent committed versions.
+const DefaultRetention = 2
+
+// Registry tracks the snapshot lifecycle of one job. All methods are safe
+// for concurrent use; LatestCommitted is the hot read path used by every
+// snapshot query to resolve "the latest snapshot id" atomically.
+type Registry struct {
+	mu         sync.RWMutex
+	retention  int
+	next       int64
+	inProgress int64 // 0 when no checkpoint is running
+	committed  []int64
+}
+
+// NewRegistry creates a registry retaining the given number of committed
+// versions; retention < 1 is treated as DefaultRetention.
+func NewRegistry(retention int) *Registry {
+	if retention < 1 {
+		retention = DefaultRetention
+	}
+	return &Registry{retention: retention, next: 1}
+}
+
+// Retention returns the configured number of retained versions.
+func (r *Registry) Retention() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.retention
+}
+
+// Begin starts a new checkpoint and returns its snapshot id. It fails if a
+// checkpoint is already in progress — like Jet, the coordinator skips a
+// checkpoint tick rather than running two concurrently.
+func (r *Registry) Begin() (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.inProgress != 0 {
+		return 0, fmt.Errorf("snapshot: checkpoint %d still in progress", r.inProgress)
+	}
+	id := r.next
+	r.next++
+	r.inProgress = id
+	return id, nil
+}
+
+// InProgress returns the id of the running checkpoint, or 0 if none.
+func (r *Registry) InProgress() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.inProgress
+}
+
+// Commit atomically publishes ssid as the latest committed snapshot and
+// returns the ids evicted by the retention policy (to be pruned from the
+// state store). Committing an id that is not the in-progress checkpoint is
+// a programming error and panics.
+func (r *Registry) Commit(ssid int64) (evicted []int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.inProgress != ssid {
+		panic(fmt.Sprintf("snapshot: commit of %d but %d is in progress", ssid, r.inProgress))
+	}
+	r.inProgress = 0
+	r.committed = append(r.committed, ssid)
+	for len(r.committed) > r.retention {
+		evicted = append(evicted, r.committed[0])
+		r.committed = r.committed[1:]
+	}
+	return evicted
+}
+
+// Abort cancels the in-progress checkpoint (e.g. the job failed mid-2PC).
+// Aborting when nothing is in progress is a no-op.
+func (r *Registry) Abort(ssid int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.inProgress == ssid {
+		r.inProgress = 0
+	}
+}
+
+// LatestCommitted returns the id of the latest committed snapshot, or
+// NoSnapshot if none has committed yet. This is the id implied when a
+// query does not pin an explicit ssid.
+func (r *Registry) LatestCommitted() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.committed) == 0 {
+		return NoSnapshot
+	}
+	return r.committed[len(r.committed)-1]
+}
+
+// Committed returns the retained committed ids, oldest first.
+func (r *Registry) Committed() []int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]int64, len(r.committed))
+	copy(out, r.committed)
+	return out
+}
+
+// IsQueryable reports whether ssid is a committed, retained snapshot that a
+// query may pin.
+func (r *Registry) IsQueryable(ssid int64) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.committed {
+		if c == ssid {
+			return true
+		}
+	}
+	return false
+}
+
+// Seed initializes a fresh registry with externally committed snapshot
+// ids (ascending) — the cold-start path when snapshots are imported from
+// stable storage. Seeding a registry that has already issued ids fails.
+func (r *Registry) Seed(ids []int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next != 1 || len(r.committed) != 0 || r.inProgress != 0 {
+		return fmt.Errorf("snapshot: Seed on a registry already in use")
+	}
+	var last int64
+	for _, id := range ids {
+		if id <= last {
+			return fmt.Errorf("snapshot: Seed ids must be ascending and positive, got %v", ids)
+		}
+		last = id
+	}
+	if len(ids) > r.retention {
+		ids = ids[len(ids)-r.retention:]
+	}
+	r.committed = append(r.committed, ids...)
+	if len(ids) > 0 {
+		r.next = ids[len(ids)-1] + 1
+	}
+	return nil
+}
+
+// OldestRetained returns the oldest retained committed id, or NoSnapshot.
+func (r *Registry) OldestRetained() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.committed) == 0 {
+		return NoSnapshot
+	}
+	return r.committed[0]
+}

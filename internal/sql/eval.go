@@ -1,0 +1,475 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Resolver supplies column values during evaluation. ok must be false for
+// unknown columns; a nil value with ok true is SQL NULL.
+type Resolver interface {
+	Resolve(table, column string) (any, bool)
+}
+
+// evalCtx carries per-query evaluation state.
+type evalCtx struct {
+	now time.Time // LOCALTIMESTAMP, fixed at query start
+}
+
+// eval evaluates an expression against a row. Aggregates must have been
+// rewritten away before eval is called on post-aggregation expressions;
+// encountering one here is a planner bug surfaced as an error.
+func (c *evalCtx) eval(e Expr, row Resolver) (any, error) {
+	switch x := e.(type) {
+	case Lit:
+		return x.Val, nil
+	case LocalTimestamp:
+		return c.now, nil
+	case Ident:
+		v, ok := row.Resolve(x.Table, x.Name)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown column %s", x)
+		}
+		return v, nil
+	case Unary:
+		v, err := c.eval(x.E, row)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "NOT" {
+			b, ok := truthy(v)
+			if !ok {
+				return nil, nil // NOT NULL-ish input stays NULL
+			}
+			return !b, nil
+		}
+		f, ok := toFloat(v)
+		if !ok {
+			return nil, fmt.Errorf("sql: cannot negate %T", v)
+		}
+		if i, isInt := toInt(v); isInt {
+			return -i, nil
+		}
+		return -f, nil
+	case IsNull:
+		v, err := c.eval(x.E, row)
+		if err != nil {
+			return nil, err
+		}
+		return (v == nil) != x.Not, nil
+	case InList:
+		v, err := c.eval(x.E, row)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, nil
+		}
+		for _, le := range x.List {
+			lv, err := c.eval(le, row)
+			if err != nil {
+				return nil, err
+			}
+			cmp, err := compare(v, lv)
+			if err == nil && cmp == 0 {
+				return !x.Not, nil
+			}
+		}
+		return x.Not, nil
+	case Between:
+		v, err := c.eval(x.E, row)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := c.eval(x.Lo, row)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := c.eval(x.Hi, row)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil || lo == nil || hi == nil {
+			return nil, nil
+		}
+		cl, err := compare(v, lo)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := compare(v, hi)
+		if err != nil {
+			return nil, err
+		}
+		return (cl >= 0 && ch <= 0) != x.Not, nil
+	case Like:
+		v, err := c.eval(x.E, row)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, nil
+		}
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("sql: LIKE applied to %T", v)
+		}
+		return likeMatch(s, x.Pattern) != x.Not, nil
+	case Binary:
+		return c.evalBinary(x, row)
+	case Func:
+		return c.evalFunc(x, row)
+	case Agg:
+		return nil, fmt.Errorf("sql: aggregate %s used outside an aggregating context", x)
+	}
+	return nil, fmt.Errorf("sql: unhandled expression %T", e)
+}
+
+// evalFunc evaluates the scalar functions of the dialect. Except for
+// COALESCE, a NULL argument yields NULL.
+func (c *evalCtx) evalFunc(x Func, row Resolver) (any, error) {
+	args := make([]any, len(x.Args))
+	for i, a := range x.Args {
+		v, err := c.eval(a, row)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	argc := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("sql: %s takes %d argument(s), got %d", x.Name, n, len(args))
+		}
+		return nil
+	}
+	switch x.Name {
+	case "COALESCE":
+		if len(args) == 0 {
+			return nil, fmt.Errorf("sql: COALESCE needs at least one argument")
+		}
+		for _, v := range args {
+			if v != nil {
+				return v, nil
+			}
+		}
+		return nil, nil
+	case "ABS":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		if args[0] == nil {
+			return nil, nil
+		}
+		if i, ok := toInt(args[0]); ok {
+			if i < 0 {
+				return -i, nil
+			}
+			return i, nil
+		}
+		f, ok := toFloat(args[0])
+		if !ok {
+			return nil, fmt.Errorf("sql: ABS of %T", args[0])
+		}
+		if f < 0 {
+			return -f, nil
+		}
+		return f, nil
+	case "ROUND":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		if args[0] == nil {
+			return nil, nil
+		}
+		if i, ok := toInt(args[0]); ok {
+			return i, nil
+		}
+		f, ok := toFloat(args[0])
+		if !ok {
+			return nil, fmt.Errorf("sql: ROUND of %T", args[0])
+		}
+		if f >= 0 {
+			return int64(f + 0.5), nil
+		}
+		return int64(f - 0.5), nil
+	case "UPPER", "LOWER", "LENGTH", "TRIM":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		if args[0] == nil {
+			return nil, nil
+		}
+		s, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("sql: %s of %T", x.Name, args[0])
+		}
+		switch x.Name {
+		case "UPPER":
+			return strings.ToUpper(s), nil
+		case "LOWER":
+			return strings.ToLower(s), nil
+		case "TRIM":
+			return strings.TrimSpace(s), nil
+		default:
+			return int64(len(s)), nil
+		}
+	case "CONCAT":
+		var b strings.Builder
+		for _, v := range args {
+			if v == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%v", v)
+		}
+		return b.String(), nil
+	}
+	return nil, fmt.Errorf("sql: unknown function %s", x.Name)
+}
+
+func (c *evalCtx) evalBinary(x Binary, row Resolver) (any, error) {
+	switch x.Op {
+	case "AND", "OR":
+		l, err := c.eval(x.L, row)
+		if err != nil {
+			return nil, err
+		}
+		lb, lok := truthy(l)
+		// Short-circuit where three-valued logic allows.
+		if x.Op == "AND" && lok && !lb {
+			return false, nil
+		}
+		if x.Op == "OR" && lok && lb {
+			return true, nil
+		}
+		r, err := c.eval(x.R, row)
+		if err != nil {
+			return nil, err
+		}
+		rb, rok := truthy(r)
+		// Three-valued logic: FALSE AND NULL = FALSE, TRUE OR NULL =
+		// TRUE, otherwise a NULL operand makes the result NULL.
+		if x.Op == "AND" {
+			if rok && !rb {
+				return false, nil
+			}
+			if !lok || !rok {
+				return nil, nil
+			}
+			return true, nil
+		}
+		if rok && rb {
+			return true, nil
+		}
+		if !lok || !rok {
+			return nil, nil
+		}
+		return false, nil
+	}
+
+	l, err := c.eval(x.L, row)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.eval(x.R, row)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		if l == nil || r == nil {
+			return nil, nil // comparisons with NULL are NULL
+		}
+		cmp, err := compare(l, r)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "=":
+			return cmp == 0, nil
+		case "!=":
+			return cmp != 0, nil
+		case "<":
+			return cmp < 0, nil
+		case "<=":
+			return cmp <= 0, nil
+		case ">":
+			return cmp > 0, nil
+		default:
+			return cmp >= 0, nil
+		}
+	case "+", "-", "*", "/", "%":
+		return arith(x.Op, l, r)
+	}
+	return nil, fmt.Errorf("sql: unknown operator %q", x.Op)
+}
+
+// truthy interprets a value as a boolean; ok is false for NULL/non-bool.
+func truthy(v any) (val, ok bool) {
+	b, isB := v.(bool)
+	return b, isB
+}
+
+// toInt reports integer-typed values as int64.
+func toInt(v any) (int64, bool) {
+	switch n := v.(type) {
+	case int:
+		return int64(n), true
+	case int32:
+		return int64(n), true
+	case int64:
+		return n, true
+	case uint64:
+		return int64(n), true
+	}
+	return 0, false
+}
+
+// toFloat widens any numeric value to float64.
+func toFloat(v any) (float64, bool) {
+	if i, ok := toInt(v); ok {
+		return float64(i), true
+	}
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case float32:
+		return float64(n), true
+	}
+	return 0, false
+}
+
+// compare orders two values: numerics by value, strings
+// lexicographically, times chronologically, bools false<true. Comparing
+// incompatible types is an error, matching strict SQL engines.
+func compare(a, b any) (int, error) {
+	if ta, ok := a.(time.Time); ok {
+		tb, ok := b.(time.Time)
+		if !ok {
+			return 0, fmt.Errorf("sql: cannot compare timestamp with %T", b)
+		}
+		switch {
+		case ta.Before(tb):
+			return -1, nil
+		case ta.After(tb):
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if sa, ok := a.(string); ok {
+		sb, ok := b.(string)
+		if !ok {
+			return 0, fmt.Errorf("sql: cannot compare string with %T", b)
+		}
+		return strings.Compare(sa, sb), nil
+	}
+	if ba, ok := a.(bool); ok {
+		bb, ok := b.(bool)
+		if !ok {
+			return 0, fmt.Errorf("sql: cannot compare bool with %T", b)
+		}
+		switch {
+		case ba == bb:
+			return 0, nil
+		case bb:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	fa, aok := toFloat(a)
+	fb, bok := toFloat(b)
+	if aok && bok {
+		switch {
+		case fa < fb:
+			return -1, nil
+		case fa > fb:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	return 0, fmt.Errorf("sql: cannot compare %T with %T", a, b)
+}
+
+// arith evaluates arithmetic with integer preservation: int op int stays
+// int64 (except /, which divides exactly when possible).
+func arith(op string, l, r any) (any, error) {
+	if l == nil || r == nil {
+		return nil, nil
+	}
+	li, lInt := toInt(l)
+	ri, rInt := toInt(r)
+	if lInt && rInt {
+		switch op {
+		case "+":
+			return li + ri, nil
+		case "-":
+			return li - ri, nil
+		case "*":
+			return li * ri, nil
+		case "%":
+			if ri == 0 {
+				return nil, fmt.Errorf("sql: modulo by zero")
+			}
+			return li % ri, nil
+		case "/":
+			if ri == 0 {
+				return nil, fmt.Errorf("sql: division by zero")
+			}
+			if li%ri == 0 {
+				return li / ri, nil
+			}
+			return float64(li) / float64(ri), nil
+		}
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if !lok || !rok {
+		return nil, fmt.Errorf("sql: arithmetic on %T and %T", l, r)
+	}
+	switch op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, fmt.Errorf("sql: division by zero")
+		}
+		return lf / rf, nil
+	case "%":
+		return nil, fmt.Errorf("sql: modulo on floating point")
+	}
+	return nil, fmt.Errorf("sql: unknown arithmetic operator %q", op)
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single char).
+func likeMatch(s, pattern string) bool {
+	// Dynamic programming over the pattern, iterative two-pointer with
+	// backtracking on the last %.
+	si, pi := 0, 0
+	star, sBack := -1, 0
+	for si < len(s) {
+		if pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]) {
+			si++
+			pi++
+		} else if pi < len(pattern) && pattern[pi] == '%' {
+			star = pi
+			sBack = si
+			pi++
+		} else if star >= 0 {
+			pi = star + 1
+			sBack++
+			si = sBack
+		} else {
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}

@@ -1,0 +1,217 @@
+package sql
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+type mapResolver map[string]any
+
+func (m mapResolver) Resolve(table, col string) (any, bool) {
+	v, ok := m[col]
+	return v, ok
+}
+
+func evalWhere(t *testing.T, where string, row mapResolver) any {
+	t.Helper()
+	stmt := mustParse(t, `SELECT a FROM t WHERE `+where)
+	ctx := &evalCtx{now: time.Now()}
+	v, err := ctx.eval(stmt.Where, row)
+	if err != nil {
+		t.Fatalf("eval(%q): %v", where, err)
+	}
+	return v
+}
+
+func TestEvalComparisons(t *testing.T) {
+	row := mapResolver{"x": 5, "s": "abc", "f": 2.5, "b": true}
+	cases := []struct {
+		where string
+		want  any
+	}{
+		{`x = 5`, true},
+		{`x != 5`, false},
+		{`x < 6`, true},
+		{`x <= 5`, true},
+		{`x > 5`, false},
+		{`x >= 6`, false},
+		{`x <> 4`, true},
+		{`s = 'abc'`, true},
+		{`s < 'abd'`, true},
+		{`f > 2`, true},
+		{`f = 2.5`, true},
+		{`b = TRUE`, true},
+		{`x = 5 AND s = 'abc'`, true},
+		{`x = 4 OR s = 'abc'`, true},
+		{`NOT x = 4`, true},
+		{`x + 1 = 6`, true},
+		{`x * 2 = 10`, true},
+		{`x - 7 = -2`, true},
+		{`x / 2 = 2.5`, true},
+		{`x % 2 = 1`, true},
+		{`-x = -5`, true},
+	}
+	for _, c := range cases {
+		if got := evalWhere(t, c.where, row); got != c.want {
+			t.Errorf("eval(%q) = %v, want %v", c.where, got, c.want)
+		}
+	}
+}
+
+func TestEvalIntFloatCoercion(t *testing.T) {
+	row := mapResolver{"i": int64(3), "i32": int32(3), "u": uint64(3), "f": 3.0}
+	for _, w := range []string{`i = f`, `i32 = 3`, `u = 3`, `i = i32`, `f = u`} {
+		if got := evalWhere(t, w, row); got != true {
+			t.Errorf("eval(%q) = %v, want true", w, got)
+		}
+	}
+}
+
+func TestEvalNullSemantics(t *testing.T) {
+	row := mapResolver{"n": nil, "x": 1}
+	cases := []struct {
+		where string
+		want  any
+	}{
+		{`n IS NULL`, true},
+		{`n IS NOT NULL`, false},
+		{`x IS NULL`, false},
+		{`n = 1`, nil}, // comparisons with NULL are NULL
+		{`n = 1 AND x = 1`, nil},
+		{`n = 1 OR x = 1`, true},   // TRUE OR NULL = TRUE
+		{`n = 1 AND x = 2`, false}, // FALSE AND NULL = FALSE
+	}
+	for _, c := range cases {
+		if got := evalWhere(t, c.where, row); got != c.want {
+			t.Errorf("eval(%q) = %v, want %v", c.where, got, c.want)
+		}
+	}
+}
+
+func TestEvalInBetweenLike(t *testing.T) {
+	row := mapResolver{"s": "VENDOR_ACCEPTED", "x": 5}
+	cases := []struct {
+		where string
+		want  any
+	}{
+		{`s IN ('NOTIFIED', 'VENDOR_ACCEPTED')`, true},
+		{`s NOT IN ('NOTIFIED', 'ACCEPTED')`, true},
+		{`x IN (1, 2, 3)`, false},
+		{`x BETWEEN 1 AND 5`, true},
+		{`x BETWEEN 6 AND 9`, false},
+		{`x NOT BETWEEN 6 AND 9`, true},
+		{`s LIKE 'VENDOR%'`, true},
+		{`s LIKE '%ACCEPTED'`, true},
+		{`s LIKE '%DOR_ACC%'`, true},
+		{`s LIKE 'V_NDOR%'`, true},
+		{`s LIKE 'X%'`, false},
+		{`s NOT LIKE 'X%'`, true},
+	}
+	for _, c := range cases {
+		if got := evalWhere(t, c.where, row); got != c.want {
+			t.Errorf("eval(%q) = %v, want %v", c.where, got, c.want)
+		}
+	}
+}
+
+func TestEvalTimestamps(t *testing.T) {
+	past := time.Now().Add(-time.Hour)
+	future := time.Now().Add(time.Hour)
+	row := mapResolver{"past": past, "future": future}
+	if got := evalWhere(t, `past < LOCALTIMESTAMP`, row); got != true {
+		t.Errorf("past < now = %v", got)
+	}
+	if got := evalWhere(t, `future < LOCALTIMESTAMP`, row); got != false {
+		t.Errorf("future < now = %v", got)
+	}
+	if got := evalWhere(t, `past < future`, row); got != true {
+		t.Errorf("past < future = %v", got)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	ctx := &evalCtx{now: time.Now()}
+	row := mapResolver{"s": "str", "x": 1}
+	bad := []string{
+		`nosuchcol = 1`,
+		`s < 5`,
+		`s + 1 = 2`,
+		`x / 0 = 1`,
+		`x % 0 = 1`,
+	}
+	for _, w := range bad {
+		stmt := mustParse(t, `SELECT a FROM t WHERE `+w)
+		if _, err := ctx.eval(stmt.Where, row); err == nil {
+			t.Errorf("eval(%q) succeeded, want error", w)
+		}
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"", "", true},
+		{"", "%", true},
+		{"a", "", false},
+		{"abc", "abc", true},
+		{"abc", "a%", true},
+		{"abc", "%c", true},
+		{"abc", "%b%", true},
+		{"abc", "a_c", true},
+		{"abc", "a_d", false},
+		{"abc", "%%", true},
+		{"aXbXc", "a%b%c", true},
+		{"mississippi", "%iss%ppi", true},
+		{"mississippi", "%iss%ppx", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.pat); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.pat, got, c.want)
+		}
+	}
+}
+
+// Property: compare is antisymmetric and consistent with equality for
+// integers.
+func TestCompareProperties(t *testing.T) {
+	f := func(a, b int32) bool {
+		c1, err1 := compare(int(a), int64(b))
+		c2, err2 := compare(int64(b), int(a))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if c1 != -c2 {
+			return false
+		}
+		return (a == b) == (c1 == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: likeMatch with pattern == the string itself (no wildcards in
+// it) is true, and prefix% matches.
+func TestLikeProperties(t *testing.T) {
+	f := func(s string) bool {
+		clean := ""
+		for _, r := range s {
+			if r != '%' && r != '_' {
+				clean += string(r)
+			}
+		}
+		if !likeMatch(clean, clean) {
+			return false
+		}
+		if len(clean) > 0 && !likeMatch(clean, clean[:1]+"%") && clean[0] != '%' {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,810 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"squery/internal/core"
+)
+
+// Executor runs SELECT statements against the state tables of a catalog.
+// It is safe for concurrent use; every query resolves its snapshot id
+// atomically at start (§VI.A), so concurrent checkpoints never tear a
+// result set.
+type Executor struct {
+	cat   *core.Catalog
+	nodes int
+}
+
+// NewExecutor creates an executor over the catalog, fanning scans out
+// over the given number of nodes (pass the cluster's node count).
+func NewExecutor(cat *core.Catalog, nodes int) *Executor {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return &Executor{cat: cat, nodes: nodes}
+}
+
+// Result is a materialized query result.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+}
+
+// ColumnIndex returns the index of the named output column, or -1.
+func (r *Result) ColumnIndex(name string) int {
+	for i, c := range r.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the result as an aligned text table (for the CLI and
+// examples).
+func (r *Result) String() string {
+	var b strings.Builder
+	widths := make([]int, len(r.Columns))
+	cells := make([][]string, len(r.Rows))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := fmt.Sprintf("%v", v)
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// tableSrc is one resolved table participating in a query.
+type tableSrc struct {
+	ref   *core.TableRef
+	name  string // name as written
+	alias string // qualifier used in expressions
+	ssid  int64  // resolved snapshot id (0 for live)
+}
+
+// joinedRow is one row of the (possibly joined) working set: one TableRow
+// per source, aligned with the sources slice. A nil entry means the source
+// contributed no row (LEFT JOIN miss).
+type joinedRow struct {
+	srcs []tableSrc
+	tabs []*core.TableRow
+}
+
+// Resolve implements Resolver over the joined row.
+func (r joinedRow) Resolve(table, column string) (any, bool) {
+	if table != "" {
+		for i, s := range r.srcs {
+			if strings.EqualFold(s.alias, table) || strings.EqualFold(s.name, table) {
+				if r.tabs[i] == nil {
+					return nil, true // LEFT JOIN miss: columns are NULL
+				}
+				return r.tabs[i].Field(column)
+			}
+		}
+		return nil, false
+	}
+	hadMiss := false
+	for i := range r.srcs {
+		if r.tabs[i] == nil {
+			hadMiss = true
+			continue
+		}
+		if v, ok := r.tabs[i].Field(column); ok {
+			return v, true
+		}
+	}
+	// With a LEFT JOIN miss the column may belong to the absent side,
+	// whose schema we cannot see — resolve it as NULL. (The cost is that
+	// a typo in such a query yields NULLs instead of an error.)
+	if hadMiss {
+		return nil, true
+	}
+	return nil, false
+}
+
+// Query parses and executes a SELECT statement.
+func (ex *Executor) Query(query string) (*Result, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Exec(stmt)
+}
+
+// Exec executes a parsed SELECT statement.
+func (ex *Executor) Exec(stmt *Select) (*Result, error) {
+	ctx := &evalCtx{now: time.Now()}
+	stmt = resolveOrderByAliases(stmt)
+
+	// Resolve tables.
+	srcs := make([]tableSrc, 0, 1+len(stmt.Joins))
+	addSrc := func(t TableName) error {
+		ref, err := ex.cat.Table(t.Name)
+		if err != nil {
+			return err
+		}
+		srcs = append(srcs, tableSrc{ref: ref, name: t.Name, alias: t.Ref()})
+		return nil
+	}
+	if err := addSrc(stmt.From); err != nil {
+		return nil, err
+	}
+	for _, j := range stmt.Joins {
+		if err := addSrc(j.Table); err != nil {
+			return nil, err
+		}
+	}
+
+	// Extract ssid pins from WHERE and resolve each source's snapshot.
+	where, pins, err := extractPins(stmt.Where)
+	if err != nil {
+		return nil, err
+	}
+	for i := range srcs {
+		pinned := pins.forTable(srcs[i].alias, srcs[i].name)
+		ssid, err := srcs[i].ref.ResolveSSID(pinned)
+		if err != nil {
+			return nil, err
+		}
+		srcs[i].ssid = ssid
+	}
+
+	// Scan + join.
+	rows, err := ex.scanAndJoin(stmt, srcs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Filter.
+	if where != nil {
+		kept := rows[:0]
+		for _, r := range rows {
+			v, err := ctx.eval(where, r)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := truthy(v); ok && b {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+
+	// Aggregate or project.
+	if stmt.HasAggregates() || len(stmt.GroupBy) > 0 {
+		return ex.aggregate(ctx, stmt, srcs, rows)
+	}
+	return ex.project(ctx, stmt, srcs, rows)
+}
+
+// resolveOrderByAliases rewrites ORDER BY entries that name a select-list
+// alias (ORDER BY sold when the list says `SUM(x) AS sold`) to the aliased
+// expression, per standard SQL. The statement is copied, not mutated.
+func resolveOrderByAliases(stmt *Select) *Select {
+	if len(stmt.OrderBy) == 0 {
+		return stmt
+	}
+	byAlias := map[string]Expr{}
+	for _, it := range stmt.Items {
+		if !it.Star && it.Alias != "" {
+			byAlias[strings.ToLower(it.Alias)] = it.Expr
+		}
+	}
+	if len(byAlias) == 0 {
+		return stmt
+	}
+	out := *stmt
+	out.OrderBy = append([]OrderItem(nil), stmt.OrderBy...)
+	for i, oi := range out.OrderBy {
+		if id, ok := oi.Expr.(Ident); ok && id.Table == "" {
+			if e, hit := byAlias[strings.ToLower(id.Name)]; hit {
+				out.OrderBy[i].Expr = e
+			}
+		}
+	}
+	return &out
+}
+
+// pinSet holds ssid pins extracted from WHERE.
+type pinSet map[string]int64 // lower-cased qualifier ("" = all snapshot tables)
+
+func (p pinSet) forTable(alias, name string) int64 {
+	if v, ok := p[strings.ToLower(alias)]; ok {
+		return v
+	}
+	if v, ok := p[strings.ToLower(name)]; ok {
+		return v
+	}
+	return p[""]
+}
+
+// extractPins removes top-level `ssid = <literal>` conjuncts from the
+// WHERE clause and returns them as pins. The predicate selects which
+// snapshot to reconstruct, not which stored versions to keep — with
+// incremental snapshots a row's recorded ssid may legitimately be older
+// than the queried one (§VI.A), so the pin must bind the planner rather
+// than filter rows.
+func extractPins(where Expr) (Expr, pinSet, error) {
+	pins := pinSet{}
+	rest, err := stripPins(where, pins)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rest, pins, nil
+}
+
+func stripPins(e Expr, pins pinSet) (Expr, error) {
+	b, ok := e.(Binary)
+	if !ok {
+		return e, nil
+	}
+	switch b.Op {
+	case "AND":
+		l, err := stripPins(b.L, pins)
+		if err != nil {
+			return nil, err
+		}
+		r, err := stripPins(b.R, pins)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case l == nil && r == nil:
+			return nil, nil
+		case l == nil:
+			return r, nil
+		case r == nil:
+			return l, nil
+		default:
+			return Binary{Op: "AND", L: l, R: r}, nil
+		}
+	case "=":
+		if id, lit, ok := ssidEquality(b); ok {
+			n, isInt := lit.Val.(int64)
+			if !isInt || n <= 0 {
+				return nil, fmt.Errorf("sql: ssid must be a positive integer literal, got %v", lit.Val)
+			}
+			pins[strings.ToLower(id.Table)] = n
+			return nil, nil
+		}
+	}
+	return e, nil
+}
+
+func ssidEquality(b Binary) (Ident, Lit, bool) {
+	if id, ok := b.L.(Ident); ok && strings.EqualFold(id.Name, core.ColSSID) {
+		if lit, ok := b.R.(Lit); ok {
+			return id, lit, true
+		}
+	}
+	if id, ok := b.R.(Ident); ok && strings.EqualFold(id.Name, core.ColSSID) {
+		if lit, ok := b.L.(Lit); ok {
+			return id, lit, true
+		}
+	}
+	return Ident{}, Lit{}, false
+}
+
+// scanAndJoin materializes the working set. Single-table queries scan
+// scatter-gather per node. Joins on partitionKey run per-partition — the
+// co-location optimisation: both sides of each partition's join live on
+// the same node. Other equi-joins build a global hash table.
+func (ex *Executor) scanAndJoin(stmt *Select, srcs []tableSrc) ([]joinedRow, error) {
+	if len(srcs) == 1 {
+		rows := ex.scanAll(srcs[0])
+		out := make([]joinedRow, len(rows))
+		for i := range rows {
+			out[i] = joinedRow{srcs: srcs, tabs: []*core.TableRow{&rows[i]}}
+		}
+		return out, nil
+	}
+
+	// Two tables joined USING(partitionKey): both sides of the join key
+	// are co-partitioned by construction (the shared partitioner), so
+	// the join runs independently per partition on the owning node —
+	// the co-location optimisation of §II.
+	if len(srcs) == 2 && stmt.Joins[0].Using == core.ColPartitionKey && !stmt.Joins[0].Left {
+		return ex.partitionedJoin(srcs)
+	}
+
+	// Start from the FROM table, fold joins in order.
+	left := make([]joinedRow, 0)
+	for _, r := range ex.scanAll(srcs[0]) {
+		r := r
+		tabs := make([]*core.TableRow, len(srcs))
+		tabs[0] = &r
+		left = append(left, joinedRow{srcs: srcs, tabs: tabs})
+	}
+	for ji, j := range stmt.Joins {
+		si := ji + 1
+		leftKey, rightKey, err := joinKeys(j, srcs, si)
+		if err != nil {
+			return nil, err
+		}
+		right := ex.scanAll(srcs[si])
+		// Build hash on the right side.
+		idx := make(map[string][]*core.TableRow, len(right))
+		for i := range right {
+			v, ok := right[i].Field(rightKey)
+			if !ok {
+				return nil, fmt.Errorf("sql: join column %q not found in %s", rightKey, srcs[si].name)
+			}
+			idx[hashKey(v)] = append(idx[hashKey(v)], &right[i])
+		}
+		var out []joinedRow
+		for _, lr := range left {
+			v, ok := lr.Resolve("", leftKey)
+			if !ok {
+				return nil, fmt.Errorf("sql: join column %q not found on left side", leftKey)
+			}
+			matches := idx[hashKey(v)]
+			if len(matches) == 0 {
+				if j.Left {
+					out = append(out, lr) // right side stays nil
+				}
+				continue
+			}
+			for _, m := range matches {
+				tabs := make([]*core.TableRow, len(srcs))
+				copy(tabs, lr.tabs)
+				tabs[si] = m
+				out = append(out, joinedRow{srcs: srcs, tabs: tabs})
+			}
+		}
+		left = out
+	}
+	return left, nil
+}
+
+// partitionedJoin joins two co-partitioned tables partition by partition,
+// one goroutine per node, each joining only the partitions that node owns.
+func (ex *Executor) partitionedJoin(srcs []tableSrc) ([]joinedRow, error) {
+	type batch struct{ rows []joinedRow }
+	ch := make(chan batch, ex.nodes)
+	var wg sync.WaitGroup
+	for n := 0; n < ex.nodes; n++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			var b batch
+			// One hop to ship the node's portion of the result back.
+			srcs[0].ref.ChargeClientHop(node)
+			for _, p := range ex.ownedPartitions(srcs[0], node) {
+				// Build on the right side of this partition.
+				idx := map[string][]*core.TableRow{}
+				srcs[1].ref.ScanPartition(srcs[1].ssid, p, func(r core.TableRow) bool {
+					idx[hashKey(r.Key)] = append(idx[hashKey(r.Key)], &r)
+					return true
+				})
+				srcs[0].ref.ScanPartition(srcs[0].ssid, p, func(l core.TableRow) bool {
+					for _, m := range idx[hashKey(l.Key)] {
+						b.rows = append(b.rows, joinedRow{
+							srcs: srcs,
+							tabs: []*core.TableRow{&l, m},
+						})
+					}
+					return true
+				})
+			}
+			ch <- b
+		}(n)
+	}
+	wg.Wait()
+	close(ch)
+	var out []joinedRow
+	for b := range ch {
+		out = append(out, b.rows...)
+	}
+	return out, nil
+}
+
+func (ex *Executor) ownedPartitions(s tableSrc, node int) []int {
+	var out []int
+	for p := 0; p < s.ref.Partitions(); p++ {
+		if s.ref.PartitionOwner(p) == node {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func joinKeys(j Join, srcs []tableSrc, si int) (string, string, error) {
+	if j.Using != "" {
+		return j.Using, j.Using, nil
+	}
+	// ON a.x = b.y: decide which side belongs to the joined table.
+	matches := func(id Ident) bool {
+		return strings.EqualFold(id.Table, srcs[si].alias) || strings.EqualFold(id.Table, srcs[si].name)
+	}
+	switch {
+	case matches(j.OnR):
+		return j.OnL.Name, j.OnR.Name, nil
+	case matches(j.OnL):
+		return j.OnR.Name, j.OnL.Name, nil
+	default:
+		return "", "", fmt.Errorf("sql: ON clause must reference the joined table %q", srcs[si].name)
+	}
+}
+
+// hashKey normalizes a join value to a map key, coalescing numeric types
+// the way compare() does.
+func hashKey(v any) string {
+	if i, ok := toInt(v); ok {
+		return fmt.Sprintf("i%d", i)
+	}
+	if f, ok := toFloat(v); ok {
+		return fmt.Sprintf("f%g", f)
+	}
+	return fmt.Sprintf("%T:%v", v, v)
+}
+
+// scanAll gathers every row of a source, one goroutine per node.
+func (ex *Executor) scanAll(s tableSrc) []core.TableRow {
+	type batch struct {
+		rows []core.TableRow
+	}
+	ch := make(chan batch, ex.nodes)
+	var wg sync.WaitGroup
+	for n := 0; n < ex.nodes; n++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			var b batch
+			s.ref.ScanNode(s.ssid, node, func(r core.TableRow) bool {
+				b.rows = append(b.rows, r)
+				return true
+			})
+			ch <- b
+		}(n)
+	}
+	wg.Wait()
+	close(ch)
+	var out []core.TableRow
+	for b := range ch {
+		out = append(out, b.rows...)
+	}
+	return out
+}
+
+// aggregate groups rows and evaluates aggregate select items per group.
+func (ex *Executor) aggregate(ctx *evalCtx, stmt *Select, srcs []tableSrc, rows []joinedRow) (*Result, error) {
+	for _, it := range stmt.Items {
+		if it.Star {
+			return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
+		}
+	}
+	type group struct {
+		rows []joinedRow
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, r := range rows {
+		var kb strings.Builder
+		for _, ge := range stmt.GroupBy {
+			v, err := ctx.eval(ge, r)
+			if err != nil {
+				return nil, err
+			}
+			kb.WriteString(hashKey(v))
+			kb.WriteByte('|')
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, r)
+	}
+	// A query with aggregates but no GROUP BY aggregates over all rows,
+	// producing exactly one row even when the input is empty.
+	if len(stmt.GroupBy) == 0 && len(order) == 0 {
+		groups[""] = &group{}
+		order = append(order, "")
+	}
+
+	res := &Result{}
+	for _, it := range stmt.Items {
+		res.Columns = append(res.Columns, it.OutputName())
+	}
+	type outRow struct {
+		vals    []any
+		sortKey []any
+	}
+	outs := make([]outRow, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		if stmt.Having != nil {
+			hv, err := ex.evalWithAggs(ctx, stmt.Having, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			if keep, ok := truthy(hv); !ok || !keep {
+				continue
+			}
+		}
+		vals := make([]any, len(stmt.Items))
+		for i, it := range stmt.Items {
+			v, err := ex.evalWithAggs(ctx, it.Expr, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		var sortKey []any
+		for _, oi := range stmt.OrderBy {
+			v, err := ex.evalWithAggs(ctx, oi.Expr, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			sortKey = append(sortKey, v)
+		}
+		outs = append(outs, outRow{vals: vals, sortKey: sortKey})
+	}
+	sortOutRows(stmt, outs, func(o outRow) []any { return o.sortKey })
+	for _, o := range outs {
+		res.Rows = append(res.Rows, o.vals)
+		if stmt.Limit >= 0 && len(res.Rows) >= stmt.Limit {
+			break
+		}
+	}
+	return res, nil
+}
+
+// evalWithAggs evaluates an expression that may contain aggregates, over
+// the rows of one group. Non-aggregate subexpressions are evaluated
+// against the group's first row (SQL's bare-column-in-GROUP-BY rule).
+func (ex *Executor) evalWithAggs(ctx *evalCtx, e Expr, rows []joinedRow) (any, error) {
+	switch x := e.(type) {
+	case Agg:
+		return ex.evalAggregate(ctx, x, rows)
+	case Binary:
+		if containsAgg(x.L) || containsAgg(x.R) {
+			l, err := ex.evalWithAggs(ctx, x.L, rows)
+			if err != nil {
+				return nil, err
+			}
+			r, err := ex.evalWithAggs(ctx, x.R, rows)
+			if err != nil {
+				return nil, err
+			}
+			return ctx.evalBinary(Binary{Op: x.Op, L: Lit{Val: l}, R: Lit{Val: r}}, nil)
+		}
+	case Func:
+		if containsAgg(x) {
+			args := make([]Expr, len(x.Args))
+			for i, a := range x.Args {
+				v, err := ex.evalWithAggs(ctx, a, rows)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = Lit{Val: v}
+			}
+			return ctx.evalFunc(Func{Name: x.Name, Args: args}, nil)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	return ctx.eval(e, rows[0])
+}
+
+func (ex *Executor) evalAggregate(ctx *evalCtx, a Agg, rows []joinedRow) (any, error) {
+	if a.Star {
+		return int64(len(rows)), nil
+	}
+	var (
+		count   int64
+		sum     float64
+		sumI    int64
+		allInts = true
+		minV    any
+		maxV    any
+		seen    map[string]bool
+	)
+	if a.Distinct {
+		seen = map[string]bool{}
+	}
+	for _, r := range rows {
+		v, err := ctx.eval(a.Arg, r)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			continue
+		}
+		if a.Distinct {
+			k := hashKey(v)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		count++
+		switch a.Func {
+		case AggSum, AggAvg:
+			f, ok := toFloat(v)
+			if !ok {
+				return nil, fmt.Errorf("sql: %s over non-numeric %T", a.Func, v)
+			}
+			sum += f
+			if i, ok := toInt(v); ok {
+				sumI += i
+			} else {
+				allInts = false
+			}
+		case AggMin:
+			if minV == nil {
+				minV = v
+			} else if c, err := compare(v, minV); err != nil {
+				return nil, err
+			} else if c < 0 {
+				minV = v
+			}
+		case AggMax:
+			if maxV == nil {
+				maxV = v
+			} else if c, err := compare(v, maxV); err != nil {
+				return nil, err
+			} else if c > 0 {
+				maxV = v
+			}
+		}
+	}
+	switch a.Func {
+	case AggCount:
+		return count, nil
+	case AggSum:
+		if count == 0 {
+			return nil, nil
+		}
+		if allInts {
+			return sumI, nil
+		}
+		return sum, nil
+	case AggAvg:
+		if count == 0 {
+			return nil, nil
+		}
+		return sum / float64(count), nil
+	case AggMin:
+		return minV, nil
+	case AggMax:
+		return maxV, nil
+	}
+	return nil, fmt.Errorf("sql: unknown aggregate %q", a.Func)
+}
+
+// project evaluates the select list per row for non-aggregate queries.
+func (ex *Executor) project(ctx *evalCtx, stmt *Select, srcs []tableSrc, rows []joinedRow) (*Result, error) {
+	res := &Result{}
+	// Expand * into concrete columns using the first row's schema; an
+	// empty working set yields just the pseudo-columns-free header.
+	var starCols [][2]string // (qualifier, column)
+	hasStar := false
+	for _, it := range stmt.Items {
+		if it.Star {
+			hasStar = true
+		}
+	}
+	if hasStar && len(rows) > 0 {
+		for i, t := range rows[0].tabs {
+			if t == nil {
+				continue
+			}
+			for _, c := range t.Columns() {
+				starCols = append(starCols, [2]string{srcs[i].alias, c})
+			}
+		}
+	}
+	for _, it := range stmt.Items {
+		if it.Star {
+			for _, sc := range starCols {
+				res.Columns = append(res.Columns, sc[1])
+			}
+			continue
+		}
+		res.Columns = append(res.Columns, it.OutputName())
+	}
+
+	type outRow struct {
+		vals    []any
+		sortKey []any
+	}
+	outs := make([]outRow, 0, len(rows))
+	for _, r := range rows {
+		var vals []any
+		for _, it := range stmt.Items {
+			if it.Star {
+				for _, sc := range starCols {
+					v, _ := r.Resolve(sc[0], sc[1])
+					vals = append(vals, v)
+				}
+				continue
+			}
+			v, err := ctx.eval(it.Expr, r)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+		}
+		var sortKey []any
+		for _, oi := range stmt.OrderBy {
+			v, err := ctx.eval(oi.Expr, r)
+			if err != nil {
+				return nil, err
+			}
+			sortKey = append(sortKey, v)
+		}
+		outs = append(outs, outRow{vals: vals, sortKey: sortKey})
+	}
+	sortOutRows(stmt, outs, func(o outRow) []any { return o.sortKey })
+	for _, o := range outs {
+		res.Rows = append(res.Rows, o.vals)
+		if stmt.Limit >= 0 && len(res.Rows) >= stmt.Limit {
+			break
+		}
+	}
+	return res, nil
+}
+
+// sortOutRows sorts rows by the pre-computed ORDER BY keys. NULLs sort
+// last; incomparable values keep their relative order.
+func sortOutRows[T any](stmt *Select, rows []T, key func(T) []any) {
+	if len(stmt.OrderBy) == 0 {
+		return
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		ki, kj := key(rows[i]), key(rows[j])
+		for n, oi := range stmt.OrderBy {
+			a, b := ki[n], kj[n]
+			if a == nil && b == nil {
+				continue
+			}
+			if a == nil {
+				return false
+			}
+			if b == nil {
+				return true
+			}
+			c, err := compare(a, b)
+			if err != nil || c == 0 {
+				continue
+			}
+			if oi.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}

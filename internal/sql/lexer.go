@@ -1,0 +1,161 @@
+// Package sql implements the query interface S-QUERY layers over the state
+// store: a SQL dialect covering the paper's workload — SELECT with
+// projections and aggregates, JOIN ... USING (the join support S-QUERY adds
+// on top of the IMDG SQL engine, §VI.A), WHERE, GROUP BY, ORDER BY and
+// LIMIT — plus a planner that resolves live and snapshot tables through the
+// core catalog and executes scans scatter-gather across the cluster's
+// partitions.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokString // 'single quoted'
+	tokNumber
+	tokSymbol // ( ) , * . = < > <= >= <> !=
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; quoted identifiers unquoted
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// keywords recognised by the dialect.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "JOIN": true, "INNER": true, "HAVING": true,
+	"LEFT": true, "OUTER": true, "ON": true, "USING": true, "GROUP": true,
+	"BY": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"AND": true, "OR": true, "NOT": true, "AS": true, "IS": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "LOCALTIMESTAMP": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"DISTINCT": true, "BETWEEN": true, "IN": true, "LIKE": true,
+}
+
+// lex tokenizes the input. Errors carry the byte offset of the offending
+// character.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'': // string literal with '' escaping
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(input) {
+					return nil, fmt.Errorf("sql: unterminated string literal at offset %d", i)
+				}
+				if input[j] == '\'' {
+					if j+1 < len(input) && input[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case c == '"': // quoted identifier
+			j := i + 1
+			for j < len(input) && input[j] != '"' {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("sql: unterminated quoted identifier at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[i+1 : j], pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			seenDot := false
+			for j < len(input) && (isDigit(input[j]) || (input[j] == '.' && !seenDot)) {
+				if input[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(input) && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		default:
+			switch c {
+			case '<':
+				if i+1 < len(input) && (input[i+1] == '=' || input[i+1] == '>') {
+					toks = append(toks, token{kind: tokSymbol, text: input[i : i+2], pos: i})
+					i += 2
+				} else {
+					toks = append(toks, token{kind: tokSymbol, text: "<", pos: i})
+					i++
+				}
+			case '>':
+				if i+1 < len(input) && input[i+1] == '=' {
+					toks = append(toks, token{kind: tokSymbol, text: ">=", pos: i})
+					i += 2
+				} else {
+					toks = append(toks, token{kind: tokSymbol, text: ">", pos: i})
+					i++
+				}
+			case '!':
+				if i+1 < len(input) && input[i+1] == '=' {
+					toks = append(toks, token{kind: tokSymbol, text: "!=", pos: i})
+					i += 2
+				} else {
+					return nil, fmt.Errorf("sql: unexpected '!' at offset %d", i)
+				}
+			case '(', ')', ',', '*', '.', '=', '+', '-', '/', '%', ';':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,609 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Tables parses a query and returns the table names it references, FROM
+// first, then joined tables in order.
+func Tables(input string) ([]string, error) {
+	stmt, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	out := []string{stmt.From.Name}
+	for _, j := range stmt.Joins {
+		out = append(out, j.Table.Name)
+	}
+	return out, nil
+}
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*Select, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sql: unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokKeyword && p.peek().text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sql: expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.peek().kind == tokSymbol && p.peek().text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return fmt.Errorf("sql: expected %q, found %s", s, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.peek().kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier, found %s", p.peek())
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &Select{Limit: -1}
+
+	// Select list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+
+	// JOIN clauses.
+	for {
+		left := false
+		if p.acceptKeyword("LEFT") {
+			p.acceptKeyword("OUTER")
+			left = true
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if p.acceptKeyword("INNER") {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.acceptKeyword("JOIN") {
+			break
+		}
+		j, err := p.parseJoin(left)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, j)
+	}
+
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if len(stmt.GroupBy) == 0 && !stmt.HasAggregates() {
+			return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
+		}
+		stmt.Having = h
+	}
+
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("LIMIT") {
+		if p.peek().kind != tokNumber {
+			return nil, fmt.Errorf("sql: expected number after LIMIT, found %s", p.peek())
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: invalid LIMIT %v", n)
+		}
+		stmt.Limit = n
+	}
+
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if p.peek().kind == tokIdent {
+		// Bare alias: SELECT count c ...
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableName() (TableName, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableName{}, err
+	}
+	t := TableName{Name: name}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return TableName{}, err
+		}
+		t.Alias = alias
+	} else if p.peek().kind == tokIdent {
+		t.Alias = p.next().text
+	}
+	return t, nil
+}
+
+func (p *parser) parseJoin(left bool) (Join, error) {
+	tbl, err := p.parseTableName()
+	if err != nil {
+		return Join{}, err
+	}
+	j := Join{Table: tbl, Left: left}
+	switch {
+	case p.acceptKeyword("USING"):
+		if err := p.expectSymbol("("); err != nil {
+			return Join{}, err
+		}
+		col, err := p.expectIdent()
+		if err != nil {
+			return Join{}, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return Join{}, err
+		}
+		j.Using = col
+	case p.acceptKeyword("ON"):
+		l, err := p.parseQualifiedIdent()
+		if err != nil {
+			return Join{}, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return Join{}, err
+		}
+		r, err := p.parseQualifiedIdent()
+		if err != nil {
+			return Join{}, err
+		}
+		j.OnL, j.OnR = l, r
+	default:
+		return Join{}, fmt.Errorf("sql: JOIN requires USING(col) or ON a = b, found %s", p.peek())
+	}
+	return j, nil
+}
+
+func (p *parser) parseQualifiedIdent() (Ident, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return Ident{}, err
+	}
+	if p.acceptSymbol(".") {
+		col, err := p.expectIdent()
+		if err != nil {
+			return Ident{}, err
+		}
+		return Ident{Table: name, Name: col}, nil
+	}
+	return Ident{Name: name}, nil
+}
+
+// Expression grammar, loosest first:
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | predicate
+//	predicate := addExpr (cmpOp addExpr | IS [NOT] NULL | [NOT] IN (...) |
+//	             [NOT] BETWEEN addExpr AND addExpr | [NOT] LIKE 'pat')?
+//	addExpr := mulExpr (('+'|'-') mulExpr)*
+//	mulExpr := unary (('*'|'/'|'%') unary)*
+//	unary   := '-' unary | primary
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "NOT", E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	// Comparison operators.
+	if p.peek().kind == tokSymbol {
+		switch p.peek().text {
+		case "=", "<", ">", "<=", ">=", "<>", "!=":
+			op := p.next().text
+			if op == "<>" {
+				op = "!="
+			}
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	// IS [NOT] NULL.
+	if p.acceptKeyword("IS") {
+		not := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return IsNull{E: l, Not: not}, nil
+	}
+	// [NOT] IN / BETWEEN / LIKE.
+	not := false
+	if p.peek().kind == tokKeyword && p.peek().text == "NOT" {
+		nxt := p.toks[p.i+1]
+		if nxt.kind == tokKeyword && (nxt.text == "IN" || nxt.text == "BETWEEN" || nxt.text == "LIKE") {
+			p.next()
+			not = true
+		}
+	}
+	switch {
+	case p.acceptKeyword("IN"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return InList{E: l, List: list, Not: not}, nil
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return Between{E: l, Lo: lo, Hi: hi, Not: not}, nil
+	case p.acceptKeyword("LIKE"):
+		if p.peek().kind != tokString {
+			return nil, fmt.Errorf("sql: LIKE requires a string literal, found %s", p.peek())
+		}
+		return Like{E: l, Pattern: p.next().text, Not: not}, nil
+	}
+	if not {
+		return nil, fmt.Errorf("sql: dangling NOT before %s", p.peek())
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokSymbol && (p.peek().text == "+" || p.peek().text == "-") {
+		op := p.next().text
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokSymbol && (p.peek().text == "*" || p.peek().text == "/" || p.peek().text == "%") {
+		op := p.next().text
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(Lit); ok {
+			switch v := lit.Val.(type) {
+			case int64:
+				return Lit{Val: -v}, nil
+			case float64:
+				return Lit{Val: -v}, nil
+			}
+		}
+		return Unary{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.text)
+			}
+			return Lit{Val: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return Lit{Val: n}, nil
+	case tokString:
+		p.next()
+		return Lit{Val: t.text}, nil
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			p.next()
+			return Lit{Val: true}, nil
+		case "FALSE":
+			p.next()
+			return Lit{Val: false}, nil
+		case "NULL":
+			p.next()
+			return Lit{Val: nil}, nil
+		case "LOCALTIMESTAMP":
+			p.next()
+			return LocalTimestamp{}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			// Only a call when followed by "(": `count` is also a
+			// legitimate column name (Figure 4 of the paper).
+			if nxt := p.toks[p.i+1]; nxt.kind == tokSymbol && nxt.text == "(" {
+				p.next()
+				return p.parseAggCall(AggFunc(t.text))
+			}
+			p.next()
+			return Ident{Name: strings.ToLower(t.text)}, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected keyword %s in expression", t)
+	case tokIdent:
+		return p.parseQualifiedIdentExpr()
+	case tokSymbol:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unexpected %s in expression", t)
+}
+
+func (p *parser) parseQualifiedIdentExpr() (Expr, error) {
+	// An identifier directly followed by "(" is a scalar function call.
+	if nxt := p.toks[p.i+1]; p.peek().kind == tokIdent && nxt.kind == tokSymbol && nxt.text == "(" {
+		name := strings.ToUpper(p.next().text)
+		p.next() // consume "("
+		var args []Expr
+		if !p.acceptSymbol(")") {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		}
+		return Func{Name: name, Args: args}, nil
+	}
+	id, err := p.parseQualifiedIdent()
+	if err != nil {
+		return nil, err
+	}
+	return id, nil
+}
+
+func (p *parser) parseAggCall(fn AggFunc) (Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	if fn == AggCount && p.acceptSymbol("*") {
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return Agg{Func: fn, Star: true}, nil
+	}
+	distinct := p.acceptKeyword("DISTINCT")
+	arg, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return Agg{Func: fn, Arg: arg, Distinct: distinct}, nil
+}

@@ -1,0 +1,223 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, q string) *Select {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return stmt
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	stmt := mustParse(t, `SELECT count, total FROM average WHERE key=1`)
+	if len(stmt.Items) != 2 || stmt.Items[0].OutputName() != "count" {
+		t.Fatalf("items = %+v", stmt.Items)
+	}
+	if stmt.From.Name != "average" {
+		t.Fatalf("from = %+v", stmt.From)
+	}
+	w, ok := stmt.Where.(Binary)
+	if !ok || w.Op != "=" {
+		t.Fatalf("where = %#v", stmt.Where)
+	}
+	if stmt.Limit != -1 {
+		t.Fatalf("limit = %d", stmt.Limit)
+	}
+}
+
+func TestParseQuotedIdentifiers(t *testing.T) {
+	stmt := mustParse(t, `SELECT count, total FROM "snapshot_average" WHERE ssid=9 AND key=2`)
+	if stmt.From.Name != "snapshot_average" {
+		t.Fatalf("from = %q", stmt.From.Name)
+	}
+}
+
+// The four Delivery Hero queries from the paper must parse verbatim.
+func TestParsePaperQueries(t *testing.T) {
+	queries := []string{
+		`SELECT COUNT(*), deliveryZone FROM "snapshot_orderinfo" JOIN "snapshot_orderstate" USING(partitionKey) WHERE (orderState='VENDOR_ACCEPTED' AND lateTimestamp<LOCALTIMESTAMP) GROUP BY deliveryZone;`,
+		`SELECT COUNT(*), vendorCategory FROM "snapshot_orderinfo" JOIN "snapshot_orderstate" USING(partitionKey) WHERE (orderState='NOTIFIED' OR orderState='ACCEPTED') GROUP BY vendorCategory;`,
+		`SELECT COUNT(*), deliveryZone FROM "snapshot_orderinfo" JOIN "snapshot_orderstate" USING(partitionKey) WHERE (orderState='VENDOR_ACCEPTED') GROUP BY deliveryZone;`,
+		`SELECT COUNT(*), deliveryZone FROM "snapshot_orderinfo" JOIN "snapshot_orderstate" USING(partitionKey) WHERE orderState='PICKED_UP' OR orderState='LEFT_PICKUP' OR orderState='NEAR_CUSTOMER' GROUP BY deliveryZone;`,
+	}
+	for i, q := range queries {
+		stmt := mustParse(t, q)
+		if len(stmt.Joins) != 1 || stmt.Joins[0].Using != "partitionKey" {
+			t.Errorf("query %d: join = %+v", i+1, stmt.Joins)
+		}
+		if len(stmt.GroupBy) != 1 {
+			t.Errorf("query %d: group by = %+v", i+1, stmt.GroupBy)
+		}
+		if !stmt.HasAggregates() {
+			t.Errorf("query %d: no aggregates detected", i+1)
+		}
+	}
+}
+
+func TestParseJoinOn(t *testing.T) {
+	stmt := mustParse(t, `SELECT a.x FROM t1 AS a JOIN t2 AS b ON a.id = b.ref`)
+	j := stmt.Joins[0]
+	if j.OnL.Table != "a" || j.OnR.Table != "b" || j.Using != "" {
+		t.Fatalf("join = %+v", j)
+	}
+	if stmt.From.Alias != "a" || stmt.From.Ref() != "a" {
+		t.Fatalf("alias = %+v", stmt.From)
+	}
+}
+
+func TestParseLeftJoin(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM t1 LEFT OUTER JOIN t2 USING(partitionKey)`)
+	if !stmt.Joins[0].Left {
+		t.Fatal("LEFT not detected")
+	}
+	stmt = mustParse(t, `SELECT * FROM t1 INNER JOIN t2 USING(k)`)
+	if stmt.Joins[0].Left {
+		t.Fatal("INNER flagged as LEFT")
+	}
+}
+
+func TestParseOrderLimit(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t ORDER BY a DESC, b ASC LIMIT 10`)
+	if len(stmt.OrderBy) != 2 || !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Fatalf("order = %+v", stmt.OrderBy)
+	}
+	if stmt.Limit != 10 {
+		t.Fatalf("limit = %d", stmt.Limit)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE x=1 OR y=2 AND z=3`)
+	// OR binds loosest: (x=1) OR ((y=2) AND (z=3))
+	or, ok := stmt.Where.(Binary)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top = %v", stmt.Where)
+	}
+	and, ok := or.R.(Binary)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("right = %v", or.R)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	stmt := mustParse(t, `SELECT a + b * c FROM t`)
+	add, ok := stmt.Items[0].Expr.(Binary)
+	if !ok || add.Op != "+" {
+		t.Fatalf("top = %v", stmt.Items[0].Expr)
+	}
+	if mul, ok := add.R.(Binary); !ok || mul.Op != "*" {
+		t.Fatalf("right = %v", add.R)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	stmt := mustParse(t, `SELECT COUNT(*), SUM(x), AVG(y), MIN(z), MAX(w), COUNT(DISTINCT v) FROM t`)
+	if len(stmt.Items) != 6 {
+		t.Fatalf("items = %d", len(stmt.Items))
+	}
+	if a := stmt.Items[0].Expr.(Agg); !a.Star || a.Func != AggCount {
+		t.Fatalf("COUNT(*) = %+v", a)
+	}
+	if a := stmt.Items[5].Expr.(Agg); !a.Distinct {
+		t.Fatalf("DISTINCT not parsed: %+v", a)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE a IN (1, 2, 3) AND b NOT BETWEEN 1 AND 5 AND c LIKE 'x%' AND d IS NOT NULL`)
+	s := stmt.Where.String()
+	for _, want := range []string{"IN", "NOT BETWEEN", "LIKE", "IS NOT NULL"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("where %q missing %q", s, want)
+		}
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE x = -5 AND y = -2.5`)
+	s := stmt.Where.String()
+	if !strings.Contains(s, "-5") || !strings.Contains(s, "-2.5") {
+		t.Fatalf("where = %q", s)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE s = 'it''s'`)
+	eq := stmt.Where.(Binary)
+	if lit := eq.R.(Lit); lit.Val != "it's" {
+		t.Fatalf("literal = %q", lit.Val)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT FROM t`,
+		`SELECT a`,
+		`SELECT a FROM`,
+		`SELECT a FROM t WHERE`,
+		`SELECT a FROM t GROUP`,
+		`SELECT a FROM t LIMIT x`,
+		`SELECT a FROM t JOIN`,
+		`SELECT a FROM t JOIN u`,
+		`SELECT a FROM t JOIN u USING x`,
+		`SELECT a FROM t WHERE x = 'unterminated`,
+		`SELECT a FROM "unterminated`,
+		`SELECT a FROM t WHERE x ! 1`,
+		`SELECT a FROM t extra garbage tokens ^`,
+		`UPDATE t SET x = 1`,
+		`SELECT a FROM t WHERE NOT`,
+		`SELECT COUNT( FROM t`,
+		`SELECT a FROM t WHERE x LIKE 5`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}
+
+// Property: the String() rendering of any parsed WHERE clause reparses to
+// the same rendering (parse→print→parse fixpoint).
+func TestParsePrintRoundTrip(t *testing.T) {
+	exprs := []string{
+		`x = 1`,
+		`x = 1 AND y = 2`,
+		`NOT (a < 5 OR b >= 2.5)`,
+		`name LIKE 'ab%' AND v IN (1, 2)`,
+		`ts < LOCALTIMESTAMP`,
+		`a + b * 2 - -c > 0`,
+		`flag = TRUE AND other IS NULL`,
+	}
+	for _, e := range exprs {
+		q := `SELECT a FROM t WHERE ` + e
+		s1 := mustParse(t, q).Where.String()
+		s2 := mustParse(t, `SELECT a FROM t WHERE `+s1).Where.String()
+		if s1 != s2 {
+			t.Errorf("round trip changed: %q -> %q", s1, s2)
+		}
+	}
+}
+
+// Property: the lexer never panics and either errors or reaches EOF on
+// arbitrary input.
+func TestLexerTotal(t *testing.T) {
+	f := func(s string) bool {
+		toks, err := lex(s)
+		if err != nil {
+			return true
+		}
+		return len(toks) > 0 && toks[len(toks)-1].kind == tokEOF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package tspoon
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"squery/internal/partition"
+)
+
+func newSystem(par int) *System {
+	return New(partition.New(32), par)
+}
+
+func TestApplyAndQuery(t *testing.T) {
+	s := newSystem(3)
+	for i := 0; i < 100; i++ {
+		s.Apply(i, i*2)
+	}
+	if s.Size() != 100 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	got := s.Query([]partition.Key{5, 999, 42})
+	if got[0] != 10 || got[1] != nil || got[2] != 84 {
+		t.Fatalf("Query = %v", got)
+	}
+}
+
+func TestApplyOverwrites(t *testing.T) {
+	s := newSystem(2)
+	s.Apply("k", 1)
+	s.Apply("k", 2)
+	if got := s.Query([]partition.Key{"k"}); got[0] != 2 {
+		t.Fatalf("Query = %v", got)
+	}
+	if s.Size() != 1 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+}
+
+func TestScanAll(t *testing.T) {
+	s := newSystem(4)
+	for i := 0; i < 50; i++ {
+		s.Apply(i, i)
+	}
+	seen := 0
+	s.ScanAll(func(partition.Key, any) bool {
+		seen++
+		return true
+	})
+	if seen != 50 {
+		t.Fatalf("scan saw %d", seen)
+	}
+	seen = 0
+	s.ScanAll(func(partition.Key, any) bool {
+		seen++
+		return seen < 7
+	})
+	if seen != 7 {
+		t.Fatalf("early stop at %d", seen)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(p, 0) did not panic")
+		}
+	}()
+	New(partition.New(8), 0)
+}
+
+// Property: a query result matches a model map regardless of key set.
+func TestQueryMatchesModel(t *testing.T) {
+	f := func(keys []uint8) bool {
+		s := newSystem(3)
+		model := map[string]int{}
+		for i, k := range keys {
+			s.Apply(int(k), i)
+			model[partition.KeyString(int(k))] = i
+		}
+		qs := make([]partition.Key, 0, len(keys))
+		for _, k := range keys {
+			qs = append(qs, int(k))
+		}
+		got := s.Query(qs)
+		for i, k := range keys {
+			want := model[partition.KeyString(int(k))]
+			if got[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Queries serialize with updates: concurrent transactions never observe
+// torn state within an instance.
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	s := newSystem(2)
+	s.Apply("a", 0)
+	s.Apply("b", 0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 5000; i++ {
+			s.Apply("a", i)
+			s.Apply("b", i)
+		}
+		close(stop)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lastA := -1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			got := s.Query([]partition.Key{"a"})
+			a := got[0].(int)
+			if a < lastA {
+				t.Errorf("value went backwards: %d after %d", a, lastA)
+				return
+			}
+			lastA = a
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,71 @@
+package squery
+
+import (
+	"squery/internal/dataflow"
+	"squery/internal/metrics"
+)
+
+// Job is a running stream processing job whose state is queryable through
+// the engine that submitted it.
+type Job struct {
+	inner     *dataflow.Job
+	engine    *Engine
+	operators []string
+}
+
+// Operators returns the names of the job's stateful operators — its SQL
+// table names (live) and, prefixed snapshot_, its snapshot tables.
+func (j *Job) Operators() []string { return append([]string(nil), j.operators...) }
+
+// Wait blocks until the job drains (finite sources) or stops.
+func (j *Job) Wait() { j.inner.Wait() }
+
+// Stop cancels the job. Its state tables are removed from the catalog;
+// already-captured snapshots in the state store become unreachable.
+func (j *Job) Stop() {
+	j.inner.Stop()
+	j.engine.cancelJob(j)
+}
+
+// CheckpointNow triggers one checkpoint synchronously; only valid when the
+// job was submitted without a SnapshotInterval.
+func (j *Job) CheckpointNow() error { return j.inner.CheckpointNow() }
+
+// InjectFailure crashes and recovers the job from its latest committed
+// snapshot (§IV): uncommitted state vanishes, sources rewind, processing
+// resumes exactly-once. It returns the snapshot id recovered to (0 if no
+// snapshot had committed).
+func (j *Job) InjectFailure() (int64, error) { return j.inner.InjectFailure() }
+
+// LatestSnapshotID returns the id of the latest committed snapshot — the
+// id unpinned snapshot queries resolve to — or 0 before the first
+// checkpoint commits.
+func (j *Job) LatestSnapshotID() int64 {
+	return j.inner.Manager().Registry().LatestCommitted()
+}
+
+// QueryableSnapshots returns the retained committed snapshot ids, oldest
+// first (by default the two most recent, §VI.A).
+func (j *Job) QueryableSnapshots() []int64 {
+	return j.inner.Manager().Registry().Committed()
+}
+
+// SnapshotStillQueryable reports whether ssid is committed and retained —
+// useful to distinguish "result from a pruned snapshot" from a genuine
+// anomaly when pinning ids under concurrent checkpoints.
+func (j *Job) SnapshotStillQueryable(ssid int64) bool {
+	return j.inner.Manager().Registry().IsQueryable(ssid)
+}
+
+// SnapshotPhase1 returns the histogram of phase-1 (prepare) 2PC latencies.
+func (j *Job) SnapshotPhase1() *metrics.Histogram { return j.inner.SnapshotPhase1() }
+
+// SnapshotTotal returns the histogram of full 2PC commit latencies.
+func (j *Job) SnapshotTotal() *metrics.Histogram { return j.inner.SnapshotTotal() }
+
+// SourceRecords returns the number of records emitted by the job's
+// sources so far.
+func (j *Job) SourceRecords() uint64 { return j.inner.SourceMeter().Count() }
+
+// SourceRate returns the sources' aggregate emit rate in records/second.
+func (j *Job) SourceRate() float64 { return j.inner.SourceMeter().Rate() }

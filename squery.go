@@ -1,0 +1,281 @@
+// Package squery is a from-scratch Go implementation of S-QUERY
+// (Verheijde, Karakoidas, Fragkoulis, Katsifodimos: "S-QUERY: Opening the
+// Black Box of Internal Stream Processor State", ICDE 2022): a distributed
+// stream processor whose internal operator state — both the live state and
+// the snapshot state captured by periodic coordinated checkpoints — is
+// exposed to external applications as queryable key-value tables, through
+// a SQL interface with joins and aggregates and through a direct object
+// interface, with well-defined isolation levels.
+//
+// The Engine is the entry point: it owns a (simulated) cluster, runs
+// stream processing jobs, and answers queries over their state.
+//
+//	eng := squery.New(squery.Config{Nodes: 3})
+//	job, _ := eng.SubmitJob(dag, squery.JobSpec{
+//		State:            squery.StateConfig{Live: true, Snapshots: true},
+//		SnapshotInterval: time.Second,
+//	})
+//	res, _ := eng.Query(`SELECT COUNT(*), zone FROM snapshot_orders GROUP BY zone`)
+//
+// Every substrate — the dataflow runtime (the role Hazelcast Jet plays in
+// the paper), the partitioned in-memory KV store (the role of Hazelcast
+// IMDG), the SQL engine, the checkpoint/2PC machinery — is implemented in
+// this module; see DESIGN.md for the system inventory and the mapping
+// from the paper's experiments to the benchmark harness.
+package squery
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"squery/internal/cluster"
+	"squery/internal/core"
+	"squery/internal/dataflow"
+	"squery/internal/kv"
+	"squery/internal/partition"
+	"squery/internal/persist"
+	"squery/internal/sql"
+)
+
+// Re-exported building blocks. These are aliases, not copies: the public
+// API and the internal implementation are the same types.
+type (
+	// Record is one data item flowing through a job.
+	Record = dataflow.Record
+	// DAG is a job graph.
+	DAG = dataflow.DAG
+	// Vertex is a DAG node.
+	Vertex = dataflow.Vertex
+	// Edge connects two vertices.
+	Edge = dataflow.Edge
+	// ProcContext is passed to processor factories.
+	ProcContext = dataflow.ProcContext
+	// Processor handles records of one operator instance.
+	Processor = dataflow.Processor
+	// Emit sends a record downstream.
+	Emit = dataflow.Emit
+	// SourceInstance is one parallel source instance.
+	SourceInstance = dataflow.SourceInstance
+	// SourceStatus is the result of a source poll.
+	SourceStatus = dataflow.SourceStatus
+	// StateConfig selects the state representations S-QUERY maintains.
+	StateConfig = core.Config
+	// StateBackend is the keyed state store of one operator instance.
+	StateBackend = core.Backend
+	// Result is a materialized SQL result set.
+	Result = sql.Result
+	// Key is a state/partitioning key.
+	Key = partition.Key
+	// KVEntry is one key-value pair returned by raw store scans.
+	KVEntry = kv.Entry
+	// Row exposes named columns of a state object.
+	Row = kv.Row
+	// WatermarkPolicy configures event-time watermark emission on a
+	// source vertex.
+	WatermarkPolicy = dataflow.WatermarkPolicy
+	// WindowResult is the output of a closed event-time window.
+	WindowResult = dataflow.WindowResult
+	// WindowState is the queryable per-key state of a windowing operator.
+	WindowState = dataflow.WindowState
+)
+
+// Vertex and edge constructors re-exported from the dataflow runtime.
+var (
+	// NewDAG returns an empty job graph.
+	NewDAG = dataflow.NewDAG
+	// MapVertex builds a stateless map/filter operator.
+	MapVertex = dataflow.MapVertex
+	// StatefulMapVertex builds a keyed stateful operator whose state is
+	// live- and snapshot-queryable under the vertex name.
+	StatefulMapVertex = dataflow.StatefulMapVertex
+	// SinkVertex builds a sink from a per-record function.
+	SinkVertex = dataflow.SinkVertex
+	// LatencySinkVertex builds a sink recording source→sink latency.
+	LatencySinkVertex = dataflow.LatencySinkVertex
+	// SliceSource builds a finite replayable source from a record slice.
+	SliceSource = dataflow.SliceSource
+	// GeneratorSource builds a deterministic (optionally rate-limited)
+	// generated source.
+	GeneratorSource = dataflow.GeneratorSource
+	// TumblingWindowVertex builds a keyed event-time tumbling-window
+	// operator whose open windows are live- and snapshot-queryable.
+	TumblingWindowVertex = dataflow.TumblingWindowVertex
+	// SlidingWindowVertex builds overlapping event-time windows (size /
+	// hop), tumbling when hop == size.
+	SlidingWindowVertex = dataflow.SlidingWindowVertex
+)
+
+// Edge kinds.
+const (
+	// EdgePartitioned routes records by key hash (co-located with state).
+	EdgePartitioned = dataflow.EdgePartitioned
+	// EdgeForward connects equal-parallelism vertices one-to-one.
+	EdgeForward = dataflow.EdgeForward
+	// EdgeRoundRobin spreads records without keying.
+	EdgeRoundRobin = dataflow.EdgeRoundRobin
+)
+
+// Vertex kinds.
+const (
+	// KindSource marks a source vertex.
+	KindSource = dataflow.KindSource
+	// KindOperator marks an inner operator vertex.
+	KindOperator = dataflow.KindOperator
+	// KindSink marks a sink vertex.
+	KindSink = dataflow.KindSink
+)
+
+// Source poll statuses.
+const (
+	// SourceOK means a record was produced.
+	SourceOK = dataflow.SourceOK
+	// SourceIdle means nothing is available right now.
+	SourceIdle = dataflow.SourceIdle
+	// SourceDone means end of stream.
+	SourceDone = dataflow.SourceDone
+)
+
+// Config describes the cluster an Engine manages.
+type Config struct {
+	// Nodes is the cluster size (default 3, like the paper's overhead
+	// experiments; the snapshot experiments use 7).
+	Nodes int
+	// Partitions is the number of state partitions (default 271).
+	Partitions int
+	// NetworkLatency is the simulated one-way inter-node message cost;
+	// 0 keeps the network free but still counts messages.
+	NetworkLatency time.Duration
+	// NetworkJitter adds up to this much random extra latency.
+	NetworkJitter time.Duration
+	// ReplicateState keeps a synchronous backup copy of every state
+	// partition, so a node failure promotes replicas instead of losing
+	// state (§V.A).
+	ReplicateState bool
+}
+
+// Engine owns a cluster, its state store, and the query subsystem, and
+// runs stream processing jobs whose state becomes queryable.
+type Engine struct {
+	clu *cluster.Cluster
+	cat *core.Catalog
+	ex  *sql.Executor
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+}
+
+// New creates an engine over a fresh simulated cluster.
+func New(cfg Config) *Engine {
+	clu := cluster.New(cluster.Config{
+		Nodes:          cfg.Nodes,
+		Partitions:     cfg.Partitions,
+		NetworkLatency: cfg.NetworkLatency,
+		NetworkJitter:  cfg.NetworkJitter,
+		ReplicateState: cfg.ReplicateState,
+	})
+	cat := core.NewCatalog(clu.Store())
+	return &Engine{
+		clu:  clu,
+		cat:  cat,
+		ex:   sql.NewExecutor(cat, clu.Nodes()),
+		jobs: make(map[string]*Job),
+	}
+}
+
+// Nodes returns the cluster size.
+func (e *Engine) Nodes() int { return e.clu.Nodes() }
+
+// FailNode simulates the loss of a cluster member: its partitions' data
+// is dropped (or recovered from backups when Config.ReplicateState is
+// on) and ownership moves to the backup nodes. Jobs keep running; to
+// also crash and recover a job, call Job.InjectFailure.
+func (e *Engine) FailNode(node int) { e.clu.Fail(node) }
+
+// Messages returns the number of simulated inter-node messages so far.
+func (e *Engine) Messages() uint64 { return e.clu.Messages() }
+
+// JobSpec configures a submitted job.
+type JobSpec struct {
+	// Name identifies the job; defaults to "job".
+	Name string
+	// State is the default state configuration for stateful vertices.
+	State StateConfig
+	// SnapshotInterval is the checkpoint period (0 = manual checkpoints
+	// via Job.CheckpointNow).
+	SnapshotInterval time.Duration
+	// Retention is the number of committed snapshot versions kept
+	// (default 2, the paper's constant-memory configuration).
+	Retention int
+	// ChannelCapacity bounds operator input queues.
+	ChannelCapacity int
+	// PersistDir, when set, writes every committed snapshot durably to
+	// that directory; Engine.OpenArchive can later query it without the
+	// job (stable-storage checkpoints, §IV).
+	PersistDir string
+}
+
+// SubmitJob starts a job and registers its stateful operators' live and
+// snapshot tables with the query catalog. Operator names must be unique
+// across all running jobs — they are the SQL table names.
+func (e *Engine) SubmitJob(dag *DAG, spec JobSpec) (*Job, error) {
+	job, err := dataflow.Run(dag, dataflow.Config{
+		Name:             spec.Name,
+		Cluster:          e.clu,
+		State:            spec.State,
+		SnapshotInterval: spec.SnapshotInterval,
+		Retention:        spec.Retention,
+		ChannelCapacity:  spec.ChannelCapacity,
+		PersistDir:       spec.PersistDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ops := job.StatefulOperators()
+	if err := e.cat.RegisterJob(job.Manager().Registry(), ops...); err != nil {
+		job.Stop()
+		return nil, err
+	}
+	j := &Job{inner: job, engine: e, operators: ops}
+	e.mu.Lock()
+	name := spec.Name
+	if name == "" {
+		name = fmt.Sprintf("job-%d", len(e.jobs)+1)
+	}
+	e.jobs[name] = j
+	e.mu.Unlock()
+	return j, nil
+}
+
+// cancelJob removes a job's tables from the catalog.
+func (e *Engine) cancelJob(j *Job) {
+	e.cat.UnregisterJob(j.operators...)
+}
+
+// OpenArchive imports the latest snapshot persisted in dir (written by a
+// job with JobSpec.PersistDir) and registers its operators' snapshot
+// tables with the query catalog, so historical state can be queried
+// without the job running — the audit/compliance use case of §III. It
+// returns the imported snapshot id and the operator names.
+func (e *Engine) OpenArchive(dir string) (int64, []string, error) {
+	p, err := persist.Open(dir)
+	if err != nil {
+		return 0, nil, err
+	}
+	mgr := core.NewManager(e.clu.Store(), 0)
+	ssid, err := mgr.ImportPersisted(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	if ssid == 0 {
+		return 0, nil, fmt.Errorf("squery: no committed snapshot in archive %s", dir)
+	}
+	ops, err := p.Operators(ssid)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := e.cat.RegisterJob(mgr.Registry(), ops...); err != nil {
+		return 0, nil, err
+	}
+	return ssid, ops, nil
+}
