@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: test vet race soak-chaos verify
+
+# Tier-1: what CI gates on.
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short deterministic chaos soak under the race detector: seed 1's fault
+# schedule (mid-checkpoint node crash, coordinator-worker partition,
+# dropped barrier, duplicated ack, stalled/unreachable partitions) against
+# the exactly-once oracle check.
+soak-chaos:
+	$(GO) run -race ./cmd/squery-soak -chaos -seed 1 -duration 5s
+
+verify: vet race soak-chaos

@@ -10,11 +10,21 @@
 //   - recovery converges: after a failure, processing resumes and new
 //     snapshots commit.
 //
+// With -chaos the harness instead runs the deterministic chaos soak: a
+// counting workload executes once fault-free (the oracle) and once under
+// the seed-derived fault schedule of chaos.SoakSchedule — a mid-checkpoint
+// node crash, a coordinator–worker partition, dropped barriers, duplicated
+// acks, and stalled/unreachable partitions for the concurrent query
+// traffic — and the final states must match exactly (exactly-once). The
+// same seed always produces the same schedule; -duration bounds how long
+// the chaos run may take to converge.
+//
 // Any violation aborts the process with a non-zero exit code.
 //
 // Usage:
 //
 //	squery-soak [-duration 30s] [-orders 5000] [-failures 3]
+//	squery-soak -chaos [-seed 1] [-duration 30s]
 package main
 
 import (
@@ -28,13 +38,21 @@ import (
 
 	"squery"
 	"squery/internal/qcommerce"
+	"squery/internal/soak"
 )
 
 func main() {
 	duration := flag.Duration("duration", 30*time.Second, "soak duration")
 	orders := flag.Int64("orders", 5_000, "unique orders")
 	failures := flag.Int("failures", 3, "failure injections over the run")
+	chaosMode := flag.Bool("chaos", false, "run the seeded chaos soak instead of the q-commerce soak")
+	seed := flag.Int64("seed", 1, "chaos schedule seed (-chaos mode)")
 	flag.Parse()
+
+	if *chaosMode {
+		runChaos(*seed, *duration)
+		return
+	}
 
 	eng := squery.New(squery.Config{Nodes: 3, ReplicateState: true})
 	dag := qcommerce.DAG(qcommerce.Config{
@@ -175,6 +193,24 @@ func main() {
 	fmt.Printf("soak done: %s, %d records processed, %d invariant queries, %d snapshot(s) committed, %d violations\n",
 		*duration, job.SourceRecords(), queries.Load(), job.LatestSnapshotID(), violations.Load())
 	if violations.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// runChaos executes the deterministic chaos soak and reports the
+// exactly-once verdict.
+func runChaos(seed int64, deadline time.Duration) {
+	rep, err := soak.Run(soak.Config{Seed: seed, Deadline: deadline, Logf: log.Printf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range rep.Events {
+		log.Printf("fired: %s", e)
+	}
+	fmt.Printf("chaos soak: seed %d, %d fault(s) fired, %d checkpoint abort(s), latest snapshot %d, %d guarded queries (%d degraded), exactly-once: %v\n",
+		seed, len(rep.Events), rep.Aborts, rep.Snapshots, rep.Queries, rep.Degraded, rep.Match)
+	if !rep.Match {
+		log.Printf("VIOLATION: chaos counts %v != oracle %v", rep.Counts, rep.Oracle)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,406 @@
+// Package chaos is a deterministic fault-injection layer for the simulated
+// cluster: seeded, schedulable faults against the checkpoint control plane
+// (dropped / duplicated / delayed barrier and ack messages, a coordinator
+// that dies between phase 1 and commit) and against the KV access paths the
+// query layer uses (stalled and unreachable partitions).
+//
+// Determinism is the point. Every decision is a pure function of the
+// injector's rule list, and the rule list is either written explicitly by a
+// test or derived from a single seed (SoakSchedule). Control-plane rules
+// are keyed by snapshot id, vertex, instance and node — quantities that do
+// not depend on goroutine scheduling — so the same seed produces the same
+// fault schedule on every run, which is what lets the soak harness compare
+// a chaos run against a fault-free oracle run.
+//
+// The injector only *injects*; surviving what it injects is the job of the
+// checkpoint coordinator (per-phase deadlines with abort-and-retry, see
+// internal/dataflow) and of the query layer (per-partition timeouts with
+// retry, snapshot fallback, or fail-fast; see internal/sql).
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies one injectable fault.
+type Kind int
+
+// Fault kinds.
+const (
+	// DropAck swallows a phase-1 ack on its way to the coordinator: the
+	// checkpoint can only complete via the coordinator's deadline + retry.
+	DropAck Kind = iota
+	// DupAck delivers a phase-1 ack twice; the coordinator must dedup.
+	DupAck
+	// DelayAck delivers a phase-1 ack after Delay.
+	DelayAck
+	// DropBarrier swallows the coordinator's barrier injection into one
+	// source instance: downstream alignment for that checkpoint can never
+	// complete and the retry must supersede it.
+	DropBarrier
+	// CrashPreCommit kills the job after every phase-1 ack arrived but
+	// before commit — the classic 2PC coordinator death. When CrashNode is
+	// >= 0 that cluster node fails first (a mid-checkpoint node crash).
+	CrashPreCommit
+	// StallPartition blocks KV access to a partition for Delay per access,
+	// modelling a slow or overloaded owner node.
+	StallPartition
+	// Unreachable fails KV access to a partition (or to every partition of
+	// a node), modelling a network partition between the query client and
+	// the owner.
+	Unreachable
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case DropAck:
+		return "drop-ack"
+	case DupAck:
+		return "dup-ack"
+	case DelayAck:
+		return "delay-ack"
+	case DropBarrier:
+		return "drop-barrier"
+	case CrashPreCommit:
+		return "crash-pre-commit"
+	case StallPartition:
+		return "stall-partition"
+	case Unreachable:
+		return "unreachable"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Any is the wildcard for integer rule fields.
+const Any = -1
+
+// Rule is one scheduled fault. Zero-valued scoping fields mean "any"
+// (SSIDFrom/SSIDTo == 0, Vertex == ""); integer identity fields use Any.
+type Rule struct {
+	Kind Kind
+	// SSIDFrom..SSIDTo bounds the checkpoints the rule applies to,
+	// inclusive. 0/0 means every checkpoint; SSIDTo == 0 with SSIDFrom set
+	// means exactly SSIDFrom.
+	SSIDFrom, SSIDTo int64
+	// Vertex/Instance scope control-plane rules to one operator instance
+	// ("" / Any = all).
+	Vertex   string
+	Instance int
+	// Node scopes a rule to instances scheduled on (or partitions owned
+	// by) one node — DropAck with a Node is a coordinator–worker
+	// partition; Unreachable with a Node severs the client from that node.
+	Node int
+	// Partition scopes KV rules to one partition.
+	Partition int
+	// Delay is the injected latency for DelayAck and StallPartition.
+	Delay time.Duration
+	// CrashNode is the cluster node CrashPreCommit fails before the job
+	// crash; Any crashes the job only.
+	CrashNode int
+	// MaxFires bounds how many times the rule triggers (0 = unlimited).
+	MaxFires int
+}
+
+// matchSSID reports whether the rule covers checkpoint ssid.
+func (r *Rule) matchSSID(ssid int64) bool {
+	if r.SSIDFrom == 0 && r.SSIDTo == 0 {
+		return true
+	}
+	to := r.SSIDTo
+	if to == 0 {
+		to = r.SSIDFrom
+	}
+	return ssid >= r.SSIDFrom && ssid <= to
+}
+
+func matchInt(want, got int) bool { return want == Any || want == got }
+
+func matchStr(want, got string) bool { return want == "" || want == got }
+
+// describe renders the rule compactly for schedule comparison.
+func (r *Rule) describe() string {
+	return fmt.Sprintf("%s ssid=%d..%d vertex=%q inst=%d node=%d part=%d delay=%s crash=%d max=%d",
+		r.Kind, r.SSIDFrom, r.SSIDTo, r.Vertex, r.Instance, r.Node, r.Partition, r.Delay, r.CrashNode, r.MaxFires)
+}
+
+// Fate is the verdict for one control-plane message.
+type Fate struct {
+	Drop      bool
+	Duplicate bool
+	Delay     time.Duration
+}
+
+// Event records one fault that actually fired.
+type Event struct {
+	Kind     Kind
+	SSID     int64
+	Vertex   string
+	Instance int
+	Node     int
+	Part     int
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("%s ssid=%d %s/%d node=%d part=%d", e.Kind, e.SSID, e.Vertex, e.Instance, e.Node, e.Part)
+}
+
+// UnreachableError is returned from KV access checks for a severed
+// partition; the query layer wraps it into its own typed error.
+type UnreachableError struct {
+	From, Node, Partition int
+}
+
+// Error implements error.
+func (e *UnreachableError) Error() string {
+	return fmt.Sprintf("chaos: partition %d on node %d unreachable from node %d", e.Partition, e.Node, e.From)
+}
+
+// Injector holds a fault schedule and answers the hook calls of the
+// dataflow coordinator and the KV store. Safe for concurrent use.
+type Injector struct {
+	seed int64
+
+	mu     sync.Mutex
+	rules  []*rule
+	events []Event
+}
+
+// rule pairs a Rule with its fire counter.
+type rule struct {
+	Rule
+	fires int
+}
+
+// New creates an empty injector; record the seed its schedule derives from
+// so harnesses can report it.
+func New(seed int64) *Injector { return &Injector{seed: seed} }
+
+// Seed returns the seed the injector was created with.
+func (in *Injector) Seed() int64 { return in.seed }
+
+// Add appends a rule to the schedule and returns the injector for
+// chaining. Scoping integers left at their zero value are normalized: a
+// zero Instance/Node/Partition/CrashNode on a freshly literal-constructed
+// Rule is taken literally, so use chaos.Any explicitly for wildcards.
+func (in *Injector) Add(r Rule) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &rule{Rule: r})
+	return in
+}
+
+// Schedule renders the rule list as a canonical string — two injectors
+// built from the same seed must render identically, which is the
+// reproducibility check the soak harness performs.
+func (in *Injector) Schedule() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d\n", in.seed)
+	for _, r := range in.rules {
+		b.WriteString(r.describe())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Events returns the faults that fired so far, in firing order.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
+}
+
+// Fired reports how many events of the given kind fired so far.
+func (in *Injector) Fired(k Kind) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, e := range in.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// fire matches the first applicable rule of one of the given kinds,
+// consumes one of its fires and logs the event. Must be called with
+// in.mu NOT held; returns the matched rule copy.
+func (in *Injector) fire(kinds []Kind, ssid int64, vertex string, instance, node, part int) (Rule, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules {
+		kindOK := false
+		for _, k := range kinds {
+			if r.Kind == k {
+				kindOK = true
+				break
+			}
+		}
+		if !kindOK || !r.matchSSID(ssid) {
+			continue
+		}
+		if !matchStr(r.Vertex, vertex) || !matchInt(r.Instance, instance) || !matchInt(r.Node, node) || !matchInt(r.Partition, part) {
+			continue
+		}
+		if r.MaxFires > 0 && r.fires >= r.MaxFires {
+			continue
+		}
+		r.fires++
+		in.events = append(in.events, Event{Kind: r.Kind, SSID: ssid, Vertex: vertex, Instance: instance, Node: node, Part: part})
+		return r.Rule, true
+	}
+	return Rule{}, false
+}
+
+// ackKinds and barrier kinds, in rule-priority order.
+var (
+	ackKinds     = []Kind{DropAck, DupAck, DelayAck}
+	barrierKinds = []Kind{DropBarrier}
+	accessKinds  = []Kind{Unreachable, StallPartition}
+)
+
+// AckFate decides the fate of one phase-1 ack (dataflow.ChaosHook).
+func (in *Injector) AckFate(ssid int64, vertex string, instance, node int) Fate {
+	r, ok := in.fire(ackKinds, ssid, vertex, instance, node, Any)
+	if !ok {
+		return Fate{}
+	}
+	switch r.Kind {
+	case DropAck:
+		return Fate{Drop: true}
+	case DupAck:
+		return Fate{Duplicate: true}
+	default:
+		return Fate{Delay: r.Delay}
+	}
+}
+
+// BarrierFate decides the fate of one coordinator→source barrier
+// injection (dataflow.ChaosHook).
+func (in *Injector) BarrierFate(ssid int64, vertex string, instance, node int) Fate {
+	if _, ok := in.fire(barrierKinds, ssid, vertex, instance, node, Any); ok {
+		return Fate{Drop: true}
+	}
+	return Fate{}
+}
+
+// CrashPreCommit reports whether the coordinator must die between phase 1
+// and commit of checkpoint ssid, and which cluster node (if any, else
+// chaos.Any) fails with it (dataflow.ChaosHook).
+func (in *Injector) CrashPreCommit(ssid int64) (bool, int) {
+	r, ok := in.fire([]Kind{CrashPreCommit}, ssid, "", Any, Any, Any)
+	if !ok {
+		return false, Any
+	}
+	return true, r.CrashNode
+}
+
+// Access intercepts one KV access of partition part (owned by node) from
+// node from (kv.FaultHook). A stall sleeps outside the injector lock; an
+// unreachable partition returns a typed error.
+func (in *Injector) Access(from, node, part int) error {
+	r, ok := in.fire(accessKinds, 0, "", Any, node, part)
+	if !ok {
+		return nil
+	}
+	if r.Kind == StallPartition {
+		time.Sleep(r.Delay)
+		return nil
+	}
+	return &UnreachableError{From: from, Node: node, Partition: part}
+}
+
+// SoakProfile tunes the seed-derived schedule.
+type SoakProfile struct {
+	// Nodes and Partitions describe the cluster the schedule targets.
+	Nodes, Partitions int
+	// StallDelay is the per-access latency of the stalled partition
+	// (default 50ms).
+	StallDelay time.Duration
+}
+
+// SoakSchedule derives a complete soak fault plan from a seed. Every
+// schedule contains, with seed-dependent placement:
+//
+//   - a mid-checkpoint node crash: CrashPreCommit at one checkpoint,
+//     failing one non-zero cluster node first;
+//   - a coordinator–worker partition: every ack from instances on one node
+//     is dropped for a window of two consecutive checkpoints;
+//   - one dropped barrier (a source the coordinator cannot reach);
+//   - one stalled and one unreachable partition for query traffic, each
+//     bounded by MaxFires so retries eventually succeed.
+//
+// The same seed always yields the same schedule (compare with Schedule()).
+func SoakSchedule(seed int64, p SoakProfile) *Injector {
+	if p.Nodes < 2 {
+		p.Nodes = 3
+	}
+	if p.Partitions < 1 {
+		p.Partitions = 271
+	}
+	if p.StallDelay <= 0 {
+		p.StallDelay = 50 * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(seed))
+	in := New(seed)
+
+	// Mid-checkpoint node crash. Checkpoint 1 is left alone so recovery
+	// has a committed snapshot to land on; the crashed node is never 0 so
+	// the offsets map written from node 0's view keeps its primary.
+	crashAt := 2 + rng.Int63n(3)
+	crashNode := 1 + rng.Intn(p.Nodes-1)
+	in.Add(Rule{Kind: CrashPreCommit, SSIDFrom: crashAt, Instance: Any, Node: Any, Partition: Any, CrashNode: crashNode, MaxFires: 1})
+
+	// Coordinator–worker partition: acks from one node vanish for two
+	// checkpoints; the coordinator must abort on deadline and retry past
+	// the window. The partitioned node is drawn from the nodes that survive
+	// the crash, so the window is guaranteed to see live instances.
+	isoFrom := crashAt + 2 + rng.Int63n(3)
+	isoNode := rng.Intn(p.Nodes - 1)
+	if isoNode >= crashNode {
+		isoNode++
+	}
+	in.Add(Rule{Kind: DropAck, SSIDFrom: isoFrom, SSIDTo: isoFrom + 1, Vertex: "", Instance: Any, Node: isoNode, Partition: Any, CrashNode: Any})
+
+	// One barrier the coordinator fails to deliver.
+	dropAt := isoFrom + 2 + rng.Int63n(2)
+	in.Add(Rule{Kind: DropBarrier, SSIDFrom: dropAt, Instance: Any, Node: Any, Partition: Any, CrashNode: Any, MaxFires: 1})
+
+	// A duplicated ack somewhere in between, to exercise coordinator dedup.
+	in.Add(Rule{Kind: DupAck, SSIDFrom: crashAt + 1, Instance: Any, Node: Any, Partition: Any, CrashNode: Any, MaxFires: 1})
+
+	// Query-side faults: one stalled and one unreachable partition.
+	stallPart := rng.Intn(p.Partitions)
+	deadPart := rng.Intn(p.Partitions)
+	in.Add(Rule{Kind: StallPartition, Instance: Any, Node: Any, Partition: stallPart, CrashNode: Any, Delay: p.StallDelay, MaxFires: 4})
+	in.Add(Rule{Kind: Unreachable, Instance: Any, Node: Any, Partition: deadPart, CrashNode: Any, MaxFires: 4})
+	return in
+}
+
+// Kinds returns the distinct fault kinds present in the schedule, sorted —
+// harness-side sanity checks use it to prove a seed exercises the faults
+// the acceptance criteria name.
+func (in *Injector) Kinds() []Kind {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	seen := map[Kind]bool{}
+	for _, r := range in.rules {
+		seen[r.Kind] = true
+	}
+	out := make([]Kind, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

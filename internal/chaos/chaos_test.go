@@ -1,0 +1,121 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSoakScheduleDeterministic is the reproducibility contract: the same
+// seed must always derive the same fault schedule, and the schedule must
+// drive identical decisions for identical inputs.
+func TestSoakScheduleDeterministic(t *testing.T) {
+	p := SoakProfile{Nodes: 3, Partitions: 64}
+	for seed := int64(1); seed <= 5; seed++ {
+		a := SoakSchedule(seed, p)
+		b := SoakSchedule(seed, p)
+		if a.Schedule() != b.Schedule() {
+			t.Fatalf("seed %d: schedules differ:\n%s\nvs\n%s", seed, a.Schedule(), b.Schedule())
+		}
+		// Same inputs, same decisions.
+		for ssid := int64(1); ssid <= 12; ssid++ {
+			ca, na := a.CrashPreCommit(ssid)
+			cb, nb := b.CrashPreCommit(ssid)
+			if ca != cb || na != nb {
+				t.Fatalf("seed %d ssid %d: crash verdicts differ", seed, ssid)
+			}
+			for inst := 0; inst < 3; inst++ {
+				fa := a.AckFate(ssid, "op", inst, inst%3)
+				fb := b.AckFate(ssid, "op", inst, inst%3)
+				if fa != fb {
+					t.Fatalf("seed %d ssid %d inst %d: ack fates differ: %+v vs %+v", seed, ssid, inst, fa, fb)
+				}
+			}
+		}
+	}
+}
+
+// TestSoakScheduleCoversRequiredFaults: every seed-derived schedule must
+// include a mid-checkpoint node crash and a coordinator–worker partition.
+func TestSoakScheduleCoversRequiredFaults(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		in := SoakSchedule(seed, SoakProfile{Nodes: 3, Partitions: 32})
+		kinds := map[Kind]bool{}
+		for _, k := range in.Kinds() {
+			kinds[k] = true
+		}
+		if !kinds[CrashPreCommit] || !kinds[DropAck] {
+			t.Fatalf("seed %d: schedule lacks crash or partition: %v", seed, in.Kinds())
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := SoakSchedule(1, SoakProfile{Nodes: 3, Partitions: 64})
+	b := SoakSchedule(2, SoakProfile{Nodes: 3, Partitions: 64})
+	if a.Schedule() == b.Schedule() {
+		t.Fatal("seeds 1 and 2 derived identical schedules")
+	}
+}
+
+func TestRuleMatchingAndFireLimits(t *testing.T) {
+	in := New(0)
+	in.Add(Rule{Kind: DropAck, SSIDFrom: 2, SSIDTo: 3, Vertex: "tally", Instance: Any, Node: 1, Partition: Any, CrashNode: Any, MaxFires: 2})
+
+	if f := in.AckFate(1, "tally", 0, 1); f.Drop {
+		t.Fatal("ssid 1 outside window matched")
+	}
+	if f := in.AckFate(2, "other", 0, 1); f.Drop {
+		t.Fatal("wrong vertex matched")
+	}
+	if f := in.AckFate(2, "tally", 0, 2); f.Drop {
+		t.Fatal("wrong node matched")
+	}
+	if f := in.AckFate(2, "tally", 0, 1); !f.Drop {
+		t.Fatal("in-window ack not dropped")
+	}
+	if f := in.AckFate(3, "tally", 1, 1); !f.Drop {
+		t.Fatal("second in-window ack not dropped")
+	}
+	// MaxFires exhausted.
+	if f := in.AckFate(3, "tally", 2, 1); f.Drop {
+		t.Fatal("rule fired past MaxFires")
+	}
+	if got := len(in.Events()); got != 2 {
+		t.Fatalf("events = %d, want 2", got)
+	}
+}
+
+func TestAccessFaults(t *testing.T) {
+	in := New(0)
+	in.Add(Rule{Kind: Unreachable, Instance: Any, Node: Any, Partition: 7, CrashNode: Any})
+	in.Add(Rule{Kind: StallPartition, Instance: Any, Node: Any, Partition: 9, CrashNode: Any, Delay: 10 * time.Millisecond})
+
+	err := in.Access(-1, 2, 7)
+	var ue *UnreachableError
+	if !errors.As(err, &ue) || ue.Partition != 7 || ue.Node != 2 {
+		t.Fatalf("Access(7) = %v, want UnreachableError{part 7, node 2}", err)
+	}
+	start := time.Now()
+	if err := in.Access(-1, 0, 9); err != nil {
+		t.Fatalf("stalled access errored: %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("stall slept only %s", d)
+	}
+	if err := in.Access(-1, 0, 3); err != nil {
+		t.Fatalf("unfaulted partition errored: %v", err)
+	}
+}
+
+func TestDupAndDelayFates(t *testing.T) {
+	in := New(0)
+	in.Add(Rule{Kind: DupAck, SSIDFrom: 1, Instance: Any, Node: Any, Partition: Any, CrashNode: Any, MaxFires: 1})
+	in.Add(Rule{Kind: DelayAck, SSIDFrom: 2, Instance: Any, Node: Any, Partition: Any, CrashNode: Any, Delay: 5 * time.Millisecond})
+	if f := in.AckFate(1, "v", 0, 0); !f.Duplicate {
+		t.Fatalf("fate = %+v, want duplicate", f)
+	}
+	if f := in.AckFate(2, "v", 0, 0); f.Delay != 5*time.Millisecond {
+		t.Fatalf("fate = %+v, want 5ms delay", f)
+	}
+}

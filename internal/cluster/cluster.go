@@ -83,10 +83,18 @@ func New(cfg Config) *Cluster {
 	}
 	c.store = kv.NewStore(c.part, c.assign, delay)
 	if cfg.ReplicateState {
-		c.store.SetReplicated()
+		if err := c.store.SetReplicated(); err != nil {
+			// The store was created two lines up and holds no data yet, so
+			// this is unreachable; panicking keeps New's signature.
+			panic(fmt.Sprintf("cluster: %v", err))
+		}
 	}
 	return c
 }
+
+// SetFaultHook installs a fault-injection hook (see internal/chaos) on the
+// cluster's KV store; nil clears it.
+func (c *Cluster) SetFaultHook(h kv.FaultHook) { c.store.SetFaultHook(h) }
 
 func (c *Cluster) countOnly(from, to int) {
 	if from != to {

@@ -213,6 +213,50 @@ func (t *TableRef) ScanNode(ssid int64, node int, fn func(TableRow) bool) {
 // that drive ScanPartition directly (e.g. partition-wise joins).
 func (t *TableRef) ChargeClientHop(node int) { t.view.ChargeHop(node) }
 
+// CheckPartition verifies that the owner node of partition p is reachable
+// from the query client, consulting the store's fault hook. Fault-tolerant
+// executors call it before each partition scan; a plain scan never does
+// (the fault hook only intercepts fallible query paths, never the data
+// plane).
+func (t *TableRef) CheckPartition(p int) error {
+	return t.store.CheckAccess(kv.ClientNode, p)
+}
+
+// CheckBackupPartition is CheckPartition against the partition's backup
+// node — the replica PolicyFallback degrades to when the primary is
+// unreachable. On a healthy layout primary and backup live on different
+// nodes, so a fault severing the owner leaves the backup reachable.
+func (t *TableRef) CheckBackupPartition(p int) error {
+	return t.store.CheckBackupAccess(kv.ClientNode, p)
+}
+
+// LatestCommittedSSID returns the operator's latest committed snapshot id,
+// or 0 when no checkpoint has committed yet — the version a degraded query
+// falls back to when live state is unreachable.
+func (t *TableRef) LatestCommittedSSID() int64 {
+	latest := t.reg.LatestCommitted()
+	if latest == snapshot.NoSnapshot {
+		return 0
+	}
+	return latest
+}
+
+// ScanPartitionFallback streams the rows of partition p as of snapshot
+// ssid from the partition's backup replica instead of its primary copy.
+// This is the degraded read behind PolicyFallback: the primary owner is
+// unreachable, but the synchronously replicated backup on another node
+// still holds every committed snapshot version. Yields nothing when the
+// store is not replicated.
+func (t *TableRef) ScanPartitionFallback(ssid int64, p int, fn func(TableRow) bool) {
+	t.store.GetMap(SnapshotMapName(t.op)).ScanPartitionBackup(p, func(e kv.Entry) bool {
+		v, ok := e.Value.(*Chain).At(ssid)
+		if !ok {
+			return true
+		}
+		return fn(TableRow{Key: e.Key, SSID: v.SSID, Value: kv.AsRow(v.Value), Raw: v.Value})
+	})
+}
+
 // Scan streams all rows of the table as of snapshot ssid, charging one
 // network hop per remote node like any client-side full scan.
 func (t *TableRef) Scan(ssid int64, fn func(TableRow) bool) {

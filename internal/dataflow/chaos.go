@@ -1,0 +1,21 @@
+package dataflow
+
+import "squery/internal/chaos"
+
+// ChaosHook is the fault-injection interface the checkpoint control plane
+// consults (implemented by *chaos.Injector; nil disables injection). All
+// methods must be safe for concurrent use and deterministic in their
+// inputs — the coordinator and every worker call them from their own
+// goroutines.
+type ChaosHook interface {
+	// BarrierFate rules on one coordinator→source barrier injection for
+	// checkpoint ssid. Drop makes the coordinator skip the source (the
+	// checkpoint then aborts on its deadline); Delay stalls the injection.
+	BarrierFate(ssid int64, vertex string, instance, node int) chaos.Fate
+	// AckFate rules on one phase-1 ack on its way to the coordinator.
+	AckFate(ssid int64, vertex string, instance, node int) chaos.Fate
+	// CrashPreCommit reports whether the job must crash after phase 1 of
+	// checkpoint ssid completed but before commit, and which cluster node
+	// (>= 0) fails with it.
+	CrashPreCommit(ssid int64) (crash bool, node int)
+}

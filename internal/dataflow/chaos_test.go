@@ -1,0 +1,237 @@
+package dataflow
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"squery/internal/chaos"
+	"squery/internal/cluster"
+	"squery/internal/core"
+)
+
+// chaosJob builds the standard chaos fixture: a gated source per name
+// (emits half its records, idles until release, emits the rest) feeding a
+// stateful counter and a sink. Gated sources stay responsive to barriers
+// while idle, so checkpoints keep flowing at the gate.
+func chaosJob(t *testing.T, clu *cluster.Cluster, sources []string, perSource int, cfg Config) (*Job, chan struct{}) {
+	t.Helper()
+	release := make(chan struct{})
+	dag := NewDAG()
+	for _, name := range sources {
+		total := int64(perSource)
+		dag.AddVertex(&Vertex{
+			Name: name, Kind: KindSource, Parallelism: 1,
+			NewSource: func(instance, par int) SourceInstance {
+				return &gatedSource{release: release, total: total}
+			},
+		})
+	}
+	dag.AddVertex(StatefulMapVertex("counter", 2, countFn)).
+		AddVertex(LatencySinkVertexForTest("sink", 1))
+	for _, name := range sources {
+		dag.Connect(name, "counter", EdgePartitioned)
+	}
+	dag.Connect("counter", "sink", EdgePartitioned)
+	cfg.Cluster = clu
+	if cfg.State.Snapshots == false && cfg.State.Live == false {
+		cfg.State = core.Config{Live: true, Snapshots: true}
+	}
+	job, err := Run(dag, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job, release
+}
+
+// waitLiveCounts polls until every key 0..9 reaches the expected final
+// live count — the eventual exactly-once check (a lost record never gets
+// there; a duplicated record overshoots and never equals it either).
+func waitLiveCounts(t *testing.T, clu *cluster.Cluster, want int) {
+	t.Helper()
+	waitFor(t, func() bool {
+		for k := 0; k < 10; k++ {
+			v, ok := clu.ClientView().Get(core.LiveMapName("counter"), k)
+			if !ok || v.(countingState).Count != want {
+				return false
+			}
+		}
+		return true
+	}, "exactly-once final counts")
+}
+
+// TestAckLossAbortsAndRetries: a checkpoint that loses one worker ack must
+// abort when its phase-1 deadline expires, retry with backoff under a
+// fresh snapshot id, and commit; the aborted id is never queryable and no
+// record is lost or duplicated.
+func TestAckLossAbortsAndRetries(t *testing.T) {
+	clu := testCluster()
+	inj := chaos.New(1).Add(chaos.Rule{
+		Kind: chaos.DropAck, SSIDFrom: 1, Vertex: "counter",
+		Instance: chaos.Any, Node: chaos.Any, Partition: chaos.Any, CrashNode: chaos.Any,
+		MaxFires: 1,
+	})
+	job, release := chaosJob(t, clu, []string{"src"}, 200, Config{
+		CheckpointTimeout: 50 * time.Millisecond,
+		CheckpointRetries: 3,
+		CheckpointBackoff: 2 * time.Millisecond,
+		Chaos:             inj,
+	})
+	defer job.Stop()
+
+	waitFor(t, func() bool { return job.SourceMeter().Count() >= 100 }, "first half")
+	start := time.Now()
+	if err := job.CheckpointNow(); err != nil {
+		t.Fatalf("checkpoint did not survive the dropped ack: %v", err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("checkpoint committed in %s — the deadline never fired", d)
+	}
+	if got := job.CheckpointAborts(); got != 1 {
+		t.Fatalf("aborts = %d, want 1", got)
+	}
+	reg := job.Manager().Registry()
+	if reg.LatestCommitted() != 2 {
+		t.Fatalf("latest committed = %d, want 2 (retry id)", reg.LatestCommitted())
+	}
+	if reg.IsQueryable(1) {
+		t.Fatal("aborted checkpoint 1 is queryable")
+	}
+	if inj.Fired(chaos.DropAck) != 1 {
+		t.Fatalf("drop-ack fired %d times, want 1", inj.Fired(chaos.DropAck))
+	}
+
+	close(release)
+	job.Wait()
+	waitLiveCounts(t, clu, 20) // 200 records, keys 0..9
+}
+
+// TestBarrierDropSupersededByRetry: dropping the coordinator's barrier to
+// one of two sources leaves downstream workers partially aligned forever;
+// the deadline aborts, and the retry's higher barrier must supersede the
+// stuck alignment (stash released, alignment restarted) and commit.
+func TestBarrierDropSupersededByRetry(t *testing.T) {
+	clu := testCluster()
+	inj := chaos.New(1).Add(chaos.Rule{
+		Kind: chaos.DropBarrier, SSIDFrom: 1, Vertex: "srcB",
+		Instance: chaos.Any, Node: chaos.Any, Partition: chaos.Any, CrashNode: chaos.Any,
+		MaxFires: 1,
+	})
+	job, release := chaosJob(t, clu, []string{"srcA", "srcB"}, 200, Config{
+		CheckpointTimeout: 50 * time.Millisecond,
+		CheckpointRetries: 3,
+		CheckpointBackoff: 2 * time.Millisecond,
+		Chaos:             inj,
+	})
+	defer job.Stop()
+
+	waitFor(t, func() bool { return job.SourceMeter().Count() >= 200 }, "both halves before the gate")
+	if err := job.CheckpointNow(); err != nil {
+		t.Fatalf("checkpoint did not survive the dropped barrier: %v", err)
+	}
+	if got := job.CheckpointAborts(); got != 1 {
+		t.Fatalf("aborts = %d, want 1", got)
+	}
+	reg := job.Manager().Registry()
+	if reg.LatestCommitted() != 2 || reg.IsQueryable(1) {
+		t.Fatalf("latest = %d, queryable(1) = %v; want 2, false",
+			reg.LatestCommitted(), reg.IsQueryable(1))
+	}
+
+	close(release)
+	job.Wait()
+	waitLiveCounts(t, clu, 40) // 2 sources x 200 records, keys 0..9
+}
+
+// TestPreCommitCrashNeverPublishes: the coordinator dies between phase 1
+// and commit, taking a cluster node with it (the mid-checkpoint node crash
+// of the acceptance criteria). The prepared snapshot must never become
+// queryable, recovery must abort it exactly once, and a later checkpoint
+// commits with exactly-once state intact.
+func TestPreCommitCrashNeverPublishes(t *testing.T) {
+	clu := cluster.New(cluster.Config{Nodes: 3, Partitions: 27, ReplicateState: true})
+	inj := chaos.New(1).Add(chaos.Rule{
+		Kind: chaos.CrashPreCommit, SSIDFrom: 1,
+		Instance: chaos.Any, Node: chaos.Any, Partition: chaos.Any,
+		CrashNode: 1, MaxFires: 1,
+	})
+	job, release := chaosJob(t, clu, []string{"src"}, 200, Config{Chaos: inj})
+	defer job.Stop()
+
+	waitFor(t, func() bool { return job.SourceMeter().Count() >= 100 }, "first half")
+	if err := job.CheckpointNow(); err == nil {
+		t.Fatal("checkpoint committed despite the injected pre-commit crash")
+	}
+	// Recovery runs asynchronously: wait for the node failure, for the
+	// in-flight snapshot id to be aborted, and for the restart to finish
+	// (running only flips back to true at the end of start()).
+	reg := job.Manager().Registry()
+	waitFor(t, func() bool {
+		job.mu.Lock()
+		restarted := job.running
+		job.mu.Unlock()
+		return clu.Failed(1) && reg.InProgress() == 0 && restarted
+	}, "crash recovery")
+	if reg.IsQueryable(1) || reg.LatestCommitted() != 0 {
+		t.Fatalf("crashed checkpoint published: queryable(1)=%v latest=%d",
+			reg.IsQueryable(1), reg.LatestCommitted())
+	}
+	if got := job.CheckpointAborts(); got != 1 {
+		t.Fatalf("aborts = %d, want exactly 1", got)
+	}
+
+	// The recovered job checkpoints normally.
+	if err := job.CheckpointNow(); err != nil {
+		t.Fatalf("post-recovery checkpoint: %v", err)
+	}
+	if reg.LatestCommitted() == 0 {
+		t.Fatal("no checkpoint committed after recovery")
+	}
+	close(release)
+	waitLiveCounts(t, clu, 20)
+}
+
+// TestConcurrentCheckpointNow: a second CheckpointNow while one is in
+// flight must fail fast with the typed error instead of racing the first
+// caller for acks (satellite: explicit mutex guard).
+func TestConcurrentCheckpointNow(t *testing.T) {
+	clu := testCluster()
+	job, release := chaosJob(t, clu, []string{"src"}, 100, Config{})
+	defer job.Stop()
+	waitFor(t, func() bool { return job.SourceMeter().Count() >= 50 }, "first half")
+
+	job.ckptMu.Lock() // stand in for a caller mid-checkpoint
+	err := job.CheckpointNow()
+	job.ckptMu.Unlock()
+	if !errors.Is(err, ErrConcurrentCheckpoint) {
+		t.Fatalf("concurrent CheckpointNow = %v, want ErrConcurrentCheckpoint", err)
+	}
+	// Once the first caller is done the guard releases.
+	if err := job.CheckpointNow(); err != nil {
+		t.Fatalf("checkpoint after guard released: %v", err)
+	}
+	close(release)
+	job.Wait()
+}
+
+// TestDuplicatedAckIsDeduped: an ack delivered twice must not let a
+// checkpoint commit before every instance actually prepared.
+func TestDuplicatedAckIsDeduped(t *testing.T) {
+	clu := testCluster()
+	inj := chaos.New(1).Add(chaos.Rule{
+		Kind: chaos.DupAck, Vertex: "counter",
+		Instance: chaos.Any, Node: chaos.Any, Partition: chaos.Any, CrashNode: chaos.Any,
+	})
+	job, release := chaosJob(t, clu, []string{"src"}, 200, Config{Chaos: inj})
+	defer job.Stop()
+	waitFor(t, func() bool { return job.SourceMeter().Count() >= 100 }, "first half")
+	if err := job.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if aborts := job.CheckpointAborts(); aborts != 0 {
+		t.Fatalf("aborts = %d, want 0", aborts)
+	}
+	close(release)
+	job.Wait()
+	waitLiveCounts(t, clu, 20)
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"squery/internal/chaos"
 	"squery/internal/core"
 	"squery/internal/kv"
 )
@@ -78,6 +79,59 @@ func TestSnapshotIsConsistentCut(t *testing.T) {
 		t.Fatalf("only %d snapshots verified — checkpoints did not flow", checked)
 	}
 	job.Wait()
+}
+
+// TestKillDuringCheckpointAbortsExactlyOnce: a checkpoint that is still in
+// phase 1 when the job is killed must be aborted exactly once and its
+// snapshot id never published — a half-prepared cut that became queryable
+// would break every isolation guarantee built on the registry.
+func TestKillDuringCheckpointAbortsExactlyOnce(t *testing.T) {
+	clu := testCluster()
+	// Swallow one counter ack; with no phase-1 deadline configured the
+	// checkpoint then hangs in phase 1 until the kill arrives.
+	inj := chaos.New(1).Add(chaos.Rule{
+		Kind: chaos.DropAck, Vertex: "counter",
+		Instance: chaos.Any, Node: chaos.Any, Partition: chaos.Any, CrashNode: chaos.Any,
+		MaxFires: 1,
+	})
+	release := make(chan struct{})
+	src := &Vertex{
+		Name: "src", Kind: KindSource, Parallelism: 1,
+		NewSource: func(instance, par int) SourceInstance {
+			return &gatedSource{release: release, total: 1000}
+		},
+	}
+	dag := NewDAG().
+		AddVertex(src).
+		AddVertex(StatefulMapVertex("counter", 2, countFn)).
+		AddVertex(LatencySinkVertexForTest("sink", 1)).
+		Connect("src", "counter", EdgePartitioned).
+		Connect("counter", "sink", EdgePartitioned)
+	job, err := Run(dag, Config{Cluster: clu, State: core.Config{Snapshots: true}, Chaos: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return job.SourceMeter().Count() >= 500 }, "records before the gate")
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- job.CheckpointNow() }()
+	reg := job.Manager().Registry()
+	waitFor(t, func() bool { return reg.InProgress() == 1 }, "checkpoint in flight")
+	job.Stop() // kill with the checkpoint mid-phase-1
+
+	if err := <-errCh; err == nil {
+		t.Fatal("checkpoint interrupted by the kill reported success")
+	}
+	if got := job.CheckpointAborts(); got != 1 {
+		t.Fatalf("aborts = %d, want exactly 1", got)
+	}
+	if reg.InProgress() != 0 {
+		t.Fatalf("snapshot %d still in progress after the kill", reg.InProgress())
+	}
+	if reg.IsQueryable(1) || reg.LatestCommitted() != 0 {
+		t.Fatalf("killed checkpoint published: queryable(1)=%v latest=%d",
+			reg.IsQueryable(1), reg.LatestCommitted())
+	}
 }
 
 func snapshotCounts(clu interface{ Store() *kv.Store }, op string, ssid int64) map[string]int {

@@ -1,6 +1,7 @@
 package dataflow
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
@@ -13,6 +14,35 @@ import (
 // queryable snapshot and pruning evicted versions. The two latencies the
 // paper plots in Figures 10–12 are measured here: injection→all-prepared
 // and injection→committed.
+//
+// Under partial failures (see internal/chaos) the protocol must not hang:
+// when Config.CheckpointTimeout is set, a checkpoint whose acks do not all
+// arrive in time is aborted through the registry's Abort path and retried
+// with exponential backoff under a fresh snapshot id. Workers treat a
+// barrier with a higher id than their in-flight alignment as superseding
+// it (the aborted round's stash is released and alignment restarts), so an
+// abort needs no extra control messages.
+
+// ErrConcurrentCheckpoint is returned by CheckpointNow when another
+// CheckpointNow call is still in flight; the two would race for acks.
+var ErrConcurrentCheckpoint = errors.New("dataflow: a checkpoint is already in progress")
+
+// ckptOutcome classifies one checkpoint attempt.
+type ckptOutcome int
+
+const (
+	// ckptCommitted: the snapshot was published.
+	ckptCommitted ckptOutcome = iota
+	// ckptAborted: the phase-1 deadline expired; the id was aborted and
+	// the attempt may be retried under a fresh id.
+	ckptAborted
+	// ckptStopped: the job is shutting down (or crashed mid-2PC); do not
+	// retry.
+	ckptStopped
+	// ckptSkipped: nothing to checkpoint (all instances finished) or a
+	// previous checkpoint still holds the registry.
+	ckptSkipped
+)
 
 // retireMsg signals that an instance exited naturally (finite source
 // drained); the coordinator stops expecting acks from it. For sources the
@@ -54,20 +84,26 @@ func (j *Job) coordinate(tick <-chan time.Time, stop <-chan struct{}) {
 		case <-j.killCh:
 			return
 		case <-tick:
-			j.checkpointOnce(st)
+			if j.checkpointWithRetry(st) == ckptStopped {
+				return
+			}
 		}
 	}
 }
 
 // CheckpointNow triggers one checkpoint synchronously and reports whether
-// it committed. It must not be called concurrently with itself and is
-// intended for jobs configured without automatic checkpoints
-// (SnapshotInterval == 0); with a ticker running the two drivers would
-// race for acks.
+// it committed. It is intended for jobs configured without automatic
+// checkpoints (SnapshotInterval == 0); with a ticker running the two
+// drivers would race for acks. Concurrent calls are serialized by an
+// explicit guard: the loser returns ErrConcurrentCheckpoint immediately.
 func (j *Job) CheckpointNow() error {
 	if j.cfg.SnapshotInterval > 0 {
 		return fmt.Errorf("dataflow: CheckpointNow is only available when SnapshotInterval is 0")
 	}
+	if !j.ckptMu.TryLock() {
+		return ErrConcurrentCheckpoint
+	}
+	defer j.ckptMu.Unlock()
 	j.mu.Lock()
 	st := j.manualCoord
 	if st == nil {
@@ -75,42 +111,105 @@ func (j *Job) CheckpointNow() error {
 		j.manualCoord = st
 	}
 	j.mu.Unlock()
-	if !j.checkpointOnce(st) {
+	switch out := j.checkpointWithRetry(st); out {
+	case ckptCommitted:
+		return nil
+	case ckptAborted:
+		return fmt.Errorf("dataflow: checkpoint aborted: phase-1 deadline %s exceeded %d time(s)",
+			j.cfg.CheckpointTimeout, j.cfg.CheckpointRetries+1)
+	default:
 		return fmt.Errorf("dataflow: checkpoint did not commit (job stopping or all instances finished)")
 	}
-	return nil
 }
 
-// checkpointOnce runs one full 2PC checkpoint. It reports whether the
-// snapshot committed.
-func (j *Job) checkpointOnce(st *coordState) bool {
+// CheckpointAborts returns the number of checkpoints aborted so far
+// (deadline expiry, job kill, or injected crash) across the job's life,
+// including restarts.
+func (j *Job) CheckpointAborts() int64 { return j.ckptAborts.Load() }
+
+// checkpointWithRetry drives one logical checkpoint: an aborted attempt
+// (phase-1 deadline expired) is retried under a fresh snapshot id with
+// exponential backoff, up to Config.CheckpointRetries times.
+func (j *Job) checkpointWithRetry(st *coordState) ckptOutcome {
+	for attempt := 0; ; attempt++ {
+		out := j.checkpointOnce(st)
+		if out != ckptAborted || attempt >= j.cfg.CheckpointRetries {
+			return out
+		}
+		backoff := j.cfg.CheckpointBackoff << attempt
+		select {
+		case <-time.After(backoff):
+		case <-j.killCh:
+			return ckptStopped
+		}
+	}
+}
+
+// checkpointOnce runs one full 2PC checkpoint attempt.
+func (j *Job) checkpointOnce(st *coordState) ckptOutcome {
 	// Collect retirements that happened since the last checkpoint.
 	j.drainRetired(st)
 	needed := j.acksNeeded - len(st.retired)
 	if needed <= 0 {
-		return false
+		return ckptSkipped
 	}
 	ssid, err := j.mgr.Begin()
 	if err != nil {
-		// A previous checkpoint is still in flight (should not happen
-		// with a single coordinator) — skip this tick like Jet does.
-		return false
+		// A previous checkpoint still holds the registry — either a second
+		// coordinator (should not happen) or an in-flight id abandoned by
+		// an injected crash that recovery has not aborted yet. Skip this
+		// tick like Jet does.
+		return ckptSkipped
+	}
+
+	// Phase-1 deadline: a nil channel never fires, so zero timeout keeps
+	// the wait unbounded.
+	var deadline <-chan time.Time
+	if j.cfg.CheckpointTimeout > 0 {
+		tm := time.NewTimer(j.cfg.CheckpointTimeout)
+		defer tm.Stop()
+		deadline = tm.C
+	}
+	abort := func() ckptOutcome {
+		j.mgr.Abort(ssid)
+		j.ckptAborts.Add(1)
+		return ckptAborted
 	}
 
 	start := time.Now()
-	// Inject barriers into all live sources.
+	// Inject barriers into all live sources, subject to injected faults:
+	// a dropped barrier leaves the ack missing and the deadline aborts.
 	j.mu.Lock()
 	sources := j.sources
 	j.mu.Unlock()
+	hook := j.cfg.Chaos
 	for _, sw := range sources {
 		if st.retired[offsetKey(sw.vertex, sw.instance)] {
 			continue
 		}
+		if hook != nil {
+			fate := hook.BarrierFate(ssid, sw.vertex, sw.instance, sw.node)
+			if fate.Drop {
+				continue
+			}
+			if fate.Delay > 0 {
+				select {
+				case <-time.After(fate.Delay):
+				case <-j.killCh:
+					j.mgr.Abort(ssid)
+					j.ckptAborts.Add(1)
+					return ckptStopped
+				}
+			}
+		}
 		select {
 		case sw.barrierCh <- ssid:
+		case <-deadline:
+			return abort()
 		case <-j.killCh:
 			j.mgr.Abort(ssid)
-			return false
+			j.ckptAborts.Add(1)
+			return ckptStopped
 		}
 	}
 
@@ -126,7 +225,7 @@ func (j *Job) checkpointOnce(st *coordState) bool {
 			}
 			id := offsetKey(a.vertex, a.instance)
 			if acked[id] {
-				continue
+				continue // duplicate delivery
 			}
 			acked[id] = true
 			got++
@@ -140,12 +239,25 @@ func (j *Job) checkpointOnce(st *coordState) bool {
 					needed--
 				}
 			}
+		case <-deadline:
+			return abort()
 		case <-j.killCh:
 			j.mgr.Abort(ssid)
-			return false
+			j.ckptAborts.Add(1)
+			return ckptStopped
 		}
 	}
 	phase1 := time.Since(start)
+
+	// Injected coordinator death between phase 1 and commit: the id stays
+	// in flight (recovery's cleanup aborts it — it must never publish) and
+	// the job crashes, optionally taking a cluster node with it.
+	if hook != nil {
+		if crash, node := hook.CrashPreCommit(ssid); crash {
+			go j.crashAndRecover(node)
+			return ckptStopped
+		}
+	}
 
 	// Persist source offsets as part of the snapshot — including the
 	// final offsets of sources that already drained — then phase 2:
@@ -162,7 +274,7 @@ func (j *Job) checkpointOnce(st *coordState) bool {
 
 	j.phase1Hist.Record(phase1)
 	j.totalHist.Record(total)
-	return true
+	return ckptCommitted
 }
 
 func (j *Job) drainRetired(st *coordState) {

@@ -35,6 +35,22 @@ type Config struct {
 	// storage in that directory (see internal/persist) before it is
 	// published. Opt-in durability: commits become O(total state).
 	PersistDir string
+	// CheckpointTimeout bounds phase 1 of every checkpoint: if the acks of
+	// all live instances have not arrived within it, the checkpoint is
+	// aborted and retried with exponential backoff instead of hanging
+	// forever on a lost ack. 0 disables the deadline (a checkpoint then
+	// waits indefinitely, the pre-chaos behavior).
+	CheckpointTimeout time.Duration
+	// CheckpointRetries is how many times an aborted (timed-out)
+	// checkpoint is retried before the driver gives up (the ticker then
+	// simply tries again at the next tick). Default 3.
+	CheckpointRetries int
+	// CheckpointBackoff is the base delay between checkpoint retries; it
+	// doubles per attempt. Default 10ms.
+	CheckpointBackoff time.Duration
+	// Chaos, when set, intercepts checkpoint control-plane messages for
+	// deterministic fault injection (see internal/chaos).
+	Chaos ChaosHook
 }
 
 func (c Config) withDefaults() Config {
@@ -43,6 +59,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Name == "" {
 		c.Name = "job"
+	}
+	if c.CheckpointRetries <= 0 {
+		c.CheckpointRetries = 3
+	}
+	if c.CheckpointBackoff <= 0 {
+		c.CheckpointBackoff = 10 * time.Millisecond
 	}
 	return c
 }
@@ -69,8 +91,13 @@ type Job struct {
 	phase1Hist *metrics.Histogram // barrier injection -> all prepared
 	totalHist  *metrics.Histogram // barrier injection -> committed
 	sourceOut  *metrics.Meter
+	ckptAborts atomic.Int64 // checkpoints aborted (timeout, kill, crash)
 
 	liveOffsets sync.Map // offsetKey -> *atomic.Int64, survives restarts
+
+	// ckptMu serializes CheckpointNow callers: a second concurrent call
+	// gets ErrConcurrentCheckpoint instead of racing the first for acks.
+	ckptMu sync.Mutex
 
 	mu          sync.Mutex
 	running     bool
@@ -246,6 +273,7 @@ func (j *Job) start(restoreSSID int64, standby bool) {
 					job:       j,
 					vertex:    v.Name,
 					instance:  i,
+					node:      node,
 					src:       src,
 					outs:      outsFor(v.Name, i),
 					barrierCh: make(chan int64, 4),
@@ -260,6 +288,7 @@ func (j *Job) start(restoreSSID int64, standby bool) {
 				job:       j,
 				vertex:    v.Name,
 				instance:  i,
+				node:      node,
 				inbox:     inboxes[v.Name][i],
 				producers: producers[v.Name],
 				outs:      outsFor(v.Name, i),

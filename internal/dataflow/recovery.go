@@ -36,6 +36,7 @@ func (j *Job) InjectFailure() (int64, error) {
 	j.waitCoordinator()
 	if in := j.mgr.Registry().InProgress(); in != 0 {
 		j.mgr.Abort(in)
+		j.ckptAborts.Add(1)
 	}
 
 	// With active standby replicas (§VII, read committed) the failure is
@@ -56,6 +57,22 @@ func (j *Job) InjectFailure() (int64, error) {
 	}
 	j.start(restoreSSID, false)
 	return restoreSSID, nil
+}
+
+// crashAndRecover realizes an injected coordinator crash between phase 1
+// and commit of a checkpoint (chaos CrashPreCommit): the named cluster
+// node fails with the job, then the normal crash-recovery path runs. The
+// in-flight snapshot id is deliberately left open — InjectFailure's
+// cleanup must abort it, proving a prepared-but-uncommitted checkpoint is
+// never published. Called from the coordinator goroutine via `go` so the
+// recovery's coordinator-wait does not deadlock on its own caller.
+func (j *Job) crashAndRecover(node int) {
+	if node >= 0 && node < j.clu.Nodes() && !j.clu.Failed(node) && len(j.clu.LiveNodes()) > 1 {
+		j.clu.Fail(node)
+	}
+	// The error path only fires when the job already stopped for another
+	// reason; the crash is then moot.
+	_, _ = j.InjectFailure()
 }
 
 // clearLiveState wipes the live maps of all stateful operators; used when

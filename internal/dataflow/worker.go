@@ -22,6 +22,7 @@ type worker struct {
 	job       *Job
 	vertex    string
 	instance  int
+	node      int // cluster node the instance is scheduled on
 	inbox     chan item
 	producers int
 	outs      []*edgeOut
@@ -35,6 +36,7 @@ type worker struct {
 	aligned      map[producerID]bool
 	alignedCount int
 	curSSID      int64
+	lastCkpt     int64 // highest ssid this instance has prepared
 	stash        []item
 	eos          map[producerID]bool
 	killed       bool
@@ -77,6 +79,20 @@ func (w *worker) handle(it item) bool {
 	case kindRecord:
 		w.proc.Process(it.rec, w.emit)
 	case kindBarrier:
+		if it.ssid <= w.lastCkpt {
+			// Duplicate or stale barrier — from an aborted checkpoint that
+			// this instance already superseded, or an injected duplicate.
+			return false
+		}
+		if w.alignedCount > 0 && it.ssid > w.curSSID {
+			// A higher barrier supersedes an in-flight alignment: the
+			// coordinator aborted the old checkpoint (phase-1 deadline) and
+			// retried under a fresh id. Release the old round's stash and
+			// restart alignment — no extra control messages needed.
+			if done := w.resetAlignment(); done {
+				return true
+			}
+		}
 		w.aligned[it.from] = true
 		w.alignedCount++
 		w.curSSID = it.ssid
@@ -166,8 +182,16 @@ func (w *worker) completeCheckpoint() bool {
 			panic("dataflow: snapshot prepare failed: " + err.Error())
 		}
 	}
-	w.job.sendAck(ack{vertex: w.vertex, instance: w.instance, ssid: w.curSSID, offset: -1})
+	w.job.sendAck(ack{vertex: w.vertex, instance: w.instance, ssid: w.curSSID, offset: -1}, w.node)
 	w.broadcast(item{kind: kindBarrier, ssid: w.curSSID})
+	w.lastCkpt = w.curSSID
+	return w.resetAlignment()
+}
+
+// resetAlignment clears the alignment state and replays the stashed items
+// of the finished (or superseded) round. It reports whether the worker
+// finished while replaying.
+func (w *worker) resetAlignment() bool {
 	w.aligned = make(map[producerID]bool)
 	w.alignedCount = 0
 	stash := w.stash
@@ -236,6 +260,7 @@ type sourceWorker struct {
 	job       *Job
 	vertex    string
 	instance  int
+	node      int // cluster node the instance is scheduled on
 	src       SourceInstance
 	outs      []*edgeOut
 	barrierCh chan int64
@@ -259,7 +284,7 @@ func (s *sourceWorker) run() {
 			return
 		case ssid := <-s.barrierCh:
 			// Phase 1 for a source: its snapshot is the replay offset.
-			s.job.sendAck(ack{vertex: s.vertex, instance: s.instance, ssid: ssid, offset: s.src.Offset()})
+			s.job.sendAck(ack{vertex: s.vertex, instance: s.instance, ssid: ssid, offset: s.src.Offset()}, s.node)
 			s.broadcast(item{kind: kindBarrier, ssid: ssid})
 		default:
 			rec, st := s.src.Next()
@@ -276,7 +301,7 @@ func (s *sourceWorker) run() {
 				case <-s.killCh:
 					return
 				case ssid := <-s.barrierCh:
-					s.job.sendAck(ack{vertex: s.vertex, instance: s.instance, ssid: ssid, offset: s.src.Offset()})
+					s.job.sendAck(ack{vertex: s.vertex, instance: s.instance, ssid: ssid, offset: s.src.Offset()}, s.node)
 					s.broadcast(item{kind: kindBarrier, ssid: ssid})
 				case <-time.After(20 * time.Microsecond):
 				}
@@ -319,7 +344,7 @@ func (s *sourceWorker) drainBarriers() {
 	for {
 		select {
 		case ssid := <-s.barrierCh:
-			s.job.sendAck(ack{vertex: s.vertex, instance: s.instance, ssid: ssid, offset: s.src.Offset()})
+			s.job.sendAck(ack{vertex: s.vertex, instance: s.instance, ssid: ssid, offset: s.src.Offset()}, s.node)
 			s.broadcast(item{kind: kindBarrier, ssid: ssid})
 		default:
 			return
@@ -362,8 +387,48 @@ func (s *sourceWorker) send(ch chan item, it item) {
 }
 
 // sendAck delivers a phase-1 ack to the coordinator without blocking the
-// worker if the job is being torn down.
-func (j *Job) sendAck(a ack) {
+// worker if the job is being torn down. The chaos hook can drop, delay or
+// duplicate the ack — the control-plane message loss the checkpoint
+// deadline exists to survive.
+func (j *Job) sendAck(a ack, node int) {
+	if hook := j.cfg.Chaos; hook != nil {
+		fate := hook.AckFate(a.ssid, a.vertex, a.instance, node)
+		if fate.Drop {
+			return
+		}
+		if fate.Delay > 0 {
+			// Capture the current channels: after a crash-and-restart the
+			// stale goroutine must drain into the closed old kill channel,
+			// not pollute the new run's ack channel.
+			ackCh, killCh := j.ackCh, j.killCh
+			n := 1
+			if fate.Duplicate {
+				n = 2
+			}
+			go func() {
+				select {
+				case <-time.After(fate.Delay):
+				case <-killCh:
+					return
+				}
+				for i := 0; i < n; i++ {
+					select {
+					case ackCh <- a:
+					case <-killCh:
+						return
+					}
+				}
+			}()
+			return
+		}
+		if fate.Duplicate {
+			j.deliverAck(a)
+		}
+	}
+	j.deliverAck(a)
+}
+
+func (j *Job) deliverAck(a ack) {
 	select {
 	case j.ackCh <- a:
 	case <-j.killCh:

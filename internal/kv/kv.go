@@ -31,12 +31,27 @@ type DelayFunc func(from, to int)
 // system); it is remote to every store node.
 const ClientNode = -1
 
+// FaultHook intercepts simulated network access to partitions for fault
+// injection (see internal/chaos). Access is called with the accessing
+// node, the node owning (or backing up) the target partition, and the
+// partition itself; it may block (a stalled partition) and/or return an
+// error (an unreachable one). The hook is consulted only on the fallible
+// access paths the query layer uses (CheckAccess / CheckBackupAccess) —
+// the data plane's co-located state operations never route through it, so
+// injected faults degrade queries without corrupting processing.
+type FaultHook interface {
+	Access(from, owner, partition int) error
+}
+
 // Store is a cluster-wide collection of named partitioned maps.
 type Store struct {
 	part       partition.Partitioner
 	assign     *partition.Assignment
 	delay      DelayFunc
 	replicated bool
+
+	faultMu sync.RWMutex
+	fault   FaultHook
 
 	mu   sync.RWMutex
 	maps map[string]*Map
@@ -104,6 +119,56 @@ func (s *Store) DropMap(name string) {
 // Use ClientNode for external clients.
 func (s *Store) View(node int) NodeView {
 	return NodeView{store: s, node: node}
+}
+
+// SetFaultHook installs (or clears, with nil) the fault-injection hook.
+func (s *Store) SetFaultHook(h FaultHook) {
+	s.faultMu.Lock()
+	s.fault = h
+	s.faultMu.Unlock()
+}
+
+func (s *Store) faultHook() FaultHook {
+	s.faultMu.RLock()
+	defer s.faultMu.RUnlock()
+	return s.fault
+}
+
+// CheckAccess reports whether node `from` can currently reach the primary
+// copy of partition p, consulting the fault hook. A stalled partition
+// blocks here for the injected delay; an unreachable one returns a typed
+// error wrapping the hook's. Local access (from == owner) is never
+// faulted — a node cannot be partitioned away from itself.
+func (s *Store) CheckAccess(from, p int) error {
+	h := s.faultHook()
+	if h == nil {
+		return nil
+	}
+	owner := s.assign.Owner(p)
+	if from == owner {
+		return nil
+	}
+	if err := h.Access(from, owner, p); err != nil {
+		return fmt.Errorf("kv: partition %d (node %d) unreachable from node %d: %w", p, owner, from, err)
+	}
+	return nil
+}
+
+// CheckBackupAccess is CheckAccess against the partition's backup copy —
+// the degraded read path when the primary is severed.
+func (s *Store) CheckBackupAccess(from, p int) error {
+	h := s.faultHook()
+	if h == nil {
+		return nil
+	}
+	backup := s.assign.Backup(p)
+	if from == backup {
+		return nil
+	}
+	if err := h.Access(from, backup, p); err != nil {
+		return fmt.Errorf("kv: backup of partition %d (node %d) unreachable from node %d: %w", p, backup, from, err)
+	}
+	return nil
 }
 
 // networkHop charges the network cost of touching partition p from node.
@@ -255,6 +320,27 @@ func (m *Map) Clear() {
 // partition size, never to fn's cost — queries must not stall processing.
 func (m *Map) ScanPartition(p int, fn func(Entry) bool) {
 	seg := m.segs[p]
+	seg.mu.RLock()
+	entries := make([]Entry, 0, len(seg.entries))
+	for _, e := range seg.entries {
+		entries = append(entries, e)
+	}
+	seg.mu.RUnlock()
+	for _, e := range entries {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// ScanPartitionBackup is ScanPartition against the partition's backup
+// copy — the degraded read path a query falls back to when the primary is
+// unreachable. Without replication it visits nothing.
+func (m *Map) ScanPartitionBackup(p int, fn func(Entry) bool) {
+	if m.backups == nil {
+		return
+	}
+	seg := m.backups[p]
 	seg.mu.RLock()
 	entries := make([]Entry, 0, len(seg.entries))
 	for _, e := range seg.entries {

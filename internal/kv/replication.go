@@ -1,5 +1,7 @@
 package kv
 
+import "fmt"
+
 // Replication gives each partition a synchronous backup copy, notionally
 // held by the partition's backup node (§V.A of the paper: snapshots are
 // first written locally and replicated by the store; "if a node fails,
@@ -10,17 +12,28 @@ package kv
 // process.
 
 // SetReplicated enables synchronous backup copies. It must be called
-// before any data is written (enabling it later would leave earlier
-// entries unprotected); enabling on a non-empty store panics.
-func (s *Store) SetReplicated() {
+// before any data is written — enabling it later would leave earlier
+// entries unprotected — so a non-empty store is rejected with an error.
+// Maps that already exist (but are empty) are retrofitted with backup
+// segments.
+func (s *Store) SetReplicated() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, m := range s.maps {
+	for name, m := range s.maps {
 		if m.sizeLocked() > 0 {
-			panic("kv: SetReplicated on a non-empty store")
+			return fmt.Errorf("kv: SetReplicated on a non-empty store (map %q already holds entries)", name)
 		}
 	}
 	s.replicated = true
+	for _, m := range s.maps {
+		if m.backups == nil {
+			m.backups = make([]*segment, s.part.Count())
+			for i := range m.backups {
+				m.backups[i] = &segment{entries: make(map[string]Entry)}
+			}
+		}
+	}
+	return nil
 }
 
 // Replicated reports whether synchronous backups are enabled.

@@ -1,0 +1,288 @@
+// Package soak is the chaos soak harness: it runs a deterministic counting
+// workload twice — once fault-free (the oracle) and once under the
+// seed-derived fault schedule of chaos.SoakSchedule — and verifies
+// exactly-once processing by eventual equality of the two runs' final
+// per-key counts. Lost records can never reach the oracle counts;
+// duplicated records overshoot them; only exactly-once converges.
+//
+// The harness also re-derives the schedule from the seed before running
+// and fails if the two renderings differ, making the reproducibility
+// contract (same seed ⇒ same fault schedule ⇒ same recovered state) an
+// executed check rather than a comment.
+//
+// It is used by `squery-soak -chaos` and by the package's own tests.
+package soak
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"squery"
+	"squery/internal/chaos"
+)
+
+// Config tunes one chaos soak run.
+type Config struct {
+	// Seed derives the fault schedule (chaos.SoakSchedule).
+	Seed int64
+	// Nodes and Partitions size the cluster (defaults 3 / 27).
+	Nodes, Partitions int
+	// Records is the workload size per source instance (two instances;
+	// default 2500). Keys is the key-space width (default 10).
+	Records int64
+	Keys    int
+	// Rate is the per-instance emit rate in records/second (default 5000)
+	// — throttling keeps the job alive across enough checkpoints for the
+	// scheduled ssid windows to actually occur.
+	Rate float64
+	// Interval is the checkpoint period (default 10ms).
+	Interval time.Duration
+	// Deadline bounds how long the chaos run may take to converge to the
+	// oracle counts (default 30s).
+	Deadline time.Duration
+	// Logf, when set, receives progress lines (e.g. testing.T.Logf).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes < 2 {
+		c.Nodes = 3
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 27
+	}
+	if c.Records <= 0 {
+		c.Records = 2500
+	}
+	if c.Keys <= 0 {
+		c.Keys = 10
+	}
+	if c.Rate <= 0 {
+		c.Rate = 5000
+	}
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Millisecond
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Report is the outcome of one chaos soak run.
+type Report struct {
+	// Schedule is the canonical rendering of the fault plan.
+	Schedule string
+	// Events are the faults that actually fired, in order.
+	Events []chaos.Event
+	// Aborts is the number of checkpoint aborts the chaos run caused.
+	Aborts int64
+	// Snapshots is the latest committed snapshot id at the end of the run.
+	Snapshots int64
+	// Queries counts successful guarded queries issued during the run;
+	// Degraded counts those answered partially from snapshot replicas.
+	Queries, Degraded int64
+	// Counts and Oracle are the final per-key live counts of the chaos run
+	// and of the fault-free run; Match reports their equality — the
+	// exactly-once verdict.
+	Counts, Oracle map[int]int64
+	Match          bool
+}
+
+// Run executes the oracle run, re-derives and checks the fault schedule,
+// executes the chaos run, and returns the comparison.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+
+	oracle, err := runWorkload(cfg, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("soak: oracle run: %w", err)
+	}
+	cfg.Logf("oracle run done: %d keys, latest snapshot %d", len(oracle.counts), oracle.snapshots)
+
+	profile := chaos.SoakProfile{Nodes: cfg.Nodes, Partitions: cfg.Partitions, StallDelay: 5 * time.Millisecond}
+	inj := chaos.SoakSchedule(cfg.Seed, profile)
+	if again := chaos.SoakSchedule(cfg.Seed, profile).Schedule(); again != inj.Schedule() {
+		return nil, fmt.Errorf("soak: schedule for seed %d not reproducible:\n%s\nvs\n%s",
+			cfg.Seed, inj.Schedule(), again)
+	}
+	cfg.Logf("chaos schedule:\n%s", inj.Schedule())
+
+	st, err := runWorkload(cfg, inj, oracle.counts)
+	if err != nil {
+		return nil, fmt.Errorf("soak: chaos run: %w", err)
+	}
+	return &Report{
+		Schedule:  inj.Schedule(),
+		Events:    inj.Events(),
+		Aborts:    st.aborts,
+		Snapshots: st.snapshots,
+		Queries:   st.queries,
+		Degraded:  st.degraded,
+		Counts:    st.counts,
+		Oracle:    oracle.counts,
+		Match:     equalCounts(st.counts, oracle.counts),
+	}, nil
+}
+
+type runStats struct {
+	counts            map[int]int64
+	aborts, snapshots int64
+	queries, degraded int64
+}
+
+// runWorkload runs the counting workload once. With inj == nil it is the
+// oracle: no faults, wait for the finite sources to drain. With an
+// injector it is the chaos run: the same workload under the fault
+// schedule, polled until the live counts converge to target (or Deadline
+// passes — loss never converges, duplication overshoots and stays wrong).
+func runWorkload(cfg Config, inj *chaos.Injector, target map[int]int64) (*runStats, error) {
+	eng := squery.New(squery.Config{Nodes: cfg.Nodes, Partitions: cfg.Partitions, ReplicateState: true})
+	perInstance, keys := cfg.Records, cfg.Keys
+	src := squery.GeneratorSource("src", 2, cfg.Rate, func(instance int, seq int64) (squery.Record, bool) {
+		if seq >= perInstance {
+			return squery.Record{}, false
+		}
+		return squery.Record{Key: int(seq % int64(keys)), Value: 1}, true
+	})
+	dag := squery.NewDAG().
+		AddVertex(src).
+		AddVertex(squery.StatefulMapVertex("chaoscount", 3, func(state any, rec squery.Record) (any, []squery.Record) {
+			n := 0
+			if state != nil {
+				n = state.(int)
+			}
+			return n + rec.Value.(int), nil
+		})).
+		AddVertex(squery.SinkVertex("sink", 1, func(squery.Record) {})).
+		Connect("src", "chaoscount", squery.EdgePartitioned).
+		Connect("chaoscount", "sink", squery.EdgePartitioned)
+	spec := squery.JobSpec{
+		Name:              "soak-chaos",
+		State:             squery.StateConfig{Live: true, Snapshots: true},
+		SnapshotInterval:  cfg.Interval,
+		CheckpointTimeout: 40 * time.Millisecond,
+		CheckpointRetries: 5,
+		CheckpointBackoff: 2 * time.Millisecond,
+	}
+	if inj != nil {
+		spec.Chaos = inj
+		eng.SetFaultHook(inj)
+	}
+	job, err := eng.SubmitJob(dag, spec)
+	if err != nil {
+		return nil, err
+	}
+	defer job.Stop()
+
+	// Guarded query traffic so the schedule's stalled/unreachable
+	// partitions are exercised while checkpoints and crashes happen.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var queries, degraded atomic.Int64
+	if inj != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fallback := squery.QueryOptions{Policy: squery.PolicyFallback, PartitionTimeout: 10 * time.Millisecond}
+			retry := squery.QueryOptions{
+				Policy:           squery.PolicyRetry,
+				PartitionTimeout: 10 * time.Millisecond,
+				RetryBackoff:     time.Millisecond,
+				RetryDeadline:    250 * time.Millisecond,
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				o := fallback
+				if i%2 == 1 {
+					o = retry
+				}
+				res, err := eng.QueryWithOptions(`SELECT SUM(value) FROM chaoscount`, o)
+				if err == nil {
+					queries.Add(1)
+					if res.IsDegraded() {
+						degraded.Add(1)
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+
+	readCounts := func() map[int]int64 {
+		ks := make([]squery.Key, keys)
+		for i := range ks {
+			ks[i] = i
+		}
+		out := make(map[int]int64, keys)
+		for i, v := range eng.Object("chaoscount").GetLive(ks...) {
+			if v != nil {
+				out[i] = int64(v.(int))
+			}
+		}
+		return out
+	}
+
+	var counts map[int]int64
+	if target == nil {
+		job.Wait()
+		counts = readCounts()
+	} else {
+		deadline := time.Now().Add(cfg.Deadline)
+		for {
+			counts = readCounts()
+			if equalCounts(counts, target) {
+				break
+			}
+			if overshoots(counts, target) {
+				// Live counts only grow between rollbacks and are bounded
+				// by the true totals: exceeding the oracle means a record
+				// was processed twice. No point waiting further.
+				break
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	return &runStats{
+		counts:    counts,
+		aborts:    job.CheckpointAborts(),
+		snapshots: job.LatestSnapshotID(),
+		queries:   queries.Load(),
+		degraded:  degraded.Load(),
+	}, nil
+}
+
+func equalCounts(a, b map[int]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func overshoots(got, want map[int]int64) bool {
+	for k, v := range got {
+		if v > want[k] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+package soak
+
+import (
+	"fmt"
+	"testing"
+
+	"squery/internal/chaos"
+)
+
+// TestChaosSoakExactlyOnce is the acceptance check of the chaos layer:
+// for several distinct seeds, the seed-derived fault schedule — which
+// always contains a mid-checkpoint node crash and a coordinator–worker
+// partition — must leave the job in exactly the state of a fault-free
+// oracle run. Each subtest also asserts those two faults actually fired,
+// so a seed that happens to dodge them cannot pass vacuously.
+func TestChaosSoakExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak runs full workloads")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rep, err := Run(Config{Seed: seed, Logf: t.Logf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Match {
+				t.Fatalf("exactly-once violated: chaos counts %v != oracle %v\nschedule:\n%s\nevents: %v",
+					rep.Counts, rep.Oracle, rep.Schedule, rep.Events)
+			}
+			fired := map[chaos.Kind]int{}
+			for _, e := range rep.Events {
+				fired[e.Kind]++
+			}
+			if fired[chaos.CrashPreCommit] == 0 {
+				t.Errorf("seed %d never fired the mid-checkpoint crash; events: %v", seed, rep.Events)
+			}
+			if fired[chaos.DropAck] == 0 {
+				t.Errorf("seed %d never fired the coordinator–worker partition; events: %v", seed, rep.Events)
+			}
+			if rep.Aborts == 0 {
+				t.Errorf("seed %d caused no checkpoint aborts despite crash + partition", seed)
+			}
+			if rep.Snapshots == 0 {
+				t.Errorf("seed %d committed no snapshot", seed)
+			}
+			t.Logf("seed %d: %d events, %d aborts, latest snapshot %d, %d queries (%d degraded)",
+				seed, len(rep.Events), rep.Aborts, rep.Snapshots, rep.Queries, rep.Degraded)
+		})
+	}
+}
+
+// TestChaosSoakSameSeedSameState: running the harness twice with one seed
+// must produce the identical fault schedule and the identical recovered
+// state — determinism end to end, not just at the schedule level.
+func TestChaosSoakSameSeedSameState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak runs full workloads")
+	}
+	a, err := Run(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedule != b.Schedule {
+		t.Fatalf("same seed, different schedules:\n%s\nvs\n%s", a.Schedule, b.Schedule)
+	}
+	if !a.Match || !b.Match {
+		t.Fatalf("exactly-once violated: run A match=%v run B match=%v", a.Match, b.Match)
+	}
+	if !equalCounts(a.Counts, b.Counts) {
+		t.Fatalf("same seed, different recovered state: %v vs %v", a.Counts, b.Counts)
+	}
+}

@@ -1,0 +1,276 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"squery/internal/core"
+)
+
+// Queries against a partially failed cluster must not hang: a stalled or
+// unreachable partition would otherwise block the scatter-gather scan
+// forever. This file adds per-partition timeouts and a caller-chosen
+// degradation policy to the executor. The default policy (PolicyNone)
+// keeps the fast path: no access checks, no per-partition goroutines.
+
+// Policy selects how a query handles an unreachable or stalled partition.
+type Policy int
+
+// Degradation policies.
+const (
+	// PolicyNone runs the query unguarded (the default): a faulted
+	// partition is not detected and the scan blocks on it.
+	PolicyNone Policy = iota
+	// PolicyRetry retries the partition with backoff until RetryDeadline,
+	// then fails with PartitionUnavailableError. Right for transient
+	// faults (a stalled node, a healing partition).
+	PolicyRetry
+	// PolicyFallback serves the faulted partition's rows from the latest
+	// committed snapshot's backup replica instead of the unreachable
+	// primary, reporting the isolation downgrade in Result.Degraded.
+	// Requires state replication; right when availability beats freshness.
+	PolicyFallback
+	// PolicyFailFast fails the whole query immediately with
+	// PartitionUnavailableError. Right when the caller has its own
+	// fallback (or must never serve stale data silently).
+	PolicyFailFast
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicyRetry:
+		return "retry"
+	case PolicyFallback:
+		return "fallback"
+	case PolicyFailFast:
+		return "fail-fast"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ExecOpts tunes fault handling for one query execution.
+type ExecOpts struct {
+	// Policy is the degradation policy (default PolicyNone).
+	Policy Policy
+	// PartitionTimeout bounds one partition access+scan attempt; a scan
+	// exceeding it counts as a fault under the policy. Default 100ms
+	// (only applied when Policy != PolicyNone).
+	PartitionTimeout time.Duration
+	// RetryDeadline is PolicyRetry's total per-partition budget across
+	// attempts. Default 1s.
+	RetryDeadline time.Duration
+	// RetryBackoff is the pause between PolicyRetry attempts. Default 10ms.
+	RetryBackoff time.Duration
+}
+
+func (o ExecOpts) withDefaults() ExecOpts {
+	if o.PartitionTimeout <= 0 {
+		o.PartitionTimeout = 100 * time.Millisecond
+	}
+	if o.RetryDeadline <= 0 {
+		o.RetryDeadline = time.Second
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 10 * time.Millisecond
+	}
+	return o
+}
+
+// PartitionUnavailableError is the typed failure of a guarded query: one
+// partition could not be read under the chosen policy.
+type PartitionUnavailableError struct {
+	Table     string
+	Partition int
+	Node      int
+	Err       error
+}
+
+// Error implements error.
+func (e *PartitionUnavailableError) Error() string {
+	return fmt.Sprintf("sql: table %q partition %d (node %d) unavailable: %v",
+		e.Table, e.Partition, e.Node, e.Err)
+}
+
+// Unwrap exposes the underlying fault (e.g. chaos.UnreachableError).
+func (e *PartitionUnavailableError) Unwrap() error { return e.Err }
+
+// errScanTimeout marks a partition attempt that exceeded PartitionTimeout.
+var errScanTimeout = errors.New("partition scan timed out")
+
+// Degradation reports that one partition of the result was served from a
+// committed snapshot's backup replica instead of the requested table — an
+// isolation downgrade (live rows elsewhere, snapshot rows here) the caller
+// must be able to see.
+type Degradation struct {
+	// Table is the table name as written in the query.
+	Table string
+	// Partition is the partition served from the backup replica.
+	Partition int
+	// FallbackSSID is the committed snapshot id the rows came from.
+	FallbackSSID int64
+}
+
+// String implements fmt.Stringer.
+func (d Degradation) String() string {
+	return fmt.Sprintf("%s[p%d]→snapshot %d", d.Table, d.Partition, d.FallbackSSID)
+}
+
+// degrades collects Degradation records across the scan goroutines.
+type degrades struct {
+	mu   sync.Mutex
+	list []Degradation
+}
+
+func (d *degrades) add(g Degradation) {
+	d.mu.Lock()
+	d.list = append(d.list, g)
+	d.mu.Unlock()
+}
+
+// gatherPartition reads one partition under the options' policy.
+func (ex *Executor) gatherPartition(s tableSrc, p int, opts ExecOpts, deg *degrades) ([]core.TableRow, error) {
+	fail := func(err error) error {
+		return &PartitionUnavailableError{
+			Table: s.name, Partition: p, Node: s.ref.PartitionOwner(p), Err: err,
+		}
+	}
+	switch opts.Policy {
+	case PolicyFailFast:
+		rows, err := ex.attemptPartition(s, p, opts)
+		if err != nil {
+			return nil, fail(err)
+		}
+		return rows, nil
+
+	case PolicyRetry:
+		deadline := time.Now().Add(opts.RetryDeadline)
+		for {
+			rows, err := ex.attemptPartition(s, p, opts)
+			if err == nil {
+				return rows, nil
+			}
+			if time.Now().After(deadline) {
+				return nil, fail(fmt.Errorf("retry deadline %s exhausted: %w", opts.RetryDeadline, err))
+			}
+			time.Sleep(opts.RetryBackoff)
+		}
+
+	case PolicyFallback:
+		rows, err := ex.attemptPartition(s, p, opts)
+		if err == nil {
+			return rows, nil
+		}
+		// Degrade: serve the latest committed snapshot (or, for a snapshot
+		// table, the queried id) from the partition's backup replica.
+		fssid := s.ssid
+		if !s.ref.IsSnapshot() {
+			fssid = s.ref.LatestCommittedSSID()
+		}
+		if fssid == 0 {
+			return nil, fail(fmt.Errorf("no committed snapshot to fall back to: %w", err))
+		}
+		if berr := s.ref.CheckBackupPartition(p); berr != nil {
+			return nil, fail(fmt.Errorf("backup replica also unavailable: %w", berr))
+		}
+		var out []core.TableRow
+		s.ref.ScanPartitionFallback(fssid, p, func(r core.TableRow) bool {
+			out = append(out, r)
+			return true
+		})
+		deg.add(Degradation{Table: s.name, Partition: p, FallbackSSID: fssid})
+		return out, nil
+
+	default: // PolicyNone — unguarded
+		var out []core.TableRow
+		s.ref.ScanPartition(s.ssid, p, func(r core.TableRow) bool {
+			out = append(out, r)
+			return true
+		})
+		return out, nil
+	}
+}
+
+// attemptPartition makes one timeout-bounded access check + scan of a
+// partition. The scan runs in a goroutine so a stalled access check cannot
+// block the query past PartitionTimeout; an abandoned attempt finishes
+// harmlessly against the immutable partition copy.
+func (ex *Executor) attemptPartition(s tableSrc, p int, opts ExecOpts) ([]core.TableRow, error) {
+	type res struct {
+		rows []core.TableRow
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		if err := s.ref.CheckPartition(p); err != nil {
+			ch <- res{err: err}
+			return
+		}
+		var rows []core.TableRow
+		s.ref.ScanPartition(s.ssid, p, func(r core.TableRow) bool {
+			rows = append(rows, r)
+			return true
+		})
+		ch <- res{rows: rows}
+	}()
+	tm := time.NewTimer(opts.PartitionTimeout)
+	defer tm.Stop()
+	select {
+	case r := <-ch:
+		return r.rows, r.err
+	case <-tm.C:
+		return nil, fmt.Errorf("%w after %s", errScanTimeout, opts.PartitionTimeout)
+	}
+}
+
+// scanAllGuarded is scanAll with per-partition fault handling: one
+// goroutine per node, each reading its owned partitions under the policy.
+// The first partition error cancels nothing in flight (scans are cheap and
+// memory-local) but fails the query.
+func (ex *Executor) scanAllGuarded(s tableSrc, opts ExecOpts, deg *degrades) ([]core.TableRow, error) {
+	if opts.Policy == PolicyNone {
+		return ex.scanAll(s), nil
+	}
+	type batch struct {
+		rows []core.TableRow
+		err  error
+	}
+	ch := make(chan batch, ex.nodes)
+	var wg sync.WaitGroup
+	for n := 0; n < ex.nodes; n++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			var b batch
+			s.ref.ChargeClientHop(node)
+			for _, p := range ex.ownedPartitions(s, node) {
+				rows, err := ex.gatherPartition(s, p, opts, deg)
+				if err != nil {
+					b.err = err
+					break
+				}
+				b.rows = append(b.rows, rows...)
+			}
+			ch <- b
+		}(n)
+	}
+	wg.Wait()
+	close(ch)
+	var out []core.TableRow
+	var firstErr error
+	for b := range ch {
+		if b.err != nil && firstErr == nil {
+			firstErr = b.err
+		}
+		out = append(out, b.rows...)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

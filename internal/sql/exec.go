@@ -32,7 +32,16 @@ func NewExecutor(cat *core.Catalog, nodes int) *Executor {
 type Result struct {
 	Columns []string
 	Rows    [][]any
+	// Degraded is non-empty when PolicyFallback served some partitions
+	// from a committed snapshot's backup replica instead of the requested
+	// table: the result mixes live and snapshot rows, i.e. its isolation
+	// was downgraded. Empty for healthy or unguarded executions.
+	Degraded []Degradation
 }
+
+// IsDegraded reports whether any partition of the result was served from
+// a fallback snapshot replica (downgraded isolation).
+func (r *Result) IsDegraded() bool { return len(r.Degraded) > 0 }
 
 // ColumnIndex returns the index of the named output column, or -1.
 func (r *Result) ColumnIndex(name string) int {
@@ -132,15 +141,30 @@ func (r joinedRow) Resolve(table, column string) (any, bool) {
 
 // Query parses and executes a SELECT statement.
 func (ex *Executor) Query(query string) (*Result, error) {
+	return ex.QueryWithOptions(query, ExecOpts{})
+}
+
+// QueryWithOptions parses and executes a SELECT statement under the given
+// fault-handling options.
+func (ex *Executor) QueryWithOptions(query string, opts ExecOpts) (*Result, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return ex.Exec(stmt)
+	return ex.ExecWithOptions(stmt, opts)
 }
 
-// Exec executes a parsed SELECT statement.
+// Exec executes a parsed SELECT statement unguarded (PolicyNone).
 func (ex *Executor) Exec(stmt *Select) (*Result, error) {
+	return ex.ExecWithOptions(stmt, ExecOpts{})
+}
+
+// ExecWithOptions executes a parsed SELECT statement under the given
+// fault-handling options.
+func (ex *Executor) ExecWithOptions(stmt *Select, opts ExecOpts) (*Result, error) {
+	if opts.Policy != PolicyNone {
+		opts = opts.withDefaults()
+	}
 	ctx := &evalCtx{now: time.Now()}
 	stmt = resolveOrderByAliases(stmt)
 
@@ -178,7 +202,8 @@ func (ex *Executor) Exec(stmt *Select) (*Result, error) {
 	}
 
 	// Scan + join.
-	rows, err := ex.scanAndJoin(stmt, srcs)
+	deg := &degrades{}
+	rows, err := ex.scanAndJoin(stmt, srcs, opts, deg)
 	if err != nil {
 		return nil, err
 	}
@@ -199,10 +224,17 @@ func (ex *Executor) Exec(stmt *Select) (*Result, error) {
 	}
 
 	// Aggregate or project.
+	var res *Result
 	if stmt.HasAggregates() || len(stmt.GroupBy) > 0 {
-		return ex.aggregate(ctx, stmt, srcs, rows)
+		res, err = ex.aggregate(ctx, stmt, srcs, rows)
+	} else {
+		res, err = ex.project(ctx, stmt, srcs, rows)
 	}
-	return ex.project(ctx, stmt, srcs, rows)
+	if err != nil {
+		return nil, err
+	}
+	res.Degraded = deg.list
+	return res, nil
 }
 
 // resolveOrderByAliases rewrites ORDER BY entries that name a select-list
@@ -317,9 +349,12 @@ func ssidEquality(b Binary) (Ident, Lit, bool) {
 // scatter-gather per node. Joins on partitionKey run per-partition — the
 // co-location optimisation: both sides of each partition's join live on
 // the same node. Other equi-joins build a global hash table.
-func (ex *Executor) scanAndJoin(stmt *Select, srcs []tableSrc) ([]joinedRow, error) {
+func (ex *Executor) scanAndJoin(stmt *Select, srcs []tableSrc, opts ExecOpts, deg *degrades) ([]joinedRow, error) {
 	if len(srcs) == 1 {
-		rows := ex.scanAll(srcs[0])
+		rows, err := ex.scanAllGuarded(srcs[0], opts, deg)
+		if err != nil {
+			return nil, err
+		}
 		out := make([]joinedRow, len(rows))
 		for i := range rows {
 			out[i] = joinedRow{srcs: srcs, tabs: []*core.TableRow{&rows[i]}}
@@ -332,12 +367,16 @@ func (ex *Executor) scanAndJoin(stmt *Select, srcs []tableSrc) ([]joinedRow, err
 	// the join runs independently per partition on the owning node —
 	// the co-location optimisation of §II.
 	if len(srcs) == 2 && stmt.Joins[0].Using == core.ColPartitionKey && !stmt.Joins[0].Left {
-		return ex.partitionedJoin(srcs)
+		return ex.partitionedJoin(srcs, opts, deg)
 	}
 
 	// Start from the FROM table, fold joins in order.
 	left := make([]joinedRow, 0)
-	for _, r := range ex.scanAll(srcs[0]) {
+	first, err := ex.scanAllGuarded(srcs[0], opts, deg)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range first {
 		r := r
 		tabs := make([]*core.TableRow, len(srcs))
 		tabs[0] = &r
@@ -349,7 +388,10 @@ func (ex *Executor) scanAndJoin(stmt *Select, srcs []tableSrc) ([]joinedRow, err
 		if err != nil {
 			return nil, err
 		}
-		right := ex.scanAll(srcs[si])
+		right, err := ex.scanAllGuarded(srcs[si], opts, deg)
+		if err != nil {
+			return nil, err
+		}
 		// Build hash on the right side.
 		idx := make(map[string][]*core.TableRow, len(right))
 		for i := range right {
@@ -386,8 +428,14 @@ func (ex *Executor) scanAndJoin(stmt *Select, srcs []tableSrc) ([]joinedRow, err
 
 // partitionedJoin joins two co-partitioned tables partition by partition,
 // one goroutine per node, each joining only the partitions that node owns.
-func (ex *Executor) partitionedJoin(srcs []tableSrc) ([]joinedRow, error) {
-	type batch struct{ rows []joinedRow }
+// Under a non-default policy each side of each partition is read through
+// the guarded path, so either side can independently time out, retry or
+// degrade to its snapshot replica.
+func (ex *Executor) partitionedJoin(srcs []tableSrc, opts ExecOpts, deg *degrades) ([]joinedRow, error) {
+	type batch struct {
+		rows []joinedRow
+		err  error
+	}
 	ch := make(chan batch, ex.nodes)
 	var wg sync.WaitGroup
 	for n := 0; n < ex.nodes; n++ {
@@ -398,21 +446,29 @@ func (ex *Executor) partitionedJoin(srcs []tableSrc) ([]joinedRow, error) {
 			// One hop to ship the node's portion of the result back.
 			srcs[0].ref.ChargeClientHop(node)
 			for _, p := range ex.ownedPartitions(srcs[0], node) {
+				right, err := ex.gatherPartition(srcs[1], p, opts, deg)
+				if err != nil {
+					b.err = err
+					break
+				}
+				left, err := ex.gatherPartition(srcs[0], p, opts, deg)
+				if err != nil {
+					b.err = err
+					break
+				}
 				// Build on the right side of this partition.
 				idx := map[string][]*core.TableRow{}
-				srcs[1].ref.ScanPartition(srcs[1].ssid, p, func(r core.TableRow) bool {
-					idx[hashKey(r.Key)] = append(idx[hashKey(r.Key)], &r)
-					return true
-				})
-				srcs[0].ref.ScanPartition(srcs[0].ssid, p, func(l core.TableRow) bool {
-					for _, m := range idx[hashKey(l.Key)] {
+				for i := range right {
+					idx[hashKey(right[i].Key)] = append(idx[hashKey(right[i].Key)], &right[i])
+				}
+				for i := range left {
+					for _, m := range idx[hashKey(left[i].Key)] {
 						b.rows = append(b.rows, joinedRow{
 							srcs: srcs,
-							tabs: []*core.TableRow{&l, m},
+							tabs: []*core.TableRow{&left[i], m},
 						})
 					}
-					return true
-				})
+				}
 			}
 			ch <- b
 		}(n)
@@ -420,8 +476,15 @@ func (ex *Executor) partitionedJoin(srcs []tableSrc) ([]joinedRow, error) {
 	wg.Wait()
 	close(ch)
 	var out []joinedRow
+	var firstErr error
 	for b := range ch {
+		if b.err != nil && firstErr == nil {
+			firstErr = b.err
+		}
 		out = append(out, b.rows...)
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

@@ -37,6 +37,11 @@ func (j *Job) CheckpointNow() error { return j.inner.CheckpointNow() }
 // snapshot had committed).
 func (j *Job) InjectFailure() (int64, error) { return j.inner.InjectFailure() }
 
+// CheckpointAborts returns how many checkpoints have been aborted so far
+// (phase-1 deadline expiry, job kill, or injected crash) across the job's
+// life, including restarts.
+func (j *Job) CheckpointAborts() int64 { return j.inner.CheckpointAborts() }
+
 // LatestSnapshotID returns the id of the latest committed snapshot — the
 // id unpinned snapshot queries resolve to — or 0 before the first
 // checkpoint commits.

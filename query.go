@@ -56,6 +56,48 @@ func (e *Engine) Query(query string) (*Result, error) {
 	return e.ex.Query(query)
 }
 
+// Fault-tolerant query surface: options, policies and typed errors for
+// querying a partially failed cluster, re-exported from the SQL engine.
+type (
+	// QueryOptions tunes per-partition timeouts and the degradation
+	// policy of one query execution.
+	QueryOptions = sqlpkg.ExecOpts
+	// QueryPolicy selects how a query handles an unreachable or stalled
+	// partition.
+	QueryPolicy = sqlpkg.Policy
+	// Degradation reports one partition served from a snapshot replica
+	// instead of the requested table (see Result.Degraded).
+	Degradation = sqlpkg.Degradation
+	// PartitionUnavailableError is the typed failure of a guarded query.
+	PartitionUnavailableError = sqlpkg.PartitionUnavailableError
+)
+
+// Degradation policies for QueryWithOptions.
+const (
+	// PolicyNone runs the query unguarded (the default).
+	PolicyNone = sqlpkg.PolicyNone
+	// PolicyRetry retries a faulted partition with backoff until the
+	// retry deadline, then fails with PartitionUnavailableError.
+	PolicyRetry = sqlpkg.PolicyRetry
+	// PolicyFallback serves a faulted partition from the latest committed
+	// snapshot's backup replica, reporting the isolation downgrade in
+	// Result.Degraded. Requires Config.ReplicateState.
+	PolicyFallback = sqlpkg.PolicyFallback
+	// PolicyFailFast fails the query immediately on the first faulted
+	// partition.
+	PolicyFailFast = sqlpkg.PolicyFailFast
+)
+
+// QueryWithOptions executes a SQL SELECT with per-partition timeouts and
+// a caller-chosen degradation policy, so a stalled or unreachable
+// partition cannot hang the query (§V.A meets partial failures). With
+// PolicyFallback the result may mix live rows with rows from the latest
+// committed snapshot; Result.Degraded lists exactly which partitions were
+// downgraded and to which snapshot id.
+func (e *Engine) QueryWithOptions(query string, opts QueryOptions) (*Result, error) {
+	return e.ex.QueryWithOptions(query, opts)
+}
+
 // Explain returns a human-readable execution plan for a query without
 // running it: resolved tables (live/snapshot and the snapshot id that
 // would be used), the join strategy (co-partitioned vs global hash), the

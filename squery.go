@@ -78,6 +78,12 @@ type (
 	WindowResult = dataflow.WindowResult
 	// WindowState is the queryable per-key state of a windowing operator.
 	WindowState = dataflow.WindowState
+	// FaultHook intercepts KV partition access checks for fault injection
+	// (implemented by *chaos.Injector; see internal/chaos).
+	FaultHook = kv.FaultHook
+	// ChaosHook intercepts checkpoint control-plane messages for fault
+	// injection (implemented by *chaos.Injector).
+	ChaosHook = dataflow.ChaosHook
 )
 
 // Vertex and edge constructors re-exported from the dataflow runtime.
@@ -195,6 +201,12 @@ func (e *Engine) FailNode(node int) { e.clu.Fail(node) }
 // Messages returns the number of simulated inter-node messages so far.
 func (e *Engine) Messages() uint64 { return e.clu.Messages() }
 
+// SetFaultHook installs a fault-injection hook on the cluster's KV access
+// checks — stalled and unreachable partitions for guarded queries (see
+// QueryWithOptions). Nil clears it. Faults only affect fallible query
+// paths, never the data plane.
+func (e *Engine) SetFaultHook(h FaultHook) { e.clu.SetFaultHook(h) }
+
 // JobSpec configures a submitted job.
 type JobSpec struct {
 	// Name identifies the job; defaults to "job".
@@ -213,6 +225,19 @@ type JobSpec struct {
 	// that directory; Engine.OpenArchive can later query it without the
 	// job (stable-storage checkpoints, §IV).
 	PersistDir string
+	// CheckpointTimeout bounds phase 1 of every checkpoint; a checkpoint
+	// whose acks do not arrive in time aborts and retries with backoff
+	// instead of hanging. 0 disables the deadline.
+	CheckpointTimeout time.Duration
+	// CheckpointRetries is how many times an aborted checkpoint is
+	// retried (default 3).
+	CheckpointRetries int
+	// CheckpointBackoff is the base retry delay, doubling per attempt
+	// (default 10ms).
+	CheckpointBackoff time.Duration
+	// Chaos, when set, injects deterministic faults into the checkpoint
+	// control plane (see internal/chaos).
+	Chaos ChaosHook
 }
 
 // SubmitJob starts a job and registers its stateful operators' live and
@@ -220,13 +245,17 @@ type JobSpec struct {
 // across all running jobs — they are the SQL table names.
 func (e *Engine) SubmitJob(dag *DAG, spec JobSpec) (*Job, error) {
 	job, err := dataflow.Run(dag, dataflow.Config{
-		Name:             spec.Name,
-		Cluster:          e.clu,
-		State:            spec.State,
-		SnapshotInterval: spec.SnapshotInterval,
-		Retention:        spec.Retention,
-		ChannelCapacity:  spec.ChannelCapacity,
-		PersistDir:       spec.PersistDir,
+		Name:              spec.Name,
+		Cluster:           e.clu,
+		State:             spec.State,
+		SnapshotInterval:  spec.SnapshotInterval,
+		Retention:         spec.Retention,
+		ChannelCapacity:   spec.ChannelCapacity,
+		PersistDir:        spec.PersistDir,
+		CheckpointTimeout: spec.CheckpointTimeout,
+		CheckpointRetries: spec.CheckpointRetries,
+		CheckpointBackoff: spec.CheckpointBackoff,
+		Chaos:             spec.Chaos,
 	})
 	if err != nil {
 		return nil, err
