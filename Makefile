@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test vet race soak-chaos verify
+.PHONY: test vet race soak-chaos fuzz-short verify
 
 # Tier-1: what CI gates on.
 test:
@@ -19,5 +19,11 @@ race:
 # the exactly-once oracle check.
 soak-chaos:
 	$(GO) run -race ./cmd/squery-soak -chaos -seed 1 -duration 5s
+
+# Short fuzz wall: 30s per target against the SQL front end. The parser
+# and lexer must be total — errors, never panics — on arbitrary input.
+fuzz-short:
+	$(GO) test ./internal/sql -fuzz FuzzParse -fuzztime 30s -run '^$$'
+	$(GO) test ./internal/sql -fuzz FuzzLexer -fuzztime 30s -run '^$$'
 
 verify: vet race soak-chaos

@@ -9,6 +9,10 @@
 //	squery-bench -exp fig10 -quick
 //
 // Experiments: fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 queries all.
+//
+// -metrics additionally runs a short fully-instrumented Q-commerce job on
+// the engine and prints its plain-text metrics dump — every counter,
+// latency histogram and event log the sys.* tables expose.
 package main
 
 import (
@@ -17,12 +21,15 @@ import (
 	"os"
 	"time"
 
+	"squery"
 	"squery/internal/experiments"
+	"squery/internal/qcommerce"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: fig8..fig15, queries, all")
 	quick := flag.Bool("quick", false, "shrink durations and key counts")
+	dumpMetrics := flag.Bool("metrics", false, "run an instrumented engine workload and print its metrics dump")
 	flag.Parse()
 
 	o := experiments.Options{Quick: *quick}
@@ -52,6 +59,38 @@ func main() {
 		}
 		run(*exp, r, o)
 	}
+
+	if *dumpMetrics {
+		run("metrics", runMetricsDump, o)
+	}
+}
+
+// runMetricsDump drives a short instrumented Q-commerce job through a
+// checkpoint and prints the engine's full plain-text metrics dump.
+func runMetricsDump(o experiments.Options) {
+	eng := squery.New(squery.Config{Nodes: 3})
+	runFor := 2 * time.Second
+	if o.Quick {
+		runFor = 500 * time.Millisecond
+	}
+	dag := qcommerce.DAG(qcommerce.Config{
+		Orders:              10_000,
+		Rate:                50_000,
+		SourceParallelism:   3,
+		OperatorParallelism: 6,
+	}, squery.SinkVertex("sink", 3, func(squery.Record) {}))
+	job, err := eng.SubmitJob(dag, squery.JobSpec{
+		Name:             "qcommerce",
+		State:            squery.StateConfig{Live: true, Snapshots: true},
+		SnapshotInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "submit:", err)
+		os.Exit(1)
+	}
+	time.Sleep(runFor)
+	job.Stop()
+	fmt.Print(eng.MetricsDump())
 }
 
 func run(name string, fn func(experiments.Options), o experiments.Options) {

@@ -12,8 +12,11 @@
 //	        JOIN "snapshot_orderstate" USING(partitionKey)
 //	        WHERE orderState='PICKED_UP' GROUP BY deliveryZone;
 //
-// Meta-commands: \tables, \snapshots, \explain <sql>, \q1..\q4 (the
-// paper's queries), \quit.
+// Meta-commands: \tables, \snapshots, \explain <sql>, \metrics, \q1..\q4
+// (the paper's queries), \quit. Prefix any query with EXPLAIN ANALYZE for
+// per-stage timings, or query the sys.* tables (sys.operators,
+// sys.partitions, sys.checkpoints, sys.queries) for live engine
+// telemetry. -metrics prints the full plain-text instrument dump on exit.
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 	nodes := flag.Int("nodes", 3, "simulated cluster size")
 	orders := flag.Int64("orders", 10_000, "unique orders in the workload")
 	interval := flag.Duration("interval", time.Second, "checkpoint interval")
+	dumpMetrics := flag.Bool("metrics", false, "print the plain-text metrics dump on exit")
 	flag.Parse()
 
 	eng := squery.New(squery.Config{Nodes: *nodes})
@@ -52,11 +56,14 @@ func main() {
 		os.Exit(1)
 	}
 	defer job.Stop()
+	if *dumpMetrics {
+		defer func() { fmt.Print(eng.MetricsDump()) }()
+	}
 
 	fmt.Printf("Q-commerce job running on %d nodes (%d orders, checkpoint every %s).\n",
 		*nodes, *orders, *interval)
 	fmt.Println(`Tables: orderinfo, orderstate, riderlocation (+ snapshot_ variants).`)
-	fmt.Println(`Type SQL, or \tables \snapshots \explain <sql> \q1..\q4 \quit.`)
+	fmt.Println(`Type SQL, or \tables \snapshots \explain <sql> \metrics \q1..\q4 \quit.`)
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -75,6 +82,8 @@ func main() {
 			for _, op := range job.Operators() {
 				fmt.Printf("  %s, snapshot_%s\n", op, op)
 			}
+		case line == `\metrics`:
+			fmt.Print(eng.MetricsDump())
 		case line == `\snapshots`:
 			fmt.Printf("  latest committed: %d, queryable: %v\n",
 				job.LatestSnapshotID(), job.QueryableSnapshots())

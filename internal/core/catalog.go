@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -57,13 +58,45 @@ func (r TableRow) Columns() []string {
 type Catalog struct {
 	store *kv.Store
 
-	mu   sync.RWMutex
-	regs map[string]*snapshot.Registry // sanitized op name -> registry
+	mu       sync.RWMutex
+	regs     map[string]*snapshot.Registry // sanitized op name -> registry
+	virtuals map[string]func() []TableRow  // sanitized name -> row provider
 }
 
 // NewCatalog creates an empty catalog over the store.
 func NewCatalog(store *kv.Store) *Catalog {
-	return &Catalog{store: store, regs: make(map[string]*snapshot.Registry)}
+	return &Catalog{
+		store:    store,
+		regs:     make(map[string]*snapshot.Registry),
+		virtuals: make(map[string]func() []TableRow),
+	}
+}
+
+// Partitions returns the partition count of the underlying store.
+func (c *Catalog) Partitions() int { return c.store.Partitioner().Count() }
+
+// RegisterVirtual registers a virtual table: a name (conventionally
+// sys.<something>) whose rows are produced on demand by the provider
+// instead of read from partitioned state. Virtual tables are how the
+// engine's own telemetry (sys.operators, sys.partitions, sys.checkpoints,
+// sys.queries) becomes queryable through the normal SQL path. The provider
+// must be safe for concurrent calls and returns a point-in-time row set.
+func (c *Catalog) RegisterVirtual(name string, rows func() []TableRow) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.virtuals[sanitize(name)] = rows
+}
+
+// Virtuals returns the names of all registered virtual tables, sorted.
+func (c *Catalog) Virtuals() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.virtuals))
+	for n := range c.virtuals {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // RegisterJob associates the stateful operators of a job with its
@@ -105,6 +138,12 @@ func (c *Catalog) Operators() []string {
 // client view (remote to all nodes) — queries come from outside.
 func (c *Catalog) Table(name string) (*TableRef, error) {
 	op := sanitize(name)
+	c.mu.RLock()
+	virt := c.virtuals[op]
+	c.mu.RUnlock()
+	if virt != nil {
+		return &TableRef{name: name, op: op, virtual: virt}, nil
+	}
 	isSnap := false
 	if rest, ok := strings.CutPrefix(op, "snapshot_"); ok {
 		isSnap = true
@@ -134,7 +173,14 @@ type TableRef struct {
 	reg      *snapshot.Registry
 	store    *kv.Store
 	view     kv.NodeView
+	// virtual, when set, makes this a provider-backed table: a single
+	// pseudo-partition on node 0, no snapshots, no network hops, no
+	// fault surface. All scan paths iterate the provider's row set.
+	virtual func() []TableRow
 }
+
+// IsVirtual reports whether this is a provider-backed sys.* table.
+func (t *TableRef) IsVirtual() bool { return t.virtual != nil }
 
 // Name returns the table name as written in the query.
 func (t *TableRef) Name() string { return t.name }
@@ -143,17 +189,44 @@ func (t *TableRef) Name() string { return t.name }
 func (t *TableRef) IsSnapshot() bool { return t.snapshot }
 
 // Partitions returns the number of state partitions, for scatter-gather
-// execution.
-func (t *TableRef) Partitions() int { return t.store.Partitioner().Count() }
+// execution. Virtual tables have a single pseudo-partition.
+func (t *TableRef) Partitions() int {
+	if t.virtual != nil {
+		return 1
+	}
+	return t.store.Partitioner().Count()
+}
 
 // PartitionOwner returns the node owning partition p.
-func (t *TableRef) PartitionOwner(p int) int { return t.store.Assignment().Owner(p) }
+func (t *TableRef) PartitionOwner(p int) int {
+	if t.virtual != nil {
+		return 0
+	}
+	return t.store.Assignment().Owner(p)
+}
+
+// PartitionOf returns the partition that would own the given state key —
+// the basis of the executor's partition pruning for `partitionKey = <lit>`
+// predicates. Only key types whose hash is consistent with SQL equality
+// are accepted: strings, the int family (Hash normalizes them to one
+// representation) and bools. Everything else reports false and the caller
+// must scan all partitions.
+func (t *TableRef) PartitionOf(key any) (int, bool) {
+	if t.virtual != nil {
+		return 0, true
+	}
+	switch key.(type) {
+	case string, int, int32, int64, uint64, bool:
+		return t.store.Partitioner().Of(key), true
+	}
+	return 0, false
+}
 
 // ResolveSSID validates and defaults the snapshot id a query targets.
 // pinned == 0 means "latest committed" (the paper's default). For live
 // tables it always returns 0.
 func (t *TableRef) ResolveSSID(pinned int64) (int64, error) {
-	if !t.snapshot {
+	if t.virtual != nil || !t.snapshot {
 		return 0, nil
 	}
 	if pinned == 0 {
@@ -173,6 +246,14 @@ func (t *TableRef) ResolveSSID(pinned int64) (int64, error) {
 // (which the caller obtained from ResolveSSID; ignored for live tables).
 // The charge for reaching the partition's node is paid by the view.
 func (t *TableRef) ScanPartition(ssid int64, p int, fn func(TableRow) bool) {
+	if t.virtual != nil {
+		for _, r := range t.virtual() {
+			if !fn(r) {
+				return
+			}
+		}
+		return
+	}
 	if t.snapshot {
 		t.store.GetMap(SnapshotMapName(t.op)).ScanPartition(p, func(e kv.Entry) bool {
 			v, ok := e.Value.(*Chain).At(ssid)
@@ -193,6 +274,12 @@ func (t *TableRef) ScanPartition(ssid int64, p int, fn func(TableRow) bool) {
 // fans one ScanNode goroutine out per node — the scatter half of its
 // scatter-gather plan.
 func (t *TableRef) ScanNode(ssid int64, node int, fn func(TableRow) bool) {
+	if t.virtual != nil {
+		if node == 0 {
+			t.ScanPartition(ssid, 0, fn)
+		}
+		return
+	}
 	t.view.ChargeHop(node)
 	for _, p := range t.store.Assignment().OwnedBy(node) {
 		stop := false
@@ -211,7 +298,12 @@ func (t *TableRef) ScanNode(ssid int64, node int, fn func(TableRow) bool) {
 
 // ChargeClientHop charges one client→node network hop, for executors
 // that drive ScanPartition directly (e.g. partition-wise joins).
-func (t *TableRef) ChargeClientHop(node int) { t.view.ChargeHop(node) }
+func (t *TableRef) ChargeClientHop(node int) {
+	if t.virtual != nil {
+		return
+	}
+	t.view.ChargeHop(node)
+}
 
 // CheckPartition verifies that the owner node of partition p is reachable
 // from the query client, consulting the store's fault hook. Fault-tolerant
@@ -219,6 +311,9 @@ func (t *TableRef) ChargeClientHop(node int) { t.view.ChargeHop(node) }
 // (the fault hook only intercepts fallible query paths, never the data
 // plane).
 func (t *TableRef) CheckPartition(p int) error {
+	if t.virtual != nil {
+		return nil
+	}
 	return t.store.CheckAccess(kv.ClientNode, p)
 }
 
@@ -227,6 +322,9 @@ func (t *TableRef) CheckPartition(p int) error {
 // unreachable. On a healthy layout primary and backup live on different
 // nodes, so a fault severing the owner leaves the backup reachable.
 func (t *TableRef) CheckBackupPartition(p int) error {
+	if t.virtual != nil {
+		return nil
+	}
 	return t.store.CheckBackupAccess(kv.ClientNode, p)
 }
 
@@ -234,6 +332,9 @@ func (t *TableRef) CheckBackupPartition(p int) error {
 // or 0 when no checkpoint has committed yet — the version a degraded query
 // falls back to when live state is unreachable.
 func (t *TableRef) LatestCommittedSSID() int64 {
+	if t.virtual != nil {
+		return 0
+	}
 	latest := t.reg.LatestCommitted()
 	if latest == snapshot.NoSnapshot {
 		return 0
@@ -248,6 +349,10 @@ func (t *TableRef) LatestCommittedSSID() int64 {
 // still holds every committed snapshot version. Yields nothing when the
 // store is not replicated.
 func (t *TableRef) ScanPartitionFallback(ssid int64, p int, fn func(TableRow) bool) {
+	if t.virtual != nil {
+		t.ScanPartition(ssid, p, fn)
+		return
+	}
 	t.store.GetMap(SnapshotMapName(t.op)).ScanPartitionBackup(p, func(e kv.Entry) bool {
 		v, ok := e.Value.(*Chain).At(ssid)
 		if !ok {
@@ -260,6 +365,10 @@ func (t *TableRef) ScanPartitionFallback(ssid int64, p int, fn func(TableRow) bo
 // Scan streams all rows of the table as of snapshot ssid, charging one
 // network hop per remote node like any client-side full scan.
 func (t *TableRef) Scan(ssid int64, fn func(TableRow) bool) {
+	if t.virtual != nil {
+		t.ScanPartition(ssid, 0, fn)
+		return
+	}
 	mapName := LiveMapName(t.op)
 	if t.snapshot {
 		mapName = SnapshotMapName(t.op)

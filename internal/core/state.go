@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"squery/internal/kv"
+	"squery/internal/metrics"
 	"squery/internal/partition"
 )
 
@@ -74,6 +75,16 @@ type Backend struct {
 
 	data  map[string]entry
 	dirty map[string]partition.Key // keys touched since the last checkpoint
+
+	// Optional instruments (nil = disabled): update/delete count and
+	// latency, including the mirrored KV writes and their simulated
+	// network cost. The latency histogram is sampled 1-in-8 (the counter
+	// stays exact) to keep the per-record stopwatch cost off the hot
+	// path; updateSeq drives the sampling from the single processing
+	// goroutine.
+	updates   *metrics.Counter
+	updateLat *metrics.Histogram
+	updateSeq uint64
 }
 
 // NewBackend creates the state backend for instance `instance` of
@@ -90,6 +101,14 @@ func NewBackend(op string, instance int, view kv.NodeView, cfg Config) *Backend 
 		data:     make(map[string]entry),
 		dirty:    make(map[string]partition.Key),
 	}
+}
+
+// SetInstruments installs the backend's state-update counter and latency
+// histogram (both may be nil to disable). Call before the owning worker
+// starts; the instruments are read from the single processing goroutine.
+func (b *Backend) SetInstruments(updates *metrics.Counter, updateLat *metrics.Histogram) {
+	b.updates = updates
+	b.updateLat = updateLat
 }
 
 // Op returns the operator name.
@@ -111,6 +130,22 @@ func (b *Backend) Get(key partition.Key) (any, bool) {
 // it into the live map under key-level locking (the KV store's striped
 // key locks synchronise this write against concurrent query reads).
 func (b *Backend) Update(key partition.Key, value any) {
+	if b.updateLat == nil {
+		b.update(key, value)
+		return
+	}
+	b.updates.Inc()
+	b.updateSeq++
+	if b.updateSeq&7 != 0 {
+		b.update(key, value)
+		return
+	}
+	sw := metrics.StartStopwatch()
+	b.update(key, value)
+	b.updateLat.Record(sw.Elapsed())
+}
+
+func (b *Backend) update(key partition.Key, value any) {
 	ks := partition.KeyString(key)
 	b.data[ks] = entry{key: key, value: value}
 	b.dirty[ks] = key
@@ -124,6 +159,22 @@ func (b *Backend) Update(key partition.Key, value any) {
 
 // Delete removes the state for key.
 func (b *Backend) Delete(key partition.Key) {
+	if b.updateLat == nil {
+		b.del(key)
+		return
+	}
+	b.updates.Inc()
+	b.updateSeq++
+	if b.updateSeq&7 != 0 {
+		b.del(key)
+		return
+	}
+	sw := metrics.StartStopwatch()
+	b.del(key)
+	b.updateLat.Record(sw.Elapsed())
+}
+
+func (b *Backend) del(key partition.Key) {
 	ks := partition.KeyString(key)
 	delete(b.data, ks)
 	b.dirty[ks] = key

@@ -132,10 +132,11 @@ func (j *Job) CheckpointAborts() int64 { return j.ckptAborts.Load() }
 // exponential backoff, up to Config.CheckpointRetries times.
 func (j *Job) checkpointWithRetry(st *coordState) ckptOutcome {
 	for attempt := 0; ; attempt++ {
-		out := j.checkpointOnce(st)
+		out := j.checkpointOnce(st, attempt)
 		if out != ckptAborted || attempt >= j.cfg.CheckpointRetries {
 			return out
 		}
+		j.ckptIns.retries.Inc()
 		backoff := j.cfg.CheckpointBackoff << attempt
 		select {
 		case <-time.After(backoff):
@@ -146,7 +147,7 @@ func (j *Job) checkpointWithRetry(st *coordState) ckptOutcome {
 }
 
 // checkpointOnce runs one full 2PC checkpoint attempt.
-func (j *Job) checkpointOnce(st *coordState) ckptOutcome {
+func (j *Job) checkpointOnce(st *coordState, attempt int) ckptOutcome {
 	// Collect retirements that happened since the last checkpoint.
 	j.drainRetired(st)
 	needed := j.acksNeeded - len(st.retired)
@@ -170,13 +171,23 @@ func (j *Job) checkpointOnce(st *coordState) ckptOutcome {
 		defer tm.Stop()
 		deadline = tm.C
 	}
-	abort := func() ckptOutcome {
+	start := time.Now()
+	// noteAbort rolls the in-flight id back and counts the abort; outcome
+	// names why in the checkpoints event log.
+	noteAbort := func(outcome string) {
 		j.mgr.Abort(ssid)
 		j.ckptAborts.Add(1)
+		j.ckptIns.aborts.Inc()
+		j.ckptIns.log.Append(map[string]any{
+			"job": j.cfg.Name, "ssid": ssid, "outcome": outcome,
+			"attempt": attempt, "phase1Us": time.Since(start).Microseconds(),
+			"totalUs": time.Since(start).Microseconds(),
+		})
+	}
+	abort := func() ckptOutcome {
+		noteAbort("aborted")
 		return ckptAborted
 	}
-
-	start := time.Now()
 	// Inject barriers into all live sources, subject to injected faults:
 	// a dropped barrier leaves the ack missing and the deadline aborts.
 	j.mu.Lock()
@@ -196,8 +207,7 @@ func (j *Job) checkpointOnce(st *coordState) ckptOutcome {
 				select {
 				case <-time.After(fate.Delay):
 				case <-j.killCh:
-					j.mgr.Abort(ssid)
-					j.ckptAborts.Add(1)
+					noteAbort("stopped")
 					return ckptStopped
 				}
 			}
@@ -207,8 +217,7 @@ func (j *Job) checkpointOnce(st *coordState) ckptOutcome {
 		case <-deadline:
 			return abort()
 		case <-j.killCh:
-			j.mgr.Abort(ssid)
-			j.ckptAborts.Add(1)
+			noteAbort("stopped")
 			return ckptStopped
 		}
 	}
@@ -242,8 +251,7 @@ func (j *Job) checkpointOnce(st *coordState) ckptOutcome {
 		case <-deadline:
 			return abort()
 		case <-j.killCh:
-			j.mgr.Abort(ssid)
-			j.ckptAborts.Add(1)
+			noteAbort("stopped")
 			return ckptStopped
 		}
 	}
@@ -274,6 +282,15 @@ func (j *Job) checkpointOnce(st *coordState) ckptOutcome {
 
 	j.phase1Hist.Record(phase1)
 	j.totalHist.Record(total)
+	j.ckptIns.commits.Inc()
+	j.ckptIns.phase1.Record(phase1)
+	j.ckptIns.phase2.Record(total - phase1)
+	j.ckptIns.total.Record(total)
+	j.ckptIns.log.Append(map[string]any{
+		"job": j.cfg.Name, "ssid": ssid, "outcome": "committed",
+		"attempt": attempt, "phase1Us": phase1.Microseconds(),
+		"totalUs": total.Microseconds(),
+	})
 	return ckptCommitted
 }
 

@@ -51,6 +51,12 @@ type Config struct {
 	// Chaos, when set, intercepts checkpoint control-plane messages for
 	// deterministic fault injection (see internal/chaos).
 	Chaos ChaosHook
+	// Metrics, when set, receives the job's runtime telemetry: per-instance
+	// operator counters and barrier-wait/state-update histograms under the
+	// "operator" subsystem, checkpoint 2PC counters and phase timings under
+	// "checkpoint", and a "checkpoints" event log. Nil disables all of it
+	// (instruments resolve to nil no-ops).
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +98,7 @@ type Job struct {
 	totalHist  *metrics.Histogram // barrier injection -> committed
 	sourceOut  *metrics.Meter
 	ckptAborts atomic.Int64 // checkpoints aborted (timeout, kill, crash)
+	ckptIns    ckptInstruments
 
 	liveOffsets sync.Map // offsetKey -> *atomic.Int64, survives restarts
 
@@ -113,6 +120,47 @@ type Job struct {
 	stopTick    chan struct{}
 }
 
+// ckptInstruments is the coordinator's registry-backed instrument set,
+// keyed ("checkpoint", <job name>). All fields are nil (no-op) when the
+// job runs without a registry.
+type ckptInstruments struct {
+	commits *metrics.Counter
+	aborts  *metrics.Counter
+	retries *metrics.Counter
+	phase1  *metrics.Histogram
+	phase2  *metrics.Histogram
+	total   *metrics.Histogram
+	log     *metrics.EventLog
+}
+
+// opInstruments is one operator instance's registry-backed instrument set,
+// keyed ("operator", "<vertex>/<instance>"). The zero value is the no-op
+// set.
+type opInstruments struct {
+	recordsIn   *metrics.Counter
+	recordsOut  *metrics.Counter
+	checkpoints *metrics.Counter
+	barrierWait *metrics.Histogram
+}
+
+// opInstrumentsFor resolves one instance's instruments (and publishes its
+// scheduled node as a gauge). Resolution happens once at (re)start so the
+// data path pays one atomic op per event, never a registry lookup.
+func (j *Job) opInstrumentsFor(vertex string, instance, node int) opInstruments {
+	reg := j.cfg.Metrics
+	if reg == nil {
+		return opInstruments{}
+	}
+	id := fmt.Sprintf("%s/%d", vertex, instance)
+	reg.Gauge("operator", id, "node").Set(int64(node))
+	return opInstruments{
+		recordsIn:   reg.Counter("operator", id, "records_in"),
+		recordsOut:  reg.Counter("operator", id, "records_out"),
+		checkpoints: reg.Counter("operator", id, "checkpoints"),
+		barrierWait: reg.Histogram("operator", id, "barrier_wait"),
+	}
+}
+
 // Run validates the DAG, registers its stateful operators with a fresh
 // snapshot manager, and starts the job.
 func Run(dag *DAG, cfg Config) (*Job, error) {
@@ -132,6 +180,17 @@ func Run(dag *DAG, cfg Config) (*Job, error) {
 		phase1Hist: metrics.NewHistogram(),
 		totalHist:  metrics.NewHistogram(),
 		sourceOut:  metrics.NewMeter(),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		j.ckptIns = ckptInstruments{
+			commits: reg.Counter("checkpoint", cfg.Name, "commits"),
+			aborts:  reg.Counter("checkpoint", cfg.Name, "aborts"),
+			retries: reg.Counter("checkpoint", cfg.Name, "retries"),
+			phase1:  reg.Histogram("checkpoint", cfg.Name, "phase1"),
+			phase2:  reg.Histogram("checkpoint", cfg.Name, "phase2"),
+			total:   reg.Histogram("checkpoint", cfg.Name, "total"),
+			log:     reg.Log("checkpoints", 256),
+		}
 	}
 	if cfg.PersistDir != "" {
 		p, err := persist.Open(cfg.PersistDir)
@@ -245,6 +304,12 @@ func (j *Job) start(restoreSSID int64, standby bool) {
 			var backend *core.Backend
 			if v.Stateful {
 				backend = core.NewBackend(v.Name, i, j.clu.NodeView(node), j.stateConfigFor(v))
+				if reg := j.cfg.Metrics; reg != nil {
+					id := fmt.Sprintf("%s/%d", v.Name, i)
+					backend.SetInstruments(
+						reg.Counter("operator", id, "state_updates"),
+						reg.Histogram("operator", id, "state_update"))
+				}
 				par := v.Parallelism
 				inst := i
 				ownsKey := func(k partition.Key) bool {
@@ -280,6 +345,7 @@ func (j *Job) start(restoreSSID int64, standby bool) {
 					killCh:    j.killCh,
 					offset:    j.liveOffset(v.Name, i),
 					wmPolicy:  v.Watermarks,
+					ins:       j.opInstrumentsFor(v.Name, i, node),
 				}
 				j.sources = append(j.sources, sw)
 				continue
@@ -296,6 +362,7 @@ func (j *Job) start(restoreSSID int64, standby bool) {
 				killCh:    j.killCh,
 				aligned:   make(map[producerID]bool),
 				eos:       make(map[producerID]bool),
+				ins:       j.opInstrumentsFor(v.Name, i, node),
 			}
 			w.proc = v.NewProcessor(ProcContext{
 				Vertex:      v.Name,

@@ -29,6 +29,7 @@ type worker struct {
 	proc      Processor
 	backend   *core.Backend
 	killCh    chan struct{}
+	ins       opInstruments
 
 	// Barrier alignment state (§IV, Figure 3): producers that already
 	// delivered the current barrier are "aligned"; their subsequent
@@ -40,6 +41,10 @@ type worker struct {
 	stash        []item
 	eos          map[producerID]bool
 	killed       bool
+	// barrierStart is when the first barrier of the in-flight alignment
+	// round arrived; barrier-wait is measured from it to alignment
+	// completion (the stall Figure 3's top channel pays at the marker).
+	barrierStart time.Time
 
 	// Event-time state: the last watermark received per producer and
 	// the operator's combined (minimum) watermark.
@@ -77,6 +82,7 @@ func (w *worker) handle(it item) bool {
 	}
 	switch it.kind {
 	case kindRecord:
+		w.ins.recordsIn.Inc()
 		w.proc.Process(it.rec, w.emit)
 	case kindBarrier:
 		if it.ssid <= w.lastCkpt {
@@ -92,6 +98,9 @@ func (w *worker) handle(it item) bool {
 			if done := w.resetAlignment(); done {
 				return true
 			}
+		}
+		if w.alignedCount == 0 {
+			w.barrierStart = time.Now()
 		}
 		w.aligned[it.from] = true
 		w.alignedCount++
@@ -177,6 +186,8 @@ func (w *worker) alignmentComplete() bool {
 // replay the stashed items. It reports whether the worker finished while
 // replaying.
 func (w *worker) completeCheckpoint() bool {
+	w.ins.barrierWait.Record(time.Since(w.barrierStart))
+	w.ins.checkpoints.Inc()
 	if w.backend != nil {
 		if _, err := w.backend.SnapshotPrepare(w.curSSID); err != nil {
 			panic("dataflow: snapshot prepare failed: " + err.Error())
@@ -217,6 +228,7 @@ func (w *worker) finish() {
 
 // emit routes one record over every out edge.
 func (w *worker) emit(rec Record) {
+	w.ins.recordsOut.Inc()
 	for _, o := range w.outs {
 		var t int
 		switch o.kind {
@@ -269,6 +281,7 @@ type sourceWorker struct {
 	// offset mirrors the source's replay position after every record;
 	// standby failover resumes from it.
 	offset *atomic.Int64
+	ins    opInstruments
 
 	// Watermark emission (nil = none).
 	wmPolicy *WatermarkPolicy
@@ -312,6 +325,7 @@ func (s *sourceWorker) run() {
 				s.emit(rec)
 				s.offset.Store(s.src.Offset())
 				s.job.sourceOut.Inc()
+				s.ins.recordsOut.Inc()
 				s.maybeWatermark(rec.EventTime)
 			}
 		}

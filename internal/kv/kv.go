@@ -17,8 +17,12 @@ package kv
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"squery/internal/metrics"
 	"squery/internal/partition"
 )
 
@@ -53,8 +57,25 @@ type Store struct {
 	faultMu sync.RWMutex
 	fault   FaultHook
 
+	// stats, when set, is the per-partition instrument set (indexed by
+	// partition). Swapped atomically so SetMetrics is safe against
+	// in-flight operations; nil disables all accounting.
+	stats atomic.Pointer[[]*partStats]
+
 	mu   sync.RWMutex
 	maps map[string]*Map
+}
+
+// partStats is the resolved instrument set of one partition, keyed
+// ("kv", "p<N>") in the registry. Resolution happens once at SetMetrics
+// time so the data path never pays a registry lookup.
+type partStats struct {
+	gets       *metrics.Counter
+	sets       *metrics.Counter
+	deletes    *metrics.Counter
+	scans      *metrics.Counter
+	lockWaits  *metrics.Counter
+	lockWaitNs *metrics.Counter
 }
 
 // NewStore creates a store over the given partitioning and assignment.
@@ -119,6 +140,56 @@ func (s *Store) DropMap(name string) {
 // Use ClientNode for external clients.
 func (s *Store) View(node int) NodeView {
 	return NodeView{store: s, node: node}
+}
+
+// SetMetrics installs (or, with nil, removes) per-partition operation
+// accounting: get/set/delete/scan counts plus lock-wait events and summed
+// lock-wait nanoseconds under ("kv", "p<N>"). Lock waits are measured only
+// on the contended path — a failed TryLock — so the uncontended hot path
+// pays one counter increment per operation and nothing else.
+func (s *Store) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		s.stats.Store(nil)
+		return
+	}
+	sl := make([]*partStats, s.part.Count())
+	for p := range sl {
+		id := "p" + strconv.Itoa(p)
+		sl[p] = &partStats{
+			gets:       reg.Counter("kv", id, "gets"),
+			sets:       reg.Counter("kv", id, "sets"),
+			deletes:    reg.Counter("kv", id, "deletes"),
+			scans:      reg.Counter("kv", id, "scans"),
+			lockWaits:  reg.Counter("kv", id, "lock_waits"),
+			lockWaitNs: reg.Counter("kv", id, "lock_wait_ns"),
+		}
+	}
+	s.stats.Store(&sl)
+}
+
+// statsFor returns partition p's instruments, or nil when disabled.
+func (s *Store) statsFor(p int) *partStats {
+	sl := s.stats.Load()
+	if sl == nil {
+		return nil
+	}
+	return (*sl)[p]
+}
+
+// lockWith acquires lk, charging contention to st only on the slow path:
+// an uncontended (or uninstrumented) acquisition is a plain Lock.
+func lockWith(lk *sync.Mutex, st *partStats) {
+	if st == nil {
+		lk.Lock()
+		return
+	}
+	if lk.TryLock() {
+		return
+	}
+	start := time.Now()
+	lk.Lock()
+	st.lockWaits.Inc()
+	st.lockWaitNs.Add(time.Since(start).Nanoseconds())
 }
 
 // SetFaultHook installs (or clears, with nil) the fault-injection hook.
@@ -239,15 +310,19 @@ func (m *Map) PartitionOf(key partition.Key) int { return m.store.part.Of(key) }
 func (m *Map) put(node int, key partition.Key, value any) {
 	p := m.store.part.Of(key)
 	m.store.networkHop(node, p)
+	st := m.store.statsFor(p)
 	seg := m.segs[p]
 	ks := partition.KeyString(key)
 	lk := seg.stripe(ks)
-	lk.Lock()
+	lockWith(lk, st)
 	seg.mu.Lock()
 	e := Entry{Key: key, Value: value}
 	seg.entries[ks] = e
 	seg.mu.Unlock()
 	lk.Unlock()
+	if st != nil {
+		st.sets.Inc()
+	}
 	if m.store.replicated {
 		m.replicatePut(p, ks, e)
 	}
@@ -257,14 +332,18 @@ func (m *Map) put(node int, key partition.Key, value any) {
 func (m *Map) get(node int, key partition.Key) (any, bool) {
 	p := m.store.part.Of(key)
 	m.store.networkHop(node, p)
+	st := m.store.statsFor(p)
 	seg := m.segs[p]
 	ks := partition.KeyString(key)
 	lk := seg.stripe(ks)
-	lk.Lock()
+	lockWith(lk, st)
 	seg.mu.RLock()
 	e, ok := seg.entries[ks]
 	seg.mu.RUnlock()
 	lk.Unlock()
+	if st != nil {
+		st.gets.Inc()
+	}
 	if !ok {
 		return nil, false
 	}
@@ -275,15 +354,19 @@ func (m *Map) get(node int, key partition.Key) (any, bool) {
 func (m *Map) delete(node int, key partition.Key) bool {
 	p := m.store.part.Of(key)
 	m.store.networkHop(node, p)
+	st := m.store.statsFor(p)
 	seg := m.segs[p]
 	ks := partition.KeyString(key)
 	lk := seg.stripe(ks)
-	lk.Lock()
+	lockWith(lk, st)
 	seg.mu.Lock()
 	_, ok := seg.entries[ks]
 	delete(seg.entries, ks)
 	seg.mu.Unlock()
 	lk.Unlock()
+	if st != nil {
+		st.deletes.Inc()
+	}
 	if m.store.replicated {
 		m.replicateDelete(p, ks)
 	}
@@ -319,6 +402,9 @@ func (m *Map) Clear() {
 // partition p. Copy-then-iterate keeps the lock hold time proportional to
 // partition size, never to fn's cost — queries must not stall processing.
 func (m *Map) ScanPartition(p int, fn func(Entry) bool) {
+	if st := m.store.statsFor(p); st != nil {
+		st.scans.Inc()
+	}
 	seg := m.segs[p]
 	seg.mu.RLock()
 	entries := make([]Entry, 0, len(seg.entries))

@@ -8,6 +8,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -71,20 +72,15 @@ func bucketLower(idx int) time.Duration {
 	return time.Duration((uint64(bucketsPerOctave) + uint64(sub)) << uint(shift))
 }
 
-func leadingZeros(x uint64) int {
-	n := 0
-	if x == 0 {
-		return 64
-	}
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-	}
-	return n
-}
+func leadingZeros(x uint64) int { return bits.LeadingZeros64(x) }
 
-// Record adds one observation.
+// Record adds one observation. The nil histogram is a valid no-op
+// instrument (a nil Registry hands them out), so hot paths record
+// unconditionally.
 func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
 	if d < 0 {
 		d = 0
 	}

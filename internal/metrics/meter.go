@@ -5,43 +5,58 @@ import (
 	"time"
 )
 
+// meterWindow is one measurement window: a start instant and the events
+// counted since. Count and start live in one allocation so readers observe
+// them together through a single pointer load — Reset swaps the whole
+// window atomically instead of zeroing the count and restarting the clock
+// in two separate stores (which let a concurrent Rate see a zeroed count
+// against the old window, or the old count against the new window).
+type meterWindow struct {
+	start int64 // unix nanos
+	count atomic.Uint64
+}
+
 // Meter counts events and reports rates over the elapsed wall-clock window.
 // It backs the sustainable-throughput measurements of the scalability
 // experiment (Figure 15).
 type Meter struct {
-	count atomic.Uint64
-	start atomic.Int64 // unix nanos
+	win atomic.Pointer[meterWindow]
 }
 
 // NewMeter returns a meter whose window starts now.
 func NewMeter() *Meter {
 	m := &Meter{}
-	m.start.Store(time.Now().UnixNano())
+	m.win.Store(&meterWindow{start: time.Now().UnixNano()})
 	return m
 }
 
 // Add records n events.
-func (m *Meter) Add(n uint64) { m.count.Add(n) }
+func (m *Meter) Add(n uint64) { m.win.Load().count.Add(n) }
 
 // Inc records one event.
-func (m *Meter) Inc() { m.count.Add(1) }
+func (m *Meter) Inc() { m.win.Load().count.Add(1) }
 
 // Count returns the number of events recorded since the last Reset.
-func (m *Meter) Count() uint64 { return m.count.Load() }
+func (m *Meter) Count() uint64 { return m.win.Load().count.Load() }
 
-// Rate returns events per second since the window start.
+// Rate returns events per second since the window start. The count and the
+// window start are read from the same window, so a concurrent Reset can
+// never pair one window's count with the other's start.
 func (m *Meter) Rate() float64 {
-	elapsed := time.Since(time.Unix(0, m.start.Load()))
+	w := m.win.Load()
+	elapsed := time.Since(time.Unix(0, w.start))
 	if elapsed <= 0 {
 		return 0
 	}
-	return float64(m.count.Load()) / elapsed.Seconds()
+	return float64(w.count.Load()) / elapsed.Seconds()
 }
 
-// Reset zeroes the counter and restarts the window.
+// Reset zeroes the counter and restarts the window by installing a fresh
+// window in a single atomic store. Events recorded concurrently into the
+// outgoing window are dropped with it — the same semantics a racing
+// pre-fix Reset had, without the torn count/start pairing.
 func (m *Meter) Reset() {
-	m.count.Store(0)
-	m.start.Store(time.Now().UnixNano())
+	m.win.Store(&meterWindow{start: time.Now().UnixNano()})
 }
 
 // Stopwatch measures one interval at a time; it exists so call sites read as

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"squery/internal/core"
+	"squery/internal/metrics"
 )
 
 // Queries against a partially failed cluster must not hang: a stalled or
@@ -243,13 +244,19 @@ func (ex *Executor) scanAllGuarded(s tableSrc, opts ExecOpts, deg *degrades) ([]
 	ch := make(chan batch, ex.nodes)
 	var wg sync.WaitGroup
 	for n := 0; n < ex.nodes; n++ {
+		parts := ex.ownedPartitions(s, n)
+		if len(parts) == 0 {
+			continue // pruned or unowned: no goroutine, no hop
+		}
 		wg.Add(1)
-		go func(node int) {
+		go func(node int, parts []int) {
 			defer wg.Done()
 			var b batch
 			s.ref.ChargeClientHop(node)
-			for _, p := range ex.ownedPartitions(s, node) {
+			for _, p := range parts {
+				sw := metrics.StartStopwatch()
 				rows, err := ex.gatherPartition(s, p, opts, deg)
+				ex.recordPartScan(s, p, len(rows), sw.Elapsed())
 				if err != nil {
 					b.err = err
 					break
@@ -257,7 +264,7 @@ func (ex *Executor) scanAllGuarded(s tableSrc, opts ExecOpts, deg *degrades) ([]
 				b.rows = append(b.rows, rows...)
 			}
 			ch <- b
-		}(n)
+		}(n, parts)
 	}
 	wg.Wait()
 	close(ch)

@@ -3,11 +3,13 @@ package sql
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"squery/internal/core"
+	"squery/internal/metrics"
 )
 
 // Executor runs SELECT statements against the state tables of a catalog.
@@ -17,6 +19,64 @@ import (
 type Executor struct {
 	cat   *core.Catalog
 	nodes int
+	m     execInstruments
+}
+
+// execInstruments holds the executor's resolved registry instruments. The
+// zero value (nil fields) is fully functional: every instrument method is
+// a no-op on nil, so an executor without SetMetrics pays nothing.
+type execInstruments struct {
+	reg          *metrics.Registry
+	queries      *metrics.Counter
+	errors       *metrics.Counter
+	rowsScanned  *metrics.Counter
+	rowsReturned *metrics.Counter
+	partsScanned *metrics.Counter
+	partsPruned  *metrics.Counter
+	degraded     *metrics.Counter
+	latency      *metrics.Histogram
+	log          *metrics.EventLog
+	// part caches the ("sql", "p<N>") scan instruments by partition index
+	// so the per-scan hot path never touches the registry's lock.
+	part []partScanIns
+}
+
+// partScanIns holds one partition's pre-resolved scan instruments.
+type partScanIns struct {
+	scans *metrics.Counter
+	rows  *metrics.Counter
+	scan  *metrics.Histogram
+}
+
+// SetMetrics wires the executor into a metrics registry: query-level
+// counters and latency under ("sql", "exec"), per-partition scan stats
+// under ("sql", "p<N>"), and the "queries" event log behind sys.queries.
+// Call before serving queries; a nil registry leaves metrics disabled.
+func (ex *Executor) SetMetrics(reg *metrics.Registry) {
+	ex.m = execInstruments{
+		reg:          reg,
+		queries:      reg.Counter("sql", "exec", "queries"),
+		errors:       reg.Counter("sql", "exec", "errors"),
+		rowsScanned:  reg.Counter("sql", "exec", "rows_scanned"),
+		rowsReturned: reg.Counter("sql", "exec", "rows_returned"),
+		partsScanned: reg.Counter("sql", "exec", "partitions_scanned"),
+		partsPruned:  reg.Counter("sql", "exec", "partitions_pruned"),
+		degraded:     reg.Counter("sql", "exec", "degraded_partitions"),
+		latency:      reg.Histogram("sql", "exec", "latency"),
+		log:          reg.Log("queries", 256),
+	}
+	if reg != nil {
+		part := make([]partScanIns, ex.cat.Partitions())
+		for p := range part {
+			id := "p" + strconv.Itoa(p)
+			part[p] = partScanIns{
+				scans: reg.Counter("sql", id, "scans"),
+				rows:  reg.Counter("sql", id, "rows"),
+				scan:  reg.Histogram("sql", id, "scan"),
+			}
+		}
+		ex.m.part = part
+	}
 }
 
 // NewExecutor creates an executor over the catalog, fanning scans out
@@ -97,6 +157,13 @@ type tableSrc struct {
 	name  string // name as written
 	alias string // qualifier used in expressions
 	ssid  int64  // resolved snapshot id (0 for live)
+	// partHint, when >= 0, is the only partition that can hold rows
+	// satisfying the query's `partitionKey = <literal>` predicate; every
+	// other partition is pruned from the scan.
+	partHint int
+	// tr accumulates this source's scan statistics (shared across the
+	// scan goroutines; always non-nil for executor-built sources).
+	tr *scanTrace
 }
 
 // joinedRow is one row of the (possibly joined) working set: one TableRow
@@ -139,19 +206,34 @@ func (r joinedRow) Resolve(table, column string) (any, bool) {
 	return nil, false
 }
 
-// Query parses and executes a SELECT statement.
+// Query parses and executes a SELECT statement. EXPLAIN <select> returns
+// the plan without executing; EXPLAIN ANALYZE <select> executes and
+// returns the plan annotated with per-stage wall time, row counts and
+// partitions pruned. Both render as a single-column "plan" result.
 func (ex *Executor) Query(query string) (*Result, error) {
 	return ex.QueryWithOptions(query, ExecOpts{})
 }
 
 // QueryWithOptions parses and executes a SELECT statement under the given
-// fault-handling options.
+// fault-handling options. EXPLAIN / EXPLAIN ANALYZE prefixes are routed to
+// the planner (see Query).
 func (ex *Executor) QueryWithOptions(query string, opts ExecOpts) (*Result, error) {
+	switch mode, rest := splitExplain(query); mode {
+	case explainPlanOnly:
+		plan, err := ex.Explain(rest)
+		if err != nil {
+			return nil, err
+		}
+		return planResult(plan), nil
+	case explainAnalyze:
+		return ex.explainAnalyze(rest, opts)
+	}
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return ex.ExecWithOptions(stmt, opts)
+	res, _, err := ex.execTraced(stmt, opts, query)
+	return res, err
 }
 
 // Exec executes a parsed SELECT statement unguarded (PolicyNone).
@@ -162,79 +244,186 @@ func (ex *Executor) Exec(stmt *Select) (*Result, error) {
 // ExecWithOptions executes a parsed SELECT statement under the given
 // fault-handling options.
 func (ex *Executor) ExecWithOptions(stmt *Select, opts ExecOpts) (*Result, error) {
-	if opts.Policy != PolicyNone {
-		opts = opts.withDefaults()
-	}
-	ctx := &evalCtx{now: time.Now()}
-	stmt = resolveOrderByAliases(stmt)
+	res, _, err := ex.execTraced(stmt, opts, "")
+	return res, err
+}
 
-	// Resolve tables.
+// resolveSources resolves the statement's tables, extracts ssid pins and
+// partition-key hints from WHERE, and resolves each source's snapshot id.
+// It returns the sources, the residual WHERE clause, and the ssid pins.
+func (ex *Executor) resolveSources(stmt *Select) ([]tableSrc, Expr, pinSet, error) {
 	srcs := make([]tableSrc, 0, 1+len(stmt.Joins))
 	addSrc := func(t TableName) error {
 		ref, err := ex.cat.Table(t.Name)
 		if err != nil {
 			return err
 		}
-		srcs = append(srcs, tableSrc{ref: ref, name: t.Name, alias: t.Ref()})
+		srcs = append(srcs, tableSrc{ref: ref, name: t.Name, alias: t.Ref(), partHint: -1, tr: &scanTrace{}})
 		return nil
 	}
 	if err := addSrc(stmt.From); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	for _, j := range stmt.Joins {
 		if err := addSrc(j.Table); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 	}
-
-	// Extract ssid pins from WHERE and resolve each source's snapshot.
 	where, pins, err := extractPins(stmt.Where)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
+	applyKeyHints(stmt, srcs, where)
+	return srcs, where, pins, nil
+}
+
+// execTraced is the execution core: it runs the statement and returns the
+// result together with the trace EXPLAIN ANALYZE renders. query is the
+// original text for the sys.queries event log ("" for pre-parsed
+// statements).
+func (ex *Executor) execTraced(stmt *Select, opts ExecOpts, query string) (*Result, *execTrace, error) {
+	if opts.Policy != PolicyNone {
+		opts = opts.withDefaults()
+	}
+	ctx := &evalCtx{now: time.Now()}
+	stmt = resolveOrderByAliases(stmt)
+	tr := &execTrace{}
+	sw := metrics.StartStopwatch()
+	res, deg, err := ex.execStages(ctx, stmt, opts, tr)
+	tr.total = sw.Elapsed()
+	if deg != nil {
+		tr.degraded = len(deg.list)
+	}
+	ex.finishQuery(query, tr, res, err)
+	if err != nil {
+		return nil, tr, err
+	}
+	res.Degraded = deg.list
+	return res, tr, nil
+}
+
+func (ex *Executor) execStages(ctx *evalCtx, stmt *Select, opts ExecOpts, tr *execTrace) (*Result, *degrades, error) {
+	srcs, where, pins, err := ex.resolveSources(stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr.srcs = srcs
 	for i := range srcs {
 		pinned := pins.forTable(srcs[i].alias, srcs[i].name)
 		ssid, err := srcs[i].ref.ResolveSSID(pinned)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		srcs[i].ssid = ssid
 	}
 
 	// Scan + join.
 	deg := &degrades{}
+	sw := metrics.StartStopwatch()
 	rows, err := ex.scanAndJoin(stmt, srcs, opts, deg)
+	tr.scanJoinWall = sw.Elapsed()
+	tr.joinedRows = len(rows)
 	if err != nil {
-		return nil, err
+		return nil, deg, err
 	}
 
 	// Filter.
 	if where != nil {
+		sw = metrics.StartStopwatch()
 		kept := rows[:0]
 		for _, r := range rows {
 			v, err := ctx.eval(where, r)
 			if err != nil {
-				return nil, err
+				return nil, deg, err
 			}
 			if b, ok := truthy(v); ok && b {
 				kept = append(kept, r)
 			}
 		}
 		rows = kept
+		tr.filterWall = sw.Elapsed()
+		tr.filtered = true
 	}
+	tr.filteredRows = len(rows)
 
 	// Aggregate or project.
+	sw = metrics.StartStopwatch()
 	var res *Result
 	if stmt.HasAggregates() || len(stmt.GroupBy) > 0 {
 		res, err = ex.aggregate(ctx, stmt, srcs, rows)
+		tr.aggregated = true
 	} else {
 		res, err = ex.project(ctx, stmt, srcs, rows)
 	}
+	tr.outputWall = sw.Elapsed()
 	if err != nil {
-		return nil, err
+		return nil, deg, err
 	}
-	res.Degraded = deg.list
-	return res, nil
+	tr.returnedRows = len(res.Rows)
+	return res, deg, nil
+}
+
+// finishQuery records the query-level registry metrics and the sys.queries
+// event for one execution.
+func (ex *Executor) finishQuery(query string, tr *execTrace, res *Result, err error) {
+	ex.m.queries.Inc()
+	ex.m.latency.Record(tr.total)
+	var scanned, pruned, rows int64
+	for _, s := range tr.srcs {
+		scanned += s.tr.parts.Load()
+		pruned += s.tr.pruned
+		rows += s.tr.rows.Load()
+	}
+	ex.m.partsScanned.Add(scanned)
+	ex.m.partsPruned.Add(pruned)
+	ex.m.rowsScanned.Add(rows)
+	ex.m.degraded.Add(int64(tr.degraded))
+	if err != nil {
+		ex.m.errors.Inc()
+	} else {
+		ex.m.rowsReturned.Add(int64(tr.returnedRows))
+	}
+	if ex.m.log != nil {
+		if len(query) > 200 {
+			query = query[:200] + "…"
+		}
+		ex.m.log.AppendFielder(&queryEvent{
+			query:    query,
+			wallUs:   tr.total.Microseconds(),
+			scanned:  rows,
+			returned: int64(tr.returnedRows),
+			parts:    scanned,
+			pruned:   pruned,
+			degraded: int64(tr.degraded),
+			failed:   err != nil,
+		})
+	}
+}
+
+// queryEvent is the sys.queries entry for one execution: a flat struct on
+// the hot path, expanded to a field map only when the log is read.
+type queryEvent struct {
+	query    string
+	wallUs   int64
+	scanned  int64
+	returned int64
+	parts    int64
+	pruned   int64
+	degraded int64
+	failed   bool
+}
+
+func (q *queryEvent) EventFields() map[string]any {
+	return map[string]any{
+		"query":              q.query,
+		"wallUs":             q.wallUs,
+		"rowsScanned":        q.scanned,
+		"rowsReturned":       q.returned,
+		"partitionsScanned":  q.parts,
+		"partitionsPruned":   q.pruned,
+		"degradedPartitions": q.degraded,
+		"failed":             q.failed,
+	}
 }
 
 // resolveOrderByAliases rewrites ORDER BY entries that name a select-list
@@ -345,6 +534,85 @@ func ssidEquality(b Binary) (Ident, Lit, bool) {
 	return Ident{}, Lit{}, false
 }
 
+// keyPins maps a lower-cased table qualifier ("" = unqualified) to the
+// partitionKey literal a top-level equality conjunct pins it to.
+type keyPins map[string]any
+
+// extractKeyPins collects `partitionKey = <literal>` conjuncts from the
+// residual WHERE clause. Unlike ssid pins they are NOT stripped: the
+// predicate still runs against every scanned row (pruning is an
+// optimisation, the filter is the truth).
+func extractKeyPins(where Expr) keyPins {
+	pins := keyPins{}
+	collectKeyPins(where, pins)
+	return pins
+}
+
+func collectKeyPins(e Expr, pins keyPins) {
+	b, ok := e.(Binary)
+	if !ok {
+		return
+	}
+	switch b.Op {
+	case "AND":
+		collectKeyPins(b.L, pins)
+		collectKeyPins(b.R, pins)
+	case "=":
+		if id, lit, ok := keyEquality(b); ok {
+			pins[strings.ToLower(id.Table)] = lit.Val
+		}
+	}
+}
+
+func keyEquality(b Binary) (Ident, Lit, bool) {
+	if id, ok := b.L.(Ident); ok && strings.EqualFold(id.Name, core.ColPartitionKey) {
+		if lit, ok := b.R.(Lit); ok {
+			return id, lit, true
+		}
+	}
+	if id, ok := b.R.(Ident); ok && strings.EqualFold(id.Name, core.ColPartitionKey) {
+		if lit, ok := b.L.(Lit); ok {
+			return id, lit, true
+		}
+	}
+	return Ident{}, Lit{}, false
+}
+
+// applyKeyHints turns partitionKey pins into per-source partition hints.
+// A qualified pin (t.partitionKey = x) prunes only that table. An
+// unqualified pin prunes the FROM table — and, for a co-partitioned
+// USING(partitionKey) join, the joined table too, since the join key IS
+// the partition key on both sides. Pruning is skipped for literal types
+// whose hash is not provably consistent with SQL equality (floats, which
+// equality-coerces across int/float while the partitioner does not).
+func applyKeyHints(stmt *Select, srcs []tableSrc, where Expr) {
+	pins := extractKeyPins(where)
+	if len(pins) == 0 {
+		return
+	}
+	coPart := len(srcs) == 2 && len(stmt.Joins) == 1 &&
+		stmt.Joins[0].Using == core.ColPartitionKey && !stmt.Joins[0].Left
+	for i := range srcs {
+		s := &srcs[i]
+		key, found := pins[strings.ToLower(s.alias)]
+		if !found {
+			key, found = pins[strings.ToLower(s.name)]
+		}
+		if !found {
+			if v, ok := pins[""]; ok && (i == 0 || coPart) {
+				key, found = v, true
+			}
+		}
+		if !found {
+			continue
+		}
+		if p, ok := s.ref.PartitionOf(key); ok {
+			s.partHint = p
+			s.tr.pruned = int64(s.ref.Partitions() - 1)
+		}
+	}
+}
+
 // scanAndJoin materializes the working set. Single-table queries scan
 // scatter-gather per node. Joins on partitionKey run per-partition — the
 // co-location optimisation: both sides of each partition's join live on
@@ -439,19 +707,27 @@ func (ex *Executor) partitionedJoin(srcs []tableSrc, opts ExecOpts, deg *degrade
 	ch := make(chan batch, ex.nodes)
 	var wg sync.WaitGroup
 	for n := 0; n < ex.nodes; n++ {
+		parts := ex.ownedPartitions(srcs[0], n)
+		if len(parts) == 0 {
+			continue // pruned or unowned: no goroutine, no hop
+		}
 		wg.Add(1)
-		go func(node int) {
+		go func(node int, parts []int) {
 			defer wg.Done()
 			var b batch
 			// One hop to ship the node's portion of the result back.
 			srcs[0].ref.ChargeClientHop(node)
-			for _, p := range ex.ownedPartitions(srcs[0], node) {
+			for _, p := range parts {
+				sw := metrics.StartStopwatch()
 				right, err := ex.gatherPartition(srcs[1], p, opts, deg)
+				ex.recordPartScan(srcs[1], p, len(right), sw.Elapsed())
 				if err != nil {
 					b.err = err
 					break
 				}
+				sw = metrics.StartStopwatch()
 				left, err := ex.gatherPartition(srcs[0], p, opts, deg)
+				ex.recordPartScan(srcs[0], p, len(left), sw.Elapsed())
 				if err != nil {
 					b.err = err
 					break
@@ -471,7 +747,7 @@ func (ex *Executor) partitionedJoin(srcs []tableSrc, opts ExecOpts, deg *degrade
 				}
 			}
 			ch <- b
-		}(n)
+		}(n, parts)
 	}
 	wg.Wait()
 	close(ch)
@@ -489,7 +765,17 @@ func (ex *Executor) partitionedJoin(srcs []tableSrc, opts ExecOpts, deg *degrade
 	return out, nil
 }
 
+// ownedPartitions returns the partitions of s that node must scan: the
+// node's owned partitions, narrowed to the partition-key hint when the
+// query pinned one. Every scan path routes through here, so pruning
+// applies uniformly to plain scans, guarded scans and partitioned joins.
 func (ex *Executor) ownedPartitions(s tableSrc, node int) []int {
+	if s.partHint >= 0 {
+		if s.ref.PartitionOwner(s.partHint) == node {
+			return []int{s.partHint}
+		}
+		return nil
+	}
 	var out []int
 	for p := 0; p < s.ref.Partitions(); p++ {
 		if s.ref.PartitionOwner(p) == node {
@@ -497,6 +783,22 @@ func (ex *Executor) ownedPartitions(s tableSrc, node int) []int {
 		}
 	}
 	return out
+}
+
+// recordPartScan accounts one partition scan in the source's trace and the
+// per-partition registry instruments.
+func (ex *Executor) recordPartScan(s tableSrc, p int, rows int, d time.Duration) {
+	if s.tr != nil {
+		s.tr.wall.Add(int64(d))
+		s.tr.rows.Add(int64(rows))
+		s.tr.parts.Add(1)
+	}
+	if p < len(ex.m.part) && !s.ref.IsVirtual() {
+		ins := ex.m.part[p]
+		ins.scans.Inc()
+		ins.rows.Add(int64(rows))
+		ins.scan.Record(d)
+	}
 }
 
 func joinKeys(j Join, srcs []tableSrc, si int) (string, string, error) {
@@ -529,29 +831,39 @@ func hashKey(v any) string {
 	return fmt.Sprintf("%T:%v", v, v)
 }
 
-// scanAll gathers every row of a source, one goroutine per node.
+// scanAll gathers every row of a source, one goroutine per node that owns
+// at least one selected partition. Nodes left empty by partition pruning
+// are skipped entirely — no goroutine and no client→node network hop.
 func (ex *Executor) scanAll(s tableSrc) []core.TableRow {
 	type batch struct {
 		rows []core.TableRow
 	}
 	ch := make(chan batch, ex.nodes)
-	var wg sync.WaitGroup
+	launched := 0
 	for n := 0; n < ex.nodes; n++ {
-		wg.Add(1)
-		go func(node int) {
-			defer wg.Done()
+		parts := ex.ownedPartitions(s, n)
+		if len(parts) == 0 {
+			continue
+		}
+		launched++
+		go func(node int, parts []int) {
 			var b batch
-			s.ref.ScanNode(s.ssid, node, func(r core.TableRow) bool {
-				b.rows = append(b.rows, r)
-				return true
-			})
+			s.ref.ChargeClientHop(node)
+			for _, p := range parts {
+				sw := metrics.StartStopwatch()
+				before := len(b.rows)
+				s.ref.ScanPartition(s.ssid, p, func(r core.TableRow) bool {
+					b.rows = append(b.rows, r)
+					return true
+				})
+				ex.recordPartScan(s, p, len(b.rows)-before, sw.Elapsed())
+			}
 			ch <- b
-		}(n)
+		}(n, parts)
 	}
-	wg.Wait()
-	close(ch)
 	var out []core.TableRow
-	for b := range ch {
+	for i := 0; i < launched; i++ {
+		b := <-ch
 		out = append(out, b.rows...)
 	}
 	return out

@@ -1,117 +1,22 @@
 package sql
 
-import (
-	"fmt"
-	"strings"
-
-	"squery/internal/core"
-)
-
 // Explain parses and plans a query without executing it, returning a
 // human-readable plan description: which state tables it reads (live or
 // snapshot, and at which resolved snapshot id), the join strategy
-// (co-partitioned vs global hash), the residual filter, and the
-// post-processing stages. The snapshot ids shown are the ones the query
-// would use if executed now.
+// (co-partitioned vs global hash), partition pruning, the residual filter,
+// and the post-processing stages. The snapshot ids shown are the ones the
+// query would use if executed now. The rendering is shared with EXPLAIN
+// ANALYZE (analyze.go), which additionally annotates each stage with its
+// measured wall time and row counts.
 func (ex *Executor) Explain(query string) (string, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return "", err
 	}
 	stmt = resolveOrderByAliases(stmt)
-
-	srcs := make([]tableSrc, 0, 1+len(stmt.Joins))
-	addSrc := func(t TableName) error {
-		ref, err := ex.cat.Table(t.Name)
-		if err != nil {
-			return err
-		}
-		srcs = append(srcs, tableSrc{ref: ref, name: t.Name, alias: t.Ref()})
-		return nil
-	}
-	if err := addSrc(stmt.From); err != nil {
-		return "", err
-	}
-	for _, j := range stmt.Joins {
-		if err := addSrc(j.Table); err != nil {
-			return "", err
-		}
-	}
-	where, pins, err := extractPins(stmt.Where)
+	srcs, where, pins, err := ex.resolveSources(stmt)
 	if err != nil {
 		return "", err
 	}
-
-	var b strings.Builder
-	fmt.Fprintf(&b, "plan (%d nodes, %d partitions):\n", ex.nodes, srcs[0].ref.Partitions())
-	for i := range srcs {
-		s := &srcs[i]
-		pinned := pins.forTable(s.alias, s.name)
-		if s.ref.IsSnapshot() {
-			ssid, err := s.ref.ResolveSSID(pinned)
-			if err != nil {
-				fmt.Fprintf(&b, "  scan %-24s snapshot (unresolvable now: %v)\n", s.name, err)
-				continue
-			}
-			how := "latest committed"
-			if pinned != 0 {
-				how = "pinned"
-			}
-			fmt.Fprintf(&b, "  scan %-24s snapshot @ ssid %d (%s), scatter-gather over %d nodes\n",
-				s.name, ssid, how, ex.nodes)
-		} else {
-			fmt.Fprintf(&b, "  scan %-24s live (read uncommitted), scatter-gather over %d nodes\n",
-				s.name, ex.nodes)
-		}
-	}
-	for i, j := range stmt.Joins {
-		switch {
-		case len(srcs) == 2 && i == 0 && j.Using == core.ColPartitionKey && !j.Left:
-			fmt.Fprintf(&b, "  join %-24s co-partitioned per-partition hash join (co-location, no shuffle)\n",
-				"USING(partitionKey)")
-		case j.Using != "":
-			fmt.Fprintf(&b, "  join %-24s global hash join (build right, probe left)\n",
-				"USING("+j.Using+")")
-		default:
-			fmt.Fprintf(&b, "  join %-24s global hash join (build right, probe left)\n",
-				fmt.Sprintf("ON %s = %s", j.OnL, j.OnR))
-		}
-	}
-	if where != nil {
-		fmt.Fprintf(&b, "  filter %s\n", where)
-	}
-	if stmt.HasAggregates() || len(stmt.GroupBy) > 0 {
-		keys := make([]string, len(stmt.GroupBy))
-		for i, g := range stmt.GroupBy {
-			keys[i] = g.String()
-		}
-		if len(keys) == 0 {
-			fmt.Fprintf(&b, "  aggregate (single group)\n")
-		} else {
-			fmt.Fprintf(&b, "  aggregate GROUP BY %s\n", strings.Join(keys, ", "))
-		}
-		if stmt.Having != nil {
-			fmt.Fprintf(&b, "  having %s\n", stmt.Having)
-		}
-	}
-	if len(stmt.OrderBy) > 0 {
-		parts := make([]string, len(stmt.OrderBy))
-		for i, oi := range stmt.OrderBy {
-			dir := "ASC"
-			if oi.Desc {
-				dir = "DESC"
-			}
-			parts[i] = oi.Expr.String() + " " + dir
-		}
-		fmt.Fprintf(&b, "  sort %s\n", strings.Join(parts, ", "))
-	}
-	if stmt.Limit >= 0 {
-		fmt.Fprintf(&b, "  limit %d\n", stmt.Limit)
-	}
-	items := make([]string, len(stmt.Items))
-	for i, it := range stmt.Items {
-		items[i] = it.String()
-	}
-	fmt.Fprintf(&b, "  project %s\n", strings.Join(items, ", "))
-	return b.String(), nil
+	return ex.renderPlan(stmt, srcs, where, pins, nil), nil
 }

@@ -42,9 +42,27 @@ func Parse(input string) (*Select, error) {
 }
 
 type parser struct {
-	toks []token
-	i    int
+	toks  []token
+	i     int
+	depth int
 }
+
+// maxExprDepth bounds expression-nesting recursion (parenthesised
+// sub-expressions, chained NOT, chained unary minus) so hostile inputs —
+// the fuzzer's favourite is half a megabyte of "(" — fail with a parse
+// error instead of exhausting the goroutine stack. 200 levels is far
+// beyond any query a human or a generator writes.
+const maxExprDepth = 200
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxExprDepth {
+		return fmt.Errorf("sql: expression nesting exceeds %d levels", maxExprDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) peek() token { return p.toks[p.i] }
 
@@ -241,6 +259,16 @@ func (p *parser) parseTableName() (TableName, error) {
 	if err != nil {
 		return TableName{}, err
 	}
+	// Dotted names (sys.operators, sys.partitions, ...) are single table
+	// names here — the catalog namespaces virtual tables with a "sys."
+	// prefix rather than a real schema hierarchy.
+	for p.acceptSymbol(".") {
+		part, err := p.expectIdent()
+		if err != nil {
+			return TableName{}, err
+		}
+		name += "." + part
+	}
 	t := TableName{Name: name}
 	if p.acceptKeyword("AS") {
 		alias, err := p.expectIdent()
@@ -318,7 +346,13 @@ func (p *parser) parseQualifiedIdent() (Ident, error) {
 //	addExpr := mulExpr (('+'|'-') mulExpr)*
 //	mulExpr := unary (('*'|'/'|'%') unary)*
 //	unary   := '-' unary | primary
-func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+func (p *parser) parseExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.parseOr()
+}
 
 func (p *parser) parseOr() (Expr, error) {
 	l, err := p.parseAnd()
@@ -352,7 +386,11 @@ func (p *parser) parseAnd() (Expr, error) {
 
 func (p *parser) parseNot() (Expr, error) {
 	if p.acceptKeyword("NOT") {
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
 		e, err := p.parseNot()
+		p.leave()
 		if err != nil {
 			return nil, err
 		}
@@ -477,7 +515,11 @@ func (p *parser) parseMul() (Expr, error) {
 
 func (p *parser) parseUnary() (Expr, error) {
 	if p.acceptSymbol("-") {
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
 		e, err := p.parseUnary()
+		p.leave()
 		if err != nil {
 			return nil, err
 		}

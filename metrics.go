@@ -1,0 +1,147 @@
+package squery
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"squery/internal/core"
+	"squery/internal/kv"
+	"squery/internal/metrics"
+)
+
+// The engine applies the paper's thesis to itself: its own runtime
+// telemetry is state, and state is queryable. Every layer records into one
+// metrics.Registry — operator instances ("operator" subsystem), the
+// checkpoint coordinator ("checkpoint"), the KV store ("kv") and the SQL
+// executor ("sql") — and the registry is surfaced as virtual system tables
+// (sys.operators, sys.partitions, sys.checkpoints, sys.queries) that flow
+// through the normal SQL path: they can be filtered, joined, aggregated
+// and EXPLAIN ANALYZEd like any state table.
+
+// Metrics returns the engine's registry, or nil when Config.DisableMetrics
+// was set. Callers may resolve their own instruments under it.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// MetricsDump renders every instrument and event log as plain text — the
+// output behind the -metrics flags of cmd/squery and cmd/squery-bench.
+func (e *Engine) MetricsDump() string { return e.reg.Dump() }
+
+// registerSystemTables installs the sys.* virtual tables. Each provider
+// reads the registry at query time, so the tables are always live.
+func (e *Engine) registerSystemTables() {
+	e.cat.RegisterVirtual("sys.operators", e.sysOperators)
+	e.cat.RegisterVirtual("sys.partitions", e.sysPartitions)
+	e.cat.RegisterVirtual("sys.checkpoints", func() []core.TableRow {
+		return eventRows(e.reg.Log("checkpoints", 256))
+	})
+	e.cat.RegisterVirtual("sys.queries", func() []core.TableRow {
+		return eventRows(e.reg.Log("queries", 256))
+	})
+}
+
+// sysOperators is one row per operator instance: routing counters,
+// barrier-alignment and state-update latency summaries.
+func (e *Engine) sysOperators() []core.TableRow {
+	vals := e.reg.Values("operator")
+	hists := e.reg.HistogramsIn("operator")
+	ids := make(map[string]bool, len(vals))
+	for id := range vals {
+		ids[id] = true
+	}
+	for id := range hists {
+		ids[id] = true
+	}
+	sorted := make([]string, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Strings(sorted)
+	rows := make([]core.TableRow, 0, len(sorted))
+	for _, id := range sorted {
+		v := vals[id]
+		h := hists[id]
+		vertex, inst := id, -1
+		if i := strings.LastIndex(id, "/"); i >= 0 {
+			vertex = id[:i]
+			inst, _ = strconv.Atoi(id[i+1:])
+		}
+		rows = append(rows, core.TableRow{Key: id, Value: kv.MapRow{
+			"vertex":           vertex,
+			"instance":         inst,
+			"node":             v["node"],
+			"recordsIn":        v["records_in"],
+			"recordsOut":       v["records_out"],
+			"checkpoints":      v["checkpoints"],
+			"barrierWaits":     histCount(h["barrier_wait"]),
+			"barrierWaitAvgUs": histMeanUs(h["barrier_wait"]),
+			"stateUpdates":     v["state_updates"],
+			"stateUpdateAvgUs": histMeanUs(h["state_update"]),
+		}})
+	}
+	return rows
+}
+
+// sysPartitions is one row per state partition: KV operation counts and
+// lock contention from the store, scan activity from the SQL executor.
+func (e *Engine) sysPartitions() []core.TableRow {
+	kvVals := e.reg.Values("kv")
+	sqlVals := e.reg.Values("sql")
+	sqlHists := e.reg.HistogramsIn("sql")
+	assign := e.clu.Store().Assignment()
+	nparts := e.clu.Store().Partitioner().Count()
+	rows := make([]core.TableRow, 0, nparts)
+	for p := 0; p < nparts; p++ {
+		id := "p" + strconv.Itoa(p)
+		v := kvVals[id]
+		sv := sqlVals[id]
+		rows = append(rows, core.TableRow{Key: p, Value: kv.MapRow{
+			"partition":    p,
+			"node":         assign.Owner(p),
+			"gets":         v["gets"],
+			"sets":         v["sets"],
+			"deletes":      v["deletes"],
+			"scans":        v["scans"],
+			"lockWaits":    v["lock_waits"],
+			"lockWaitUs":   v["lock_wait_ns"] / 1000,
+			"sqlScans":     sv["scans"],
+			"sqlScanRows":  sv["rows"],
+			"sqlScanAvgUs": histMeanUs(sqlHists[id]["scan"]),
+		}})
+	}
+	return rows
+}
+
+// eventRows adapts an event log's retained events as table rows, oldest
+// first, with the ring sequence number as both key and "seq" column. An
+// event's "ssid" field (checkpoint events carry one) is mirrored into the
+// row's SSID so the ssid pseudo-column — which shadows value fields —
+// reports the event's snapshot id instead of the virtual table's zero.
+func eventRows(l *metrics.EventLog) []core.TableRow {
+	events := l.Events()
+	rows := make([]core.TableRow, 0, len(events))
+	for _, ev := range events {
+		m := make(kv.MapRow, len(ev.Fields)+1)
+		for k, v := range ev.Fields {
+			m[k] = v
+		}
+		m["seq"] = int64(ev.Seq)
+		ssid, _ := m["ssid"].(int64)
+		rows = append(rows, core.TableRow{Key: int64(ev.Seq), SSID: ssid, Value: m})
+	}
+	return rows
+}
+
+func histCount(h *metrics.Histogram) int64 {
+	if h == nil {
+		return 0
+	}
+	return int64(h.Count())
+}
+
+func histMeanUs(h *metrics.Histogram) int64 {
+	if h == nil {
+		return 0
+	}
+	return h.Mean().Microseconds()
+}

@@ -33,6 +33,7 @@ import (
 	"squery/internal/core"
 	"squery/internal/dataflow"
 	"squery/internal/kv"
+	"squery/internal/metrics"
 	"squery/internal/partition"
 	"squery/internal/persist"
 	"squery/internal/sql"
@@ -158,6 +159,12 @@ type Config struct {
 	// partition, so a node failure promotes replicas instead of losing
 	// state (§V.A).
 	ReplicateState bool
+	// DisableMetrics runs the engine without a metrics registry: every
+	// instrument resolves to a nil no-op, the sys.* system tables are not
+	// registered, and MetricsDump reports metrics disabled. This is the
+	// baseline of the instrumentation-overhead experiment in
+	// EXPERIMENTS.md.
+	DisableMetrics bool
 }
 
 // Engine owns a cluster, its state store, and the query subsystem, and
@@ -166,6 +173,7 @@ type Engine struct {
 	clu *cluster.Cluster
 	cat *core.Catalog
 	ex  *sql.Executor
+	reg *metrics.Registry // nil when Config.DisableMetrics
 
 	mu   sync.Mutex
 	jobs map[string]*Job
@@ -180,13 +188,24 @@ func New(cfg Config) *Engine {
 		NetworkJitter:  cfg.NetworkJitter,
 		ReplicateState: cfg.ReplicateState,
 	})
+	var reg *metrics.Registry
+	if !cfg.DisableMetrics {
+		reg = metrics.NewRegistry()
+	}
+	clu.Store().SetMetrics(reg)
 	cat := core.NewCatalog(clu.Store())
-	return &Engine{
+	e := &Engine{
 		clu:  clu,
 		cat:  cat,
 		ex:   sql.NewExecutor(cat, clu.Nodes()),
+		reg:  reg,
 		jobs: make(map[string]*Job),
 	}
+	e.ex.SetMetrics(reg)
+	if reg != nil {
+		e.registerSystemTables()
+	}
+	return e
 }
 
 // Nodes returns the cluster size.
@@ -256,6 +275,7 @@ func (e *Engine) SubmitJob(dag *DAG, spec JobSpec) (*Job, error) {
 		CheckpointRetries: spec.CheckpointRetries,
 		CheckpointBackoff: spec.CheckpointBackoff,
 		Chaos:             spec.Chaos,
+		Metrics:           e.reg,
 	})
 	if err != nil {
 		return nil, err
