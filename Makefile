@@ -1,6 +1,7 @@
 GO ?= go
+GOFILES := $(shell git ls-files '*.go')
 
-.PHONY: test vet race soak-chaos fuzz-short verify
+.PHONY: test vet lint race soak-chaos fuzz-short verify
 
 # Tier-1: what CI gates on.
 test:
@@ -9,6 +10,14 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Lint gate: vet plus gofmt over every tracked Go file. Fails with the
+# offending file list if anything is unformatted.
+lint: vet
+	@unformatted="$$(gofmt -l $(GOFILES))"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 race:
 	$(GO) test -race ./...
@@ -20,10 +29,12 @@ race:
 soak-chaos:
 	$(GO) run -race ./cmd/squery-soak -chaos -seed 1 -duration 5s
 
-# Short fuzz wall: 30s per target against the SQL front end. The parser
-# and lexer must be total — errors, never panics — on arbitrary input.
+# Short fuzz wall: 30s per target against the SQL front end. The parser,
+# lexer and planner must be total — errors, never panics — on arbitrary
+# input.
 fuzz-short:
 	$(GO) test ./internal/sql -fuzz FuzzParse -fuzztime 30s -run '^$$'
 	$(GO) test ./internal/sql -fuzz FuzzLexer -fuzztime 30s -run '^$$'
+	$(GO) test ./internal/sql -fuzz FuzzPlan -fuzztime 30s -run '^$$'
 
-verify: vet race soak-chaos
+verify: lint race soak-chaos

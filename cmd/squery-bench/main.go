@@ -34,17 +34,18 @@ func main() {
 
 	o := experiments.Options{Quick: *quick}
 	runners := map[string]func(experiments.Options){
-		"fig8":    runFig8,
-		"fig9":    runFig9,
-		"fig10":   runFig10,
-		"fig11":   runFig11,
-		"fig12":   runFig12,
-		"fig13":   runFig13,
-		"fig14":   runFig14,
-		"fig15":   runFig15,
-		"queries": runQueries,
+		"fig8":     runFig8,
+		"fig9":     runFig9,
+		"fig10":    runFig10,
+		"fig11":    runFig11,
+		"fig12":    runFig12,
+		"fig13":    runFig13,
+		"fig14":    runFig14,
+		"fig15":    runFig15,
+		"queries":  runQueries,
+		"pushdown": runPushdown,
 	}
-	order := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "queries"}
+	order := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "queries", "pushdown"}
 
 	switch *exp {
 	case "all":
@@ -161,4 +162,10 @@ func runQueries(o experiments.Options) {
 		fmt.Printf("--- %s (%s, %d rows) ---\n%s\n%s\n",
 			r.Name, r.Latency.Round(time.Microsecond), r.Rows, r.Query, r.Result)
 	}
+}
+
+func runPushdown(o experiments.Options) {
+	fmt.Println(experiments.PushdownTable(
+		"Scan pushdown — streaming pipeline (pushdown) vs ship-everything (40K keys, 128 partitions, 3 nodes)",
+		experiments.Pushdown(o)))
 }

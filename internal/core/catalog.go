@@ -242,31 +242,126 @@ func (t *TableRef) ResolveSSID(pinned int64) (int64, error) {
 	return pinned, nil
 }
 
+// ScanSpec pushes query-side work into a partition scan: the predicate
+// and the projected column set run on the node owning the partition, and
+// only surviving, narrowed rows pay the client hop. This is the pushdown
+// contract between the SQL planner and the state layer.
+type ScanSpec struct {
+	// SSID is the snapshot id to read (from ResolveSSID; ignored live).
+	SSID int64
+	// Filter, when non-nil, is evaluated node-side against every decoded
+	// row; only accepted rows reach fn.
+	Filter func(TableRow) bool
+	// Cols, when non-nil, narrows each shipped row's Value to these
+	// columns (pseudo-columns stay available via TableRow itself). The
+	// filter always sees the full row. nil ships all columns.
+	Cols []string
+	// Done, when non-nil, cancels the scan once closed.
+	Done <-chan struct{}
+}
+
 // ScanPartition streams the rows of one partition as of snapshot ssid
 // (which the caller obtained from ResolveSSID; ignored for live tables).
 // The charge for reaching the partition's node is paid by the view.
 func (t *TableRef) ScanPartition(ssid int64, p int, fn func(TableRow) bool) {
+	t.ScanPartitionSpec(p, ScanSpec{SSID: ssid}, fn)
+}
+
+// ScanPartitionSpec is ScanPartition with the spec's filter, projection
+// and cancellation applied where the partition lives.
+func (t *TableRef) ScanPartitionSpec(p int, spec ScanSpec, fn func(TableRow) bool) {
 	if t.virtual != nil {
-		for _, r := range t.virtual() {
-			if !fn(r) {
+		rows := t.virtual()
+		for i, r := range rows {
+			if spec.Done != nil && i%32 == 0 {
+				select {
+				case <-spec.Done:
+					return
+				default:
+				}
+			}
+			if spec.Filter != nil && !spec.Filter(r) {
+				continue
+			}
+			if !fn(projectRow(r, spec.Cols)) {
 				return
 			}
 		}
 		return
 	}
 	if t.snapshot {
-		t.store.GetMap(SnapshotMapName(t.op)).ScanPartition(p, func(e kv.Entry) bool {
-			v, ok := e.Value.(*Chain).At(ssid)
+		t.store.GetMap(SnapshotMapName(t.op)).ScanPartitionWith(p, kv.ScanOpts{Done: spec.Done}, func(e kv.Entry) bool {
+			v, ok := e.Value.(*Chain).At(spec.SSID)
 			if !ok {
 				return true
 			}
-			return fn(TableRow{Key: e.Key, SSID: v.SSID, Value: kv.AsRow(v.Value), Raw: v.Value})
+			r := TableRow{Key: e.Key, SSID: v.SSID, Value: kv.AsRow(v.Value), Raw: v.Value}
+			if spec.Filter != nil && !spec.Filter(r) {
+				return true
+			}
+			return fn(projectRow(r, spec.Cols))
 		})
 		return
 	}
-	t.store.GetMap(LiveMapName(t.op)).ScanPartition(p, func(e kv.Entry) bool {
-		return fn(TableRow{Key: e.Key, Value: kv.AsRow(e.Value), Raw: e.Value})
+	m := t.store.GetMap(LiveMapName(t.op))
+	if spec.Filter == nil {
+		m.ScanPartitionWith(p, kv.ScanOpts{Done: spec.Done}, func(e kv.Entry) bool {
+			return fn(projectRow(TableRow{Key: e.Key, Value: kv.AsRow(e.Value), Raw: e.Value}, spec.Cols))
+		})
+		return
+	}
+	// Live path with a predicate: adapt the filter to kv entries so that
+	// rejected rows never leave the kv layer's iteration.
+	m.ScanPartitionWith(p, kv.ScanOpts{
+		Done: spec.Done,
+		Filter: func(e kv.Entry) bool {
+			return spec.Filter(TableRow{Key: e.Key, Value: kv.AsRow(e.Value), Raw: e.Value})
+		},
+	}, func(e kv.Entry) bool {
+		return fn(projectRow(TableRow{Key: e.Key, Value: kv.AsRow(e.Value), Raw: e.Value}, spec.Cols))
 	})
+}
+
+// projectedRow is a Row narrowed to the columns a query ships. Lookups
+// are a linear probe over a handful of names — cheaper than a map for
+// the column counts real queries project.
+type projectedRow struct {
+	cols []string
+	vals []any
+}
+
+// Field implements kv.Row.
+func (r projectedRow) Field(name string) (any, bool) {
+	for i, c := range r.cols {
+		if c == name {
+			return r.vals[i], true
+		}
+	}
+	return nil, false
+}
+
+// Columns implements kv.Row.
+func (r projectedRow) Columns() []string { return append([]string(nil), r.cols...) }
+
+// projectRow narrows a row's Value to cols (nil = no projection).
+// Columns the underlying row does not have are simply absent from the
+// projection, so an unknown-column reference still fails at evaluation
+// exactly as it would against the full row. Raw is dropped: a projected
+// row is a query-shaped wire row, not the state object.
+func projectRow(r TableRow, cols []string) TableRow {
+	if cols == nil {
+		return r
+	}
+	pr := projectedRow{cols: make([]string, 0, len(cols)), vals: make([]any, 0, len(cols))}
+	for _, c := range cols {
+		if v, ok := r.Value.Field(c); ok {
+			pr.cols = append(pr.cols, c)
+			pr.vals = append(pr.vals, v)
+		}
+	}
+	r.Value = pr
+	r.Raw = nil
+	return r
 }
 
 // ScanNode streams the rows of every partition owned by node, as of
@@ -349,16 +444,27 @@ func (t *TableRef) LatestCommittedSSID() int64 {
 // still holds every committed snapshot version. Yields nothing when the
 // store is not replicated.
 func (t *TableRef) ScanPartitionFallback(ssid int64, p int, fn func(TableRow) bool) {
+	t.ScanPartitionFallbackSpec(p, ScanSpec{SSID: ssid}, fn)
+}
+
+// ScanPartitionFallbackSpec is ScanPartitionFallback with the spec's
+// filter, projection and cancellation applied — a degraded read is still
+// a pushdown read.
+func (t *TableRef) ScanPartitionFallbackSpec(p int, spec ScanSpec, fn func(TableRow) bool) {
 	if t.virtual != nil {
-		t.ScanPartition(ssid, p, fn)
+		t.ScanPartitionSpec(p, spec, fn)
 		return
 	}
-	t.store.GetMap(SnapshotMapName(t.op)).ScanPartitionBackup(p, func(e kv.Entry) bool {
-		v, ok := e.Value.(*Chain).At(ssid)
+	t.store.GetMap(SnapshotMapName(t.op)).ScanPartitionBackupWith(p, kv.ScanOpts{Done: spec.Done}, func(e kv.Entry) bool {
+		v, ok := e.Value.(*Chain).At(spec.SSID)
 		if !ok {
 			return true
 		}
-		return fn(TableRow{Key: e.Key, SSID: v.SSID, Value: kv.AsRow(v.Value), Raw: v.Value})
+		r := TableRow{Key: e.Key, SSID: v.SSID, Value: kv.AsRow(v.Value), Raw: v.Value}
+		if spec.Filter != nil && !spec.Filter(r) {
+			return true
+		}
+		return fn(projectRow(r, spec.Cols))
 	})
 }
 

@@ -398,42 +398,75 @@ func (m *Map) Clear() {
 	}
 }
 
+// ScanOpts tunes a pushdown-aware partition scan.
+type ScanOpts struct {
+	// Filter, when non-nil, runs against every entry on the owning node;
+	// only accepted entries reach fn. This is the predicate-pushdown hook:
+	// a selective query filters where the data lives instead of shipping
+	// every row across the (simulated) network.
+	Filter func(Entry) bool
+	// Done, when non-nil, cancels the scan once closed — the early-stop
+	// hook for LIMIT queries and failed sibling scans. Checked between
+	// entries, so an in-flight fn call always completes.
+	Done <-chan struct{}
+}
+
 // ScanPartition calls fn for a point-in-time copy of every entry in
 // partition p. Copy-then-iterate keeps the lock hold time proportional to
 // partition size, never to fn's cost — queries must not stall processing.
 func (m *Map) ScanPartition(p int, fn func(Entry) bool) {
+	m.ScanPartitionWith(p, ScanOpts{}, fn)
+}
+
+// ScanPartitionWith is ScanPartition with node-side filtering and
+// cancellation. The filter and the done check both run after the copy,
+// outside the segment lock — the lock-hold invariant is unchanged no
+// matter how expensive the pushed predicate is.
+func (m *Map) ScanPartitionWith(p int, o ScanOpts, fn func(Entry) bool) {
 	if st := m.store.statsFor(p); st != nil {
 		st.scans.Inc()
 	}
-	seg := m.segs[p]
-	seg.mu.RLock()
-	entries := make([]Entry, 0, len(seg.entries))
-	for _, e := range seg.entries {
-		entries = append(entries, e)
-	}
-	seg.mu.RUnlock()
-	for _, e := range entries {
-		if !fn(e) {
-			return
-		}
-	}
+	scanSeg(m.segs[p], o, fn)
 }
 
 // ScanPartitionBackup is ScanPartition against the partition's backup
 // copy — the degraded read path a query falls back to when the primary is
 // unreachable. Without replication it visits nothing.
 func (m *Map) ScanPartitionBackup(p int, fn func(Entry) bool) {
+	m.ScanPartitionBackupWith(p, ScanOpts{}, fn)
+}
+
+// ScanPartitionBackupWith is ScanPartitionWith against the backup copy,
+// so a degraded (fallback) read still benefits from pushdown.
+func (m *Map) ScanPartitionBackupWith(p int, o ScanOpts, fn func(Entry) bool) {
 	if m.backups == nil {
 		return
 	}
-	seg := m.backups[p]
+	scanSeg(m.backups[p], o, fn)
+}
+
+// doneCheckEvery is how many entries a scan processes between polls of
+// the Done channel.
+const doneCheckEvery = 32
+
+func scanSeg(seg *segment, o ScanOpts, fn func(Entry) bool) {
 	seg.mu.RLock()
 	entries := make([]Entry, 0, len(seg.entries))
 	for _, e := range seg.entries {
 		entries = append(entries, e)
 	}
 	seg.mu.RUnlock()
-	for _, e := range entries {
+	for i, e := range entries {
+		if o.Done != nil && i%doneCheckEvery == 0 {
+			select {
+			case <-o.Done:
+				return
+			default:
+			}
+		}
+		if o.Filter != nil && !o.Filter(e) {
+			continue
+		}
 		if !fn(e) {
 			return
 		}

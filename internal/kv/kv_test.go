@@ -280,3 +280,82 @@ func TestStorePanicsOnMismatchedAssignment(t *testing.T) {
 	}()
 	NewStore(partition.New(8), partition.Assign(16, 2), nil)
 }
+
+func TestScanPartitionWithFilter(t *testing.T) {
+	s := testStore()
+	v := s.View(0)
+	for i := 0; i < 200; i++ {
+		v.Put("m", fmt.Sprintf("key-%d", i), i)
+	}
+	m := s.GetMap("m")
+	seen := 0
+	for p := 0; p < s.Partitioner().Count(); p++ {
+		m.ScanPartitionWith(p, ScanOpts{Filter: func(e Entry) bool {
+			return e.Value.(int)%2 == 0
+		}}, func(e Entry) bool {
+			if e.Value.(int)%2 != 0 {
+				t.Fatalf("filter leaked odd value %v", e.Value)
+			}
+			seen++
+			return true
+		})
+	}
+	if seen != 100 {
+		t.Fatalf("filtered scan saw %d entries, want 100", seen)
+	}
+}
+
+func TestScanPartitionWithDoneStopsEarly(t *testing.T) {
+	s := testStore()
+	v := s.View(0)
+	// Pile enough keys into one partition that the done poll (every 32
+	// entries) must trigger mid-scan.
+	var target int
+	n := 0
+	for i := 0; n < 500; i++ {
+		p := s.Partitioner().Of(i)
+		if n == 0 {
+			target = p
+		}
+		if p == target {
+			v.Put("m", i, i)
+			n++
+		}
+	}
+	done := make(chan struct{})
+	visited := 0
+	s.GetMap("m").ScanPartitionWith(target, ScanOpts{Done: done}, func(Entry) bool {
+		visited++
+		if visited == 10 {
+			close(done)
+		}
+		return true
+	})
+	if visited >= 500 {
+		t.Fatalf("done channel did not stop the scan (visited %d)", visited)
+	}
+}
+
+func TestScanPartitionBackupWithFilter(t *testing.T) {
+	s := testStore()
+	if err := s.SetReplicated(); err != nil {
+		t.Fatal(err)
+	}
+	v := s.View(0)
+	for i := 0; i < 50; i++ {
+		v.Put("m", i, i)
+	}
+	m := s.GetMap("m")
+	seen := 0
+	for p := 0; p < s.Partitioner().Count(); p++ {
+		m.ScanPartitionBackupWith(p, ScanOpts{Filter: func(e Entry) bool {
+			return e.Value.(int) < 5
+		}}, func(e Entry) bool {
+			seen++
+			return true
+		})
+	}
+	if seen != 5 {
+		t.Fatalf("filtered backup scan saw %d entries, want 5", seen)
+	}
+}

@@ -1,47 +1,15 @@
 package sql
 
-import (
-	"fmt"
-	"strings"
-	"sync/atomic"
-	"time"
+import "strings"
 
-	"squery/internal/core"
-)
-
-// EXPLAIN ANALYZE: the executor always threads an execTrace through a
-// query's stages (the bookkeeping is a handful of atomic adds, paid only
-// per partition and per stage), so any query can be re-rendered as its
-// plan annotated with measured wall time, row counts and partitions
-// pruned. EXPLAIN and EXPLAIN ANALYZE are recognised as query prefixes by
-// Query/QueryWithOptions and return the plan text as a single-column
-// "plan" result — they flow through the public query path like any SELECT.
-
-// scanTrace accumulates one source's scan statistics across the scatter
-// goroutines.
-type scanTrace struct {
-	wall  atomic.Int64 // summed per-partition scan nanoseconds
-	rows  atomic.Int64 // rows produced by the scans
-	parts atomic.Int64 // partitions actually scanned
-	// pruned is set once, before the scan fans out: partitions excluded
-	// by the partition-key hint.
-	pruned int64
-}
-
-// execTrace is the per-stage record of one execution.
-type execTrace struct {
-	srcs         []tableSrc
-	scanJoinWall time.Duration
-	joinedRows   int // working-set rows after scan+join
-	filtered     bool
-	filterWall   time.Duration
-	filteredRows int // rows surviving the WHERE filter
-	aggregated   bool
-	outputWall   time.Duration // aggregate/project + sort + limit
-	returnedRows int
-	degraded     int
-	total        time.Duration
-}
+// EXPLAIN ANALYZE: every execution runs a compiled plan tree whose nodes
+// self-report rows and wall time (the bookkeeping is a handful of atomic
+// adds, paid per batch and per partition), so any query can be
+// re-rendered as the exact plan instance it ran, annotated with the
+// measured stats. EXPLAIN and EXPLAIN ANALYZE are recognised as query
+// prefixes by Query/QueryWithOptions and return the plan text as a
+// single-column "plan" result — they flow through the public query path
+// like any SELECT.
 
 // Explain-prefix detection.
 const (
@@ -85,149 +53,18 @@ func planResult(plan string) *Result {
 	return res
 }
 
-// explainAnalyze executes the statement and renders its plan annotated
-// with the measured trace.
+// explainAnalyze executes the statement and renders the plan instance it
+// ran, annotated with the stats the execution recorded.
 func (ex *Executor) explainAnalyze(query string, opts ExecOpts) (*Result, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	res, tr, err := ex.execTraced(stmt, opts, query)
+	res, pp, err := ex.execTraced(stmt, opts, query)
 	if err != nil {
 		return nil, err
 	}
-	stmtR := resolveOrderByAliases(stmt)
-	where, pins, err := extractPins(stmtR.Where)
-	if err != nil {
-		return nil, err
-	}
-	out := planResult(ex.renderPlan(stmtR, tr.srcs, where, pins, tr))
+	out := planResult(pp.render(ex.nodes, true))
 	out.Degraded = res.Degraded
 	return out, nil
-}
-
-// renderPlan renders the plan for stmt over the resolved sources. With a
-// nil trace it produces the plain EXPLAIN output; with a trace it appends
-// per-stage [analyze: ...] annotations and a closing totals line.
-func (ex *Executor) renderPlan(stmt *Select, srcs []tableSrc, where Expr, pins pinSet, tr *execTrace) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "plan (%d nodes, %d partitions):\n", ex.nodes, srcs[0].ref.Partitions())
-	for i := range srcs {
-		s := &srcs[i]
-		pinned := pins.forTable(s.alias, s.name)
-		switch {
-		case s.ref.IsVirtual():
-			fmt.Fprintf(&b, "  scan %-24s virtual system table, single partition", s.name)
-		case s.ref.IsSnapshot():
-			ssid := s.ssid
-			if tr == nil {
-				resolved, err := s.ref.ResolveSSID(pinned)
-				if err != nil {
-					fmt.Fprintf(&b, "  scan %-24s snapshot (unresolvable now: %v)\n", s.name, err)
-					continue
-				}
-				ssid = resolved
-			}
-			how := "latest committed"
-			if pinned != 0 {
-				how = "pinned"
-			}
-			fmt.Fprintf(&b, "  scan %-24s snapshot @ ssid %d (%s), scatter-gather over %d nodes",
-				s.name, ssid, how, ex.nodes)
-		default:
-			fmt.Fprintf(&b, "  scan %-24s live (read uncommitted), scatter-gather over %d nodes",
-				s.name, ex.nodes)
-		}
-		if s.partHint >= 0 && !s.ref.IsVirtual() {
-			fmt.Fprintf(&b, ", pruned to partition %d by partitionKey", s.partHint)
-		}
-		if tr != nil {
-			fmt.Fprintf(&b, " [analyze: scanned %d/%d partitions (%d pruned), %d rows, %s]",
-				s.tr.parts.Load(), s.ref.Partitions(), s.tr.pruned, s.tr.rows.Load(),
-				roundDur(time.Duration(s.tr.wall.Load())))
-		}
-		b.WriteByte('\n')
-	}
-	for i, j := range stmt.Joins {
-		switch {
-		case len(srcs) == 2 && i == 0 && j.Using == core.ColPartitionKey && !j.Left:
-			fmt.Fprintf(&b, "  join %-24s co-partitioned per-partition hash join (co-location, no shuffle)",
-				"USING(partitionKey)")
-		case j.Using != "":
-			fmt.Fprintf(&b, "  join %-24s global hash join (build right, probe left)",
-				"USING("+j.Using+")")
-		default:
-			fmt.Fprintf(&b, "  join %-24s global hash join (build right, probe left)",
-				fmt.Sprintf("ON %s = %s", j.OnL, j.OnR))
-		}
-		if tr != nil && i == 0 {
-			fmt.Fprintf(&b, " [analyze: %d rows, scan+join %s]", tr.joinedRows, roundDur(tr.scanJoinWall))
-		}
-		b.WriteByte('\n')
-	}
-	if where != nil {
-		fmt.Fprintf(&b, "  filter %s", where)
-		if tr != nil && tr.filtered {
-			fmt.Fprintf(&b, " [analyze: kept %d/%d rows, %s]", tr.filteredRows, tr.joinedRows, roundDur(tr.filterWall))
-		}
-		b.WriteByte('\n')
-	}
-	if stmt.HasAggregates() || len(stmt.GroupBy) > 0 {
-		keys := make([]string, len(stmt.GroupBy))
-		for i, g := range stmt.GroupBy {
-			keys[i] = g.String()
-		}
-		if len(keys) == 0 {
-			fmt.Fprintf(&b, "  aggregate (single group)")
-		} else {
-			fmt.Fprintf(&b, "  aggregate GROUP BY %s", strings.Join(keys, ", "))
-		}
-		if tr != nil {
-			fmt.Fprintf(&b, " [analyze: %d group(s), %s]", tr.returnedRows, roundDur(tr.outputWall))
-		}
-		b.WriteByte('\n')
-		if stmt.Having != nil {
-			fmt.Fprintf(&b, "  having %s\n", stmt.Having)
-		}
-	}
-	if len(stmt.OrderBy) > 0 {
-		parts := make([]string, len(stmt.OrderBy))
-		for i, oi := range stmt.OrderBy {
-			dir := "ASC"
-			if oi.Desc {
-				dir = "DESC"
-			}
-			parts[i] = oi.Expr.String() + " " + dir
-		}
-		fmt.Fprintf(&b, "  sort %s\n", strings.Join(parts, ", "))
-	}
-	if stmt.Limit >= 0 {
-		fmt.Fprintf(&b, "  limit %d\n", stmt.Limit)
-	}
-	items := make([]string, len(stmt.Items))
-	for i, it := range stmt.Items {
-		items[i] = it.String()
-	}
-	fmt.Fprintf(&b, "  project %s", strings.Join(items, ", "))
-	if tr != nil && !tr.aggregated {
-		fmt.Fprintf(&b, " [analyze: %d row(s), %s]", tr.returnedRows, roundDur(tr.outputWall))
-	}
-	b.WriteByte('\n')
-	if tr != nil {
-		fmt.Fprintf(&b, "analyzed: total %s, %d row(s) returned, %d degraded partition(s)\n",
-			roundDur(tr.total), tr.returnedRows, tr.degraded)
-	}
-	return b.String()
-}
-
-// roundDur trims a duration for plan display.
-func roundDur(d time.Duration) time.Duration {
-	switch {
-	case d > time.Second:
-		return d.Round(time.Millisecond)
-	case d > time.Millisecond:
-		return d.Round(10 * time.Microsecond)
-	default:
-		return d.Round(100 * time.Nanosecond)
-	}
 }

@@ -75,7 +75,7 @@ func TestExplainAnalyzeCoPartitionedJoinPrunesBothSides(t *testing.T) {
 		`EXPLAIN ANALYZE SELECT COUNT(*) FROM "snapshot_orderinfo" JOIN "snapshot_orderstate" USING(partitionKey) WHERE partitionKey = 'order-1'`)
 	wantContains(t, plan,
 		"co-partitioned per-partition hash join",
-		"[analyze: 1 rows, scan+join",
+		"[analyze: 1 rows",
 		"aggregate (single group) [analyze: 1 group(s)",
 	)
 	// The USING(partitionKey) join key is the partition key on both sides,

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"squery/internal/core"
-	"squery/internal/metrics"
 )
 
 // Queries against a partially failed cluster must not hang: a stalled or
@@ -55,7 +54,7 @@ func (p Policy) String() string {
 	}
 }
 
-// ExecOpts tunes fault handling for one query execution.
+// ExecOpts tunes fault handling and planning for one query execution.
 type ExecOpts struct {
 	// Policy is the degradation policy (default PolicyNone).
 	Policy Policy
@@ -68,6 +67,11 @@ type ExecOpts struct {
 	RetryDeadline time.Duration
 	// RetryBackoff is the pause between PolicyRetry attempts. Default 10ms.
 	RetryBackoff time.Duration
+	// DisablePushdown keeps predicates, column projection and LIMIT early
+	// stop out of the partition scans: every row ships to the client and
+	// filtering runs there. For benchmarking the pushdown win (and as an
+	// escape hatch); results are identical either way.
+	DisablePushdown bool
 }
 
 func (o ExecOpts) withDefaults() ExecOpts {
@@ -134,65 +138,93 @@ func (d *degrades) add(g Degradation) {
 	d.mu.Unlock()
 }
 
-// gatherPartition reads one partition under the options' policy.
-func (ex *Executor) gatherPartition(s tableSrc, p int, opts ExecOpts, deg *degrades) ([]core.TableRow, error) {
+// gatherPartition reads one partition of source si under the execution's
+// policy, with the plan's pushed predicate and column projection applied
+// inside the scan. examined accumulates the rows the pushed filter
+// inspected (callers own the pointer; a timed-out attempt's abandoned
+// goroutine writes only its own locals). Predicate evaluation errors are
+// query bugs, not faults: they return unwrapped and are never retried or
+// degraded around.
+func (ex *Executor) gatherPartition(pp *physPlan, si, p int, examined *int64, rc *runCtx) ([]core.TableRow, error) {
+	s := &pp.srcs[si]
 	fail := func(err error) error {
 		return &PartitionUnavailableError{
 			Table: s.name, Partition: p, Node: s.ref.PartitionOwner(p), Err: err,
 		}
 	}
-	switch opts.Policy {
+	switch rc.opts.Policy {
 	case PolicyFailFast:
-		rows, err := ex.attemptPartition(s, p, opts)
-		if err != nil {
-			return nil, fail(err)
+		rows, evalErr, availErr := ex.attemptPartition(pp, si, p, examined, rc)
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		if availErr != nil {
+			return nil, fail(availErr)
 		}
 		return rows, nil
 
 	case PolicyRetry:
-		deadline := time.Now().Add(opts.RetryDeadline)
+		deadline := time.Now().Add(rc.opts.RetryDeadline)
 		for {
-			rows, err := ex.attemptPartition(s, p, opts)
-			if err == nil {
+			rows, evalErr, availErr := ex.attemptPartition(pp, si, p, examined, rc)
+			if evalErr != nil {
+				return nil, evalErr
+			}
+			if availErr == nil {
 				return rows, nil
 			}
 			if time.Now().After(deadline) {
-				return nil, fail(fmt.Errorf("retry deadline %s exhausted: %w", opts.RetryDeadline, err))
+				return nil, fail(fmt.Errorf("retry deadline %s exhausted: %w", rc.opts.RetryDeadline, availErr))
 			}
-			time.Sleep(opts.RetryBackoff)
+			time.Sleep(rc.opts.RetryBackoff)
 		}
 
 	case PolicyFallback:
-		rows, err := ex.attemptPartition(s, p, opts)
-		if err == nil {
+		rows, evalErr, availErr := ex.attemptPartition(pp, si, p, examined, rc)
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		if availErr == nil {
 			return rows, nil
 		}
 		// Degrade: serve the latest committed snapshot (or, for a snapshot
-		// table, the queried id) from the partition's backup replica.
+		// table, the queried id) from the partition's backup replica. The
+		// pushed filter and projection apply to the fallback scan too.
 		fssid := s.ssid
 		if !s.ref.IsSnapshot() {
 			fssid = s.ref.LatestCommittedSSID()
 		}
 		if fssid == 0 {
-			return nil, fail(fmt.Errorf("no committed snapshot to fall back to: %w", err))
+			return nil, fail(fmt.Errorf("no committed snapshot to fall back to: %w", availErr))
 		}
 		if berr := s.ref.CheckBackupPartition(p); berr != nil {
 			return nil, fail(fmt.Errorf("backup replica also unavailable: %w", berr))
 		}
 		var out []core.TableRow
-		s.ref.ScanPartitionFallback(fssid, p, func(r core.TableRow) bool {
+		var fEvalErr error
+		spec := pp.spec(si, rc.ctx, rc.done, examined, &fEvalErr)
+		spec.SSID = fssid
+		s.ref.ScanPartitionFallbackSpec(p, spec, func(r core.TableRow) bool {
 			out = append(out, r)
 			return true
 		})
-		deg.add(Degradation{Table: s.name, Partition: p, FallbackSSID: fssid})
+		if fEvalErr != nil {
+			return nil, fEvalErr
+		}
+		rc.deg.add(Degradation{Table: s.name, Partition: p, FallbackSSID: fssid})
 		return out, nil
 
 	default: // PolicyNone — unguarded
 		var out []core.TableRow
-		s.ref.ScanPartition(s.ssid, p, func(r core.TableRow) bool {
+		var evalErr error
+		spec := pp.spec(si, rc.ctx, rc.done, examined, &evalErr)
+		s.ref.ScanPartitionSpec(p, spec, func(r core.TableRow) bool {
 			out = append(out, r)
 			return true
 		})
+		if evalErr != nil {
+			return nil, evalErr
+		}
 		return out, nil
 	}
 }
@@ -200,84 +232,38 @@ func (ex *Executor) gatherPartition(s tableSrc, p int, opts ExecOpts, deg *degra
 // attemptPartition makes one timeout-bounded access check + scan of a
 // partition. The scan runs in a goroutine so a stalled access check cannot
 // block the query past PartitionTimeout; an abandoned attempt finishes
-// harmlessly against the immutable partition copy.
-func (ex *Executor) attemptPartition(s tableSrc, p int, opts ExecOpts) ([]core.TableRow, error) {
+// harmlessly against the immutable partition copy, writing only its own
+// result struct (never the caller's examined counter).
+func (ex *Executor) attemptPartition(pp *physPlan, si, p int, examined *int64, rc *runCtx) ([]core.TableRow, error, error) {
+	s := &pp.srcs[si]
 	type res struct {
-		rows []core.TableRow
-		err  error
+		rows     []core.TableRow
+		examined int64
+		evalErr  error
+		err      error
 	}
 	ch := make(chan res, 1)
 	go func() {
+		var r res
 		if err := s.ref.CheckPartition(p); err != nil {
-			ch <- res{err: err}
+			r.err = err
+			ch <- r
 			return
 		}
-		var rows []core.TableRow
-		s.ref.ScanPartition(s.ssid, p, func(r core.TableRow) bool {
-			rows = append(rows, r)
+		spec := pp.spec(si, rc.ctx, rc.done, &r.examined, &r.evalErr)
+		s.ref.ScanPartitionSpec(p, spec, func(row core.TableRow) bool {
+			r.rows = append(r.rows, row)
 			return true
 		})
-		ch <- res{rows: rows}
+		ch <- r
 	}()
-	tm := time.NewTimer(opts.PartitionTimeout)
+	tm := time.NewTimer(rc.opts.PartitionTimeout)
 	defer tm.Stop()
 	select {
 	case r := <-ch:
-		return r.rows, r.err
+		*examined += r.examined
+		return r.rows, r.evalErr, r.err
 	case <-tm.C:
-		return nil, fmt.Errorf("%w after %s", errScanTimeout, opts.PartitionTimeout)
+		return nil, nil, fmt.Errorf("%w after %s", errScanTimeout, rc.opts.PartitionTimeout)
 	}
-}
-
-// scanAllGuarded is scanAll with per-partition fault handling: one
-// goroutine per node, each reading its owned partitions under the policy.
-// The first partition error cancels nothing in flight (scans are cheap and
-// memory-local) but fails the query.
-func (ex *Executor) scanAllGuarded(s tableSrc, opts ExecOpts, deg *degrades) ([]core.TableRow, error) {
-	if opts.Policy == PolicyNone {
-		return ex.scanAll(s), nil
-	}
-	type batch struct {
-		rows []core.TableRow
-		err  error
-	}
-	ch := make(chan batch, ex.nodes)
-	var wg sync.WaitGroup
-	for n := 0; n < ex.nodes; n++ {
-		parts := ex.ownedPartitions(s, n)
-		if len(parts) == 0 {
-			continue // pruned or unowned: no goroutine, no hop
-		}
-		wg.Add(1)
-		go func(node int, parts []int) {
-			defer wg.Done()
-			var b batch
-			s.ref.ChargeClientHop(node)
-			for _, p := range parts {
-				sw := metrics.StartStopwatch()
-				rows, err := ex.gatherPartition(s, p, opts, deg)
-				ex.recordPartScan(s, p, len(rows), sw.Elapsed())
-				if err != nil {
-					b.err = err
-					break
-				}
-				b.rows = append(b.rows, rows...)
-			}
-			ch <- b
-		}(n, parts)
-	}
-	wg.Wait()
-	close(ch)
-	var out []core.TableRow
-	var firstErr error
-	for b := range ch {
-		if b.err != nil && firstErr == nil {
-			firstErr = b.err
-		}
-		out = append(out, b.rows...)
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
 }

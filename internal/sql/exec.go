@@ -5,17 +5,23 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"squery/internal/core"
 	"squery/internal/metrics"
+	"squery/internal/sql/plan"
 )
 
 // Executor runs SELECT statements against the state tables of a catalog.
 // It is safe for concurrent use; every query resolves its snapshot id
 // atomically at start (§VI.A), so concurrent checkpoints never tear a
 // result set.
+//
+// Execution is two-phase: compile lowers the parsed statement into a
+// physPlan (planner.go) — pushdown decisions, pruning, the plan.Node
+// tree — and run (stream.go) executes that plan as a streaming pipeline.
+// EXPLAIN renders the same compiled plan; EXPLAIN ANALYZE renders the
+// exact plan instance an execution ran.
 type Executor struct {
 	cat   *core.Catalog
 	nodes int
@@ -30,12 +36,17 @@ type execInstruments struct {
 	queries      *metrics.Counter
 	errors       *metrics.Counter
 	rowsScanned  *metrics.Counter
+	rowsShipped  *metrics.Counter
 	rowsReturned *metrics.Counter
 	partsScanned *metrics.Counter
 	partsPruned  *metrics.Counter
 	degraded     *metrics.Counter
 	latency      *metrics.Histogram
 	log          *metrics.EventLog
+	// planRows/planWall aggregate per-stage rows and wall time by plan
+	// node kind under ("sql", "plan"), fed from each query's plan tree.
+	planRows map[string]*metrics.Counter
+	planWall map[string]*metrics.Counter
 	// part caches the ("sql", "p<N>") scan instruments by partition index
 	// so the per-scan hot path never touches the registry's lock.
 	part []partScanIns
@@ -49,15 +60,19 @@ type partScanIns struct {
 }
 
 // SetMetrics wires the executor into a metrics registry: query-level
-// counters and latency under ("sql", "exec"), per-partition scan stats
-// under ("sql", "p<N>"), and the "queries" event log behind sys.queries.
-// Call before serving queries; a nil registry leaves metrics disabled.
+// counters and latency under ("sql", "exec"), per-plan-stage totals under
+// ("sql", "plan"), per-partition scan stats under ("sql", "p<N>"), and
+// the "queries" event log behind sys.queries. rows_scanned counts rows
+// examined on the owning nodes; rows_shipped counts the (possibly
+// filter-reduced) rows that crossed the client hop. Call before serving
+// queries; a nil registry leaves metrics disabled.
 func (ex *Executor) SetMetrics(reg *metrics.Registry) {
 	ex.m = execInstruments{
 		reg:          reg,
 		queries:      reg.Counter("sql", "exec", "queries"),
 		errors:       reg.Counter("sql", "exec", "errors"),
 		rowsScanned:  reg.Counter("sql", "exec", "rows_scanned"),
+		rowsShipped:  reg.Counter("sql", "exec", "rows_shipped"),
 		rowsReturned: reg.Counter("sql", "exec", "rows_returned"),
 		partsScanned: reg.Counter("sql", "exec", "partitions_scanned"),
 		partsPruned:  reg.Counter("sql", "exec", "partitions_pruned"),
@@ -66,6 +81,12 @@ func (ex *Executor) SetMetrics(reg *metrics.Registry) {
 		log:          reg.Log("queries", 256),
 	}
 	if reg != nil {
+		ex.m.planRows = make(map[string]*metrics.Counter, len(plan.Kinds))
+		ex.m.planWall = make(map[string]*metrics.Counter, len(plan.Kinds))
+		for _, k := range plan.Kinds {
+			ex.m.planRows[k] = reg.Counter("sql", "plan", k+"_rows")
+			ex.m.planWall[k] = reg.Counter("sql", "plan", k+"_wall_ns")
+		}
 		part := make([]partScanIns, ex.cat.Partitions())
 		for p := range part {
 			id := "p" + strconv.Itoa(p)
@@ -161,9 +182,9 @@ type tableSrc struct {
 	// satisfying the query's `partitionKey = <literal>` predicate; every
 	// other partition is pruned from the scan.
 	partHint int
-	// tr accumulates this source's scan statistics (shared across the
-	// scan goroutines; always non-nil for executor-built sources).
-	tr *scanTrace
+	// scan is this source's leaf in the plan tree; its Stats accumulate
+	// the scan counters (shared across the scan goroutines).
+	scan *plan.Scan
 }
 
 // joinedRow is one row of the (possibly joined) working set: one TableRow
@@ -220,11 +241,11 @@ func (ex *Executor) Query(query string) (*Result, error) {
 func (ex *Executor) QueryWithOptions(query string, opts ExecOpts) (*Result, error) {
 	switch mode, rest := splitExplain(query); mode {
 	case explainPlanOnly:
-		plan, err := ex.Explain(rest)
+		text, err := ex.Explain(rest)
 		if err != nil {
 			return nil, err
 		}
-		return planResult(plan), nil
+		return planResult(text), nil
 	case explainAnalyze:
 		return ex.explainAnalyze(rest, opts)
 	}
@@ -248,140 +269,69 @@ func (ex *Executor) ExecWithOptions(stmt *Select, opts ExecOpts) (*Result, error
 	return res, err
 }
 
-// resolveSources resolves the statement's tables, extracts ssid pins and
-// partition-key hints from WHERE, and resolves each source's snapshot id.
-// It returns the sources, the residual WHERE clause, and the ssid pins.
-func (ex *Executor) resolveSources(stmt *Select) ([]tableSrc, Expr, pinSet, error) {
-	srcs := make([]tableSrc, 0, 1+len(stmt.Joins))
-	addSrc := func(t TableName) error {
-		ref, err := ex.cat.Table(t.Name)
-		if err != nil {
-			return err
-		}
-		srcs = append(srcs, tableSrc{ref: ref, name: t.Name, alias: t.Ref(), partHint: -1, tr: &scanTrace{}})
-		return nil
-	}
-	if err := addSrc(stmt.From); err != nil {
-		return nil, nil, nil, err
-	}
-	for _, j := range stmt.Joins {
-		if err := addSrc(j.Table); err != nil {
-			return nil, nil, nil, err
-		}
-	}
-	where, pins, err := extractPins(stmt.Where)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	applyKeyHints(stmt, srcs, where)
-	return srcs, where, pins, nil
-}
-
-// execTraced is the execution core: it runs the statement and returns the
-// result together with the trace EXPLAIN ANALYZE renders. query is the
-// original text for the sys.queries event log ("" for pre-parsed
-// statements).
-func (ex *Executor) execTraced(stmt *Select, opts ExecOpts, query string) (*Result, *execTrace, error) {
+// execTraced is the execution core: compile the statement to a physPlan,
+// run it through the streaming pipeline, and return the result together
+// with the plan instance EXPLAIN ANALYZE renders. query is the original
+// text for the sys.queries event log ("" for pre-parsed statements).
+func (ex *Executor) execTraced(stmt *Select, opts ExecOpts, query string) (*Result, *physPlan, error) {
 	if opts.Policy != PolicyNone {
 		opts = opts.withDefaults()
 	}
-	ctx := &evalCtx{now: time.Now()}
 	stmt = resolveOrderByAliases(stmt)
-	tr := &execTrace{}
 	sw := metrics.StartStopwatch()
-	res, deg, err := ex.execStages(ctx, stmt, opts, tr)
-	tr.total = sw.Elapsed()
-	if deg != nil {
-		tr.degraded = len(deg.list)
-	}
-	ex.finishQuery(query, tr, res, err)
+	pp, err := ex.compile(stmt, opts, false)
 	if err != nil {
-		return nil, tr, err
-	}
-	res.Degraded = deg.list
-	return res, tr, nil
-}
-
-func (ex *Executor) execStages(ctx *evalCtx, stmt *Select, opts ExecOpts, tr *execTrace) (*Result, *degrades, error) {
-	srcs, where, pins, err := ex.resolveSources(stmt)
-	if err != nil {
+		ex.finishQuery(query, nil, sw.Elapsed(), err)
 		return nil, nil, err
 	}
-	tr.srcs = srcs
-	for i := range srcs {
-		pinned := pins.forTable(srcs[i].alias, srcs[i].name)
-		ssid, err := srcs[i].ref.ResolveSSID(pinned)
-		if err != nil {
-			return nil, nil, err
-		}
-		srcs[i].ssid = ssid
+	rc := newRunCtx(opts)
+	res, err := ex.run(pp, rc)
+	pp.total = sw.Elapsed()
+	pp.degraded = len(rc.deg.list)
+	if err == nil {
+		pp.returned = len(res.Rows)
 	}
-
-	// Scan + join.
-	deg := &degrades{}
-	sw := metrics.StartStopwatch()
-	rows, err := ex.scanAndJoin(stmt, srcs, opts, deg)
-	tr.scanJoinWall = sw.Elapsed()
-	tr.joinedRows = len(rows)
+	ex.finishQuery(query, pp, pp.total, err)
 	if err != nil {
-		return nil, deg, err
+		return nil, pp, err
 	}
-
-	// Filter.
-	if where != nil {
-		sw = metrics.StartStopwatch()
-		kept := rows[:0]
-		for _, r := range rows {
-			v, err := ctx.eval(where, r)
-			if err != nil {
-				return nil, deg, err
-			}
-			if b, ok := truthy(v); ok && b {
-				kept = append(kept, r)
-			}
-		}
-		rows = kept
-		tr.filterWall = sw.Elapsed()
-		tr.filtered = true
-	}
-	tr.filteredRows = len(rows)
-
-	// Aggregate or project.
-	sw = metrics.StartStopwatch()
-	var res *Result
-	if stmt.HasAggregates() || len(stmt.GroupBy) > 0 {
-		res, err = ex.aggregate(ctx, stmt, srcs, rows)
-		tr.aggregated = true
-	} else {
-		res, err = ex.project(ctx, stmt, srcs, rows)
-	}
-	tr.outputWall = sw.Elapsed()
-	if err != nil {
-		return nil, deg, err
-	}
-	tr.returnedRows = len(res.Rows)
-	return res, deg, nil
+	res.Degraded = rc.deg.list
+	return res, pp, nil
 }
 
 // finishQuery records the query-level registry metrics and the sys.queries
-// event for one execution.
-func (ex *Executor) finishQuery(query string, tr *execTrace, res *Result, err error) {
+// event for one execution. pp is nil when compilation failed.
+func (ex *Executor) finishQuery(query string, pp *physPlan, total time.Duration, err error) {
 	ex.m.queries.Inc()
-	ex.m.latency.Record(tr.total)
-	var scanned, pruned, rows int64
-	for _, s := range tr.srcs {
-		scanned += s.tr.parts.Load()
-		pruned += s.tr.pruned
-		rows += s.tr.rows.Load()
+	ex.m.latency.Record(total)
+	var scanned, pruned, examined, shipped, returned, degraded int64
+	if pp != nil {
+		for _, sc := range pp.scans {
+			st := sc.Stat()
+			scanned += st.Parts.Load()
+			pruned += sc.PrunedParts
+			examined += st.Examined.Load()
+			shipped += st.Rows.Load()
+		}
+		returned = int64(pp.returned)
+		degraded = int64(pp.degraded)
+		if ex.m.planRows != nil {
+			plan.Walk(pp.root, func(n plan.Node) {
+				st := n.Stat()
+				ex.m.planRows[n.Kind()].Add(st.Rows.Load())
+				ex.m.planWall[n.Kind()].Add(st.WallNs.Load())
+			})
+		}
 	}
 	ex.m.partsScanned.Add(scanned)
 	ex.m.partsPruned.Add(pruned)
-	ex.m.rowsScanned.Add(rows)
-	ex.m.degraded.Add(int64(tr.degraded))
+	ex.m.rowsScanned.Add(examined)
+	ex.m.rowsShipped.Add(shipped)
+	ex.m.degraded.Add(degraded)
 	if err != nil {
 		ex.m.errors.Inc()
 	} else {
-		ex.m.rowsReturned.Add(int64(tr.returnedRows))
+		ex.m.rowsReturned.Add(returned)
 	}
 	if ex.m.log != nil {
 		if len(query) > 200 {
@@ -389,12 +339,13 @@ func (ex *Executor) finishQuery(query string, tr *execTrace, res *Result, err er
 		}
 		ex.m.log.AppendFielder(&queryEvent{
 			query:    query,
-			wallUs:   tr.total.Microseconds(),
-			scanned:  rows,
-			returned: int64(tr.returnedRows),
+			wallUs:   total.Microseconds(),
+			scanned:  examined,
+			shipped:  shipped,
+			returned: returned,
 			parts:    scanned,
 			pruned:   pruned,
-			degraded: int64(tr.degraded),
+			degraded: degraded,
 			failed:   err != nil,
 		})
 	}
@@ -406,6 +357,7 @@ type queryEvent struct {
 	query    string
 	wallUs   int64
 	scanned  int64
+	shipped  int64
 	returned int64
 	parts    int64
 	pruned   int64
@@ -418,6 +370,7 @@ func (q *queryEvent) EventFields() map[string]any {
 		"query":              q.query,
 		"wallUs":             q.wallUs,
 		"rowsScanned":        q.scanned,
+		"rowsShipped":        q.shipped,
 		"rowsReturned":       q.returned,
 		"partitionsScanned":  q.parts,
 		"partitionsPruned":   q.pruned,
@@ -578,13 +531,16 @@ func keyEquality(b Binary) (Ident, Lit, bool) {
 	return Ident{}, Lit{}, false
 }
 
-// applyKeyHints turns partitionKey pins into per-source partition hints.
-// A qualified pin (t.partitionKey = x) prunes only that table. An
-// unqualified pin prunes the FROM table — and, for a co-partitioned
-// USING(partitionKey) join, the joined table too, since the join key IS
-// the partition key on both sides. Pruning is skipped for literal types
-// whose hash is not provably consistent with SQL equality (floats, which
-// equality-coerces across int/float while the partitioner does not).
+// applyKeyHints turns partitionKey pins into per-source partition hints —
+// the single partition-pruning implementation; the compile step copies
+// the hints onto the plan's Scan nodes, so EXPLAIN's pruned counts and
+// execution's skipped partitions come from the same decision. A qualified
+// pin (t.partitionKey = x) prunes only that table. An unqualified pin
+// prunes the FROM table — and, for a co-partitioned USING(partitionKey)
+// join, the joined table too, since the join key IS the partition key on
+// both sides. Pruning is skipped for literal types whose hash is not
+// provably consistent with SQL equality (floats, which equality-coerces
+// across int/float while the partitioner does not).
 func applyKeyHints(stmt *Select, srcs []tableSrc, where Expr) {
 	pins := extractKeyPins(where)
 	if len(pins) == 0 {
@@ -608,161 +564,8 @@ func applyKeyHints(stmt *Select, srcs []tableSrc, where Expr) {
 		}
 		if p, ok := s.ref.PartitionOf(key); ok {
 			s.partHint = p
-			s.tr.pruned = int64(s.ref.Partitions() - 1)
 		}
 	}
-}
-
-// scanAndJoin materializes the working set. Single-table queries scan
-// scatter-gather per node. Joins on partitionKey run per-partition — the
-// co-location optimisation: both sides of each partition's join live on
-// the same node. Other equi-joins build a global hash table.
-func (ex *Executor) scanAndJoin(stmt *Select, srcs []tableSrc, opts ExecOpts, deg *degrades) ([]joinedRow, error) {
-	if len(srcs) == 1 {
-		rows, err := ex.scanAllGuarded(srcs[0], opts, deg)
-		if err != nil {
-			return nil, err
-		}
-		out := make([]joinedRow, len(rows))
-		for i := range rows {
-			out[i] = joinedRow{srcs: srcs, tabs: []*core.TableRow{&rows[i]}}
-		}
-		return out, nil
-	}
-
-	// Two tables joined USING(partitionKey): both sides of the join key
-	// are co-partitioned by construction (the shared partitioner), so
-	// the join runs independently per partition on the owning node —
-	// the co-location optimisation of §II.
-	if len(srcs) == 2 && stmt.Joins[0].Using == core.ColPartitionKey && !stmt.Joins[0].Left {
-		return ex.partitionedJoin(srcs, opts, deg)
-	}
-
-	// Start from the FROM table, fold joins in order.
-	left := make([]joinedRow, 0)
-	first, err := ex.scanAllGuarded(srcs[0], opts, deg)
-	if err != nil {
-		return nil, err
-	}
-	for _, r := range first {
-		r := r
-		tabs := make([]*core.TableRow, len(srcs))
-		tabs[0] = &r
-		left = append(left, joinedRow{srcs: srcs, tabs: tabs})
-	}
-	for ji, j := range stmt.Joins {
-		si := ji + 1
-		leftKey, rightKey, err := joinKeys(j, srcs, si)
-		if err != nil {
-			return nil, err
-		}
-		right, err := ex.scanAllGuarded(srcs[si], opts, deg)
-		if err != nil {
-			return nil, err
-		}
-		// Build hash on the right side.
-		idx := make(map[string][]*core.TableRow, len(right))
-		for i := range right {
-			v, ok := right[i].Field(rightKey)
-			if !ok {
-				return nil, fmt.Errorf("sql: join column %q not found in %s", rightKey, srcs[si].name)
-			}
-			idx[hashKey(v)] = append(idx[hashKey(v)], &right[i])
-		}
-		var out []joinedRow
-		for _, lr := range left {
-			v, ok := lr.Resolve("", leftKey)
-			if !ok {
-				return nil, fmt.Errorf("sql: join column %q not found on left side", leftKey)
-			}
-			matches := idx[hashKey(v)]
-			if len(matches) == 0 {
-				if j.Left {
-					out = append(out, lr) // right side stays nil
-				}
-				continue
-			}
-			for _, m := range matches {
-				tabs := make([]*core.TableRow, len(srcs))
-				copy(tabs, lr.tabs)
-				tabs[si] = m
-				out = append(out, joinedRow{srcs: srcs, tabs: tabs})
-			}
-		}
-		left = out
-	}
-	return left, nil
-}
-
-// partitionedJoin joins two co-partitioned tables partition by partition,
-// one goroutine per node, each joining only the partitions that node owns.
-// Under a non-default policy each side of each partition is read through
-// the guarded path, so either side can independently time out, retry or
-// degrade to its snapshot replica.
-func (ex *Executor) partitionedJoin(srcs []tableSrc, opts ExecOpts, deg *degrades) ([]joinedRow, error) {
-	type batch struct {
-		rows []joinedRow
-		err  error
-	}
-	ch := make(chan batch, ex.nodes)
-	var wg sync.WaitGroup
-	for n := 0; n < ex.nodes; n++ {
-		parts := ex.ownedPartitions(srcs[0], n)
-		if len(parts) == 0 {
-			continue // pruned or unowned: no goroutine, no hop
-		}
-		wg.Add(1)
-		go func(node int, parts []int) {
-			defer wg.Done()
-			var b batch
-			// One hop to ship the node's portion of the result back.
-			srcs[0].ref.ChargeClientHop(node)
-			for _, p := range parts {
-				sw := metrics.StartStopwatch()
-				right, err := ex.gatherPartition(srcs[1], p, opts, deg)
-				ex.recordPartScan(srcs[1], p, len(right), sw.Elapsed())
-				if err != nil {
-					b.err = err
-					break
-				}
-				sw = metrics.StartStopwatch()
-				left, err := ex.gatherPartition(srcs[0], p, opts, deg)
-				ex.recordPartScan(srcs[0], p, len(left), sw.Elapsed())
-				if err != nil {
-					b.err = err
-					break
-				}
-				// Build on the right side of this partition.
-				idx := map[string][]*core.TableRow{}
-				for i := range right {
-					idx[hashKey(right[i].Key)] = append(idx[hashKey(right[i].Key)], &right[i])
-				}
-				for i := range left {
-					for _, m := range idx[hashKey(left[i].Key)] {
-						b.rows = append(b.rows, joinedRow{
-							srcs: srcs,
-							tabs: []*core.TableRow{&left[i], m},
-						})
-					}
-				}
-			}
-			ch <- b
-		}(n, parts)
-	}
-	wg.Wait()
-	close(ch)
-	var out []joinedRow
-	var firstErr error
-	for b := range ch {
-		if b.err != nil && firstErr == nil {
-			firstErr = b.err
-		}
-		out = append(out, b.rows...)
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
 }
 
 // ownedPartitions returns the partitions of s that node must scan: the
@@ -785,18 +588,22 @@ func (ex *Executor) ownedPartitions(s tableSrc, node int) []int {
 	return out
 }
 
-// recordPartScan accounts one partition scan in the source's trace and the
-// per-partition registry instruments.
-func (ex *Executor) recordPartScan(s tableSrc, p int, rows int, d time.Duration) {
-	if s.tr != nil {
-		s.tr.wall.Add(int64(d))
-		s.tr.rows.Add(int64(rows))
-		s.tr.parts.Add(1)
+// recordPartScan accounts one partition scan on the source's plan leaf
+// and the per-partition registry instruments. examined counts rows the
+// pushed filter inspected node-side; emitted counts rows that crossed
+// the client hop.
+func (ex *Executor) recordPartScan(s *tableSrc, p int, examined, emitted int64, d time.Duration) {
+	if s.scan != nil {
+		st := s.scan.Stat()
+		st.Parts.Add(1)
+		st.Examined.Add(examined)
+		st.Rows.Add(emitted)
+		st.WallNs.Add(int64(d))
 	}
 	if p < len(ex.m.part) && !s.ref.IsVirtual() {
 		ins := ex.m.part[p]
 		ins.scans.Inc()
-		ins.rows.Add(int64(rows))
+		ins.rows.Add(emitted)
 		ins.scan.Record(d)
 	}
 }
@@ -817,142 +624,6 @@ func joinKeys(j Join, srcs []tableSrc, si int) (string, string, error) {
 	default:
 		return "", "", fmt.Errorf("sql: ON clause must reference the joined table %q", srcs[si].name)
 	}
-}
-
-// hashKey normalizes a join value to a map key, coalescing numeric types
-// the way compare() does.
-func hashKey(v any) string {
-	if i, ok := toInt(v); ok {
-		return fmt.Sprintf("i%d", i)
-	}
-	if f, ok := toFloat(v); ok {
-		return fmt.Sprintf("f%g", f)
-	}
-	return fmt.Sprintf("%T:%v", v, v)
-}
-
-// scanAll gathers every row of a source, one goroutine per node that owns
-// at least one selected partition. Nodes left empty by partition pruning
-// are skipped entirely — no goroutine and no client→node network hop.
-func (ex *Executor) scanAll(s tableSrc) []core.TableRow {
-	type batch struct {
-		rows []core.TableRow
-	}
-	ch := make(chan batch, ex.nodes)
-	launched := 0
-	for n := 0; n < ex.nodes; n++ {
-		parts := ex.ownedPartitions(s, n)
-		if len(parts) == 0 {
-			continue
-		}
-		launched++
-		go func(node int, parts []int) {
-			var b batch
-			s.ref.ChargeClientHop(node)
-			for _, p := range parts {
-				sw := metrics.StartStopwatch()
-				before := len(b.rows)
-				s.ref.ScanPartition(s.ssid, p, func(r core.TableRow) bool {
-					b.rows = append(b.rows, r)
-					return true
-				})
-				ex.recordPartScan(s, p, len(b.rows)-before, sw.Elapsed())
-			}
-			ch <- b
-		}(n, parts)
-	}
-	var out []core.TableRow
-	for i := 0; i < launched; i++ {
-		b := <-ch
-		out = append(out, b.rows...)
-	}
-	return out
-}
-
-// aggregate groups rows and evaluates aggregate select items per group.
-func (ex *Executor) aggregate(ctx *evalCtx, stmt *Select, srcs []tableSrc, rows []joinedRow) (*Result, error) {
-	for _, it := range stmt.Items {
-		if it.Star {
-			return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
-		}
-	}
-	type group struct {
-		rows []joinedRow
-	}
-	groups := map[string]*group{}
-	var order []string
-	for _, r := range rows {
-		var kb strings.Builder
-		for _, ge := range stmt.GroupBy {
-			v, err := ctx.eval(ge, r)
-			if err != nil {
-				return nil, err
-			}
-			kb.WriteString(hashKey(v))
-			kb.WriteByte('|')
-		}
-		k := kb.String()
-		g, ok := groups[k]
-		if !ok {
-			g = &group{}
-			groups[k] = g
-			order = append(order, k)
-		}
-		g.rows = append(g.rows, r)
-	}
-	// A query with aggregates but no GROUP BY aggregates over all rows,
-	// producing exactly one row even when the input is empty.
-	if len(stmt.GroupBy) == 0 && len(order) == 0 {
-		groups[""] = &group{}
-		order = append(order, "")
-	}
-
-	res := &Result{}
-	for _, it := range stmt.Items {
-		res.Columns = append(res.Columns, it.OutputName())
-	}
-	type outRow struct {
-		vals    []any
-		sortKey []any
-	}
-	outs := make([]outRow, 0, len(order))
-	for _, k := range order {
-		g := groups[k]
-		if stmt.Having != nil {
-			hv, err := ex.evalWithAggs(ctx, stmt.Having, g.rows)
-			if err != nil {
-				return nil, err
-			}
-			if keep, ok := truthy(hv); !ok || !keep {
-				continue
-			}
-		}
-		vals := make([]any, len(stmt.Items))
-		for i, it := range stmt.Items {
-			v, err := ex.evalWithAggs(ctx, it.Expr, g.rows)
-			if err != nil {
-				return nil, err
-			}
-			vals[i] = v
-		}
-		var sortKey []any
-		for _, oi := range stmt.OrderBy {
-			v, err := ex.evalWithAggs(ctx, oi.Expr, g.rows)
-			if err != nil {
-				return nil, err
-			}
-			sortKey = append(sortKey, v)
-		}
-		outs = append(outs, outRow{vals: vals, sortKey: sortKey})
-	}
-	sortOutRows(stmt, outs, func(o outRow) []any { return o.sortKey })
-	for _, o := range outs {
-		res.Rows = append(res.Rows, o.vals)
-		if stmt.Limit >= 0 && len(res.Rows) >= stmt.Limit {
-			break
-		}
-	}
-	return res, nil
 }
 
 // evalWithAggs evaluates an expression that may contain aggregates, over
@@ -1004,10 +675,10 @@ func (ex *Executor) evalAggregate(ctx *evalCtx, a Agg, rows []joinedRow) (any, e
 		allInts = true
 		minV    any
 		maxV    any
-		seen    map[string]bool
+		seen    map[joinKey]struct{}
 	)
 	if a.Distinct {
-		seen = map[string]bool{}
+		seen = map[joinKey]struct{}{}
 	}
 	for _, r := range rows {
 		v, err := ctx.eval(a.Arg, r)
@@ -1018,11 +689,11 @@ func (ex *Executor) evalAggregate(ctx *evalCtx, a Agg, rows []joinedRow) (any, e
 			continue
 		}
 		if a.Distinct {
-			k := hashKey(v)
-			if seen[k] {
+			k := makeJoinKey(v)
+			if _, dup := seen[k]; dup {
 				continue
 			}
-			seen[k] = true
+			seen[k] = struct{}{}
 		}
 		count++
 		switch a.Func {
@@ -1077,79 +748,6 @@ func (ex *Executor) evalAggregate(ctx *evalCtx, a Agg, rows []joinedRow) (any, e
 		return maxV, nil
 	}
 	return nil, fmt.Errorf("sql: unknown aggregate %q", a.Func)
-}
-
-// project evaluates the select list per row for non-aggregate queries.
-func (ex *Executor) project(ctx *evalCtx, stmt *Select, srcs []tableSrc, rows []joinedRow) (*Result, error) {
-	res := &Result{}
-	// Expand * into concrete columns using the first row's schema; an
-	// empty working set yields just the pseudo-columns-free header.
-	var starCols [][2]string // (qualifier, column)
-	hasStar := false
-	for _, it := range stmt.Items {
-		if it.Star {
-			hasStar = true
-		}
-	}
-	if hasStar && len(rows) > 0 {
-		for i, t := range rows[0].tabs {
-			if t == nil {
-				continue
-			}
-			for _, c := range t.Columns() {
-				starCols = append(starCols, [2]string{srcs[i].alias, c})
-			}
-		}
-	}
-	for _, it := range stmt.Items {
-		if it.Star {
-			for _, sc := range starCols {
-				res.Columns = append(res.Columns, sc[1])
-			}
-			continue
-		}
-		res.Columns = append(res.Columns, it.OutputName())
-	}
-
-	type outRow struct {
-		vals    []any
-		sortKey []any
-	}
-	outs := make([]outRow, 0, len(rows))
-	for _, r := range rows {
-		var vals []any
-		for _, it := range stmt.Items {
-			if it.Star {
-				for _, sc := range starCols {
-					v, _ := r.Resolve(sc[0], sc[1])
-					vals = append(vals, v)
-				}
-				continue
-			}
-			v, err := ctx.eval(it.Expr, r)
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, v)
-		}
-		var sortKey []any
-		for _, oi := range stmt.OrderBy {
-			v, err := ctx.eval(oi.Expr, r)
-			if err != nil {
-				return nil, err
-			}
-			sortKey = append(sortKey, v)
-		}
-		outs = append(outs, outRow{vals: vals, sortKey: sortKey})
-	}
-	sortOutRows(stmt, outs, func(o outRow) []any { return o.sortKey })
-	for _, o := range outs {
-		res.Rows = append(res.Rows, o.vals)
-		if stmt.Limit >= 0 && len(res.Rows) >= stmt.Limit {
-			break
-		}
-	}
-	return res, nil
 }
 
 // sortOutRows sorts rows by the pre-computed ORDER BY keys. NULLs sort

@@ -34,7 +34,7 @@ type fixture struct {
 	state *core.Backend
 }
 
-func newFixture(t *testing.T, n int, cfg core.Config) *fixture {
+func newFixture(t testing.TB, n int, cfg core.Config) *fixture {
 	t.Helper()
 	p := partition.New(32)
 	store := kv.NewStore(p, partition.Assign(32, 3), nil)
@@ -76,7 +76,7 @@ func newFixture(t *testing.T, n int, cfg core.Config) *fixture {
 	return f
 }
 
-func (f *fixture) checkpoint(t *testing.T) int64 {
+func (f *fixture) checkpoint(t testing.TB) int64 {
 	t.Helper()
 	ssid, err := f.mgr.Begin()
 	if err != nil {

@@ -26,6 +26,13 @@ var fuzzSeeds = []string{
 	`EXPLAIN SELECT deliveryZone FROM orderinfo`,
 	`EXPLAIN ANALYZE SELECT deliveryZone FROM orderinfo WHERE partitionKey = 5.0`,
 	`SELECT * FROM sys.partitions WHERE sets > 0`,
+	`SELECT deliveryZone FROM orderinfo LIMIT 3`,
+	`SELECT deliveryZone FROM orderinfo WHERE customerLat > 53 LIMIT 0`,
+	`SELECT COUNT(DISTINCT deliveryZone) FROM orderinfo`,
+	`SELECT a.deliveryZone FROM orderinfo a LEFT JOIN orderstate b USING(partitionKey) WHERE b.orderState = 'NOTIFIED'`,
+	`SELECT a.deliveryZone, b.orderState FROM orderinfo a JOIN orderstate b ON a.partitionKey = b.partitionKey WHERE a.customerLat > 52 AND b.orderState = 'NOTIFIED'`,
+	`SELECT deliveryZone FROM "snapshot_orderinfo" WHERE snapshot_orderinfo.ssid = 1 AND orderinfo.partitionKey = 'order-3'`,
+	`SELECT deliveryZone, COUNT(*) AS c FROM orderinfo GROUP BY deliveryZone HAVING COUNT(*) > 1 ORDER BY c DESC LIMIT 5`,
 	`SELECT 'unterminated`,
 	`SELECT ((((((((((1))))))))))`,
 	`SELECT FROM WHERE`,
@@ -95,6 +102,32 @@ func FuzzParse(f *testing.F) {
 		// Parseable: the plan path must hold up against arbitrary ASTs.
 		ex := fuzzExecutor()
 		_, _ = ex.Explain(stripExplainPrefix(input))
+	})
+}
+
+// FuzzPlan asserts the planner is total over parser-accepted input: any
+// statement Parse accepts must compile to a plan tree or return an error
+// — never panic — and the compiled plan must render. planOnly compilation
+// is used so unresolvable snapshots exercise the EXPLAIN path instead of
+// failing early.
+func FuzzPlan(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		stmt, err := Parse(stripExplainPrefix(input))
+		if err != nil || stmt == nil {
+			return
+		}
+		ex := fuzzExecutor()
+		pp, err := ex.compile(resolveOrderByAliases(stmt), ExecOpts{}, true)
+		if err != nil {
+			return
+		}
+		_ = pp.render(ex.nodes, false)
 	})
 }
 

@@ -1,0 +1,71 @@
+package sql
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// joinKey is a comparable, allocation-free key for join hash tables,
+// DISTINCT sets and GROUP BY encoding. It replaces the fmt.Sprintf-built
+// string key the join path used to allocate per probe, while preserving
+// its equality classes: the int family coalesces to one representation
+// (as compare() does), floats key by bit pattern and do NOT coalesce
+// with ints (the old "i5" vs "f5" behaved the same way — pruning and
+// hashing stay conservative where SQL equality coerces), and everything
+// unrecognised falls back to the old %T:%v string form.
+type joinKey struct {
+	kind byte // 'i' int, 'f' float, 's' string, 'b' bool, 't' time, 'n' nil, 'o' other
+	num  int64
+	str  string
+}
+
+// makeJoinKey builds the key for one join/grouping value.
+func makeJoinKey(v any) joinKey {
+	if v == nil {
+		return joinKey{kind: 'n'}
+	}
+	if i, ok := toInt(v); ok {
+		return joinKey{kind: 'i', num: i}
+	}
+	switch x := v.(type) {
+	case float64:
+		return joinKey{kind: 'f', num: int64(math.Float64bits(x))}
+	case float32:
+		return joinKey{kind: 'f', num: int64(math.Float64bits(float64(x)))}
+	case string:
+		return joinKey{kind: 's', str: x}
+	case bool:
+		var n int64
+		if x {
+			n = 1
+		}
+		return joinKey{kind: 'b', num: n}
+	case time.Time:
+		return joinKey{kind: 't', num: x.UnixNano()}
+	}
+	return joinKey{kind: 'o', str: fmt.Sprintf("%T:%v", v, v)}
+}
+
+// appendGroupKey appends a self-delimiting binary encoding of v to dst —
+// the GROUP BY composite-key builder. Strings are length-prefixed so a
+// composite key can never collide across boundaries, unlike the old
+// separator-joined string form.
+func appendGroupKey(dst []byte, v any) []byte {
+	k := makeJoinKey(v)
+	dst = append(dst, k.kind)
+	switch k.kind {
+	case 's', 'o':
+		var lb [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(lb[:], uint64(len(k.str)))
+		dst = append(dst, lb[:n]...)
+		dst = append(dst, k.str...)
+	case 'n':
+	default:
+		var nb [8]byte
+		binary.LittleEndian.PutUint64(nb[:], uint64(k.num))
+		dst = append(dst, nb[:]...)
+	}
+	return dst
+}

@@ -1,0 +1,378 @@
+// Package plan defines the typed plan tree the SQL layer lowers a parsed
+// SELECT into. One tree is the single source of truth for three
+// consumers: the streaming executor walks it to run the query (each node
+// self-reports rows and wall time into its Stats), EXPLAIN renders it
+// without executing, and EXPLAIN ANALYZE renders the exact tree an
+// execution ran, annotated with the stats that execution recorded.
+//
+// The package is pure data plus rendering: it knows nothing about the
+// SQL AST, the catalog or the executor. Expressions arrive pre-rendered
+// as strings; pushdown decisions arrive as fields on Scan. That keeps
+// the dependency arrow pointing one way (sql -> plan) and makes the tree
+// trivially inspectable from tests.
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Stats is one node's execution record, written concurrently by the scan
+// and pipeline goroutines and read once at render/metrics time.
+type Stats struct {
+	// In counts rows entering the node (recorded by Filter).
+	In atomic.Int64
+	// Rows counts rows the node emitted. For Scan this is the rows that
+	// crossed the client hop — after the pushed filter ran node-side.
+	Rows atomic.Int64
+	// Examined counts rows a Scan's pushed filter inspected on the owning
+	// node (equals Rows when nothing was pushed).
+	Examined atomic.Int64
+	// Parts counts partitions a Scan actually read.
+	Parts atomic.Int64
+	// WallNs is the summed wall time spent in this node, nanoseconds.
+	WallNs atomic.Int64
+}
+
+// Node is one operator of the plan tree.
+type Node interface {
+	// Kind is a stable lower-case label ("scan", "filter", ...) used to
+	// key per-node-kind metrics.
+	Kind() string
+	// Describe renders the node's static plan line (no stats).
+	Describe() string
+	// Annotate renders the node's [analyze: ...] payload from its Stats;
+	// "" suppresses the annotation.
+	Annotate() string
+	// Inputs returns the node's children, build side last.
+	Inputs() []Node
+	// Stat returns the node's mutable execution record.
+	Stat() *Stats
+}
+
+// Kinds lists every node kind, for pre-resolving per-kind instruments.
+var Kinds = []string{"scan", "cojoin", "hashjoin", "filter", "aggregate", "project", "sort", "limit"}
+
+// ScanMode says which state a Scan reads.
+type ScanMode int
+
+// Scan modes.
+const (
+	// Live reads the operator's live map (read uncommitted).
+	Live ScanMode = iota
+	// Snapshot reads a committed snapshot version chain.
+	Snapshot
+	// Virtual reads a provider-backed sys.* table.
+	Virtual
+)
+
+// Scan is a leaf: the scatter-gather read of one table. Pushdown lives
+// here — the pushed predicate and the projected column set both run
+// inside the partition scan on the owning node, before the client hop.
+type Scan struct {
+	stats Stats
+
+	// Table is the table name as written in the query.
+	Table string
+	// Mode is the state being read.
+	Mode ScanMode
+	// SSID is the resolved snapshot id (0 for live/virtual).
+	SSID int64
+	// Pinned reports whether the query pinned the ssid explicitly.
+	Pinned bool
+	// Unresolved carries the ssid-resolution error when a plan-only
+	// EXPLAIN could not resolve a snapshot (the scan is still shown).
+	Unresolved string
+	// ClusterNodes is the node count the scan fans out over.
+	ClusterNodes int
+	// Partitions is the table's total partition count.
+	Partitions int
+	// PartHint, when >= 0, is the single partition a
+	// `partitionKey = <lit>` predicate pruned the scan to.
+	PartHint int
+	// PrunedParts is the number of partitions pruning excluded.
+	PrunedParts int64
+	// Filter is the pushed predicate, pre-rendered ("" = none).
+	Filter string
+	// Cols is the projected column set shipped back (nil = all columns).
+	Cols []string
+}
+
+// Kind implements Node.
+func (s *Scan) Kind() string { return "scan" }
+
+// Inputs implements Node.
+func (s *Scan) Inputs() []Node { return nil }
+
+// Stat implements Node.
+func (s *Scan) Stat() *Stats { return &s.stats }
+
+// Describe implements Node.
+func (s *Scan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scan %s ", s.Table)
+	switch {
+	case s.Mode == Virtual:
+		b.WriteString("virtual system table, single partition")
+	case s.Unresolved != "":
+		fmt.Fprintf(&b, "snapshot (unresolvable now: %s)", s.Unresolved)
+	case s.Mode == Snapshot:
+		how := "latest committed"
+		if s.Pinned {
+			how = "pinned"
+		}
+		fmt.Fprintf(&b, "snapshot @ ssid %d (%s), scatter-gather over %d nodes", s.SSID, how, s.ClusterNodes)
+	default:
+		fmt.Fprintf(&b, "live (read uncommitted), scatter-gather over %d nodes", s.ClusterNodes)
+	}
+	if s.PartHint >= 0 && s.Mode != Virtual {
+		fmt.Fprintf(&b, ", pruned to partition %d by partitionKey", s.PartHint)
+	}
+	if s.Filter != "" {
+		fmt.Fprintf(&b, ", pushed filter %s", s.Filter)
+	}
+	if s.Cols != nil {
+		fmt.Fprintf(&b, ", ship cols (%s)", strings.Join(s.Cols, ", "))
+	}
+	return b.String()
+}
+
+// Annotate implements Node.
+func (s *Scan) Annotate() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scanned %d/%d partitions (%d pruned), %d rows",
+		s.stats.Parts.Load(), s.Partitions, s.PrunedParts, s.stats.Rows.Load())
+	if s.Filter != "" {
+		fmt.Fprintf(&b, " shipped (of %d examined)", s.stats.Examined.Load())
+	}
+	fmt.Fprintf(&b, ", %s", roundDur(s.stats.WallNs.Load()))
+	return b.String()
+}
+
+// CoJoin is the co-partitioned USING(partitionKey) join: both sides of
+// every partition live on the same node, so the join runs per partition
+// with no shuffle.
+type CoJoin struct {
+	stats Stats
+
+	Left, Right Node
+}
+
+// Kind implements Node.
+func (j *CoJoin) Kind() string { return "cojoin" }
+
+// Inputs implements Node.
+func (j *CoJoin) Inputs() []Node { return []Node{j.Left, j.Right} }
+
+// Stat implements Node.
+func (j *CoJoin) Stat() *Stats { return &j.stats }
+
+// Describe implements Node.
+func (j *CoJoin) Describe() string {
+	return "join USING(partitionKey) co-partitioned per-partition hash join (co-location, no shuffle)"
+}
+
+// Annotate implements Node.
+func (j *CoJoin) Annotate() string {
+	return fmt.Sprintf("%d rows, %s", j.stats.Rows.Load(), roundDur(j.stats.WallNs.Load()))
+}
+
+// HashJoin is the general equi-join: build a hash table on the right
+// (joined) side, probe with the left stream.
+type HashJoin struct {
+	stats Stats
+
+	Left, Right Node
+	// Cond is the join condition, pre-rendered ("USING(x)", "ON a = b").
+	Cond string
+	// LeftOuter marks a LEFT JOIN (probe misses survive as NULL rows).
+	LeftOuter bool
+}
+
+// Kind implements Node.
+func (j *HashJoin) Kind() string { return "hashjoin" }
+
+// Inputs implements Node.
+func (j *HashJoin) Inputs() []Node { return []Node{j.Left, j.Right} }
+
+// Stat implements Node.
+func (j *HashJoin) Stat() *Stats { return &j.stats }
+
+// Describe implements Node.
+func (j *HashJoin) Describe() string {
+	s := fmt.Sprintf("join %s global hash join (build right, probe left)", j.Cond)
+	if j.LeftOuter {
+		s += ", left outer"
+	}
+	return s
+}
+
+// Annotate implements Node.
+func (j *HashJoin) Annotate() string {
+	return fmt.Sprintf("%d rows, %s", j.stats.Rows.Load(), roundDur(j.stats.WallNs.Load()))
+}
+
+// Filter is the residual client-side predicate — the conjuncts that
+// could not be pushed into a single scan (multi-table, aggregate-bearing
+// or unattributable). Fully pushed queries have no Filter node at all.
+type Filter struct {
+	stats Stats
+
+	Input Node
+	// Pred is the residual predicate, pre-rendered.
+	Pred string
+}
+
+// Kind implements Node.
+func (f *Filter) Kind() string { return "filter" }
+
+// Inputs implements Node.
+func (f *Filter) Inputs() []Node { return []Node{f.Input} }
+
+// Stat implements Node.
+func (f *Filter) Stat() *Stats { return &f.stats }
+
+// Describe implements Node.
+func (f *Filter) Describe() string { return "filter " + f.Pred }
+
+// Annotate implements Node.
+func (f *Filter) Annotate() string {
+	return fmt.Sprintf("kept %d/%d rows, %s",
+		f.stats.Rows.Load(), f.stats.In.Load(), roundDur(f.stats.WallNs.Load()))
+}
+
+// Aggregate groups the stream and evaluates aggregate expressions per
+// group (one global group without GROUP BY).
+type Aggregate struct {
+	stats Stats
+
+	Input Node
+	// GroupBy holds the grouping expressions, pre-rendered.
+	GroupBy []string
+	// Having is the post-grouping predicate, pre-rendered ("" = none).
+	Having string
+}
+
+// Kind implements Node.
+func (a *Aggregate) Kind() string { return "aggregate" }
+
+// Inputs implements Node.
+func (a *Aggregate) Inputs() []Node { return []Node{a.Input} }
+
+// Stat implements Node.
+func (a *Aggregate) Stat() *Stats { return &a.stats }
+
+// Describe implements Node.
+func (a *Aggregate) Describe() string {
+	var b strings.Builder
+	if len(a.GroupBy) == 0 {
+		b.WriteString("aggregate (single group)")
+	} else {
+		fmt.Fprintf(&b, "aggregate GROUP BY %s", strings.Join(a.GroupBy, ", "))
+	}
+	if a.Having != "" {
+		fmt.Fprintf(&b, ", having %s", a.Having)
+	}
+	return b.String()
+}
+
+// Annotate implements Node.
+func (a *Aggregate) Annotate() string {
+	return fmt.Sprintf("%d group(s), %s", a.stats.Rows.Load(), roundDur(a.stats.WallNs.Load()))
+}
+
+// Project evaluates the select list per row.
+type Project struct {
+	stats Stats
+
+	Input Node
+	// Items holds the select-list items, pre-rendered.
+	Items []string
+}
+
+// Kind implements Node.
+func (p *Project) Kind() string { return "project" }
+
+// Inputs implements Node.
+func (p *Project) Inputs() []Node { return []Node{p.Input} }
+
+// Stat implements Node.
+func (p *Project) Stat() *Stats { return &p.stats }
+
+// Describe implements Node.
+func (p *Project) Describe() string { return "project " + strings.Join(p.Items, ", ") }
+
+// Annotate implements Node.
+func (p *Project) Annotate() string {
+	return fmt.Sprintf("%d row(s), %s", p.stats.Rows.Load(), roundDur(p.stats.WallNs.Load()))
+}
+
+// Sort orders the materialized output rows.
+type Sort struct {
+	stats Stats
+
+	Input Node
+	// Keys holds "expr ASC|DESC" items, pre-rendered.
+	Keys []string
+}
+
+// Kind implements Node.
+func (s *Sort) Kind() string { return "sort" }
+
+// Inputs implements Node.
+func (s *Sort) Inputs() []Node { return []Node{s.Input} }
+
+// Stat implements Node.
+func (s *Sort) Stat() *Stats { return &s.stats }
+
+// Describe implements Node.
+func (s *Sort) Describe() string { return "sort " + strings.Join(s.Keys, ", ") }
+
+// Annotate implements Node.
+func (s *Sort) Annotate() string { return "" }
+
+// Limit truncates the output. With EarlyStop the executor cancels every
+// in-flight partition scan the moment the limit fills — the streaming
+// pipeline's point: a LIMIT 10 over a million rows ships ~10.
+type Limit struct {
+	stats Stats
+
+	Input Node
+	N     int
+	// EarlyStop reports whether filling the limit cancels upstream scans
+	// (true unless the query sorts, aggregates, or disabled pushdown).
+	EarlyStop bool
+}
+
+// Kind implements Node.
+func (l *Limit) Kind() string { return "limit" }
+
+// Inputs implements Node.
+func (l *Limit) Inputs() []Node { return []Node{l.Input} }
+
+// Stat implements Node.
+func (l *Limit) Stat() *Stats { return &l.stats }
+
+// Describe implements Node.
+func (l *Limit) Describe() string {
+	s := fmt.Sprintf("limit %d", l.N)
+	if l.EarlyStop {
+		s += " (early-stop: cancels scans when filled)"
+	}
+	return s
+}
+
+// Annotate implements Node.
+func (l *Limit) Annotate() string { return "" }
+
+// Walk visits the tree depth-first, parents before children.
+func Walk(n Node, fn func(Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, in := range n.Inputs() {
+		Walk(in, fn)
+	}
+}

@@ -1,0 +1,65 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RenderOpts parameterizes one rendering of a plan tree.
+type RenderOpts struct {
+	// ClusterNodes and Partitions fill the "plan (N nodes, M partitions)"
+	// header.
+	ClusterNodes int
+	Partitions   int
+	// Analyzed appends per-node [analyze: ...] annotations and the
+	// closing totals line (EXPLAIN ANALYZE); false renders the plain
+	// EXPLAIN form.
+	Analyzed bool
+	// Total, Returned and Degraded fill the totals line (Analyzed only).
+	Total    time.Duration
+	Returned int
+	Degraded int
+}
+
+// Render renders the tree as indented text, root first: the outermost
+// stage (limit/sort) at the top, scans as the leaves. Because EXPLAIN
+// ANALYZE passes the very tree the executor ran, what this prints is by
+// construction what executed — there is no second plan derivation.
+func Render(root Node, o RenderOpts) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan (%d nodes, %d partitions):\n", o.ClusterNodes, o.Partitions)
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth+1))
+		b.WriteString(n.Describe())
+		if o.Analyzed {
+			if a := n.Annotate(); a != "" {
+				fmt.Fprintf(&b, " [analyze: %s]", a)
+			}
+		}
+		b.WriteByte('\n')
+		for _, in := range n.Inputs() {
+			walk(in, depth+1)
+		}
+	}
+	walk(root, 0)
+	if o.Analyzed {
+		fmt.Fprintf(&b, "analyzed: total %s, %d row(s) returned, %d degraded partition(s)\n",
+			roundDur(o.Total.Nanoseconds()), o.Returned, o.Degraded)
+	}
+	return b.String()
+}
+
+// roundDur trims a nanosecond count for plan display.
+func roundDur(ns int64) time.Duration {
+	d := time.Duration(ns)
+	switch {
+	case d > time.Second:
+		return d.Round(time.Millisecond)
+	case d > time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(100 * time.Nanosecond)
+	}
+}

@@ -1,0 +1,423 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"squery/internal/core"
+	"squery/internal/sql/plan"
+)
+
+// physPlan is the compiled form of one SELECT: the resolved sources, the
+// per-source pushed predicates, the residual filter, and the plan.Node
+// tree. Execution runs the tree, EXPLAIN renders it, EXPLAIN ANALYZE
+// renders the very instance an execution ran — one derivation, three
+// consumers.
+type physPlan struct {
+	stmt *Select
+	opts ExecOpts
+	srcs []tableSrc
+	// pushed holds, per source, the AND of the WHERE conjuncts that run
+	// inside that source's partition scans (nil = nothing pushed).
+	pushed []Expr
+	// residual is what remains of WHERE for the client-side Filter node.
+	residual Expr
+	// cols is the projected column set shipped from every scan (nil =
+	// all columns; SELECT * or DisablePushdown).
+	cols []string
+
+	root   plan.Node
+	scans  []*plan.Scan
+	filter *plan.Filter
+	// join is the topmost join node (nil for single-table queries).
+	join plan.Node
+	// hjoins holds the HashJoin nodes in join order (general joins only).
+	hjoins []*plan.HashJoin
+	agg    *plan.Aggregate
+	proj   *plan.Project
+	coPart bool
+	// earlyStop: filling LIMIT cancels all in-flight scans.
+	earlyStop bool
+
+	// Execution summary, filled by execTraced for the analyze footer.
+	total    time.Duration
+	degraded int
+	returned int
+}
+
+// render renders the plan tree (shared by EXPLAIN and EXPLAIN ANALYZE).
+func (pp *physPlan) render(nodes int, analyzed bool) string {
+	parts := 0
+	if len(pp.srcs) > 0 {
+		parts = pp.srcs[0].ref.Partitions()
+	}
+	return plan.Render(pp.root, plan.RenderOpts{
+		ClusterNodes: nodes,
+		Partitions:   parts,
+		Analyzed:     analyzed,
+		Total:        pp.total,
+		Returned:     pp.returned,
+		Degraded:     pp.degraded,
+	})
+}
+
+// compile lowers a parsed SELECT into a physPlan: resolve tables, strip
+// ssid pins, derive partition pruning hints, resolve snapshot ids, split
+// the WHERE clause into pushed and residual parts, compute the shipped
+// column set, and build the plan tree. With planOnly (EXPLAIN) an
+// unresolvable snapshot id is reported on the scan node instead of
+// failing the whole plan.
+func (ex *Executor) compile(stmt *Select, opts ExecOpts, planOnly bool) (*physPlan, error) {
+	pp := &physPlan{stmt: stmt, opts: opts}
+
+	pp.srcs = make([]tableSrc, 0, 1+len(stmt.Joins))
+	addSrc := func(t TableName) error {
+		ref, err := ex.cat.Table(t.Name)
+		if err != nil {
+			return err
+		}
+		pp.srcs = append(pp.srcs, tableSrc{ref: ref, name: t.Name, alias: t.Ref(), partHint: -1})
+		return nil
+	}
+	if err := addSrc(stmt.From); err != nil {
+		return nil, err
+	}
+	for _, j := range stmt.Joins {
+		if err := addSrc(j.Table); err != nil {
+			return nil, err
+		}
+	}
+
+	where, pins, err := extractPins(stmt.Where)
+	if err != nil {
+		return nil, err
+	}
+	applyKeyHints(stmt, pp.srcs, where)
+	pp.coPart = len(pp.srcs) == 2 && len(stmt.Joins) == 1 &&
+		stmt.Joins[0].Using == core.ColPartitionKey && !stmt.Joins[0].Left
+
+	// One Scan leaf per source, snapshot ids resolved atomically now
+	// (§VI.A): concurrent checkpoints never tear a result set.
+	pp.scans = make([]*plan.Scan, len(pp.srcs))
+	for i := range pp.srcs {
+		s := &pp.srcs[i]
+		sc := &plan.Scan{
+			Table:        s.name,
+			ClusterNodes: ex.nodes,
+			Partitions:   s.ref.Partitions(),
+			PartHint:     -1,
+		}
+		switch {
+		case s.ref.IsVirtual():
+			sc.Mode = plan.Virtual
+		case s.ref.IsSnapshot():
+			sc.Mode = plan.Snapshot
+		default:
+			sc.Mode = plan.Live
+		}
+		pinned := pins.forTable(s.alias, s.name)
+		sc.Pinned = pinned != 0
+		ssid, err := s.ref.ResolveSSID(pinned)
+		if err != nil {
+			if !planOnly {
+				return nil, err
+			}
+			sc.Unresolved = err.Error()
+		}
+		s.ssid = ssid
+		sc.SSID = ssid
+		if s.partHint >= 0 && !s.ref.IsVirtual() {
+			sc.PartHint = s.partHint
+			sc.PrunedParts = int64(s.ref.Partitions() - 1)
+		}
+		s.scan = sc
+		pp.scans[i] = sc
+	}
+
+	// Pushdown: move single-source conjuncts into their scans, project
+	// the shipped rows to the columns the rest of the query can touch.
+	pp.pushed = make([]Expr, len(pp.srcs))
+	pp.residual = where
+	if !opts.DisablePushdown {
+		pp.residual = pp.splitPushdown(where)
+		for i, e := range pp.pushed {
+			if e != nil {
+				pp.scans[i].Filter = e.String()
+			}
+		}
+		pp.cols = pp.neededColumns()
+		for _, sc := range pp.scans {
+			sc.Cols = pp.cols
+		}
+	}
+
+	// Assemble the tree bottom-up: scans → joins → filter →
+	// aggregate/project → sort → limit.
+	var node plan.Node
+	switch {
+	case len(pp.srcs) == 1:
+		node = pp.scans[0]
+	case pp.coPart:
+		cj := &plan.CoJoin{Left: pp.scans[0], Right: pp.scans[1]}
+		node, pp.join = cj, cj
+	default:
+		node = pp.scans[0]
+		for ji, j := range stmt.Joins {
+			hj := &plan.HashJoin{Left: node, Right: pp.scans[ji+1], Cond: joinCond(j), LeftOuter: j.Left}
+			pp.hjoins = append(pp.hjoins, hj)
+			node = hj
+		}
+		pp.join = node
+	}
+	if pp.residual != nil {
+		pp.filter = &plan.Filter{Input: node, Pred: pp.residual.String()}
+		node = pp.filter
+	}
+	aggregated := stmt.HasAggregates() || len(stmt.GroupBy) > 0
+	if aggregated {
+		groups := make([]string, len(stmt.GroupBy))
+		for i, g := range stmt.GroupBy {
+			groups[i] = g.String()
+		}
+		pp.agg = &plan.Aggregate{Input: node, GroupBy: groups}
+		if stmt.Having != nil {
+			pp.agg.Having = stmt.Having.String()
+		}
+		node = pp.agg
+	} else {
+		items := make([]string, len(stmt.Items))
+		for i, it := range stmt.Items {
+			items[i] = it.String()
+		}
+		pp.proj = &plan.Project{Input: node, Items: items}
+		node = pp.proj
+	}
+	if len(stmt.OrderBy) > 0 {
+		keys := make([]string, len(stmt.OrderBy))
+		for i, oi := range stmt.OrderBy {
+			dir := "ASC"
+			if oi.Desc {
+				dir = "DESC"
+			}
+			keys[i] = oi.Expr.String() + " " + dir
+		}
+		node = &plan.Sort{Input: node, Keys: keys}
+	}
+	if stmt.Limit >= 0 {
+		pp.earlyStop = !aggregated && len(stmt.OrderBy) == 0 && !opts.DisablePushdown
+		node = &plan.Limit{Input: node, N: stmt.Limit, EarlyStop: pp.earlyStop}
+	}
+	pp.root = node
+	return pp, nil
+}
+
+// joinCond pre-renders a join condition for the plan tree.
+func joinCond(j Join) string {
+	if j.Using != "" {
+		return "USING(" + j.Using + ")"
+	}
+	return fmt.Sprintf("ON %s = %s", j.OnL, j.OnR)
+}
+
+// splitPushdown walks the WHERE clause's AND-conjuncts, moving every
+// conjunct that provably references exactly one source into that
+// source's pushed predicate, and returns the residual. Pushing is an
+// optimisation with one soundness rule baked into pushTarget: the right
+// side of a LEFT JOIN is never pre-filtered (that would turn matching
+// rows into NULL-extended misses).
+func (pp *physPlan) splitPushdown(where Expr) Expr {
+	if where == nil {
+		return nil
+	}
+	andTo := func(dst, e Expr) Expr {
+		if dst == nil {
+			return e
+		}
+		return Binary{Op: "AND", L: dst, R: e}
+	}
+	var residual Expr
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if b, ok := e.(Binary); ok && b.Op == "AND" {
+			walk(b.L)
+			walk(b.R)
+			return
+		}
+		if si, ok := pp.pushTarget(e); ok {
+			pp.pushed[si] = andTo(pp.pushed[si], e)
+			return
+		}
+		residual = andTo(residual, e)
+	}
+	walk(where)
+	return residual
+}
+
+// pushTarget decides whether one conjunct may run inside a source's
+// partition scans, and which source. Single-source queries push every
+// non-aggregate conjunct. Multi-source queries push a conjunct only when
+// every identifier in it is qualified and names the same source — and
+// that source is not the right side of a LEFT JOIN.
+func (pp *physPlan) pushTarget(e Expr) (int, bool) {
+	if containsAgg(e) {
+		// Aggregates in WHERE are an error; leave it for the client-side
+		// evaluator to report as such.
+		return 0, false
+	}
+	if len(pp.srcs) == 1 {
+		return 0, true
+	}
+	target := -1
+	attributable := true
+	walkIdents(e, func(id Ident) {
+		if !attributable {
+			return
+		}
+		if id.Table == "" {
+			attributable = false
+			return
+		}
+		found := -1
+		for i := range pp.srcs {
+			if strings.EqualFold(id.Table, pp.srcs[i].alias) || strings.EqualFold(id.Table, pp.srcs[i].name) {
+				found = i
+				break
+			}
+		}
+		if found < 0 || (target >= 0 && target != found) {
+			attributable = false
+			return
+		}
+		target = found
+	})
+	if !attributable || target < 0 {
+		return 0, false
+	}
+	if target > 0 && pp.stmt.Joins[target-1].Left {
+		return 0, false
+	}
+	return target, true
+}
+
+// neededColumns computes the union of column names any client-side stage
+// can touch: select items, the residual filter, grouping, having, order
+// keys and join keys. Pushed predicates are excluded — they run before
+// projection on the owning node. Returns nil (ship everything) when the
+// select list has a star.
+func (pp *physPlan) neededColumns() []string {
+	stmt := pp.stmt
+	for _, it := range stmt.Items {
+		if it.Star {
+			return nil
+		}
+	}
+	seen := map[string]bool{}
+	cols := []string{}
+	add := func(id Ident) {
+		if !seen[id.Name] {
+			seen[id.Name] = true
+			cols = append(cols, id.Name)
+		}
+	}
+	for _, it := range stmt.Items {
+		walkIdents(it.Expr, add)
+	}
+	if pp.residual != nil {
+		walkIdents(pp.residual, add)
+	}
+	for _, g := range stmt.GroupBy {
+		walkIdents(g, add)
+	}
+	if stmt.Having != nil {
+		walkIdents(stmt.Having, add)
+	}
+	for _, oi := range stmt.OrderBy {
+		walkIdents(oi.Expr, add)
+	}
+	for _, j := range stmt.Joins {
+		if j.Using != "" {
+			add(Ident{Name: j.Using})
+		} else {
+			add(Ident{Name: j.OnL.Name})
+			add(Ident{Name: j.OnR.Name})
+		}
+	}
+	return cols
+}
+
+// walkIdents visits every identifier in an expression.
+func walkIdents(e Expr, fn func(Ident)) {
+	switch x := e.(type) {
+	case Ident:
+		fn(x)
+	case Binary:
+		walkIdents(x.L, fn)
+		walkIdents(x.R, fn)
+	case Unary:
+		walkIdents(x.E, fn)
+	case IsNull:
+		walkIdents(x.E, fn)
+	case Between:
+		walkIdents(x.E, fn)
+		walkIdents(x.Lo, fn)
+		walkIdents(x.Hi, fn)
+	case InList:
+		walkIdents(x.E, fn)
+		for _, v := range x.List {
+			walkIdents(v, fn)
+		}
+	case Like:
+		walkIdents(x.E, fn)
+	case Func:
+		for _, a := range x.Args {
+			walkIdents(a, fn)
+		}
+	case Agg:
+		if x.Arg != nil {
+			walkIdents(x.Arg, fn)
+		}
+	}
+}
+
+// srcRow adapts one source's TableRow to the Resolver a pushed predicate
+// evaluates against: qualified references must name this source.
+type srcRow struct {
+	alias, name string
+	row         core.TableRow
+}
+
+// Resolve implements Resolver.
+func (r srcRow) Resolve(table, column string) (any, bool) {
+	if table != "" && !strings.EqualFold(table, r.alias) && !strings.EqualFold(table, r.name) {
+		return nil, false
+	}
+	return r.row.Field(column)
+}
+
+// spec compiles source si's slice of the plan into a core.ScanSpec for
+// one partition attempt. examined counts rows the pushed filter
+// inspected; errp records the first evaluation error (the scan keeps
+// draining its partition copy but drops rows after an error). Both must
+// be owned by the goroutine running the scan.
+func (pp *physPlan) spec(si int, ctx *evalCtx, done <-chan struct{}, examined *int64, errp *error) core.ScanSpec {
+	s := &pp.srcs[si]
+	spec := core.ScanSpec{SSID: s.ssid, Cols: pp.cols, Done: done}
+	if pushed := pp.pushed[si]; pushed != nil {
+		alias, name := s.alias, s.name
+		spec.Filter = func(r core.TableRow) bool {
+			*examined++
+			if *errp != nil {
+				return false
+			}
+			v, err := ctx.eval(pushed, srcRow{alias: alias, name: name, row: r})
+			if err != nil {
+				*errp = err
+				return false
+			}
+			b, ok := truthy(v)
+			return ok && b
+		}
+	}
+	return spec
+}
