@@ -1,7 +1,7 @@
 GO ?= go
 GOFILES := $(shell git ls-files '*.go')
 
-.PHONY: test vet lint race soak-chaos fuzz-short verify
+.PHONY: test vet lint race soak-chaos fuzz-short obs-smoke verify
 
 # Tier-1: what CI gates on.
 test:
@@ -25,9 +25,18 @@ race:
 # Short deterministic chaos soak under the race detector: seed 1's fault
 # schedule (mid-checkpoint node crash, coordinator-worker partition,
 # dropped barrier, duplicated ack, stalled/unreachable partitions) against
-# the exactly-once oracle check.
+# the exactly-once oracle check — with tracing on (1-in-16), so the run
+# also asserts fired faults left chaos spans and no trace leaked.
 soak-chaos:
 	$(GO) run -race ./cmd/squery-soak -chaos -seed 1 -duration 5s
+
+# End-to-end smoke of the HTTP observability plane: boots the real
+# squery binary with -serve-obs, waits for /healthz and /readyz, scrapes
+# /metrics through the strict Prometheus validator, and checks /tracez
+# and pprof answer.
+obs-smoke:
+	chmod +x scripts/obs-smoke.sh
+	./scripts/obs-smoke.sh
 
 # Short fuzz wall: 30s per target against the SQL front end. The parser,
 # lexer and planner must be total — errors, never panics — on arbitrary

@@ -8,11 +8,17 @@
 //	squery-bench -exp all         # everything (several minutes)
 //	squery-bench -exp fig10 -quick
 //
-// Experiments: fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 queries all.
+// Experiments: fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 queries
+// pushdown obs all.
 //
 // -metrics additionally runs a short fully-instrumented Q-commerce job on
 // the engine and prints its plain-text metrics dump — every counter,
 // latency histogram and event log the sys.* tables expose.
+//
+// -serve-obs ADDR keeps a background instrumented Q-commerce job running
+// for the life of the process and serves the HTTP observability plane
+// (/metrics, /tracez, /healthz, /readyz, /debug/pprof) over it, so
+// experiments can be profiled with `go tool pprof` while they run.
 package main
 
 import (
@@ -23,14 +29,25 @@ import (
 
 	"squery"
 	"squery/internal/experiments"
+	"squery/internal/obshttp"
 	"squery/internal/qcommerce"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig8..fig15, queries, all")
+	exp := flag.String("exp", "all", "experiment to run: fig8..fig15, queries, pushdown, obs, all")
 	quick := flag.Bool("quick", false, "shrink durations and key counts")
 	dumpMetrics := flag.Bool("metrics", false, "run an instrumented engine workload and print its metrics dump")
+	serveObs := flag.String("serve-obs", "", "serve the HTTP observability plane on this address (e.g. 127.0.0.1:8080)")
 	flag.Parse()
+
+	if *serveObs != "" {
+		stop, err := serveObsPlane(*serveObs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve-obs:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
 
 	o := experiments.Options{Quick: *quick}
 	runners := map[string]func(experiments.Options){
@@ -44,8 +61,9 @@ func main() {
 		"fig15":    runFig15,
 		"queries":  runQueries,
 		"pushdown": runPushdown,
+		"obs":      runObs,
 	}
-	order := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "queries", "pushdown"}
+	order := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "queries", "pushdown", "obs"}
 
 	switch *exp {
 	case "all":
@@ -64,6 +82,39 @@ func main() {
 	if *dumpMetrics {
 		run("metrics", runMetricsDump, o)
 	}
+}
+
+// serveObsPlane boots a small always-on instrumented Q-commerce job and
+// serves the observability plane over it; the returned func tears both
+// down.
+func serveObsPlane(addr string) (func(), error) {
+	eng := squery.New(squery.Config{Nodes: 3})
+	dag := qcommerce.DAG(qcommerce.Config{
+		Orders:              5_000,
+		Rate:                5_000,
+		SourceParallelism:   3,
+		OperatorParallelism: 6,
+	}, squery.SinkVertex("sink", 3, func(squery.Record) {}))
+	job, err := eng.SubmitJob(dag, squery.JobSpec{
+		Name:             "obs",
+		State:            squery.StateConfig{Live: true, Snapshots: true},
+		SnapshotInterval: 250 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv, bound, err := obshttp.Serve(addr, obshttp.Options{
+		Metrics: eng.Metrics(),
+		Tracer:  eng.Tracer(),
+		Health:  eng.Health,
+		Ready:   eng.Ready,
+	})
+	if err != nil {
+		job.Stop()
+		return nil, err
+	}
+	fmt.Printf("observability plane on http://%s\n\n", bound)
+	return func() { srv.Close(); job.Stop() }, nil
 }
 
 // runMetricsDump drives a short instrumented Q-commerce job through a
@@ -162,6 +213,12 @@ func runQueries(o experiments.Options) {
 		fmt.Printf("--- %s (%s, %d rows) ---\n%s\n%s\n",
 			r.Name, r.Latency.Round(time.Microsecond), r.Rows, r.Query, r.Result)
 	}
+}
+
+func runObs(o experiments.Options) {
+	fmt.Println(experiments.Table(
+		"Tracing overhead — coordinated-omission-safe source→sink latency with tracing off / 1-in-256 / every record",
+		experiments.Obs(o)))
 }
 
 func runPushdown(o experiments.Options) {

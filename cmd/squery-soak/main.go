@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"squery"
+	"squery/internal/obshttp"
 	"squery/internal/qcommerce"
 	"squery/internal/soak"
 )
@@ -47,14 +48,28 @@ func main() {
 	failures := flag.Int("failures", 3, "failure injections over the run")
 	chaosMode := flag.Bool("chaos", false, "run the seeded chaos soak instead of the q-commerce soak")
 	seed := flag.Int64("seed", 1, "chaos schedule seed (-chaos mode)")
+	serveObs := flag.String("serve-obs", "", "serve the HTTP observability plane on this address (e.g. 127.0.0.1:8080)")
 	flag.Parse()
 
 	if *chaosMode {
-		runChaos(*seed, *duration)
+		runChaos(*seed, *duration, *serveObs)
 		return
 	}
 
 	eng := squery.New(squery.Config{Nodes: 3, ReplicateState: true})
+	if *serveObs != "" {
+		srv, addr, err := obshttp.Serve(*serveObs, obshttp.Options{
+			Metrics: eng.Metrics(),
+			Tracer:  eng.Tracer(),
+			Health:  eng.Health,
+			Ready:   eng.Ready,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("observability plane on http://%s", addr)
+	}
 	dag := qcommerce.DAG(qcommerce.Config{
 		Orders:              *orders,
 		Rate:                10_000,
@@ -198,19 +213,31 @@ func main() {
 }
 
 // runChaos executes the deterministic chaos soak and reports the
-// exactly-once verdict.
-func runChaos(seed int64, deadline time.Duration) {
-	rep, err := soak.Run(soak.Config{Seed: seed, Deadline: deadline, Logf: log.Printf})
+// exactly-once verdict plus the tracing sanity check: a run that fired
+// faults must also have recorded spans, and every fired fault must have
+// left a chaos annotation span.
+func runChaos(seed int64, deadline time.Duration, obsAddr string) {
+	rep, err := soak.Run(soak.Config{Seed: seed, Deadline: deadline, ObsAddr: obsAddr, Logf: log.Printf})
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, e := range rep.Events {
 		log.Printf("fired: %s", e)
 	}
-	fmt.Printf("chaos soak: seed %d, %d fault(s) fired, %d checkpoint abort(s), latest snapshot %d, %d guarded queries (%d degraded), exactly-once: %v\n",
-		seed, len(rep.Events), rep.Aborts, rep.Snapshots, rep.Queries, rep.Degraded, rep.Match)
+	fmt.Printf("chaos soak: seed %d, %d fault(s) fired, %d checkpoint abort(s), latest snapshot %d, %d guarded queries (%d degraded), %d span(s) (%d chaos, %d failed checkpoint traces), exactly-once: %v\n",
+		seed, len(rep.Events), rep.Aborts, rep.Snapshots, rep.Queries, rep.Degraded,
+		rep.Spans, rep.ChaosSpans, rep.FailedCkptTraces, rep.Match)
 	if !rep.Match {
 		log.Printf("VIOLATION: chaos counts %v != oracle %v", rep.Counts, rep.Oracle)
 		os.Exit(1)
+	}
+	if len(rep.Events) > 0 && rep.Spans == 0 {
+		log.Printf("VIOLATION: %d faults fired but no spans were recorded", len(rep.Events))
+		os.Exit(1)
+	}
+	if rep.ChaosSpans < int64(len(rep.Events)) {
+		// Not fatal: old spans (chaos annotations included) are
+		// overwritten once the ring wraps on a long run.
+		log.Printf("warning: %d faults fired but only %d chaos spans retained (ring wrapped?)", len(rep.Events), rep.ChaosSpans)
 	}
 }

@@ -15,8 +15,15 @@
 // Meta-commands: \tables, \snapshots, \explain <sql>, \metrics, \q1..\q4
 // (the paper's queries), \quit. Prefix any query with EXPLAIN ANALYZE for
 // per-stage timings, or query the sys.* tables (sys.operators,
-// sys.partitions, sys.checkpoints, sys.queries) for live engine
-// telemetry. -metrics prints the full plain-text instrument dump on exit.
+// sys.partitions, sys.checkpoints, sys.queries, sys.spans, sys.traces)
+// for live engine telemetry. -metrics prints the full plain-text
+// instrument dump on exit. -serve-obs ADDR serves the HTTP observability
+// plane (/metrics, /tracez, /healthz, /readyz, /debug/pprof) while the
+// prompt runs:
+//
+//	squery -serve-obs 127.0.0.1:8080 &
+//	curl http://127.0.0.1:8080/metrics
+//	curl http://127.0.0.1:8080/tracez?kind=checkpoint
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"squery"
+	"squery/internal/obshttp"
 	"squery/internal/qcommerce"
 )
 
@@ -36,9 +44,24 @@ func main() {
 	orders := flag.Int64("orders", 10_000, "unique orders in the workload")
 	interval := flag.Duration("interval", time.Second, "checkpoint interval")
 	dumpMetrics := flag.Bool("metrics", false, "print the plain-text metrics dump on exit")
+	serveObs := flag.String("serve-obs", "", "serve the HTTP observability plane on this address (e.g. 127.0.0.1:8080)")
 	flag.Parse()
 
 	eng := squery.New(squery.Config{Nodes: *nodes})
+	if *serveObs != "" {
+		srv, addr, err := obshttp.Serve(*serveObs, obshttp.Options{
+			Metrics: eng.Metrics(),
+			Tracer:  eng.Tracer(),
+			Health:  eng.Health,
+			Ready:   eng.Ready,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve-obs:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability plane on http://%s\n", addr)
+	}
 	dag := qcommerce.DAG(qcommerce.Config{
 		Orders:              *orders,
 		Rate:                50_000,

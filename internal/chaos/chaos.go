@@ -25,6 +25,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"squery/internal/trace"
 )
 
 // Kind classifies one injectable fault.
@@ -166,7 +168,8 @@ func (e *UnreachableError) Error() string {
 // Injector holds a fault schedule and answers the hook calls of the
 // dataflow coordinator and the KV store. Safe for concurrent use.
 type Injector struct {
-	seed int64
+	seed   int64
+	tracer *trace.Tracer
 
 	mu     sync.Mutex
 	rules  []*rule
@@ -185,6 +188,13 @@ func New(seed int64) *Injector { return &Injector{seed: seed} }
 
 // Seed returns the seed the injector was created with.
 func (in *Injector) Seed() int64 { return in.seed }
+
+// SetTracer makes every fired fault leave an annotation span in the
+// tracer's ring (kind "chaos", failed, named after the fault, carrying the
+// checkpoint id where applicable) — injected faults then show up on
+// /tracez and join sys.checkpoints via the ssid column. Nil disables the
+// annotations. Call before the schedule starts firing.
+func (in *Injector) SetTracer(tr *trace.Tracer) { in.tracer = tr }
 
 // Add appends a rule to the schedule and returns the injector for
 // chaining. Scoping integers left at their zero value are normalized: a
@@ -256,10 +266,30 @@ func (in *Injector) fire(kinds []Kind, ssid int64, vertex string, instance, node
 			continue
 		}
 		r.fires++
-		in.events = append(in.events, Event{Kind: r.Kind, SSID: ssid, Vertex: vertex, Instance: instance, Node: node, Part: part})
+		ev := Event{Kind: r.Kind, SSID: ssid, Vertex: vertex, Instance: instance, Node: node, Part: part}
+		in.events = append(in.events, ev)
+		in.annotate(ev)
 		return r.Rule, true
 	}
 	return Rule{}, false
+}
+
+// annotate emits one instantaneous failed span for a fired fault. Each
+// annotation is its own single-span trace; correlation with the affected
+// checkpoint happens relationally, on the ssid column.
+func (in *Injector) annotate(ev Event) {
+	tr := in.tracer
+	if tr == nil {
+		return
+	}
+	id := tr.NewID()
+	tr.Emit(trace.SpanData{
+		TraceID: id, SpanID: id,
+		Name: "chaos:" + ev.Kind.String(), Kind: trace.KindChaos,
+		Vertex: ev.Vertex, Instance: ev.Instance, SSID: ev.SSID,
+		Start: time.Now(), Failed: true,
+		Note: ev.String(),
+	})
 }
 
 // ackKinds and barrier kinds, in rule-priority order.

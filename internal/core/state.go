@@ -28,6 +28,16 @@ type Config struct {
 	// whole state as one opaque blob, the way Jet snapshots state
 	// without S-QUERY. Mutually exclusive with Snapshots.
 	JetBlob bool
+	// LatencySampleEvery samples 1-in-N state-update latencies into the
+	// update-latency histogram (the update counter stays exact). 0
+	// selects the default of 8; 1 times every update. Lowering it buys
+	// finer tail visibility for stopwatch cost on the hot path.
+	LatencySampleEvery int
+	// LatencySampleSeed offsets the deterministic sampling sequence.
+	// Sampling is a pure function of (seed, update index), so two runs
+	// with the same seed and workload sample the same updates — what
+	// keeps chaos-soak latency output reproducible run to run.
+	LatencySampleSeed int64
 	// ActiveStandby maintains a synchronously updated replica of every
 	// instance's state (§VII, read committed): on failure the replica is
 	// promoted instead of rolling back to the last checkpoint, so live
@@ -81,10 +91,12 @@ type Backend struct {
 	// network cost. The latency histogram is sampled 1-in-8 (the counter
 	// stays exact) to keep the per-record stopwatch cost off the hot
 	// path; updateSeq drives the sampling from the single processing
-	// goroutine.
-	updates   *metrics.Counter
-	updateLat *metrics.Histogram
-	updateSeq uint64
+	// goroutine. The rate comes from Config.LatencySampleEvery and the
+	// sequence's phase from Config.LatencySampleSeed.
+	updates     *metrics.Counter
+	updateLat   *metrics.Histogram
+	updateSeq   uint64
+	sampleEvery uint64
 }
 
 // NewBackend creates the state backend for instance `instance` of
@@ -93,6 +105,10 @@ func NewBackend(op string, instance int, view kv.NodeView, cfg Config) *Backend 
 	if cfg.JetBlob && cfg.Snapshots {
 		panic("core: JetBlob and Snapshots are mutually exclusive")
 	}
+	every := uint64(8)
+	if cfg.LatencySampleEvery > 0 {
+		every = uint64(cfg.LatencySampleEvery)
+	}
 	return &Backend{
 		op:       op,
 		instance: instance,
@@ -100,6 +116,10 @@ func NewBackend(op string, instance int, view kv.NodeView, cfg Config) *Backend 
 		cfg:      cfg,
 		data:     make(map[string]entry),
 		dirty:    make(map[string]partition.Key),
+		// Seeding offsets the sampling phase deterministically: which
+		// updates get timed depends only on (seed, update index).
+		updateSeq:   uint64(cfg.LatencySampleSeed) % every,
+		sampleEvery: every,
 	}
 }
 
@@ -136,7 +156,7 @@ func (b *Backend) Update(key partition.Key, value any) {
 	}
 	b.updates.Inc()
 	b.updateSeq++
-	if b.updateSeq&7 != 0 {
+	if b.updateSeq%b.sampleEvery != 0 {
 		b.update(key, value)
 		return
 	}
@@ -165,7 +185,7 @@ func (b *Backend) Delete(key partition.Key) {
 	}
 	b.updates.Inc()
 	b.updateSeq++
-	if b.updateSeq&7 != 0 {
+	if b.updateSeq%b.sampleEvery != 0 {
 		b.del(key)
 		return
 	}

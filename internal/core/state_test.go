@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"squery/internal/kv"
+	"squery/internal/metrics"
 	"squery/internal/partition"
 )
 
@@ -291,5 +292,42 @@ func TestFullSnapshotTombstonesDeletedKeys(t *testing.T) {
 	v, _ = store.View(0).Get(SnapshotMapName("op"), "kept")
 	if got, ok := v.(*Chain).At(2); !ok || got.Value != 2 {
 		t.Fatal("kept key wrong at ssid 2")
+	}
+}
+
+// TestLatencySamplingConfigurable checks the 1-in-N update-latency
+// sampling rate follows Config.LatencySampleEvery (default 8), that
+// sampling is a pure function of (seed, update index), and that the
+// update counter stays exact regardless of the rate.
+func TestLatencySamplingConfigurable(t *testing.T) {
+	sampled := func(every int, seed int64, updates int) (int64, int64) {
+		store := newTestStore()
+		b := NewBackend("op", 0, store.View(0), Config{
+			Live: true, LatencySampleEvery: every, LatencySampleSeed: seed,
+		})
+		count := metrics.NewRegistry().Counter("s", "s", "updates")
+		hist := metrics.NewRegistry().Histogram("s", "s", "lat")
+		b.SetInstruments(count, hist)
+		for i := 0; i < updates; i++ {
+			b.Update(partition.Key(fmt.Sprintf("k%d", i)), i)
+		}
+		return count.Value(), int64(hist.Count())
+	}
+
+	if n, h := sampled(0, 0, 800); n != 800 || h != 100 {
+		t.Fatalf("default rate: count=%d hist=%d, want 800 and 1-in-8 = 100", n, h)
+	}
+	if n, h := sampled(4, 0, 800); n != 800 || h != 200 {
+		t.Fatalf("every=4: count=%d hist=%d, want 800 and 200", n, h)
+	}
+	if n, h := sampled(1, 0, 800); n != 800 || h != 800 {
+		t.Fatalf("every=1: count=%d hist=%d, want 800 and 800", n, h)
+	}
+	// Determinism: the same seed samples the same number of updates on
+	// repeat runs; a different seed shifts the phase but not the rate.
+	_, a := sampled(8, 42, 801)
+	_, b := sampled(8, 42, 801)
+	if a != b {
+		t.Fatalf("same seed sampled differently: %d vs %d", a, b)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"squery/internal/trace"
 )
 
 // The checkpoint coordinator implements the paper's snapshot protocol end
@@ -163,6 +165,35 @@ func (j *Job) checkpointOnce(st *coordState, attempt int) ckptOutcome {
 		return ckptSkipped
 	}
 
+	// One trace per snapshot id: the root span covers the full 2PC;
+	// barrier injection, each worker's alignment wait and prepare, and the
+	// two commit phases hang off it as children. Checkpoints are rare, so
+	// they bypass head sampling. Everything below is nil-safe when
+	// tracing is off.
+	tr := j.cfg.Tracer
+	root := tr.StartTrace("checkpoint", trace.KindCheckpoint)
+	root.SetVertex(j.cfg.Name, -1)
+	root.SetSSID(ssid)
+	if attempt > 0 {
+		root.SetNote(fmt.Sprintf("retry attempt %d", attempt))
+	}
+	if root != nil {
+		j.noteCkptTrace(ssid, root.Context())
+	}
+	// child emits a completed coordinator-side child span of the root.
+	child := func(name string, start time.Time, dur time.Duration, vertex string, instance int, failed bool) {
+		if root == nil {
+			return
+		}
+		tr.Emit(trace.SpanData{
+			TraceID: root.Context().TraceID, SpanID: tr.NewID(),
+			ParentID: root.Context().SpanID,
+			Name:     name, Kind: trace.KindCheckpoint,
+			Vertex: vertex, Instance: instance, SSID: ssid,
+			Start: start, Dur: dur, Failed: failed,
+		})
+	}
+
 	// Phase-1 deadline: a nil channel never fires, so zero timeout keeps
 	// the wait unbounded.
 	var deadline <-chan time.Time
@@ -173,7 +204,8 @@ func (j *Job) checkpointOnce(st *coordState, attempt int) ckptOutcome {
 	}
 	start := time.Now()
 	// noteAbort rolls the in-flight id back and counts the abort; outcome
-	// names why in the checkpoints event log.
+	// names why in the checkpoints event log. The trace root is closed as
+	// failed — aborted checkpoints never leave an open span behind.
 	noteAbort := func(outcome string) {
 		j.mgr.Abort(ssid)
 		j.ckptAborts.Add(1)
@@ -183,6 +215,7 @@ func (j *Job) checkpointOnce(st *coordState, attempt int) ckptOutcome {
 			"attempt": attempt, "phase1Us": time.Since(start).Microseconds(),
 			"totalUs": time.Since(start).Microseconds(),
 		})
+		root.Fail(outcome)
 	}
 	abort := func() ckptOutcome {
 		noteAbort("aborted")
@@ -194,6 +227,7 @@ func (j *Job) checkpointOnce(st *coordState, attempt int) ckptOutcome {
 	sources := j.sources
 	j.mu.Unlock()
 	hook := j.cfg.Chaos
+	injStart := time.Now()
 	for _, sw := range sources {
 		if st.retired[offsetKey(sw.vertex, sw.instance)] {
 			continue
@@ -201,11 +235,16 @@ func (j *Job) checkpointOnce(st *coordState, attempt int) ckptOutcome {
 		if hook != nil {
 			fate := hook.BarrierFate(ssid, sw.vertex, sw.instance, sw.node)
 			if fate.Drop {
+				// The fault is visible in the trace: the barrier this
+				// source never saw is exactly why phase 1 will stall.
+				child("barrier_dropped", time.Now(), 0, sw.vertex, sw.instance, true)
 				continue
 			}
 			if fate.Delay > 0 {
+				delayStart := time.Now()
 				select {
 				case <-time.After(fate.Delay):
+					child("barrier_delayed", delayStart, fate.Delay, sw.vertex, sw.instance, false)
 				case <-j.killCh:
 					noteAbort("stopped")
 					return ckptStopped
@@ -221,6 +260,7 @@ func (j *Job) checkpointOnce(st *coordState, attempt int) ckptOutcome {
 			return ckptStopped
 		}
 	}
+	child("barrier_inject", injStart, time.Since(injStart), j.cfg.Name, -1, false)
 
 	// Phase 1: wait for every live instance to prepare.
 	offsets := map[string]int64{}
@@ -262,6 +302,10 @@ func (j *Job) checkpointOnce(st *coordState, attempt int) ckptOutcome {
 	// the job crashes, optionally taking a cluster node with it.
 	if hook != nil {
 		if crash, node := hook.CrashPreCommit(ssid); crash {
+			// The id is aborted by recovery, not here — but the trace must
+			// still close: mark the root failed so the crash is visible on
+			// /tracez instead of leaving a dangling open span.
+			root.Fail("crashed pre-commit")
 			go j.crashAndRecover(node)
 			return ckptStopped
 		}
@@ -291,6 +335,9 @@ func (j *Job) checkpointOnce(st *coordState, attempt int) ckptOutcome {
 		"attempt": attempt, "phase1Us": phase1.Microseconds(),
 		"totalUs": total.Microseconds(),
 	})
+	child("phase1", start, phase1, j.cfg.Name, -1, false)
+	child("phase2", start.Add(phase1), total-phase1, j.cfg.Name, -1, false)
+	root.End()
 	return ckptCommitted
 }
 

@@ -11,6 +11,7 @@ import (
 	"squery/internal/metrics"
 	"squery/internal/partition"
 	"squery/internal/persist"
+	"squery/internal/trace"
 )
 
 // Config configures a job.
@@ -57,6 +58,12 @@ type Config struct {
 	// "checkpoint", and a "checkpoints" event log. Nil disables all of it
 	// (instruments resolve to nil no-ops).
 	Metrics *metrics.Registry
+	// Tracer, when set, records causal spans: head-sampled record lineage
+	// (source→every hop→sink with queue wait vs process time), one trace
+	// per checkpoint 2PC (barrier injection, per-worker alignment and
+	// prepare, phase-1/phase-2), and chaos annotations. Nil disables
+	// tracing (all span operations are no-ops).
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +108,14 @@ type Job struct {
 	ckptIns    ckptInstruments
 
 	liveOffsets sync.Map // offsetKey -> *atomic.Int64, survives restarts
+
+	// ckptTraces maps in-flight (and recently finished) checkpoint ids to
+	// their root span context so workers can attach align/prepare child
+	// spans. Bounded: entries older than the last few ids are pruned, so
+	// stragglers from long-aborted rounds drop their spans instead of
+	// leaking map entries.
+	ckptTraceMu sync.Mutex
+	ckptTraces  map[int64]trace.SpanContext
 
 	// ckptMu serializes CheckpointNow callers: a second concurrent call
 	// gets ErrConcurrentCheckpoint instead of racing the first for acks.
@@ -419,6 +434,47 @@ func (j *Job) stopCoordinatorLocked() {
 }
 
 func (j *Job) waitCoordinator() { j.coordWg.Wait() }
+
+// Running reports whether the job's workers and coordinator are live —
+// false after Stop or mid-crash-recovery. The HTTP health endpoint keys
+// off it.
+func (j *Job) Running() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.running
+}
+
+// noteCkptTrace registers the root span context of checkpoint ssid and
+// prunes contexts more than a few ids old (snapshot ids are monotonic).
+func (j *Job) noteCkptTrace(ssid int64, ctx trace.SpanContext) {
+	j.ckptTraceMu.Lock()
+	defer j.ckptTraceMu.Unlock()
+	if j.ckptTraces == nil {
+		j.ckptTraces = make(map[int64]trace.SpanContext)
+	}
+	j.ckptTraces[ssid] = ctx
+	for id := range j.ckptTraces {
+		if id <= ssid-8 {
+			delete(j.ckptTraces, id)
+		}
+	}
+}
+
+// ckptTraceCtx looks up the trace context of checkpoint ssid.
+func (j *Job) ckptTraceCtx(ssid int64) (trace.SpanContext, bool) {
+	j.ckptTraceMu.Lock()
+	defer j.ckptTraceMu.Unlock()
+	ctx, ok := j.ckptTraces[ssid]
+	return ctx, ok
+}
+
+// trackedCkptTraces reports how many checkpoint trace contexts are
+// currently retained (tests assert the pruning bound holds under chaos).
+func (j *Job) trackedCkptTraces() int {
+	j.ckptTraceMu.Lock()
+	defer j.ckptTraceMu.Unlock()
+	return len(j.ckptTraces)
+}
 
 // liveOffset returns the shared live-offset cell of a source instance;
 // the cell survives restarts so standby failover can resume from it.

@@ -186,6 +186,7 @@ type genSource struct {
 }
 
 func (g *genSource) Next() (Record, SourceStatus) {
+	var due time.Time
 	if g.rate > 0 {
 		if g.started.IsZero() {
 			g.started = time.Now()
@@ -193,7 +194,7 @@ func (g *genSource) Next() (Record, SourceStatus) {
 		// Pace to the configured rate: the seq-th record is due at
 		// started + seq/rate. Report Idle (rather than sleeping) while
 		// it is not due, so barriers keep flowing.
-		due := g.started.Add(time.Duration(float64(g.seq) / g.rate * float64(time.Second)))
+		due = g.started.Add(time.Duration(float64(g.seq) / g.rate * float64(time.Second)))
 		if time.Until(due) > 0 {
 			return Record{}, SourceIdle
 		}
@@ -201,6 +202,13 @@ func (g *genSource) Next() (Record, SourceStatus) {
 	rec, ok := g.gen(g.instance, g.seq)
 	if !ok {
 		return Record{}, SourceDone
+	}
+	// Coordinated-omission safety: latency is measured from the record's
+	// *scheduled* emission time, not from whenever the backpressured
+	// source got around to producing it — a stalled pipeline shows up as
+	// tail latency instead of silently pausing the latency clock.
+	if !due.IsZero() && rec.EventTime.IsZero() {
+		rec.EventTime = due
 	}
 	g.seq++
 	return rec, SourceOK

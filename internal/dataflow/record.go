@@ -12,16 +12,21 @@ import (
 	"time"
 
 	"squery/internal/partition"
+	"squery/internal/trace"
 )
 
 // Record is one data item flowing through a job. Key determines routing on
 // keyed edges and state addressing in stateful operators. EventTime is
 // stamped at the source; sinks subtract it from the wall clock to measure
-// the source→sink latency of the paper's overhead experiments.
+// the source→sink latency of the paper's overhead experiments. Trace is
+// the record's sampled span context (zero for the unsampled majority): it
+// travels with the record so every operator hop can attach a child span to
+// the same end-to-end trace.
 type Record struct {
 	Key       partition.Key
 	Value     any
 	EventTime time.Time
+	Trace     trace.SpanContext
 }
 
 // itemKind tags items on operator input channels: data records, checkpoint
@@ -42,11 +47,14 @@ type producerID struct {
 	instance int
 }
 
-// item is one message on an operator input channel.
+// item is one message on an operator input channel. enq is stamped only
+// for records on a sampled trace: the consuming worker subtracts it from
+// the dequeue time to split queue wait from process time per hop.
 type item struct {
 	kind itemKind
 	rec  Record
 	ssid int64
 	wm   time.Time
 	from producerID
+	enq  time.Time
 }

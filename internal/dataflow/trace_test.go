@@ -1,0 +1,257 @@
+package dataflow
+
+import (
+	"testing"
+	"time"
+
+	"squery/internal/chaos"
+	"squery/internal/trace"
+)
+
+// spansByTrace groups the tracer's retained spans by trace id.
+func spansByTrace(tr *trace.Tracer) map[uint64][]trace.SpanData {
+	out := map[uint64][]trace.SpanData{}
+	for _, d := range tr.Spans() {
+		out[d.TraceID] = append(out[d.TraceID], d)
+	}
+	return out
+}
+
+func findSpan(spans []trace.SpanData, name string) (trace.SpanData, bool) {
+	for _, d := range spans {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return trace.SpanData{}, false
+}
+
+// TestRecordTraceEndToEnd: with 1-in-1 sampling, every record produces one
+// trace whose spans chain source → counter hop → sink hop, each hop
+// parented to the previous stage's span.
+func TestRecordTraceEndToEnd(t *testing.T) {
+	tr := trace.New(trace.Config{SampleEvery: 1, Capacity: 4096})
+	clu := testCluster()
+	job, sink := runCountJob(t, clu, keyedRecords(50, 5), Config{Tracer: tr})
+	job.Wait()
+	defer job.Stop()
+	if sink.Len() != 50 {
+		t.Fatalf("sink saw %d records, want 50", sink.Len())
+	}
+
+	traces := spansByTrace(tr)
+	if len(traces) != 50 {
+		t.Fatalf("%d traces retained, want 50 (one per record)", len(traces))
+	}
+	for id, spans := range traces {
+		if len(spans) != 3 {
+			t.Fatalf("trace %d has %d spans %v, want 3 (source + 2 hops)", id, len(spans), spans)
+		}
+		src, ok := findSpan(spans, "source")
+		if !ok || src.ParentID != 0 || src.Kind != trace.KindRecord || src.Vertex != "src" {
+			t.Fatalf("trace %d: bad source root: %+v", id, spans)
+		}
+		var counterHop, sinkHop trace.SpanData
+		for _, d := range spans {
+			switch {
+			case d.Name == "hop" && d.Vertex == "counter":
+				counterHop = d
+			case d.Name == "hop" && d.Vertex == "sink":
+				sinkHop = d
+			}
+		}
+		if counterHop.SpanID == 0 || sinkHop.SpanID == 0 {
+			t.Fatalf("trace %d missing hop spans: %+v", id, spans)
+		}
+		if counterHop.ParentID != src.SpanID {
+			t.Fatalf("trace %d: counter hop parent = %d, want source span %d", id, counterHop.ParentID, src.SpanID)
+		}
+		if sinkHop.ParentID != counterHop.SpanID {
+			t.Fatalf("trace %d: sink hop parent = %d, want counter hop %d", id, sinkHop.ParentID, counterHop.SpanID)
+		}
+		if counterHop.QueueWait < 0 || sinkHop.QueueWait < 0 {
+			t.Fatalf("trace %d: negative queue wait: %+v", id, spans)
+		}
+	}
+}
+
+// TestRecordTraceSampling: with 1-in-4 sampling only a quarter of the
+// records trace, and unsampled records produce no hop spans at all.
+func TestRecordTraceSampling(t *testing.T) {
+	tr := trace.New(trace.Config{SampleEvery: 4, Capacity: 4096})
+	clu := testCluster()
+	job, _ := runCountJob(t, clu, keyedRecords(200, 10), Config{Tracer: tr})
+	job.Wait()
+	defer job.Stop()
+
+	traces := spansByTrace(tr)
+	if len(traces) != 50 {
+		t.Fatalf("%d traces, want 200/4 = 50", len(traces))
+	}
+	if got := tr.Len(); got != 50*3 {
+		t.Fatalf("%d spans retained, want 150 — unsampled records must not emit hops", got)
+	}
+}
+
+// TestCheckpointTraceStructure: one committed checkpoint is one trace —
+// root span with the snapshot id, a barrier_inject child, an align child
+// per worker instance (counter ×2, sink ×1), a prepare child per stateful
+// instance, and the two 2PC phase children.
+func TestCheckpointTraceStructure(t *testing.T) {
+	tr := trace.New(trace.Config{SampleEvery: 1 << 20, Capacity: 4096}) // record tracing effectively off
+	clu := testCluster()
+	job, release := chaosJob(t, clu, []string{"src"}, 200, Config{Tracer: tr})
+	defer job.Stop()
+
+	waitFor(t, func() bool { return job.SourceMeter().Count() >= 100 }, "first half")
+	if err := job.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	var root trace.SpanData
+	var found bool
+	for _, spans := range spansByTrace(tr) {
+		for _, d := range spans {
+			if d.Name == "checkpoint" && d.ParentID == 0 {
+				root, found = d, true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no checkpoint root span among %d spans", tr.Len())
+	}
+	if root.Kind != trace.KindCheckpoint || root.SSID != 1 || root.Failed {
+		t.Fatalf("bad checkpoint root: %+v", root)
+	}
+	children := map[string]int{}
+	for _, d := range spansByTrace(tr)[root.TraceID] {
+		if d.SpanID == root.SpanID {
+			continue
+		}
+		if d.ParentID != root.SpanID {
+			t.Fatalf("span %+v not parented to checkpoint root %d", d, root.SpanID)
+		}
+		if d.SSID != 1 {
+			t.Fatalf("child span %+v has ssid %d, want 1", d, d.SSID)
+		}
+		children[d.Name]++
+	}
+	// counter has 2 instances, sink 1; only counter instances have state.
+	want := map[string]int{"barrier_inject": 1, "align": 3, "prepare": 2, "phase1": 1, "phase2": 1}
+	for name, n := range want {
+		if children[name] != n {
+			t.Fatalf("checkpoint children = %v, want %v", children, want)
+		}
+	}
+
+	close(release)
+	job.Wait()
+}
+
+// TestAbortedCheckpointTraceFailed: under a dropped ack the first attempt's
+// trace root is marked failed, the retry's trace commits cleanly, every
+// checkpoint trace has a closed root (nothing leaks), and the job's trace
+// context map stays bounded.
+func TestAbortedCheckpointTraceFailed(t *testing.T) {
+	tr := trace.New(trace.Config{SampleEvery: 1 << 20, Capacity: 4096})
+	clu := testCluster()
+	inj := chaos.New(1).Add(chaos.Rule{
+		Kind: chaos.DropAck, SSIDFrom: 1, Vertex: "counter",
+		Instance: chaos.Any, Node: chaos.Any, Partition: chaos.Any, CrashNode: chaos.Any,
+		MaxFires: 1,
+	})
+	job, release := chaosJob(t, clu, []string{"src"}, 200, Config{
+		CheckpointTimeout: 50 * time.Millisecond,
+		CheckpointRetries: 3,
+		CheckpointBackoff: 2 * time.Millisecond,
+		Chaos:             inj,
+		Tracer:            tr,
+	})
+	defer job.Stop()
+
+	waitFor(t, func() bool { return job.SourceMeter().Count() >= 100 }, "first half")
+	if err := job.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	roots := map[int64]trace.SpanData{} // ssid → root
+	ckptTraces := map[uint64]bool{}
+	rootCount := 0
+	for _, d := range tr.Spans() {
+		if d.Kind != trace.KindCheckpoint {
+			continue
+		}
+		ckptTraces[d.TraceID] = true
+		if d.ParentID == 0 {
+			roots[d.SSID] = d
+			rootCount++
+		}
+	}
+	if rootCount != len(ckptTraces) {
+		t.Fatalf("%d checkpoint traces but %d closed roots — an attempt leaked its root span", len(ckptTraces), rootCount)
+	}
+	if r, ok := roots[1]; !ok || !r.Failed {
+		t.Fatalf("aborted attempt's root = %+v, want failed", roots[1])
+	}
+	if r, ok := roots[2]; !ok || r.Failed {
+		t.Fatalf("retry's root = %+v, want committed (not failed)", roots[2])
+	}
+	if got := job.trackedCkptTraces(); got > 8 {
+		t.Fatalf("job tracks %d checkpoint trace contexts, want ≤ 8", got)
+	}
+
+	close(release)
+	job.Wait()
+}
+
+// TestSupersededAlignmentSpan: when a retry's higher barrier supersedes a
+// stuck alignment, the abandoned round's partial wait is closed as a
+// failed align_superseded span on the aborted attempt's trace.
+func TestSupersededAlignmentSpan(t *testing.T) {
+	tr := trace.New(trace.Config{SampleEvery: 1 << 20, Capacity: 4096})
+	clu := testCluster()
+	inj := chaos.New(1).Add(chaos.Rule{
+		Kind: chaos.DropBarrier, SSIDFrom: 1, Vertex: "srcB",
+		Instance: chaos.Any, Node: chaos.Any, Partition: chaos.Any, CrashNode: chaos.Any,
+		MaxFires: 1,
+	})
+	job, release := chaosJob(t, clu, []string{"srcA", "srcB"}, 200, Config{
+		CheckpointTimeout: 50 * time.Millisecond,
+		CheckpointRetries: 3,
+		CheckpointBackoff: 2 * time.Millisecond,
+		Chaos:             inj,
+		Tracer:            tr,
+	})
+	defer job.Stop()
+
+	waitFor(t, func() bool { return job.SourceMeter().Count() >= 200 }, "both halves before the gate")
+	if err := job.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	var aborted trace.SpanData
+	for _, d := range tr.Spans() {
+		if d.Name == "checkpoint" && d.SSID == 1 {
+			aborted = d
+		}
+	}
+	if aborted.SpanID == 0 || !aborted.Failed {
+		t.Fatalf("aborted root = %+v, want failed checkpoint ssid=1", aborted)
+	}
+	superseded := 0
+	for _, d := range tr.Spans() {
+		if d.Name != "align_superseded" {
+			continue
+		}
+		superseded++
+		if d.TraceID != aborted.TraceID || !d.Failed || d.SSID != 1 {
+			t.Fatalf("align_superseded span %+v not attached to aborted trace %d", d, aborted.TraceID)
+		}
+	}
+	if superseded == 0 {
+		t.Fatal("no align_superseded span recorded for the stuck alignment")
+	}
+
+	close(release)
+	job.Wait()
+}

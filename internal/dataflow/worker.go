@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"squery/internal/core"
+	"squery/internal/trace"
 )
 
 // edgeOut is the output side of one edge for one upstream instance.
@@ -50,6 +51,11 @@ type worker struct {
 	// the operator's combined (minimum) watermark.
 	wmFrom map[producerID]time.Time
 	curWM  time.Time
+
+	// curTrace is the hop span of the traced record currently being
+	// processed; emit stamps it onto outgoing records so the next hop
+	// parents to this one. Only this worker's goroutine touches it.
+	curTrace trace.SpanContext
 }
 
 func (w *worker) run() {
@@ -83,7 +89,23 @@ func (w *worker) handle(it item) bool {
 	switch it.kind {
 	case kindRecord:
 		w.ins.recordsIn.Inc()
+		tr := w.job.cfg.Tracer
+		if tr == nil || !it.rec.Trace.Valid() {
+			w.proc.Process(it.rec, w.emit)
+			break
+		}
+		// Traced record: one hop span per operator instance. Queue wait
+		// (enqueue→dequeue, including any alignment stall while stashed)
+		// is recorded separately from process time.
+		sp := tr.StartChild(it.rec.Trace, "hop", trace.KindRecord)
+		sp.SetVertex(w.vertex, w.instance)
+		if !it.enq.IsZero() {
+			sp.SetQueueWait(time.Since(it.enq))
+		}
+		w.curTrace = sp.Context()
 		w.proc.Process(it.rec, w.emit)
+		w.curTrace = trace.SpanContext{}
+		sp.End()
 	case kindBarrier:
 		if it.ssid <= w.lastCkpt {
 			// Duplicate or stale barrier — from an aborted checkpoint that
@@ -94,7 +116,10 @@ func (w *worker) handle(it item) bool {
 			// A higher barrier supersedes an in-flight alignment: the
 			// coordinator aborted the old checkpoint (phase-1 deadline) and
 			// retried under a fresh id. Release the old round's stash and
-			// restart alignment — no extra control messages needed.
+			// restart alignment — no extra control messages needed. The
+			// abandoned round's partial wait is still closed as a failed
+			// span so the aborted trace accounts for it.
+			w.emitCkptSpan("align_superseded", w.curSSID, w.barrierStart, true)
 			if done := w.resetAlignment(); done {
 				return true
 			}
@@ -188,15 +213,42 @@ func (w *worker) alignmentComplete() bool {
 func (w *worker) completeCheckpoint() bool {
 	w.ins.barrierWait.Record(time.Since(w.barrierStart))
 	w.ins.checkpoints.Inc()
+	// Per-worker alignment wait as a child of the checkpoint trace: the
+	// stall Figure 3's top channel pays at the marker, per instance.
+	w.emitCkptSpan("align", w.curSSID, w.barrierStart, false)
 	if w.backend != nil {
+		prepStart := time.Now()
 		if _, err := w.backend.SnapshotPrepare(w.curSSID); err != nil {
 			panic("dataflow: snapshot prepare failed: " + err.Error())
 		}
+		// State serialization (phase-1 prepare work) per instance.
+		w.emitCkptSpan("prepare", w.curSSID, prepStart, false)
 	}
 	w.job.sendAck(ack{vertex: w.vertex, instance: w.instance, ssid: w.curSSID, offset: -1}, w.node)
 	w.broadcast(item{kind: kindBarrier, ssid: w.curSSID})
 	w.lastCkpt = w.curSSID
 	return w.resetAlignment()
+}
+
+// emitCkptSpan attaches a completed child span for this instance to the
+// coordinator's trace for ssid. A no-op when tracing is off or the trace
+// is no longer tracked (the checkpoint aborted long ago and its context
+// was pruned) — late spans are dropped, never leaked.
+func (w *worker) emitCkptSpan(name string, ssid int64, start time.Time, failed bool) {
+	tr := w.job.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	ctx, ok := w.job.ckptTraceCtx(ssid)
+	if !ok {
+		return
+	}
+	tr.Emit(trace.SpanData{
+		TraceID: ctx.TraceID, SpanID: tr.NewID(), ParentID: ctx.SpanID,
+		Name: name, Kind: trace.KindCheckpoint,
+		Vertex: w.vertex, Instance: w.instance, SSID: ssid,
+		Start: start, Dur: time.Since(start), Failed: failed,
+	})
 }
 
 // resetAlignment clears the alignment state and replays the stashed items
@@ -226,9 +278,14 @@ func (w *worker) finish() {
 	w.broadcast(item{kind: kindEOS})
 }
 
-// emit routes one record over every out edge.
+// emit routes one record over every out edge. Records produced while a
+// traced record is being processed inherit its hop span as parent, so the
+// trace follows derived records downstream.
 func (w *worker) emit(rec Record) {
 	w.ins.recordsOut.Inc()
+	if w.curTrace.Valid() {
+		rec.Trace = w.curTrace
+	}
 	for _, o := range w.outs {
 		var t int
 		switch o.kind {
@@ -240,7 +297,11 @@ func (w *worker) emit(rec Record) {
 			t = o.rr
 			o.rr = (o.rr + 1) % len(o.targets)
 		}
-		w.send(o.targets[t], item{kind: kindRecord, rec: rec, from: o.prod})
+		it := item{kind: kindRecord, rec: rec, from: o.prod}
+		if rec.Trace.Valid() {
+			it.enq = time.Now()
+		}
+		w.send(o.targets[t], it)
 	}
 }
 
@@ -322,6 +383,13 @@ func (s *sourceWorker) run() {
 				if rec.EventTime.IsZero() {
 					rec.EventTime = time.Now()
 				}
+				// Head sampling: 1-in-N records start a trace here; the
+				// decision rides in rec.Trace so every downstream hop of a
+				// sampled record traces, and no hop of an unsampled one does.
+				if sp := s.job.cfg.Tracer.SampleRecordTrace("source", s.vertex, s.instance); sp != nil {
+					rec.Trace = sp.Context()
+					sp.End()
+				}
 				s.emit(rec)
 				s.offset.Store(s.src.Offset())
 				s.job.sourceOut.Inc()
@@ -378,7 +446,11 @@ func (s *sourceWorker) emit(rec Record) {
 			t = o.rr
 			o.rr = (o.rr + 1) % len(o.targets)
 		}
-		s.send(o.targets[t], item{kind: kindRecord, rec: rec, from: o.prod})
+		it := item{kind: kindRecord, rec: rec, from: o.prod}
+		if rec.Trace.Valid() {
+			it.enq = time.Now()
+		}
+		s.send(o.targets[t], it)
 	}
 }
 

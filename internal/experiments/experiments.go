@@ -242,6 +242,13 @@ func runQCommerce(o Options, nodes, keys int, state core.Config, queryThreads in
 		}()
 	}
 	time.Sleep(measure)
+	// On a loaded host (notably under the race detector) a single 2PC
+	// round can outlast the whole measure window; keep measuring until at
+	// least one sample lands so the histograms are never empty.
+	sampleDeadline := time.Now().Add(30 * time.Second)
+	for job.SnapshotTotal().Count() == 0 && time.Now().Before(sampleDeadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
 	close(stop)
 	for i := 0; i < queryThreads; i++ {
 		<-done

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"time"
+
+	"squery/internal/cluster"
+	"squery/internal/core"
+	"squery/internal/dataflow"
+	"squery/internal/metrics"
+	"squery/internal/trace"
+)
+
+// Obs measures the source→sink latency cost of span tracing on a keyed
+// counting pipeline at a fixed offered rate: tracing disabled (the
+// baseline), the default 1-in-256 head sampling, and the worst case of
+// tracing every record. The latency clock is coordinated-omission-safe
+// (GeneratorSource stamps each record's scheduled emission time), so any
+// tracing-induced stall surfaces as tail latency. The acceptance bar in
+// EXPERIMENTS.md is ≤5% added latency at the default sampling rate.
+func Obs(o Options) []Series {
+	rate := fig89Rate(o)
+	configs := []struct {
+		label       string
+		sampleEvery int // 0 = tracing off
+	}{
+		{"tracing off", 0},
+		{"tracing 1-in-256", 256},
+		{"tracing every record", 1},
+	}
+	out := make([]Series, 0, len(configs))
+	for _, c := range configs {
+		var tr *trace.Tracer
+		if c.sampleEvery > 0 {
+			tr = trace.New(trace.Config{SampleEvery: c.sampleEvery, Capacity: 1 << 14})
+		}
+		out = append(out, Series{Label: c.label, Summary: runObsWorkload(o, rate, tr)})
+	}
+	return out
+}
+
+// runObsWorkload runs source → keyed count → latency sink for
+// warmup+measure with the given tracer (nil = tracing off) and returns
+// the measured latency distribution.
+func runObsWorkload(o Options, rate float64, tr *trace.Tracer) metrics.Summary {
+	clu := cluster.New(cluster.Config{Nodes: 3})
+	hist := metrics.NewHistogram()
+	src := dataflow.GeneratorSource("src", 3, rate, func(instance int, seq int64) (dataflow.Record, bool) {
+		return dataflow.Record{Key: int(seq % 1000), Value: 1}, true
+	})
+	dag := dataflow.NewDAG().
+		AddVertex(src).
+		AddVertex(dataflow.StatefulMapVertex("obscount", 6, func(state any, rec dataflow.Record) (any, []dataflow.Record) {
+			n := 0
+			if state != nil {
+				n = state.(int)
+			}
+			return n + 1, []dataflow.Record{rec}
+		})).
+		AddVertex(dataflow.LatencySinkVertex("sink", 6, hist)).
+		Connect("src", "obscount", dataflow.EdgePartitioned).
+		Connect("obscount", "sink", dataflow.EdgePartitioned)
+	job, err := dataflow.Run(dag, dataflow.Config{
+		Name:             "obs",
+		Cluster:          clu,
+		State:            core.Config{Snapshots: true},
+		SnapshotInterval: o.interval(),
+		Tracer:           tr,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer job.Stop()
+
+	time.Sleep(o.warmup())
+	hist.Reset()
+	time.Sleep(o.measure())
+	return hist.Snapshot()
+}

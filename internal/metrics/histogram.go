@@ -171,9 +171,18 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.max
 }
 
+// Sum returns the running sum of all observations (Prometheus' summary
+// `_sum` series).
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
 // PaperPercentiles is the percentile set plotted on the paper's inverted
-// log-scale x-axis (Figures 8–13).
-var PaperPercentiles = []float64{0, 0.50, 0.90, 0.99, 0.999, 0.9999}
+// log-scale x-axis (Figures 8–13), plus p95 for the Prometheus summary
+// convention.
+var PaperPercentiles = []float64{0, 0.50, 0.90, 0.95, 0.99, 0.999, 0.9999}
 
 // Snapshot returns a point-in-time copy of the histogram's summary at the
 // paper's percentile set.
@@ -181,6 +190,7 @@ func (h *Histogram) Snapshot() Summary {
 	s := Summary{
 		Count:     h.Count(),
 		Mean:      h.Mean(),
+		Sum:       h.Sum(),
 		Quantiles: make(map[float64]time.Duration, len(PaperPercentiles)),
 	}
 	for _, q := range PaperPercentiles {
@@ -231,6 +241,7 @@ func (h *Histogram) Reset() {
 type Summary struct {
 	Count     uint64
 	Mean      time.Duration
+	Sum       time.Duration
 	Quantiles map[float64]time.Duration
 }
 

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition grammar, as much of it as we emit: metric
+// names, optional {label="value",...} set, a float value, an optional
+// timestamp.
+var (
+	promNameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)( [0-9]+)?$`)
+	promLabelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="((?:[^"\\]|\\.)*)"$`)
+)
+
+// ValidatePrometheusText checks that text parses as Prometheus text
+// exposition format (version 0.0.4): every sample line is well-formed,
+// every sample's family has a preceding # TYPE declaration of a known
+// type, counter samples end in _total, and values parse as floats. CI's
+// obs-plane smoke test runs scraped /metrics output through it.
+func ValidatePrometheusText(text string) error {
+	types := map[string]string{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE comment %q", ln+1, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !promNameRe.MatchString(name) {
+					return fmt.Errorf("line %d: bad family name %q", ln+1, name)
+				}
+				switch typ {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", ln+1, typ)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", ln+1, name)
+				}
+				types[name] = typ
+			}
+			continue // HELP and free comments are unconstrained
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", ln+1, line)
+		}
+		name, labels, value := m[1], m[3], m[4]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			if value != "NaN" && value != "+Inf" && value != "-Inf" {
+				return fmt.Errorf("line %d: bad value %q", ln+1, value)
+			}
+		}
+		if labels != "" {
+			for _, lv := range splitPromLabels(labels) {
+				if !promLabelRe.MatchString(lv) {
+					return fmt.Errorf("line %d: bad label pair %q", ln+1, lv)
+				}
+			}
+		}
+		fam, typ := promFamily(name, types)
+		if typ == "" {
+			return fmt.Errorf("line %d: sample %q has no TYPE declaration", ln+1, name)
+		}
+		if typ == "counter" && fam == name && !strings.HasSuffix(name, "_total") {
+			return fmt.Errorf("line %d: counter %q does not end in _total", ln+1, name)
+		}
+	}
+	return nil
+}
+
+// promFamily resolves a sample name to its declared family, accepting the
+// summary/histogram child suffixes.
+func promFamily(name string, types map[string]string) (string, string) {
+	if t, ok := types[name]; ok {
+		return name, t
+	}
+	for _, suf := range []string{"_sum", "_count", "_bucket"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		if t, ok := types[base]; ok && (t == "summary" || t == "histogram") {
+			return base, t
+		}
+	}
+	return "", ""
+}
+
+// splitPromLabels splits a label body on commas outside quoted values.
+func splitPromLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusText renders every instrument in the registry as Prometheus
+// text exposition format (the /metrics wire format external scrapers
+// consume). The mapping follows Prometheus conventions:
+//
+//   - counter ("sub", "id", "metric") → squery_sub_metric_total{id="id"}
+//   - gauge                           → squery_sub_metric{id="id"}
+//   - histogram → a summary family squery_sub_metric_seconds with
+//     quantile-labelled series from Histogram.Quantile plus _sum and
+//     _count, all in seconds.
+//
+// Families are emitted sorted by name, each under a single # TYPE line;
+// series within a family keep the registry's deterministic (sorted-key)
+// order. A nil registry renders as the empty exposition.
+func (r *Registry) PrometheusText() string {
+	type family struct {
+		typ   string
+		lines []string
+	}
+	fams := map[string]*family{}
+	add := func(name, typ, line string) {
+		f := fams[name]
+		if f == nil {
+			f = &family{typ: typ}
+			fams[name] = f
+		}
+		f.lines = append(f.lines, line)
+	}
+	for _, p := range r.Points() {
+		base := "squery_" + promName(p.Key.Subsystem) + "_" + promName(p.Key.Metric)
+		label := `{id="` + promLabel(p.Key.ID) + `"}`
+		switch p.Kind {
+		case "counter":
+			name := base + "_total"
+			add(name, "counter", fmt.Sprintf("%s%s %d", name, label, p.Value))
+		case "gauge":
+			add(base, "gauge", fmt.Sprintf("%s%s %d", base, label, p.Value))
+		case "histogram":
+			name := base + "_seconds"
+			s := p.Summary
+			qs := make([]float64, 0, len(s.Quantiles))
+			for q := range s.Quantiles {
+				if q > 0 { // p0 (the minimum) has no summary-quantile analogue
+					qs = append(qs, q)
+				}
+			}
+			sort.Float64s(qs)
+			for _, q := range qs {
+				add(name, "summary", fmt.Sprintf(`%s{id="%s",quantile="%s"} %s`,
+					name, promLabel(p.Key.ID), strconv.FormatFloat(q, 'g', -1, 64),
+					promFloat(s.Quantiles[q].Seconds())))
+			}
+			add(name, "summary", fmt.Sprintf("%s_sum%s %s", name, label, promFloat(s.Sum.Seconds())))
+			add(name, "summary", fmt.Sprintf("%s_count%s %d", name, label, s.Count))
+		}
+	}
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "# TYPE %s %s\n", n, fams[n].typ)
+		for _, l := range fams[n].lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// promName maps an internal subsystem/metric name onto the Prometheus
+// metric-name alphabet [a-zA-Z0-9_]; anything else becomes '_'.
+func promName(s string) string {
+	var b strings.Builder
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func promLabel(s string) string {
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float sample value ('g' keeps it compact and the
+// exposition parser accepts scientific notation).
+func promFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

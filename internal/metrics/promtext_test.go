@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPrometheusTextRendersAllKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("checkpoint", "job", "commits").Add(3)
+	r.Gauge("operator", "map/0", "node").Set(2)
+	h := r.Histogram("checkpoint", "job", "phase1")
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	out := r.PrometheusText()
+
+	if err := ValidatePrometheusText(out); err != nil {
+		t.Fatalf("output does not validate: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE squery_checkpoint_commits_total counter",
+		`squery_checkpoint_commits_total{id="job"} 3`,
+		"# TYPE squery_operator_node gauge",
+		`squery_operator_node{id="map/0"} 2`,
+		"# TYPE squery_checkpoint_phase1_seconds summary",
+		`squery_checkpoint_phase1_seconds{id="job",quantile="0.5"}`,
+		`squery_checkpoint_phase1_seconds{id="job",quantile="0.99"}`,
+		`squery_checkpoint_phase1_seconds_count{id="job"} 100`,
+		`squery_checkpoint_phase1_seconds_sum{id="job"} 5.05`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family, even with multiple ids.
+	r.Counter("checkpoint", "job2", "commits").Inc()
+	out = r.PrometheusText()
+	if got := strings.Count(out, "# TYPE squery_checkpoint_commits_total counter"); got != 1 {
+		t.Fatalf("TYPE line appears %d times, want 1", got)
+	}
+	if err := ValidatePrometheusText(out); err != nil {
+		t.Fatalf("two-id output does not validate: %v", err)
+	}
+}
+
+func TestPrometheusTextEscapesAndSanitizes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sub-sys", `we"ird\id`+"\n", "hits").Inc()
+	out := r.PrometheusText()
+	if err := ValidatePrometheusText(out); err != nil {
+		t.Fatalf("escaped output does not validate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "squery_sub_sys_hits_total") {
+		t.Fatalf("subsystem not sanitized:\n%s", out)
+	}
+	if !strings.Contains(out, `id="we\"ird\\id\n"`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+}
+
+func TestPrometheusTextNilRegistry(t *testing.T) {
+	var r *Registry
+	if out := r.PrometheusText(); out != "" {
+		t.Fatalf("nil registry rendered %q", out)
+	}
+	if err := ValidatePrometheusText(""); err != nil {
+		t.Fatalf("empty exposition invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"no_type_declared 1",
+		"# TYPE x counter\nx 1",                         // counter without _total
+		"# TYPE y_total counter\ny_total{open 1",        // broken label block
+		"# TYPE z gauge\nz notafloat",                   // bad value
+		"# TYPE w gauge\n# TYPE w counter\nw_total 1",   // duplicate TYPE
+		"# TYPE v summary\nv{quantile=\"0.5\"} 1\nvx 2", // undeclared family
+	}
+	for _, text := range bad {
+		if err := ValidatePrometheusText(text); err == nil {
+			t.Fatalf("accepted malformed exposition:\n%s", text)
+		}
+	}
+}
+
+// TestHistogramQuantileTailSet pins the satellite contract: p50/p95/p99/
+// p999 all come from the log-bucket quantile estimator and are ordered.
+func TestHistogramQuantileTailSet(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 10_000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	p50 := h.Quantile(0.50)
+	p95 := h.Quantile(0.95)
+	p99 := h.Quantile(0.99)
+	p999 := h.Quantile(0.999)
+	if !(p50 < p95 && p95 < p99 && p99 < p999) {
+		t.Fatalf("quantiles not ordered: p50=%s p95=%s p99=%s p999=%s", p50, p95, p99, p999)
+	}
+	// The log buckets guarantee ~1.6%% relative error; allow 5%%.
+	within := func(got time.Duration, want time.Duration) bool {
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return float64(diff) <= 0.05*float64(want)
+	}
+	if !within(p95, 9500*time.Microsecond) || !within(p999, 9990*time.Microsecond) {
+		t.Fatalf("tail quantiles off: p95=%s p999=%s", p95, p999)
+	}
+	s := h.Snapshot()
+	if _, ok := s.Quantiles[0.95]; !ok {
+		t.Fatalf("snapshot missing p95: %v", s.Quantiles)
+	}
+	if s.Sum != h.Sum() || s.Sum == 0 {
+		t.Fatalf("snapshot sum %s vs %s", s.Sum, h.Sum())
+	}
+}

@@ -1,0 +1,207 @@
+// Package obshttp is the engine's HTTP observability plane: a single
+// handler exposing Prometheus metrics, a slowest-first trace inspector,
+// liveness/readiness probes and the Go pprof profiles. The package
+// depends only on the metrics and trace instrument types — the engine
+// (or any harness) passes its instruments in via Options, so cmd
+// binaries can serve the plane without an import cycle through the root
+// package.
+//
+//	srv, addr, _ := obshttp.Serve("127.0.0.1:0", obshttp.Options{
+//		Metrics: eng.Metrics(),
+//		Tracer:  eng.Tracer(),
+//		Health:  eng.Health,
+//		Ready:   eng.Ready,
+//	})
+//	defer srv.Close()
+//	// curl http://$addr/metrics | promtool check metrics
+//	// curl http://$addr/tracez?limit=10
+package obshttp
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"time"
+
+	"squery/internal/metrics"
+	"squery/internal/trace"
+)
+
+// Options wires the plane to a running engine. Every field is optional:
+// a nil Metrics serves an empty exposition, a nil Tracer an empty trace
+// list, and a nil Health/Ready probe reports healthy.
+type Options struct {
+	// Metrics backs GET /metrics (Prometheus text exposition format).
+	Metrics *metrics.Registry
+	// Tracer backs GET /tracez (completed traces, slowest first).
+	Tracer *trace.Tracer
+	// Health backs GET /healthz: nil → 200, error → 503 with the message.
+	Health func() error
+	// Ready backs GET /readyz the same way.
+	Ready func() error
+}
+
+// Handler returns the observability mux: /metrics, /tracez, /healthz,
+// /readyz and /debug/pprof/*.
+func Handler(o Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, o.Metrics.PrometheusText())
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		limit := 50
+		if s := r.URL.Query().Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				limit = n
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeTracez(w, o.Tracer, limit, r.URL.Query().Get("kind"))
+	})
+	probe := func(check func() error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if check != nil {
+				if err := check(); err != nil {
+					http.Error(w, err.Error(), http.StatusServiceUnavailable)
+					return
+				}
+			}
+			fmt.Fprintln(w, "ok")
+		}
+	}
+	mux.HandleFunc("/healthz", probe(o.Health))
+	mux.HandleFunc("/readyz", probe(o.Ready))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (use port 0 for an ephemeral port), serves Handler(o)
+// on it in a background goroutine, and returns the server plus the bound
+// address. Close the returned server to stop.
+func Serve(addr string, o Options) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(o)}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return srv, ln.Addr(), nil
+}
+
+// traceView is one assembled trace: its retained spans and the envelope
+// [start, end) they cover.
+type traceView struct {
+	id     uint64
+	root   *trace.SpanData
+	first  trace.SpanData
+	spans  []trace.SpanData
+	start  time.Time
+	end    time.Time
+	failed bool
+}
+
+func (t *traceView) dur() time.Duration { return t.end.Sub(t.start) }
+
+func (t *traceView) head() trace.SpanData {
+	if t.root != nil {
+		return *t.root
+	}
+	return t.first
+}
+
+// writeTracez renders up to limit traces, slowest first, each with its
+// spans indented beneath it ordered by start time. kind, when non-empty,
+// keeps only traces whose head span has that kind.
+func writeTracez(w http.ResponseWriter, tr *trace.Tracer, limit int, kind string) {
+	byTrace := map[uint64]*traceView{}
+	for _, d := range tr.Spans() {
+		v := byTrace[d.TraceID]
+		if v == nil {
+			v = &traceView{id: d.TraceID, first: d, start: d.Start, end: d.Start.Add(d.Dur)}
+			byTrace[d.TraceID] = v
+		}
+		v.spans = append(v.spans, d)
+		if d.Start.Before(v.start) {
+			v.start = d.Start
+			v.first = d
+		}
+		if end := d.Start.Add(d.Dur); end.After(v.end) {
+			v.end = end
+		}
+		if d.Failed {
+			v.failed = true
+		}
+		if d.ParentID == 0 {
+			root := d
+			v.root = &root
+		}
+	}
+	views := make([]*traceView, 0, len(byTrace))
+	for _, v := range byTrace {
+		if kind != "" && v.head().Kind != kind {
+			continue
+		}
+		views = append(views, v)
+	}
+	sort.Slice(views, func(i, j int) bool {
+		if views[i].dur() != views[j].dur() {
+			return views[i].dur() > views[j].dur()
+		}
+		return views[i].id < views[j].id // stable tiebreak
+	})
+	fmt.Fprintf(w, "tracez: %d traces retained", len(views))
+	if kind != "" {
+		fmt.Fprintf(w, " (kind=%s)", kind)
+	}
+	fmt.Fprintln(w, ", slowest first")
+	if len(views) > limit {
+		views = views[:limit]
+	}
+	for _, v := range views {
+		head := v.head()
+		status := "ok"
+		if v.failed {
+			status = "FAILED"
+		}
+		fmt.Fprintf(w, "\ntrace %d %s kind=%s spans=%d dur=%s %s",
+			v.id, head.Name, head.Kind, len(v.spans), v.dur(), status)
+		if head.SSID != 0 {
+			fmt.Fprintf(w, " ssid=%d", head.SSID)
+		}
+		fmt.Fprintln(w)
+		sort.Slice(v.spans, func(i, j int) bool {
+			if !v.spans[i].Start.Equal(v.spans[j].Start) {
+				return v.spans[i].Start.Before(v.spans[j].Start)
+			}
+			return v.spans[i].SpanID < v.spans[j].SpanID
+		})
+		for _, d := range v.spans {
+			loc := d.Vertex
+			if d.Instance >= 0 {
+				loc = fmt.Sprintf("%s/%d", d.Vertex, d.Instance)
+			}
+			fmt.Fprintf(w, "  span %d parent=%d %-16s %-12s dur=%s", d.SpanID, d.ParentID, d.Name, loc, d.Dur)
+			if d.QueueWait > 0 {
+				fmt.Fprintf(w, " queue=%s", d.QueueWait)
+			}
+			if d.SSID != 0 {
+				fmt.Fprintf(w, " ssid=%d", d.SSID)
+			}
+			if d.Failed {
+				fmt.Fprint(w, " FAILED")
+			}
+			if d.Note != "" {
+				fmt.Fprintf(w, " (%s)", d.Note)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package obshttp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"squery/internal/metrics"
+	"squery/internal/trace"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestMetricsEndpointServesValidPrometheus(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("checkpoint", "job", "commits").Add(7)
+	reg.Histogram("sql", "q", "latency").Record(3 * time.Millisecond)
+	h := Handler(Options{Metrics: reg})
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content-type %q", ct)
+	}
+	body := rec.Body.String()
+	if err := metrics.ValidatePrometheusText(body); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	if !strings.Contains(body, `squery_checkpoint_commits_total{id="job"} 7`) {
+		t.Fatalf("missing counter:\n%s", body)
+	}
+}
+
+func TestMetricsEndpointNilRegistry(t *testing.T) {
+	code, body := get(t, Handler(Options{}), "/metrics")
+	if code != http.StatusOK || body != "" {
+		t.Fatalf("nil registry: status %d body %q", code, body)
+	}
+}
+
+// emitTrace records a root span plus one child with a fixed duration.
+func emitTrace(tr *trace.Tracer, name, kind string, ssid int64, dur time.Duration, failed bool) uint64 {
+	root := tr.NewID()
+	start := time.Now().Add(-dur)
+	tr.Emit(trace.SpanData{
+		TraceID: root, SpanID: root, Name: name, Kind: kind,
+		SSID: ssid, Start: start, Dur: dur, Failed: failed, Instance: -1,
+	})
+	tr.Emit(trace.SpanData{
+		TraceID: root, SpanID: tr.NewID(), ParentID: root, Name: name + "_child",
+		Kind: kind, SSID: ssid, Start: start, Dur: dur / 2, Instance: 0, Vertex: "v",
+	})
+	return root
+}
+
+func TestTracezSlowestFirstAndFilters(t *testing.T) {
+	tr := trace.New(trace.Config{Capacity: 128})
+	fast := emitTrace(tr, "checkpoint", trace.KindCheckpoint, 3, 10*time.Millisecond, false)
+	slow := emitTrace(tr, "query", trace.KindQuery, 0, 50*time.Millisecond, true)
+	h := Handler(Options{Tracer: tr})
+
+	code, body := get(t, h, "/tracez")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	slowLine := fmt.Sprintf("trace %d query", slow)
+	fastLine := fmt.Sprintf("trace %d checkpoint", fast)
+	si, fi := strings.Index(body, slowLine), strings.Index(body, fastLine)
+	if si < 0 || fi < 0 || si > fi {
+		t.Fatalf("slowest-first violated (slow@%d fast@%d):\n%s", si, fi, body)
+	}
+	if !strings.Contains(body, "FAILED") {
+		t.Fatalf("failed trace not flagged:\n%s", body)
+	}
+	if !strings.Contains(body, "ssid=3") {
+		t.Fatalf("checkpoint ssid missing:\n%s", body)
+	}
+
+	_, filtered := get(t, h, "/tracez?kind=checkpoint")
+	if strings.Contains(filtered, slowLine) || !strings.Contains(filtered, fastLine) {
+		t.Fatalf("kind filter broken:\n%s", filtered)
+	}
+
+	_, limited := get(t, h, "/tracez?limit=1")
+	if strings.Contains(limited, fastLine) || !strings.Contains(limited, slowLine) {
+		t.Fatalf("limit must keep only the slowest trace:\n%s", limited)
+	}
+}
+
+func TestTracezNilTracer(t *testing.T) {
+	code, body := get(t, Handler(Options{}), "/tracez")
+	if code != http.StatusOK || !strings.Contains(body, "0 traces") {
+		t.Fatalf("nil tracer: status %d body %q", code, body)
+	}
+}
+
+func TestProbesFlip(t *testing.T) {
+	healthy := true
+	h := Handler(Options{
+		Health: func() error {
+			if !healthy {
+				return errors.New("job \"x\" is not running")
+			}
+			return nil
+		},
+		Ready: func() error { return errors.New("no committed snapshot yet") },
+	})
+	if code, body := get(t, h, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthy probe: %d %q", code, body)
+	}
+	healthy = false
+	if code, body := get(t, h, "/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "not running") {
+		t.Fatalf("unhealthy probe: %d %q", code, body)
+	}
+	if code, body := get(t, h, "/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "snapshot") {
+		t.Fatalf("readyz: %d %q", code, body)
+	}
+	// Nil probes report healthy.
+	if code, _ := get(t, Handler(Options{}), "/readyz"); code != http.StatusOK {
+		t.Fatalf("nil probe status %d", code)
+	}
+}
+
+func TestPprofWired(t *testing.T) {
+	code, body := get(t, Handler(Options{}), "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: %d", code)
+	}
+	if code, _ := get(t, Handler(Options{}), "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("pprof cmdline: %d", code)
+	}
+}
+
+func TestServeOverTCP(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Gauge("operator", "map/0", "node").Set(1)
+	srv, addr, err := Serve("127.0.0.1:0", Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "squery_operator_node") {
+		t.Fatalf("serve: %d %s", resp.StatusCode, body)
+	}
+}

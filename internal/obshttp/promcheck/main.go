@@ -1,0 +1,39 @@
+// Command promcheck validates a scraped /metrics body against the strict
+// Prometheus text-exposition validator used by the metrics tests. CI's
+// obs-smoke job pipes the live endpoint through it:
+//
+//	curl -fsS http://127.0.0.1:8080/metrics > metrics.prom
+//	go run ./internal/obshttp/promcheck metrics.prom
+//
+// It exits non-zero (printing the first violation) on malformed output.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"squery/internal/metrics"
+)
+
+func main() {
+	var (
+		body []byte
+		err  error
+	)
+	switch {
+	case len(os.Args) == 2 && os.Args[1] != "-":
+		body, err = os.ReadFile(os.Args[1])
+	default:
+		body, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(2)
+	}
+	if err := metrics.ValidatePrometheusText(string(body)); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck: invalid exposition:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: ok (%d bytes)\n", len(body))
+}

@@ -21,6 +21,8 @@ import (
 
 	"squery"
 	"squery/internal/chaos"
+	"squery/internal/obshttp"
+	"squery/internal/trace"
 )
 
 // Config tunes one chaos soak run.
@@ -42,6 +44,9 @@ type Config struct {
 	// Deadline bounds how long the chaos run may take to converge to the
 	// oracle counts (default 30s).
 	Deadline time.Duration
+	// ObsAddr, when set, serves the HTTP observability plane over the
+	// chaos run's engine on this address for the duration of the run.
+	ObsAddr string
 	// Logf, when set, receives progress lines (e.g. testing.T.Logf).
 	Logf func(format string, args ...any)
 }
@@ -92,6 +97,13 @@ type Report struct {
 	// exactly-once verdict.
 	Counts, Oracle map[int]int64
 	Match          bool
+	// Spans is the number of completed spans the chaos run's tracer
+	// retained; ChaosSpans of those are fault-injection annotations, and
+	// FailedCkptTraces counts distinct checkpoint traces containing a
+	// failed span (aborted or superseded attempts). The soak runs with
+	// aggressive sampling (1-in-16) so a run that fires faults without
+	// recording any spans indicates broken tracing, not a quiet run.
+	Spans, ChaosSpans, FailedCkptTraces int64
 }
 
 // Run executes the oracle run, re-derives and checks the fault schedule,
@@ -118,22 +130,26 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("soak: chaos run: %w", err)
 	}
 	return &Report{
-		Schedule:  inj.Schedule(),
-		Events:    inj.Events(),
-		Aborts:    st.aborts,
-		Snapshots: st.snapshots,
-		Queries:   st.queries,
-		Degraded:  st.degraded,
-		Counts:    st.counts,
-		Oracle:    oracle.counts,
-		Match:     equalCounts(st.counts, oracle.counts),
+		Schedule:         inj.Schedule(),
+		Events:           inj.Events(),
+		Aborts:           st.aborts,
+		Snapshots:        st.snapshots,
+		Queries:          st.queries,
+		Degraded:         st.degraded,
+		Counts:           st.counts,
+		Oracle:           oracle.counts,
+		Match:            equalCounts(st.counts, oracle.counts),
+		Spans:            st.spans,
+		ChaosSpans:       st.chaosSpans,
+		FailedCkptTraces: st.failedCkpts,
 	}, nil
 }
 
 type runStats struct {
-	counts            map[int]int64
-	aborts, snapshots int64
-	queries, degraded int64
+	counts                         map[int]int64
+	aborts, snapshots              int64
+	queries, degraded              int64
+	spans, chaosSpans, failedCkpts int64
 }
 
 // runWorkload runs the counting workload once. With inj == nil it is the
@@ -142,7 +158,16 @@ type runStats struct {
 // schedule, polled until the live counts converge to target (or Deadline
 // passes — loss never converges, duplication overshoots and stays wrong).
 func runWorkload(cfg Config, inj *chaos.Injector, target map[int]int64) (*runStats, error) {
-	eng := squery.New(squery.Config{Nodes: cfg.Nodes, Partitions: cfg.Partitions, ReplicateState: true})
+	// Aggressive trace sampling (1-in-16) so record traces reliably overlap
+	// the fault windows; state-latency sampling is seeded by the chaos seed
+	// so both runs sample the same update sequence positions.
+	eng := squery.New(squery.Config{
+		Nodes:            cfg.Nodes,
+		Partitions:       cfg.Partitions,
+		ReplicateState:   true,
+		TraceSampleEvery: 16,
+		TraceCapacity:    1 << 16, // deep ring: keep chaos annotations despite checkpoint/query span churn
+	})
 	perInstance, keys := cfg.Records, cfg.Keys
 	src := squery.GeneratorSource("src", 2, cfg.Rate, func(instance int, seq int64) (squery.Record, bool) {
 		if seq >= perInstance {
@@ -164,7 +189,7 @@ func runWorkload(cfg Config, inj *chaos.Injector, target map[int]int64) (*runSta
 		Connect("chaoscount", "sink", squery.EdgePartitioned)
 	spec := squery.JobSpec{
 		Name:              "soak-chaos",
-		State:             squery.StateConfig{Live: true, Snapshots: true},
+		State:             squery.StateConfig{Live: true, Snapshots: true, LatencySampleSeed: cfg.Seed},
 		SnapshotInterval:  cfg.Interval,
 		CheckpointTimeout: 40 * time.Millisecond,
 		CheckpointRetries: 5,
@@ -173,6 +198,20 @@ func runWorkload(cfg Config, inj *chaos.Injector, target map[int]int64) (*runSta
 	if inj != nil {
 		spec.Chaos = inj
 		eng.SetFaultHook(inj)
+		inj.SetTracer(eng.Tracer())
+		if cfg.ObsAddr != "" {
+			srv, bound, err := obshttp.Serve(cfg.ObsAddr, obshttp.Options{
+				Metrics: eng.Metrics(),
+				Tracer:  eng.Tracer(),
+				Health:  eng.Health,
+				Ready:   eng.Ready,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("soak: obs plane: %w", err)
+			}
+			cfg.Logf("observability plane on http://%s", bound)
+			defer srv.Close()
+		}
 	}
 	job, err := eng.SubmitJob(dag, spec)
 	if err != nil {
@@ -257,13 +296,29 @@ func runWorkload(cfg Config, inj *chaos.Injector, target map[int]int64) (*runSta
 	}
 	close(stop)
 	wg.Wait()
-	return &runStats{
+	st := &runStats{
 		counts:    counts,
 		aborts:    job.CheckpointAborts(),
 		snapshots: job.LatestSnapshotID(),
 		queries:   queries.Load(),
 		degraded:  degraded.Load(),
-	}, nil
+	}
+	if tr := eng.Tracer(); tr != nil {
+		failedCkpts := map[uint64]bool{}
+		for _, d := range tr.Spans() {
+			st.spans++
+			switch d.Kind {
+			case trace.KindChaos:
+				st.chaosSpans++
+			case trace.KindCheckpoint:
+				if d.Failed {
+					failedCkpts[d.TraceID] = true
+				}
+			}
+		}
+		st.failedCkpts = int64(len(failedCkpts))
+	}
+	return st, nil
 }
 
 func equalCounts(a, b map[int]int64) bool {

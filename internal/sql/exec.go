@@ -10,6 +10,7 @@ import (
 	"squery/internal/core"
 	"squery/internal/metrics"
 	"squery/internal/sql/plan"
+	"squery/internal/trace"
 )
 
 // Executor runs SELECT statements against the state tables of a catalog.
@@ -23,9 +24,10 @@ import (
 // EXPLAIN renders the same compiled plan; EXPLAIN ANALYZE renders the
 // exact plan instance an execution ran.
 type Executor struct {
-	cat   *core.Catalog
-	nodes int
-	m     execInstruments
+	cat    *core.Catalog
+	nodes  int
+	m      execInstruments
+	tracer *trace.Tracer
 }
 
 // execInstruments holds the executor's resolved registry instruments. The
@@ -99,6 +101,12 @@ func (ex *Executor) SetMetrics(reg *metrics.Registry) {
 		ex.m.part = part
 	}
 }
+
+// SetTracer wires the executor into a span tracer: every execution gets a
+// "query" root span with one child per plan stage (wall time and row count
+// from the stage's own statistics), and the sys.queries event carries the
+// trace id so the two system tables join. Nil disables query tracing.
+func (ex *Executor) SetTracer(tr *trace.Tracer) { ex.tracer = tr }
 
 // NewExecutor creates an executor over the catalog, fanning scans out
 // over the given number of nodes (pass the cluster's node count).
@@ -278,10 +286,13 @@ func (ex *Executor) execTraced(stmt *Select, opts ExecOpts, query string) (*Resu
 		opts = opts.withDefaults()
 	}
 	stmt = resolveOrderByAliases(stmt)
+	// Query traces bypass head sampling (queries are rare next to
+	// records); the root span links sys.queries to sys.spans.
+	qsp := ex.tracer.StartTrace("query", trace.KindQuery)
 	sw := metrics.StartStopwatch()
 	pp, err := ex.compile(stmt, opts, false)
 	if err != nil {
-		ex.finishQuery(query, nil, sw.Elapsed(), err)
+		ex.finishQuery(query, nil, sw.Elapsed(), err, qsp)
 		return nil, nil, err
 	}
 	rc := newRunCtx(opts)
@@ -291,7 +302,7 @@ func (ex *Executor) execTraced(stmt *Select, opts ExecOpts, query string) (*Resu
 	if err == nil {
 		pp.returned = len(res.Rows)
 	}
-	ex.finishQuery(query, pp, pp.total, err)
+	ex.finishQuery(query, pp, pp.total, err, qsp)
 	if err != nil {
 		return nil, pp, err
 	}
@@ -299,9 +310,11 @@ func (ex *Executor) execTraced(stmt *Select, opts ExecOpts, query string) (*Resu
 	return res, pp, nil
 }
 
-// finishQuery records the query-level registry metrics and the sys.queries
-// event for one execution. pp is nil when compilation failed.
-func (ex *Executor) finishQuery(query string, pp *physPlan, total time.Duration, err error) {
+// finishQuery records the query-level registry metrics, the sys.queries
+// event, and the query trace (root + one child span per plan stage) for
+// one execution. pp is nil when compilation failed; qsp is nil when
+// tracing is off.
+func (ex *Executor) finishQuery(query string, pp *physPlan, total time.Duration, err error, qsp *trace.Span) {
 	ex.m.queries.Inc()
 	ex.m.latency.Record(total)
 	var scanned, pruned, examined, shipped, returned, degraded int64
@@ -333,10 +346,41 @@ func (ex *Executor) finishQuery(query string, pp *physPlan, total time.Duration,
 	} else {
 		ex.m.rowsReturned.Add(returned)
 	}
-	if ex.m.log != nil {
-		if len(query) > 200 {
-			query = query[:200] + "…"
+	if len(query) > 200 {
+		query = query[:200] + "…"
+	}
+	if qsp != nil {
+		// Per-stage child spans, synthesized from the plan tree the
+		// execution just ran. Stages of the streaming pipeline overlap in
+		// wall time, so each child starts at the root and Dur is the
+		// stage's own accumulated wall clock.
+		ctx := qsp.Context()
+		if pp != nil {
+			plan.Walk(pp.root, func(n plan.Node) {
+				st := n.Stat()
+				name := n.Kind()
+				if sc, ok := n.(*plan.Scan); ok {
+					name = "scan:" + sc.Table
+				}
+				ex.tracer.Emit(trace.SpanData{
+					TraceID: ctx.TraceID, SpanID: ex.tracer.NewID(),
+					ParentID: ctx.SpanID,
+					Name:     name, Kind: trace.KindQuery,
+					Vertex: name, Instance: -1, SSID: scanSSID(n),
+					Start: time.Now().Add(-time.Duration(st.WallNs.Load())),
+					Dur:   time.Duration(st.WallNs.Load()),
+					Note:  fmt.Sprintf("rows=%d", st.Rows.Load()),
+				})
+			})
 		}
+		qsp.SetNote(query)
+		if err != nil {
+			qsp.Fail(err.Error())
+		} else {
+			qsp.End()
+		}
+	}
+	if ex.m.log != nil {
 		ex.m.log.AppendFielder(&queryEvent{
 			query:    query,
 			wallUs:   total.Microseconds(),
@@ -347,8 +391,19 @@ func (ex *Executor) finishQuery(query string, pp *physPlan, total time.Duration,
 			pruned:   pruned,
 			degraded: degraded,
 			failed:   err != nil,
+			traceID:  qsp.Context().TraceID,
 		})
 	}
+}
+
+// scanSSID returns the resolved snapshot id of a Scan node (0 otherwise),
+// so snapshot-pinned query stages join sys.checkpoints like checkpoint
+// spans do.
+func scanSSID(n plan.Node) int64 {
+	if sc, ok := n.(*plan.Scan); ok {
+		return sc.SSID
+	}
+	return 0
 }
 
 // queryEvent is the sys.queries entry for one execution: a flat struct on
@@ -363,6 +418,7 @@ type queryEvent struct {
 	pruned   int64
 	degraded int64
 	failed   bool
+	traceID  uint64 // joins sys.queries to sys.spans; 0 when untraced
 }
 
 func (q *queryEvent) EventFields() map[string]any {
@@ -376,6 +432,7 @@ func (q *queryEvent) EventFields() map[string]any {
 		"partitionsPruned":   q.pruned,
 		"degradedPartitions": q.degraded,
 		"failed":             q.failed,
+		"traceId":            int64(q.traceID),
 	}
 }
 

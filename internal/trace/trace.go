@@ -1,0 +1,301 @@
+// Package trace is the engine's low-overhead span tracer. Where
+// internal/metrics answers "how much / how fast on average", trace answers
+// the causal questions aggregates cannot: where did this record's 40 ms
+// go, which worker stalled phase-1 of checkpoint 17, which stage of this
+// query scanned the most rows.
+//
+// The design mirrors metrics.Registry's nil-safety contract so call sites
+// compile in unconditionally: a nil *Tracer hands out nil *Span handles
+// and every method on both is a no-op. Completed spans land in a
+// fixed-size lock-striped ring buffer (old spans are overwritten, never
+// allocated-for or flushed), so steady-state tracing does no allocation
+// beyond the span handle itself and never blocks a data-path goroutine on
+// anything but one short stripe mutex.
+//
+// Sampling is head-based: record traces are sampled 1-in-N at the source
+// (default 256) and the decision travels with the record, so a sampled
+// record produces spans at every hop or none at all. Checkpoint and query
+// traces are rare relative to records and are always sampled.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span kinds — the taxonomy sys.spans exposes in its "kind" column.
+const (
+	KindRecord     = "record"     // source emission + per-operator hops
+	KindCheckpoint = "checkpoint" // 2PC root, alignment, prepare, phases
+	KindQuery      = "query"      // query root + per-stage plan spans
+	KindChaos      = "chaos"      // injected-fault annotations
+)
+
+// SpanContext is the propagated identity of a span: enough for a child in
+// another goroutine (or carried inside a Record across channels) to link
+// to its parent. The zero value is "not sampled".
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context belongs to a sampled trace.
+func (c SpanContext) Valid() bool { return c.TraceID != 0 }
+
+// SpanData is one completed span as stored in the ring and surfaced by
+// sys.spans. Start retains Go's monotonic clock reading, so durations
+// computed against it are immune to wall-clock steps.
+type SpanData struct {
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64 // 0 for trace roots
+	Name     string // taxonomy: source, hop, checkpoint, align, prepare, ...
+	Kind     string // KindRecord, KindCheckpoint, KindQuery, KindChaos
+	Vertex   string // vertex / job / table the span belongs to ("" if n/a)
+	Instance int    // operator instance (-1 if n/a)
+	SSID     int64  // snapshot id for checkpoint-related spans (0 if n/a)
+	Start    time.Time
+	Dur      time.Duration
+	// QueueWait, on hop spans, is how long the record sat in the
+	// operator's inbox (including any barrier-alignment stall) before
+	// processing began; Dur is pure process time.
+	QueueWait time.Duration
+	Failed    bool
+	Note      string
+}
+
+// Span is an in-flight span handle. It is not safe for concurrent use —
+// each span belongs to the goroutine that started it — but Context() may
+// be read concurrently (it only touches fields frozen at creation).
+type Span struct {
+	t *Tracer
+	d SpanData
+}
+
+// Context returns the span's propagation context, or the zero context on a
+// nil span.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.d.TraceID, SpanID: s.d.SpanID}
+}
+
+// SetVertex attaches the owning vertex/instance.
+func (s *Span) SetVertex(vertex string, instance int) {
+	if s == nil {
+		return
+	}
+	s.d.Vertex = vertex
+	s.d.Instance = instance
+}
+
+// SetSSID attaches a snapshot id (joins sys.spans to sys.checkpoints).
+func (s *Span) SetSSID(ssid int64) {
+	if s == nil {
+		return
+	}
+	s.d.SSID = ssid
+}
+
+// SetQueueWait records the inbox wait preceding this span.
+func (s *Span) SetQueueWait(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.d.QueueWait = d
+}
+
+// SetNote attaches a free-form annotation (query text, abort reason, ...).
+func (s *Span) SetNote(note string) {
+	if s == nil {
+		return
+	}
+	s.d.Note = note
+}
+
+// End completes the span and commits it to the ring.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.d.Dur = time.Since(s.d.Start)
+	s.t.Emit(s.d)
+}
+
+// Fail marks the span failed with a reason and commits it.
+func (s *Span) Fail(note string) {
+	if s == nil {
+		return
+	}
+	s.d.Failed = true
+	if note != "" {
+		s.d.Note = note
+	}
+	s.End()
+}
+
+// Config configures a Tracer.
+type Config struct {
+	// Capacity is the total ring-buffer size in completed spans
+	// (rounded up to a multiple of the stripe count). Default 4096.
+	Capacity int
+	// SampleEvery head-samples 1-in-N record traces at the source.
+	// Default 256; 1 traces every record. Checkpoint and query traces
+	// ignore it (always sampled).
+	SampleEvery int
+}
+
+const stripes = 16 // power of two; span ids spread writers across stripes
+
+// stripe is one lock-striped segment of the completed-span ring.
+type stripe struct {
+	mu   sync.Mutex
+	buf  []SpanData
+	next int
+	full bool
+	_    [24]byte // keep neighbouring stripes off one cache line
+}
+
+// Tracer allocates trace/span ids, makes sampling decisions, and owns the
+// completed-span ring. A nil *Tracer is a valid no-op tracer.
+type Tracer struct {
+	sampleEvery uint64
+	seq         atomic.Uint64 // head-sampling counter for record traces
+	ids         atomic.Uint64 // shared trace/span id allocator (never 0)
+	ring        [stripes]stripe
+}
+
+// New builds a tracer. Zero-value config fields select the defaults.
+func New(cfg Config) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 4096
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 256
+	}
+	per := (cfg.Capacity + stripes - 1) / stripes
+	t := &Tracer{sampleEvery: uint64(cfg.SampleEvery)}
+	for i := range t.ring {
+		t.ring[i].buf = make([]SpanData, per)
+	}
+	return t
+}
+
+// SampleEvery returns the record head-sampling rate (0 on a nil tracer).
+func (t *Tracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.sampleEvery)
+}
+
+// NewID allocates a fresh id usable as either a trace or span id.
+func (t *Tracer) NewID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.ids.Add(1)
+}
+
+// StartTrace starts an always-sampled root span (checkpoints, queries).
+func (t *Tracer) StartTrace(name, kind string) *Span {
+	if t == nil {
+		return nil
+	}
+	id := t.ids.Add(1)
+	return &Span{t: t, d: SpanData{
+		TraceID: id, SpanID: id, Name: name, Kind: kind,
+		Instance: -1, Start: time.Now(),
+	}}
+}
+
+// SampleRecordTrace makes the 1-in-N head-sampling decision and, when it
+// fires, starts the root span of a record trace. It returns nil (no-op)
+// for unsampled records.
+func (t *Tracer) SampleRecordTrace(name, vertex string, instance int) *Span {
+	if t == nil {
+		return nil
+	}
+	if t.seq.Add(1)%t.sampleEvery != 0 {
+		return nil
+	}
+	id := t.ids.Add(1)
+	return &Span{t: t, d: SpanData{
+		TraceID: id, SpanID: id, Name: name, Kind: KindRecord,
+		Vertex: vertex, Instance: instance, Start: time.Now(),
+	}}
+}
+
+// StartChild starts a span under parent. It returns nil when the tracer is
+// nil or the parent context is unsampled, so propagation code never
+// branches on sampling itself.
+func (t *Tracer) StartChild(parent SpanContext, name, kind string) *Span {
+	if t == nil || !parent.Valid() {
+		return nil
+	}
+	return &Span{t: t, d: SpanData{
+		TraceID: parent.TraceID, SpanID: t.ids.Add(1), ParentID: parent.SpanID,
+		Name: name, Kind: kind, Instance: -1, Start: time.Now(),
+	}}
+}
+
+// Emit commits an externally assembled completed span. Used for spans
+// whose lifetime does not match a handle's scope: alignment waits measured
+// from a stored start time, per-stage query spans synthesized from plan
+// statistics, chaos annotations.
+func (t *Tracer) Emit(d SpanData) {
+	if t == nil || d.TraceID == 0 {
+		return
+	}
+	s := &t.ring[d.SpanID%stripes]
+	s.mu.Lock()
+	s.buf[s.next] = d
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.full = true
+	}
+	s.mu.Unlock()
+}
+
+// Spans snapshots the ring's completed spans, oldest first per stripe.
+// The result is a copy; callers may sort or mutate it freely.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	var out []SpanData
+	for i := range t.ring {
+		s := &t.ring[i]
+		s.mu.Lock()
+		if s.full {
+			out = append(out, s.buf[s.next:]...)
+			out = append(out, s.buf[:s.next]...)
+		} else {
+			out = append(out, s.buf[:s.next]...)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Len reports how many completed spans the ring currently holds.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for i := range t.ring {
+		s := &t.ring[i]
+		s.mu.Lock()
+		if s.full {
+			n += len(s.buf)
+		} else {
+			n += s.next
+		}
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if sp := tr.StartTrace("x", KindQuery); sp != nil {
+		t.Fatalf("nil tracer returned non-nil span")
+	}
+	if sp := tr.SampleRecordTrace("x", "v", 0); sp != nil {
+		t.Fatalf("nil tracer sampled a record")
+	}
+	if sp := tr.StartChild(SpanContext{TraceID: 1, SpanID: 1}, "x", KindRecord); sp != nil {
+		t.Fatalf("nil tracer returned non-nil child")
+	}
+	tr.Emit(SpanData{TraceID: 1, SpanID: 1})
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer returned spans: %v", got)
+	}
+	if tr.Len() != 0 || tr.SampleEvery() != 0 || tr.NewID() != 0 {
+		t.Fatalf("nil tracer accessors not zero")
+	}
+	// All nil-span methods must be safe.
+	var sp *Span
+	sp.SetVertex("v", 1)
+	sp.SetSSID(7)
+	sp.SetQueueWait(time.Millisecond)
+	sp.SetNote("n")
+	sp.End()
+	sp.Fail("boom")
+	if sp.Context().Valid() {
+		t.Fatalf("nil span context valid")
+	}
+}
+
+func TestHeadSamplingRate(t *testing.T) {
+	tr := New(Config{SampleEvery: 4, Capacity: 1024})
+	sampled := 0
+	for i := 0; i < 400; i++ {
+		if sp := tr.SampleRecordTrace("source", "src", 0); sp != nil {
+			sampled++
+			sp.End()
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("SampleEvery=4 over 400 records: sampled %d, want 100", sampled)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("ring holds %d spans, want 100", tr.Len())
+	}
+}
+
+func TestChildLinksToParent(t *testing.T) {
+	tr := New(Config{})
+	root := tr.StartTrace("checkpoint", KindCheckpoint)
+	root.SetSSID(17)
+	child := tr.StartChild(root.Context(), "phase1", KindCheckpoint)
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	r, c := byName["checkpoint"], byName["phase1"]
+	if r.TraceID == 0 || r.TraceID != c.TraceID {
+		t.Fatalf("trace ids differ: root %d child %d", r.TraceID, c.TraceID)
+	}
+	if c.ParentID != r.SpanID {
+		t.Fatalf("child parent %d, want root span %d", c.ParentID, r.SpanID)
+	}
+	if r.ParentID != 0 {
+		t.Fatalf("root has parent %d", r.ParentID)
+	}
+	if r.SSID != 17 {
+		t.Fatalf("root ssid %d, want 17", r.SSID)
+	}
+	// A child of an unsampled context must be a no-op.
+	if sp := tr.StartChild(SpanContext{}, "x", KindRecord); sp != nil {
+		t.Fatalf("child of unsampled context not nil")
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := New(Config{Capacity: 32, SampleEvery: 1})
+	for i := 0; i < 500; i++ {
+		sp := tr.StartTrace("q", KindQuery)
+		sp.End()
+	}
+	if got := tr.Len(); got != 32 {
+		t.Fatalf("ring holds %d, want capacity 32", got)
+	}
+	// Survivors must be the most recent spans (highest ids).
+	for _, s := range tr.Spans() {
+		if s.SpanID <= 500-2*32 {
+			t.Fatalf("span %d survived a full ring of 500 writes", s.SpanID)
+		}
+	}
+}
+
+func TestFailMarksSpan(t *testing.T) {
+	tr := New(Config{})
+	sp := tr.StartTrace("checkpoint", KindCheckpoint)
+	sp.Fail("phase-1 deadline")
+	spans := tr.Spans()
+	if len(spans) != 1 || !spans[0].Failed || spans[0].Note != "phase-1 deadline" {
+		t.Fatalf("fail not recorded: %+v", spans)
+	}
+}
+
+// TestConcurrentWritersAndScans is the ring-buffer race wall: many writer
+// goroutines completing spans while readers snapshot the ring, meaningful
+// under -race.
+func TestConcurrentWritersAndScans(t *testing.T) {
+	tr := New(Config{Capacity: 256, SampleEvery: 1})
+	const writers, perWriter, readers = 8, 2000, 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, s := range tr.Spans() {
+					if s.TraceID == 0 {
+						t.Error("scan observed zero-id span")
+						return
+					}
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				root := tr.SampleRecordTrace("source", "src", w)
+				hop := tr.StartChild(root.Context(), "hop", KindRecord)
+				hop.SetQueueWait(time.Microsecond)
+				hop.End()
+				root.End()
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if tr.Len() != 256 {
+		t.Fatalf("ring holds %d, want full capacity 256", tr.Len())
+	}
+}

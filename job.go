@@ -11,7 +11,13 @@ type Job struct {
 	inner     *dataflow.Job
 	engine    *Engine
 	operators []string
+	autoCkpt  bool // submitted with a SnapshotInterval
 }
+
+// Running reports whether the job is still processing (its sources have
+// not drained and it has not been stopped). Engine.Health turns false
+// here into an unhealthy /healthz.
+func (j *Job) Running() bool { return j.inner.Running() }
 
 // Operators returns the names of the job's stateful operators — its SQL
 // table names (live) and, prefixed snapshot_, its snapshot tables.

@@ -28,16 +28,24 @@ func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 func (e *Engine) MetricsDump() string { return e.reg.Dump() }
 
 // registerSystemTables installs the sys.* virtual tables. Each provider
-// reads the registry at query time, so the tables are always live.
+// reads the registry (or the tracer's span ring) at query time, so the
+// tables are always live. The metrics-backed tables require a registry,
+// the span tables a tracer; either may be disabled independently.
 func (e *Engine) registerSystemTables() {
-	e.cat.RegisterVirtual("sys.operators", e.sysOperators)
-	e.cat.RegisterVirtual("sys.partitions", e.sysPartitions)
-	e.cat.RegisterVirtual("sys.checkpoints", func() []core.TableRow {
-		return eventRows(e.reg.Log("checkpoints", 256))
-	})
-	e.cat.RegisterVirtual("sys.queries", func() []core.TableRow {
-		return eventRows(e.reg.Log("queries", 256))
-	})
+	if e.reg != nil {
+		e.cat.RegisterVirtual("sys.operators", e.sysOperators)
+		e.cat.RegisterVirtual("sys.partitions", e.sysPartitions)
+		e.cat.RegisterVirtual("sys.checkpoints", func() []core.TableRow {
+			return eventRows(e.reg.Log("checkpoints", 256))
+		})
+		e.cat.RegisterVirtual("sys.queries", func() []core.TableRow {
+			return eventRows(e.reg.Log("queries", 256))
+		})
+	}
+	if e.tracer != nil {
+		e.cat.RegisterVirtual("sys.spans", e.sysSpans)
+		e.cat.RegisterVirtual("sys.traces", e.sysTraces)
+	}
 }
 
 // sysOperators is one row per operator instance: routing counters,

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# obs-smoke: boot the real squery binary with -serve-obs on an ephemeral
+# port, then exercise the whole observability plane from the outside:
+# /healthz and /readyz converge to 200, /metrics scrapes as valid
+# Prometheus text exposition (checked by the strict promcheck validator),
+# /tracez renders traces, and pprof answers. Run via `make obs-smoke`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp -d)/squery
+log=$(mktemp)
+go build -o "$bin" ./cmd/squery
+
+# Keep stdin open (the binary serves a SQL prompt) for the smoke window.
+(sleep 60 | "$bin" -orders 2000 -interval 100ms -serve-obs 127.0.0.1:0 >"$log" 2>&1) &
+pid=$!
+cleanup() { kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true; }
+trap cleanup EXIT
+
+# The binary prints "observability plane on http://127.0.0.1:PORT".
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's#^observability plane on http://##p' "$log" | head -1)
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "obs-smoke: no serve-obs address in:"; cat "$log"; exit 1; }
+echo "obs-smoke: plane at $addr"
+
+healthz=$(curl -fsS "http://$addr/healthz")
+grep -q ok <<<"$healthz"
+echo "obs-smoke: healthz ok"
+
+# readyz serves 503 until the first snapshot commits, then 200.
+ready=1
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then ready=0; break; fi
+  sleep 0.1
+done
+[ "$ready" = 0 ] || { echo "obs-smoke: readyz never became ready"; exit 1; }
+echo "obs-smoke: readyz ok"
+
+metrics=$(mktemp)
+curl -fsS "http://$addr/metrics" >"$metrics"
+go run ./internal/obshttp/promcheck "$metrics"
+grep -q '^# TYPE squery_checkpoint_commits_total counter' "$metrics"
+grep -q 'squery_operator_records_in_total' "$metrics"
+echo "obs-smoke: metrics scrape valid"
+
+tracez=$(curl -fsS "http://$addr/tracez?limit=5")
+grep -q 'traces retained' <<<"$tracez"
+tracez=$(curl -fsS "http://$addr/tracez?kind=checkpoint")
+grep -q 'kind=checkpoint' <<<"$tracez"
+echo "obs-smoke: tracez ok"
+
+curl -fsS "http://$addr/debug/pprof/cmdline" >/dev/null
+echo "obs-smoke: pprof ok"
+echo "obs-smoke: PASS"

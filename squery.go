@@ -37,6 +37,7 @@ import (
 	"squery/internal/partition"
 	"squery/internal/persist"
 	"squery/internal/sql"
+	"squery/internal/trace"
 )
 
 // Re-exported building blocks. These are aliases, not copies: the public
@@ -165,15 +166,29 @@ type Config struct {
 	// baseline of the instrumentation-overhead experiment in
 	// EXPERIMENTS.md.
 	DisableMetrics bool
+	// DisableTracing runs the engine without a span tracer: no record,
+	// checkpoint or query spans are recorded, the sys.spans/sys.traces
+	// system tables are not registered, and /tracez serves an empty list.
+	// This is the baseline of the tracing-overhead experiment.
+	DisableTracing bool
+	// TraceSampleEvery is the head-sampling rate for record traces: one
+	// source record in every TraceSampleEvery starts a trace that is
+	// carried through every hop to the sink (default 256). Checkpoint and
+	// query traces are always sampled. 1 traces every record.
+	TraceSampleEvery int
+	// TraceCapacity bounds the number of completed spans retained in the
+	// tracer's ring buffer (default 4096); older spans are overwritten.
+	TraceCapacity int
 }
 
 // Engine owns a cluster, its state store, and the query subsystem, and
 // runs stream processing jobs whose state becomes queryable.
 type Engine struct {
-	clu *cluster.Cluster
-	cat *core.Catalog
-	ex  *sql.Executor
-	reg *metrics.Registry // nil when Config.DisableMetrics
+	clu    *cluster.Cluster
+	cat    *core.Catalog
+	ex     *sql.Executor
+	reg    *metrics.Registry // nil when Config.DisableMetrics
+	tracer *trace.Tracer     // nil when Config.DisableTracing
 
 	mu   sync.Mutex
 	jobs map[string]*Job
@@ -192,19 +207,26 @@ func New(cfg Config) *Engine {
 	if !cfg.DisableMetrics {
 		reg = metrics.NewRegistry()
 	}
+	var tracer *trace.Tracer
+	if !cfg.DisableTracing {
+		tracer = trace.New(trace.Config{
+			Capacity:    cfg.TraceCapacity,
+			SampleEvery: cfg.TraceSampleEvery,
+		})
+	}
 	clu.Store().SetMetrics(reg)
 	cat := core.NewCatalog(clu.Store())
 	e := &Engine{
-		clu:  clu,
-		cat:  cat,
-		ex:   sql.NewExecutor(cat, clu.Nodes()),
-		reg:  reg,
-		jobs: make(map[string]*Job),
+		clu:    clu,
+		cat:    cat,
+		ex:     sql.NewExecutor(cat, clu.Nodes()),
+		reg:    reg,
+		tracer: tracer,
+		jobs:   make(map[string]*Job),
 	}
 	e.ex.SetMetrics(reg)
-	if reg != nil {
-		e.registerSystemTables()
-	}
+	e.ex.SetTracer(tracer)
+	e.registerSystemTables()
 	return e
 }
 
@@ -276,6 +298,7 @@ func (e *Engine) SubmitJob(dag *DAG, spec JobSpec) (*Job, error) {
 		CheckpointBackoff: spec.CheckpointBackoff,
 		Chaos:             spec.Chaos,
 		Metrics:           e.reg,
+		Tracer:            e.tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -285,7 +308,7 @@ func (e *Engine) SubmitJob(dag *DAG, spec JobSpec) (*Job, error) {
 		job.Stop()
 		return nil, err
 	}
-	j := &Job{inner: job, engine: e, operators: ops}
+	j := &Job{inner: job, engine: e, operators: ops, autoCkpt: spec.SnapshotInterval > 0}
 	e.mu.Lock()
 	name := spec.Name
 	if name == "" {

@@ -1,0 +1,164 @@
+package squery
+
+import (
+	"fmt"
+	"sort"
+
+	"squery/internal/core"
+	"squery/internal/kv"
+	"squery/internal/trace"
+)
+
+// Tracing applies the same thesis as metrics.go one level deeper: not just
+// counters about the runtime, but causally linked spans through it. A
+// sampled source record carries its trace context in-band through every
+// hop to the sink; every checkpoint is one trace from barrier injection
+// through per-worker alignment to the 2PC phases; every SQL query is one
+// trace with a child span per plan stage. Completed spans land in a fixed
+// lock-striped ring and surface two ways: the sys.spans / sys.traces
+// virtual tables (joinable with sys.checkpoints on ssid) and the /tracez
+// endpoint of the HTTP observability plane (internal/obshttp).
+
+// Tracer returns the engine's span tracer, or nil when
+// Config.DisableTracing was set. Callers (the chaos injector, the soak
+// harness, obshttp) may record their own spans against it; the nil tracer
+// is a valid no-op.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// Health reports the engine's liveness: nil while every submitted job is
+// running, an error naming the first stopped job otherwise. The /healthz
+// endpoint serves 503 when this returns an error.
+func (e *Engine) Health() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.jobs))
+	for name := range e.jobs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !e.jobs[name].Running() {
+			return fmt.Errorf("job %q is not running", name)
+		}
+	}
+	return nil
+}
+
+// Ready reports whether the engine is ready to serve queries: healthy,
+// and every job with automatic checkpointing has committed at least one
+// snapshot (before that, snapshot_* tables answer from an empty epoch).
+// The /readyz endpoint serves 503 when this returns an error.
+func (e *Engine) Ready() error {
+	if err := e.Health(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.jobs))
+	for name := range e.jobs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		j := e.jobs[name]
+		if j.autoCkpt && j.LatestSnapshotID() == 0 {
+			return fmt.Errorf("job %q has no committed snapshot yet", name)
+		}
+	}
+	return nil
+}
+
+// sysSpans is one row per completed span in the tracer's ring, oldest
+// first. The span's ssid (checkpoint spans and query spans over pinned
+// snapshot scans carry one) is mirrored into the row's SSID so
+// `sys.spans ⋈ sys.checkpoints ON ssid` works like any state join.
+func (e *Engine) sysSpans() []core.TableRow {
+	spans := e.tracer.Spans()
+	rows := make([]core.TableRow, 0, len(spans))
+	for _, d := range spans {
+		rows = append(rows, core.TableRow{Key: int64(d.SpanID), SSID: d.SSID, Value: kv.MapRow{
+			"traceId":  int64(d.TraceID),
+			"spanId":   int64(d.SpanID),
+			"parentId": int64(d.ParentID),
+			"name":     d.Name,
+			"kind":     d.Kind,
+			"vertex":   d.Vertex,
+			"instance": d.Instance,
+			"ssid":     d.SSID,
+			"startUs":  d.Start.UnixMicro(),
+			"durUs":    d.Dur.Microseconds(),
+			"queueUs":  d.QueueWait.Microseconds(),
+			"failed":   d.Failed,
+			"note":     d.Note,
+		}})
+	}
+	return rows
+}
+
+// sysTraces aggregates the ring into one row per trace: the root span's
+// name and kind (falling back to the earliest retained span if the root
+// was overwritten), span count, end-to-end duration, and whether any span
+// failed. Rows are ordered by traceId.
+func (e *Engine) sysTraces() []core.TableRow {
+	type agg struct {
+		root    *trace.SpanData
+		first   trace.SpanData
+		spans   int64
+		startUs int64
+		endUs   int64
+		failed  bool
+		ssid    int64
+	}
+	byTrace := map[uint64]*agg{}
+	for _, d := range e.tracer.Spans() {
+		a := byTrace[d.TraceID]
+		start := d.Start.UnixMicro()
+		end := d.Start.Add(d.Dur).UnixMicro()
+		if a == nil {
+			a = &agg{first: d, startUs: start, endUs: end}
+			byTrace[d.TraceID] = a
+		}
+		a.spans++
+		if start < a.startUs {
+			a.startUs = start
+			a.first = d
+		}
+		if end > a.endUs {
+			a.endUs = end
+		}
+		if d.Failed {
+			a.failed = true
+		}
+		if a.ssid == 0 {
+			a.ssid = d.SSID
+		}
+		if d.ParentID == 0 {
+			root := d
+			a.root = &root
+		}
+	}
+	ids := make([]uint64, 0, len(byTrace))
+	for id := range byTrace {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	rows := make([]core.TableRow, 0, len(ids))
+	for _, id := range ids {
+		a := byTrace[id]
+		head := a.first
+		if a.root != nil {
+			head = *a.root
+		}
+		rows = append(rows, core.TableRow{Key: int64(id), SSID: a.ssid, Value: kv.MapRow{
+			"traceId": int64(id),
+			"name":    head.Name,
+			"kind":    head.Kind,
+			"spans":   a.spans,
+			"ssid":    a.ssid,
+			"startUs": a.startUs,
+			"durUs":   a.endUs - a.startUs,
+			"failed":  a.failed,
+		}})
+	}
+	return rows
+}

@@ -1,0 +1,216 @@
+package squery
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// traceTestEngine boots an engine tracing every record and drives the
+// averaging job through 40 records and one committed checkpoint.
+func traceTestEngine(t *testing.T) (*Engine, *Job, chan struct{}) {
+	t.Helper()
+	eng := New(Config{Nodes: 3, Partitions: 27, TraceSampleEvery: 1})
+	gate := make(chan struct{})
+	job, err := eng.SubmitJob(openAveragingJob(gate), JobSpec{
+		Name:  "avg",
+		State: StateConfig{Live: true, Snapshots: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := eng.Query(`SELECT SUM(count) FROM average`)
+		if err == nil && len(res.Rows) == 1 {
+			if n, ok := res.Rows[0][0].(int64); ok && n >= 40 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("operator state did not reach 40 records in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := job.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	return eng, job, gate
+}
+
+// count runs a COUNT(*) query and returns the number.
+func count(t *testing.T, eng *Engine, q string) int64 {
+	t.Helper()
+	res, err := eng.Query(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	n, ok := res.Rows[0][0].(int64)
+	if !ok {
+		t.Fatalf("%s returned %v", q, res.Rows[0][0])
+	}
+	return n
+}
+
+// TestSysSpansQueryable reads record, checkpoint and query spans back
+// through the normal SQL path, including the ssid join with
+// sys.checkpoints the README documents.
+func TestSysSpansQueryable(t *testing.T) {
+	eng, job, gate := traceTestEngine(t)
+	defer job.Stop()
+	defer close(gate)
+
+	// Record lineage: every record traced source → average hop → sink hop.
+	if n := count(t, eng, `SELECT COUNT(*) FROM sys.spans WHERE kind = 'record' AND name = 'source'`); n < 40 {
+		t.Fatalf("source spans = %d, want >= 40", n)
+	}
+	for _, vertex := range []string{"average", "sink"} {
+		q := fmt.Sprintf(`SELECT COUNT(*) FROM sys.spans WHERE name = 'hop' AND vertex = '%s'`, vertex)
+		if n := count(t, eng, q); n < 40 {
+			t.Fatalf("hop spans at %s = %d, want >= 40", vertex, n)
+		}
+	}
+
+	// Checkpoint 2PC: the committed checkpoint's trace has per-worker
+	// alignment children and both phase children, addressable by ssid.
+	for _, name := range []string{"checkpoint", "barrier_inject", "align", "prepare", "phase1", "phase2"} {
+		q := fmt.Sprintf(`SELECT COUNT(*) FROM sys.spans WHERE kind = 'checkpoint' AND name = '%s' AND ssid >= 1`, name)
+		if n := count(t, eng, q); n < 1 {
+			t.Fatalf("no %q span for the committed checkpoint", name)
+		}
+	}
+
+	// The ssid column joins with sys.checkpoints like any state table.
+	joined := count(t, eng,
+		`SELECT COUNT(*) FROM sys.spans JOIN sys.checkpoints USING(ssid) WHERE name = 'phase1' AND outcome = 'committed'`)
+	if joined < 1 {
+		t.Fatalf("sys.spans ⋈ sys.checkpoints on ssid returned %d rows, want >= 1", joined)
+	}
+
+	// Query tracing: the queries above produced query traces with
+	// per-stage children, and sys.queries links to them via traceId.
+	if n := count(t, eng, `SELECT COUNT(*) FROM sys.spans WHERE kind = 'query' AND name = 'query'`); n < 1 {
+		t.Fatal("no query root spans")
+	}
+	if n := count(t, eng, `SELECT COUNT(*) FROM sys.spans WHERE kind = 'query' AND parentId > 0`); n < 1 {
+		t.Fatal("no per-stage query child spans")
+	}
+	if n := count(t, eng, `SELECT COUNT(*) FROM sys.queries WHERE traceId > 0`); n < 1 {
+		t.Fatal("sys.queries rows do not link to traces")
+	}
+
+	// sys.traces aggregates: at least one record trace and the checkpoint
+	// trace, with spans counted.
+	if n := count(t, eng, `SELECT COUNT(*) FROM sys.traces WHERE kind = 'record' AND spans >= 3`); n < 40 {
+		t.Fatalf("aggregated record traces = %d, want >= 40", n)
+	}
+	if n := count(t, eng, `SELECT COUNT(*) FROM sys.traces WHERE kind = 'checkpoint' AND ssid >= 1`); n < 1 {
+		t.Fatal("no aggregated checkpoint trace")
+	}
+}
+
+// TestHealthAndReadyProbes: Health flips to an error once the job stops;
+// Ready additionally demands a committed snapshot for auto-checkpointing
+// jobs.
+func TestHealthAndReadyProbes(t *testing.T) {
+	eng := New(Config{Nodes: 3, Partitions: 27})
+	gate := make(chan struct{})
+	job, err := eng.SubmitJob(openAveragingJob(gate), JobSpec{
+		Name:             "avg",
+		State:            StateConfig{Live: true, Snapshots: true},
+		SnapshotInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Health(); err != nil {
+		t.Fatalf("Health with a running job: %v", err)
+	}
+	// Ready converges once the first snapshot commits.
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Ready() != nil {
+		if time.Now().After(deadline) {
+			t.Fatalf("Ready never converged: %v", eng.Ready())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	job.Stop()
+	if err := eng.Health(); err == nil {
+		t.Fatal("Health must report the stopped job")
+	}
+	if err := eng.Ready(); err == nil {
+		t.Fatal("Ready must fail when unhealthy")
+	}
+}
+
+// TestDisableTracing: the no-op mode — nil tracer, no sys.spans tables,
+// jobs and queries unaffected.
+func TestDisableTracing(t *testing.T) {
+	eng := New(Config{Nodes: 3, Partitions: 27, DisableTracing: true})
+	if eng.Tracer() != nil {
+		t.Fatal("Tracer() should be nil with DisableTracing")
+	}
+	job, err := eng.SubmitJob(averagingJob([]Record{{Key: 1, Value: 10}}), JobSpec{
+		Name:  "avg",
+		State: StateConfig{Live: true, Snapshots: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Stop()
+	job.Wait()
+	if _, err := eng.Query(`SELECT COUNT(*) FROM sys.spans`); err == nil {
+		t.Fatal("sys.spans should be unknown with DisableTracing")
+	}
+	if _, err := eng.Query(`SELECT count FROM average WHERE partitionKey = 1`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSysSpansScanRace hammers the span ring from both sides — the job's
+// workers emitting spans for every record while goroutines scan
+// sys.spans/sys.traces through SQL — meaningful under -race.
+func TestSysSpansScanRace(t *testing.T) {
+	eng := New(Config{Nodes: 3, Partitions: 27, TraceSampleEvery: 1, TraceCapacity: 512})
+	gate := make(chan struct{})
+	job, err := eng.SubmitJob(openAveragingJob(gate), JobSpec{
+		Name:  "avg",
+		State: StateConfig{Live: true, Snapshots: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Stop()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := `SELECT COUNT(*) FROM sys.spans`
+			if i%2 == 1 {
+				q = `SELECT COUNT(*) FROM sys.traces`
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := eng.Query(q); err != nil {
+					panic(err)
+				}
+			}
+		}(i)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(gate)
+	if eng.Tracer().Len() == 0 {
+		t.Fatal("no spans recorded during the race window")
+	}
+}
