@@ -1,7 +1,7 @@
 GO ?= go
 GOFILES := $(shell git ls-files '*.go')
 
-.PHONY: test vet lint race soak-chaos fuzz-short obs-smoke verify
+.PHONY: test vet lint race soak-chaos fuzz-short obs-smoke bench-smoke verify
 
 # Tier-1: what CI gates on.
 test:
@@ -46,4 +46,15 @@ fuzz-short:
 	$(GO) test ./internal/sql -fuzz FuzzLexer -fuzztime 30s -run '^$$'
 	$(GO) test ./internal/sql -fuzz FuzzPlan -fuzztime 30s -run '^$$'
 
-verify: lint race soak-chaos
+# Perf smoke over the serialization and join hot paths. The allocation
+# guards are hard gates (zero-alloc scalar encode in the wire codec,
+# single-alloc blob snapshot keys); the short benchmark pass prints
+# codec, joinKey and batched-put numbers so regressions show up in CI
+# logs next to the gate.
+bench-smoke:
+	$(GO) test ./internal/wire ./internal/core -run 'TestZeroAllocScalarEncode|TestBlobKeyAllocs' -count=1 -v
+	$(GO) test ./internal/wire -run '^$$' -bench 'BenchmarkAppendValue|BenchmarkDecodeValue|BenchmarkGobValue' -benchtime 1000x
+	$(GO) test ./internal/sql -run '^$$' -bench 'BenchmarkJoinKey' -benchtime 1000x
+	$(GO) test ./internal/kv -run '^$$' -bench 'BenchmarkPut' -benchtime 1000x
+
+verify: lint race soak-chaos bench-smoke

@@ -62,8 +62,9 @@ func main() {
 		"queries":  runQueries,
 		"pushdown": runPushdown,
 		"obs":      runObs,
+		"wire":     runWire,
 	}
-	order := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "queries", "pushdown", "obs"}
+	order := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "queries", "pushdown", "obs", "wire"}
 
 	switch *exp {
 	case "all":
@@ -225,4 +226,10 @@ func runPushdown(o experiments.Options) {
 	fmt.Println(experiments.PushdownTable(
 		"Scan pushdown — streaming pipeline (pushdown) vs ship-everything (40K keys, 128 partitions, 3 nodes)",
 		experiments.Pushdown(o)))
+}
+
+func runWire(o experiments.Options) {
+	fmt.Println(experiments.WireTable(
+		"Wire — batched transport + binary codec vs legacy per-record/per-key messages (3 nodes, replicated)",
+		experiments.Wire(o)))
 }

@@ -40,6 +40,7 @@ import (
 	"squery/internal/obshttp"
 	"squery/internal/qcommerce"
 	"squery/internal/soak"
+	"squery/internal/transport"
 )
 
 func main() {
@@ -49,6 +50,7 @@ func main() {
 	chaosMode := flag.Bool("chaos", false, "run the seeded chaos soak instead of the q-commerce soak")
 	seed := flag.Int64("seed", 1, "chaos schedule seed (-chaos mode)")
 	serveObs := flag.String("serve-obs", "", "serve the HTTP observability plane on this address (e.g. 127.0.0.1:8080)")
+	wireKind := flag.String("transport", "sim", `inter-node wire: "sim" (in-process) or "tcp" (loopback TCP frames)`)
 	flag.Parse()
 
 	if *chaosMode {
@@ -56,7 +58,20 @@ func main() {
 		return
 	}
 
-	eng := squery.New(squery.Config{Nodes: 3, ReplicateState: true})
+	cfg := squery.Config{Nodes: 3, ReplicateState: true}
+	switch *wireKind {
+	case "sim":
+	case "tcp":
+		lb, err := transport.NewLoopback()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Transport = lb
+	default:
+		log.Fatalf("unknown -transport %q (want sim or tcp)", *wireKind)
+	}
+	eng := squery.New(cfg)
+	defer eng.Close()
 	if *serveObs != "" {
 		srv, addr, err := obshttp.Serve(*serveObs, obshttp.Options{
 			Metrics: eng.Metrics(),

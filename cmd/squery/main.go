@@ -37,6 +37,7 @@ import (
 	"squery"
 	"squery/internal/obshttp"
 	"squery/internal/qcommerce"
+	"squery/internal/transport"
 )
 
 func main() {
@@ -45,9 +46,25 @@ func main() {
 	interval := flag.Duration("interval", time.Second, "checkpoint interval")
 	dumpMetrics := flag.Bool("metrics", false, "print the plain-text metrics dump on exit")
 	serveObs := flag.String("serve-obs", "", "serve the HTTP observability plane on this address (e.g. 127.0.0.1:8080)")
+	wireKind := flag.String("transport", "sim", `inter-node wire: "sim" (in-process) or "tcp" (loopback TCP frames)`)
 	flag.Parse()
 
-	eng := squery.New(squery.Config{Nodes: *nodes})
+	cfg := squery.Config{Nodes: *nodes}
+	switch *wireKind {
+	case "sim":
+	case "tcp":
+		lb, err := transport.NewLoopback()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "transport:", err)
+			os.Exit(1)
+		}
+		cfg.Transport = lb
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -transport %q (want sim or tcp)\n", *wireKind)
+		os.Exit(1)
+	}
+	eng := squery.New(cfg)
+	defer eng.Close()
 	if *serveObs != "" {
 		srv, addr, err := obshttp.Serve(*serveObs, obshttp.Options{
 			Metrics: eng.Metrics(),

@@ -9,13 +9,12 @@ package cluster
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"squery/internal/kv"
 	"squery/internal/partition"
+	"squery/internal/transport"
 )
 
 // Config describes a simulated cluster.
@@ -35,6 +34,11 @@ type Config struct {
 	// partition: a node failure then promotes backups instead of losing
 	// the partitions' data (§V.A).
 	ReplicateState bool
+	// Transport, when non-nil, overrides the wire the cluster sends
+	// through (e.g. transport.NewLoopback()). Nil builds the in-process
+	// simulated transport from NetworkLatency/NetworkJitter. The cluster
+	// owns whatever transport it ends up with: Close tears it down.
+	Transport transport.Transport
 }
 
 func (c Config) withDefaults() Config {
@@ -48,18 +52,17 @@ func (c Config) withDefaults() Config {
 }
 
 // Cluster owns the simulated topology: the partitioner, the partition
-// assignment, the shared KV store, and the network model.
+// assignment, the shared KV store, and the transport every inter-node
+// message crosses.
 type Cluster struct {
 	cfg    Config
 	part   partition.Partitioner
 	assign *partition.Assignment
 	store  *kv.Store
-
-	messages atomic.Uint64 // inter-node messages sent
+	tr     transport.Transport
 
 	mu     sync.Mutex
 	failed map[int]bool
-	rng    *rand.Rand
 }
 
 // New builds a cluster from the config.
@@ -73,15 +76,15 @@ func New(cfg Config) *Cluster {
 		part:   partition.New(cfg.Partitions),
 		assign: partition.Assign(cfg.Partitions, cfg.Nodes),
 		failed: make(map[int]bool),
-		rng:    rand.New(rand.NewSource(1)),
 	}
-	var delay kv.DelayFunc
-	if cfg.NetworkLatency > 0 || cfg.NetworkJitter > 0 {
-		delay = c.networkDelay
-	} else {
-		delay = c.countOnly
+	c.tr = cfg.Transport
+	if c.tr == nil {
+		c.tr = transport.NewSim(transport.SimConfig{
+			Latency: cfg.NetworkLatency,
+			Jitter:  cfg.NetworkJitter,
+		})
 	}
-	c.store = kv.NewStore(c.part, c.assign, delay)
+	c.store = kv.NewStore(c.part, c.assign, c.tr)
 	if cfg.ReplicateState {
 		if err := c.store.SetReplicated(); err != nil {
 			// The store was created two lines up and holds no data yet, so
@@ -93,30 +96,15 @@ func New(cfg Config) *Cluster {
 }
 
 // SetFaultHook installs a fault-injection hook (see internal/chaos) on the
-// cluster's KV store; nil clears it.
+// cluster's transport; nil clears it.
 func (c *Cluster) SetFaultHook(h kv.FaultHook) { c.store.SetFaultHook(h) }
 
-func (c *Cluster) countOnly(from, to int) {
-	if from != to {
-		c.messages.Add(1)
-	}
-}
+// Transport returns the wire the cluster sends through.
+func (c *Cluster) Transport() transport.Transport { return c.tr }
 
-func (c *Cluster) networkDelay(from, to int) {
-	if from == to {
-		return
-	}
-	c.messages.Add(1)
-	d := c.cfg.NetworkLatency
-	if j := c.cfg.NetworkJitter; j > 0 {
-		c.mu.Lock()
-		d += time.Duration(c.rng.Int63n(int64(j) + 1))
-		c.mu.Unlock()
-	}
-	if d > 0 {
-		time.Sleep(d)
-	}
-}
+// Close releases the cluster's transport (listener and connections for a
+// networked transport; a no-op for the simulated one).
+func (c *Cluster) Close() error { return c.tr.Close() }
 
 // Nodes returns the configured node count.
 func (c *Cluster) Nodes() int { return c.cfg.Nodes }
@@ -144,7 +132,7 @@ func (c *Cluster) NodeView(node int) kv.NodeView {
 func (c *Cluster) ClientView() kv.NodeView { return c.store.View(kv.ClientNode) }
 
 // Messages returns the number of inter-node messages sent so far.
-func (c *Cluster) Messages() uint64 { return c.messages.Load() }
+func (c *Cluster) Messages() uint64 { return c.tr.Stats().Messages }
 
 // NodeForKey returns the node that owns the partition of key — the node a
 // co-located operator instance for this key must run on.

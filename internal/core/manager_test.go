@@ -185,6 +185,7 @@ func TestTableScanLiveAndSnapshot(t *testing.T) {
 	b.SnapshotPrepare(ssid)
 	reg.Commit(ssid)
 	b.Update(2, avgState{Count: 2, Total: 20}) // live-only update
+	b.Flush()                                  // mirroring is batched; workers flush at quiescence
 
 	live, _ := cat.Table("op")
 	t.Run("live sees the uncommitted update", func(t *testing.T) {

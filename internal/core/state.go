@@ -2,13 +2,16 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"squery/internal/kv"
 	"squery/internal/metrics"
 	"squery/internal/partition"
+	"squery/internal/wire"
 )
 
 // Config selects which state representations S-QUERY maintains for an
@@ -45,6 +48,18 @@ type Config struct {
 	// setup the paper describes for raising live queries to the read
 	// committed isolation level.
 	ActiveStandby bool
+	// MirrorBatch caps how many live-map mirror operations buffer before
+	// an automatic flush to the KV store (one partition-grouped batch
+	// instead of one message per record). 0 selects the default of 32;
+	// 1 mirrors per record. The owning worker flushes at inbox
+	// quiescence and checkpoint boundaries regardless, so live queries
+	// see up-to-date state whenever the operator is idle.
+	MirrorBatch int
+	// Unbatched restores the pre-batching wire behaviour — live-state
+	// mirroring per record and snapshot version writes as a Get+Put
+	// round trip per key. It exists as the A/B baseline for
+	// `squery-bench -exp wire`; production paths never set it.
+	Unbatched bool
 }
 
 // LiveMapName returns the KV map holding the operator's live state. The
@@ -86,6 +101,12 @@ type Backend struct {
 	data  map[string]entry
 	dirty map[string]partition.Key // keys touched since the last checkpoint
 
+	// pending buffers live-map mirror operations between flushes (order
+	// preserved: a batch applies exactly like the same puts/deletes one
+	// by one). mirrorBatch is the flush threshold; 1 disables buffering.
+	pending     []kv.Op
+	mirrorBatch int
+
 	// Optional instruments (nil = disabled): update/delete count and
 	// latency, including the mirrored KV writes and their simulated
 	// network cost. The latency histogram is sampled 1-in-8 (the counter
@@ -109,13 +130,21 @@ func NewBackend(op string, instance int, view kv.NodeView, cfg Config) *Backend 
 	if cfg.LatencySampleEvery > 0 {
 		every = uint64(cfg.LatencySampleEvery)
 	}
+	mb := cfg.MirrorBatch
+	if mb <= 0 {
+		mb = 32
+	}
+	if cfg.Unbatched {
+		mb = 1
+	}
 	return &Backend{
-		op:       op,
-		instance: instance,
-		view:     view,
-		cfg:      cfg,
-		data:     make(map[string]entry),
-		dirty:    make(map[string]partition.Key),
+		op:          op,
+		instance:    instance,
+		view:        view,
+		cfg:         cfg,
+		data:        make(map[string]entry),
+		dirty:       make(map[string]partition.Key),
+		mirrorBatch: mb,
 		// Seeding offsets the sampling phase deterministically: which
 		// updates get timed depends only on (seed, update index).
 		updateSeq:   uint64(cfg.LatencySampleSeed) % every,
@@ -170,9 +199,12 @@ func (b *Backend) update(key partition.Key, value any) {
 	b.data[ks] = entry{key: key, value: value}
 	b.dirty[ks] = key
 	if b.cfg.Live {
-		b.view.Put(LiveMapName(b.op), key, value)
+		b.mirror(kv.Op{Key: key, Value: value})
 	}
 	if b.cfg.ActiveStandby {
+		// The standby replica stays synchronous per record: promotion
+		// must see exactly the primary's state at the instant of failure,
+		// with no buffered tail (§VII's read-committed failover).
 		b.view.Put(standbyMapName(b.op), key, value)
 	}
 }
@@ -199,11 +231,41 @@ func (b *Backend) del(key partition.Key) {
 	delete(b.data, ks)
 	b.dirty[ks] = key
 	if b.cfg.Live {
-		b.view.Delete(LiveMapName(b.op), key)
+		b.mirror(kv.Op{Key: key, Delete: true})
 	}
 	if b.cfg.ActiveStandby {
 		b.view.Delete(standbyMapName(b.op), key)
 	}
+}
+
+// mirror queues one live-map operation, flushing when the batch fills.
+// With MirrorBatch 1 (or Unbatched) the operation goes out immediately —
+// the pre-refactor per-record behaviour.
+func (b *Backend) mirror(op kv.Op) {
+	if b.mirrorBatch <= 1 {
+		if op.Delete {
+			b.view.Delete(LiveMapName(b.op), op.Key)
+		} else {
+			b.view.Put(LiveMapName(b.op), op.Key, op.Value)
+		}
+		return
+	}
+	b.pending = append(b.pending, op)
+	if len(b.pending) >= b.mirrorBatch {
+		b.Flush()
+	}
+}
+
+// Flush writes any buffered live-map mirror operations as one
+// partition-grouped batch. The owning worker calls it when its inbox
+// drains and before every checkpoint prepare; Restore and PromoteStandby
+// discard the buffer instead (resetLive rewrites the map wholesale).
+func (b *Backend) Flush() {
+	if len(b.pending) == 0 {
+		return
+	}
+	b.view.PutBatch(LiveMapName(b.op), b.pending)
+	b.pending = b.pending[:0]
 }
 
 // Size returns the number of keys held by this instance.
@@ -225,6 +287,9 @@ func (b *Backend) ForEach(fn func(key partition.Key, value any) bool) {
 // mode serializes the whole state into one opaque entry. It returns the
 // number of entries written.
 func (b *Backend) SnapshotPrepare(ssid int64) (written int, err error) {
+	// The snapshot must include every mirrored update, and a query at
+	// this ssid must not see the live map lag it: flush first.
+	b.Flush()
 	switch {
 	case b.cfg.JetBlob:
 		return b.prepareBlob(ssid)
@@ -286,20 +351,48 @@ func (b *Backend) deletedEntries() []keyedVersion {
 
 func (b *Backend) writeVersions(ssid int64, kvs []keyedVersion) int {
 	name := SnapshotMapName(b.op)
-	for _, e := range kvs {
+	if b.cfg.Unbatched {
+		// Legacy wire shape: one Get and one Put per key — two messages
+		// per remote key per checkpoint. Kept only as the A/B baseline
+		// for `squery-bench -exp wire`.
+		for _, e := range kvs {
+			var chain *Chain
+			if cur, ok := b.view.Get(name, e.key); ok {
+				chain = cur.(*Chain)
+			}
+			chain = chain.With(Versioned{SSID: ssid, Value: e.value, Tombstone: e.tombstone})
+			b.view.Put(name, e.key, chain)
+		}
+		return len(kvs)
+	}
+	// Batched apply: the chain extension runs where the partition lives,
+	// one round trip per remote partition group instead of two messages
+	// per key.
+	keys := make([]partition.Key, len(kvs))
+	for i := range kvs {
+		keys[i] = kvs[i].key
+	}
+	b.view.ApplyBatch(name, keys, func(i int, _ partition.Key, cur any, ok bool) (any, bool) {
 		var chain *Chain
-		if cur, ok := b.view.Get(name, e.key); ok {
+		if ok {
 			chain = cur.(*Chain)
 		}
-		chain = chain.With(Versioned{SSID: ssid, Value: e.value, Tombstone: e.tombstone})
-		b.view.Put(name, e.key, chain)
-	}
+		e := kvs[i]
+		return chain.With(Versioned{SSID: ssid, Value: e.value, Tombstone: e.tombstone}), true
+	})
 	return len(kvs)
 }
 
-// blobKey addresses one instance's blob for one snapshot.
+// blobKey addresses one instance's blob for one snapshot. Append-based:
+// the single allocation is the final string conversion, not fmt's boxing
+// and formatting — this key is built once per instance per checkpoint.
 func blobKey(instance int, ssid int64) string {
-	return fmt.Sprintf("inst-%d@%d", instance, ssid)
+	buf := make([]byte, 0, 32)
+	buf = append(buf, "inst-"...)
+	buf = strconv.AppendInt(buf, int64(instance), 10)
+	buf = append(buf, '@')
+	buf = strconv.AppendInt(buf, ssid, 10)
+	return string(buf)
 }
 
 // blobState is the gob payload of a Jet-style snapshot blob. Keys keep
@@ -323,20 +416,25 @@ func init() {
 	gob.Register(map[string]any{})
 }
 
+// blobMagic prefixes wire-encoded blob snapshots. Payloads without it
+// are pre-refactor gob blobs; restoreBlob still decodes those, so
+// snapshots taken before the codec swap remain restorable.
+var blobMagic = []byte("SQWB\x01")
+
 func (b *Backend) prepareBlob(ssid int64) (int, error) {
-	st := blobState{
-		Keys:   make([]partition.Key, 0, len(b.data)),
-		Values: make([]any, 0, len(b.data)),
-	}
+	buf := make([]byte, 0, 64+24*len(b.data))
+	buf = append(buf, blobMagic...)
+	buf = wire.AppendUvarint(buf, uint64(len(b.data)))
+	var err error
 	for _, e := range b.data {
-		st.Keys = append(st.Keys, e.key)
-		st.Values = append(st.Values, e.value)
+		if buf, err = wire.AppendValue(buf, e.key); err != nil {
+			return 0, fmt.Errorf("core: encoding blob snapshot of %s/%d: %w", b.op, b.instance, err)
+		}
+		if buf, err = wire.AppendValue(buf, e.value); err != nil {
+			return 0, fmt.Errorf("core: encoding blob snapshot of %s/%d: %w", b.op, b.instance, err)
+		}
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
-		return 0, fmt.Errorf("core: encoding blob snapshot of %s/%d: %w", b.op, b.instance, err)
-	}
-	b.view.Put(blobMapName(b.op), blobKey(b.instance, ssid), buf.Bytes())
+	b.view.Put(blobMapName(b.op), blobKey(b.instance, ssid), buf)
 	b.dirty = make(map[string]partition.Key)
 	return 1, nil
 }
@@ -349,6 +447,9 @@ func (b *Backend) prepareBlob(ssid int64) (int, error) {
 func (b *Backend) Restore(ssid int64, ownsKey func(partition.Key) bool) error {
 	b.data = make(map[string]entry)
 	b.dirty = make(map[string]partition.Key)
+	// Mirror operations buffered before the failure belong to rolled-back
+	// state; resetLive rewrites the live map from the restored data.
+	b.pending = b.pending[:0]
 	if b.cfg.JetBlob {
 		if err := b.restoreBlob(ssid, ownsKey); err != nil {
 			return err
@@ -376,8 +477,37 @@ func (b *Backend) restoreBlob(ssid int64, ownsKey func(partition.Key) bool) erro
 		// No blob means the instance had no state at that snapshot.
 		return nil
 	}
+	bs := raw.([]byte)
+	if !bytes.HasPrefix(bs, blobMagic) {
+		return b.restoreGobBlob(bs, ownsKey)
+	}
+	bs = bs[len(blobMagic):]
+	n, used := binary.Uvarint(bs)
+	if used <= 0 {
+		return fmt.Errorf("core: decoding blob snapshot of %s/%d: truncated entry count", b.op, b.instance)
+	}
+	bs = bs[used:]
+	var err error
+	for i := uint64(0); i < n; i++ {
+		var k, v any
+		if k, bs, err = wire.DecodeValue(bs); err != nil {
+			return fmt.Errorf("core: decoding blob snapshot of %s/%d: %w", b.op, b.instance, err)
+		}
+		if v, bs, err = wire.DecodeValue(bs); err != nil {
+			return fmt.Errorf("core: decoding blob snapshot of %s/%d: %w", b.op, b.instance, err)
+		}
+		if ownsKey(k) {
+			b.data[partition.KeyString(k)] = entry{key: k, value: v}
+		}
+	}
+	return nil
+}
+
+// restoreGobBlob decodes a pre-refactor gob blob — the migration path
+// for snapshots persisted before the wire codec existed.
+func (b *Backend) restoreGobBlob(bs []byte, ownsKey func(partition.Key) bool) error {
 	var st blobState
-	if err := gob.NewDecoder(bytes.NewReader(raw.([]byte))).Decode(&st); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(bs)).Decode(&st); err != nil {
 		return fmt.Errorf("core: decoding blob snapshot of %s/%d: %w", b.op, b.instance, err)
 	}
 	for i, k := range st.Keys {
@@ -399,6 +529,7 @@ func (b *Backend) PromoteStandby(ownsKey func(partition.Key) bool) error {
 	}
 	b.data = make(map[string]entry)
 	b.dirty = make(map[string]partition.Key)
+	b.pending = b.pending[:0]
 	b.view.Scan(standbyMapName(b.op), func(e kv.Entry) bool {
 		if ownsKey(e.Key) {
 			b.data[partition.KeyString(e.Key)] = entry{key: e.Key, value: e.Value}
@@ -417,18 +548,16 @@ func (b *Backend) PromoteStandby(ownsKey func(partition.Key) bool) error {
 // owns are touched; sibling instances reset theirs.
 func (b *Backend) resetLive(ownsKey func(partition.Key) bool) {
 	name := LiveMapName(b.op)
-	var stale []partition.Key
+	ops := make([]kv.Op, 0, len(b.data))
 	b.view.Scan(name, func(e kv.Entry) bool {
 		ks := partition.KeyString(e.Key)
 		if _, ok := b.data[ks]; !ok && ownsKey(e.Key) {
-			stale = append(stale, e.Key)
+			ops = append(ops, kv.Op{Key: e.Key, Delete: true})
 		}
 		return true
 	})
-	for _, k := range stale {
-		b.view.Delete(name, k)
-	}
 	for _, e := range b.data {
-		b.view.Put(name, e.key, e.value)
+		ops = append(ops, kv.Op{Key: e.key, Value: e.value})
 	}
+	b.view.PutBatch(name, ops)
 }

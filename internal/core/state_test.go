@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"squery/internal/kv"
 	"squery/internal/metrics"
 	"squery/internal/partition"
+	"squery/internal/transport"
 )
 
 type avgState struct {
@@ -29,6 +31,8 @@ func TestBackendLiveMirroring(t *testing.T) {
 	b := NewBackend("average", 0, store.View(0), Config{Live: true})
 	b.Update(1, avgState{Count: 3, Total: 45})
 	b.Update(2, avgState{Count: 2, Total: 20})
+	// Mirroring is batched; the owning worker flushes at quiescence.
+	b.Flush()
 
 	v := store.View(0)
 	got, ok := v.Get(LiveMapName("average"), 1)
@@ -36,6 +40,7 @@ func TestBackendLiveMirroring(t *testing.T) {
 		t.Fatalf("live map entry = %v, %v", got, ok)
 	}
 	b.Delete(1)
+	b.Flush()
 	if _, ok := v.Get(LiveMapName("average"), 1); ok {
 		t.Fatal("deleted key still live")
 	}
@@ -44,6 +49,31 @@ func TestBackendLiveMirroring(t *testing.T) {
 	}
 	if b.Size() != 1 {
 		t.Fatalf("Size = %d, want 1", b.Size())
+	}
+}
+
+// TestBackendMirrorBatchFlushes pins the batching contract: updates
+// buffer until MirrorBatch is reached (or Flush is called), then land as
+// one partition-grouped batch; Unbatched restores per-record mirroring.
+func TestBackendMirrorBatchFlushes(t *testing.T) {
+	store := newTestStore()
+	b := NewBackend("op", 0, store.View(0), Config{Live: true, MirrorBatch: 4})
+	name := LiveMapName("op")
+	for i := 0; i < 3; i++ {
+		b.Update(i, i)
+	}
+	if store.HasMap(name) && store.GetMap(name).Size() > 0 {
+		t.Fatal("live map written before the batch filled")
+	}
+	b.Update(3, 3) // fills the batch of 4 — auto-flush
+	if got := store.GetMap(name).Size(); got != 4 {
+		t.Fatalf("live map has %d entries after auto-flush, want 4", got)
+	}
+
+	un := NewBackend("op2", 0, store.View(0), Config{Live: true, Unbatched: true})
+	un.Update("k", 1)
+	if got, ok := store.View(0).Get(LiveMapName("op2"), "k"); !ok || got != 1 {
+		t.Fatalf("unbatched mirror = %v, %v; want immediate visibility", got, ok)
 	}
 }
 
@@ -329,5 +359,107 @@ func TestLatencySamplingConfigurable(t *testing.T) {
 	_, b := sampled(8, 42, 801)
 	if a != b {
 		t.Fatalf("same seed sampled differently: %d vs %d", a, b)
+	}
+}
+
+// TestBlobGobMigrationRestore proves snapshots persisted before the wire
+// codec existed still restore: a blob hand-encoded in the legacy gob
+// blobState format (no magic prefix) round-trips through Restore, and
+// the next checkpoint re-encodes it in the wire format.
+func TestBlobGobMigrationRestore(t *testing.T) {
+	store := newTestStore()
+	cfg := Config{JetBlob: true}
+	st := blobState{
+		Keys:   []partition.Key{1, "user-7"},
+		Values: []any{avgState{Count: 2, Total: 10}, avgState{Count: 5, Total: 50}},
+	}
+	var legacy bytes.Buffer
+	if err := gob.NewEncoder(&legacy).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	store.View(0).Put(blobMapName("op"), blobKey(0, 7), legacy.Bytes())
+
+	b := NewBackend("op", 0, store.View(0), cfg)
+	if err := b.Restore(7, ownsAll); err != nil {
+		t.Fatalf("restoring legacy gob blob: %v", err)
+	}
+	if got, ok := b.Get(1); !ok || got.(avgState).Total != 10 {
+		t.Fatalf("key 1 = %v, %v after legacy restore", got, ok)
+	}
+	if got, ok := b.Get("user-7"); !ok || got.(avgState).Count != 5 {
+		t.Fatalf("key user-7 = %v, %v after legacy restore", got, ok)
+	}
+
+	// The next checkpoint of the migrated state is wire-encoded...
+	if _, err := b.SnapshotPrepare(8); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := store.View(0).Get(blobMapName("op"), blobKey(0, 8))
+	if !ok || !bytes.HasPrefix(raw.([]byte), blobMagic) {
+		t.Fatal("re-snapshot of migrated state is not wire-encoded")
+	}
+	// ...and restores identically.
+	b2 := NewBackend("op", 0, store.View(0), cfg)
+	if err := b2.Restore(8, ownsAll); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := b2.Get("user-7"); !ok || got.(avgState).Total != 50 {
+		t.Fatalf("key user-7 = %v, %v after wire restore", got, ok)
+	}
+	if b2.Size() != 2 {
+		t.Fatalf("Size = %d after wire restore, want 2", b2.Size())
+	}
+}
+
+// TestBlobKeyAllocs guards the append-based blobKey: one allocation (the
+// final string conversion), not fmt.Sprintf's boxing and formatting.
+func TestBlobKeyAllocs(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = blobKey(3, 1234567890123)
+	})
+	if allocs > 1 {
+		t.Fatalf("blobKey allocates %v times per call, want <= 1", allocs)
+	}
+}
+
+// TestWriteVersionsHopCount pins the checkpoint wire cost via the
+// transport's message counter: the legacy Get+Put loop pays two messages
+// per remote key, the batched apply one message per remote partition
+// group — the regression test for the writeVersions double hop.
+func TestWriteVersionsHopCount(t *testing.T) {
+	const parts, nodes, keys = 16, 4, 64
+	run := func(unbatched bool) (msgs uint64, remoteKeys, remoteParts int) {
+		p := partition.New(parts)
+		a := partition.Assign(parts, nodes)
+		tr := transport.NewSim(transport.SimConfig{})
+		store := kv.NewStore(p, a, tr)
+		b := NewBackend("op", 0, store.View(0), Config{Snapshots: true, Unbatched: unbatched})
+		seen := make(map[int]bool)
+		for k := 0; k < keys; k++ {
+			b.Update(k, k)
+			if pt := p.Of(k); a.Owner(pt) != 0 {
+				remoteKeys++
+				if !seen[pt] {
+					seen[pt] = true
+					remoteParts++
+				}
+			}
+		}
+		before := tr.Stats().Messages
+		if _, err := b.SnapshotPrepare(1); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Stats().Messages - before, remoteKeys, remoteParts
+	}
+	slow, remoteKeys, _ := run(true)
+	fast, _, remoteParts := run(false)
+	if want := uint64(2 * remoteKeys); slow != want {
+		t.Fatalf("unbatched checkpoint sent %d messages, want %d (Get+Put per remote key)", slow, want)
+	}
+	if want := uint64(remoteParts); fast != want {
+		t.Fatalf("batched checkpoint sent %d messages, want %d (one per remote partition group)", fast, want)
+	}
+	if fast*4 > slow {
+		t.Fatalf("batched checkpoint not >=4x cheaper: %d vs %d messages", fast, slow)
 	}
 }

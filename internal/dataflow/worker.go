@@ -73,6 +73,12 @@ func (w *worker) run() {
 				w.job.retire(w.vertex, w.instance, -1)
 				return
 			}
+			if w.backend != nil && len(w.inbox) == 0 {
+				// Quiescence flush: live-state mirroring is batched per
+				// record-batch, and an empty inbox bounds how stale the
+				// live map may get — a drained worker has fully mirrored.
+				w.backend.Flush()
+			}
 		}
 	}
 }
@@ -274,6 +280,11 @@ func (w *worker) resetAlignment() bool {
 func (w *worker) finish() {
 	if f, ok := w.proc.(Flusher); ok {
 		f.Flush(w.emit)
+	}
+	if w.backend != nil {
+		// Final state the processor's Flush produced must be queryable
+		// after the job drains.
+		w.backend.Flush()
 	}
 	w.broadcast(item{kind: kindEOS})
 }

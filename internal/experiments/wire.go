@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+	"time"
+
+	"squery/internal/cluster"
+	"squery/internal/core"
+	"squery/internal/wire"
+)
+
+// WireRow is one configuration of the wire experiment: the measured
+// inter-node cost of state maintenance under the legacy per-record /
+// per-key message shape versus the batched transport.
+type WireRow struct {
+	Label string
+	// Checkpoint cost, averaged over the measured rounds.
+	MsgsPerCkpt  float64
+	OpsPerCkpt   float64
+	KBPerCkpt    float64
+	CkptMs       float64
+	// Data-plane cost: live-state mirroring messages per 1000 updates and
+	// the mean wall cost of one Update (including its share of mirroring).
+	MirrorMsgsPer1K float64
+	UpdateNs        float64
+}
+
+// Wire measures what the explicit transport layer, the binary codec and
+// batched state mirroring buy, on a replicated 3-node cluster: inter-node
+// messages, operation counts and payload bytes per checkpoint, mirroring
+// messages per 1000 updates, and per-update overhead. The "legacy" row
+// reproduces the pre-refactor wire shape (one message per mirrored
+// record, one Get plus one Put per snapshotted key); the "batched" row is
+// the default path (partition-grouped batches end to end). EXPERIMENTS.md
+// records the measured ratios; the acceptance bar is >=4x fewer messages
+// per checkpoint.
+func Wire(o Options) []WireRow {
+	keys, rounds := 20_000, 5
+	if o.Quick {
+		keys, rounds = 4_000, 3
+	}
+	return []WireRow{
+		runWireConfig("legacy per-key wire", keys, rounds, true),
+		runWireConfig("batched wire", keys, rounds, false),
+	}
+}
+
+func runWireConfig(label string, keys, rounds int, unbatched bool) WireRow {
+	// 128 partitions (the pushdown experiment's configuration) and a
+	// record-batch of 256: batching pays off in proportion to operations
+	// per partition group, so the batch must be sized against the
+	// partition count — with a batch far below it every group degenerates
+	// to a single operation.
+	clu := cluster.New(cluster.Config{Nodes: 3, Partitions: 128, ReplicateState: true})
+	defer clu.Close()
+	nodes := clu.Nodes()
+	cfg := core.Config{Live: true, Snapshots: true, Unbatched: unbatched, MirrorBatch: 256}
+	backends := make([]*core.Backend, nodes)
+	for n := 0; n < nodes; n++ {
+		backends[n] = core.NewBackend("wireexp", n, clu.NodeView(n), cfg)
+	}
+
+	var updDur, ckptDur time.Duration
+	var mirrorMsgs, ckptMsgs, ckptOps, ckptBytes uint64
+	updates := 0
+	for r := 0; r < rounds; r++ {
+		before := clu.Transport().Stats()
+		start := time.Now()
+		for k := 0; k < keys; k++ {
+			backends[k%nodes].Update(k, k*31+r)
+			updates++
+		}
+		// Quiescence flush, as the worker does when its inbox drains.
+		for _, b := range backends {
+			b.Flush()
+		}
+		updDur += time.Since(start)
+		mid := clu.Transport().Stats()
+		mirrorMsgs += mid.Messages - before.Messages
+
+		start = time.Now()
+		for _, b := range backends {
+			if _, err := b.SnapshotPrepare(int64(r + 1)); err != nil {
+				panic(err)
+			}
+		}
+		ckptDur += time.Since(start)
+		after := clu.Transport().Stats()
+		ckptMsgs += after.Messages - mid.Messages
+		ckptOps += after.Ops - mid.Ops
+		ckptBytes += after.Bytes - mid.Bytes
+	}
+
+	fr := float64(rounds)
+	return WireRow{
+		Label:           label,
+		MsgsPerCkpt:     float64(ckptMsgs) / fr,
+		OpsPerCkpt:      float64(ckptOps) / fr,
+		KBPerCkpt:       float64(ckptBytes) / fr / 1024,
+		CkptMs:          float64(ckptDur.Milliseconds()) / fr,
+		MirrorMsgsPer1K: float64(mirrorMsgs) / float64(updates) * 1000,
+		UpdateNs:        float64(updDur.Nanoseconds()) / float64(updates),
+	}
+}
+
+// WireTable renders the wire experiment, appending the codec size
+// comparison (wire vs gob bytes per encoded value).
+func WireTable(title string, rows []WireRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-22s %12s %12s %12s %10s %16s %12s\n",
+		"series", "msgs/ckpt", "ops/ckpt", "KB/ckpt", "ckpt ms", "mirror msgs/1K", "update ns")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %12.0f %12.0f %12.1f %10.2f %16.1f %12.0f\n",
+			r.Label, r.MsgsPerCkpt, r.OpsPerCkpt, r.KBPerCkpt, r.CkptMs, r.MirrorMsgsPer1K, r.UpdateNs)
+	}
+	if len(rows) == 2 && rows[1].MsgsPerCkpt > 0 {
+		fmt.Fprintf(&b, "message reduction per checkpoint: %.1fx\n",
+			rows[0].MsgsPerCkpt/rows[1].MsgsPerCkpt)
+	}
+	b.WriteString(codecSizes())
+	return b.String()
+}
+
+// codecSizes compares the wire codec's encoded size against gob for
+// representative state values.
+func codecSizes() string {
+	samples := []struct {
+		label string
+		v     any
+	}{
+		{"int 42", 42},
+		{"int 1e9", 1_000_000_000},
+		{"string(12)", "rider-000042"},
+		{"row map(3)", map[string]any{"count": 7, "total": 1234, "zone": "centrum"}},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "codec size (bytes): %-14s %6s %6s\n", "value", "wire", "gob")
+	for _, s := range samples {
+		enc, err := wire.AppendValue(nil, s.v)
+		if err != nil {
+			continue
+		}
+		var gb bytes.Buffer
+		v := s.v
+		if err := gob.NewEncoder(&gb).Encode(&v); err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, "                    %-14s %6d %6d\n", s.label, len(enc), gb.Len())
+	}
+	return b.String()
+}

@@ -1,0 +1,283 @@
+package kv
+
+import (
+	"squery/internal/partition"
+	"squery/internal/transport"
+	"squery/internal/wire"
+)
+
+// Batched operations: the partition-grouped message shape the paper's
+// overhead numbers depend on. A batch of n operations touching k
+// partitions costs k messages (one per remote partition group), not n —
+// the Hazelcast partition-operation discipline. Within a partition the
+// group is applied under one segment lock acquisition, so a batch also
+// amortises locking, and replication mirrors each partition group in a
+// single backup hop.
+
+// Op is one operation in a batch: a put of Value under Key, or, with
+// Delete set, a removal of Key.
+type Op struct {
+	Key    partition.Key
+	Value  any
+	Delete bool
+}
+
+// group is the slice of a batch hitting one partition, as indices into
+// the original ops (order within a partition is preserved — last write
+// to a key wins, exactly as if applied one by one).
+type group struct {
+	p   int
+	idx []int
+}
+
+// groupByPartition splits n operations (keyed by keyAt) into per-partition
+// groups, ascending by partition so batch application order is
+// deterministic. A counting sort over partition ids — O(n + partitions),
+// stable (within a partition the original order is preserved, so the last
+// write to a key wins), and the groups share one index slice. This runs
+// on every mirror flush, so its constant factor is part of the update
+// path.
+func (s *Store) groupByPartition(n int, keyAt func(int) partition.Key) []group {
+	nparts := s.part.Count()
+	parts := make([]int, n)
+	counts := make([]int, nparts)
+	distinct := 0
+	for i := 0; i < n; i++ {
+		p := s.part.Of(keyAt(i))
+		parts[i] = p
+		if counts[p] == 0 {
+			distinct++
+		}
+		counts[p]++
+	}
+	starts := make([]int, nparts)
+	sum := 0
+	for p := 0; p < nparts; p++ {
+		starts[p] = sum
+		sum += counts[p]
+	}
+	idx := make([]int, n)
+	for i := 0; i < n; i++ {
+		p := parts[i]
+		idx[starts[p]] = i
+		starts[p]++
+	}
+	out := make([]group, 0, distinct)
+	for i := 0; i < n; {
+		p := parts[idx[i]]
+		out = append(out, group{p: p, idx: idx[i : i+counts[p]]})
+		i += counts[p]
+	}
+	return out
+}
+
+// stripeSet collects the distinct stripe locks a group needs, in stripe
+// order — every multi-stripe acquirer uses the same order, so batches
+// cannot deadlock against each other or against unary operations (which
+// take a single stripe, then the segment lock, the same ordering).
+type stripeSet struct {
+	need [lockStripes]bool
+}
+
+func (ss *stripeSet) add(seg *segment, ks string) {
+	var h uint32
+	for i := 0; i < len(ks); i++ {
+		h = h*31 + uint32(ks[i])
+	}
+	ss.need[h%lockStripes] = true
+}
+
+func (ss *stripeSet) lock(seg *segment, st *partStats) {
+	for i := range ss.need {
+		if ss.need[i] {
+			lockWith(&seg.stripes[i], st)
+		}
+	}
+}
+
+func (ss *stripeSet) unlock(seg *segment) {
+	for i := range ss.need {
+		if ss.need[i] {
+			seg.stripes[i].Unlock()
+		}
+	}
+}
+
+// PutBatch applies a batch of puts/deletes to the named map. Cost: one
+// message per remote partition group (carrying the group's operation
+// count and encoded size), one segment lock acquisition and — with
+// replication — one backup hop per group.
+func (v NodeView) PutBatch(mapName string, ops []Op) {
+	if len(ops) == 0 {
+		return
+	}
+	m := v.store.GetMap(mapName)
+	groups := v.store.groupByPartition(len(ops), func(i int) partition.Key { return ops[i].Key })
+	// Key strings are computed once for the whole batch; groups index
+	// into this slice by op position.
+	kss := make([]string, len(ops))
+	for i := range ops {
+		kss[i] = partition.KeyString(ops[i].Key)
+	}
+	for _, g := range groups {
+		m.applyGroup(v.node, g, ops, kss)
+	}
+}
+
+// applyGroup applies one partition group of a batch.
+func (m *Map) applyGroup(node int, g group, ops []Op, kss []string) {
+	s := m.store
+	bytes := 0
+	for _, i := range g.idx {
+		bytes += wire.Size(ops[i].Key)
+		if !ops[i].Delete {
+			bytes += wire.Size(ops[i].Value)
+		}
+	}
+	if owner := s.assign.Owner(g.p); node != owner {
+		s.tr.Send(transport.Msg{From: node, To: owner, Ops: len(g.idx), Bytes: bytes})
+	}
+	st := s.statsFor(g.p)
+	seg := m.segs[g.p]
+
+	var ss stripeSet
+	for _, i := range g.idx {
+		ss.add(seg, kss[i])
+	}
+	ss.lock(seg, st)
+	seg.mu.Lock()
+	puts, dels := 0, 0
+	for _, i := range g.idx {
+		if ops[i].Delete {
+			delete(seg.entries, kss[i])
+			dels++
+		} else {
+			seg.entries[kss[i]] = Entry{Key: ops[i].Key, Value: ops[i].Value}
+			puts++
+		}
+	}
+	seg.mu.Unlock()
+	ss.unlock(seg)
+	if st != nil {
+		if puts > 0 {
+			st.sets.Add(int64(puts))
+		}
+		if dels > 0 {
+			st.deletes.Add(int64(dels))
+		}
+	}
+	if s.replicated {
+		s.backupHop(g.p, len(g.idx), bytes)
+		bak := m.backups[g.p]
+		bak.mu.Lock()
+		for _, i := range g.idx {
+			if ops[i].Delete {
+				delete(bak.entries, kss[i])
+			} else {
+				bak.entries[kss[i]] = Entry{Key: ops[i].Key, Value: ops[i].Value}
+			}
+		}
+		bak.mu.Unlock()
+	}
+}
+
+// ApplyBatch runs a batched read-modify-write over keys: for each key,
+// merge is called with the key's index, the key, the current value and
+// whether it exists, and returns the new value and whether to keep it
+// (false deletes the key). The whole cycle costs one round trip per
+// remote partition group — where a Get+Put-per-key loop would cost two
+// messages per key — and one segment lock acquisition per group, so the
+// read and the write happen atomically per key with no window for a
+// concurrent writer in between.
+//
+// merge runs with the segment locked: it must be pure computation — no
+// calls back into the store, no blocking.
+func (v NodeView) ApplyBatch(mapName string, keys []partition.Key, merge func(i int, key partition.Key, cur any, ok bool) (any, bool)) {
+	if len(keys) == 0 {
+		return
+	}
+	m := v.store.GetMap(mapName)
+	s := v.store
+	groups := s.groupByPartition(len(keys), func(i int) partition.Key { return keys[i] })
+	kss := make([]string, len(keys))
+	for i := range keys {
+		kss[i] = partition.KeyString(keys[i])
+	}
+	for _, g := range groups {
+		if owner := s.assign.Owner(g.p); v.node != owner {
+			bytes := 0
+			for _, i := range g.idx {
+				bytes += wire.Size(keys[i])
+			}
+			s.tr.Send(transport.Msg{From: v.node, To: owner, Ops: len(g.idx), Bytes: bytes})
+		}
+		st := s.statsFor(g.p)
+		seg := m.segs[g.p]
+
+		var ss stripeSet
+		for _, i := range g.idx {
+			ss.add(seg, kss[i])
+		}
+		type bakOp struct {
+			i      int
+			e      Entry
+			delete bool
+		}
+		var bakOps []bakOp
+		ss.lock(seg, st)
+		seg.mu.Lock()
+		puts, dels := 0, 0
+		for _, i := range g.idx {
+			cur, ok := seg.entries[kss[i]]
+			var curVal any
+			if ok {
+				curVal = cur.Value
+			}
+			nv, keep := merge(i, keys[i], curVal, ok)
+			if keep {
+				e := Entry{Key: keys[i], Value: nv}
+				seg.entries[kss[i]] = e
+				puts++
+				if s.replicated {
+					bakOps = append(bakOps, bakOp{i: i, e: e})
+				}
+			} else {
+				delete(seg.entries, kss[i])
+				dels++
+				if s.replicated {
+					bakOps = append(bakOps, bakOp{i: i, delete: true})
+				}
+			}
+		}
+		seg.mu.Unlock()
+		ss.unlock(seg)
+		if st != nil {
+			st.gets.Add(int64(len(g.idx)))
+			if puts > 0 {
+				st.sets.Add(int64(puts))
+			}
+			if dels > 0 {
+				st.deletes.Add(int64(dels))
+			}
+		}
+		if s.replicated {
+			bytes := 0
+			for _, b := range bakOps {
+				if !b.delete {
+					bytes += wire.Size(b.e.Key) + wire.Size(b.e.Value)
+				}
+			}
+			s.backupHop(g.p, len(g.idx), bytes)
+			bak := m.backups[g.p]
+			bak.mu.Lock()
+			for _, b := range bakOps {
+				if b.delete {
+					delete(bak.entries, kss[b.i])
+				} else {
+					bak.entries[kss[b.i]] = b.e
+				}
+			}
+			bak.mu.Unlock()
+		}
+	}
+}

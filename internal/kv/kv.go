@@ -24,38 +24,29 @@ import (
 
 	"squery/internal/metrics"
 	"squery/internal/partition"
+	"squery/internal/transport"
+	"squery/internal/wire"
 )
-
-// DelayFunc models the network: it blocks for the cost of a message from
-// node `from` to node `to`. A nil DelayFunc means a zero-cost network.
-// from == to is always free. The cluster package provides implementations.
-type DelayFunc func(from, to int)
 
 // ClientNode is the pseudo node id used by external clients (the query
 // system); it is remote to every store node.
-const ClientNode = -1
+const ClientNode = transport.ClientNode
 
-// FaultHook intercepts simulated network access to partitions for fault
-// injection (see internal/chaos). Access is called with the accessing
-// node, the node owning (or backing up) the target partition, and the
-// partition itself; it may block (a stalled partition) and/or return an
-// error (an unreachable one). The hook is consulted only on the fallible
-// access paths the query layer uses (CheckAccess / CheckBackupAccess) —
-// the data plane's co-located state operations never route through it, so
-// injected faults degrade queries without corrupting processing.
-type FaultHook interface {
-	Access(from, owner, partition int) error
-}
+// FaultHook is the fault-injection seam, re-exported from the transport
+// layer where it now lives: faults happen to the network, not to the
+// store. See transport.FaultHook for the contract. The hook is consulted
+// only on the fallible access paths the query layer uses (CheckAccess /
+// CheckBackupAccess) — the data plane's co-located state operations never
+// route through it, so injected faults degrade queries without
+// corrupting processing.
+type FaultHook = transport.FaultHook
 
 // Store is a cluster-wide collection of named partitioned maps.
 type Store struct {
 	part       partition.Partitioner
 	assign     *partition.Assignment
-	delay      DelayFunc
+	tr         transport.Transport
 	replicated bool
-
-	faultMu sync.RWMutex
-	fault   FaultHook
 
 	// stats, when set, is the per-partition instrument set (indexed by
 	// partition). Swapped atomically so SetMetrics is safe against
@@ -79,12 +70,20 @@ type partStats struct {
 }
 
 // NewStore creates a store over the given partitioning and assignment.
-func NewStore(p partition.Partitioner, a *partition.Assignment, delay DelayFunc) *Store {
+// All inter-node operations flow through tr; nil selects a free (zero
+// latency, still accounted) simulated transport.
+func NewStore(p partition.Partitioner, a *partition.Assignment, tr transport.Transport) *Store {
 	if a.Partitions() != p.Count() {
 		panic(fmt.Sprintf("kv: assignment has %d partitions, partitioner %d", a.Partitions(), p.Count()))
 	}
-	return &Store{part: p, assign: a, delay: delay, maps: make(map[string]*Map)}
+	if tr == nil {
+		tr = transport.NewSim(transport.SimConfig{})
+	}
+	return &Store{part: p, assign: a, tr: tr, maps: make(map[string]*Map)}
 }
+
+// Transport returns the transport the store sends through.
+func (s *Store) Transport() transport.Transport { return s.tr }
 
 // Partitioner returns the store's partitioner.
 func (s *Store) Partitioner() partition.Partitioner { return s.part }
@@ -192,34 +191,18 @@ func lockWith(lk *sync.Mutex, st *partStats) {
 	st.lockWaitNs.Add(time.Since(start).Nanoseconds())
 }
 
-// SetFaultHook installs (or clears, with nil) the fault-injection hook.
-func (s *Store) SetFaultHook(h FaultHook) {
-	s.faultMu.Lock()
-	s.fault = h
-	s.faultMu.Unlock()
-}
-
-func (s *Store) faultHook() FaultHook {
-	s.faultMu.RLock()
-	defer s.faultMu.RUnlock()
-	return s.fault
-}
+// SetFaultHook installs (or clears, with nil) the fault-injection hook
+// on the store's transport.
+func (s *Store) SetFaultHook(h FaultHook) { s.tr.SetFaultHook(h) }
 
 // CheckAccess reports whether node `from` can currently reach the primary
-// copy of partition p, consulting the fault hook. A stalled partition
-// blocks here for the injected delay; an unreachable one returns a typed
-// error wrapping the hook's. Local access (from == owner) is never
-// faulted — a node cannot be partitioned away from itself.
+// copy of partition p, consulting the transport's fault hook. A stalled
+// partition blocks here for the injected delay; an unreachable one
+// returns a typed error wrapping the hook's. Local access (from == owner)
+// is never faulted — a node cannot be partitioned away from itself.
 func (s *Store) CheckAccess(from, p int) error {
-	h := s.faultHook()
-	if h == nil {
-		return nil
-	}
 	owner := s.assign.Owner(p)
-	if from == owner {
-		return nil
-	}
-	if err := h.Access(from, owner, p); err != nil {
+	if err := s.tr.Check(from, owner, p); err != nil {
 		return fmt.Errorf("kv: partition %d (node %d) unreachable from node %d: %w", p, owner, from, err)
 	}
 	return nil
@@ -228,26 +211,22 @@ func (s *Store) CheckAccess(from, p int) error {
 // CheckBackupAccess is CheckAccess against the partition's backup copy —
 // the degraded read path when the primary is severed.
 func (s *Store) CheckBackupAccess(from, p int) error {
-	h := s.faultHook()
-	if h == nil {
-		return nil
-	}
 	backup := s.assign.Backup(p)
-	if from == backup {
-		return nil
-	}
-	if err := h.Access(from, backup, p); err != nil {
+	if err := s.tr.Check(from, backup, p); err != nil {
 		return fmt.Errorf("kv: backup of partition %d (node %d) unreachable from node %d: %w", p, backup, from, err)
 	}
 	return nil
 }
 
-// networkHop charges the network cost of touching partition p from node.
-func (s *Store) networkHop(fromNode, p int) {
-	if s.delay == nil || fromNode == s.assign.Owner(p) {
+// networkHop charges the network cost of touching partition p from node:
+// one message carrying ops logical operations and bytes payload bytes.
+// Local access is free.
+func (s *Store) networkHop(fromNode, p, ops, bytes int) {
+	owner := s.assign.Owner(p)
+	if fromNode == owner {
 		return
 	}
-	s.delay(fromNode, s.assign.Owner(p))
+	s.tr.Send(transport.Msg{From: fromNode, To: owner, Ops: ops, Bytes: bytes})
 }
 
 // Entry is one key-value pair in a map.
@@ -309,7 +288,9 @@ func (m *Map) PartitionOf(key partition.Key) int { return m.store.part.Of(key) }
 // put stores the entry, charging network cost from the calling node.
 func (m *Map) put(node int, key partition.Key, value any) {
 	p := m.store.part.Of(key)
-	m.store.networkHop(node, p)
+	if node != m.store.assign.Owner(p) {
+		m.store.networkHop(node, p, 1, wire.Size(key)+wire.Size(value))
+	}
 	st := m.store.statsFor(p)
 	seg := m.segs[p]
 	ks := partition.KeyString(key)
@@ -331,7 +312,9 @@ func (m *Map) put(node int, key partition.Key, value any) {
 // get loads the value for key; ok is false if absent.
 func (m *Map) get(node int, key partition.Key) (any, bool) {
 	p := m.store.part.Of(key)
-	m.store.networkHop(node, p)
+	if node != m.store.assign.Owner(p) {
+		m.store.networkHop(node, p, 1, wire.Size(key))
+	}
 	st := m.store.statsFor(p)
 	seg := m.segs[p]
 	ks := partition.KeyString(key)
@@ -353,7 +336,9 @@ func (m *Map) get(node int, key partition.Key) (any, bool) {
 // delete removes the key; it reports whether the key was present.
 func (m *Map) delete(node int, key partition.Key) bool {
 	p := m.store.part.Of(key)
-	m.store.networkHop(node, p)
+	if node != m.store.assign.Owner(p) {
+		m.store.networkHop(node, p, 1, wire.Size(key))
+	}
 	st := m.store.statsFor(p)
 	seg := m.segs[p]
 	ks := partition.KeyString(key)
@@ -491,9 +476,15 @@ func (v NodeView) Store() *Store { return v.store }
 // engine scanning whole partitions per node) use it to keep the network
 // model honest.
 func (v NodeView) ChargeHop(to int) {
-	if v.store.delay != nil && v.node != to {
-		v.store.delay(v.node, to)
-	}
+	v.store.tr.Send(transport.Msg{From: v.node, To: to})
+}
+
+// ChargeBatch charges one message from this view's node to the given
+// node carrying ops logical operations and bytes payload bytes — the
+// scatter-gather accounting the SQL executor uses for result rows shipped
+// back from a node in one framed response.
+func (v NodeView) ChargeBatch(to, ops, bytes int) {
+	v.store.tr.Send(transport.Msg{From: v.node, To: to, Ops: ops, Bytes: bytes})
 }
 
 // Put stores value under key in the named map.
@@ -521,16 +512,24 @@ func (v NodeView) Delete(mapName string, key partition.Key) bool {
 // single-key read-modify cycles.)
 func (v NodeView) GetAll(mapName string, keys []partition.Key) []any {
 	m := v.store.GetMap(mapName)
-	// Charge one hop per remote node involved.
-	if v.store.delay != nil {
-		touched := make(map[int]bool)
-		for _, k := range keys {
-			owner := v.store.assign.Owner(v.store.part.Of(k))
-			if owner != v.node && !touched[owner] {
-				touched[owner] = true
-				v.store.delay(v.node, owner)
-			}
+	// Charge one message per remote node involved, carrying that node's
+	// share of the keys. Nodes are charged in first-touch order so the
+	// transport's jitter sequence stays deterministic for a given key
+	// order.
+	var order []int
+	counts := make(map[int]int)
+	for _, k := range keys {
+		owner := v.store.assign.Owner(v.store.part.Of(k))
+		if owner == v.node {
+			continue
 		}
+		if counts[owner] == 0 {
+			order = append(order, owner)
+		}
+		counts[owner]++
+	}
+	for _, owner := range order {
+		v.store.tr.Send(transport.Msg{From: v.node, To: owner, Ops: counts[owner]})
 	}
 	out := make([]any, len(keys))
 	for i, k := range keys {
@@ -550,15 +549,22 @@ func (v NodeView) GetAll(mapName string, keys []partition.Key) []any {
 // returning false stops the scan.
 func (v NodeView) Scan(mapName string, fn func(Entry) bool) {
 	m := v.store.GetMap(mapName)
-	if v.store.delay != nil {
-		touched := make(map[int]bool)
-		for p := 0; p < v.store.part.Count(); p++ {
-			owner := v.store.assign.Owner(p)
-			if owner != v.node && !touched[owner] {
-				touched[owner] = true
-				v.store.delay(v.node, owner)
-			}
+	// One message per remote node, carrying its partition count as the
+	// operation count.
+	var order []int
+	counts := make(map[int]int)
+	for p := 0; p < v.store.part.Count(); p++ {
+		owner := v.store.assign.Owner(p)
+		if owner == v.node {
+			continue
 		}
+		if counts[owner] == 0 {
+			order = append(order, owner)
+		}
+		counts[owner]++
+	}
+	for _, owner := range order {
+		v.store.tr.Send(transport.Msg{From: v.node, To: owner, Ops: counts[owner]})
 	}
 	stop := false
 	for p := 0; p < v.store.part.Count() && !stop; p++ {

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"squery/internal/partition"
+	"squery/internal/transport"
 )
 
 func testStore() *Store {
@@ -229,46 +230,256 @@ func TestConcurrentReadWriteSameKey(t *testing.T) {
 func TestNetworkChargesRemoteOnly(t *testing.T) {
 	p := partition.New(16)
 	a := partition.Assign(16, 4)
-	var hops atomic.Int64
-	s := NewStore(p, a, func(from, to int) { hops.Add(1) })
+	tr := transport.NewSim(transport.SimConfig{})
+	s := NewStore(p, a, tr)
+	hops := func() uint64 { return tr.Stats().Messages }
 
 	// A put from the owning node must be free; from any other node it
 	// must cost exactly one hop.
 	key := "some-key"
 	owner := a.Owner(p.Of(key))
 	s.View(owner).Put("m", key, 1)
-	if hops.Load() != 0 {
-		t.Fatalf("local put charged %d hops", hops.Load())
+	if hops() != 0 {
+		t.Fatalf("local put charged %d hops", hops())
 	}
 	other := (owner + 1) % 4
 	s.View(other).Put("m", key, 2)
-	if hops.Load() != 1 {
-		t.Fatalf("remote put charged %d hops, want 1", hops.Load())
+	if hops() != 1 {
+		t.Fatalf("remote put charged %d hops, want 1", hops())
 	}
 
 	// A client scan touches each node once.
-	hops.Store(0)
+	before := hops()
 	s.View(ClientNode).Scan("m", func(Entry) bool { return true })
-	if hops.Load() != 4 {
-		t.Fatalf("client scan charged %d hops, want 4 (one per node)", hops.Load())
+	if got := hops() - before; got != 4 {
+		t.Fatalf("client scan charged %d hops, want 4 (one per node)", got)
 	}
 }
 
 func TestGetAllBatchesHops(t *testing.T) {
 	p := partition.New(16)
 	a := partition.Assign(16, 4)
-	var hops atomic.Int64
-	s := NewStore(p, a, func(from, to int) { hops.Add(1) })
+	tr := transport.NewSim(transport.SimConfig{})
+	s := NewStore(p, a, tr)
 	v := s.View(ClientNode)
 	keys := make([]partition.Key, 64)
 	for i := range keys {
 		keys[i] = i
 		v.Put("m", i, i)
 	}
-	hops.Store(0)
+	before := tr.Stats()
 	v.GetAll("m", keys)
-	if hops.Load() > 4 {
-		t.Fatalf("batched GetAll charged %d hops, want <= 4", hops.Load())
+	after := tr.Stats()
+	if got := after.Messages - before.Messages; got > 4 {
+		t.Fatalf("batched GetAll charged %d hops, want <= 4", got)
+	}
+	// Every key still counts as a logical operation.
+	if got := after.Ops - before.Ops; got != 64 {
+		t.Fatalf("batched GetAll accounted %d ops, want 64", got)
+	}
+}
+
+func TestPutBatchSemanticsMatchUnary(t *testing.T) {
+	p := partition.New(16)
+	a := partition.Assign(16, 4)
+	batched := NewStore(p, a, nil)
+	unary := NewStore(p, a, nil)
+	bv, uv := batched.View(0), unary.View(0)
+
+	var ops []Op
+	for i := 0; i < 200; i++ {
+		ops = append(ops, Op{Key: i, Value: i * i})
+		uv.Put("m", i, i*i)
+	}
+	// Overwrites and deletes inside the same batch, in order.
+	ops = append(ops, Op{Key: 7, Value: "last-write-wins"})
+	uv.Put("m", 7, "last-write-wins")
+	ops = append(ops, Op{Key: 8, Delete: true})
+	uv.Delete("m", 8)
+	bv.PutBatch("m", ops)
+
+	if bs, us := batched.GetMap("m").Size(), unary.GetMap("m").Size(); bs != us {
+		t.Fatalf("batched size %d != unary size %d", bs, us)
+	}
+	for i := 0; i < 200; i++ {
+		bg, bok := bv.Get("m", i)
+		ug, uok := uv.Get("m", i)
+		if bok != uok || bg != ug {
+			t.Fatalf("key %d: batched (%v, %v) != unary (%v, %v)", i, bg, bok, ug, uok)
+		}
+	}
+}
+
+func TestPutBatchChargesPerPartitionGroup(t *testing.T) {
+	p := partition.New(16)
+	a := partition.Assign(16, 4)
+	tr := transport.NewSim(transport.SimConfig{})
+	s := NewStore(p, a, tr)
+	v := s.View(ClientNode) // remote to every partition
+
+	var ops []Op
+	for i := 0; i < 256; i++ {
+		ops = append(ops, Op{Key: i, Value: i})
+	}
+	v.PutBatch("m", ops)
+	st := tr.Stats()
+	// 256 keys over 16 partitions: at most one message per partition
+	// group, never one per key.
+	if st.Messages > 16 {
+		t.Fatalf("PutBatch sent %d messages for 256 ops over 16 partitions, want <= 16", st.Messages)
+	}
+	if st.Ops != 256 {
+		t.Fatalf("PutBatch accounted %d ops, want 256", st.Ops)
+	}
+}
+
+func TestPutBatchReplicates(t *testing.T) {
+	p := partition.New(16)
+	a := partition.Assign(16, 4)
+	s := NewStore(p, a, nil)
+	if err := s.SetReplicated(); err != nil {
+		t.Fatal(err)
+	}
+	v := s.View(0)
+	var ops []Op
+	for i := 0; i < 100; i++ {
+		ops = append(ops, Op{Key: i, Value: i})
+	}
+	v.PutBatch("m", ops)
+	if got := s.GetMap("m").BackupSize(); got != 100 {
+		t.Fatalf("BackupSize = %d, want 100", got)
+	}
+	// Batched deletes reach the backups too.
+	ops = ops[:0]
+	for i := 0; i < 50; i++ {
+		ops = append(ops, Op{Key: i, Delete: true})
+	}
+	v.PutBatch("m", ops)
+	if got := s.GetMap("m").BackupSize(); got != 50 {
+		t.Fatalf("BackupSize after batched deletes = %d, want 50", got)
+	}
+}
+
+func TestApplyBatchReadModifyWrite(t *testing.T) {
+	p := partition.New(16)
+	a := partition.Assign(16, 4)
+	tr := transport.NewSim(transport.SimConfig{})
+	s := NewStore(p, a, tr)
+	v := s.View(0)
+	for i := 0; i < 100; i++ {
+		v.Put("m", i, i)
+	}
+
+	keys := make([]partition.Key, 120) // 100 present + 20 absent
+	for i := range keys {
+		keys[i] = i
+	}
+	before := tr.Stats().Messages
+	v.ApplyBatch("m", keys, func(i int, key partition.Key, cur any, ok bool) (any, bool) {
+		if i < 100 {
+			if !ok || cur != i {
+				t.Errorf("key %v: merge saw (%v, %v), want (%d, true)", key, cur, ok, i)
+			}
+			if i%10 == 0 {
+				return nil, false // delete every 10th
+			}
+			return cur.(int) + 1000, true
+		}
+		if ok {
+			t.Errorf("absent key %v: merge saw ok=true", key)
+		}
+		return "created", true
+	})
+	used := tr.Stats().Messages - before
+	// One round trip per remote partition group — 16 partitions, 3/4 of
+	// them remote to node 0 on average, but never more than 16 and far
+	// below the 240 a Get+Put-per-key loop would cost.
+	if used > 16 {
+		t.Fatalf("ApplyBatch used %d messages, want <= 16", used)
+	}
+
+	for i := 0; i < 100; i++ {
+		got, ok := v.Get("m", i)
+		if i%10 == 0 {
+			if ok {
+				t.Fatalf("key %d should have been deleted, got %v", i, got)
+			}
+			continue
+		}
+		if !ok || got != i+1000 {
+			t.Fatalf("key %d = (%v, %v), want (%d, true)", i, got, ok, i+1000)
+		}
+	}
+	for i := 100; i < 120; i++ {
+		if got, ok := v.Get("m", i); !ok || got != "created" {
+			t.Fatalf("key %d = (%v, %v), want (created, true)", i, got, ok)
+		}
+	}
+}
+
+func TestApplyBatchReplicates(t *testing.T) {
+	p := partition.New(16)
+	a := partition.Assign(16, 4)
+	s := NewStore(p, a, nil)
+	if err := s.SetReplicated(); err != nil {
+		t.Fatal(err)
+	}
+	v := s.View(0)
+	keys := make([]partition.Key, 80)
+	for i := range keys {
+		keys[i] = i
+	}
+	v.ApplyBatch("m", keys, func(i int, _ partition.Key, _ any, _ bool) (any, bool) {
+		return i, i%2 == 0 // keep evens only
+	})
+	if got := s.GetMap("m").BackupSize(); got != 40 {
+		t.Fatalf("BackupSize = %d, want 40", got)
+	}
+	if got := s.GetMap("m").Size(); got != 40 {
+		t.Fatalf("Size = %d, want 40", got)
+	}
+}
+
+func TestBatchConcurrentWithUnary(t *testing.T) {
+	s := testStore()
+	v := s.View(0)
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 20; r++ {
+			var ops []Op
+			for i := 0; i < 100; i++ {
+				ops = append(ops, Op{Key: fmt.Sprintf("b-%d", i), Value: r})
+			}
+			v.PutBatch("m", ops)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 20; r++ {
+			keys := make([]partition.Key, 100)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("b-%d", i)
+			}
+			v.ApplyBatch("m", keys, func(_ int, _ partition.Key, cur any, ok bool) (any, bool) {
+				if !ok {
+					return 0, true
+				}
+				return cur, true
+			})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 2000; r++ {
+			v.Put("m", fmt.Sprintf("u-%d", r%50), r)
+			v.Get("m", fmt.Sprintf("b-%d", r%100))
+		}
+	}()
+	wg.Wait()
+	if n := s.GetMap("m").Size(); n != 150 {
+		t.Fatalf("Size = %d, want 150", n)
 	}
 }
 
@@ -358,4 +569,33 @@ func TestScanPartitionBackupWithFilter(t *testing.T) {
 	if seen != 5 {
 		t.Fatalf("filtered backup scan saw %d entries, want 5", seen)
 	}
+}
+
+// Benchmarks for the batched vs unary write path: `make bench-smoke`
+// watches these for regressions in the mirror-flush hot path.
+func benchStore() (*Store, NodeView) {
+	p := partition.New(128)
+	s := NewStore(p, partition.Assign(128, 3), nil)
+	return s, s.View(0)
+}
+
+func BenchmarkPutUnary(b *testing.B) {
+	_, v := benchStore()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Put("m", i%4096, i)
+	}
+}
+
+func BenchmarkPutBatch256(b *testing.B) {
+	_, v := benchStore()
+	ops := make([]Op, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range ops {
+			ops[j] = Op{Key: (i*256 + j) % 4096, Value: j}
+		}
+		v.PutBatch("m", ops)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*256), "ns/op256")
 }

@@ -1,6 +1,11 @@
 package kv
 
-import "fmt"
+import (
+	"fmt"
+
+	"squery/internal/transport"
+	"squery/internal/wire"
+)
 
 // Replication gives each partition a synchronous backup copy, notionally
 // held by the partition's backup node (§V.A of the paper: snapshots are
@@ -47,15 +52,15 @@ func (m *Map) sizeLocked() int {
 	return n
 }
 
-// backupHop charges the synchronous replication message primary→backup.
-func (s *Store) backupHop(p int) {
-	if s.delay == nil {
-		return
-	}
+// backupHop charges the synchronous replication message primary→backup:
+// one message carrying ops operations and bytes payload bytes. A batched
+// write replicates its whole partition group in one hop — the mirror of
+// the batching on the primary path.
+func (s *Store) backupHop(p, ops, bytes int) {
 	owner := s.assign.Owner(p)
 	backup := s.assign.Backup(p)
 	if owner != backup {
-		s.delay(owner, backup)
+		s.tr.Send(transport.Msg{From: owner, To: backup, Ops: ops, Bytes: bytes})
 	}
 }
 
@@ -97,7 +102,7 @@ func (s *Store) FailNode(partitions []int) {
 
 // replicatePut mirrors a write into the backup copy.
 func (m *Map) replicatePut(p int, ks string, e Entry) {
-	m.store.backupHop(p)
+	m.store.backupHop(p, 1, wire.Size(e.Key)+wire.Size(e.Value))
 	bak := m.backups[p]
 	bak.mu.Lock()
 	bak.entries[ks] = e
@@ -106,7 +111,7 @@ func (m *Map) replicatePut(p int, ks string, e Entry) {
 
 // replicateDelete mirrors a delete into the backup copy.
 func (m *Map) replicateDelete(p int, ks string) {
-	m.store.backupHop(p)
+	m.store.backupHop(p, 1, len(ks))
 	bak := m.backups[p]
 	bak.mu.Lock()
 	delete(bak.entries, ks)

@@ -3,12 +3,17 @@
 // survives process failures (§IV: "the state of operators is typically
 // stored in stable storage in order to survive node failures"; §VI.B
 // discusses HDFS/S3 for Flink). This package implements that layer as a
-// directory of gob-encoded snapshot segments with an atomically updated
+// directory of wire-encoded snapshot segments with an atomically updated
 // manifest:
 //
 //	<dir>/
 //	  MANIFEST              committed snapshot ids (atomic rename)
-//	  ss-<ssid>/<op>.gob    one segment per operator per snapshot
+//	  ss-<ssid>/<op>.seg    one segment per operator per snapshot
+//
+// Segments use the compact binary codec from internal/wire. Stores
+// written before the codec swap hold <op>.gob segments instead;
+// ReadSegment and Operators understand both, so pre-refactor checkpoints
+// remain restorable in place.
 //
 // Writes happen segment by segment; a snapshot id only becomes visible
 // once the manifest rename lands, so readers never observe half-written
@@ -16,6 +21,8 @@
 package persist
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -25,7 +32,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"squery/internal/wire"
 )
+
+// segMagic prefixes wire-encoded segment files. A .gob segment (no
+// magic, different suffix) is the legacy format.
+var segMagic = []byte("SQWS\x01")
 
 // Entry is one persisted key-value pair of an operator's state.
 type Entry struct {
@@ -63,16 +76,27 @@ func (s *Store) WriteSegment(ssid int64, op string, entries []Entry) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("persist: creating %s: %w", dir, err)
 	}
-	tmp := filepath.Join(dir, op+".gob.tmp")
+	buf := make([]byte, 0, 64+24*len(entries))
+	buf = append(buf, segMagic...)
+	buf = wire.AppendUvarint(buf, uint64(len(entries)))
+	var err error
+	for _, e := range entries {
+		if buf, err = wire.AppendValue(buf, e.Key); err != nil {
+			return fmt.Errorf("persist: encoding segment %s/ss-%d: %w", op, ssid, err)
+		}
+		if buf, err = wire.AppendValue(buf, e.Value); err != nil {
+			return fmt.Errorf("persist: encoding segment %s/ss-%d: %w", op, ssid, err)
+		}
+	}
+	tmp := filepath.Join(dir, op+".seg.tmp")
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("persist: creating segment: %w", err)
 	}
-	enc := gob.NewEncoder(f)
-	if err := enc.Encode(entries); err != nil {
+	if _, err := f.Write(buf); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("persist: encoding segment %s/ss-%d: %w", op, ssid, err)
+		return fmt.Errorf("persist: writing segment %s/ss-%d: %w", op, ssid, err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
@@ -82,15 +106,50 @@ func (s *Store) WriteSegment(ssid int64, op string, entries []Entry) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("persist: closing segment: %w", err)
 	}
-	final := filepath.Join(dir, op+".gob")
+	final := filepath.Join(dir, op+".seg")
 	if err := os.Rename(tmp, final); err != nil {
 		return fmt.Errorf("persist: publishing segment: %w", err)
 	}
 	return nil
 }
 
-// ReadSegment loads one operator's persisted state at ssid.
+// ReadSegment loads one operator's persisted state at ssid. Wire-encoded
+// .seg segments are preferred; a .gob segment from a pre-refactor store
+// is decoded through the legacy path.
 func (s *Store) ReadSegment(ssid int64, op string) ([]Entry, error) {
+	raw, err := os.ReadFile(filepath.Join(s.snapshotDir(ssid), op+".seg"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return s.readGobSegment(ssid, op)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening segment %s/ss-%d: %w", op, ssid, err)
+	}
+	if !bytes.HasPrefix(raw, segMagic) {
+		return nil, fmt.Errorf("persist: segment %s/ss-%d: bad magic", op, ssid)
+	}
+	raw = raw[len(segMagic):]
+	n, used := binary.Uvarint(raw)
+	if used <= 0 {
+		return nil, fmt.Errorf("persist: segment %s/ss-%d: truncated entry count", op, ssid)
+	}
+	raw = raw[used:]
+	entries := make([]Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e Entry
+		if e.Key, raw, err = wire.DecodeValue(raw); err != nil {
+			return nil, fmt.Errorf("persist: decoding segment %s/ss-%d: %w", op, ssid, err)
+		}
+		if e.Value, raw, err = wire.DecodeValue(raw); err != nil {
+			return nil, fmt.Errorf("persist: decoding segment %s/ss-%d: %w", op, ssid, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// readGobSegment is the legacy decode path for stores written before the
+// wire codec existed.
+func (s *Store) readGobSegment(ssid int64, op string) ([]Entry, error) {
 	f, err := os.Open(filepath.Join(s.snapshotDir(ssid), op+".gob"))
 	if err != nil {
 		return nil, fmt.Errorf("persist: opening segment %s/ss-%d: %w", op, ssid, err)
@@ -103,15 +162,22 @@ func (s *Store) ReadSegment(ssid int64, op string) ([]Entry, error) {
 	return entries, nil
 }
 
-// Operators lists the operators with a segment in snapshot ssid.
+// Operators lists the operators with a segment in snapshot ssid —
+// wire-encoded or legacy gob.
 func (s *Store) Operators(ssid int64) ([]string, error) {
 	des, err := os.ReadDir(s.snapshotDir(ssid))
 	if err != nil {
 		return nil, fmt.Errorf("persist: listing snapshot %d: %w", ssid, err)
 	}
+	seen := make(map[string]bool)
 	var out []string
 	for _, de := range des {
-		if name, ok := strings.CutSuffix(de.Name(), ".gob"); ok {
+		name, ok := strings.CutSuffix(de.Name(), ".seg")
+		if !ok {
+			name, ok = strings.CutSuffix(de.Name(), ".gob")
+		}
+		if ok && !seen[name] {
+			seen[name] = true
 			out = append(out, name)
 		}
 	}

@@ -124,6 +124,7 @@ func TestFloatLiteralDoesNotPrune(t *testing.T) {
 	ib := core.NewBackend("intorders", 0, f.store.View(0), liveSnapCfg())
 	ib.Update(5, orderInfo{DeliveryZone: "intkey"})
 	ib.Update(7, orderInfo{DeliveryZone: "other"})
+	ib.Flush() // mirroring is batched; workers flush at quiescence
 
 	plan := planOf(t, f.ex,
 		`EXPLAIN ANALYZE SELECT deliveryZone FROM intorders WHERE partitionKey = 5.0`)

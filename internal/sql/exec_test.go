@@ -116,6 +116,7 @@ func TestQuerySnapshotDefaultsToLatestCommitted(t *testing.T) {
 	// Mutate live state after the checkpoint: snapshot queries must not
 	// see it.
 	f.info.Update("order-0", orderInfo{DeliveryZone: "CHANGED"})
+	f.info.Flush() // mirroring is batched; workers flush at quiescence
 
 	res, err := f.ex.Query(`SELECT deliveryZone FROM "snapshot_orderinfo" WHERE partitionKey = 'order-0'`)
 	if err != nil {
@@ -221,6 +222,7 @@ func TestLeftJoinKeepsMisses(t *testing.T) {
 	f := newFixture(t, 3, liveSnapCfg())
 	// Remove one order's state so the left join has a miss.
 	f.state.Delete("order-1")
+	f.state.Flush() // mirroring is batched; workers flush at quiescence
 	res, err := f.ex.Query(`SELECT partitionKey, orderState FROM orderinfo LEFT JOIN orderstate USING(partitionKey) ORDER BY partitionKey`)
 	if err != nil {
 		t.Fatal(err)

@@ -112,6 +112,7 @@ func TestJoinLiveWithSnapshot(t *testing.T) {
 	// snapshotted state: live columns show the update, snapshot side is
 	// frozen.
 	f.info.Update("order-0", orderInfo{DeliveryZone: "LIVEZONE"})
+	f.info.Flush() // mirroring is batched; workers flush at quiescence
 	res, err := f.ex.Query(`SELECT deliveryZone, orderState FROM orderinfo JOIN "snapshot_orderstate" USING(partitionKey) WHERE partitionKey = 'order-0'`)
 	if err != nil {
 		t.Fatal(err)

@@ -30,6 +30,7 @@ const (
 	KindCheckpoint = "checkpoint" // 2PC root, alignment, prepare, phases
 	KindQuery      = "query"      // query root + per-stage plan spans
 	KindChaos      = "chaos"      // injected-fault annotations
+	KindNet        = "net"        // sampled inter-node batch messages (transport seam)
 )
 
 // SpanContext is the propagated identity of a span: enough for a child in

@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Loopback is a Transport that really ships every message through the
+// kernel: one TCP listener on 127.0.0.1, one connection per (from, to)
+// pair, a length-prefixed frame per message, and a one-byte ack the
+// sender blocks on. State still lives in the shared store — the frame
+// carries the message header and payload so the seam is exercised end to
+// end — which makes Loopback the existence proof that the Transport
+// interface carries everything a real multi-process deployment needs,
+// and the "latency model" becomes the actual loopback RTT.
+//
+// Accounting is identical to Sim's (same counters, same sampling), which
+// is what the sim/TCP parity test pins down.
+type Loopback struct {
+	base
+
+	ln   net.Listener
+	done chan struct{}
+
+	mu     sync.Mutex
+	conns  map[[2]int]*lconn
+	closed bool
+}
+
+// lconn is one sender's connection for a (from, to) pair. Sends on a
+// pair are serialized by mu (frame + ack is a round trip); distinct
+// pairs proceed in parallel.
+type lconn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewLoopback starts the listener and server loop.
+func NewLoopback() (*Loopback, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: loopback listen: %w", err)
+	}
+	l := &Loopback{ln: ln, done: make(chan struct{}), conns: make(map[[2]int]*lconn)}
+	go l.serve()
+	return l, nil
+}
+
+// Addr returns the listener's address (tests and diagnostics).
+func (l *Loopback) Addr() string { return l.ln.Addr().String() }
+
+func (l *Loopback) serve() {
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			select {
+			case <-l.done:
+				return
+			default:
+			}
+			return
+		}
+		go l.handle(conn)
+	}
+}
+
+// handle reads frames and acks each one. The frame content is discarded
+// — delivery is the shared store's job in-process — but every byte has
+// crossed the kernel's loopback path before the ack releases the sender.
+func (l *Loopback) handle(conn net.Conn) {
+	defer conn.Close()
+	var hdr [4]byte
+	buf := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > 1<<24 {
+			return // corrupt frame; drop the connection
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		if _, err := io.ReadFull(conn, buf[:n]); err != nil {
+			return
+		}
+		if _, err := conn.Write([]byte{0x06}); err != nil {
+			return
+		}
+	}
+}
+
+// Send accounts m, frames it, ships it through the kernel and blocks on
+// the ack. Accounting happens first and unconditionally, so a transport
+// torn down mid-run still counts identically to Sim; delivery errors are
+// swallowed — the data plane cannot fail, faults are injected via Check.
+func (l *Loopback) Send(m Msg) {
+	if !l.account(m) {
+		return
+	}
+	c := l.conn(m.From, m.To)
+	if c == nil {
+		return
+	}
+	frame := appendFrame(make([]byte, 0, 64+len(m.Payload)), m)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.conn.Write(frame); err != nil {
+		return
+	}
+	var ack [1]byte
+	_, _ = io.ReadFull(c.conn, ack[:])
+}
+
+// appendFrame encodes the 4-byte length prefix and the header/payload.
+func appendFrame(buf []byte, m Msg) []byte {
+	body := make([]byte, 0, 40+len(m.Payload))
+	body = binary.AppendVarint(body, int64(m.From))
+	body = binary.AppendVarint(body, int64(m.To))
+	body = binary.AppendUvarint(body, uint64(max(m.Ops, 1)))
+	body = binary.AppendUvarint(body, uint64(m.Bytes))
+	body = binary.AppendUvarint(body, uint64(len(m.Payload)))
+	body = append(body, m.Payload...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
+	return append(buf, body...)
+}
+
+// conn returns (dialling if needed) the connection for a (from, to)
+// pair, or nil once the transport is closed.
+func (l *Loopback) conn(from, to int) *lconn {
+	key := [2]int{from, to}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	if c, ok := l.conns[key]; ok {
+		return c
+	}
+	conn, err := net.Dial("tcp", l.ln.Addr().String())
+	if err != nil {
+		return nil
+	}
+	c := &lconn{conn: conn}
+	l.conns[key] = c
+	return c
+}
+
+// Close tears down the listener and every connection.
+func (l *Loopback) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.done)
+	conns := l.conns
+	l.conns = nil
+	l.mu.Unlock()
+	err := l.ln.Close()
+	for _, c := range conns {
+		c.mu.Lock()
+		c.conn.Close()
+		c.mu.Unlock()
+	}
+	return err
+}

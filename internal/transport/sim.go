@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// SimConfig configures the in-process simulated transport.
+type SimConfig struct {
+	// Latency is the one-way cost of an inter-node message. Zero means a
+	// free (but still counted) network.
+	Latency time.Duration
+	// Jitter adds up to this much uniformly random extra latency per
+	// message, drawn from a deterministic seeded source.
+	Jitter time.Duration
+	// Seed seeds the jitter source; runs with the same seed observe the
+	// same jitter sequence. Zero selects seed 1 (the historical value).
+	Seed int64
+}
+
+// Sim is the in-process simulated transport: messages cost a configurable
+// latency (plus seeded jitter) and are fully accounted, but carry no
+// payload — state lives in shared memory, only the wire cost is
+// modelled. This is the DelayFunc the cluster package used to build,
+// promoted to the Transport seam.
+type Sim struct {
+	base
+	cfg SimConfig
+
+	jitterMu sync.Mutex
+	rng      *rand.Rand
+}
+
+// NewSim builds a simulated transport.
+func NewSim(cfg SimConfig) *Sim {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Sim{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Send accounts m and blocks for the configured latency and jitter.
+func (s *Sim) Send(m Msg) {
+	if !s.account(m) {
+		return
+	}
+	d := s.cfg.Latency
+	if j := s.cfg.Jitter; j > 0 {
+		s.jitterMu.Lock()
+		d += time.Duration(s.rng.Int63n(int64(j) + 1))
+		s.jitterMu.Unlock()
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Close is a no-op: the simulated transport holds no resources.
+func (s *Sim) Close() error { return nil }

@@ -1,0 +1,209 @@
+// Package transport is the explicit wire of the cluster: every
+// inter-node message — state put, replication hop, batched mirror flush,
+// query scatter — is a Msg sent through a Transport. The seam was carved
+// out of the DelayFunc/networkHop/ChargeHop plumbing that used to be
+// smeared across internal/kv and internal/cluster; pulling it into one
+// interface gives three things at once:
+//
+//   - accounting: one place counts messages, logical operations and
+//     payload bytes, so "how many messages did that checkpoint cost?" is
+//     answerable from sys.network instead of by code reading;
+//   - fault injection: the chaos FaultHook lives at the seam the faults
+//     notionally happen at (the network), not inside the store;
+//   - reality: the Transport interface is implementable by a real
+//     network. The loopback-TCP transport in this package proves the
+//     seam carries everything the engine needs — a future PR can point
+//     it at another machine.
+//
+// Senders identify themselves by node id; ClientNode (-1) is the
+// external query client, remote to every node. From == To is always free
+// and unaccounted: a node does not talk to itself over the wire.
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"squery/internal/trace"
+)
+
+// ClientNode is the pseudo node id of external clients (the query
+// system); it is remote to every cluster node.
+const ClientNode = -1
+
+// Msg is one inter-node message. Ops is the number of logical operations
+// the message carries (1 for a unary put/get, n for a batched flush) and
+// Bytes the wire-encoded payload size; both are accounting only — a
+// transport may ignore them for delivery. Payload, when non-nil, is the
+// encoded frame body a real transport ships; the simulated transport
+// leaves it nil (state mutation happens in shared memory, only the cost
+// is modelled).
+type Msg struct {
+	From, To int
+	Ops      int
+	Bytes    int
+	Payload  []byte
+}
+
+// Stats is a transport's cumulative accounting. Messages is the unit the
+// paper's overhead argument counts in: batching exists to shrink
+// Messages while Ops stays the same.
+type Stats struct {
+	Messages uint64
+	Ops      uint64
+	Bytes    uint64
+}
+
+// FaultHook intercepts simulated network access to partitions for fault
+// injection (see internal/chaos). Access is called with the accessing
+// node, the node owning (or backing up) the target partition, and the
+// partition itself; it may block (a stalled link) and/or return an error
+// (an unreachable one). Hooks are consulted only on the fallible access
+// paths the query layer uses — the data plane never routes through them,
+// so injected faults degrade queries without corrupting processing.
+type FaultHook interface {
+	Access(from, owner, partition int) error
+}
+
+// Transport moves messages between nodes and accounts for them.
+// Implementations must be safe for concurrent use by every node at once.
+type Transport interface {
+	// Send delivers m, blocking for the transport's cost of one message
+	// from m.From to m.To. From == To is a no-op.
+	Send(m Msg)
+	// Check consults the fault hook for an access from node `from` to
+	// partition `partition` held by node `to`. It may block (stalled
+	// link) and returns the hook's error for an unreachable one. A nil
+	// hook, or from == to, always passes.
+	Check(from, to, partition int) error
+	// SetFaultHook installs (or clears, with nil) the fault hook.
+	SetFaultHook(h FaultHook)
+	// SetTracer attaches a tracer; the transport emits sampled "net"
+	// spans for batch messages. nil detaches.
+	SetTracer(t *trace.Tracer)
+	// Stats returns cumulative accounting.
+	Stats() Stats
+	// Close releases transport resources (listeners, connections). The
+	// transport must not be used after Close.
+	Close() error
+}
+
+// base carries the accounting, fault-hook and tracer state every
+// transport shares, so Sim and Loopback count identically — the parity
+// test depends on that.
+type base struct {
+	messages atomic.Uint64
+	ops      atomic.Uint64
+	bytes    atomic.Uint64
+
+	netSpanSeq atomic.Uint64
+
+	mu     sync.RWMutex
+	fault  FaultHook
+	tracer *trace.Tracer
+}
+
+// netSpanSampleEvery is the 1-in-N sampling rate for batch-message "net"
+// spans. Unary sends are never traced (they would flood the ring);
+// batches are rarer and are what the batching story needs visible.
+const netSpanSampleEvery = 64
+
+// account records m in the counters and, for a sampled batch message,
+// emits a net span. It returns immediately for self-sends.
+func (b *base) account(m Msg) bool {
+	if m.From == m.To {
+		return false
+	}
+	ops := m.Ops
+	if ops <= 0 {
+		ops = 1
+	}
+	b.messages.Add(1)
+	b.ops.Add(uint64(ops))
+	if m.Bytes > 0 {
+		b.bytes.Add(uint64(m.Bytes))
+	}
+	if ops > 1 {
+		if b.netSpanSeq.Add(1)%netSpanSampleEvery == 0 {
+			b.emitNetSpan(m, ops)
+		}
+	}
+	return true
+}
+
+func (b *base) emitNetSpan(m Msg, ops int) {
+	b.mu.RLock()
+	t := b.tracer
+	b.mu.RUnlock()
+	if t == nil {
+		return
+	}
+	sp := t.StartTrace("batch", trace.KindNet)
+	sp.SetVertex("net", m.From)
+	sp.SetNote(noteFor(m.To, ops, m.Bytes))
+	sp.End()
+}
+
+// noteFor formats "to=N ops=M bytes=B" without fmt (the span path must
+// stay cheap even when sampled).
+func noteFor(to, ops, bytes int) string {
+	buf := make([]byte, 0, 48)
+	buf = append(buf, "to="...)
+	buf = appendInt(buf, to)
+	buf = append(buf, " ops="...)
+	buf = appendInt(buf, ops)
+	buf = append(buf, " bytes="...)
+	buf = appendInt(buf, bytes)
+	return string(buf)
+}
+
+func appendInt(buf []byte, v int) []byte {
+	if v < 0 {
+		buf = append(buf, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(buf, tmp[i:]...)
+}
+
+func (b *base) Check(from, to, partition int) error {
+	if from == to {
+		return nil
+	}
+	b.mu.RLock()
+	h := b.fault
+	b.mu.RUnlock()
+	if h == nil {
+		return nil
+	}
+	return h.Access(from, to, partition)
+}
+
+func (b *base) SetFaultHook(h FaultHook) {
+	b.mu.Lock()
+	b.fault = h
+	b.mu.Unlock()
+}
+
+func (b *base) SetTracer(t *trace.Tracer) {
+	b.mu.Lock()
+	b.tracer = t
+	b.mu.Unlock()
+}
+
+func (b *base) Stats() Stats {
+	return Stats{
+		Messages: b.messages.Load(),
+		Ops:      b.ops.Load(),
+		Bytes:    b.bytes.Load(),
+	}
+}

@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"squery/internal/trace"
+)
+
+func TestSimAccounting(t *testing.T) {
+	s := NewSim(SimConfig{})
+	s.Send(Msg{From: 0, To: 0, Ops: 5}) // self-send: free
+	s.Send(Msg{From: 0, To: 1})         // unary, Ops defaults to 1
+	s.Send(Msg{From: 1, To: 2, Ops: 8, Bytes: 64})
+	got := s.Stats()
+	want := Stats{Messages: 2, Ops: 9, Bytes: 64}
+	if got != want {
+		t.Fatalf("Stats() = %+v, want %+v", got, want)
+	}
+}
+
+func TestSimLatencyBlocks(t *testing.T) {
+	s := NewSim(SimConfig{Latency: 5 * time.Millisecond})
+	start := time.Now()
+	s.Send(Msg{From: 0, To: 1})
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("remote send took %s, want >= 5ms", d)
+	}
+	start = time.Now()
+	s.Send(Msg{From: 1, To: 1})
+	if d := time.Since(start); d > 2*time.Millisecond {
+		t.Fatalf("self send took %s, want ~0", d)
+	}
+}
+
+func TestSimJitterDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		s := NewSim(SimConfig{Latency: time.Microsecond, Jitter: time.Millisecond, Seed: 7})
+		start := time.Now()
+		for i := 0; i < 5; i++ {
+			s.Send(Msg{From: 0, To: 1})
+		}
+		return time.Since(start)
+	}
+	a, b := run(), run()
+	// Same seed, same jitter draws: total sleep targets are identical, so
+	// wall times agree to scheduling noise.
+	if diff := (a - b).Abs(); diff > 5*time.Millisecond {
+		t.Fatalf("same-seed runs diverged by %s (%s vs %s)", diff, a, b)
+	}
+}
+
+type denyHook struct{ err error }
+
+func (h denyHook) Access(from, owner, partition int) error { return h.err }
+
+func TestFaultHookSeam(t *testing.T) {
+	s := NewSim(SimConfig{})
+	if err := s.Check(0, 1, 42); err != nil {
+		t.Fatalf("no hook: Check = %v", err)
+	}
+	boom := errors.New("severed")
+	s.SetFaultHook(denyHook{boom})
+	if err := s.Check(0, 1, 42); !errors.Is(err, boom) {
+		t.Fatalf("Check = %v, want %v", err, boom)
+	}
+	if err := s.Check(1, 1, 42); err != nil {
+		t.Fatalf("self access must never fault, got %v", err)
+	}
+	s.SetFaultHook(nil)
+	if err := s.Check(0, 1, 42); err != nil {
+		t.Fatalf("cleared hook: Check = %v", err)
+	}
+}
+
+func TestNetSpansSampled(t *testing.T) {
+	s := NewSim(SimConfig{})
+	tr := trace.New(trace.Config{Capacity: 1 << 12})
+	s.SetTracer(tr)
+	// Unary messages never produce net spans; batches are sampled 1-in-64.
+	for i := 0; i < 10; i++ {
+		s.Send(Msg{From: 0, To: 1})
+	}
+	for i := 0; i < 2*netSpanSampleEvery; i++ {
+		s.Send(Msg{From: 0, To: 1, Ops: 16, Bytes: 128})
+	}
+	spans := tr.Spans()
+	net := 0
+	for _, sp := range spans {
+		if sp.Kind != trace.KindNet {
+			t.Fatalf("unexpected span kind %q", sp.Kind)
+		}
+		net++
+	}
+	if net != 2 {
+		t.Fatalf("got %d net spans from %d batches, want 2", net, 2*netSpanSampleEvery)
+	}
+}
+
+func TestLoopbackDeliversAndCounts(t *testing.T) {
+	l, err := NewLoopback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	for from := 0; from < 3; from++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				l.Send(Msg{From: from, To: (from + 1) % 3, Ops: 4, Bytes: 10, Payload: []byte("payload")})
+			}
+		}(from)
+	}
+	wg.Wait()
+	got := l.Stats()
+	want := Stats{Messages: 60, Ops: 240, Bytes: 600}
+	if got != want {
+		t.Fatalf("Stats() = %+v, want %+v", got, want)
+	}
+}
+
+func TestLoopbackMatchesSimAccounting(t *testing.T) {
+	l, err := NewLoopback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	s := NewSim(SimConfig{})
+	msgs := []Msg{
+		{From: 0, To: 0, Ops: 3},
+		{From: ClientNode, To: 2, Ops: 1, Bytes: 9},
+		{From: 2, To: 1, Ops: 7},
+		{From: 1, To: 0},
+	}
+	for _, m := range msgs {
+		l.Send(m)
+		s.Send(m)
+	}
+	if ls, ss := l.Stats(), s.Stats(); ls != ss {
+		t.Fatalf("loopback %+v != sim %+v", ls, ss)
+	}
+}
+
+func TestLoopbackSendAfterClose(t *testing.T) {
+	l, err := NewLoopback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Send(Msg{From: 0, To: 1})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Still accounted, never blocks, never panics.
+	l.Send(Msg{From: 1, To: 2})
+	if got := l.Stats().Messages; got != 2 {
+		t.Fatalf("Messages = %d, want 2", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

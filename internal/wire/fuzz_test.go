@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWire is the codec's round-trip invariant: any byte string the
+// decoder accepts must re-encode byte-identically (canonical form), and
+// the decoder must never panic on arbitrary input. Gob-fallback values
+// are exempt from byte-identity (gob streams are not canonical) but must
+// still decode-encode-decode to a stable value.
+func FuzzWire(f *testing.F) {
+	seeds := []any{
+		nil, true, false, 0, -1, 1 << 40, int32(7), int64(-9), uint64(1 << 63),
+		2.75, "hello", []byte{0, 1, 2},
+		[]any{1, "two", nil},
+		map[string]any{"a": 1, "b": []any{true, 2.5}},
+	}
+	for _, v := range seeds {
+		buf, err := AppendValue(nil, v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{TGob, 0x00})
+	f.Add([]byte{0xff, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, rest, err := DecodeValue(data)
+		if err != nil {
+			return // rejected input: fine, as long as we did not panic
+		}
+		consumed := data[:len(data)-len(rest)]
+		if hasGob(consumed) {
+			return // gob streams are not canonical; identity not required
+		}
+		re, err := AppendValue(nil, v)
+		if err != nil {
+			t.Fatalf("re-encode of decoded value %#v failed: %v", v, err)
+		}
+		if !bytes.Equal(re, consumed) {
+			t.Fatalf("round trip not byte-identical:\nin:  %x\nout: %x\nvalue: %#v", consumed, re, v)
+		}
+	})
+}
+
+// hasGob reports whether an accepted encoding contains a gob-fallback
+// value anywhere (including nested in maps/slices). Conservative: scans
+// for the tag byte at any position, which can only over-exempt.
+func hasGob(b []byte) bool {
+	return bytes.IndexByte(b, TGob) >= 0
+}

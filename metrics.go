@@ -46,6 +46,23 @@ func (e *Engine) registerSystemTables() {
 		e.cat.RegisterVirtual("sys.spans", e.sysSpans)
 		e.cat.RegisterVirtual("sys.traces", e.sysTraces)
 	}
+	// The transport always exists (simulated or networked), so its
+	// accounting is queryable regardless of which planes are disabled.
+	e.cat.RegisterVirtual("sys.network", e.sysNetwork)
+}
+
+// sysNetwork is the transport's wire accounting: one row with the
+// inter-node message, operation and payload-byte totals. The same
+// counters back the message-reduction numbers of `squery-bench -exp
+// wire`, so the experiment is reproducible from SQL alone.
+func (e *Engine) sysNetwork() []core.TableRow {
+	st := e.clu.Transport().Stats()
+	return []core.TableRow{{Key: "transport", Value: kv.MapRow{
+		"transport": "cluster",
+		"messages":  int64(st.Messages),
+		"ops":       int64(st.Ops),
+		"bytes":     int64(st.Bytes),
+	}}}
 }
 
 // sysOperators is one row per operator instance: routing counters,

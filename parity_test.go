@@ -1,0 +1,178 @@
+package squery
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"squery/internal/dataflow"
+	"squery/internal/trace"
+	"squery/internal/transport"
+)
+
+// gatedParitySource emits a fixed record slice, then idles — keeping the
+// stream open so barriers still flow — until the gate closes.
+type gatedParitySource struct {
+	recs []Record
+	pos  int64
+	gate chan struct{}
+}
+
+func (s *gatedParitySource) Next() (Record, SourceStatus) {
+	if int(s.pos) < len(s.recs) {
+		r := s.recs[s.pos]
+		s.pos++
+		return r, SourceOK
+	}
+	select {
+	case <-s.gate:
+		return Record{}, SourceDone
+	default:
+		return Record{}, SourceIdle
+	}
+}
+func (s *gatedParitySource) Offset() int64  { return s.pos }
+func (s *gatedParitySource) Rewind(o int64) { s.pos = o }
+
+// parityObservation is everything the parity test compares between the
+// simulated and the loopback-TCP transport.
+type parityObservation struct {
+	live       string
+	snapshot   string
+	partitions string
+	spans      map[string]int
+	ops        uint64
+	bytes      uint64
+	messages   uint64
+}
+
+// runParityWorkload drives an identical finite workload over the given
+// transport and returns the observable outcomes: query results, the
+// sys.partitions operation accounting, span counts by kind/name, and the
+// transport's op/byte accounting.
+func runParityWorkload(t *testing.T, tr transport.Transport) parityObservation {
+	t.Helper()
+	const records = 300
+	eng := New(Config{Nodes: 3, Partitions: 27, TraceSampleEvery: 1, Transport: tr})
+	defer eng.Close()
+
+	recs := make([]Record, records)
+	for i := range recs {
+		recs[i] = Record{Key: i % 10, Value: i%7 + 1}
+	}
+	gate := make(chan struct{})
+	src := &Vertex{
+		Name:        "source",
+		Kind:        KindSource,
+		Parallelism: 1,
+		NewSource: func(int, int) dataflow.SourceInstance {
+			return &gatedParitySource{recs: recs, gate: gate}
+		},
+	}
+	var sunk atomic.Int64
+	dag := NewDAG().
+		AddVertex(src).
+		AddVertex(StatefulMapVertex("parityavg", 2, averageFn)).
+		AddVertex(SinkVertex("sink", 1, func(Record) { sunk.Add(1) })).
+		Connect("source", "parityavg", EdgePartitioned).
+		Connect("parityavg", "sink", EdgePartitioned)
+	job, err := eng.SubmitJob(dag, JobSpec{Name: "parity", State: StateConfig{Live: true, Snapshots: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		job.Stop()
+	}()
+	waitFor(t, func() bool { return sunk.Load() == records }, "records sunk")
+	if err := job.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	var o parityObservation
+	o.live = mustQuery(t, eng, `SELECT count, total FROM parityavg WHERE partitionKey = 1`)
+	o.snapshot = mustQuery(t, eng, `SELECT COUNT(*), SUM(count), SUM(total) FROM snapshot_parityavg`)
+	o.partitions = mustQuery(t, eng,
+		`SELECT partition, node, gets, sets, deletes, scans, sqlScans, sqlScanRows FROM sys.partitions`)
+
+	// Span counts by kind/name through the sys table, net spans excluded:
+	// their count depends on how record-batches happened to coalesce,
+	// which is timing, not semantics.
+	o.spans = make(map[string]int)
+	res, err := eng.Query(`SELECT kind, name FROM sys.spans`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		kind, _ := row[0].(string)
+		if kind == trace.KindNet {
+			continue
+		}
+		o.spans[fmt.Sprintf("%v/%v", row[0], row[1])]++
+	}
+
+	st := eng.Transport().Stats()
+	o.ops, o.bytes, o.messages = st.Ops, st.Bytes, st.Messages
+	close(gate)
+	job.Wait()
+	return o
+}
+
+func mustQuery(t *testing.T, eng *Engine, q string) string {
+	t.Helper()
+	res, err := eng.Query(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	rows := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = fmt.Sprint(r)
+	}
+	sort.Strings(rows)
+	return fmt.Sprint(rows)
+}
+
+// TestTransportParity proves the transport seam is real: the same
+// workload over the in-process simulated transport and over loopback TCP
+// produces identical query results, identical sys.partitions operation
+// accounting, identical span counts (net spans aside), and identical
+// transport op/byte accounting. Only message grouping — a function of
+// flush timing — may differ.
+func TestTransportParity(t *testing.T) {
+	sim := runParityWorkload(t, nil)
+	lb, err := transport.NewLoopback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp := runParityWorkload(t, lb)
+
+	if sim.live != tcp.live {
+		t.Errorf("live query diverged:\n sim: %s\n tcp: %s", sim.live, tcp.live)
+	}
+	if sim.snapshot != tcp.snapshot {
+		t.Errorf("snapshot query diverged:\n sim: %s\n tcp: %s", sim.snapshot, tcp.snapshot)
+	}
+	if sim.partitions != tcp.partitions {
+		t.Errorf("sys.partitions accounting diverged:\n sim: %s\n tcp: %s", sim.partitions, tcp.partitions)
+	}
+	if len(sim.spans) == 0 {
+		t.Error("no spans recorded")
+	}
+	for k, n := range sim.spans {
+		if tcp.spans[k] != n {
+			t.Errorf("span count %s: sim %d, tcp %d", k, n, tcp.spans[k])
+		}
+	}
+	for k, n := range tcp.spans {
+		if _, ok := sim.spans[k]; !ok {
+			t.Errorf("span %s (%d) only on tcp", k, n)
+		}
+	}
+	if sim.ops != tcp.ops || sim.bytes != tcp.bytes {
+		t.Errorf("transport accounting diverged: sim ops=%d bytes=%d, tcp ops=%d bytes=%d",
+			sim.ops, sim.bytes, tcp.ops, tcp.bytes)
+	}
+	if sim.messages == 0 || tcp.messages == 0 {
+		t.Errorf("expected inter-node messages on both transports (sim %d, tcp %d)", sim.messages, tcp.messages)
+	}
+}

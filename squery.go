@@ -38,6 +38,7 @@ import (
 	"squery/internal/persist"
 	"squery/internal/sql"
 	"squery/internal/trace"
+	"squery/internal/transport"
 )
 
 // Re-exported building blocks. These are aliases, not copies: the public
@@ -160,6 +161,12 @@ type Config struct {
 	// partition, so a node failure promotes replicas instead of losing
 	// state (§V.A).
 	ReplicateState bool
+	// Transport, when non-nil, overrides the wire inter-node messages
+	// cross (e.g. transport.NewLoopback() for real loopback-TCP frames).
+	// Nil builds the in-process simulated transport from NetworkLatency
+	// and NetworkJitter. The engine owns the transport either way; Close
+	// tears it down.
+	Transport transport.Transport
 	// DisableMetrics runs the engine without a metrics registry: every
 	// instrument resolves to a nil no-op, the sys.* system tables are not
 	// registered, and MetricsDump reports metrics disabled. This is the
@@ -202,6 +209,7 @@ func New(cfg Config) *Engine {
 		NetworkLatency: cfg.NetworkLatency,
 		NetworkJitter:  cfg.NetworkJitter,
 		ReplicateState: cfg.ReplicateState,
+		Transport:      cfg.Transport,
 	})
 	var reg *metrics.Registry
 	if !cfg.DisableMetrics {
@@ -239,8 +247,16 @@ func (e *Engine) Nodes() int { return e.clu.Nodes() }
 // also crash and recover a job, call Job.InjectFailure.
 func (e *Engine) FailNode(node int) { e.clu.Fail(node) }
 
-// Messages returns the number of simulated inter-node messages so far.
+// Messages returns the number of inter-node messages sent so far.
 func (e *Engine) Messages() uint64 { return e.clu.Messages() }
+
+// Transport returns the wire the engine's cluster sends through.
+func (e *Engine) Transport() transport.Transport { return e.clu.Transport() }
+
+// Close releases the engine's transport: the listener and connections of
+// a networked transport, a no-op for the simulated one. Jobs should be
+// stopped first.
+func (e *Engine) Close() error { return e.clu.Close() }
 
 // SetFaultHook installs a fault-injection hook on the cluster's KV access
 // checks — stalled and unreachable partitions for guarded queries (see
