@@ -1,7 +1,7 @@
 GO ?= go
 GOFILES := $(shell git ls-files '*.go')
 
-.PHONY: test vet lint race soak-chaos fuzz-short obs-smoke bench-smoke verify
+.PHONY: test vet lint race soak-chaos soak-rebalance fuzz-short obs-smoke bench-smoke verify
 
 # Tier-1: what CI gates on.
 test:
@@ -30,6 +30,17 @@ race:
 soak-chaos:
 	$(GO) run -race ./cmd/squery-soak -chaos -seed 1 -duration 5s
 
+# Short deterministic rebalance soak under the race detector: nodes join
+# and leave mid-run with seed-derived migration faults (source killed
+# mid-handoff, target killed pre-ack, dropped epoch-bump broadcast,
+# stalled migrations), verified exactly-once against a static-cluster
+# oracle with the forced-write backstop required cold. Runs once over the
+# simulated wire and once over loopback TCP; -duration bounds the
+# convergence wait, not the run length.
+soak-rebalance:
+	$(GO) run -race ./cmd/squery-soak -chaos-rebalance -seed 1 -duration 30s
+	$(GO) run -race ./cmd/squery-soak -chaos-rebalance -seed 2 -duration 30s -transport tcp
+
 # End-to-end smoke of the HTTP observability plane: boots the real
 # squery binary with -serve-obs, waits for /healthz and /readyz, scrapes
 # /metrics through the strict Prometheus validator, and checks /tracez
@@ -57,4 +68,4 @@ bench-smoke:
 	$(GO) test ./internal/sql -run '^$$' -bench 'BenchmarkJoinKey' -benchtime 1000x
 	$(GO) test ./internal/kv -run '^$$' -bench 'BenchmarkPut' -benchtime 1000x
 
-verify: lint race soak-chaos bench-smoke
+verify: lint race soak-chaos soak-rebalance bench-smoke

@@ -23,8 +23,17 @@
 //
 // Usage:
 //
+// With -chaos-rebalance it runs the elastic-membership soak instead: the
+// counting workload executes once on a static cluster (the oracle) and
+// once while nodes join and leave mid-run, with seed-derived migration
+// faults — a source killed mid-handoff, a target killed pre-ack, a dropped
+// epoch-bump broadcast, stalled migrations — and the run must converge to
+// the oracle exactly-once with zero forced (fence-bypassing) writes.
+// -transport selects the wire (sim or tcp) for the rebalance soak too.
+//
 //	squery-soak [-duration 30s] [-orders 5000] [-failures 3]
 //	squery-soak -chaos [-seed 1] [-duration 30s]
+//	squery-soak -chaos-rebalance [-seed 1] [-duration 30s] [-transport tcp]
 package main
 
 import (
@@ -48,13 +57,18 @@ func main() {
 	orders := flag.Int64("orders", 5_000, "unique orders")
 	failures := flag.Int("failures", 3, "failure injections over the run")
 	chaosMode := flag.Bool("chaos", false, "run the seeded chaos soak instead of the q-commerce soak")
-	seed := flag.Int64("seed", 1, "chaos schedule seed (-chaos mode)")
+	rebalanceMode := flag.Bool("chaos-rebalance", false, "run the seeded rebalance soak: joins/leaves with kills mid-migration, verified exactly-once")
+	seed := flag.Int64("seed", 1, "chaos schedule seed (-chaos / -chaos-rebalance mode)")
 	serveObs := flag.String("serve-obs", "", "serve the HTTP observability plane on this address (e.g. 127.0.0.1:8080)")
 	wireKind := flag.String("transport", "sim", `inter-node wire: "sim" (in-process) or "tcp" (loopback TCP frames)`)
 	flag.Parse()
 
 	if *chaosMode {
 		runChaos(*seed, *duration, *serveObs)
+		return
+	}
+	if *rebalanceMode {
+		runChaosRebalance(*seed, *duration, *wireKind)
 		return
 	}
 
@@ -223,6 +237,34 @@ func main() {
 	fmt.Printf("soak done: %s, %d records processed, %d invariant queries, %d snapshot(s) committed, %d violations\n",
 		*duration, job.SourceRecords(), queries.Load(), job.LatestSnapshotID(), violations.Load())
 	if violations.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// runChaosRebalance executes the elastic-membership soak and reports the
+// exactly-once verdict plus the fencing tally. Forced > 0 means a fenced
+// write exhausted its retries and went through anyway — the liveness
+// backstop fired, which a healthy run never needs.
+func runChaosRebalance(seed int64, deadline time.Duration, wire string) {
+	rep, err := soak.RunRebalance(soak.RebalanceConfig{
+		Seed: seed, Deadline: deadline, Wire: wire, Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range rep.Events {
+		log.Printf("fired: %s", e)
+	}
+	fmt.Printf("rebalance soak: seed %d wire %s, %d join(s) %d leave(s) (%d aborted by chaos), %d rebalance(s), %d aborted move(s), %d reschedule(s), epoch %d, fence rejects/retries/forced %d/%d/%d, %d sys queries, exactly-once: %v\n",
+		seed, wire, rep.Joins, rep.Leaves, rep.MemErrors, rep.Rebalances, rep.AbortedMoves,
+		rep.Reschedules, rep.Epoch, rep.Fence.Rejects, rep.Fence.Retries, rep.Fence.Forced,
+		rep.SysQueries, rep.Match)
+	if !rep.Match {
+		log.Printf("VIOLATION: rebalance counts %v != oracle %v", rep.Counts, rep.Oracle)
+		os.Exit(1)
+	}
+	if rep.Fence.Forced != 0 {
+		log.Printf("VIOLATION: %d fenced writes forced through after retry exhaustion", rep.Fence.Forced)
 		os.Exit(1)
 	}
 }

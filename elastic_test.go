@@ -1,0 +1,240 @@
+package squery
+
+import (
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"squery/internal/cluster"
+	"squery/internal/dataflow"
+)
+
+// migHookFunc adapts a function to cluster.MigrationHook.
+type migHookFunc func(reb int64, part, from, to int) cluster.MigrationFate
+
+func (f migHookFunc) MigrationFate(reb int64, part, from, to int) cluster.MigrationFate {
+	return f(reb, part, from, to)
+}
+
+// stallHook stalls every ownership migration by d, so a rebalance stays
+// observable long enough for the test to query it mid-flight.
+func stallHook(d time.Duration) migHookFunc {
+	return func(int64, int, int, int) cluster.MigrationFate {
+		return cluster.MigrationFate{Stall: d}
+	}
+}
+
+// TestSysTablesObserveRunningRebalance is the observability acceptance
+// check: while a join's migrations are in flight, sys.rebalances reports
+// the running rebalance and sys.membership shows the joining node; after
+// it completes, the same tables report the epoch jump, the per-node
+// partition counts, and the per-move durations.
+func TestSysTablesObserveRunningRebalance(t *testing.T) {
+	eng := New(Config{Nodes: 3, Partitions: 27, ReplicateState: true})
+	defer eng.Close()
+	eng.SetMigrationHook(stallHook(5 * time.Millisecond))
+
+	epochBefore := eng.TableEpoch()
+	joinDone := make(chan error, 1)
+	var joined atomic.Int64
+	go func() {
+		n, err := eng.JoinNode()
+		joined.Store(int64(n))
+		joinDone <- err
+	}()
+
+	// Mid-flight: the running rebalance and the joining node are visible
+	// through plain SQL.
+	sawRunning, sawJoining := false, false
+	waitFor(t, func() bool {
+		if !sawRunning {
+			res, err := eng.Query(`SELECT rebalance, kind FROM "sys.rebalances" WHERE running = true`)
+			sawRunning = err == nil && len(res.Rows) > 0
+		}
+		if !sawJoining {
+			res, err := eng.Query(`SELECT node FROM "sys.membership" WHERE state = 'joining'`)
+			sawJoining = err == nil && len(res.Rows) > 0
+		}
+		return sawRunning && sawJoining
+	}, "running rebalance and joining node in sys tables")
+
+	if err := <-joinDone; err != nil {
+		t.Fatal(err)
+	}
+	node := int(joined.Load())
+
+	// Completed: the joiner is live with its fair share of partitions, on
+	// every row the epoch advanced past the pre-join table.
+	rows := mustQuery(t, eng, `SELECT live, partitions, epoch FROM "sys.membership" WHERE node = `+strconv.Itoa(node))
+	if rows == "[]" {
+		t.Fatal("joined node missing from sys.membership")
+	}
+	res, err := eng.Query(`SELECT partitions, epoch FROM "sys.membership" WHERE node = ` + strconv.Itoa(node))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0][0].(int64); n != 27/4 {
+		t.Fatalf("joiner owns %d partitions, want fair share %d", n, 27/4)
+	}
+	if ep := res.Rows[0][1].(int64); ep <= epochBefore {
+		t.Fatalf("epoch %d did not advance past %d across the join", ep, epochBefore)
+	}
+
+	// The finished rebalance row carries the epoch span and move timings;
+	// with a 5ms stall per ownership move, maxMoveUs must show it.
+	res, err = eng.Query(`SELECT epochBefore, epochAfter, moves, maxMoveUs, durationUs FROM "sys.rebalances" WHERE running = false`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("finished rebalances = %d, want 1", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if eb, ea := row[0].(int64), row[1].(int64); ea <= eb {
+		t.Fatalf("rebalance epochs did not advance: %d -> %d", eb, ea)
+	}
+	if moves := row[2].(int64); moves == 0 {
+		t.Fatal("rebalance recorded no moves")
+	}
+	if maxUs := row[3].(int64); maxUs < (5 * time.Millisecond).Microseconds() {
+		t.Fatalf("maxMoveUs = %d, want >= the 5ms stall", maxUs)
+	}
+	if durUs := row[4].(int64); durUs <= 0 {
+		t.Fatalf("durationUs = %d", durUs)
+	}
+}
+
+// TestCheckpointOverlappingMigrationConsistentCut: a checkpoint taken
+// while a join's migrations are mid-flight still commits a consistent
+// cut — every key appears exactly once in the snapshot, with the same
+// totals as the live state (no partition counted twice or zero times).
+func TestCheckpointOverlappingMigrationConsistentCut(t *testing.T) {
+	eng := New(Config{Nodes: 3, Partitions: 27, ReplicateState: true})
+	defer eng.Close()
+
+	const records = 300
+	recs := make([]Record, records)
+	for i := range recs {
+		recs[i] = Record{Key: i % 10, Value: i%7 + 1}
+	}
+	gate := make(chan struct{})
+	src := &Vertex{
+		Name:        "source",
+		Kind:        KindSource,
+		Parallelism: 1,
+		NewSource: func(int, int) dataflow.SourceInstance {
+			return &gatedParitySource{recs: recs, gate: gate}
+		},
+	}
+	var sunk atomic.Int64
+	dag := NewDAG().
+		AddVertex(src).
+		AddVertex(StatefulMapVertex("elasticavg", 2, averageFn)).
+		AddVertex(SinkVertex("sink", 1, func(Record) { sunk.Add(1) })).
+		Connect("source", "elasticavg", EdgePartitioned).
+		Connect("elasticavg", "sink", EdgePartitioned)
+	job, err := eng.SubmitJob(dag, JobSpec{Name: "elastic", State: StateConfig{Live: true, Snapshots: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Stop()
+	waitFor(t, func() bool { return sunk.Load() >= records }, "records sunk")
+	if err := job.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	const totals = `SELECT COUNT(*), SUM(count), SUM(total) FROM `
+	want := mustQuery(t, eng, totals+`elasticavg`)
+
+	// Stall each ownership move so the checkpoint below genuinely
+	// overlaps the rebalance instead of slipping in before or after it.
+	eng.SetMigrationHook(stallHook(10 * time.Millisecond))
+	joinDone := make(chan error, 1)
+	go func() {
+		_, err := eng.JoinNode()
+		joinDone <- err
+	}()
+	waitFor(t, func() bool {
+		for _, r := range eng.Rebalances() {
+			if r.Running {
+				return true
+			}
+		}
+		return false
+	}, "join's rebalance to start")
+
+	if err := job.CheckpointNow(); err != nil {
+		t.Fatalf("checkpoint overlapping migration: %v", err)
+	}
+	if got := mustQuery(t, eng, totals+`snapshot_elasticavg`); got != want {
+		t.Fatalf("snapshot cut inconsistent:\n got  %s\n want %s", got, want)
+	}
+	if err := <-joinDone; err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.FenceStats(); st.Forced != 0 {
+		t.Fatalf("liveness backstop fired: %d forced writes", st.Forced)
+	}
+	// After the join (and the reschedule it triggers), the live totals
+	// are still exact: migration plus recovery lost and duplicated
+	// nothing.
+	waitFor(t, func() bool { return job.Reschedules() >= 1 }, "post-join reschedule")
+	waitFor(t, func() bool {
+		return mustQuery(t, eng, totals+`elasticavg`) == want
+	}, "live totals to re-converge after reschedule")
+	close(gate)
+	job.Wait()
+	if got := mustQuery(t, eng, totals+`elasticavg`); got != want {
+		t.Fatalf("live totals after elastic join:\n got  %s\n want %s", got, want)
+	}
+}
+
+// TestJoinReschedulesInstancesOntoNewNode: after a join completes, the
+// job restarts over the widened topology and sys.operators shows
+// instances scheduled on the joined node.
+func TestJoinReschedulesInstancesOntoNewNode(t *testing.T) {
+	eng := New(Config{Nodes: 3, Partitions: 27, ReplicateState: true})
+	defer eng.Close()
+
+	recs := make([]Record, 120)
+	for i := range recs {
+		recs[i] = Record{Key: i % 10, Value: 1}
+	}
+	gate := make(chan struct{})
+	src := &Vertex{
+		Name:        "source",
+		Kind:        KindSource,
+		Parallelism: 1,
+		NewSource: func(int, int) dataflow.SourceInstance {
+			return &gatedParitySource{recs: recs, gate: gate}
+		},
+	}
+	var sunk atomic.Int64
+	dag := NewDAG().
+		AddVertex(src).
+		AddVertex(StatefulMapVertex("reschedavg", 4, averageFn)).
+		AddVertex(SinkVertex("sink", 1, func(Record) { sunk.Add(1) })).
+		Connect("source", "reschedavg", EdgePartitioned).
+		Connect("reschedavg", "sink", EdgePartitioned)
+	job, err := eng.SubmitJob(dag, JobSpec{Name: "resched", State: StateConfig{Live: true, Snapshots: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Stop()
+	waitFor(t, func() bool { return sunk.Load() >= 120 }, "records sunk")
+	if err := job.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	node, err := eng.JoinNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return job.Reschedules() >= 1 }, "join to trigger a reschedule")
+	waitFor(t, func() bool {
+		res, err := eng.Query(`SELECT vertex FROM "sys.operators" WHERE node = ` + strconv.Itoa(node))
+		return err == nil && len(res.Rows) > 0
+	}, "instances to land on the joined node")
+	close(gate)
+	job.Wait()
+}

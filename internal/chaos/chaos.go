@@ -56,6 +56,23 @@ const (
 	// a node), modelling a network partition between the query client and
 	// the owner.
 	Unreachable
+	// KillSourceMidHandoff crashes a migration's source node after the
+	// partition froze but before the handoff completes: the move aborts
+	// and the partition fails over from its last committed owner, never
+	// landing half-seeded on the target. Node scopes the source node.
+	KillSourceMidHandoff
+	// KillTargetPreAck crashes a migration's target node before it
+	// acknowledges the handoff: the shipped copy dies with it and the move
+	// aborts without an ownership flip. Node scopes the target node.
+	KillTargetPreAck
+	// DropEpochBump suppresses the membership-change broadcast of the
+	// rebalance the matched migration belongs to; stale writers then learn
+	// of the new partition table only through epoch-fencing rejections.
+	DropEpochBump
+	// StallMigration delays one migration by Delay while its partition is
+	// frozen — long enough to observe the rebalance in flight through
+	// sys.rebalances.
+	StallMigration
 )
 
 // String implements fmt.Stringer.
@@ -75,6 +92,14 @@ func (k Kind) String() string {
 		return "stall-partition"
 	case Unreachable:
 		return "unreachable"
+	case KillSourceMidHandoff:
+		return "kill-source-mid-handoff"
+	case KillTargetPreAck:
+		return "kill-target-pre-ack"
+	case DropEpochBump:
+		return "drop-epoch-bump"
+	case StallMigration:
+		return "stall-migration"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"math/rand"
+	"time"
+
+	"squery/internal/cluster"
+)
+
+// This file implements cluster.MigrationHook: the rebalancer consults the
+// injector once per ownership migration, at the point of no return between
+// freezing the partition and flipping the table. Rules are keyed on
+// quantities independent of goroutine scheduling — the rebalance id (via
+// the SSID fields), the partition, and the source/target node — so a
+// seed-derived schedule fires identically on every run.
+
+// MigrationFate rules on one partition migration of rebalance reb moving
+// partition part from node from to node to (cluster.MigrationHook). A
+// single migration may match several rules: a stall combines with a kill,
+// and a kill-source verdict short-circuits kill-target (the move is dead
+// either way, and killing both sides would empty small clusters).
+func (in *Injector) MigrationFate(reb int64, part, from, to int) cluster.MigrationFate {
+	var f cluster.MigrationFate
+	if r, ok := in.fire([]Kind{StallMigration}, reb, "", Any, from, part); ok {
+		f.Stall = r.Delay
+	}
+	if _, ok := in.fire([]Kind{DropEpochBump}, reb, "", Any, from, part); ok {
+		f.DropEpochBump = true
+	}
+	if _, ok := in.fire([]Kind{KillSourceMidHandoff}, reb, "", Any, from, part); ok {
+		f.KillSource = true
+		return f
+	}
+	if _, ok := in.fire([]Kind{KillTargetPreAck}, reb, "", Any, to, part); ok {
+		f.KillTarget = true
+	}
+	return f
+}
+
+// RebalanceProfile tunes the seed-derived migration fault plan.
+type RebalanceProfile struct {
+	// Stall is the frozen-partition delay of the stalled migration
+	// (default 5ms — long enough to observe, short enough to soak).
+	Stall time.Duration
+}
+
+// RebalanceSchedule derives a migration fault plan from a seed, to be
+// layered onto an injector driving a soak run that joins and removes
+// nodes. Every schedule contains, with seed-dependent placement:
+//
+//   - one killed source: some migration of the second or a later
+//     rebalance loses its source node mid-handoff;
+//   - one killed target: a later migration loses its target pre-ack;
+//   - one dropped epoch-bump broadcast, so at least one rebalance is
+//     learned about only through fencing rejections;
+//   - one stalled migration, keeping a rebalance observable in flight.
+//
+// The kills are bounded to one firing each and scoped to rebalances >= 2:
+// the first rebalance (the join that grows the cluster) completes clean,
+// so later kills always leave enough live nodes to keep the cluster
+// serving. The same seed always yields the same schedule.
+func RebalanceSchedule(seed int64, p RebalanceProfile) *Injector {
+	if p.Stall <= 0 {
+		p.Stall = 5 * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(seed))
+	in := New(seed)
+
+	killSrcAt := 2 + rng.Int63n(2)
+	in.Add(Rule{Kind: KillSourceMidHandoff, SSIDFrom: killSrcAt, Instance: Any, Node: Any, Partition: Any, CrashNode: Any, MaxFires: 1})
+	killTgtAt := killSrcAt + 1 + rng.Int63n(2)
+	in.Add(Rule{Kind: KillTargetPreAck, SSIDFrom: killTgtAt, Instance: Any, Node: Any, Partition: Any, CrashNode: Any, MaxFires: 1})
+	in.Add(Rule{Kind: DropEpochBump, SSIDFrom: 1 + rng.Int63n(2), Instance: Any, Node: Any, Partition: Any, CrashNode: Any, MaxFires: 1})
+	in.Add(Rule{Kind: StallMigration, Instance: Any, Node: Any, Partition: Any, CrashNode: Any, Delay: p.Stall, MaxFires: 2})
+	return in
+}

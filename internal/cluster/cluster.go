@@ -14,6 +14,7 @@ import (
 
 	"squery/internal/kv"
 	"squery/internal/partition"
+	"squery/internal/trace"
 	"squery/internal/transport"
 )
 
@@ -51,9 +52,9 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Cluster owns the simulated topology: the partitioner, the partition
-// assignment, the shared KV store, and the transport every inter-node
-// message crosses.
+// Cluster owns the simulated topology: the partitioner, the live
+// versioned partition assignment, the membership state machine, the
+// shared KV store, and the transport every inter-node message crosses.
 type Cluster struct {
 	cfg    Config
 	part   partition.Partitioner
@@ -62,7 +63,28 @@ type Cluster struct {
 	tr     transport.Transport
 
 	mu     sync.Mutex
-	failed map[int]bool
+	states []NodeState // indexed by node id; grows on Join, never shrinks
+
+	// memMu serializes whole membership operations (Join/Leave/Fail) so
+	// at most one rebalance runs at a time.
+	memMu sync.Mutex
+	// ckptGate excludes partition migrations (write side, per move) from
+	// checkpoints (read side, per 2PC); see CheckpointGate.
+	ckptGate sync.RWMutex
+
+	hookMu  sync.Mutex
+	migHook MigrationHook
+
+	lmu       sync.Mutex
+	listeners map[int]func()
+	nextLis   int
+
+	rmu        sync.Mutex
+	rebalances []*Rebalance
+	nextReb    int64
+	rebSpans   map[int64]*trace.Span
+	tracer     *trace.Tracer
+	inst       *clusterInstruments
 }
 
 // New builds a cluster from the config.
@@ -72,10 +94,12 @@ func New(cfg Config) *Cluster {
 		panic(fmt.Sprintf("cluster: Nodes must be >= 1, got %d", cfg.Nodes))
 	}
 	c := &Cluster{
-		cfg:    cfg,
-		part:   partition.New(cfg.Partitions),
-		assign: partition.Assign(cfg.Partitions, cfg.Nodes),
-		failed: make(map[int]bool),
+		cfg:       cfg,
+		part:      partition.New(cfg.Partitions),
+		assign:    partition.Assign(cfg.Partitions, cfg.Nodes),
+		states:    make([]NodeState, cfg.Nodes),
+		listeners: make(map[int]func()),
+		rebSpans:  make(map[int64]*trace.Span),
 	}
 	c.tr = cfg.Transport
 	if c.tr == nil {
@@ -106,8 +130,9 @@ func (c *Cluster) Transport() transport.Transport { return c.tr }
 // networked transport; a no-op for the simulated one).
 func (c *Cluster) Close() error { return c.tr.Close() }
 
-// Nodes returns the configured node count.
-func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+// Nodes returns the number of nodes ever provisioned, including joined
+// members and failed/left ones — node ids are dense in [0, Nodes()).
+func (c *Cluster) Nodes() int { return c.assign.Nodes() }
 
 // Partitioner returns the shared partitioner.
 func (c *Cluster) Partitioner() partition.Partitioner { return c.part }
@@ -121,10 +146,22 @@ func (c *Cluster) Store() *kv.Store { return c.store }
 // NodeView returns the KV view for a member node. It panics on an unknown
 // node id; use ClientView for external clients.
 func (c *Cluster) NodeView(node int) kv.NodeView {
-	if node < 0 || node >= c.cfg.Nodes {
-		panic(fmt.Sprintf("cluster: no node %d in a %d-node cluster", node, c.cfg.Nodes))
+	if node < 0 || node >= c.assign.Nodes() {
+		panic(fmt.Sprintf("cluster: no node %d in a %d-node cluster", node, c.assign.Nodes()))
 	}
 	return c.store.View(node)
+}
+
+// FencedNodeView is NodeView with epoch fencing: writes carry the epoch
+// of a cached partition-table snapshot and are rejected-and-retried when
+// a migration or failover reseats their partition. Operator state
+// backends use fenced views so every mirror batch and snapshot write is
+// stamped.
+func (c *Cluster) FencedNodeView(node int) kv.NodeView {
+	if node < 0 || node >= c.assign.Nodes() {
+		panic(fmt.Sprintf("cluster: no node %d in a %d-node cluster", node, c.assign.Nodes()))
+	}
+	return c.store.FencedView(node)
 }
 
 // ClientView returns the KV view used by external query clients: every
@@ -140,59 +177,81 @@ func (c *Cluster) NodeForKey(key partition.Key) int {
 	return c.assign.Owner(c.part.Of(key))
 }
 
-// ScheduleInstances assigns n operator instances to nodes round-robin, the
-// same discipline as the partition table, so instance i of every vertex of
-// a job lands with its peers. It returns the node of each instance.
+// ScheduleInstances assigns n operator instances round-robin over the
+// *live* nodes — the same discipline as the partition table, so instance
+// i of every vertex of a job lands with its peers. Failed, left, and
+// still-joining nodes host nothing. It returns the node of each instance.
 func (c *Cluster) ScheduleInstances(n int) []int {
+	live := c.schedulable()
+	if len(live) == 0 {
+		// Unreachable: Fail and Leave both refuse to empty the cluster.
+		live = []int{0}
+	}
 	out := make([]int, n)
 	for i := range out {
-		out[i] = i % c.cfg.Nodes
+		out[i] = live[i%len(live)]
 	}
 	return out
 }
 
 // Fail marks a node failed and promotes its partitions to their backups,
 // modelling the IMDG failover the paper's recovery path relies on. Failing
-// an already-failed node is a no-op. Failing the last live node panics.
-func (c *Cluster) Fail(node int) {
+// an already-failed (or left) node is a no-op. Failing the last live node
+// returns an error, so chaos schedules can probe the boundary without
+// crashing the harness.
+func (c *Cluster) Fail(node int) error {
+	c.memMu.Lock()
+	defer c.memMu.Unlock()
+	return c.failInner(node)
+}
+
+// failInner is Fail without the membership lock — the form a rebalance
+// uses to kill a node mid-migration (it already holds memMu).
+func (c *Cluster) failInner(node int) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.failed[node] {
-		return
+	if node < 0 || node >= len(c.states) {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no node %d", node)
 	}
-	live := 0
-	for n := 0; n < c.cfg.Nodes; n++ {
-		if !c.failed[n] {
-			live++
-		}
+	switch c.states[node] {
+	case NodeFailed, NodeLeft:
+		c.mu.Unlock()
+		return nil
 	}
-	if live <= 1 {
-		panic("cluster: cannot fail the last live node")
+	if c.liveCountLocked() <= 1 {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: cannot fail node %d: it is the last live node", node)
 	}
-	c.failed[node] = true
+	c.states[node] = NodeFailed
+	c.mu.Unlock()
+	if in := c.instruments(); in != nil {
+		in.fails.Inc()
+	}
 	// The failed node's memory is gone: its partitions' primary copies
 	// are dropped (or recovered from backups when replication is on),
-	// then ownership moves to the backups.
+	// then ownership moves to the backups — with replacement backups
+	// seated only on non-failed, non-left nodes. Every reseated
+	// partition's epoch is bumped, fencing out writers that still hold
+	// the pre-failure table.
 	c.store.FailNode(c.assign.OwnedBy(node))
-	c.assign.Promote(node)
+	c.assign.PromoteAvoiding(node, func(n int) bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if n >= len(c.states) {
+			return true
+		}
+		st := c.states[n]
+		return st == NodeFailed || st == NodeLeft
+	})
+	return nil
 }
 
 // Failed reports whether node is failed.
 func (c *Cluster) Failed(node int) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.failed[node]
+	return node >= 0 && node < len(c.states) && c.states[node] == NodeFailed
 }
 
-// LiveNodes returns the ids of nodes that have not failed, ascending.
-func (c *Cluster) LiveNodes() []int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var out []int
-	for n := 0; n < c.cfg.Nodes; n++ {
-		if !c.failed[n] {
-			out = append(out, n)
-		}
-	}
-	return out
-}
+// LiveNodes returns the ids of live (schedulable) nodes, ascending.
+func (c *Cluster) LiveNodes() []int { return c.schedulable() }

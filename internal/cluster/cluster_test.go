@@ -102,15 +102,21 @@ func TestFailPromotesPartitions(t *testing.T) {
 	c.Fail(1) // idempotent
 }
 
-func TestFailLastNodePanics(t *testing.T) {
+func TestFailLastNodeErrors(t *testing.T) {
 	c := New(Config{Nodes: 2})
-	c.Fail(0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("failing last node did not panic")
-		}
-	}()
-	c.Fail(1)
+	if err := c.Fail(0); err != nil {
+		t.Fatalf("Fail(0): %v", err)
+	}
+	if err := c.Fail(1); err == nil {
+		t.Fatal("failing the last live node did not error")
+	}
+	if c.Failed(1) {
+		t.Fatal("node 1 marked failed despite the refusal")
+	}
+	// The refused node keeps serving.
+	if live := c.LiveNodes(); len(live) != 1 || live[0] != 1 {
+		t.Fatalf("LiveNodes = %v, want [1]", live)
+	}
 }
 
 func TestDataSurvivesFailoverWithReplication(t *testing.T) {

@@ -1,0 +1,673 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"squery/internal/metrics"
+	"squery/internal/partition"
+	"squery/internal/trace"
+	"squery/internal/transport"
+)
+
+// Elastic membership: the cluster's node set is no longer fixed at New.
+// Join provisions a new member and Leave retires one, each driving an
+// online rebalance that migrates partitions one at a time over the
+// transport — freeze, ship the state snapshot (and, with replication, the
+// backup seed) as wire-encoded payload, flip the versioned partition
+// table, thaw. Every flip bumps the table epoch, which is what fenced KV
+// views stamp on their writes; a member that missed the change keeps
+// writing with a stale epoch, bounces off the store, refreshes and
+// retries against the new owner (see kv/migration.go). Migrations and
+// checkpoints exclude each other through ckptGate so a 2PC cut never
+// straddles an ownership flip.
+//
+// The per-node state machine:
+//
+//	          Join                     Leave
+//	(absent) ─────→ Joining → Live ──────────→ Leaving → Left
+//	                   │        │                 │
+//	                   │ Fail   │ Fail            │ Fail
+//	                   └──────→ Failed ←──────────┘
+//
+// Failed and Left are terminal; node ids are never reused.
+
+// NodeState is one member's position in the membership state machine.
+type NodeState int
+
+const (
+	// NodeLive members own partitions and host operator instances.
+	NodeLive NodeState = iota
+	// NodeJoining members are receiving partitions but not yet schedulable.
+	NodeJoining
+	// NodeLeaving members are draining their partitions to the rest.
+	NodeLeaving
+	// NodeFailed members crashed: their primaries were lost (or promoted
+	// from backups) without a graceful drain.
+	NodeFailed
+	// NodeLeft members drained gracefully and exited.
+	NodeLeft
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case NodeLive:
+		return "live"
+	case NodeJoining:
+		return "joining"
+	case NodeLeaving:
+		return "leaving"
+	case NodeFailed:
+		return "failed"
+	case NodeLeft:
+		return "left"
+	}
+	return "unknown"
+}
+
+// Member is one row of the membership view (sys.membership).
+type Member struct {
+	Node       int
+	State      NodeState
+	Partitions int // primaries currently owned
+	Backups    int // backup seats currently held
+}
+
+// MigrationFate is chaos's verdict on one partition migration, consulted
+// at the point of no return between the ship and the flip.
+type MigrationFate struct {
+	// KillSource crashes the source node mid-handoff: the move aborts and
+	// the partition stays with (or fails over from) its last committed
+	// owner — never with the half-seeded target.
+	KillSource bool
+	// KillTarget crashes the target before it acknowledges: the shipped
+	// state dies with it and the move aborts without a flip.
+	KillTarget bool
+	// DropEpochBump suppresses the membership-change broadcast for the
+	// whole rebalance: nobody is told to refresh, so stale writers learn
+	// of the new table only through fencing rejections.
+	DropEpochBump bool
+	// Stall delays the move while the partition is frozen — long enough
+	// for tests to observe an in-flight rebalance through sys.rebalances.
+	Stall time.Duration
+}
+
+// MigrationHook injects migration faults (see internal/chaos). Implemented
+// outside this package; a nil hook means every migration succeeds.
+type MigrationHook interface {
+	MigrationFate(rebalance int64, partition, from, to int) MigrationFate
+}
+
+// SetMigrationHook installs (or clears, with nil) the migration fault
+// hook.
+func (c *Cluster) SetMigrationHook(h MigrationHook) {
+	c.hookMu.Lock()
+	c.migHook = h
+	c.hookMu.Unlock()
+}
+
+func (c *Cluster) migrationFate(reb int64, p, from, to int) MigrationFate {
+	c.hookMu.Lock()
+	h := c.migHook
+	c.hookMu.Unlock()
+	if h == nil {
+		return MigrationFate{}
+	}
+	return h.MigrationFate(reb, p, from, to)
+}
+
+// Move is one partition migration within a rebalance, as surfaced by
+// sys.rebalances.
+type Move struct {
+	Partition  int
+	From, To   int
+	BackupOnly bool // a backup-seat reseat, not an ownership migration
+	Epoch      int64
+	Ops        int // entries shipped
+	Bytes      int // payload bytes shipped
+	Duration   time.Duration
+	Aborted    bool
+	Reason     string // abort reason: "kill-source", "kill-target"
+}
+
+// Rebalance is one membership change and its migrations.
+type Rebalance struct {
+	ID          int64
+	Kind        string // "join" or "leave"
+	Node        int    // the joining/leaving node
+	EpochBefore int64
+	EpochAfter  int64 // 0 while running
+	Start       time.Time
+	Duration    time.Duration // 0 while running
+	Running     bool
+	DroppedBump bool // chaos dropped the membership broadcast
+	Aborted     bool // a chaos kill cut the rebalance short
+	Moves       []Move
+}
+
+// SetInstruments attaches the metrics registry and tracer the rebalancer
+// reports through: counters and a move-duration histogram under
+// ("cluster", "rebalance"), one KindRebalance span per rebalance with a
+// child span per migration. Either may be nil.
+func (c *Cluster) SetInstruments(reg *metrics.Registry, tracer *trace.Tracer) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	c.tracer = tracer
+	if reg == nil {
+		c.inst = nil
+		return
+	}
+	c.inst = &clusterInstruments{
+		joins:     reg.Counter("cluster", "rebalance", "joins"),
+		leaves:    reg.Counter("cluster", "rebalance", "leaves"),
+		fails:     reg.Counter("cluster", "rebalance", "fails"),
+		moves:     reg.Counter("cluster", "rebalance", "moves"),
+		aborts:    reg.Counter("cluster", "rebalance", "move_aborts"),
+		shipBytes: reg.Counter("cluster", "rebalance", "ship_bytes"),
+		moveDur:   reg.Histogram("cluster", "rebalance", "move_duration"),
+	}
+}
+
+type clusterInstruments struct {
+	joins, leaves, fails *metrics.Counter
+	moves, aborts        *metrics.Counter
+	shipBytes            *metrics.Counter
+	moveDur              *metrics.Histogram
+}
+
+func (c *Cluster) instruments() *clusterInstruments {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	return c.inst
+}
+
+// OnMembershipChange registers fn to run (in its own goroutine) after
+// every completed membership change whose broadcast is not chaos-dropped.
+// The returned id cancels the registration via RemoveMembershipListener.
+// Jobs use this to re-schedule operator instances onto the new topology.
+func (c *Cluster) OnMembershipChange(fn func()) int {
+	c.lmu.Lock()
+	defer c.lmu.Unlock()
+	id := c.nextLis
+	c.nextLis++
+	c.listeners[id] = fn
+	return id
+}
+
+// RemoveMembershipListener cancels a registration.
+func (c *Cluster) RemoveMembershipListener(id int) {
+	c.lmu.Lock()
+	defer c.lmu.Unlock()
+	delete(c.listeners, id)
+}
+
+func (c *Cluster) notifyMembershipChange() {
+	c.lmu.Lock()
+	fns := make([]func(), 0, len(c.listeners))
+	for _, fn := range c.listeners {
+		fns = append(fns, fn)
+	}
+	c.lmu.Unlock()
+	for _, fn := range fns {
+		go fn()
+	}
+}
+
+// CheckpointGate fences a checkpoint's 2PC against partition migrations:
+// while the returned release is undone, no migration can freeze or flip a
+// partition, so the cut sees one consistent table — every partition
+// counted exactly once, on exactly one owner. Migrations symmetrically
+// exclude checkpoints for the duration of a single move, never the whole
+// rebalance, so checkpoints interleave with a long rebalance move by
+// move.
+func (c *Cluster) CheckpointGate() func() {
+	c.ckptGate.RLock()
+	return c.ckptGate.RUnlock
+}
+
+// Epoch returns the partition table's current global epoch.
+func (c *Cluster) Epoch() int64 { return c.assign.Epoch() }
+
+// Members returns every node ever provisioned with its state and current
+// partition counts — the rows of sys.membership.
+func (c *Cluster) Members() []Member {
+	c.mu.Lock()
+	states := append([]NodeState(nil), c.states...)
+	c.mu.Unlock()
+	tab := c.assign.Table()
+	out := make([]Member, len(states))
+	for n := range out {
+		out[n] = Member{Node: n, State: states[n]}
+	}
+	for p := 0; p < c.part.Count(); p++ {
+		if o := tab.Owner(p); o < len(out) {
+			out[o].Partitions++
+		}
+		if b := tab.Backup(p); b < len(out) {
+			out[b].Backups++
+		}
+	}
+	return out
+}
+
+// Rebalances returns the rebalance history, oldest first, including a
+// still-running one — the rows of sys.rebalances.
+func (c *Cluster) Rebalances() []Rebalance {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	out := make([]Rebalance, len(c.rebalances))
+	for i, r := range c.rebalances {
+		cp := *r
+		cp.Moves = append([]Move(nil), r.Moves...)
+		if cp.Running {
+			cp.Duration = time.Since(cp.Start)
+		}
+		out[i] = cp
+	}
+	return out
+}
+
+// Join provisions a new member and rebalances partitions onto it online.
+// It returns the new node's id. The node starts Joining, receives its
+// fair share of partitions one migration at a time, then turns Live and
+// the membership change is broadcast. If chaos kills the joiner
+// mid-rebalance the join fails with an error and the node is Failed.
+func (c *Cluster) Join() (int, error) {
+	c.memMu.Lock()
+	defer c.memMu.Unlock()
+	node := c.assign.AddNode()
+	c.mu.Lock()
+	for len(c.states) < node+1 {
+		c.states = append(c.states, NodeJoining)
+	}
+	c.mu.Unlock()
+	if in := c.instruments(); in != nil {
+		in.joins.Inc()
+	}
+	reb := c.beginRebalance("join", node)
+	c.runRebalance(reb, c.planJoin(node))
+	c.mu.Lock()
+	joined := c.states[node] == NodeJoining
+	if joined {
+		c.states[node] = NodeLive
+	}
+	c.mu.Unlock()
+	c.finishRebalance(reb)
+	if !joined {
+		return node, fmt.Errorf("cluster: join of node %d aborted: node failed mid-rebalance", node)
+	}
+	return node, nil
+}
+
+// Leave drains a member gracefully: its primaries are migrated to the
+// remaining live nodes and its backup seats reseated, one partition at a
+// time, then the node is Left. Leaving the last live node is an error, as
+// is leaving a node that is not Live.
+func (c *Cluster) Leave(node int) error {
+	c.memMu.Lock()
+	defer c.memMu.Unlock()
+	c.mu.Lock()
+	if node < 0 || node >= len(c.states) {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no node %d", node)
+	}
+	if st := c.states[node]; st != NodeLive {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: cannot leave node %d in state %s", node, st)
+	}
+	if c.liveCountLocked() <= 1 {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: cannot leave node %d: it is the last live node", node)
+	}
+	c.states[node] = NodeLeaving
+	c.mu.Unlock()
+	if in := c.instruments(); in != nil {
+		in.leaves.Inc()
+	}
+	reb := c.beginRebalance("leave", node)
+	c.runRebalance(reb, c.planLeave(node))
+	c.mu.Lock()
+	st := c.states[node]
+	// Left only when the drain actually completed: a chaos kill of a
+	// *target* aborts the remainder of the plan with the leaver intact, and
+	// marking it Left then would strand its remaining partitions on a node
+	// no future rebalance may move from. Such a node reverts to Live (the
+	// leave failed; retry it), while a leaver that itself died mid-drain
+	// stays Failed — its partitions already failed over.
+	left := st == NodeLeaving && !reb.Aborted && len(c.assign.OwnedBy(node)) == 0
+	if left {
+		c.states[node] = NodeLeft
+	} else if st == NodeLeaving {
+		c.states[node] = NodeLive
+	}
+	c.mu.Unlock()
+	c.finishRebalance(reb)
+	switch {
+	case left:
+		return nil
+	case st != NodeLeaving:
+		return fmt.Errorf("cluster: leave of node %d aborted: node failed mid-rebalance", node)
+	default:
+		return fmt.Errorf("cluster: leave of node %d aborted mid-drain: node reverted to live", node)
+	}
+}
+
+// plannedMove is one entry of a rebalance plan.
+type plannedMove struct {
+	p          int
+	from, to   int // owner seats (or backup seats when backupOnly)
+	backup     int // new backup seat of the partition
+	backupOnly bool
+}
+
+// planJoin moves partitions from the most-loaded live nodes onto the
+// joiner until it holds its fair (floor) share. Deterministic: partitions
+// are taken in ascending order from any owner still above the post-join
+// fair share.
+func (c *Cluster) planJoin(node int) []plannedMove {
+	tab := c.assign.Table()
+	members := c.schedulable()
+	members = append(members, node)
+	fair := c.part.Count() / len(members)
+	counts := make(map[int]int)
+	for p := 0; p < c.part.Count(); p++ {
+		counts[tab.Owner(p)]++
+	}
+	var plan []plannedMove
+	got := 0
+	for p := 0; p < c.part.Count() && got < fair; p++ {
+		owner := tab.Owner(p)
+		if owner == node || counts[owner] <= fair {
+			continue
+		}
+		backup := c.nextBackupFor(node, members)
+		plan = append(plan, plannedMove{p: p, from: owner, to: node, backup: backup})
+		counts[owner]--
+		got++
+	}
+	return plan
+}
+
+// planLeave drains every seat the leaver holds: primaries migrate to the
+// least-loaded remaining live nodes; backup seats reseat next to their
+// owners.
+func (c *Cluster) planLeave(node int) []plannedMove {
+	tab := c.assign.Table()
+	rest := make([]int, 0)
+	for _, n := range c.schedulable() {
+		if n != node {
+			rest = append(rest, n)
+		}
+	}
+	counts := make(map[int]int)
+	for p := 0; p < c.part.Count(); p++ {
+		counts[tab.Owner(p)]++
+	}
+	var plan []plannedMove
+	for p := 0; p < c.part.Count(); p++ {
+		owner, backup := tab.Owner(p), tab.Backup(p)
+		if owner == node {
+			// Least-loaded remaining node, lowest id on ties.
+			to := rest[0]
+			for _, n := range rest[1:] {
+				if counts[n] < counts[to] {
+					to = n
+				}
+			}
+			nb := backup
+			if nb == node || nb == to {
+				nb = c.nextBackupFor(to, rest)
+			}
+			plan = append(plan, plannedMove{p: p, from: owner, to: to, backup: nb})
+			counts[owner]--
+			counts[to]++
+		} else if backup == node {
+			nb := c.nextBackupFor(owner, rest)
+			plan = append(plan, plannedMove{p: p, from: backup, to: nb, backup: nb, backupOnly: true})
+		}
+	}
+	return plan
+}
+
+// nextBackupFor picks the first member after owner (cyclically, by id)
+// from the candidate set, excluding owner itself. With one candidate the
+// backup coincides with the owner — the single-node degenerate case.
+func (c *Cluster) nextBackupFor(owner int, members []int) int {
+	best, wrap := -1, -1
+	for _, n := range members {
+		if n == owner {
+			continue
+		}
+		if n > owner && (best == -1 || n < best) {
+			best = n
+		}
+		if wrap == -1 || n < wrap {
+			wrap = n
+		}
+	}
+	if best != -1 {
+		return best
+	}
+	if wrap != -1 && wrap != owner {
+		return wrap
+	}
+	return owner
+}
+
+// schedulable returns the Live node ids, ascending.
+func (c *Cluster) schedulable() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for n, st := range c.states {
+		if st == NodeLive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (c *Cluster) liveCountLocked() int {
+	live := 0
+	for _, st := range c.states {
+		switch st {
+		case NodeLive, NodeJoining, NodeLeaving:
+			live++
+		}
+	}
+	return live
+}
+
+func (c *Cluster) beginRebalance(kind string, node int) *Rebalance {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	c.nextReb++
+	reb := &Rebalance{
+		ID:          c.nextReb,
+		Kind:        kind,
+		Node:        node,
+		EpochBefore: c.assign.Epoch(),
+		Start:       time.Now(),
+		Running:     true,
+	}
+	c.rebalances = append(c.rebalances, reb)
+	if c.tracer != nil {
+		c.rebSpans[reb.ID] = c.tracer.StartTrace(kind, trace.KindRebalance)
+		c.rebSpans[reb.ID].SetVertex("rebalance", node)
+	}
+	return reb
+}
+
+func (c *Cluster) finishRebalance(reb *Rebalance) {
+	c.rmu.Lock()
+	reb.Running = false
+	reb.EpochAfter = c.assign.Epoch()
+	reb.Duration = time.Since(reb.Start)
+	dropped := reb.DroppedBump
+	sp := c.rebSpans[reb.ID]
+	delete(c.rebSpans, reb.ID)
+	c.rmu.Unlock()
+	if sp != nil {
+		sp.SetNote("moves=" + strconv.Itoa(len(reb.Moves)) + " epoch=" + strconv.FormatInt(reb.EpochAfter, 10))
+		sp.End()
+	}
+	// The epoch-bump broadcast: chaos may drop it, in which case stale
+	// members learn of the new table only through fencing rejections.
+	if !dropped {
+		c.notifyMembershipChange()
+	}
+}
+
+// runRebalance executes a plan one move at a time. Each move excludes
+// checkpoints (write side of ckptGate) only for its own duration, so a
+// long rebalance interleaves with the 2PC instead of starving it. A chaos
+// kill aborts the remainder of the plan — the cluster is consistent after
+// every move, so stopping short only leaves the balance imperfect.
+func (c *Cluster) runRebalance(reb *Rebalance, plan []plannedMove) {
+	for _, mv := range plan {
+		if !c.moveStillValid(mv) {
+			continue
+		}
+		if aborted := c.executeMove(reb, mv); aborted {
+			c.rmu.Lock()
+			reb.Aborted = true
+			c.rmu.Unlock()
+			return
+		}
+	}
+}
+
+// moveStillValid re-checks a planned move against the live table and
+// membership: an earlier chaos kill may have failed the source (its
+// partitions promoted elsewhere) or the target.
+func (c *Cluster) moveStillValid(mv plannedMove) bool {
+	c.mu.Lock()
+	stTo := c.states[mv.to]
+	stFrom := c.states[mv.from]
+	c.mu.Unlock()
+	if stTo != NodeLive && stTo != NodeJoining {
+		return false
+	}
+	if stFrom == NodeFailed || stFrom == NodeLeft {
+		return false
+	}
+	if mv.backupOnly {
+		return c.assign.Backup(mv.p) == mv.from
+	}
+	return c.assign.Owner(mv.p) == mv.from
+}
+
+// executeMove migrates one partition: freeze → chaos fate → ship the
+// wire-encoded snapshot (plus backup seed) over the transport → flip the
+// versioned table → thaw. It reports whether a chaos kill aborted the
+// move (and with it the rebalance).
+func (c *Cluster) executeMove(reb *Rebalance, mv plannedMove) (aborted bool) {
+	c.ckptGate.Lock()
+	defer c.ckptGate.Unlock()
+	start := time.Now()
+	in := c.instruments()
+
+	fate := MigrationFate{}
+	if !mv.backupOnly {
+		fate = c.migrationFate(reb.ID, mv.p, mv.from, mv.to)
+	}
+	if fate.DropEpochBump {
+		c.rmu.Lock()
+		reb.DroppedBump = true
+		c.rmu.Unlock()
+	}
+	if !c.store.BeginPartitionMigration(mv.p) {
+		// Another migration of p in flight — impossible while memMu
+		// serializes rebalances, so treat as a programming error.
+		panic(fmt.Sprintf("cluster: partition %d already migrating", mv.p))
+	}
+	defer c.store.EndPartitionMigration(mv.p)
+	if fate.Stall > 0 {
+		time.Sleep(fate.Stall)
+	}
+
+	abort := func(reason string, node int) bool {
+		c.recordMove(reb, Move{
+			Partition: mv.p, From: mv.from, To: mv.to, BackupOnly: mv.backupOnly,
+			Duration: time.Since(start), Aborted: true, Reason: reason,
+		})
+		if in != nil {
+			in.aborts.Inc()
+		}
+		// Thaw before the failover so promoted writers are not bounced
+		// off a frozen partition that no longer migrates.
+		c.store.EndPartitionMigration(mv.p)
+		_ = c.failInner(node)
+		return true
+	}
+
+	if fate.KillSource {
+		// The source dies mid-handoff: the partition rolls back to (fails
+		// over from) its last committed owner; the half-seeded target
+		// never appears in the table.
+		return abort("kill-source", mv.from)
+	}
+
+	var ops, bytes int
+	if mv.backupOnly {
+		if c.store.Replicated() {
+			// Seed the new backup seat from the primary.
+			ops, bytes = c.store.ShipPartition(mv.p, c.assign.Owner(mv.p), mv.to)
+		}
+	} else {
+		ops, bytes = c.store.ShipPartition(mv.p, mv.from, mv.to)
+	}
+
+	if fate.KillTarget {
+		// The target dies before acking: the shipped bytes die with it,
+		// nothing flips.
+		return abort("kill-target", mv.to)
+	}
+
+	var change partition.Change
+	if mv.backupOnly {
+		change = partition.Change{Partition: mv.p, Owner: c.assign.Owner(mv.p), Backup: mv.backup}
+	} else {
+		change = partition.Change{Partition: mv.p, Owner: mv.to, Backup: mv.backup}
+		if c.store.Replicated() && mv.backup != mv.to {
+			// The new backup's seed copy: same entries, one more hop.
+			c.tr.Send(transport.Msg{From: mv.to, To: mv.backup, Ops: ops, Bytes: bytes})
+		}
+	}
+	epoch := c.assign.Apply([]partition.Change{change})
+
+	d := time.Since(start)
+	c.recordMove(reb, Move{
+		Partition: mv.p, From: mv.from, To: mv.to, BackupOnly: mv.backupOnly,
+		Epoch: epoch, Ops: ops, Bytes: bytes, Duration: d,
+	})
+	if in != nil {
+		in.moves.Inc()
+		in.shipBytes.Add(int64(bytes))
+		in.moveDur.Record(d)
+	}
+	return false
+}
+
+func (c *Cluster) recordMove(reb *Rebalance, mv Move) {
+	c.rmu.Lock()
+	reb.Moves = append(reb.Moves, mv)
+	sp := c.rebSpans[reb.ID]
+	tracer := c.tracer
+	c.rmu.Unlock()
+	if tracer != nil && sp != nil {
+		child := tracer.StartChild(sp.Context(), "move", trace.KindRebalance)
+		child.SetVertex("rebalance", mv.Partition)
+		note := "p=" + strconv.Itoa(mv.Partition) +
+			" from=" + strconv.Itoa(mv.From) +
+			" to=" + strconv.Itoa(mv.To) +
+			" ops=" + strconv.Itoa(mv.Ops) +
+			" bytes=" + strconv.Itoa(mv.Bytes)
+		if mv.Aborted {
+			note += " aborted=" + mv.Reason
+		}
+		child.SetNote(note)
+		child.End()
+	}
+}

@@ -1,0 +1,360 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// hookFunc adapts a function to MigrationHook.
+type hookFunc func(reb int64, p, from, to int) MigrationFate
+
+func (f hookFunc) MigrationFate(reb int64, p, from, to int) MigrationFate {
+	return f(reb, p, from, to)
+}
+
+func ownerCounts(c *Cluster) map[int]int {
+	counts := map[int]int{}
+	for p := 0; p < c.Partitioner().Count(); p++ {
+		counts[c.Assignment().Owner(p)]++
+	}
+	return counts
+}
+
+func TestJoinRebalancesOntoNewNode(t *testing.T) {
+	c := New(Config{Nodes: 3, Partitions: 27, ReplicateState: true})
+	v := c.ClientView()
+	for i := 0; i < 100; i++ {
+		v.Put("m", i, i)
+	}
+	epochBefore := c.Epoch()
+	node, err := c.Join()
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if node != 3 {
+		t.Fatalf("joined node id = %d, want 3", node)
+	}
+	if c.Epoch() <= epochBefore {
+		t.Fatalf("epoch did not advance across the join: %d -> %d", epochBefore, c.Epoch())
+	}
+	// The joiner holds its fair (floor) share; nobody lost data.
+	counts := ownerCounts(c)
+	fair := 27 / 4
+	if counts[node] != fair {
+		t.Fatalf("joiner owns %d partitions, want %d (counts %v)", counts[node], fair, counts)
+	}
+	for i := 0; i < 100; i++ {
+		if got, ok := v.Get("m", i); !ok || got != i {
+			t.Fatalf("key %d lost across the join: %v, %v", i, got, ok)
+		}
+	}
+	// The joiner is schedulable now.
+	live := c.LiveNodes()
+	if len(live) != 4 || live[3] != node {
+		t.Fatalf("LiveNodes after join = %v", live)
+	}
+}
+
+func TestLeaveDrainsAllSeats(t *testing.T) {
+	c := New(Config{Nodes: 3, Partitions: 27, ReplicateState: true})
+	v := c.ClientView()
+	for i := 0; i < 100; i++ {
+		v.Put("m", i, i)
+	}
+	if err := c.Leave(1); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	a := c.Assignment()
+	for p := 0; p < 27; p++ {
+		if a.Owner(p) == 1 {
+			t.Fatalf("partition %d still owned by the left node", p)
+		}
+		if a.Backup(p) == 1 {
+			t.Fatalf("partition %d still backed up on the left node", p)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if got, ok := v.Get("m", i); !ok || got != i {
+			t.Fatalf("key %d lost across the leave: %v, %v", i, got, ok)
+		}
+	}
+	members := c.Members()
+	if members[1].State != NodeLeft {
+		t.Fatalf("left node state = %s", members[1].State)
+	}
+	// Leaving again is an error: the node is gone.
+	if err := c.Leave(1); err == nil {
+		t.Fatal("second Leave of the same node did not error")
+	}
+}
+
+func TestLeaveValidations(t *testing.T) {
+	c := New(Config{Nodes: 2, Partitions: 8})
+	if err := c.Leave(7); err == nil {
+		t.Fatal("Leave of an unknown node did not error")
+	}
+	if err := c.Leave(0); err != nil {
+		t.Fatalf("Leave(0): %v", err)
+	}
+	if err := c.Leave(1); err == nil {
+		t.Fatal("Leave of the last live node did not error")
+	}
+}
+
+func TestKillSourceMidHandoffRollsBack(t *testing.T) {
+	c := New(Config{Nodes: 3, Partitions: 27, ReplicateState: true})
+	v := c.ClientView()
+	for i := 0; i < 100; i++ {
+		v.Put("m", i, i)
+	}
+	var killed atomic.Int64
+	c.SetMigrationHook(hookFunc(func(reb int64, p, from, to int) MigrationFate {
+		if killed.CompareAndSwap(0, int64(from)+1) {
+			return MigrationFate{KillSource: true}
+		}
+		return MigrationFate{}
+	}))
+	node, err := c.Join()
+	if err != nil {
+		t.Fatalf("Join (the joiner survived): %v", err)
+	}
+	src := int(killed.Load() - 1)
+	if !c.Failed(src) {
+		t.Fatalf("killed source %d not marked failed", src)
+	}
+	// The aborted move's partition never landed on the target half-seeded:
+	// ownership failed over from the last committed owner, and no data was
+	// lost (replication).
+	for i := 0; i < 100; i++ {
+		if got, ok := v.Get("m", i); !ok || got != i {
+			t.Fatalf("key %d lost across the killed migration: %v, %v", i, got, ok)
+		}
+	}
+	rebs := c.Rebalances()
+	if len(rebs) != 1 || !rebs[0].Aborted {
+		t.Fatalf("rebalance not recorded as aborted: %+v", rebs)
+	}
+	var aborts int
+	for _, mv := range rebs[0].Moves {
+		if mv.Aborted {
+			aborts++
+			if mv.Reason != "kill-source" {
+				t.Fatalf("abort reason = %q", mv.Reason)
+			}
+		}
+	}
+	if aborts != 1 {
+		t.Fatalf("aborted moves = %d, want 1", aborts)
+	}
+	// The cluster keeps serving and the joiner is live.
+	if c.Failed(node) {
+		t.Fatal("joiner marked failed after a source kill")
+	}
+}
+
+func TestKillTargetPreAckAbortsJoin(t *testing.T) {
+	c := New(Config{Nodes: 3, Partitions: 27, ReplicateState: true})
+	v := c.ClientView()
+	for i := 0; i < 100; i++ {
+		v.Put("m", i, i)
+	}
+	c.SetMigrationHook(hookFunc(func(reb int64, p, from, to int) MigrationFate {
+		return MigrationFate{KillTarget: true}
+	}))
+	node, err := c.Join()
+	if err == nil {
+		t.Fatal("Join succeeded although the joiner was killed pre-ack")
+	}
+	if !c.Failed(node) {
+		t.Fatal("killed joiner not marked failed")
+	}
+	// No flip happened: the dead joiner owns nothing.
+	if owned := c.Assignment().OwnedBy(node); len(owned) != 0 {
+		t.Fatalf("dead joiner owns partitions: %v", owned)
+	}
+	for i := 0; i < 100; i++ {
+		if got, ok := v.Get("m", i); !ok || got != i {
+			t.Fatalf("key %d lost: %v, %v", i, got, ok)
+		}
+	}
+}
+
+func TestLeaveAbortedMidDrainRevertsToLive(t *testing.T) {
+	c := New(Config{Nodes: 3, Partitions: 27, ReplicateState: true})
+	// Kill the *target* of the first migration: the leaver survives, but
+	// its drain cannot complete — it must revert to Live, not strand its
+	// partitions on a Left node.
+	fired := false
+	c.SetMigrationHook(hookFunc(func(reb int64, p, from, to int) MigrationFate {
+		if !fired {
+			fired = true
+			return MigrationFate{KillTarget: true}
+		}
+		return MigrationFate{}
+	}))
+	if err := c.Leave(1); err == nil {
+		t.Fatal("aborted leave did not error")
+	}
+	if got := c.Members()[1].State; got != NodeLive {
+		t.Fatalf("leaver state after aborted drain = %s, want live", got)
+	}
+	// The leave is retryable once the hook stops killing.
+	c.SetMigrationHook(nil)
+	if err := c.Leave(1); err != nil {
+		t.Fatalf("retried Leave: %v", err)
+	}
+	if got := c.Members()[1].State; got != NodeLeft {
+		t.Fatalf("leaver state after retry = %s, want left", got)
+	}
+}
+
+func TestStalledRebalanceObservableWhileRunning(t *testing.T) {
+	c := New(Config{Nodes: 3, Partitions: 9, ReplicateState: true})
+	c.SetMigrationHook(hookFunc(func(reb int64, p, from, to int) MigrationFate {
+		return MigrationFate{Stall: 20 * time.Millisecond}
+	}))
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Join()
+		done <- err
+	}()
+	// While the first move stalls, the rebalance must be visible: Running,
+	// with the joiner in state joining.
+	sawRunning, sawJoining := false, false
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && !(sawRunning && sawJoining) {
+		for _, r := range c.Rebalances() {
+			if r.Running {
+				sawRunning = true
+			}
+		}
+		for _, m := range c.Members() {
+			if m.State == NodeJoining {
+				sawJoining = true
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if !sawRunning {
+		t.Fatal("never observed a Running rebalance despite the stall")
+	}
+	if !sawJoining {
+		t.Fatal("never observed the joiner in state joining")
+	}
+	// After completion the record is finalized with per-move durations.
+	rebs := c.Rebalances()
+	if len(rebs) != 1 || rebs[0].Running {
+		t.Fatalf("rebalance not finalized: %+v", rebs)
+	}
+	if rebs[0].EpochAfter <= rebs[0].EpochBefore {
+		t.Fatalf("epochs not advanced: %d -> %d", rebs[0].EpochBefore, rebs[0].EpochAfter)
+	}
+	var stalled int
+	for _, mv := range rebs[0].Moves {
+		if mv.Duration >= 20*time.Millisecond {
+			stalled++
+		}
+	}
+	if stalled == 0 {
+		t.Fatal("no move recorded its stalled duration")
+	}
+}
+
+func TestMembershipListenerFiresOnJoinAndLeaveNotFail(t *testing.T) {
+	c := New(Config{Nodes: 3, Partitions: 9, ReplicateState: true})
+	var fires atomic.Int64
+	id := c.OnMembershipChange(func() { fires.Add(1) })
+	if _, err := c.Join(); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	waitFor(t, func() bool { return fires.Load() == 1 }, "listener after join")
+	if err := c.Leave(1); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	waitFor(t, func() bool { return fires.Load() == 2 }, "listener after leave")
+	// Fail is not a membership *change* broadcast: recovery paths drive
+	// their own rescheduling explicitly.
+	if err := c.Fail(2); err != nil {
+		t.Fatalf("Fail: %v", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if got := fires.Load(); got != 2 {
+		t.Fatalf("listener fired %d times after a Fail, want still 2", got)
+	}
+	c.RemoveMembershipListener(id)
+	if _, err := c.Join(); err != nil {
+		t.Fatalf("second Join: %v", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if got := fires.Load(); got != 2 {
+		t.Fatalf("removed listener fired: %d", got)
+	}
+}
+
+func TestDropEpochBumpSuppressesBroadcast(t *testing.T) {
+	c := New(Config{Nodes: 3, Partitions: 9, ReplicateState: true})
+	var fires atomic.Int64
+	c.OnMembershipChange(func() { fires.Add(1) })
+	c.SetMigrationHook(hookFunc(func(reb int64, p, from, to int) MigrationFate {
+		return MigrationFate{DropEpochBump: true}
+	}))
+	if _, err := c.Join(); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if got := fires.Load(); got != 0 {
+		t.Fatalf("dropped epoch bump still fired the listener %d time(s)", got)
+	}
+	rebs := c.Rebalances()
+	if len(rebs) != 1 || !rebs[0].DroppedBump {
+		t.Fatalf("rebalance not recorded as dropped-bump: %+v", rebs)
+	}
+}
+
+// TestScheduleInstancesOverLiveNodes is the regression test for the
+// scheduling bug: instances must land only on live nodes, not round-robin
+// over the provisioned node count.
+func TestScheduleInstancesOverLiveNodes(t *testing.T) {
+	c := New(Config{Nodes: 3, Partitions: 27, ReplicateState: true})
+	if err := c.Fail(1); err != nil {
+		t.Fatalf("Fail: %v", err)
+	}
+	for i, n := range c.ScheduleInstances(6) {
+		if n == 1 {
+			t.Fatalf("instance %d scheduled on the failed node", i)
+		}
+	}
+	// After a join the new node hosts instances too.
+	node, err := c.Join()
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	onJoined := false
+	for _, n := range c.ScheduleInstances(6) {
+		if n == 1 {
+			t.Fatal("instance scheduled on the failed node after join")
+		}
+		if n == node {
+			onJoined = true
+		}
+	}
+	if !onJoined {
+		t.Fatalf("no instance scheduled on the joined node %d", node)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

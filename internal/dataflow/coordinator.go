@@ -156,6 +156,14 @@ func (j *Job) checkpointOnce(st *coordState, attempt int) ckptOutcome {
 	if needed <= 0 {
 		return ckptSkipped
 	}
+	// Fence the whole 2PC against partition migrations: a migration
+	// committing between the prepares of two instances could move a
+	// partition across the cut, counting its state twice or not at all.
+	// The gate is read-side, and the rebalancer takes the write side per
+	// move — so checkpoints interleave with a long rebalance move-by-move
+	// instead of starving behind it.
+	release := j.clu.CheckpointGate()
+	defer release()
 	ssid, err := j.mgr.Begin()
 	if err != nil {
 		// A previous checkpoint still holds the registry — either a second

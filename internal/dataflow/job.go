@@ -121,6 +121,15 @@ type Job struct {
 	// gets ErrConcurrentCheckpoint instead of racing the first for acks.
 	ckptMu sync.Mutex
 
+	// Membership watcher: Join/Leave completions on the cluster signal
+	// membershipCh (coalesced), and the watcher goroutine reschedules the
+	// job over the new live topology via the recovery path.
+	reschedules  atomic.Int64
+	membershipCh chan struct{}
+	lisID        int
+	reschedStop  chan struct{}
+	reschedWg    sync.WaitGroup
+
 	mu          sync.Mutex
 	running     bool
 	killCh      chan struct{}
@@ -228,8 +237,67 @@ func Run(dag *DAG, cfg Config) (*Job, error) {
 		}
 	}
 	j.start(0, false)
+	// React to cluster membership changes: when a node joins or leaves
+	// (and its rebalance has completed), restart the workers over the new
+	// live topology so instances actually land on joined nodes and vacate
+	// left ones. Node *failures* deliberately do not signal — tests and
+	// operators drive that recovery explicitly (InjectFailure).
+	j.membershipCh = make(chan struct{}, 1)
+	j.reschedStop = make(chan struct{})
+	j.lisID = j.clu.OnMembershipChange(func() {
+		select {
+		case j.membershipCh <- struct{}{}:
+		default: // a reschedule is already pending; it will see the final topology
+		}
+	})
+	j.reschedWg.Add(1)
+	go j.watchMembership(j.reschedStop, j.membershipCh)
 	return j, nil
 }
+
+// watchMembership is the goroutine that turns membership-change signals
+// into reschedules. Bursts are coalesced: a Join immediately followed by
+// a Leave restarts the workers once, over the final topology.
+func (j *Job) watchMembership(stop, signal <-chan struct{}) {
+	defer j.reschedWg.Done()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-signal:
+		drain:
+			for {
+				select {
+				case <-signal:
+				default:
+					break drain
+				}
+			}
+			// Failure ("job is not running") only means the job stopped
+			// or crashed between the signal and now; the restart that
+			// follows schedules over the current topology anyway.
+			_, _ = j.Reschedule()
+		}
+	}
+}
+
+// Reschedule gracefully restarts the job's workers over the cluster's
+// current live topology. It reuses the recovery path: workers stop where
+// they stand, stateful instances restore from the latest committed
+// snapshot (or promote standbys), sources rewind to that snapshot's
+// offsets and replay — so a reschedule is exactly-once in the same sense
+// a crash-recovery is. Returns the snapshot id recovered to.
+func (j *Job) Reschedule() (int64, error) {
+	ssid, err := j.InjectFailure()
+	if err == nil {
+		j.reschedules.Add(1)
+	}
+	return ssid, err
+}
+
+// Reschedules returns how many times the job has been rescheduled
+// (membership-triggered or explicit), across its whole life.
+func (j *Job) Reschedules() int64 { return j.reschedules.Load() }
 
 func (j *Job) stateConfigFor(v *Vertex) core.Config {
 	if v.StateOverride != nil {
@@ -318,7 +386,11 @@ func (j *Job) start(restoreSSID int64, standby bool) {
 			node := nodesOf[v.Name][i]
 			var backend *core.Backend
 			if v.Stateful {
-				backend = core.NewBackend(v.Name, i, j.clu.NodeView(node), j.stateConfigFor(v))
+				// Fenced view: every mirror batch and snapshot write carries
+				// the epoch of the partition table the instance believes in,
+				// so a migration or failover reseating a partition rejects
+				// the instance's stale writes instead of splitting ownership.
+				backend = core.NewBackend(v.Name, i, j.clu.FencedNodeView(node), j.stateConfigFor(v))
 				if reg := j.cfg.Metrics; reg != nil {
 					id := fmt.Sprintf("%s/%d", v.Name, i)
 					backend.SetInstruments(
@@ -413,6 +485,7 @@ func (j *Job) Wait() { j.wg.Wait() }
 // Stop terminates the job. In-flight records may be dropped; state already
 // checkpointed remains queryable.
 func (j *Job) Stop() {
+	j.stopMembershipWatch()
 	j.mu.Lock()
 	if !j.running {
 		j.mu.Unlock()
@@ -423,6 +496,23 @@ func (j *Job) Stop() {
 	j.stopCoordinatorLocked()
 	j.mu.Unlock()
 	j.wg.Wait()
+}
+
+// stopMembershipWatch deregisters the cluster listener and waits out the
+// watcher goroutine (including a reschedule it may be mid-way through).
+func (j *Job) stopMembershipWatch() {
+	j.mu.Lock()
+	stop := j.reschedStop
+	if stop != nil {
+		j.reschedStop = nil
+		j.clu.RemoveMembershipListener(j.lisID)
+	}
+	j.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	j.reschedWg.Wait()
 }
 
 func (j *Job) stopCoordinatorLocked() {

@@ -68,7 +68,9 @@ func (j *Job) InjectFailure() (int64, error) {
 // recovery's coordinator-wait does not deadlock on its own caller.
 func (j *Job) crashAndRecover(node int) {
 	if node >= 0 && node < j.clu.Nodes() && !j.clu.Failed(node) && len(j.clu.LiveNodes()) > 1 {
-		j.clu.Fail(node)
+		// The error return (racing another kill for the last live node)
+		// just means the node survives; the recovery below still runs.
+		_ = j.clu.Fail(node)
 	}
 	// The error path only fires when the job already stopped for another
 	// reason; the crash is then moot.

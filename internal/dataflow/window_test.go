@@ -141,6 +141,36 @@ func (s *timedSource) Feed(recs ...Record) {
 	defer s.mu.Unlock()
 	s.recs = append(s.recs, recs...)
 }
+func (s *timedSource) drained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.pos) >= len(s.recs)
+}
+
+// settle waits until the pipeline is quiescent: every source has consumed
+// all fed records and every worker inbox has stayed empty across several
+// consecutive polls. "Nothing (more) fired" assertions then check a
+// settled pipeline instead of hoping a fixed sleep outlasted delivery.
+func settle(t *testing.T, j *Job, sources ...*timedSource) {
+	t.Helper()
+	stable := 0
+	waitFor(t, func() bool {
+		for _, s := range sources {
+			if !s.drained() {
+				stable = 0
+				return false
+			}
+		}
+		for _, w := range j.workers {
+			if len(w.inbox) != 0 {
+				stable = 0
+				return false
+			}
+		}
+		stable++
+		return stable >= 5
+	}, "pipeline to settle")
+}
 
 func TestWatermarkLagHoldsWindowsOpen(t *testing.T) {
 	// With 20s lag, an event at t=25 produces watermark 5 < 10, so the
@@ -184,8 +214,8 @@ func TestWatermarkMinAcrossSources(t *testing.T) {
 	}
 	defer job.Stop()
 
-	// Give the pipeline time: nothing must fire (combined wm = 3).
-	time.Sleep(30 * time.Millisecond)
+	// Let both events flow through: nothing must fire (combined wm = 3).
+	settle(t, job, fast, slow)
 	if sink.Len() != 0 {
 		t.Fatalf("windows fired with held-back watermark: %v", sink.Records())
 	}
@@ -194,7 +224,7 @@ func TestWatermarkMinAcrossSources(t *testing.T) {
 	// [0,10) — while a's [50,60) and b's [60,70) stay open.
 	slow.Feed(windowEvent("b", 60, 1))
 	waitFor(t, func() bool { return sink.Len() >= 1 }, "b's first window to fire")
-	time.Sleep(20 * time.Millisecond)
+	settle(t, job, fast, slow)
 	recs := sink.Records()
 	if len(recs) != 1 {
 		t.Fatalf("fired %d windows, want exactly 1: %v", len(recs), recs)

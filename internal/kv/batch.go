@@ -106,7 +106,10 @@ func (ss *stripeSet) unlock(seg *segment) {
 // PutBatch applies a batch of puts/deletes to the named map. Cost: one
 // message per remote partition group (carrying the group's operation
 // count and encoded size), one segment lock acquisition and — with
-// replication — one backup hop per group.
+// replication — one backup hop per group. For fenced views every group
+// carries the cached table's epoch stamp; a rejected group refreshes,
+// backs off and retries independently of its siblings (a mirror batch
+// spanning a migrated partition re-sends only that partition's slice).
 func (v NodeView) PutBatch(mapName string, ops []Op) {
 	if len(ops) == 0 {
 		return
@@ -120,13 +123,15 @@ func (v NodeView) PutBatch(mapName string, ops []Op) {
 		kss[i] = partition.KeyString(ops[i].Key)
 	}
 	for _, g := range groups {
-		m.applyGroup(v.node, g, ops, kss)
+		g := g
+		v.fenced(func(force bool) error { return m.applyGroup(v, g, ops, kss, force) })
 	}
 }
 
 // applyGroup applies one partition group of a batch.
-func (m *Map) applyGroup(node int, g group, ops []Op, kss []string) {
+func (m *Map) applyGroup(v NodeView, g group, ops []Op, kss []string, force bool) error {
 	s := m.store
+	node := v.node
 	bytes := 0
 	for _, i := range g.idx {
 		bytes += wire.Size(ops[i].Key)
@@ -134,7 +139,7 @@ func (m *Map) applyGroup(node int, g group, ops []Op, kss []string) {
 			bytes += wire.Size(ops[i].Value)
 		}
 	}
-	if owner := s.assign.Owner(g.p); node != owner {
+	if owner := v.ownerOf(g.p); node != owner {
 		s.tr.Send(transport.Msg{From: node, To: owner, Ops: len(g.idx), Bytes: bytes})
 	}
 	st := s.statsFor(g.p)
@@ -146,6 +151,13 @@ func (m *Map) applyGroup(node int, g group, ops []Op, kss []string) {
 	}
 	ss.lock(seg, st)
 	seg.mu.Lock()
+	if !force {
+		if err := s.checkFence(v.fence, g.p); err != nil {
+			seg.mu.Unlock()
+			ss.unlock(seg)
+			return err
+		}
+	}
 	puts, dels := 0, 0
 	for _, i := range g.idx {
 		if ops[i].Delete {
@@ -179,6 +191,7 @@ func (m *Map) applyGroup(node int, g group, ops []Op, kss []string) {
 		}
 		bak.mu.Unlock()
 	}
+	return nil
 }
 
 // ApplyBatch runs a batched read-modify-write over keys: for each key,
@@ -204,80 +217,98 @@ func (v NodeView) ApplyBatch(mapName string, keys []partition.Key, merge func(i 
 		kss[i] = partition.KeyString(keys[i])
 	}
 	for _, g := range groups {
-		if owner := s.assign.Owner(g.p); v.node != owner {
-			bytes := 0
-			for _, i := range g.idx {
-				bytes += wire.Size(keys[i])
-			}
-			s.tr.Send(transport.Msg{From: v.node, To: owner, Ops: len(g.idx), Bytes: bytes})
-		}
-		st := s.statsFor(g.p)
-		seg := m.segs[g.p]
+		g := g
+		v.fenced(func(force bool) error { return m.applyMergeGroup(v, g, keys, kss, merge, force) })
+	}
+}
 
-		var ss stripeSet
+// applyMergeGroup runs one partition group of an ApplyBatch, enforcing the
+// epoch fence before any merge runs — a rejected group re-reads current
+// values on retry, so the read-modify-write stays atomic per attempt.
+func (m *Map) applyMergeGroup(v NodeView, g group, keys []partition.Key, kss []string,
+	merge func(i int, key partition.Key, cur any, ok bool) (any, bool), force bool) error {
+	s := m.store
+	if owner := v.ownerOf(g.p); v.node != owner {
+		bytes := 0
 		for _, i := range g.idx {
-			ss.add(seg, kss[i])
+			bytes += wire.Size(keys[i])
 		}
-		type bakOp struct {
-			i      int
-			e      Entry
-			delete bool
-		}
-		var bakOps []bakOp
-		ss.lock(seg, st)
-		seg.mu.Lock()
-		puts, dels := 0, 0
-		for _, i := range g.idx {
-			cur, ok := seg.entries[kss[i]]
-			var curVal any
-			if ok {
-				curVal = cur.Value
-			}
-			nv, keep := merge(i, keys[i], curVal, ok)
-			if keep {
-				e := Entry{Key: keys[i], Value: nv}
-				seg.entries[kss[i]] = e
-				puts++
-				if s.replicated {
-					bakOps = append(bakOps, bakOp{i: i, e: e})
-				}
-			} else {
-				delete(seg.entries, kss[i])
-				dels++
-				if s.replicated {
-					bakOps = append(bakOps, bakOp{i: i, delete: true})
-				}
-			}
-		}
-		seg.mu.Unlock()
-		ss.unlock(seg)
-		if st != nil {
-			st.gets.Add(int64(len(g.idx)))
-			if puts > 0 {
-				st.sets.Add(int64(puts))
-			}
-			if dels > 0 {
-				st.deletes.Add(int64(dels))
-			}
-		}
-		if s.replicated {
-			bytes := 0
-			for _, b := range bakOps {
-				if !b.delete {
-					bytes += wire.Size(b.e.Key) + wire.Size(b.e.Value)
-				}
-			}
-			s.backupHop(g.p, len(g.idx), bytes)
-			bak := m.backups[g.p]
-			bak.mu.Lock()
-			for _, b := range bakOps {
-				if b.delete {
-					delete(bak.entries, kss[b.i])
-				} else {
-					bak.entries[kss[b.i]] = b.e
-				}
-			}
-			bak.mu.Unlock()
+		s.tr.Send(transport.Msg{From: v.node, To: owner, Ops: len(g.idx), Bytes: bytes})
+	}
+	st := s.statsFor(g.p)
+	seg := m.segs[g.p]
+
+	var ss stripeSet
+	for _, i := range g.idx {
+		ss.add(seg, kss[i])
+	}
+	type bakOp struct {
+		i      int
+		e      Entry
+		delete bool
+	}
+	var bakOps []bakOp
+	ss.lock(seg, st)
+	seg.mu.Lock()
+	if !force {
+		if err := s.checkFence(v.fence, g.p); err != nil {
+			seg.mu.Unlock()
+			ss.unlock(seg)
+			return err
 		}
 	}
+	puts, dels := 0, 0
+	for _, i := range g.idx {
+		cur, ok := seg.entries[kss[i]]
+		var curVal any
+		if ok {
+			curVal = cur.Value
+		}
+		nv, keep := merge(i, keys[i], curVal, ok)
+		if keep {
+			e := Entry{Key: keys[i], Value: nv}
+			seg.entries[kss[i]] = e
+			puts++
+			if s.replicated {
+				bakOps = append(bakOps, bakOp{i: i, e: e})
+			}
+		} else {
+			delete(seg.entries, kss[i])
+			dels++
+			if s.replicated {
+				bakOps = append(bakOps, bakOp{i: i, delete: true})
+			}
+		}
+	}
+	seg.mu.Unlock()
+	ss.unlock(seg)
+	if st != nil {
+		st.gets.Add(int64(len(g.idx)))
+		if puts > 0 {
+			st.sets.Add(int64(puts))
+		}
+		if dels > 0 {
+			st.deletes.Add(int64(dels))
+		}
+	}
+	if s.replicated {
+		bytes := 0
+		for _, b := range bakOps {
+			if !b.delete {
+				bytes += wire.Size(b.e.Key) + wire.Size(b.e.Value)
+			}
+		}
+		s.backupHop(g.p, len(g.idx), bytes)
+		bak := m.backups[g.p]
+		bak.mu.Lock()
+		for _, b := range bakOps {
+			if b.delete {
+				delete(bak.entries, kss[b.i])
+			} else {
+				bak.entries[kss[b.i]] = b.e
+			}
+		}
+		bak.mu.Unlock()
+	}
+	return nil
 }

@@ -53,6 +53,15 @@ type Store struct {
 	// in-flight operations; nil disables all accounting.
 	stats atomic.Pointer[[]*partStats]
 
+	// migrating flags partitions whose handoff is in flight; fenced
+	// writers bounce off them (see migration.go).
+	migrating []atomic.Bool
+
+	// Fencing counters (see FenceStats).
+	fenceRejects atomic.Int64
+	fenceRetries atomic.Int64
+	fenceForced  atomic.Int64
+
 	mu   sync.RWMutex
 	maps map[string]*Map
 }
@@ -79,7 +88,13 @@ func NewStore(p partition.Partitioner, a *partition.Assignment, tr transport.Tra
 	if tr == nil {
 		tr = transport.NewSim(transport.SimConfig{})
 	}
-	return &Store{part: p, assign: a, tr: tr, maps: make(map[string]*Map)}
+	return &Store{
+		part:      p,
+		assign:    a,
+		tr:        tr,
+		migrating: make([]atomic.Bool, p.Count()),
+		maps:      make(map[string]*Map),
+	}
 }
 
 // Transport returns the transport the store sends through.
@@ -218,17 +233,6 @@ func (s *Store) CheckBackupAccess(from, p int) error {
 	return nil
 }
 
-// networkHop charges the network cost of touching partition p from node:
-// one message carrying ops logical operations and bytes payload bytes.
-// Local access is free.
-func (s *Store) networkHop(fromNode, p, ops, bytes int) {
-	owner := s.assign.Owner(p)
-	if fromNode == owner {
-		return
-	}
-	s.tr.Send(transport.Msg{From: fromNode, To: owner, Ops: ops, Bytes: bytes})
-}
-
 // Entry is one key-value pair in a map.
 type Entry struct {
 	Key   partition.Key
@@ -285,11 +289,14 @@ func (m *Map) Name() string { return m.name }
 // PartitionOf returns the partition owning the key.
 func (m *Map) PartitionOf(key partition.Key) int { return m.store.part.Of(key) }
 
-// put stores the entry, charging network cost from the calling node.
-func (m *Map) put(node int, key partition.Key, value any) {
+// put stores the entry, charging network cost from the calling node (to
+// the owner the view believes in) and, for fenced views, enforcing the
+// epoch fence under the segment lock. force skips the fence — the final
+// attempt of an exhausted retry loop.
+func (m *Map) put(v NodeView, key partition.Key, value any, force bool) error {
 	p := m.store.part.Of(key)
-	if node != m.store.assign.Owner(p) {
-		m.store.networkHop(node, p, 1, wire.Size(key)+wire.Size(value))
+	if owner := v.ownerOf(p); v.node != owner {
+		m.store.tr.Send(transport.Msg{From: v.node, To: owner, Ops: 1, Bytes: wire.Size(key) + wire.Size(value)})
 	}
 	st := m.store.statsFor(p)
 	seg := m.segs[p]
@@ -297,6 +304,13 @@ func (m *Map) put(node int, key partition.Key, value any) {
 	lk := seg.stripe(ks)
 	lockWith(lk, st)
 	seg.mu.Lock()
+	if !force {
+		if err := m.store.checkFence(v.fence, p); err != nil {
+			seg.mu.Unlock()
+			lk.Unlock()
+			return err
+		}
+	}
 	e := Entry{Key: key, Value: value}
 	seg.entries[ks] = e
 	seg.mu.Unlock()
@@ -307,13 +321,18 @@ func (m *Map) put(node int, key partition.Key, value any) {
 	if m.store.replicated {
 		m.replicatePut(p, ks, e)
 	}
+	return nil
 }
 
-// get loads the value for key; ok is false if absent.
-func (m *Map) get(node int, key partition.Key) (any, bool) {
+// get loads the value for key; ok is false if absent. Reads are never
+// fenced: against shared-memory segments a stale-owner read is just a
+// misrouted (and so charged) hop, not a split-brain hazard — only writes
+// can create two half-owners, so only writes carry the epoch stamp.
+func (m *Map) get(v NodeView, key partition.Key) (any, bool) {
+	node := v.node
 	p := m.store.part.Of(key)
-	if node != m.store.assign.Owner(p) {
-		m.store.networkHop(node, p, 1, wire.Size(key))
+	if owner := v.ownerOf(p); node != owner {
+		m.store.tr.Send(transport.Msg{From: node, To: owner, Ops: 1, Bytes: wire.Size(key)})
 	}
 	st := m.store.statsFor(p)
 	seg := m.segs[p]
@@ -333,11 +352,12 @@ func (m *Map) get(node int, key partition.Key) (any, bool) {
 	return e.Value, true
 }
 
-// delete removes the key; it reports whether the key was present.
-func (m *Map) delete(node int, key partition.Key) bool {
+// delete removes the key, enforcing the epoch fence like put; present
+// reports whether the key existed (meaningful only when err is nil).
+func (m *Map) delete(v NodeView, key partition.Key, force bool) (present bool, err error) {
 	p := m.store.part.Of(key)
-	if node != m.store.assign.Owner(p) {
-		m.store.networkHop(node, p, 1, wire.Size(key))
+	if owner := v.ownerOf(p); v.node != owner {
+		m.store.tr.Send(transport.Msg{From: v.node, To: owner, Ops: 1, Bytes: wire.Size(key)})
 	}
 	st := m.store.statsFor(p)
 	seg := m.segs[p]
@@ -345,6 +365,13 @@ func (m *Map) delete(node int, key partition.Key) bool {
 	lk := seg.stripe(ks)
 	lockWith(lk, st)
 	seg.mu.Lock()
+	if !force {
+		if err := m.store.checkFence(v.fence, p); err != nil {
+			seg.mu.Unlock()
+			lk.Unlock()
+			return false, err
+		}
+	}
 	_, ok := seg.entries[ks]
 	delete(seg.entries, ks)
 	seg.mu.Unlock()
@@ -355,7 +382,7 @@ func (m *Map) delete(node int, key partition.Key) bool {
 	if m.store.replicated {
 		m.replicateDelete(p, ks)
 	}
-	return ok
+	return ok, nil
 }
 
 // Size returns the total number of entries across all partitions.
@@ -459,10 +486,14 @@ func scanSeg(seg *segment, o ScanOpts, fn func(Entry) bool) {
 }
 
 // NodeView is the handle a specific node (or external client) uses to
-// operate on the store. All network accounting flows through it.
+// operate on the store. All network accounting flows through it. A view
+// obtained from FencedView additionally stamps every write with the epoch
+// of a cached partition-table snapshot and transparently retries writes
+// the store rejects as stale (see migration.go).
 type NodeView struct {
 	store *Store
 	node  int
+	fence *fenceState
 }
 
 // Node returns the node this view represents.
@@ -487,19 +518,31 @@ func (v NodeView) ChargeBatch(to, ops, bytes int) {
 	v.store.tr.Send(transport.Msg{From: v.node, To: to, Ops: ops, Bytes: bytes})
 }
 
-// Put stores value under key in the named map.
+// Put stores value under key in the named map, retrying through the epoch
+// fence for fenced views.
 func (v NodeView) Put(mapName string, key partition.Key, value any) {
-	v.store.GetMap(mapName).put(v.node, key, value)
+	m := v.store.GetMap(mapName)
+	v.fenced(func(force bool) error { return m.put(v, key, value, force) })
 }
 
 // Get loads the value under key from the named map.
 func (v NodeView) Get(mapName string, key partition.Key) (any, bool) {
-	return v.store.GetMap(mapName).get(v.node, key)
+	return v.store.GetMap(mapName).get(v, key)
 }
 
-// Delete removes key from the named map.
+// Delete removes key from the named map; it reports whether the key was
+// present.
 func (v NodeView) Delete(mapName string, key partition.Key) bool {
-	return v.store.GetMap(mapName).delete(v.node, key)
+	m := v.store.GetMap(mapName)
+	var present bool
+	v.fenced(func(force bool) error {
+		ok, err := m.delete(v, key, force)
+		if err == nil {
+			present = ok
+		}
+		return err
+	})
+	return present
 }
 
 // GetAll loads the values for all keys, preserving order; missing keys

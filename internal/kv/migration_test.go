@@ -1,0 +1,191 @@
+package kv
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"squery/internal/partition"
+	"squery/internal/transport"
+)
+
+// keyIn finds a key whose partition is p.
+func keyIn(part partition.Partitioner, p int) partition.Key {
+	for i := 0; ; i++ {
+		if part.Of(i) == p {
+			return i
+		}
+	}
+}
+
+// TestStaleEpochWriteRejectedAndRetried is the dedicated fencing test of
+// the acceptance criteria: a write stamped with a pre-migration epoch is
+// rejected with StaleEpochError, the view refreshes its table, and the
+// retry lands on the new owner — observable in FenceStats and in the fact
+// that the write ultimately succeeds.
+func TestStaleEpochWriteRejectedAndRetried(t *testing.T) {
+	part := partition.New(8)
+	assign := partition.Assign(part.Count(), 2)
+	s := NewStore(part, assign, nil)
+	v := s.FencedView(0)
+	if !v.Fenced() {
+		t.Fatal("FencedView not fenced")
+	}
+	if v.FenceEpoch() != 0 {
+		t.Fatalf("fresh fence epoch = %d, want 0", v.FenceEpoch())
+	}
+
+	// Reseat partition 0 behind the view's back: its cached table is now
+	// one epoch stale for that partition.
+	p := 0
+	key := keyIn(part, p)
+	oldOwner := assign.Owner(p)
+	assign.Apply([]partition.Change{{Partition: p, Owner: 1 - oldOwner, Backup: oldOwner}})
+
+	v.Put("m", key, "after-move")
+	st := s.FenceStats()
+	if st.Rejects == 0 {
+		t.Fatal("stale-epoch write was not rejected")
+	}
+	if st.Retries == 0 {
+		t.Fatal("rejected write was not retried")
+	}
+	if st.Forced != 0 {
+		t.Fatalf("liveness backstop fired: %d forced writes", st.Forced)
+	}
+	if got, ok := v.Get("m", key); !ok || got != "after-move" {
+		t.Fatalf("retried write lost: %v, %v", got, ok)
+	}
+	// The retry refreshed the cached table up to the live epoch.
+	if v.FenceEpoch() != assign.Epoch() {
+		t.Fatalf("fence epoch after retry = %d, want %d", v.FenceEpoch(), assign.Epoch())
+	}
+
+	// Writes to untouched partitions never paid the fencing toll.
+	before := s.FenceStats()
+	v.Put("m", keyIn(part, 3), "untouched")
+	if after := s.FenceStats(); after.Rejects != before.Rejects {
+		t.Fatal("write to an untouched partition was rejected")
+	}
+}
+
+// TestUnfencedViewUnaffectedByEpochBumps: plain NodeViews (query clients)
+// carry no fence and are never rejected.
+func TestUnfencedViewUnaffectedByEpochBumps(t *testing.T) {
+	part := partition.New(8)
+	assign := partition.Assign(part.Count(), 2)
+	s := NewStore(part, assign, nil)
+	v := s.View(0)
+	assign.Apply([]partition.Change{{Partition: 0, Owner: 1 - assign.Owner(0), Backup: assign.Owner(0)}})
+	v.Put("m", keyIn(part, 0), 1)
+	if st := s.FenceStats(); st.Rejects != 0 {
+		t.Fatalf("unfenced write rejected %d time(s)", st.Rejects)
+	}
+}
+
+// TestFencedBatchRetriesOnlyStaleGroups: a batch spanning a migrated and
+// an untouched partition re-sends only the migrated partition's group.
+func TestFencedBatchRetriesOnlyStaleGroups(t *testing.T) {
+	part := partition.New(8)
+	assign := partition.Assign(part.Count(), 2)
+	s := NewStore(part, assign, nil)
+	v := s.FencedView(0)
+
+	moved, untouched := 0, 3
+	k1, k2 := keyIn(part, moved), keyIn(part, untouched)
+	assign.Apply([]partition.Change{{Partition: moved, Owner: 1 - assign.Owner(moved), Backup: assign.Owner(moved)}})
+
+	v.PutBatch("m", []Op{{Key: k1, Value: "a"}, {Key: k2, Value: "b"}})
+	st := s.FenceStats()
+	if st.Rejects != 1 {
+		t.Fatalf("batch rejects = %d, want 1 (only the moved partition's group)", st.Rejects)
+	}
+	if got, _ := v.Get("m", k1); got != "a" {
+		t.Fatalf("moved-partition write lost: %v", got)
+	}
+	if got, _ := v.Get("m", k2); got != "b" {
+		t.Fatalf("untouched-partition write lost: %v", got)
+	}
+}
+
+// TestMigratingPartitionBlocksWritersUntilThaw: while a partition is
+// frozen mid-migration, fenced writers spin on MigratingError and complete
+// only after the thaw.
+func TestMigratingPartitionBlocksWritersUntilThaw(t *testing.T) {
+	part := partition.New(8)
+	assign := partition.Assign(part.Count(), 2)
+	s := NewStore(part, assign, nil)
+	v := s.FencedView(0)
+	p := 0
+	key := keyIn(part, p)
+
+	if !s.BeginPartitionMigration(p) {
+		t.Fatal("BeginPartitionMigration refused a thawed partition")
+	}
+	if s.BeginPartitionMigration(p) {
+		t.Fatal("BeginPartitionMigration double-froze a partition")
+	}
+	if !s.Migrating(p) {
+		t.Fatal("Migrating(p) false while frozen")
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v.Put("m", key, "through")
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("write completed while the partition was frozen")
+	case <-time.After(5 * time.Millisecond):
+	}
+	s.EndPartitionMigration(p)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("write did not complete after thaw")
+	}
+	wg.Wait()
+	if got, ok := v.Get("m", key); !ok || got != "through" {
+		t.Fatalf("write lost across the freeze: %v, %v", got, ok)
+	}
+	if st := s.FenceStats(); st.Forced != 0 {
+		t.Fatalf("freeze forced %d writes through", st.Forced)
+	}
+}
+
+// TestShipPartitionMovesBytesOverTheWire: handoff payloads are real
+// encoded bytes, counted by the transport like any other message.
+func TestShipPartitionMovesBytesOverTheWire(t *testing.T) {
+	part := partition.New(8)
+	assign := partition.Assign(part.Count(), 2)
+	tr := transport.NewSim(transport.SimConfig{})
+	s := NewStore(part, assign, tr)
+	v := s.View(0)
+	p := 0
+	n := 0
+	for i := 0; n < 10; i++ {
+		if part.Of(i) == p {
+			v.Put("m", i, i)
+			n++
+		}
+	}
+	before := tr.Stats()
+	ops, bytes := s.ShipPartition(p, assign.Owner(p), 1-assign.Owner(p))
+	if ops != 10 {
+		t.Fatalf("shipped %d ops, want 10", ops)
+	}
+	if bytes <= 0 {
+		t.Fatalf("shipped %d bytes", bytes)
+	}
+	after := tr.Stats()
+	if after.Messages != before.Messages+1 {
+		t.Fatalf("ship sent %d messages, want 1", after.Messages-before.Messages)
+	}
+	if after.Bytes <= before.Bytes {
+		t.Fatal("ship moved no bytes over the transport")
+	}
+}

@@ -110,20 +110,28 @@ func KeyString(key Key) string {
 }
 
 // Assignment maps every partition to an owner (and optional backup) node.
-// It is computed once per topology and shared by the KV store (data
-// placement) and the job scheduler (compute placement). Reads are
-// lock-free (the table is on the hot path of every state operation);
-// Promote swaps in a rewritten copy atomically.
+// It is shared by the KV store (data placement) and the job scheduler
+// (compute placement) — and, since membership became elastic, it is a
+// *live, versioned* object: every mutation (failover promotion, online
+// migration, node join) swaps in a rewritten immutable table carrying a
+// bumped global epoch plus per-partition epochs. Reads are lock-free (the
+// table is on the hot path of every state operation); writers serialize on
+// wmu and publish with one atomic store, so concurrent readers see either
+// the old or the new table, never a torn mix. The epochs are the fencing
+// tokens of the migration protocol: a KV op stamped with a stale partition
+// epoch is rejected by the store (see kv.FencedView).
 type Assignment struct {
 	state atomic.Pointer[assignTable]
-	wmu   sync.Mutex // serializes Promote
-	nodes int
+	wmu   sync.Mutex // serializes Apply/AddNode/Promote
 }
 
-// assignTable is an immutable owner/backup snapshot.
+// assignTable is an immutable owner/backup/epoch snapshot.
 type assignTable struct {
 	owners  []int
 	backups []int
+	nodes   int
+	epoch   int64   // bumped once per table mutation
+	pepochs []int64 // bumped per partition whose seat changed
 }
 
 // Assign distributes partitions round-robin over nodes, with the backup of
@@ -137,12 +145,14 @@ func Assign(partitions, nodes int) *Assignment {
 	t := &assignTable{
 		owners:  make([]int, partitions),
 		backups: make([]int, partitions),
+		nodes:   nodes,
+		pepochs: make([]int64, partitions),
 	}
 	for p := 0; p < partitions; p++ {
 		t.owners[p] = p % nodes
 		t.backups[p] = (p + 1) % nodes
 	}
-	a := &Assignment{nodes: nodes}
+	a := &Assignment{}
 	a.state.Store(t)
 	return a
 }
@@ -154,8 +164,96 @@ func (a *Assignment) Owner(p int) int { return a.state.Load().owners[p] }
 // single node the backup coincides with the owner.
 func (a *Assignment) Backup(p int) int { return a.state.Load().backups[p] }
 
-// Nodes returns the number of nodes in the assignment.
-func (a *Assignment) Nodes() int { return a.nodes }
+// Nodes returns the number of nodes in the assignment, including joined
+// (and later failed or left) ones — node ids are never reused.
+func (a *Assignment) Nodes() int { return a.state.Load().nodes }
+
+// Epoch returns the table's global epoch: 0 at creation, bumped by one on
+// every mutation (Apply, AddNode, Promote).
+func (a *Assignment) Epoch() int64 { return a.state.Load().epoch }
+
+// PartitionEpoch returns the epoch of partition p's current seat — the
+// value a fenced op must carry to be accepted for p.
+func (a *Assignment) PartitionEpoch(p int) int64 { return a.state.Load().pepochs[p] }
+
+// Table is an immutable point-in-time handle on the assignment. Fenced KV
+// views cache one and stamp its partition epochs on their operations; the
+// store compares the stamp against the live table and rejects stale ones.
+type Table struct{ t *assignTable }
+
+// Table returns the current table. The handle never changes once obtained;
+// call again to observe later mutations.
+func (a *Assignment) Table() Table { return Table{t: a.state.Load()} }
+
+// Valid reports whether the handle holds a table (the zero Table does not).
+func (t Table) Valid() bool { return t.t != nil }
+
+// Owner returns the node owning partition p as of this table.
+func (t Table) Owner(p int) int { return t.t.owners[p] }
+
+// Backup returns partition p's backup node as of this table.
+func (t Table) Backup(p int) int { return t.t.backups[p] }
+
+// Nodes returns the node count as of this table.
+func (t Table) Nodes() int { return t.t.nodes }
+
+// Epoch returns the table's global epoch.
+func (t Table) Epoch() int64 { return t.t.epoch }
+
+// PartitionEpoch returns partition p's epoch as of this table.
+func (t Table) PartitionEpoch(p int) int64 { return t.t.pepochs[p] }
+
+// Change reassigns one partition: the unit of an online migration flip.
+type Change struct {
+	Partition int
+	Owner     int
+	Backup    int
+}
+
+// Apply atomically applies a set of seat changes, bumping the global epoch
+// once and the per-partition epoch of every partition whose owner or
+// backup actually changed. It returns the new global epoch. An empty or
+// all-no-op change set still publishes a table with a bumped global epoch
+// (callers use that as a membership-change marker), but leaves partition
+// epochs alone so in-flight fenced ops are not spuriously rejected.
+func (a *Assignment) Apply(changes []Change) int64 {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	return a.applyLocked(changes, 0)
+}
+
+// AddNode grows the assignment by one node, returning the new node's id.
+// The new node owns nothing until partitions are migrated to it; only the
+// global epoch is bumped.
+func (a *Assignment) AddNode() int {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	a.applyLocked(nil, 1)
+	return a.state.Load().nodes - 1
+}
+
+// applyLocked rewrites the table under wmu: applies changes, grows the
+// node count by addNodes, bumps epochs, and publishes atomically.
+func (a *Assignment) applyLocked(changes []Change, addNodes int) int64 {
+	old := a.state.Load()
+	t := &assignTable{
+		owners:  append([]int(nil), old.owners...),
+		backups: append([]int(nil), old.backups...),
+		nodes:   old.nodes + addNodes,
+		epoch:   old.epoch + 1,
+		pepochs: append([]int64(nil), old.pepochs...),
+	}
+	for _, c := range changes {
+		if t.owners[c.Partition] == c.Owner && t.backups[c.Partition] == c.Backup {
+			continue
+		}
+		t.owners[c.Partition] = c.Owner
+		t.backups[c.Partition] = c.Backup
+		t.pepochs[c.Partition]++
+	}
+	a.state.Store(t)
+	return t.epoch
+}
 
 // Partitions returns the number of partitions in the assignment.
 func (a *Assignment) Partitions() int { return len(a.state.Load().owners) }
@@ -178,25 +276,38 @@ func (a *Assignment) OwnedBy(node int) []int {
 // node that already holds the snapshot replica. Concurrent readers see
 // either the old or the new table, never a torn mix.
 func (a *Assignment) Promote(failed int) {
+	a.PromoteAvoiding(failed, nil)
+}
+
+// PromoteAvoiding is Promote with a caller-supplied predicate marking
+// nodes that must not be chosen as replacement backups (other failed or
+// departed members). The failed node itself is always avoided. A nil
+// predicate avoids only the failed node — plain Promote's behaviour.
+func (a *Assignment) PromoteAvoiding(failed int, avoid func(node int) bool) {
 	a.wmu.Lock()
 	defer a.wmu.Unlock()
 	old := a.state.Load()
-	t := &assignTable{
-		owners:  append([]int(nil), old.owners...),
-		backups: append([]int(nil), old.backups...),
-	}
-	for p := range t.owners {
-		if t.owners[p] == failed {
-			t.owners[p] = t.backups[p]
+	bad := func(n int) bool { return n == failed || (avoid != nil && avoid(n)) }
+	changes := make([]Change, 0, len(old.owners))
+	for p := range old.owners {
+		owner, backup := old.owners[p], old.backups[p]
+		if owner == failed {
+			owner = backup
 		}
-		if t.backups[p] == failed || t.backups[p] == t.owners[p] {
-			// Re-seat the backup on the next live node after the owner.
-			b := (t.owners[p] + 1) % a.nodes
-			if b == failed {
-				b = (b + 1) % a.nodes
+		if bad(backup) || backup == owner {
+			// Re-seat the backup on the next usable node after the owner.
+			backup = owner
+			for i := 0; i < old.nodes; i++ {
+				cand := (owner + 1 + i) % old.nodes
+				if !bad(cand) && cand != owner {
+					backup = cand
+					break
+				}
 			}
-			t.backups[p] = b
+		}
+		if owner != old.owners[p] || backup != old.backups[p] {
+			changes = append(changes, Change{Partition: p, Owner: owner, Backup: backup})
 		}
 	}
-	a.state.Store(t)
+	a.applyLocked(changes, 0)
 }

@@ -187,3 +187,94 @@ func TestPromoteInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestEpochStartsAtZeroAndBumpsOnApply(t *testing.T) {
+	a := Assign(8, 2)
+	if a.Epoch() != 0 {
+		t.Fatalf("fresh table epoch = %d, want 0", a.Epoch())
+	}
+	e := a.Apply([]Change{{Partition: 0, Owner: 1, Backup: 0}})
+	if e != 1 || a.Epoch() != 1 {
+		t.Fatalf("epoch after one Apply = %d/%d, want 1", e, a.Epoch())
+	}
+	if a.Owner(0) != 1 || a.Backup(0) != 0 {
+		t.Fatalf("change not applied: owner=%d backup=%d", a.Owner(0), a.Backup(0))
+	}
+}
+
+func TestApplyBumpsOnlyChangedPartitionEpochs(t *testing.T) {
+	a := Assign(8, 2)
+	before := make([]int64, 8)
+	for p := range before {
+		before[p] = a.PartitionEpoch(p)
+	}
+	moved := 3
+	a.Apply([]Change{{Partition: moved, Owner: 1 - a.Owner(moved), Backup: a.Owner(moved)}})
+	for p := 0; p < 8; p++ {
+		got := a.PartitionEpoch(p)
+		if p == moved && got == before[p] {
+			t.Fatalf("moved partition %d epoch unchanged", p)
+		}
+		if p != moved && got != before[p] {
+			t.Fatalf("untouched partition %d epoch bumped %d -> %d", p, before[p], got)
+		}
+	}
+}
+
+func TestApplyNoopChangeStillBumpsGlobalEpoch(t *testing.T) {
+	a := Assign(8, 2)
+	// Re-asserting the current seats changes nothing per-partition but
+	// still versions the table (a rebalance that planned zero moves).
+	pe := a.PartitionEpoch(0)
+	a.Apply([]Change{{Partition: 0, Owner: a.Owner(0), Backup: a.Backup(0)}})
+	if a.Epoch() != 1 {
+		t.Fatalf("global epoch = %d, want 1", a.Epoch())
+	}
+	if a.PartitionEpoch(0) != pe {
+		t.Fatal("unchanged seats bumped the partition epoch")
+	}
+}
+
+func TestAddNodeGrowsAndBumps(t *testing.T) {
+	a := Assign(8, 2)
+	n := a.AddNode()
+	if n != 2 || a.Nodes() != 3 {
+		t.Fatalf("AddNode = %d (nodes %d), want 2 (nodes 3)", n, a.Nodes())
+	}
+	if a.Epoch() == 0 {
+		t.Fatal("AddNode did not bump the epoch")
+	}
+	if len(a.OwnedBy(n)) != 0 {
+		t.Fatal("new node owns partitions before any migration")
+	}
+}
+
+func TestPromoteBumpsReseatedPartitionEpochs(t *testing.T) {
+	a := Assign(27, 3)
+	owned := a.OwnedBy(1)
+	a.Promote(1)
+	for _, p := range owned {
+		if a.PartitionEpoch(p) == 0 {
+			t.Fatalf("promoted partition %d kept epoch 0", p)
+		}
+	}
+	if a.Epoch() == 0 {
+		t.Fatal("promotion did not bump the global epoch")
+	}
+}
+
+func TestTableSnapshotIsImmutable(t *testing.T) {
+	a := Assign(8, 2)
+	tab := a.Table()
+	if !tab.Valid() {
+		t.Fatal("snapshot of live table not valid")
+	}
+	owner0, epoch := tab.Owner(0), tab.Epoch()
+	a.Apply([]Change{{Partition: 0, Owner: 1 - owner0, Backup: owner0}})
+	if tab.Owner(0) != owner0 || tab.Epoch() != epoch {
+		t.Fatal("table snapshot mutated by a later Apply")
+	}
+	if a.Table().Epoch() == epoch {
+		t.Fatal("fresh snapshot does not see the new epoch")
+	}
+}

@@ -1,0 +1,361 @@
+package soak
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"squery"
+	"squery/internal/chaos"
+	"squery/internal/cluster"
+	"squery/internal/kv"
+	"squery/internal/transport"
+)
+
+// The rebalance soak exercises elastic membership under chaos: the same
+// deterministic counting workload runs once on a static cluster (the
+// oracle) and once while nodes join and leave mid-run — with seed-derived
+// migration faults killing a source mid-handoff, killing a target before
+// its ack, and dropping an epoch-bump broadcast. Exactly-once is verified
+// the same way as the checkpoint chaos soak: the live counts of the
+// elastic run must converge to the oracle's, and any overshoot is a
+// duplicated record. The run also asserts the liveness backstop stayed
+// cold (no fenced write was ever forced through) and that the membership
+// tables answered queries while rebalances were in flight.
+
+// RebalanceConfig tunes one rebalance soak run.
+type RebalanceConfig struct {
+	// Seed derives the migration fault schedule (chaos.RebalanceSchedule).
+	Seed int64
+	// Nodes and Partitions size the starting cluster (defaults 3 / 27).
+	Nodes, Partitions int
+	// Records is the workload size per source instance (two instances;
+	// default 2500). Keys is the key-space width (default 10).
+	Records int64
+	Keys    int
+	// Rate is the per-instance emit rate in records/second (default 5000).
+	Rate float64
+	// Interval is the checkpoint period (default 10ms).
+	Interval time.Duration
+	// Deadline bounds convergence of the elastic run (default 30s).
+	Deadline time.Duration
+	// Changes is how many membership changes the driver performs,
+	// alternating join and leave (default 5 — enough rebalances for every
+	// scheduled fault window to occur).
+	Changes int
+	// Wire selects the transport: "sim" (default) or "tcp" (loopback TCP).
+	Wire string
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c RebalanceConfig) withDefaults() RebalanceConfig {
+	if c.Nodes < 2 {
+		c.Nodes = 3
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 27
+	}
+	if c.Records <= 0 {
+		c.Records = 2500
+	}
+	if c.Keys <= 0 {
+		c.Keys = 10
+	}
+	if c.Rate <= 0 {
+		c.Rate = 5000
+	}
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Millisecond
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 30 * time.Second
+	}
+	if c.Changes <= 0 {
+		c.Changes = 5
+	}
+	if c.Wire == "" {
+		c.Wire = "sim"
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// RebalanceReport is the outcome of one rebalance soak run.
+type RebalanceReport struct {
+	// Schedule is the canonical rendering of the migration fault plan.
+	Schedule string
+	// Events are the migration faults that actually fired, in order.
+	Events []chaos.Event
+	// Joins and Leaves count membership changes that completed; MemErrors
+	// counts those cut short by a chaos kill (tolerated, the cluster keeps
+	// serving).
+	Joins, Leaves, MemErrors int
+	// Rebalances is how many rebalances ran; AbortedMoves how many
+	// individual migrations a kill rolled back.
+	Rebalances, AbortedMoves int
+	// Fence is the store's cumulative fencing tally. Rejects > 0 proves
+	// stale-epoch writes were actually fenced; Forced must be 0.
+	Fence kv.FenceStats
+	// Reschedules is how many times the job restarted over a new topology.
+	Reschedules int64
+	// Epoch is the final partition-table epoch.
+	Epoch int64
+	// SysQueries counts successful sys.membership / sys.rebalances queries
+	// issued while the driver was changing membership.
+	SysQueries int64
+	// Counts and Oracle are the final per-key live counts; Match is the
+	// exactly-once verdict.
+	Counts, Oracle map[int]int64
+	Match          bool
+}
+
+// RunRebalance executes the static oracle run, re-derives and checks the
+// migration fault schedule, executes the elastic chaos run, and returns
+// the comparison.
+func RunRebalance(cfg RebalanceConfig) (*RebalanceReport, error) {
+	cfg = cfg.withDefaults()
+
+	oracle, err := runElastic(cfg, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("soak: oracle run: %w", err)
+	}
+	cfg.Logf("oracle run done: %d keys", len(oracle.counts))
+
+	profile := chaos.RebalanceProfile{Stall: 5 * time.Millisecond}
+	inj := chaos.RebalanceSchedule(cfg.Seed, profile)
+	if again := chaos.RebalanceSchedule(cfg.Seed, profile).Schedule(); again != inj.Schedule() {
+		return nil, fmt.Errorf("soak: rebalance schedule for seed %d not reproducible", cfg.Seed)
+	}
+	cfg.Logf("migration fault schedule:\n%s", inj.Schedule())
+
+	st, err := runElastic(cfg, inj, oracle.counts)
+	if err != nil {
+		return nil, fmt.Errorf("soak: elastic run: %w", err)
+	}
+	return &RebalanceReport{
+		Schedule:     inj.Schedule(),
+		Events:       inj.Events(),
+		Joins:        st.joins,
+		Leaves:       st.leaves,
+		MemErrors:    st.memErrors,
+		Rebalances:   st.rebalances,
+		AbortedMoves: st.abortedMoves,
+		Fence:        st.fence,
+		Reschedules:  st.reschedules,
+		Epoch:        st.epoch,
+		SysQueries:   st.sysQueries,
+		Counts:       st.counts,
+		Oracle:       oracle.counts,
+		Match:        equalCounts(st.counts, oracle.counts),
+	}, nil
+}
+
+type elasticStats struct {
+	counts                   map[int]int64
+	joins, leaves, memErrors int
+	rebalances, abortedMoves int
+	fence                    kv.FenceStats
+	reschedules              int64
+	epoch                    int64
+	sysQueries               int64
+}
+
+// runElastic runs the counting workload once. With inj == nil it is the
+// static oracle; with an injector the membership driver joins and removes
+// nodes mid-run under the migration fault schedule, and the run is polled
+// until the live counts converge to target.
+func runElastic(cfg RebalanceConfig, inj *chaos.Injector, target map[int]int64) (*elasticStats, error) {
+	ecfg := squery.Config{
+		Nodes:          cfg.Nodes,
+		Partitions:     cfg.Partitions,
+		ReplicateState: true,
+	}
+	switch cfg.Wire {
+	case "sim":
+	case "tcp":
+		lb, err := transport.NewLoopback()
+		if err != nil {
+			return nil, err
+		}
+		ecfg.Transport = lb
+	default:
+		return nil, fmt.Errorf("soak: unknown wire %q (want sim or tcp)", cfg.Wire)
+	}
+	eng := squery.New(ecfg)
+	defer eng.Close()
+	if inj != nil {
+		eng.SetMigrationHook(inj)
+		inj.SetTracer(eng.Tracer())
+	}
+
+	perInstance, keys := cfg.Records, cfg.Keys
+	src := squery.GeneratorSource("src", 2, cfg.Rate, func(instance int, seq int64) (squery.Record, bool) {
+		if seq >= perInstance {
+			return squery.Record{}, false
+		}
+		return squery.Record{Key: int(seq % int64(keys)), Value: 1}, true
+	})
+	dag := squery.NewDAG().
+		AddVertex(src).
+		AddVertex(squery.StatefulMapVertex("rebalcount", 3, func(state any, rec squery.Record) (any, []squery.Record) {
+			n := 0
+			if state != nil {
+				n = state.(int)
+			}
+			return n + rec.Value.(int), nil
+		})).
+		AddVertex(squery.SinkVertex("sink", 1, func(squery.Record) {})).
+		Connect("src", "rebalcount", squery.EdgePartitioned).
+		Connect("rebalcount", "sink", squery.EdgePartitioned)
+	job, err := eng.SubmitJob(dag, squery.JobSpec{
+		Name:              "soak-rebalance",
+		State:             squery.StateConfig{Live: true, Snapshots: true, LatencySampleSeed: cfg.Seed},
+		SnapshotInterval:  cfg.Interval,
+		CheckpointTimeout: 40 * time.Millisecond,
+		CheckpointRetries: 5,
+		CheckpointBackoff: 2 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer job.Stop()
+
+	st := &elasticStats{}
+	var sysQueries atomic.Int64
+	var wg sync.WaitGroup
+	if inj != nil {
+		// Membership driver: alternate joins and leaves while the workload
+		// runs, observing the rebalances through the sys tables as it goes.
+		// Every completed change makes the job reschedule over the new
+		// topology; a chaos kill aborting a Join/Leave surfaces as an error
+		// here and is tolerated — the cluster keeps serving either way.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < cfg.Changes; i++ {
+				time.Sleep(25 * time.Millisecond)
+				if i%2 == 0 {
+					node, err := eng.JoinNode()
+					if err != nil {
+						st.memErrors++
+						cfg.Logf("join: %v", err)
+					} else {
+						st.joins++
+						cfg.Logf("node %d joined (epoch %d)", node, eng.TableEpoch())
+					}
+				} else {
+					node := leavable(eng)
+					if node < 0 {
+						continue
+					}
+					if err := eng.LeaveNode(node); err != nil {
+						st.memErrors++
+						cfg.Logf("leave %d: %v", node, err)
+					} else {
+						st.leaves++
+						cfg.Logf("node %d left (epoch %d)", node, eng.TableEpoch())
+					}
+				}
+				// The membership tables must answer while a rebalance may
+				// be running; failures here mean the visibility plane broke.
+				if _, err := eng.Query(`SELECT COUNT(*) FROM "sys.membership" WHERE live = true`); err == nil {
+					sysQueries.Add(1)
+				}
+				if _, err := eng.Query(`SELECT COUNT(*) FROM "sys.rebalances"`); err == nil {
+					sysQueries.Add(1)
+				}
+			}
+		}()
+	}
+
+	readCounts := func() map[int]int64 {
+		ks := make([]squery.Key, keys)
+		for i := range ks {
+			ks[i] = i
+		}
+		out := make(map[int]int64, keys)
+		for i, v := range eng.Object("rebalcount").GetLive(ks...) {
+			if v != nil {
+				out[i] = int64(v.(int))
+			}
+		}
+		return out
+	}
+
+	var counts map[int]int64
+	if target == nil {
+		job.Wait()
+		counts = readCounts()
+	} else {
+		deadline := time.Now().Add(cfg.Deadline)
+		for {
+			counts = readCounts()
+			if equalCounts(counts, target) {
+				// The driver may still be mid-change; a pending reschedule
+				// replays deterministically to the same totals, so the
+				// verdict stands.
+				break
+			}
+			if overshoots(counts, target) {
+				break
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	wg.Wait()
+	if target != nil && !equalCounts(counts, target) {
+		// The last membership change may have rescheduled the job after the
+		// poll broke off; give the replay one more window to converge.
+		deadline := time.Now().Add(cfg.Deadline / 2)
+		for time.Now().Before(deadline) {
+			counts = readCounts()
+			if equalCounts(counts, target) || overshoots(counts, target) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	st.counts = counts
+	st.fence = eng.FenceStats()
+	st.reschedules = job.Reschedules()
+	st.epoch = eng.TableEpoch()
+	st.sysQueries = sysQueries.Load()
+	for _, r := range eng.Rebalances() {
+		st.rebalances++
+		for _, mv := range r.Moves {
+			if mv.Aborted {
+				st.abortedMoves++
+			}
+		}
+	}
+	return st, nil
+}
+
+// leavable picks the node the driver retires next: the highest-id live
+// node other than 0, and only while at least three nodes are live (so a
+// concurrent chaos kill can never empty the cluster).
+func leavable(eng *squery.Engine) int {
+	live := []int{}
+	for _, m := range eng.Members() {
+		if m.State == cluster.NodeLive {
+			live = append(live, m.Node)
+		}
+	}
+	if len(live) < 3 {
+		return -1
+	}
+	for i := len(live) - 1; i >= 0; i-- {
+		if live[i] != 0 {
+			return live[i]
+		}
+	}
+	return -1
+}

@@ -1,0 +1,44 @@
+package soak
+
+import "testing"
+
+// The rebalance soak is the acceptance check for elastic membership: a
+// counting workload runs while nodes join and leave, chaos kills a
+// migration source mid-handoff and a target pre-ack, and one epoch-bump
+// broadcast is dropped — and the final counts must still converge to the
+// static oracle's, exactly once, with the forced-write backstop cold.
+
+func TestRebalanceSoakSim(t *testing.T) { runRebalanceSoak(t, "sim", 1) }
+
+func TestRebalanceSoakTCP(t *testing.T) { runRebalanceSoak(t, "tcp", 2) }
+
+func runRebalanceSoak(t *testing.T, wire string, seed int64) {
+	rep, err := RunRebalance(RebalanceConfig{Seed: seed, Wire: wire, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("joins=%d leaves=%d memErrs=%d rebalances=%d abortedMoves=%d fence=%+v reschedules=%d epoch=%d sysQueries=%d",
+		rep.Joins, rep.Leaves, rep.MemErrors, rep.Rebalances, rep.AbortedMoves,
+		rep.Fence, rep.Reschedules, rep.Epoch, rep.SysQueries)
+	for _, e := range rep.Events {
+		t.Logf("fired: %s", e)
+	}
+	if !rep.Match {
+		t.Fatalf("exactly-once violated: counts %v != oracle %v", rep.Counts, rep.Oracle)
+	}
+	if rep.Fence.Forced != 0 {
+		t.Fatalf("liveness backstop fired: %d fenced writes were forced through", rep.Fence.Forced)
+	}
+	if rep.Joins == 0 {
+		t.Fatal("no node ever joined — the driver did not run")
+	}
+	if rep.Rebalances == 0 {
+		t.Fatal("no rebalance ran")
+	}
+	if rep.SysQueries == 0 {
+		t.Fatal("sys.membership/sys.rebalances never answered during the run")
+	}
+	if len(rep.Events) == 0 {
+		t.Fatal("no migration fault fired — the schedule missed every rebalance")
+	}
+}

@@ -64,7 +64,7 @@ func (ex *Executor) explainAnalyze(query string, opts ExecOpts) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	out := planResult(pp.render(ex.nodes, true))
+	out := planResult(pp.render(ex.clusterNodes(), true))
 	out.Degraded = res.Degraded
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"squery/internal/core"
@@ -24,10 +25,26 @@ import (
 // EXPLAIN renders the same compiled plan; EXPLAIN ANALYZE renders the
 // exact plan instance an execution ran.
 type Executor struct {
-	cat    *core.Catalog
-	nodes  int
+	cat *core.Catalog
+	// nodes is the scatter-gather fan-out: the cluster's node count. It
+	// is atomic because elastic membership can grow the cluster while
+	// queries run (see SetClusterNodes).
+	nodes  atomic.Int32
 	m      execInstruments
 	tracer *trace.Tracer
+}
+
+// clusterNodes returns the current scatter-gather fan-out.
+func (ex *Executor) clusterNodes() int { return int(ex.nodes.Load()) }
+
+// SetClusterNodes updates the scatter-gather fan-out after the cluster
+// changes size (a joined node owns partitions that scans must now visit).
+// Safe against concurrent queries: an execution reads the count once.
+func (ex *Executor) SetClusterNodes(n int) {
+	if n < 1 {
+		n = 1
+	}
+	ex.nodes.Store(int32(n))
 }
 
 // execInstruments holds the executor's resolved registry instruments. The
@@ -111,10 +128,9 @@ func (ex *Executor) SetTracer(tr *trace.Tracer) { ex.tracer = tr }
 // NewExecutor creates an executor over the catalog, fanning scans out
 // over the given number of nodes (pass the cluster's node count).
 func NewExecutor(cat *core.Catalog, nodes int) *Executor {
-	if nodes < 1 {
-		nodes = 1
-	}
-	return &Executor{cat: cat, nodes: nodes}
+	ex := &Executor{cat: cat}
+	ex.SetClusterNodes(nodes)
+	return ex
 }
 
 // Result is a materialized query result.

@@ -20,5 +20,5 @@ func (ex *Executor) Explain(query string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return pp.render(ex.nodes, false), nil
+	return pp.render(ex.clusterNodes(), false), nil
 }

@@ -127,7 +127,7 @@ func FuzzPlan(f *testing.F) {
 		if err != nil {
 			return
 		}
-		_ = pp.render(ex.nodes, false)
+		_ = pp.render(ex.clusterNodes(), false)
 	})
 }
 

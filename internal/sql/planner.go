@@ -104,7 +104,7 @@ func (ex *Executor) compile(stmt *Select, opts ExecOpts, planOnly bool) (*physPl
 		s := &pp.srcs[i]
 		sc := &plan.Scan{
 			Table:        s.name,
-			ClusterNodes: ex.nodes,
+			ClusterNodes: ex.clusterNodes(),
 			Partitions:   s.ref.Partitions(),
 			PartHint:     -1,
 		}

@@ -64,10 +64,11 @@ func (rc *runCtx) cancel() { rc.once.Do(func() { close(rc.done) }) }
 // ScanPartitionSpec on the owning node — only surviving, projected rows
 // cross the client hop. Pruned/unowned nodes get no goroutine and no hop.
 func (ex *Executor) streamScan(pp *physPlan, si int, rc *runCtx) <-chan scanBatch {
-	ch := make(chan scanBatch, ex.nodes)
+	nodes := ex.clusterNodes()
+	ch := make(chan scanBatch, nodes)
 	s := &pp.srcs[si]
 	var wg sync.WaitGroup
-	for n := 0; n < ex.nodes; n++ {
+	for n := 0; n < nodes; n++ {
 		parts := ex.ownedPartitions(*s, n)
 		if len(parts) == 0 {
 			continue
@@ -213,11 +214,12 @@ func streamBase(pp *physPlan, in <-chan scanBatch, rc *runCtx) <-chan rowBatch {
 // is no shuffle and no cross-partition hash table. Each partition's join
 // output ships as one batch.
 func (ex *Executor) streamCoJoin(pp *physPlan, rc *runCtx) <-chan rowBatch {
-	out := make(chan rowBatch, ex.nodes)
+	nodes := ex.clusterNodes()
+	out := make(chan rowBatch, nodes)
 	left := &pp.srcs[0]
 	jst := pp.join.Stat()
 	var wg sync.WaitGroup
-	for n := 0; n < ex.nodes; n++ {
+	for n := 0; n < nodes; n++ {
 		parts := ex.ownedPartitions(*left, n)
 		if len(parts) == 0 {
 			continue

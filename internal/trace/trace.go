@@ -31,6 +31,7 @@ const (
 	KindQuery      = "query"      // query root + per-stage plan spans
 	KindChaos      = "chaos"      // injected-fault annotations
 	KindNet        = "net"        // sampled inter-node batch messages (transport seam)
+	KindRebalance  = "rebalance"  // membership changes + per-partition migrations
 )
 
 // SpanContext is the propagated identity of a span: enough for a child in

@@ -43,6 +43,16 @@ func (j *Job) CheckpointNow() error { return j.inner.CheckpointNow() }
 // snapshot had committed).
 func (j *Job) InjectFailure() (int64, error) { return j.inner.InjectFailure() }
 
+// Reschedule gracefully restarts the job's workers over the cluster's
+// current live topology via the recovery path (restore from the latest
+// committed snapshot, rewind sources, replay). Jobs also reschedule
+// themselves automatically when a node joins or leaves.
+func (j *Job) Reschedule() (int64, error) { return j.inner.Reschedule() }
+
+// Reschedules returns how many times the job has been rescheduled over a
+// changed topology (membership-triggered or explicit), across its life.
+func (j *Job) Reschedules() int64 { return j.inner.Reschedules() }
+
 // CheckpointAborts returns how many checkpoints have been aborted so far
 // (phase-1 deadline expiry, job kill, or injected crash) across the job's
 // life, including restarts.

@@ -4,7 +4,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"squery/internal/cluster"
 	"squery/internal/core"
 	"squery/internal/kv"
 	"squery/internal/metrics"
@@ -49,6 +51,82 @@ func (e *Engine) registerSystemTables() {
 	// The transport always exists (simulated or networked), so its
 	// accounting is queryable regardless of which planes are disabled.
 	e.cat.RegisterVirtual("sys.network", e.sysNetwork)
+	// Membership and rebalance visibility read the cluster directly, so
+	// they too work with every plane disabled — and, crucially, while a
+	// rebalance is still running.
+	e.cat.RegisterVirtual("sys.membership", e.sysMembership)
+	e.cat.RegisterVirtual("sys.rebalances", e.sysRebalances)
+}
+
+// sysMembership is one row per node ever provisioned: its lifecycle state,
+// how many partitions it currently owns and backs up, and the partition
+// table epoch (identical on every row; stale-epoch writes are fenced
+// against it).
+func (e *Engine) sysMembership() []core.TableRow {
+	epoch := e.clu.Epoch()
+	members := e.clu.Members()
+	rows := make([]core.TableRow, 0, len(members))
+	for _, m := range members {
+		rows = append(rows, core.TableRow{Key: m.Node, Value: kv.MapRow{
+			"node":       m.Node,
+			"state":      m.State.String(),
+			"live":       m.State == cluster.NodeLive,
+			"partitions": int64(m.Partitions),
+			"backups":    int64(m.Backups),
+			"epoch":      epoch,
+		}})
+	}
+	return rows
+}
+
+// sysRebalances is one row per membership change (join or leave): the
+// epochs it spanned, whether it is still running, and its migration
+// tallies — move count, aborted moves, entries and bytes shipped, and the
+// average/max per-move duration.
+func (e *Engine) sysRebalances() []core.TableRow {
+	rebs := e.clu.Rebalances()
+	rows := make([]core.TableRow, 0, len(rebs))
+	for _, r := range rebs {
+		var ops, bytes, aborted, backupMoves int64
+		var moveTotal, moveMax time.Duration
+		for _, mv := range r.Moves {
+			ops += int64(mv.Ops)
+			bytes += int64(mv.Bytes)
+			if mv.Aborted {
+				aborted++
+			}
+			if mv.BackupOnly {
+				backupMoves++
+			}
+			moveTotal += mv.Duration
+			if mv.Duration > moveMax {
+				moveMax = mv.Duration
+			}
+		}
+		avg := time.Duration(0)
+		if n := len(r.Moves); n > 0 {
+			avg = moveTotal / time.Duration(n)
+		}
+		rows = append(rows, core.TableRow{Key: r.ID, Value: kv.MapRow{
+			"rebalance":    r.ID,
+			"kind":         r.Kind,
+			"node":         r.Node,
+			"epochBefore":  r.EpochBefore,
+			"epochAfter":   r.EpochAfter,
+			"running":      r.Running,
+			"droppedBump":  r.DroppedBump,
+			"aborted":      r.Aborted,
+			"moves":        int64(len(r.Moves)),
+			"abortedMoves": aborted,
+			"backupMoves":  backupMoves,
+			"ops":          ops,
+			"bytes":        bytes,
+			"durationUs":   r.Duration.Microseconds(),
+			"avgMoveUs":    avg.Microseconds(),
+			"maxMoveUs":    moveMax.Microseconds(),
+		}})
+	}
+	return rows
 }
 
 // sysNetwork is the transport's wire accounting: one row with the

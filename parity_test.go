@@ -45,6 +45,8 @@ type parityObservation struct {
 	ops        uint64
 	bytes      uint64
 	messages   uint64
+
+	fenceRejects int64 // failover parity only
 }
 
 // runParityWorkload drives an identical finite workload over the given
@@ -130,6 +132,108 @@ func mustQuery(t *testing.T, eng *Engine, q string) string {
 	}
 	sort.Strings(rows)
 	return fmt.Sprint(rows)
+}
+
+// runFailoverParityWorkload drives the parity workload with replicated
+// state, checkpoints, kills node 1 (backup promotion), checkpoints again —
+// the second 2PC writes through fenced views holding the pre-failover
+// table, so every snapshot write group touching a promoted partition is
+// rejected and retried against the new owner. It returns the observables
+// the failover parity test compares.
+func runFailoverParityWorkload(t *testing.T, tr transport.Transport) parityObservation {
+	t.Helper()
+	const records = 300
+	eng := New(Config{Nodes: 3, Partitions: 27, ReplicateState: true, Transport: tr})
+	defer eng.Close()
+
+	recs := make([]Record, records)
+	for i := range recs {
+		recs[i] = Record{Key: i % 10, Value: i%7 + 1}
+	}
+	gate := make(chan struct{})
+	src := &Vertex{
+		Name:        "source",
+		Kind:        KindSource,
+		Parallelism: 1,
+		NewSource: func(int, int) dataflow.SourceInstance {
+			return &gatedParitySource{recs: recs, gate: gate}
+		},
+	}
+	var sunk atomic.Int64
+	dag := NewDAG().
+		AddVertex(src).
+		AddVertex(StatefulMapVertex("failavg", 2, averageFn)).
+		AddVertex(SinkVertex("sink", 1, func(Record) { sunk.Add(1) })).
+		Connect("source", "failavg", EdgePartitioned).
+		Connect("failavg", "sink", EdgePartitioned)
+	job, err := eng.SubmitJob(dag, JobSpec{Name: "failparity", State: StateConfig{Live: true, Snapshots: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Stop()
+	waitFor(t, func() bool { return sunk.Load() == records }, "records sunk")
+	// Checkpoint 1 flushes every mirror batch, so the failover below finds
+	// the workers quiescent — what makes the fencing tally deterministic.
+	if err := job.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.FailNode(1); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint 2: snapshot writes carry the stale fence.
+	if err := job.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	var o parityObservation
+	o.live = mustQuery(t, eng, `SELECT count, total FROM failavg WHERE partitionKey = 1`)
+	o.snapshot = mustQuery(t, eng, `SELECT COUNT(*), SUM(count), SUM(total) FROM snapshot_failavg`)
+	o.partitions = mustQuery(t, eng,
+		`SELECT partition, node, sets, deletes FROM sys.partitions`)
+	st := eng.Transport().Stats()
+	o.ops, o.bytes, o.messages = st.Ops, st.Bytes, st.Messages
+	fence := eng.FenceStats()
+	if fence.Forced != 0 {
+		t.Fatalf("liveness backstop fired: %d forced writes", fence.Forced)
+	}
+	o.fenceRejects = fence.Rejects
+	close(gate)
+	job.Wait()
+	return o
+}
+
+// TestTransportFailoverParity: a node failure with backup promotion — and
+// the epoch-fenced snapshot writes that follow it — behaves identically
+// over the simulated transport and over loopback TCP: same query results,
+// same post-promotion ownership in sys.partitions, same transport op/byte
+// accounting, same number of fencing rejections.
+func TestTransportFailoverParity(t *testing.T) {
+	sim := runFailoverParityWorkload(t, nil)
+	lb, err := transport.NewLoopback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp := runFailoverParityWorkload(t, lb)
+
+	if sim.live != tcp.live {
+		t.Errorf("live query diverged:\n sim: %s\n tcp: %s", sim.live, tcp.live)
+	}
+	if sim.snapshot != tcp.snapshot {
+		t.Errorf("snapshot query diverged:\n sim: %s\n tcp: %s", sim.snapshot, tcp.snapshot)
+	}
+	if sim.partitions != tcp.partitions {
+		t.Errorf("sys.partitions accounting diverged:\n sim: %s\n tcp: %s", sim.partitions, tcp.partitions)
+	}
+	if sim.ops != tcp.ops || sim.bytes != tcp.bytes {
+		t.Errorf("transport accounting diverged: sim ops=%d bytes=%d, tcp ops=%d bytes=%d",
+			sim.ops, sim.bytes, tcp.ops, tcp.bytes)
+	}
+	if sim.fenceRejects != tcp.fenceRejects {
+		t.Errorf("fencing diverged: sim %d rejects, tcp %d rejects", sim.fenceRejects, tcp.fenceRejects)
+	}
+	if sim.fenceRejects == 0 {
+		t.Error("failover caused no fencing rejections — stale snapshot writes went unfenced")
+	}
 }
 
 // TestTransportParity proves the transport seam is real: the same

@@ -234,18 +234,50 @@ func New(cfg Config) *Engine {
 	}
 	e.ex.SetMetrics(reg)
 	e.ex.SetTracer(tracer)
+	clu.SetInstruments(reg, tracer)
 	e.registerSystemTables()
 	return e
 }
 
-// Nodes returns the cluster size.
+// Nodes returns the cluster size, including joined and failed/left
+// members (node ids are dense and never reused).
 func (e *Engine) Nodes() int { return e.clu.Nodes() }
 
 // FailNode simulates the loss of a cluster member: its partitions' data
 // is dropped (or recovered from backups when Config.ReplicateState is
 // on) and ownership moves to the backup nodes. Jobs keep running; to
-// also crash and recover a job, call Job.InjectFailure.
-func (e *Engine) FailNode(node int) { e.clu.Fail(node) }
+// also crash and recover a job, call Job.InjectFailure. Failing the last
+// live node is refused with an error.
+func (e *Engine) FailNode(node int) error { return e.clu.Fail(node) }
+
+// JoinNode adds a new member to the cluster and rebalances partitions
+// onto it online, one migration at a time, while jobs keep running —
+// fenced state writes racing a migration are transparently retried
+// against the new owner. It returns the new node's id. Watch the
+// rebalance through the sys.membership and sys.rebalances tables.
+func (e *Engine) JoinNode() (int, error) {
+	node, err := e.clu.Join()
+	e.ex.SetClusterNodes(e.clu.Nodes())
+	return node, err
+}
+
+// LeaveNode retires a member gracefully: its partitions are drained to
+// the remaining live nodes online, then the node leaves. Unlike FailNode
+// no data is ever at risk — the handoff completes before ownership flips.
+func (e *Engine) LeaveNode(node int) error { return e.clu.Leave(node) }
+
+// Members returns the membership view: every node ever provisioned with
+// its state-machine state and current partition counts — the programmatic
+// twin of the sys.membership table.
+func (e *Engine) Members() []cluster.Member { return e.clu.Members() }
+
+// Rebalances returns the rebalance history, oldest first, including one
+// still in flight — the programmatic twin of sys.rebalances.
+func (e *Engine) Rebalances() []cluster.Rebalance { return e.clu.Rebalances() }
+
+// TableEpoch returns the partition table's current global epoch: 0 at
+// birth, bumped by every failover promotion, migration flip, and join.
+func (e *Engine) TableEpoch() int64 { return e.clu.Epoch() }
 
 // Messages returns the number of inter-node messages sent so far.
 func (e *Engine) Messages() uint64 { return e.clu.Messages() }
@@ -263,6 +295,18 @@ func (e *Engine) Close() error { return e.clu.Close() }
 // QueryWithOptions). Nil clears it. Faults only affect fallible query
 // paths, never the data plane.
 func (e *Engine) SetFaultHook(h FaultHook) { e.clu.SetFaultHook(h) }
+
+// SetMigrationHook installs a migration fault-injection hook on the
+// cluster's rebalancer (see internal/chaos): killed sources and targets
+// mid-handoff, dropped epoch-bump broadcasts, stalled migrations. Nil
+// clears it.
+func (e *Engine) SetMigrationHook(h cluster.MigrationHook) { e.clu.SetMigrationHook(h) }
+
+// FenceStats returns the cumulative epoch-fencing counters of the state
+// store: writes rejected for carrying a stale partition-table epoch,
+// retries that followed, and writes forced through after exhausting
+// retries (the liveness backstop; a healthy run keeps it at zero).
+func (e *Engine) FenceStats() kv.FenceStats { return e.clu.Store().FenceStats() }
 
 // JobSpec configures a submitted job.
 type JobSpec struct {
