@@ -1,7 +1,7 @@
 GO ?= go
 GOFILES := $(shell git ls-files '*.go')
 
-.PHONY: test vet lint race soak-chaos soak-rebalance fuzz-short obs-smoke bench-smoke verify
+.PHONY: test vet lint race soak-chaos soak-rebalance fuzz-short obs-smoke bench-smoke ckpt-smoke verify
 
 # Tier-1: what CI gates on.
 test:
@@ -56,6 +56,18 @@ fuzz-short:
 	$(GO) test ./internal/sql -fuzz FuzzParse -fuzztime 30s -run '^$$'
 	$(GO) test ./internal/sql -fuzz FuzzLexer -fuzztime 30s -run '^$$'
 	$(GO) test ./internal/sql -fuzz FuzzPlan -fuzztime 30s -run '^$$'
+	$(GO) test ./internal/persist -fuzz FuzzDeltaChain -fuzztime 30s -run '^$$'
+
+# Incremental-checkpoint smoke: the crash-recovery suite (every crash
+# point of the segment/manifest protocol restores the last committed
+# snapshot), the base+delta-chain vs full-restore parity across both
+# transports, and the ckpt-scale harness shape check (delta-async runs
+# write delta segments, the full-sync baseline none, bytes/ckpt track
+# the delta).
+ckpt-smoke:
+	$(GO) test ./internal/persist -run 'TestCrash|FuzzDeltaChain' -count=1 -v
+	$(GO) test . -run 'TestIncrementalRecoveryParity' -race -count=1 -v
+	$(GO) test ./internal/experiments -run 'TestCkptScaleShape' -count=1 -v
 
 # Perf smoke over the serialization and join hot paths. The allocation
 # guards are hard gates (zero-alloc scalar encode in the wire codec,
@@ -64,8 +76,10 @@ fuzz-short:
 # logs next to the gate.
 bench-smoke:
 	$(GO) test ./internal/wire ./internal/core -run 'TestZeroAllocScalarEncode|TestBlobKeyAllocs' -count=1 -v
+	$(GO) test ./internal/persist -run 'TestDeltaEncodeAllocs' -count=1 -v
 	$(GO) test ./internal/wire -run '^$$' -bench 'BenchmarkAppendValue|BenchmarkDecodeValue|BenchmarkGobValue' -benchtime 1000x
+	$(GO) test ./internal/persist -run '^$$' -bench 'BenchmarkAppendDeltaSegment' -benchtime 1000x
 	$(GO) test ./internal/sql -run '^$$' -bench 'BenchmarkJoinKey' -benchtime 1000x
 	$(GO) test ./internal/kv -run '^$$' -bench 'BenchmarkPut' -benchtime 1000x
 
-verify: lint race soak-chaos soak-rebalance bench-smoke
+verify: lint race soak-chaos soak-rebalance bench-smoke ckpt-smoke

@@ -51,20 +51,21 @@ func main() {
 
 	o := experiments.Options{Quick: *quick}
 	runners := map[string]func(experiments.Options){
-		"fig8":     runFig8,
-		"fig9":     runFig9,
-		"fig10":    runFig10,
-		"fig11":    runFig11,
-		"fig12":    runFig12,
-		"fig13":    runFig13,
-		"fig14":    runFig14,
-		"fig15":    runFig15,
-		"queries":  runQueries,
-		"pushdown": runPushdown,
-		"obs":      runObs,
-		"wire":     runWire,
+		"fig8":       runFig8,
+		"fig9":       runFig9,
+		"fig10":      runFig10,
+		"fig11":      runFig11,
+		"fig12":      runFig12,
+		"fig13":      runFig13,
+		"fig14":      runFig14,
+		"fig15":      runFig15,
+		"queries":    runQueries,
+		"pushdown":   runPushdown,
+		"obs":        runObs,
+		"wire":       runWire,
+		"ckpt-scale": runCkptScale,
 	}
-	order := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "queries", "pushdown", "obs", "wire"}
+	order := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "queries", "pushdown", "obs", "wire", "ckpt-scale"}
 
 	switch *exp {
 	case "all":
@@ -232,4 +233,10 @@ func runWire(o experiments.Options) {
 	fmt.Println(experiments.WireTable(
 		"Wire — batched transport + binary codec vs legacy per-record/per-key messages (3 nodes, replicated)",
 		experiments.Wire(o)))
+}
+
+func runCkptScale(o experiments.Options) {
+	fmt.Println(experiments.CkptScaleTable(
+		"Checkpoint scaling — full+sync vs delta+async persistence at 1x/3x/10x state, fixed hot set (3 nodes)",
+		experiments.CkptScale(o)))
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	squery [-nodes 3] [-orders 10000] [-interval 1s]
+//	squery [-nodes 3] [-orders 10000] [-interval 1s] [-persist DIR]
 //
 // Then type SQL at the prompt:
 //
@@ -47,6 +47,7 @@ func main() {
 	dumpMetrics := flag.Bool("metrics", false, "print the plain-text metrics dump on exit")
 	serveObs := flag.String("serve-obs", "", "serve the HTTP observability plane on this address (e.g. 127.0.0.1:8080)")
 	wireKind := flag.String("transport", "sim", `inter-node wire: "sim" (in-process) or "tcp" (loopback TCP frames)`)
+	persistDir := flag.String("persist", "", "write committed snapshots durably (full base + delta segments) under this directory")
 	flag.Parse()
 
 	cfg := squery.Config{Nodes: *nodes}
@@ -86,11 +87,20 @@ func main() {
 		OperatorParallelism: *nodes * 2,
 	}, squery.SinkVertex("sink", *nodes, func(squery.Record) {}))
 
-	job, err := eng.SubmitJob(dag, squery.JobSpec{
+	spec := squery.JobSpec{
 		Name:             "qcommerce",
 		State:            squery.StateConfig{Live: true, Snapshots: true},
 		SnapshotInterval: *interval,
-	})
+	}
+	if *persistDir != "" {
+		// Persisted demos also enable incremental in-memory snapshots so
+		// the commit path is O(delta) end to end: pinned phase 1 plus
+		// delta segments, visible as persistMode/chainLen/drainUs columns
+		// in sys.checkpoints.
+		spec.State.Incremental = true
+		spec.PersistDir = *persistDir
+	}
+	job, err := eng.SubmitJob(dag, spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "submit:", err)
 		os.Exit(1)

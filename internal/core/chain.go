@@ -110,6 +110,22 @@ func (c *Chain) At(target int64) (v Versioned, ok bool) {
 	return got, true
 }
 
+// Governing returns the version that governs the key's state as of
+// snapshot target — the version with the largest SSID ≤ target —
+// *including* tombstones, which At folds into "not found". The delta
+// persister needs the distinction: a key deleted since the last durable
+// snapshot must emit a tombstone delta, not silently vanish.
+func (c *Chain) Governing(target int64) (v Versioned, ok bool) {
+	if c == nil || len(c.items) == 0 {
+		return Versioned{}, false
+	}
+	i := sort.Search(len(c.items), func(i int) bool { return c.items[i].SSID > target })
+	if i == 0 {
+		return Versioned{}, false
+	}
+	return c.items[i-1], true
+}
+
 // Newest returns the most recent version in the chain.
 func (c *Chain) Newest() (Versioned, bool) {
 	if c == nil || len(c.items) == 0 {

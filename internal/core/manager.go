@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"squery/internal/kv"
+	"squery/internal/partition"
 	"squery/internal/persist"
 	"squery/internal/snapshot"
 )
@@ -24,18 +25,143 @@ type Manager struct {
 	store *kv.Store
 	reg   *snapshot.Registry
 
-	mu        sync.Mutex
-	ops       map[string]OperatorMeta
-	persister *persist.Store
+	mu            sync.Mutex
+	ops           map[string]OperatorMeta
+	persister     *persist.Store
+	persistPolicy PersistPolicy
+	lastPersist   PersistInfo
+
+	// Changed-key index: every snapshot-chain write a wired backend
+	// performs is reported here (see NoteChanged), so commit-time work —
+	// collecting the persisted delta and compacting version chains — can
+	// walk just the keys that changed instead of scanning whole maps.
+	// `changed` holds keys not yet persisted durably; `pruneDue` holds
+	// keys whose chains may still compact further. Operators that never
+	// report (backends created outside the dataflow layer) keep the
+	// original full-scan behaviour via the `indexed` flag.
+	changeMu sync.Mutex
+	indexed  map[string]bool
+	changed  map[string]map[string]partition.Key
+	pruneDue map[string]map[string]partition.Key
 }
 
 // NewManager creates a manager over the store retaining `retention`
 // committed snapshot versions (<1 selects the paper's default of 2).
 func NewManager(store *kv.Store, retention int) *Manager {
 	return &Manager{
-		store: store,
-		reg:   snapshot.NewRegistry(retention),
-		ops:   make(map[string]OperatorMeta),
+		store:    store,
+		reg:      snapshot.NewRegistry(retention),
+		ops:      make(map[string]OperatorMeta),
+		indexed:  make(map[string]bool),
+		changed:  make(map[string]map[string]partition.Key),
+		pruneDue: make(map[string]map[string]partition.Key),
+	}
+}
+
+// NoteChanged records that snapshot-chain versions were written for keys
+// of op. Backends wired through SetChangeNotifier call it on every
+// version write; once an operator reports here, persisted-delta
+// collection and chain pruning visit only reported keys — the commit-side
+// half of O(delta) checkpoints.
+func (m *Manager) NoteChanged(op string, keys []partition.Key) {
+	if len(keys) == 0 {
+		return
+	}
+	so := sanitize(op)
+	m.changeMu.Lock()
+	defer m.changeMu.Unlock()
+	m.indexed[so] = true
+	cm := m.changed[so]
+	if cm == nil {
+		cm = make(map[string]partition.Key, len(keys))
+		m.changed[so] = cm
+	}
+	pm := m.pruneDue[so]
+	if pm == nil {
+		pm = make(map[string]partition.Key, len(keys))
+		m.pruneDue[so] = pm
+	}
+	for _, k := range keys {
+		ks := partition.KeyString(k)
+		cm[ks] = k
+		pm[ks] = k
+	}
+}
+
+// opIndexed reports whether op's backends report chain writes to the
+// changed-key index.
+func (m *Manager) opIndexed(op string) bool {
+	m.changeMu.Lock()
+	defer m.changeMu.Unlock()
+	return m.indexed[op]
+}
+
+// takeChanged removes and returns op's not-yet-durable key set.
+func (m *Manager) takeChanged(op string) map[string]partition.Key {
+	m.changeMu.Lock()
+	defer m.changeMu.Unlock()
+	out := m.changed[op]
+	delete(m.changed, op)
+	return out
+}
+
+// mergeChanged re-files keys whose chains were not fully covered by the
+// snapshot just persisted (versions beyond the cut). Writes noted since
+// takeChanged win.
+func (m *Manager) mergeChanged(op string, keys map[string]partition.Key) {
+	if len(keys) == 0 {
+		return
+	}
+	m.changeMu.Lock()
+	defer m.changeMu.Unlock()
+	cm := m.changed[op]
+	if cm == nil {
+		m.changed[op] = keys
+		return
+	}
+	for ks, k := range keys {
+		if _, ok := cm[ks]; !ok {
+			cm[ks] = k
+		}
+	}
+}
+
+// takePruneDue removes and returns op's may-compact-further key set.
+func (m *Manager) takePruneDue(op string) map[string]partition.Key {
+	m.changeMu.Lock()
+	defer m.changeMu.Unlock()
+	out := m.pruneDue[op]
+	delete(m.pruneDue, op)
+	return out
+}
+
+// mergePruneDue re-files keys whose chains still hold more than their
+// stable base version.
+func (m *Manager) mergePruneDue(op string, keys map[string]partition.Key) {
+	if len(keys) == 0 {
+		return
+	}
+	m.changeMu.Lock()
+	defer m.changeMu.Unlock()
+	pm := m.pruneDue[op]
+	if pm == nil {
+		m.pruneDue[op] = keys
+		return
+	}
+	for ks, k := range keys {
+		if _, ok := pm[ks]; !ok {
+			pm[ks] = k
+		}
+	}
+}
+
+// dropChanged empties the whole not-yet-durable index — called when no
+// persister is attached, so the index cannot grow without a consumer.
+func (m *Manager) dropChanged() {
+	m.changeMu.Lock()
+	defer m.changeMu.Unlock()
+	for op := range m.changed {
+		delete(m.changed, op)
 	}
 }
 
@@ -133,6 +259,41 @@ func (m *Manager) prune(evicted []int64) {
 		}
 		name := SnapshotMapName(meta.Name)
 		if !m.store.HasMap(name) {
+			continue
+		}
+		op := sanitize(meta.Name)
+		if m.opIndexed(op) {
+			// O(delta) path: only chains written since the last prune can
+			// have anything left to compact — untouched chains were already
+			// reduced to a stable base (or hold a single version pruning
+			// would keep anyway).
+			idx := m.takePruneDue(op)
+			keep := make(map[string]partition.Key)
+			for ks, key := range idx {
+				view := m.store.View(assign.Owner(m.store.Partitioner().Of(key)))
+				cur, ok := view.Get(name, key)
+				if !ok {
+					continue
+				}
+				chain := cur.(*Chain)
+				if pruned := chain.Prune(oldest); pruned != chain {
+					if pruned.Len() == 0 {
+						view.Delete(name, key)
+					} else {
+						view.Put(name, key, pruned)
+					}
+					chain = pruned
+				}
+				// A chain is stable — no future prune changes it — once it
+				// holds just one version at or below the horizon; everything
+				// else stays filed for the next pass.
+				if chain.Len() > 1 {
+					keep[ks] = key
+				} else if nw, ok := chain.Newest(); ok && nw.SSID > oldest {
+					keep[ks] = key
+				}
+			}
+			m.mergePruneDue(op, keep)
 			continue
 		}
 		snapMap := m.store.GetMap(name)

@@ -4,69 +4,266 @@ import (
 	"fmt"
 
 	"squery/internal/kv"
+	"squery/internal/partition"
 	"squery/internal/persist"
 )
 
 // Persistence integration: when a persister is attached, every committed
-// checkpoint is also written to stable storage (one segment per queryable
-// operator), and a fresh manager can cold-start from the latest durable
-// snapshot — the paper's stable-storage requirement (§IV) implemented on
-// top of internal/persist.
+// checkpoint is also written to stable storage, and a fresh manager can
+// cold-start from the latest durable snapshot — the paper's stable-
+// storage requirement (§IV) implemented on top of internal/persist.
+//
+// Snapshots persist incrementally: each commit writes, per operator, a
+// delta segment holding only the versions minted since the last durable
+// snapshot (upserts and tombstones), chained to that snapshot as its
+// base. The delta window is computed from the version chains, not the
+// backends' in-memory dirty sets — chains survive aborted checkpoint
+// rounds (a version written at an aborted id still governs later reads),
+// so the durable delta never loses a key to an abort between commits.
+// PersistPolicy bounds the chains: when one would grow past MaxChainLen,
+// or the delta stops being small relative to the live state, the commit
+// folds everything into a fresh full segment instead (compaction) and
+// the chain restarts.
+
+// PersistPolicy tunes the full-vs-delta decision of persisted commits.
+type PersistPolicy struct {
+	// MaxChainLen caps how many delta segments may chain off a full base
+	// before a commit folds them into a new full segment. <1 selects the
+	// default of 8.
+	MaxChainLen int
+	// CompactFraction folds to a full segment when the delta holds at
+	// least this fraction of the operator's live keys — at that size the
+	// delta stops being cheaper than a compacting full write. <=0 selects
+	// the default of 0.5.
+	CompactFraction float64
+	// FullOnly disables delta segments entirely: every persisted commit
+	// writes full segments, the pre-delta behaviour. The A/B baseline for
+	// `squery-bench -exp ckpt-scale`.
+	FullOnly bool
+}
+
+func (p PersistPolicy) withDefaults() PersistPolicy {
+	if p.MaxChainLen < 1 {
+		p.MaxChainLen = 8
+	}
+	if p.CompactFraction <= 0 {
+		p.CompactFraction = 0.5
+	}
+	return p
+}
+
+// PersistInfo describes what the most recent persisted commit wrote —
+// the coordinator surfaces it through sys.checkpoints and the metrics
+// registry.
+type PersistInfo struct {
+	SSID        int64
+	Mode        string // "delta", "full", "mixed", or "none"
+	Entries     int    // entries written across all segments
+	Bytes       int64  // bytes written by this commit
+	DeltaSegs   int    // delta segments written by this commit
+	FullSegs    int    // full segments written by this commit
+	MaxChainLen int    // longest delta chain after this commit
+	Compactions int    // chains folded into a full segment by policy
+}
 
 // SetPersister attaches stable storage. Subsequent Commit calls write
-// every queryable operator's state at the committed snapshot id to disk
-// before pruning; evicted ids are pruned from disk as well. Attaching a
-// persister makes commits O(total state) — it is an opt-in durability
-// level, not the default.
+// every queryable operator's changes at the committed snapshot id to
+// disk before pruning; unreachable snapshot directories are garbage-
+// collected as ids are evicted. Commits are O(delta): only versions
+// minted since the last durable snapshot are written (full segments only
+// at the chain base and at compaction points).
 func (m *Manager) SetPersister(p *persist.Store) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.persister = p
 }
 
+// SetPersistPolicy overrides the full-vs-delta policy for persisted
+// commits. Call before the first commit.
+func (m *Manager) SetPersistPolicy(pol PersistPolicy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.persistPolicy = pol
+}
+
+// Persister returns the attached stable store (nil when persistence is
+// off).
+func (m *Manager) Persister() *persist.Store {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.persister
+}
+
+// LastPersist returns what the most recent persisted commit wrote. The
+// zero value means no commit has persisted yet (or persistence is off).
+func (m *Manager) LastPersist() PersistInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastPersist
+}
+
 // persistCommitted writes the state of every queryable operator at ssid
-// to stable storage and durably commits the id.
+// to stable storage — as delta segments where the policy allows — and
+// durably commits the id.
 func (m *Manager) persistCommitted(ssid int64) error {
 	m.mu.Lock()
 	p := m.persister
+	pol := m.persistPolicy.withDefaults()
 	ops := make([]OperatorMeta, 0, len(m.ops))
 	for _, meta := range m.ops {
 		ops = append(ops, meta)
 	}
 	m.mu.Unlock()
 	if p == nil {
+		// No consumer for the not-yet-durable index: drop it, or it would
+		// accumulate every key ever snapshotted.
+		m.dropChanged()
 		return nil
 	}
+	statsBefore := p.Stats()
+	lastDurable, err := p.Latest()
+	if err != nil {
+		return err
+	}
+	// Operators present at the base snapshot: a delta can only chain to a
+	// base that actually holds a segment for the operator.
+	baseOps := map[string]bool{}
+	if lastDurable > 0 {
+		names, err := p.Operators(lastDurable)
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			baseOps[n] = true
+		}
+	}
+	info := PersistInfo{SSID: ssid, Mode: "none"}
 	for _, meta := range ops {
 		if !meta.Config.Snapshots {
 			continue
 		}
-		var entries []persist.Entry
 		name := SnapshotMapName(meta.Name)
 		if !m.store.HasMap(name) {
 			continue
 		}
+		op := sanitize(meta.Name)
 		snapMap := m.store.GetMap(name)
-		for part := 0; part < m.store.Partitioner().Count(); part++ {
-			snapMap.ScanPartition(part, func(e kv.Entry) bool {
-				if v, ok := e.Value.(*Chain).At(ssid); ok {
-					entries = append(entries, persist.Entry{Key: e.Key, Value: v.Value})
+
+		// Collect the delta window (lastDurable, ssid] — every version
+		// minted since the last durable snapshot, tombstones included —
+		// plus a live count for the compaction ratio. With a changed-key
+		// index this walks only the keys written since the last durable
+		// commit; unindexed operators fall back to the full chain scan.
+		var deltas []persist.DeltaEntry
+		live := 0
+		if m.opIndexed(op) {
+			idx := m.takeChanged(op)
+			carry := make(map[string]partition.Key)
+			assign := m.store.Assignment()
+			for ks, key := range idx {
+				cur, ok := m.store.View(assign.Owner(m.store.Partitioner().Of(key))).Get(name, key)
+				if !ok {
+					continue
 				}
-				return true
-			})
+				chain := cur.(*Chain)
+				// Versions beyond this cut are not made durable here; the
+				// key stays filed for the next commit.
+				if nw, ok := chain.Newest(); ok && nw.SSID > ssid {
+					carry[ks] = key
+				}
+				v, ok := chain.Governing(ssid)
+				if !ok || v.SSID <= lastDurable {
+					continue
+				}
+				deltas = append(deltas, persist.DeltaEntry{Key: key, Value: v.Value, Tombstone: v.Tombstone})
+			}
+			m.mergeChanged(op, carry)
+			// Size counts chains, including pure-tombstone ones — a slight
+			// overcount of the live set that only delays the compaction
+			// trigger marginally.
+			live = snapMap.Size()
+		} else {
+			for part := 0; part < m.store.Partitioner().Count(); part++ {
+				snapMap.ScanPartition(part, func(e kv.Entry) bool {
+					v, ok := e.Value.(*Chain).Governing(ssid)
+					if !ok {
+						return true
+					}
+					if !v.Tombstone {
+						live++
+					}
+					if v.SSID > lastDurable {
+						deltas = append(deltas, persist.DeltaEntry{Key: e.Key, Value: v.Value, Tombstone: v.Tombstone})
+					}
+					return true
+				})
+			}
 		}
-		if err := p.WriteSegment(ssid, sanitize(meta.Name), entries); err != nil {
-			return err
+
+		full := pol.FullOnly || lastDurable == 0 || !baseOps[op]
+		chainLen := 0
+		if !full {
+			chainLen, err = p.ChainLen(lastDurable, op)
+			if err != nil {
+				return err
+			}
+			// Compaction triggers: the chain is at its length cap, or the
+			// delta is no longer small relative to the live state.
+			if chainLen >= pol.MaxChainLen || float64(len(deltas)) >= pol.CompactFraction*float64(live) {
+				full = true
+				info.Compactions++
+			}
+		}
+		if full {
+			var entries []persist.Entry
+			for part := 0; part < m.store.Partitioner().Count(); part++ {
+				snapMap.ScanPartition(part, func(e kv.Entry) bool {
+					if v, ok := e.Value.(*Chain).At(ssid); ok {
+						entries = append(entries, persist.Entry{Key: e.Key, Value: v.Value})
+					}
+					return true
+				})
+			}
+			if err := p.WriteSegment(ssid, op, entries); err != nil {
+				return err
+			}
+			info.FullSegs++
+			info.Entries += len(entries)
+		} else {
+			if err := p.WriteDeltaSegment(ssid, op, lastDurable, deltas); err != nil {
+				return err
+			}
+			info.DeltaSegs++
+			info.Entries += len(deltas)
+			if chainLen+1 > info.MaxChainLen {
+				info.MaxChainLen = chainLen + 1
+			}
 		}
 	}
-	return p.Commit(ssid)
+	if err := p.Commit(ssid); err != nil {
+		return err
+	}
+	switch {
+	case info.DeltaSegs > 0 && info.FullSegs > 0:
+		info.Mode = "mixed"
+	case info.DeltaSegs > 0:
+		info.Mode = "delta"
+	case info.FullSegs > 0:
+		info.Mode = "full"
+	}
+	info.Bytes = p.Stats().BytesWritten - statsBefore.BytesWritten
+	m.mu.Lock()
+	m.lastPersist = info
+	m.mu.Unlock()
+	return nil
 }
 
 // ImportPersisted cold-starts the manager's registry and snapshot maps
-// from the latest snapshot in stable storage. It must be called on a
-// fresh manager, with the target operators already registered, before
-// any checkpoint runs. It returns the imported snapshot id (0 when the
-// store is empty).
+// from the latest snapshot in stable storage, replaying base + delta
+// chain when the snapshot was persisted incrementally. It must be called
+// on a fresh manager, with the target operators already registered,
+// before any checkpoint runs. It returns the imported snapshot id (0
+// when the store is empty).
 func (m *Manager) ImportPersisted(p *persist.Store) (int64, error) {
 	latest, err := p.Latest()
 	if err != nil {
@@ -81,7 +278,7 @@ func (m *Manager) ImportPersisted(p *persist.Store) (int64, error) {
 	}
 	assign := m.store.Assignment()
 	for _, op := range ops {
-		entries, err := p.ReadSegment(latest, op)
+		entries, err := p.ReadState(latest, op)
 		if err != nil {
 			return 0, err
 		}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"squery/internal/kv"
 	"squery/internal/metrics"
@@ -118,6 +119,10 @@ type Backend struct {
 	updateLat   *metrics.Histogram
 	updateSeq   uint64
 	sampleEvery uint64
+
+	// onChange, when set, is told about every snapshot-chain write (see
+	// SetChangeNotifier); the manager's changed-key index hangs off it.
+	onChange func(op string, keys []partition.Key)
 }
 
 // NewBackend creates the state backend for instance `instance` of
@@ -158,6 +163,16 @@ func NewBackend(op string, instance int, view kv.NodeView, cfg Config) *Backend 
 func (b *Backend) SetInstruments(updates *metrics.Counter, updateLat *metrics.Histogram) {
 	b.updates = updates
 	b.updateLat = updateLat
+}
+
+// SetChangeNotifier installs a callback told about every snapshot-chain
+// write this backend performs (typically Manager.NoteChanged): the keys
+// written at each checkpoint feed the manager's changed-key index, which
+// keeps persisted-delta collection and chain pruning O(delta). Call
+// before the owning worker starts; writes come from the worker or its
+// drainer, never both at once.
+func (b *Backend) SetChangeNotifier(fn func(op string, keys []partition.Key)) {
+	b.onChange = fn
 }
 
 // Op returns the operator name.
@@ -314,6 +329,90 @@ type keyedVersion struct {
 	tombstone bool
 }
 
+// SnapshotPin is the cheap half of an asynchronous phase 1 (Carbone et
+// al.'s lightweight snapshots): the version set an instance pinned at
+// the barrier, captured without serializing or shipping anything. A
+// drainer later writes it into the snapshot store via DrainPin, off the
+// barrier path. Values referenced by a pin are treated as immutable —
+// the same convention that makes version chains safe to share with
+// concurrent queries.
+type SnapshotPin struct {
+	SSID    int64
+	entries []keyedVersion
+	pinned  time.Time
+}
+
+// Len returns how many key versions the pin holds.
+func (p *SnapshotPin) Len() int { return len(p.entries) }
+
+// PinnedAt returns when the pin was taken; drain lag is measured from
+// it.
+func (p *SnapshotPin) PinnedAt() time.Time { return p.pinned }
+
+// SnapshotPin captures phase 1 for this instance without shipping the
+// state: mirrors are flushed, the dirty set (or full state) is pinned as
+// a version set, and the dirty tracking resets — all O(delta) map work,
+// no KV writes. The returned pin must later be drained via DrainPin
+// before the checkpoint commits. A nil pin with no error means nothing
+// needs draining: snapshots are off, or the instance runs the JetBlob
+// baseline, whose blob is written synchronously here (measuring that
+// stall is the baseline's purpose).
+func (b *Backend) SnapshotPin(ssid int64) (*SnapshotPin, error) {
+	b.Flush()
+	switch {
+	case b.cfg.JetBlob:
+		_, err := b.prepareBlob(ssid)
+		return nil, err
+	case !b.cfg.Snapshots:
+		return nil, nil
+	}
+	var entries []keyedVersion
+	if b.cfg.Incremental {
+		entries = b.dirtyEntries()
+	} else {
+		entries = append(b.allEntries(), b.deletedEntries()...)
+	}
+	b.dirty = make(map[string]partition.Key)
+	return &SnapshotPin{SSID: ssid, entries: entries, pinned: time.Now()}, nil
+}
+
+// DrainPin serializes and ships a pinned version set into the snapshot
+// store — the deferred half of SnapshotPrepare. Safe to call from a
+// drainer goroutine concurrent with the owning worker: the KV store's
+// striped key locks order the writes, pinned values are immutable, and
+// the pin's entries are no longer referenced by the backend.
+func (b *Backend) DrainPin(pin *SnapshotPin) int {
+	return b.writeVersions(pin.SSID, pin.entries)
+}
+
+// FoldPins merges an abandoned pin (its checkpoint round aborted before
+// the drain ran) into a newer round's pin. The carried entries were
+// already cleared from the backend's dirty tracking when they were
+// pinned, so dropping them would lose every pre-barrier update from the
+// next committed snapshot — they must ride the next drain instead,
+// re-stamped at its snapshot id. Where both pins touch a key, the newer
+// version wins.
+func FoldPins(carry, next *SnapshotPin) *SnapshotPin {
+	if carry == nil {
+		return next
+	}
+	if next == nil {
+		return carry
+	}
+	seen := make(map[string]bool, len(next.entries))
+	for _, e := range next.entries {
+		seen[partition.KeyString(e.key)] = true
+	}
+	merged := make([]keyedVersion, 0, len(carry.entries)+len(next.entries))
+	for _, e := range carry.entries {
+		if !seen[partition.KeyString(e.key)] {
+			merged = append(merged, e)
+		}
+	}
+	merged = append(merged, next.entries...)
+	return &SnapshotPin{SSID: next.SSID, entries: merged, pinned: next.pinned}
+}
+
 func (b *Backend) allEntries() []keyedVersion {
 	out := make([]keyedVersion, 0, len(b.data))
 	for _, e := range b.data {
@@ -350,7 +449,14 @@ func (b *Backend) deletedEntries() []keyedVersion {
 }
 
 func (b *Backend) writeVersions(ssid int64, kvs []keyedVersion) int {
+	if len(kvs) == 0 {
+		return 0
+	}
 	name := SnapshotMapName(b.op)
+	keys := make([]partition.Key, len(kvs))
+	for i := range kvs {
+		keys[i] = kvs[i].key
+	}
 	if b.cfg.Unbatched {
 		// Legacy wire shape: one Get and one Put per key — two messages
 		// per remote key per checkpoint. Kept only as the A/B baseline
@@ -363,23 +469,22 @@ func (b *Backend) writeVersions(ssid int64, kvs []keyedVersion) int {
 			chain = chain.With(Versioned{SSID: ssid, Value: e.value, Tombstone: e.tombstone})
 			b.view.Put(name, e.key, chain)
 		}
-		return len(kvs)
+	} else {
+		// Batched apply: the chain extension runs where the partition
+		// lives, one round trip per remote partition group instead of two
+		// messages per key.
+		b.view.ApplyBatch(name, keys, func(i int, _ partition.Key, cur any, ok bool) (any, bool) {
+			var chain *Chain
+			if ok {
+				chain = cur.(*Chain)
+			}
+			e := kvs[i]
+			return chain.With(Versioned{SSID: ssid, Value: e.value, Tombstone: e.tombstone}), true
+		})
 	}
-	// Batched apply: the chain extension runs where the partition lives,
-	// one round trip per remote partition group instead of two messages
-	// per key.
-	keys := make([]partition.Key, len(kvs))
-	for i := range kvs {
-		keys[i] = kvs[i].key
+	if b.onChange != nil {
+		b.onChange(b.op, keys)
 	}
-	b.view.ApplyBatch(name, keys, func(i int, _ partition.Key, cur any, ok bool) (any, bool) {
-		var chain *Chain
-		if ok {
-			chain = cur.(*Chain)
-		}
-		e := kvs[i]
-		return chain.With(Versioned{SSID: ssid, Value: e.value, Tombstone: e.tombstone}), true
-	})
 	return len(kvs)
 }
 

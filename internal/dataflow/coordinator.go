@@ -150,8 +150,10 @@ func (j *Job) checkpointWithRetry(st *coordState) ckptOutcome {
 
 // checkpointOnce runs one full 2PC checkpoint attempt.
 func (j *Job) checkpointOnce(st *coordState, attempt int) ckptOutcome {
-	// Collect retirements that happened since the last checkpoint.
+	// Collect retirements that happened since the last checkpoint, and
+	// purge drain acknowledgements left over from aborted rounds.
 	j.drainRetired(st)
+	j.purgeDrains()
 	needed := j.acksNeeded - len(st.retired)
 	if needed <= 0 {
 		return ckptSkipped
@@ -270,10 +272,11 @@ func (j *Job) checkpointOnce(st *coordState, attempt int) ckptOutcome {
 	}
 	child("barrier_inject", injStart, time.Since(injStart), j.cfg.Name, -1, false)
 
-	// Phase 1: wait for every live instance to prepare.
+	// Phase 1: wait for every live instance to prepare (or pin).
 	offsets := map[string]int64{}
 	acked := map[string]bool{}
 	got := 0
+	drainsExpected := 0
 	for got < needed {
 		select {
 		case a := <-j.ackCh:
@@ -286,6 +289,9 @@ func (j *Job) checkpointOnce(st *coordState, attempt int) ckptOutcome {
 			}
 			acked[id] = true
 			got++
+			if a.drains {
+				drainsExpected++
+			}
 			if a.offset >= 0 {
 				offsets[id] = a.offset
 			}
@@ -293,6 +299,17 @@ func (j *Job) checkpointOnce(st *coordState, attempt int) ckptOutcome {
 			if !st.retired[r.id] {
 				st.note(r)
 				if !acked[r.id] {
+					// A stateful instance that finished before acking never
+					// snapshotted its tail state — the versions written since
+					// the last checkpoint exist only in its (now gone) live
+					// run. Publishing this cut would pair post-retirement
+					// source offsets with pre-retirement state and silently
+					// lose records on recovery. The instance is not coming
+					// back, so a retry cannot help either: give up on the id.
+					if j.statefulIDs[r.id] {
+						noteAbort("stateful instance retired mid-checkpoint")
+						return ckptSkipped
+					}
 					needed--
 				}
 			}
@@ -304,6 +321,46 @@ func (j *Job) checkpointOnce(st *coordState, attempt int) ckptOutcome {
 		}
 	}
 	phase1 := time.Since(start)
+
+	// Drain gate: instances that pinned instead of serializing resumed
+	// processing at the barrier, but their deltas are still in flight —
+	// commit must not publish until every drain has landed in the state
+	// store. The drain wait shares the phase-1 deadline budget; a stall
+	// here aborts and retries like a lost ack would.
+	drained := map[string]bool{}
+	deltaKeys := 0
+	var drainDur time.Duration
+	for drainsGot := 0; drainsGot < drainsExpected; {
+		select {
+		case d := <-j.drainCh:
+			if d.ssid != ssid {
+				continue // late drain of an aborted round
+			}
+			id := offsetKey(d.vertex, d.instance)
+			if drained[id] {
+				continue
+			}
+			drained[id] = true
+			drainsGot++
+			deltaKeys += d.written
+			j.ckptIns.drainLag.Record(d.lag)
+		case r := <-j.retiredCh:
+			// A retiring instance's drainer outlives it (drainers are
+			// job-scoped), so its expected drain still arrives; just record
+			// the retirement for the next round.
+			if !st.retired[r.id] {
+				st.note(r)
+			}
+		case <-deadline:
+			return abort()
+		case <-j.killCh:
+			noteAbort("stopped")
+			return ckptStopped
+		}
+	}
+	if drainsExpected > 0 {
+		drainDur = time.Since(start) - phase1
+	}
 
 	// Injected coordinator death between phase 1 and commit: the id stays
 	// in flight (recovery's cleanup aborts it — it must never publish) and
@@ -336,17 +393,48 @@ func (j *Job) checkpointOnce(st *coordState, attempt int) ckptOutcome {
 	j.totalHist.Record(total)
 	j.ckptIns.commits.Inc()
 	j.ckptIns.phase1.Record(phase1)
-	j.ckptIns.phase2.Record(total - phase1)
+	j.ckptIns.phase2.Record(total - phase1 - drainDur)
 	j.ckptIns.total.Record(total)
-	j.ckptIns.log.Append(map[string]any{
+	event := map[string]any{
 		"job": j.cfg.Name, "ssid": ssid, "outcome": "committed",
 		"attempt": attempt, "phase1Us": phase1.Microseconds(),
 		"totalUs": total.Microseconds(),
-	})
+		"drainUs": drainDur.Microseconds(), "deltaKeys": deltaKeys,
+	}
+	// Surface what the persisted commit wrote — segment mix, bytes,
+	// chain depth — on the event log and the registry, so sys.checkpoints
+	// and the obs plane see the incremental-persistence behaviour.
+	if pi := j.mgr.LastPersist(); pi.SSID == ssid {
+		event["persistMode"] = pi.Mode
+		event["persistBytes"] = pi.Bytes
+		event["persistEntries"] = pi.Entries
+		event["chainLen"] = pi.MaxChainLen
+		j.ckptIns.deltaSegs.Add(int64(pi.DeltaSegs))
+		j.ckptIns.fullSegs.Add(int64(pi.FullSegs))
+		j.ckptIns.compactions.Add(int64(pi.Compactions))
+		j.ckptIns.chainLen.Set(int64(pi.MaxChainLen))
+	}
+	j.ckptIns.log.Append(event)
 	child("phase1", start, phase1, j.cfg.Name, -1, false)
-	child("phase2", start.Add(phase1), total-phase1, j.cfg.Name, -1, false)
+	if drainDur > 0 {
+		child("drain_wait", start.Add(phase1), drainDur, j.cfg.Name, -1, false)
+	}
+	child("phase2", start.Add(phase1+drainDur), total-phase1-drainDur, j.cfg.Name, -1, false)
 	root.End()
 	return ckptCommitted
+}
+
+// purgeDrains discards drain acknowledgements queued by rounds that no
+// longer matter (aborted checkpoints whose drains completed late), so
+// the channel never fills between checkpoints.
+func (j *Job) purgeDrains() {
+	for {
+		select {
+		case <-j.drainCh:
+		default:
+			return
+		}
+	}
 }
 
 func (j *Job) drainRetired(st *coordState) {

@@ -34,8 +34,21 @@ type Config struct {
 	ChannelCapacity int
 	// PersistDir, when set, writes every committed snapshot to stable
 	// storage in that directory (see internal/persist) before it is
-	// published. Opt-in durability: commits become O(total state).
+	// published. Opt-in durability; commits are O(delta) — each writes
+	// only the versions minted since the last durable snapshot, with
+	// periodic compaction into full segments per Persist policy.
 	PersistDir string
+	// Persist tunes the full-vs-delta decision of persisted commits
+	// (zero value selects the defaults; see core.PersistPolicy). Only
+	// meaningful with PersistDir set.
+	Persist core.PersistPolicy
+	// SyncPhase1 restores the synchronous checkpoint prepare: every
+	// stateful instance serializes and ships its snapshot delta inside
+	// the barrier stall, instead of pinning its version set and draining
+	// it in the background while processing resumes. It exists as the A/B
+	// baseline for `squery-bench -exp ckpt-scale`; production paths leave
+	// it off (asynchronous drains, commit gated on drain completion).
+	SyncPhase1 bool
 	// CheckpointTimeout bounds phase 1 of every checkpoint: if the acks of
 	// all live instances have not arrived within it, the checkpoint is
 	// aborted and retried with exponential backoff instead of hanging
@@ -88,6 +101,10 @@ type ack struct {
 	instance int
 	ssid     int64
 	offset   int64 // source replay offset; -1 for non-sources
+	// drains marks that the instance pinned its state instead of writing
+	// it: a drain acknowledgement will follow, and commit must wait for
+	// it.
+	drains bool
 }
 
 // Job is a running dataflow job.
@@ -100,6 +117,12 @@ type Job struct {
 	part        partition.Partitioner
 	acksNeeded  int
 	statefulOps []string
+	// statefulIDs holds offsetKey(vertex, instance) for every stateful
+	// instance. The coordinator consults it when an instance retires
+	// mid-checkpoint: a stateful instance that finishes without acking the
+	// in-flight barrier takes its un-snapshotted tail state with it, so
+	// the round must not commit (see checkpointOnce).
+	statefulIDs map[string]bool
 
 	phase1Hist *metrics.Histogram // barrier injection -> all prepared
 	totalHist  *metrics.Histogram // barrier injection -> committed
@@ -135,10 +158,12 @@ type Job struct {
 	killCh      chan struct{}
 	ackCh       chan ack
 	retiredCh   chan retireMsg
+	drainCh     chan drainMsg
 	manualCoord *coordState
 	workers     []*worker
 	sources     []*sourceWorker
 	wg          sync.WaitGroup
+	drainWg     sync.WaitGroup
 	coordWg     sync.WaitGroup
 	coordTkr    *time.Ticker
 	stopTick    chan struct{}
@@ -155,6 +180,16 @@ type ckptInstruments struct {
 	phase2  *metrics.Histogram
 	total   *metrics.Histogram
 	log     *metrics.EventLog
+
+	// Asynchronous-drain and incremental-persistence telemetry: how long
+	// pinned deltas take to land (pin -> drained), drains cancelled by
+	// aborted rounds, and the cumulative segment mix the persister wrote.
+	drainLag        *metrics.Histogram
+	drainsAbandoned *metrics.Counter
+	deltaSegs       *metrics.Counter
+	fullSegs        *metrics.Counter
+	compactions     *metrics.Counter
+	chainLen        *metrics.Gauge
 }
 
 // opInstruments is one operator instance's registry-backed instrument set,
@@ -214,6 +249,13 @@ func Run(dag *DAG, cfg Config) (*Job, error) {
 			phase2:  reg.Histogram("checkpoint", cfg.Name, "phase2"),
 			total:   reg.Histogram("checkpoint", cfg.Name, "total"),
 			log:     reg.Log("checkpoints", 256),
+
+			drainLag:        reg.Histogram("checkpoint", cfg.Name, "drain_lag"),
+			drainsAbandoned: reg.Counter("checkpoint", cfg.Name, "drains_abandoned"),
+			deltaSegs:       reg.Counter("checkpoint", cfg.Name, "delta_segments"),
+			fullSegs:        reg.Counter("checkpoint", cfg.Name, "full_segments"),
+			compactions:     reg.Counter("checkpoint", cfg.Name, "compactions"),
+			chainLen:        reg.Gauge("checkpoint", cfg.Name, "chain_len"),
 		}
 	}
 	if cfg.PersistDir != "" {
@@ -222,10 +264,15 @@ func Run(dag *DAG, cfg Config) (*Job, error) {
 			return nil, err
 		}
 		j.mgr.SetPersister(p)
+		j.mgr.SetPersistPolicy(cfg.Persist)
 	}
+	j.statefulIDs = map[string]bool{}
 	for _, v := range dag.Vertices() {
 		j.acksNeeded += v.Parallelism
 		if v.Stateful {
+			for i := 0; i < v.Parallelism; i++ {
+				j.statefulIDs[offsetKey(v.Name, i)] = true
+			}
 			if err := j.mgr.RegisterOperator(core.OperatorMeta{
 				Name:        v.Name,
 				Parallelism: v.Parallelism,
@@ -338,6 +385,10 @@ func (j *Job) start(restoreSSID int64, standby bool) {
 	j.killCh = make(chan struct{})
 	j.ackCh = make(chan ack, j.acksNeeded)
 	j.retiredCh = make(chan retireMsg, j.acksNeeded)
+	// Sized so every drainer can deposit a few acknowledgements without
+	// blocking even when no coordinator is waiting (stale ones are purged
+	// at the next checkpoint).
+	j.drainCh = make(chan drainMsg, 4*j.acksNeeded+4)
 	j.manualCoord = nil
 	j.workers = nil
 	j.sources = nil
@@ -391,6 +442,10 @@ func (j *Job) start(restoreSSID int64, standby bool) {
 				// so a migration or failover reseating a partition rejects
 				// the instance's stale writes instead of splitting ownership.
 				backend = core.NewBackend(v.Name, i, j.clu.FencedNodeView(node), j.stateConfigFor(v))
+				// Report chain writes into the manager's changed-key index:
+				// this is what lets persisted commits and chain pruning walk
+				// only the checkpoint's delta instead of the whole map.
+				backend.SetChangeNotifier(j.mgr.NoteChanged)
 				if reg := j.cfg.Metrics; reg != nil {
 					id := fmt.Sprintf("%s/%d", v.Name, i)
 					backend.SetInstruments(
@@ -451,6 +506,21 @@ func (j *Job) start(restoreSSID int64, standby bool) {
 				eos:       make(map[producerID]bool),
 				ins:       j.opInstrumentsFor(v.Name, i, node),
 			}
+			if backend != nil && !j.cfg.SyncPhase1 {
+				// Asynchronous phase 1: the worker pins at the barrier and
+				// this drainer ships the pinned delta in the background.
+				// Drainers live until the run's kill channel closes (not in
+				// j.wg: a finite job's Wait must not hang on them).
+				w.drain = &drainer{
+					job: j, backend: backend,
+					vertex: v.Name, instance: i, node: node,
+					queue:   make(chan *core.SnapshotPin, 4),
+					killCh:  j.killCh,
+					drainCh: j.drainCh,
+				}
+				j.drainWg.Add(1)
+				go w.drain.run()
+			}
 			w.proc = v.NewProcessor(ProcContext{
 				Vertex:      v.Name,
 				Instance:    i,
@@ -496,6 +566,12 @@ func (j *Job) Stop() {
 	j.stopCoordinatorLocked()
 	j.mu.Unlock()
 	j.wg.Wait()
+	j.drainWg.Wait()
+	// A checkpoint the coordinator is mid-way through keeps writing to the
+	// registry (and the persist directory) until it observes the kill; Stop
+	// must not return while that is still in flight — callers are entitled
+	// to tear down the persist directory the moment Stop returns.
+	j.waitCoordinator()
 }
 
 // stopMembershipWatch deregisters the cluster listener and waits out the

@@ -239,11 +239,16 @@ func TestExactlyOnceRecovery(t *testing.T) {
 		if seq >= perInstance {
 			return Record{}, false
 		}
-		if seq == perInstance/2 {
+		// From the midpoint on, pace the stream until the test releases
+		// it: the checkpoint and the injected failure must both land on a
+		// live, mid-stream pipeline instead of racing the stream running
+		// to completion (a checkpoint against a fully-retired pipeline is
+		// refused by the coordinator, which would fail the test early).
+		if seq >= perInstance/2 {
 			select {
 			case <-release:
 			default:
-				time.Sleep(time.Millisecond)
+				time.Sleep(500 * time.Microsecond)
 			}
 		}
 		return Record{Key: int(seq % 20), Value: seq}, true

@@ -29,10 +29,12 @@ func (j *Job) InjectFailure() (int64, error) {
 	j.stopCoordinatorLocked()
 	j.mu.Unlock()
 
-	// Wait for the crash to complete: all workers and the coordinator
-	// gone. An in-flight checkpoint is aborted by the coordinator when
+	// Wait for the crash to complete: all workers, drainers and the
+	// coordinator gone — a drainer mid-write must not race the restore
+	// below. An in-flight checkpoint is aborted by the coordinator when
 	// it observes the closed kill channel.
 	j.wg.Wait()
+	j.drainWg.Wait()
 	j.waitCoordinator()
 	if in := j.mgr.Registry().InProgress(); in != 0 {
 		j.mgr.Abort(in)

@@ -137,7 +137,14 @@ func TestCheckpointTraceStructure(t *testing.T) {
 		children[d.Name]++
 	}
 	// counter has 2 instances, sink 1; only counter instances have state.
-	want := map[string]int{"barrier_inject": 1, "align": 3, "prepare": 2, "phase1": 1, "phase2": 1}
+	// With asynchronous phase 1 (the default), each stateful instance pins
+	// its delta at the barrier ("pin"), its drainer ships it off the
+	// barrier path ("drain"), and the coordinator's drain gate shows up as
+	// one "drain_wait" child before phase 2.
+	want := map[string]int{
+		"barrier_inject": 1, "align": 3, "pin": 2, "drain": 2,
+		"drain_wait": 1, "phase1": 1, "phase2": 1,
+	}
 	for name, n := range want {
 		if children[name] != n {
 			t.Fatalf("checkpoint children = %v, want %v", children, want)

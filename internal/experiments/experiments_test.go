@@ -88,10 +88,62 @@ func TestFig14ShapeAndWinner(t *testing.T) {
 			t.Errorf("%s throughput not decreasing with selection size", sys)
 		}
 	}
-	// S-QUERY leads at single-key selection.
+	// S-QUERY leads at single-key selection. Race instrumentation skews
+	// the two systems' memory-access costs differently, so the winner is
+	// not meaningful under -race — the shape checks above still are.
+	if raceEnabled {
+		t.Log("race detector enabled: skipping winner assertion, shape-only")
+		return
+	}
 	if get("S-Query", 1) <= get("TSpoon", 1) {
 		t.Errorf("S-Query (%0.f q/s) did not beat TSpoon (%0.f q/s) at 1 key",
 			get("S-Query", 1), get("TSpoon", 1))
+	}
+}
+
+func TestCkptScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness, -short")
+	}
+	rows := CkptScale(ultraQuick)
+	// 2 modes × 3 sizes.
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	byMode := map[string][]CkptScaleRow{}
+	for _, r := range rows {
+		if r.Ckpts < 1 || r.BytesPer <= 0 {
+			t.Errorf("%s/%d measured nothing: %+v", r.Mode, r.Keys, r)
+		}
+		byMode[r.Mode] = append(byMode[r.Mode], r)
+	}
+	// The delta-async runs must actually exercise the delta path, and the
+	// full-sync baseline must not.
+	for _, r := range byMode["delta-async"] {
+		if r.DeltaSegs == 0 {
+			t.Errorf("delta-async/%d wrote no delta segments", r.Keys)
+		}
+	}
+	for _, r := range byMode["full-sync"] {
+		if r.DeltaSegs != 0 {
+			t.Errorf("full-sync/%d wrote %d delta segments, want 0", r.Keys, r.DeltaSegs)
+		}
+	}
+	// The headline claim: at 10x state, delta-async bytes/ckpt track the
+	// fixed hot set, so they must not grow with total keys the way the
+	// full baseline's do. Allow generous slack — this is a shape check,
+	// not a benchmark.
+	da := byMode["delta-async"]
+	fs := byMode["full-sync"]
+	if len(da) == 3 && len(fs) == 3 {
+		if da[2].BytesPer > fs[2].BytesPer/2 {
+			t.Errorf("delta-async bytes/ckpt at 10x = %d, not well under full-sync's %d",
+				da[2].BytesPer, fs[2].BytesPer)
+		}
+	}
+	tbl := CkptScaleTable("ckpt-scale", rows)
+	if !strings.Contains(tbl, "delta-async") || !strings.Contains(tbl, "full-sync") {
+		t.Errorf("table missing modes:\n%s", tbl)
 	}
 }
 

@@ -231,7 +231,18 @@ func runDeltaWorkload(o Options, keys int, delta float64, state core.Config) qco
 	}
 	job.SnapshotPhase1().Reset()
 	job.SnapshotTotal().Reset()
+	c0 := job.Manager().Registry().LatestCommitted()
 	time.Sleep(o.deltaMeasure())
+	// Hold the window open until whole checkpoints landed in it: under
+	// heavy instrumentation (the race detector) a commit can outlast the
+	// nominal measure time, which would leave the histograms empty.
+	deadline = time.Now().Add(60 * time.Second)
+	for job.Manager().Registry().LatestCommitted() < c0+2 {
+		if time.Now().After(deadline) {
+			panic("experiments: delta workload measured no checkpoints")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 	return qcommerceRun{
 		Phase1:   job.SnapshotPhase1().Snapshot(),
 		Total2PC: job.SnapshotTotal().Snapshot(),

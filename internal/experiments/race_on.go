@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the binary was built with the race
+// detector. Instrumentation multiplies memory-access costs unevenly
+// across code paths, so throughput *comparisons* between systems are
+// not meaningful under race — tests keyed to a winner downgrade to
+// shape-only checks.
+const raceEnabled = true

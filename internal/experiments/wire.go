@@ -18,10 +18,10 @@ import (
 type WireRow struct {
 	Label string
 	// Checkpoint cost, averaged over the measured rounds.
-	MsgsPerCkpt  float64
-	OpsPerCkpt   float64
-	KBPerCkpt    float64
-	CkptMs       float64
+	MsgsPerCkpt float64
+	OpsPerCkpt  float64
+	KBPerCkpt   float64
+	CkptMs      float64
 	// Data-plane cost: live-state mirroring messages per 1000 updates and
 	// the mean wall cost of one Update (including its share of mirroring).
 	MirrorMsgsPer1K float64

@@ -1,0 +1,47 @@
+package persist
+
+import "testing"
+
+func deltaBenchEntries() []DeltaEntry {
+	entries := make([]DeltaEntry, 0, 64)
+	for i := 0; i < 64; i++ {
+		if i%8 == 7 {
+			entries = append(entries, DeltaEntry{Key: i, Tombstone: true})
+			continue
+		}
+		entries = append(entries, DeltaEntry{Key: i, Value: int64(i * 100)})
+	}
+	return entries
+}
+
+// TestDeltaEncodeAllocs is the alloc-regression gate for the delta
+// encode path (satellite: bench-smoke alloc gate): with a pre-sized
+// buffer, AppendDeltaSegment must not allocate — every checkpoint commit
+// runs it once per operator, concurrently with live traffic.
+func TestDeltaEncodeAllocs(t *testing.T) {
+	entries := deltaBenchEntries()
+	buf := make([]byte, 0, 4096)
+	var err error
+	allocs := testing.AllocsPerRun(100, func() {
+		buf, err = AppendDeltaSegment(buf[:0], 7, entries)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("delta encode allocated %v times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkAppendDeltaSegment measures the delta encode path: 64 entries
+// (upserts + tombstones) into a reused buffer. Pairs with the alloc gate
+// above in bench-smoke.
+func BenchmarkAppendDeltaSegment(b *testing.B) {
+	entries := deltaBenchEntries()
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _ = AppendDeltaSegment(buf[:0], 7, entries)
+	}
+}

@@ -1,0 +1,123 @@
+package persist
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzDeltaChain drives a store through a fuzzer-chosen sequence of
+// upserts, deletes, delta checkpoints, compactions and prunes, keeping a
+// plain map as the oracle of what each committed snapshot should hold.
+// The property: ReadState at any committed id equals a full snapshot of
+// the oracle taken at that commit — base + delta-chain replay is
+// byte-equivalent to the state it encodes, whatever the chain shape.
+func FuzzDeltaChain(f *testing.F) {
+	f.Add([]byte{10, 20, 240, 30, 210, 240, 250})
+	f.Add([]byte{0, 1, 2, 3, 230, 4, 5, 230, 6, 230, 255})
+	f.Add([]byte{200, 230, 200, 230, 200, 230})
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			t.Skip("bounded workload")
+		}
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const op = "state"
+		oracle := map[string]int{}   // live state right now
+		pending := map[string]bool{} // keys touched since the last commit
+		commits := map[int64]map[string]int{}
+		var committed []int64
+		var ssid, lastDurable int64
+		chainLen := 0
+
+		checkpoint := func(forceFull bool) {
+			ssid++
+			full := forceFull || lastDurable == 0 || chainLen >= 4
+			if full {
+				entries := make([]Entry, 0, len(oracle))
+				for k, v := range oracle {
+					entries = append(entries, Entry{Key: k, Value: v})
+				}
+				if err := s.WriteSegment(ssid, op, entries); err != nil {
+					t.Fatal(err)
+				}
+				chainLen = 0
+			} else {
+				deltas := make([]DeltaEntry, 0, len(pending))
+				for k := range pending {
+					if v, ok := oracle[k]; ok {
+						deltas = append(deltas, DeltaEntry{Key: k, Value: v})
+					} else {
+						deltas = append(deltas, DeltaEntry{Key: k, Tombstone: true})
+					}
+				}
+				if err := s.WriteDeltaSegment(ssid, op, lastDurable, deltas); err != nil {
+					t.Fatal(err)
+				}
+				chainLen++
+			}
+			if err := s.Commit(ssid); err != nil {
+				t.Fatal(err)
+			}
+			snap := make(map[string]int, len(oracle))
+			for k, v := range oracle {
+				snap[k] = v
+			}
+			commits[ssid] = snap
+			committed = append(committed, ssid)
+			lastDurable = ssid
+			pending = map[string]bool{}
+		}
+
+		for i, b := range ops {
+			key := fmt.Sprintf("k%d", b%32)
+			switch {
+			case b < 190: // upsert
+				oracle[key] = i
+				pending[key] = true
+			case b < 225: // delete
+				delete(oracle, key)
+				pending[key] = true
+			case b < 250: // delta checkpoint (full when policy forces it)
+				checkpoint(false)
+			default: // compaction point: forced full checkpoint
+				checkpoint(true)
+			}
+			// Retention 2, like the engine default: evict beyond the last
+			// two commits and make sure chains survive the GC.
+			if len(committed) > 2 {
+				evict := committed[:len(committed)-2]
+				committed = committed[len(committed)-2:]
+				if err := s.Prune(evict); err != nil {
+					t.Fatal(err)
+				}
+				for _, id := range evict {
+					delete(commits, id)
+				}
+			}
+		}
+
+		for _, id := range committed {
+			want := commits[id]
+			got, err := s.ReadState(id, op)
+			if err != nil {
+				t.Fatalf("ReadState(%d): %v", id, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("ss-%d: %d keys, want %d", id, len(got), len(want))
+			}
+			for _, e := range got {
+				k := e.Key.(string)
+				v, ok := want[k]
+				if !ok {
+					t.Fatalf("ss-%d: unexpected key %q", id, k)
+				}
+				if e.Value != v {
+					t.Fatalf("ss-%d: key %q = %v, want %d", id, k, e.Value, v)
+				}
+			}
+		}
+	})
+}

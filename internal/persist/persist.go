@@ -8,7 +8,9 @@
 //
 //	<dir>/
 //	  MANIFEST              committed snapshot ids (atomic rename)
-//	  ss-<ssid>/<op>.seg    one segment per operator per snapshot
+//	  ss-<ssid>/<op>.seg    full segment: the operator's complete state
+//	  ss-<ssid>/<op>.dseg   delta segment: changes since a base snapshot
+//	                        (see delta.go; ReadState replays the chain)
 //
 // Segments use the compact binary codec from internal/wire. Stores
 // written before the codec swap hold <op>.gob segments instead;
@@ -32,6 +34,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"squery/internal/wire"
 )
@@ -49,6 +52,12 @@ type Entry struct {
 // Store is a directory-backed snapshot store.
 type Store struct {
 	dir string
+
+	// Cumulative write accounting (see Stats). Atomic: asynchronous
+	// checkpoint drains may write segments while the coordinator reads.
+	fullSegs     atomic.Int64
+	deltaSegs    atomic.Int64
+	bytesWritten atomic.Int64
 }
 
 // Open creates (if needed) and opens a snapshot store rooted at dir.
@@ -72,10 +81,6 @@ func (s *Store) manifestPath() string { return filepath.Join(s.dir, "MANIFEST") 
 // of the same ssid may be written by concurrent callers for different
 // operators; the snapshot becomes durable only at Commit.
 func (s *Store) WriteSegment(ssid int64, op string, entries []Entry) error {
-	dir := s.snapshotDir(ssid)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("persist: creating %s: %w", dir, err)
-	}
 	buf := make([]byte, 0, 64+24*len(entries))
 	buf = append(buf, segMagic...)
 	buf = wire.AppendUvarint(buf, uint64(len(entries)))
@@ -88,7 +93,24 @@ func (s *Store) WriteSegment(ssid int64, op string, entries []Entry) error {
 			return fmt.Errorf("persist: encoding segment %s/ss-%d: %w", op, ssid, err)
 		}
 	}
-	tmp := filepath.Join(dir, op+".seg.tmp")
+	if err := s.publish(ssid, op+".seg", buf); err != nil {
+		return err
+	}
+	s.fullSegs.Add(1)
+	s.bytesWritten.Add(int64(len(buf)))
+	return nil
+}
+
+// publish writes one segment file under its snapshot directory with the
+// crash discipline every segment kind shares: the bytes land under a
+// temporary name, are fsynced, and only then renamed into place — a
+// crash mid-write leaves a .tmp that no read path ever looks at.
+func (s *Store) publish(ssid int64, file string, buf []byte) error {
+	dir := s.snapshotDir(ssid)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("persist: creating %s: %w", dir, err)
+	}
+	tmp := filepath.Join(dir, file+".tmp")
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("persist: creating segment: %w", err)
@@ -96,7 +118,7 @@ func (s *Store) WriteSegment(ssid int64, op string, entries []Entry) error {
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("persist: writing segment %s/ss-%d: %w", op, ssid, err)
+		return fmt.Errorf("persist: writing segment %s/ss-%d: %w", file, ssid, err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
@@ -106,8 +128,7 @@ func (s *Store) WriteSegment(ssid int64, op string, entries []Entry) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("persist: closing segment: %w", err)
 	}
-	final := filepath.Join(dir, op+".seg")
-	if err := os.Rename(tmp, final); err != nil {
+	if err := os.Rename(tmp, filepath.Join(dir, file)); err != nil {
 		return fmt.Errorf("persist: publishing segment: %w", err)
 	}
 	return nil
@@ -163,7 +184,7 @@ func (s *Store) readGobSegment(ssid int64, op string) ([]Entry, error) {
 }
 
 // Operators lists the operators with a segment in snapshot ssid —
-// wire-encoded or legacy gob.
+// wire-encoded full, delta, or legacy gob.
 func (s *Store) Operators(ssid int64) ([]string, error) {
 	des, err := os.ReadDir(s.snapshotDir(ssid))
 	if err != nil {
@@ -173,6 +194,9 @@ func (s *Store) Operators(ssid int64) ([]string, error) {
 	var out []string
 	for _, de := range des {
 		name, ok := strings.CutSuffix(de.Name(), ".seg")
+		if !ok {
+			name, ok = strings.CutSuffix(de.Name(), ".dseg")
+		}
 		if !ok {
 			name, ok = strings.CutSuffix(de.Name(), ".gob")
 		}
@@ -247,8 +271,11 @@ func (s *Store) Latest() (int64, error) {
 	return ids[len(ids)-1], nil
 }
 
-// Prune removes the given snapshot ids from the manifest and deletes
-// their segments. Pruning an id that is not committed is a no-op.
+// Prune removes the given snapshot ids from the manifest and garbage-
+// collects snapshot directories no longer reachable: a directory
+// survives while it is committed *or* while any committed id's delta
+// chain passes through it (an evicted id can still be some chain's
+// base). Pruning an id that is not committed is a no-op.
 func (s *Store) Prune(ssids []int64) error {
 	if len(ssids) == 0 {
 		return nil
@@ -270,12 +297,60 @@ func (s *Store) Prune(ssids []int64) error {
 	if err := s.writeManifest(kept); err != nil {
 		return err
 	}
-	// Segment removal happens after the manifest no longer references
+	// Directory removal happens after the manifest no longer references
 	// the ids, so a crash between the two steps only leaks files.
-	for id := range drop {
+	reachable, err := s.reachable(kept)
+	if err != nil {
+		return err
+	}
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("persist: listing store: %w", err)
+	}
+	for _, de := range des {
+		rest, ok := strings.CutPrefix(de.Name(), "ss-")
+		if !ok {
+			continue
+		}
+		id, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil || reachable[id] {
+			continue
+		}
 		if err := os.RemoveAll(s.snapshotDir(id)); err != nil {
 			return fmt.Errorf("persist: removing snapshot %d: %w", id, err)
 		}
 	}
 	return nil
+}
+
+// reachable returns every snapshot id referenced by the given committed
+// ids: the ids themselves plus all bases their delta chains walk
+// through.
+func (s *Store) reachable(committed []int64) (map[int64]bool, error) {
+	keep := make(map[int64]bool, len(committed))
+	for _, id := range committed {
+		keep[id] = true
+		ops, err := s.Operators(id)
+		if err != nil {
+			return nil, err
+		}
+		for _, op := range ops {
+			cur := id
+			for hops := 0; ; hops++ {
+				base, isDelta, err := s.readDeltaBase(cur, op)
+				if err != nil {
+					return nil, err
+				}
+				if !isDelta {
+					break
+				}
+				if hops > maxChainHops {
+					return nil, fmt.Errorf("persist: delta chain of %s at ss-%d exceeds %d hops", op, id, maxChainHops)
+				}
+				keep[base] = true
+				cur = base
+			}
+		}
+	}
+	return keep, nil
 }

@@ -64,6 +64,9 @@ type (
 	SourceStatus = dataflow.SourceStatus
 	// StateConfig selects the state representations S-QUERY maintains.
 	StateConfig = core.Config
+	// PersistPolicy tunes the full-vs-delta decision of persisted
+	// checkpoint commits (see core.PersistPolicy).
+	PersistPolicy = core.PersistPolicy
 	// StateBackend is the keyed state store of one operator instance.
 	StateBackend = core.Backend
 	// Result is a materialized SQL result set.
@@ -324,8 +327,17 @@ type JobSpec struct {
 	ChannelCapacity int
 	// PersistDir, when set, writes every committed snapshot durably to
 	// that directory; Engine.OpenArchive can later query it without the
-	// job (stable-storage checkpoints, §IV).
+	// job (stable-storage checkpoints, §IV). Commits are incremental:
+	// each writes a delta segment holding only the changes since the
+	// last durable snapshot, compacting per Persist policy.
 	PersistDir string
+	// Persist tunes the full-vs-delta decision of persisted commits
+	// (zero value selects the defaults). Only meaningful with PersistDir.
+	Persist PersistPolicy
+	// SyncPhase1 restores the synchronous checkpoint prepare (state
+	// serialized inside the barrier stall) instead of the asynchronous
+	// pin-and-drain default. The A/B baseline for -exp ckpt-scale.
+	SyncPhase1 bool
 	// CheckpointTimeout bounds phase 1 of every checkpoint; a checkpoint
 	// whose acks do not arrive in time aborts and retries with backoff
 	// instead of hanging. 0 disables the deadline.
@@ -353,6 +365,8 @@ func (e *Engine) SubmitJob(dag *DAG, spec JobSpec) (*Job, error) {
 		Retention:         spec.Retention,
 		ChannelCapacity:   spec.ChannelCapacity,
 		PersistDir:        spec.PersistDir,
+		Persist:           spec.Persist,
+		SyncPhase1:        spec.SyncPhase1,
 		CheckpointTimeout: spec.CheckpointTimeout,
 		CheckpointRetries: spec.CheckpointRetries,
 		CheckpointBackoff: spec.CheckpointBackoff,

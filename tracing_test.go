@@ -73,8 +73,9 @@ func TestSysSpansQueryable(t *testing.T) {
 	}
 
 	// Checkpoint 2PC: the committed checkpoint's trace has per-worker
-	// alignment children and both phase children, addressable by ssid.
-	for _, name := range []string{"checkpoint", "barrier_inject", "align", "prepare", "phase1", "phase2"} {
+	// alignment children, the async pin/drain pair of phase 1, and both
+	// phase children, addressable by ssid.
+	for _, name := range []string{"checkpoint", "barrier_inject", "align", "pin", "drain", "drain_wait", "phase1", "phase2"} {
 		q := fmt.Sprintf(`SELECT COUNT(*) FROM sys.spans WHERE kind = 'checkpoint' AND name = '%s' AND ssid >= 1`, name)
 		if n := count(t, eng, q); n < 1 {
 			t.Fatalf("no %q span for the committed checkpoint", name)
