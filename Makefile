@@ -1,7 +1,7 @@
 GO ?= go
 GOFILES := $(shell git ls-files '*.go')
 
-.PHONY: test vet lint race soak-chaos soak-rebalance fuzz-short obs-smoke bench-smoke ckpt-smoke verify
+.PHONY: test vet lint race soak-chaos soak-rebalance fuzz-short obs-smoke bench-smoke ckpt-smoke index-smoke verify
 
 # Tier-1: what CI gates on.
 test:
@@ -69,17 +69,27 @@ ckpt-smoke:
 	$(GO) test . -run 'TestIncrementalRecoveryParity' -race -count=1 -v
 	$(GO) test ./internal/experiments -run 'TestCkptScaleShape' -count=1 -v
 
-# Perf smoke over the serialization and join hot paths. The allocation
-# guards are hard gates (zero-alloc scalar encode in the wire codec,
-# single-alloc blob snapshot keys); the short benchmark pass prints
-# codec, joinKey and batched-put numbers so regressions show up in CI
-# logs next to the gate.
+# Perf smoke over the serialization, join and index hot paths. The
+# allocation guards are hard gates (zero-alloc scalar encode in the wire
+# codec, single-alloc blob snapshot keys, bounded-alloc indexed puts); the
+# short benchmark pass prints codec, joinKey, batched-put and indexed-put
+# numbers so regressions show up in CI logs next to the gate.
 bench-smoke:
 	$(GO) test ./internal/wire ./internal/core -run 'TestZeroAllocScalarEncode|TestBlobKeyAllocs' -count=1 -v
 	$(GO) test ./internal/persist -run 'TestDeltaEncodeAllocs' -count=1 -v
+	$(GO) test ./internal/kv -run 'TestIndexedPutAllocs' -count=1 -v
 	$(GO) test ./internal/wire -run '^$$' -bench 'BenchmarkAppendValue|BenchmarkDecodeValue|BenchmarkGobValue' -benchtime 1000x
 	$(GO) test ./internal/persist -run '^$$' -bench 'BenchmarkAppendDeltaSegment' -benchtime 1000x
 	$(GO) test ./internal/sql -run '^$$' -bench 'BenchmarkJoinKey' -benchtime 1000x
-	$(GO) test ./internal/kv -run '^$$' -bench 'BenchmarkPut' -benchtime 1000x
+	$(GO) test ./internal/kv -run '^$$' -bench 'BenchmarkPut|BenchmarkIndexedPut|BenchmarkUnindexedRowPut' -benchtime 1000x
 
-verify: lint race soak-chaos soak-rebalance bench-smoke ckpt-smoke
+# Index smoke: the access-path parity suite (index results ≡ full-scan
+# results for every plannable shape), index survival across an online
+# rebalance, and the quick mode of the `squery-bench -exp index` harness
+# (rows_scanned must drop to the probe's selectivity).
+index-smoke:
+	$(GO) test ./internal/sql -run 'TestIndexParity|TestIndexScanStatsAndAnalyze|TestIndexRangeBoundsMerge' -count=1 -v
+	$(GO) test . -run 'TestIndexSurvivesRebalance|TestSysIndexesTable' -race -count=1 -v
+	$(GO) test ./internal/experiments -run 'TestIndexExpShape' -count=1 -v
+
+verify: lint race soak-chaos soak-rebalance bench-smoke ckpt-smoke index-smoke

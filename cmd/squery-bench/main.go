@@ -9,7 +9,7 @@
 //	squery-bench -exp fig10 -quick
 //
 // Experiments: fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 queries
-// pushdown obs all.
+// pushdown obs wire ckpt-scale index all.
 //
 // -metrics additionally runs a short fully-instrumented Q-commerce job on
 // the engine and prints its plain-text metrics dump — every counter,
@@ -64,8 +64,9 @@ func main() {
 		"obs":        runObs,
 		"wire":       runWire,
 		"ckpt-scale": runCkptScale,
+		"index":      runIndex,
 	}
-	order := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "queries", "pushdown", "obs", "wire", "ckpt-scale"}
+	order := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "queries", "pushdown", "obs", "wire", "ckpt-scale", "index"}
 
 	switch *exp {
 	case "all":
@@ -233,6 +234,12 @@ func runWire(o experiments.Options) {
 	fmt.Println(experiments.WireTable(
 		"Wire — batched transport + binary codec vs legacy per-record/per-key messages (3 nodes, replicated)",
 		experiments.Wire(o)))
+}
+
+func runIndex(o experiments.Options) {
+	fmt.Println(experiments.IndexTable(
+		"Secondary indexes — selective reads via index vs full-scan access path, and inline-maintenance write cost (128 partitions, 3 nodes)",
+		experiments.Index(o)))
 }
 
 func runCkptScale(o experiments.Options) {

@@ -636,6 +636,14 @@ func (c *Cluster) executeMove(reb *Rebalance, mv plannedMove) (aborted bool) {
 		}
 	}
 	epoch := c.assign.Apply([]partition.Change{change})
+	if !mv.backupOnly {
+		// The partition seats on a new owner at a new epoch: re-derive its
+		// secondary indexes there so no stale posting survives the flip
+		// (and any write fenced out during the freeze can never have
+		// dirtied the rebuilt index — it retries against the new epoch and
+		// is maintained normally).
+		c.store.RebuildPartitionIndexes(mv.p)
+	}
 
 	d := time.Since(start)
 	c.recordMove(reb, Move{

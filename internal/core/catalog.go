@@ -256,6 +256,13 @@ type ScanSpec struct {
 	// columns (pseudo-columns stay available via TableRow itself). The
 	// filter always sees the full row. nil ships all columns.
 	Cols []string
+	// Path, when non-nil, asks the scan to find its candidate rows
+	// through a secondary index instead of iterating the partition. It is
+	// an optimisation only — the Filter remains the truth, and a scan
+	// silently falls back to full iteration when no ready index serves
+	// the path (e.g. after DisableIndexes compiled it away, or on the
+	// backup fallback read, which is never indexed).
+	Path *AccessPath
 	// Done, when non-nil, cancels the scan once closed.
 	Done <-chan struct{}
 }
@@ -290,7 +297,8 @@ func (t *TableRef) ScanPartitionSpec(p int, spec ScanSpec, fn func(TableRow) boo
 		return
 	}
 	if t.snapshot {
-		t.store.GetMap(SnapshotMapName(t.op)).ScanPartitionWith(p, kv.ScanOpts{Done: spec.Done}, func(e kv.Entry) bool {
+		m := t.store.GetMap(SnapshotMapName(t.op))
+		decode := func(e kv.Entry) bool {
 			v, ok := e.Value.(*Chain).At(spec.SSID)
 			if !ok {
 				return true
@@ -300,26 +308,36 @@ func (t *TableRef) ScanPartitionSpec(p int, spec ScanSpec, fn func(TableRow) boo
 				return true
 			}
 			return fn(projectRow(r, spec.Cols))
-		})
+		}
+		// Index-served snapshot scan: the chain-union index yields every
+		// key whose *any* version could match — a superset for any SSID —
+		// and decode re-resolves At(SSID) exactly like the full scan.
+		if lk, ok := spec.Path.lookup(); ok {
+			if m.ScanPartitionIndexed(p, lk, kv.ScanOpts{Done: spec.Done}, decode) {
+				return
+			}
+		}
+		m.ScanPartitionWith(p, kv.ScanOpts{Done: spec.Done}, decode)
 		return
 	}
 	m := t.store.GetMap(LiveMapName(t.op))
-	if spec.Filter == nil {
-		m.ScanPartitionWith(p, kv.ScanOpts{Done: spec.Done}, func(e kv.Entry) bool {
-			return fn(projectRow(TableRow{Key: e.Key, Value: kv.AsRow(e.Value), Raw: e.Value}, spec.Cols))
-		})
-		return
-	}
-	// Live path with a predicate: adapt the filter to kv entries so that
-	// rejected rows never leave the kv layer's iteration.
-	m.ScanPartitionWith(p, kv.ScanOpts{
-		Done: spec.Done,
-		Filter: func(e kv.Entry) bool {
+	opts := kv.ScanOpts{Done: spec.Done}
+	if spec.Filter != nil {
+		// Adapt the filter to kv entries so that rejected rows never
+		// leave the kv layer's iteration.
+		opts.Filter = func(e kv.Entry) bool {
 			return spec.Filter(TableRow{Key: e.Key, Value: kv.AsRow(e.Value), Raw: e.Value})
-		},
-	}, func(e kv.Entry) bool {
+		}
+	}
+	emit := func(e kv.Entry) bool {
 		return fn(projectRow(TableRow{Key: e.Key, Value: kv.AsRow(e.Value), Raw: e.Value}, spec.Cols))
-	})
+	}
+	if lk, ok := spec.Path.lookup(); ok {
+		if m.ScanPartitionIndexed(p, lk, opts, emit) {
+			return
+		}
+	}
+	m.ScanPartitionWith(p, opts, emit)
 }
 
 // projectedRow is a Row narrowed to the columns a query ships. Lookups

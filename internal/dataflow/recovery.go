@@ -80,11 +80,13 @@ func (j *Job) crashAndRecover(node int) {
 }
 
 // clearLiveState wipes the live maps of all stateful operators; used when
-// recovering a job that never committed a snapshot.
+// recovering a job that never committed a snapshot. ClearMap, not
+// DropMap: secondary indexes created on the tables are schema and must
+// survive the restart — only the data is rolled back.
 func (j *Job) clearLiveState() {
 	for _, meta := range j.mgr.Operators() {
 		if meta.Config.Live {
-			j.clu.Store().DropMap(core.LiveMapName(meta.Name))
+			j.clu.Store().ClearMap(core.LiveMapName(meta.Name))
 		}
 	}
 }

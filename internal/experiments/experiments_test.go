@@ -147,6 +147,51 @@ func TestCkptScaleShape(t *testing.T) {
 	}
 }
 
+func TestIndexExpShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness, -short")
+	}
+	res := Index(ultraQuick)
+	// 3 queries × 2 modes.
+	if len(res.Reads) != 6 {
+		t.Fatalf("read rows = %d, want 6", len(res.Reads))
+	}
+	byQuery := map[string]map[string]IndexReadRow{}
+	for _, r := range res.Reads {
+		if byQuery[r.Query] == nil {
+			byQuery[r.Query] = map[string]IndexReadRow{}
+		}
+		byQuery[r.Query][r.Mode] = r
+	}
+	for q, m := range byQuery {
+		on, off := m["indexed"], m["full-scan"]
+		// Parity of results is covered by TestIndexParity; here the claim
+		// is the access path itself: the index must examine a small
+		// fraction of what the full scan does (each query selects ≤ 2% of
+		// the table; 4x slack keeps this a shape check, not a benchmark).
+		if on.RowsScanned*4 >= off.RowsScanned {
+			t.Errorf("%s: indexed examined %d rows vs full scan's %d — no pruning",
+				q, on.RowsScanned, off.RowsScanned)
+		}
+		// Both modes ship the same result rows: the filter is the truth.
+		if on.RowsShipped != off.RowsShipped {
+			t.Errorf("%s: shipped %d indexed vs %d full scan", q, on.RowsShipped, off.RowsShipped)
+		}
+	}
+	if len(res.Writes) != 2 {
+		t.Fatalf("write rows = %d, want 2", len(res.Writes))
+	}
+	for _, w := range res.Writes {
+		if w.PerPut <= 0 {
+			t.Errorf("%s: per-put %v not measured", w.Mode, w.PerPut)
+		}
+	}
+	tbl := IndexTable("index", res)
+	if !strings.Contains(tbl, "indexed") || !strings.Contains(tbl, "overhead") {
+		t.Errorf("table missing sections:\n%s", tbl)
+	}
+}
+
 func TestPaperQueriesRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment harness, -short")

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"squery/internal/core"
+	"squery/internal/kv"
+	"squery/internal/metrics"
+	"squery/internal/partition"
+	"squery/internal/sql"
+)
+
+// IndexReadRow is one measured configuration of the index experiment's
+// read side: a selective query executed with secondary indexes available
+// to the planner, then again forced onto the full-scan access path.
+type IndexReadRow struct {
+	Query       string
+	Mode        string // "indexed" or "full-scan"
+	Mean        time.Duration
+	RowsShipped int64 // rows that crossed the client hop, per execution
+	RowsScanned int64 // rows examined on the owning nodes, per execution
+	Parts       int64 // partitions scanned, per execution
+}
+
+// IndexWriteRow is one measured configuration of the write side: loading
+// the same key set into a store with and without inline index
+// maintenance. OverheadPct is relative to the unindexed baseline (zero on
+// the baseline row).
+type IndexWriteRow struct {
+	Mode        string // "unindexed" or "2 indexes"
+	Keys        int
+	PerPut      time.Duration
+	OverheadPct float64
+}
+
+// IndexResult bundles both sides of the experiment.
+type IndexResult struct {
+	Keys   int
+	Reads  []IndexReadRow
+	Writes []IndexWriteRow
+}
+
+// Index measures what secondary indexes buy and cost on a large state
+// table: selective point (hash index) and range (B-tree index) queries
+// run with index selection on and off — rows_scanned should drop from the
+// table size to roughly the query's selectivity — and the same bulk load
+// timed with and without inline index maintenance, which is the price of
+// keeping the indexes transactionally current with the stream.
+func Index(o Options) IndexResult {
+	const (
+		nodes = 3
+		parts = 128
+		zones = 64 // point-query selectivity: 1/64 ≈ 1.6%
+	)
+	keys := 1_000_000
+	iters := 5
+	if o.Quick {
+		keys = 40_000
+		iters = 3
+	}
+
+	// Write side: one bulk load per mode, indexes (when present) created
+	// before any data flows so every put pays the maintenance inline.
+	load := func(indexed bool) (*kv.Store, *core.Catalog, time.Duration) {
+		store := kv.NewStore(partition.New(parts), partition.Assign(parts, nodes), nil)
+		mgr := core.NewManager(store, 2)
+		cfg := core.Config{Live: true}
+		if err := mgr.RegisterOperator(core.OperatorMeta{Name: "orders", Parallelism: 1, Config: cfg}); err != nil {
+			panic(err)
+		}
+		cat := core.NewCatalog(store)
+		if err := cat.RegisterJob(mgr.Registry(), "orders"); err != nil {
+			panic(err)
+		}
+		if indexed {
+			if err := cat.CreateIndex("orders", "deliveryZone", core.IndexHash); err != nil {
+				panic(err)
+			}
+			if err := cat.CreateIndex("orders", "amount", core.IndexBTree); err != nil {
+				panic(err)
+			}
+		}
+		orders := core.NewBackend("orders", 0, store.View(0), cfg)
+		sw := metrics.StartStopwatch()
+		for i := 0; i < keys; i++ {
+			orders.Update(fmt.Sprintf("order-%d", i), map[string]any{
+				"deliveryZone": fmt.Sprintf("z%d", i%zones),
+				"amount":       int64(i % 100_000),
+			})
+		}
+		return store, cat, sw.Elapsed()
+	}
+
+	_, _, plainLoad := load(false)
+	_, cat, indexedLoad := load(true)
+
+	res := IndexResult{Keys: keys}
+	res.Writes = append(res.Writes,
+		IndexWriteRow{Mode: "unindexed", Keys: keys, PerPut: plainLoad / time.Duration(keys)},
+		IndexWriteRow{
+			Mode: "2 indexes", Keys: keys,
+			PerPut:      indexedLoad / time.Duration(keys),
+			OverheadPct: 100 * (indexedLoad.Seconds() - plainLoad.Seconds()) / plainLoad.Seconds(),
+		})
+
+	// Read side: A/B the planner's chosen access path on the indexed
+	// store. DisableIndexes keeps pushdown on, so the comparison isolates
+	// the access path — both modes push the same filter.
+	ex := sql.NewExecutor(cat, nodes)
+	reg := metrics.NewRegistry()
+	ex.SetMetrics(reg)
+
+	queries := []struct{ label, q string }{
+		{"point (1 of 64 zones)", `SELECT partitionKey FROM orders WHERE deliveryZone = 'z17'`},
+		{"range (1% of domain)", `SELECT COUNT(*) FROM orders WHERE amount >= 99000`},
+		{"point + residual filter", `SELECT partitionKey FROM orders WHERE deliveryZone = 'z3' AND amount < 50000`},
+	}
+	modes := []struct {
+		label string
+		opts  sql.ExecOpts
+	}{
+		{"indexed", sql.ExecOpts{}},
+		{"full-scan", sql.ExecOpts{DisableIndexes: true}},
+	}
+
+	shipped := reg.Counter("sql", "exec", "rows_shipped")
+	scanned := reg.Counter("sql", "exec", "rows_scanned")
+	partsC := reg.Counter("sql", "exec", "partitions_scanned")
+
+	for _, qc := range queries {
+		for _, m := range modes {
+			// Warm once outside the measurement.
+			if _, err := ex.QueryWithOptions(qc.q, m.opts); err != nil {
+				panic(fmt.Sprintf("experiments: index %q: %v", qc.q, err))
+			}
+			s0, x0, p0 := shipped.Value(), scanned.Value(), partsC.Value()
+			sw := metrics.StartStopwatch()
+			for i := 0; i < iters; i++ {
+				if _, err := ex.QueryWithOptions(qc.q, m.opts); err != nil {
+					panic(fmt.Sprintf("experiments: index %q: %v", qc.q, err))
+				}
+			}
+			wall := sw.Elapsed()
+			n := int64(iters)
+			res.Reads = append(res.Reads, IndexReadRow{
+				Query:       qc.label,
+				Mode:        m.label,
+				Mean:        wall / time.Duration(iters),
+				RowsShipped: (shipped.Value() - s0) / n,
+				RowsScanned: (scanned.Value() - x0) / n,
+				Parts:       (partsC.Value() - p0) / n,
+			})
+		}
+	}
+	return res
+}
+
+// IndexTable renders the index experiment as aligned text tables.
+func IndexTable(title string, res IndexResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "reads (%d keys):\n", res.Keys)
+	fmt.Fprintf(&b, "  %-26s %-10s %10s %14s %14s %8s\n",
+		"query", "mode", "mean", "rows shipped", "rows scanned", "parts")
+	for _, r := range res.Reads {
+		fmt.Fprintf(&b, "  %-26s %-10s %10s %14d %14d %8d\n",
+			r.Query, r.Mode, roundDur(r.Mean), r.RowsShipped, r.RowsScanned, r.Parts)
+	}
+	fmt.Fprintf(&b, "writes (inline maintenance):\n")
+	fmt.Fprintf(&b, "  %-12s %10s %12s %10s\n", "mode", "keys", "ns/put", "overhead")
+	for _, w := range res.Writes {
+		over := "—"
+		if w.Mode != "unindexed" {
+			over = fmt.Sprintf("%+.1f%%", w.OverheadPct)
+		}
+		fmt.Fprintf(&b, "  %-12s %10d %12d %10s\n", w.Mode, w.Keys, w.PerPut.Nanoseconds(), over)
+	}
+	return b.String()
+}

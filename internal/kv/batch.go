@@ -158,14 +158,28 @@ func (m *Map) applyGroup(v NodeView, g group, ops []Op, kss []string, force bool
 			return err
 		}
 	}
+	ixs := m.indexSet()
 	puts, dels := 0, 0
 	for _, i := range g.idx {
+		var old Entry
+		had := false
+		if len(ixs) > 0 {
+			old, had = seg.entries[kss[i]]
+		}
 		if ops[i].Delete {
 			delete(seg.entries, kss[i])
 			dels++
+			if had {
+				for _, ix := range ixs {
+					ix.update(g.p, kss[i], old.Value, true, nil, false)
+				}
+			}
 		} else {
 			seg.entries[kss[i]] = Entry{Key: ops[i].Key, Value: ops[i].Value}
 			puts++
+			for _, ix := range ixs {
+				ix.update(g.p, kss[i], old.Value, had, ops[i].Value, true)
+			}
 		}
 	}
 	seg.mu.Unlock()
@@ -257,6 +271,7 @@ func (m *Map) applyMergeGroup(v NodeView, g group, keys []partition.Key, kss []s
 			return err
 		}
 	}
+	ixs := m.indexSet()
 	puts, dels := 0, 0
 	for _, i := range g.idx {
 		cur, ok := seg.entries[kss[i]]
@@ -269,12 +284,20 @@ func (m *Map) applyMergeGroup(v NodeView, g group, keys []partition.Key, kss []s
 			e := Entry{Key: keys[i], Value: nv}
 			seg.entries[kss[i]] = e
 			puts++
+			for _, ix := range ixs {
+				ix.update(g.p, kss[i], curVal, ok, nv, true)
+			}
 			if s.replicated {
 				bakOps = append(bakOps, bakOp{i: i, e: e})
 			}
 		} else {
 			delete(seg.entries, kss[i])
 			dels++
+			if ok {
+				for _, ix := range ixs {
+					ix.update(g.p, kss[i], curVal, true, nil, false)
+				}
+			}
 			if s.replicated {
 				bakOps = append(bakOps, bakOp{i: i, delete: true})
 			}

@@ -1,0 +1,212 @@
+package kv
+
+// An in-memory B-tree over index keys of a single kind, used by B-tree
+// (range) secondary indexes. One tree holds one kind of ixKey ('N', 's',
+// 'b', 't'), so ordering never crosses types — cross-kind comparison
+// semantics stay in the lookup layer, which unions foreign kinds into the
+// candidate set instead of ordering them.
+//
+// The tree supports find-or-insert, in-order range iteration with
+// inclusive bounds, and full traversal. There is no structural delete:
+// postings empty in place and the tree compacts (rebuilds from its live
+// items) once empty postings outnumber live ones. State-map workloads are
+// upsert-heavy, so compaction is rare and amortised O(1) per removal.
+
+// btMax is the maximum number of items per node; a full node splits at the
+// midpoint on the way down (top-down insertion, no parent back-pointers).
+const btMax = 31
+
+// btItem is one (key, posting) pair in the tree.
+type btItem struct {
+	k    ixKey
+	post *posting
+}
+
+type bnode struct {
+	items []btItem
+	kids  []*bnode // empty for leaves; otherwise len(items)+1
+}
+
+// btree is the per-kind ordered container of one B-tree index partition.
+type btree struct {
+	kind  byte
+	root  *bnode
+	live  int // postings with at least one key
+	empty int // postings emptied in place, awaiting compaction
+}
+
+func (t *btree) less(a, b ixKey) bool {
+	if t.kind == 's' {
+		return a.str < b.str
+	}
+	return a.num < b.num
+}
+
+// search returns the smallest index i with items[i].k >= k, and whether
+// items[i].k == k.
+func (t *btree) search(items []btItem, k ixKey) (int, bool) {
+	lo, hi := 0, len(items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.less(items[mid].k, k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(items) && !t.less(k, items[lo].k) {
+		return lo, true
+	}
+	return lo, false
+}
+
+// splitKid splits the full child at position i, promoting its median item
+// into n.
+func (n *bnode) splitKid(i int) {
+	kid := n.kids[i]
+	mid := len(kid.items) / 2
+	up := kid.items[mid]
+	right := &bnode{
+		items: append([]btItem(nil), kid.items[mid+1:]...),
+	}
+	if len(kid.kids) > 0 {
+		right.kids = append([]*bnode(nil), kid.kids[mid+1:]...)
+		kid.kids = kid.kids[:mid+1]
+	}
+	kid.items = kid.items[:mid]
+
+	n.items = append(n.items, btItem{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = up
+	n.kids = append(n.kids, nil)
+	copy(n.kids[i+2:], n.kids[i+1:])
+	n.kids[i+1] = right
+}
+
+// get returns the posting under k, or nil.
+func (t *btree) get(k ixKey) *posting {
+	n := t.root
+	for n != nil {
+		i, ok := t.search(n.items, k)
+		if ok {
+			return n.items[i].post
+		}
+		if len(n.kids) == 0 {
+			return nil
+		}
+		n = n.kids[i]
+	}
+	return nil
+}
+
+// getOrInsert returns the posting under k, creating it if absent; isNew
+// reports whether it was created by this call.
+func (t *btree) getOrInsert(k ixKey) (p *posting, isNew bool) {
+	if t.root == nil {
+		t.root = &bnode{}
+	}
+	if len(t.root.items) >= btMax {
+		old := t.root
+		t.root = &bnode{kids: []*bnode{old}}
+		t.root.splitKid(0)
+	}
+	n := t.root
+	for {
+		i, ok := t.search(n.items, k)
+		if ok {
+			return n.items[i].post, false
+		}
+		if len(n.kids) == 0 {
+			p = &posting{}
+			n.items = append(n.items, btItem{})
+			copy(n.items[i+1:], n.items[i:])
+			n.items[i] = btItem{k: k, post: p}
+			return p, true
+		}
+		if len(n.kids[i].items) >= btMax {
+			n.splitKid(i)
+			if t.less(n.items[i].k, k) {
+				i++
+			} else if !t.less(k, n.items[i].k) {
+				return n.items[i].post, false
+			}
+		}
+		n = n.kids[i]
+	}
+}
+
+// ascendRange calls fn for every item with lo <= k <= hi in key order
+// (nil bound = unbounded). fn returning false stops the walk.
+func (t *btree) ascendRange(lo, hi *ixKey, fn func(btItem) bool) {
+	t.ascend(t.root, lo, hi, fn)
+}
+
+// ascend walks n in order within [lo, hi]; returns false to stop.
+func (t *btree) ascend(n *bnode, lo, hi *ixKey, fn func(btItem) bool) bool {
+	if n == nil {
+		return true
+	}
+	i := 0
+	if lo != nil {
+		i, _ = t.search(n.items, *lo)
+	}
+	for ; i < len(n.items); i++ {
+		if len(n.kids) > 0 {
+			if !t.ascend(n.kids[i], lo, hi, fn) {
+				return false
+			}
+		}
+		it := n.items[i]
+		if hi != nil && t.less(*hi, it.k) {
+			return false
+		}
+		if !fn(it) {
+			return false
+		}
+	}
+	if len(n.kids) > 0 {
+		return t.ascend(n.kids[len(n.items)], lo, hi, fn)
+	}
+	return true
+}
+
+// each calls fn for every item in key order.
+func (t *btree) each(fn func(btItem) bool) {
+	t.ascendRange(nil, nil, fn)
+}
+
+// maybeCompact rebuilds the tree from its live items once in-place-emptied
+// postings dominate. The rebuild is a median-split over the (already
+// sorted) live items — nodes come out underfull, which B-tree search and
+// insertion tolerate; only delete rebalancing (which we don't do) needs
+// the fill invariant.
+func (t *btree) maybeCompact() {
+	if t.empty <= 64 || t.empty <= t.live {
+		return
+	}
+	items := make([]btItem, 0, t.live)
+	t.each(func(it btItem) bool {
+		if len(it.post.keys) > 0 {
+			items = append(items, it)
+		}
+		return true
+	})
+	t.root = buildBtree(items)
+	t.live = len(items)
+	t.empty = 0
+}
+
+// buildBtree builds a tree over sorted items by median split.
+func buildBtree(items []btItem) *bnode {
+	if len(items) == 0 {
+		return nil
+	}
+	if len(items) <= btMax {
+		return &bnode{items: append([]btItem(nil), items...)}
+	}
+	mid := len(items) / 2
+	return &bnode{
+		items: []btItem{items[mid]},
+		kids:  []*bnode{buildBtree(items[:mid]), buildBtree(items[mid+1:])},
+	}
+}

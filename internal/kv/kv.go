@@ -150,6 +150,33 @@ func (s *Store) DropMap(name string) {
 	delete(s.maps, name)
 }
 
+// ClearMap empties the named map's data — every entry in every primary
+// and backup partition — while keeping the map object and its index
+// *definitions*: indexes are schema, not state, so their postings are
+// reset alongside the entries but the indexes stay registered and
+// maintained. Recovery paths that wipe never-committed live state use
+// this instead of DropMap, which would silently drop the table's indexes
+// with it.
+func (s *Store) ClearMap(name string) {
+	s.mu.RLock()
+	m := s.maps[name]
+	s.mu.RUnlock()
+	if m == nil {
+		return
+	}
+	for p, seg := range m.segs {
+		seg.mu.Lock()
+		seg.entries = make(map[string]Entry)
+		m.rebuildIndexesLocked(p, seg.entries)
+		seg.mu.Unlock()
+	}
+	for _, seg := range m.backups {
+		seg.mu.Lock()
+		seg.entries = make(map[string]Entry)
+		seg.mu.Unlock()
+	}
+}
+
 // View returns a NodeView for operations issued from the given node.
 // Use ClientNode for external clients.
 func (s *Store) View(node int) NodeView {
@@ -266,6 +293,7 @@ type Map struct {
 	name    string
 	segs    []*segment
 	backups []*segment
+	mapIndexState
 }
 
 func newMap(s *Store, name string) *Map {
@@ -312,7 +340,15 @@ func (m *Map) put(v NodeView, key partition.Key, value any, force bool) error {
 		}
 	}
 	e := Entry{Key: key, Value: value}
-	seg.entries[ks] = e
+	if ixs := m.indexSet(); len(ixs) > 0 {
+		old, had := seg.entries[ks]
+		seg.entries[ks] = e
+		for _, ix := range ixs {
+			ix.update(p, ks, old.Value, had, value, true)
+		}
+	} else {
+		seg.entries[ks] = e
+	}
 	seg.mu.Unlock()
 	lk.Unlock()
 	if st != nil {
@@ -372,8 +408,13 @@ func (m *Map) delete(v NodeView, key partition.Key, force bool) (present bool, e
 			return false, err
 		}
 	}
-	_, ok := seg.entries[ks]
+	old, ok := seg.entries[ks]
 	delete(seg.entries, ks)
+	if ok {
+		for _, ix := range m.indexSet() {
+			ix.update(p, ks, old.Value, true, nil, false)
+		}
+	}
 	seg.mu.Unlock()
 	lk.Unlock()
 	if st != nil {
@@ -398,9 +439,10 @@ func (m *Map) Size() int {
 
 // Clear removes all entries (and their backup copies).
 func (m *Map) Clear() {
-	for _, seg := range m.segs {
+	for p, seg := range m.segs {
 		seg.mu.Lock()
 		seg.entries = make(map[string]Entry)
+		m.rebuildIndexesLocked(p, seg.entries)
 		seg.mu.Unlock()
 	}
 	for _, seg := range m.backups {

@@ -95,6 +95,9 @@ func (s *Store) FailNode(partitions []int) {
 			} else {
 				seg.entries = make(map[string]Entry)
 			}
+			// The entries map was replaced wholesale — inline maintenance
+			// never saw the promoted (or emptied) contents, so re-derive.
+			m.rebuildIndexesLocked(p, seg.entries)
 			seg.mu.Unlock()
 		}
 	}

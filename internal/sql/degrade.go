@@ -72,6 +72,13 @@ type ExecOpts struct {
 	// filtering runs there. For benchmarking the pushdown win (and as an
 	// escape hatch); results are identical either way.
 	DisablePushdown bool
+	// DisableIndexes keeps secondary indexes out of planning: every scan
+	// takes the full-scan access path even when an index could serve its
+	// pushed predicate. For benchmarking the index win A/B against the
+	// same query (and as an escape hatch); results are identical either
+	// way. Implied by DisablePushdown — index selection only considers
+	// pushed conjuncts.
+	DisableIndexes bool
 }
 
 func (o ExecOpts) withDefaults() ExecOpts {

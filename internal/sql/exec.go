@@ -59,6 +59,7 @@ type execInstruments struct {
 	rowsReturned *metrics.Counter
 	partsScanned *metrics.Counter
 	partsPruned  *metrics.Counter
+	indexScans   *metrics.Counter
 	degraded     *metrics.Counter
 	latency      *metrics.Histogram
 	log          *metrics.EventLog
@@ -95,6 +96,7 @@ func (ex *Executor) SetMetrics(reg *metrics.Registry) {
 		rowsReturned: reg.Counter("sql", "exec", "rows_returned"),
 		partsScanned: reg.Counter("sql", "exec", "partitions_scanned"),
 		partsPruned:  reg.Counter("sql", "exec", "partitions_pruned"),
+		indexScans:   reg.Counter("sql", "exec", "index_scans"),
 		degraded:     reg.Counter("sql", "exec", "degraded_partitions"),
 		latency:      reg.Histogram("sql", "exec", "latency"),
 		log:          reg.Log("queries", 256),
@@ -206,6 +208,10 @@ type tableSrc struct {
 	// satisfying the query's `partitionKey = <literal>` predicate; every
 	// other partition is pruned from the scan.
 	partHint int
+	// path is the planner-chosen access path (nil = full scan). It is an
+	// optimisation hint carried into every partition ScanSpec; the pushed
+	// filter remains the truth, so an unserveable path silently full-scans.
+	path *core.AccessPath
 	// scan is this source's leaf in the plan tree; its Stats accumulate
 	// the scan counters (shared across the scan goroutines).
 	scan *plan.Scan
@@ -333,12 +339,15 @@ func (ex *Executor) execTraced(stmt *Select, opts ExecOpts, query string) (*Resu
 func (ex *Executor) finishQuery(query string, pp *physPlan, total time.Duration, err error, qsp *trace.Span) {
 	ex.m.queries.Inc()
 	ex.m.latency.Record(total)
-	var scanned, pruned, examined, shipped, returned, degraded int64
+	var scanned, pruned, indexed, examined, shipped, returned, degraded int64
 	if pp != nil {
 		for _, sc := range pp.scans {
 			st := sc.Stat()
 			scanned += st.Parts.Load()
 			pruned += sc.PrunedParts
+			if sc.Access != "" {
+				indexed += st.Parts.Load()
+			}
 			examined += st.Examined.Load()
 			shipped += st.Rows.Load()
 		}
@@ -354,6 +363,7 @@ func (ex *Executor) finishQuery(query string, pp *physPlan, total time.Duration,
 	}
 	ex.m.partsScanned.Add(scanned)
 	ex.m.partsPruned.Add(pruned)
+	ex.m.indexScans.Add(indexed)
 	ex.m.rowsScanned.Add(examined)
 	ex.m.rowsShipped.Add(shipped)
 	ex.m.degraded.Add(degraded)
@@ -375,8 +385,12 @@ func (ex *Executor) finishQuery(query string, pp *physPlan, total time.Duration,
 			plan.Walk(pp.root, func(n plan.Node) {
 				st := n.Stat()
 				name := n.Kind()
+				note := fmt.Sprintf("rows=%d", st.Rows.Load())
 				if sc, ok := n.(*plan.Scan); ok {
 					name = "scan:" + sc.Table
+					if sc.Access != "" {
+						note += " access=" + sc.Access
+					}
 				}
 				ex.tracer.Emit(trace.SpanData{
 					TraceID: ctx.TraceID, SpanID: ex.tracer.NewID(),
@@ -385,7 +399,7 @@ func (ex *Executor) finishQuery(query string, pp *physPlan, total time.Duration,
 					Vertex: name, Instance: -1, SSID: scanSSID(n),
 					Start: time.Now().Add(-time.Duration(st.WallNs.Load())),
 					Dur:   time.Duration(st.WallNs.Load()),
-					Note:  fmt.Sprintf("rows=%d", st.Rows.Load()),
+					Note:  note,
 				})
 			})
 		}

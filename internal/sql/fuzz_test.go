@@ -33,6 +33,12 @@ var fuzzSeeds = []string{
 	`SELECT a.deliveryZone, b.orderState FROM orderinfo a JOIN orderstate b ON a.partitionKey = b.partitionKey WHERE a.customerLat > 52 AND b.orderState = 'NOTIFIED'`,
 	`SELECT deliveryZone FROM "snapshot_orderinfo" WHERE snapshot_orderinfo.ssid = 1 AND orderinfo.partitionKey = 'order-3'`,
 	`SELECT deliveryZone, COUNT(*) AS c FROM orderinfo GROUP BY deliveryZone HAVING COUNT(*) > 1 ORDER BY c DESC LIMIT 5`,
+	`SELECT partitionKey FROM orderinfo WHERE deliveryZone = 'north'`,
+	`SELECT partitionKey FROM orderinfo WHERE customerLat BETWEEN 52 AND 60`,
+	`SELECT partitionKey FROM orderinfo WHERE customerLat > 50 AND customerLat <= 60 AND deliveryZone = 'north'`,
+	`SELECT partitionKey FROM orderinfo WHERE 52.5 >= customerLat`,
+	`EXPLAIN SELECT partitionKey FROM orderinfo WHERE deliveryZone = 'north' AND customerLat < 53`,
+	`SELECT * FROM "sys.indexes" WHERE lookups >= 0`,
 	`SELECT 'unterminated`,
 	`SELECT ((((((((((1))))))))))`,
 	`SELECT FROM WHERE`,
@@ -62,6 +68,14 @@ func fuzzExecutor() *Executor {
 			if err := mgr.RegisterOperator(core.OperatorMeta{Name: op, Parallelism: 1, Config: cfg}); err != nil {
 				panic(err)
 			}
+		}
+		// Indexes make the fuzz corpus exercise the planner's index
+		// selection (the sargable-atom walk and path costing).
+		if err := cat.CreateIndex("orderinfo", "deliveryZone", core.IndexHash); err != nil {
+			panic(err)
+		}
+		if err := cat.CreateIndex("orderinfo", "customerLat", core.IndexBTree); err != nil {
+			panic(err)
 		}
 		info := core.NewBackend("orderinfo", 0, store.View(0), cfg)
 		state := core.NewBackend("orderstate", 0, store.View(0), cfg)

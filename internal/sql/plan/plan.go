@@ -97,6 +97,12 @@ type Scan struct {
 	Filter string
 	// Cols is the projected column set shipped back (nil = all columns).
 	Cols []string
+	// Access is the chosen non-default access path, pre-rendered
+	// ("index eq(zone = 'z1')"); "" means full scan.
+	Access string
+	// EstRows is the planner's candidate-row estimate for the chosen
+	// index path (meaningful only when Access != "").
+	EstRows int64
 }
 
 // Kind implements Node.
@@ -132,6 +138,9 @@ func (s *Scan) Describe() string {
 	if s.Filter != "" {
 		fmt.Fprintf(&b, ", pushed filter %s", s.Filter)
 	}
+	if s.Access != "" {
+		fmt.Fprintf(&b, ", access %s (est≈%d rows)", s.Access, s.EstRows)
+	}
 	if s.Cols != nil {
 		fmt.Fprintf(&b, ", ship cols (%s)", strings.Join(s.Cols, ", "))
 	}
@@ -144,7 +153,12 @@ func (s *Scan) Annotate() string {
 	fmt.Fprintf(&b, "scanned %d/%d partitions (%d pruned), %d rows",
 		s.stats.Parts.Load(), s.Partitions, s.PrunedParts, s.stats.Rows.Load())
 	if s.Filter != "" {
-		fmt.Fprintf(&b, " shipped (of %d examined)", s.stats.Examined.Load())
+		if s.Access != "" {
+			fmt.Fprintf(&b, " shipped (of %d examined via %s, est≈%d)",
+				s.stats.Examined.Load(), s.Access, s.EstRows)
+		} else {
+			fmt.Fprintf(&b, " shipped (of %d examined)", s.stats.Examined.Load())
+		}
 	}
 	fmt.Fprintf(&b, ", %s", roundDur(s.stats.WallNs.Load()))
 	return b.String()

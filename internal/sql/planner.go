@@ -150,6 +150,13 @@ func (ex *Executor) compile(stmt *Select, opts ExecOpts, planOnly bool) (*physPl
 		for _, sc := range pp.scans {
 			sc.Cols = pp.cols
 		}
+		// Index selection runs over the pushed conjuncts only: a conjunct
+		// that could not be pushed cannot bound a scan either.
+		if !opts.DisableIndexes {
+			for i := range pp.srcs {
+				pp.chooseAccessPath(i)
+			}
+		}
 	}
 
 	// Assemble the tree bottom-up: scans → joins → filter →
@@ -300,6 +307,156 @@ func (pp *physPlan) pushTarget(e Expr) (int, bool) {
 	return target, true
 }
 
+// chooseAccessPath picks source si's access path from its pushed
+// predicate: walk the AND-conjuncts for sargable atoms (`col = lit` →
+// equality probe; `col < | <= | > | >= lit` and `col BETWEEN lo AND hi` →
+// merged range), ask the catalog what each candidate would cost, and take
+// the cheapest path that beats the full scan. The choice is purely an
+// optimisation: the pushed filter still evaluates against every candidate
+// row, index probes return supersets (type coercion, strict bounds), and
+// an unserveable path silently degrades to the full scan at the kv layer.
+func (pp *physPlan) chooseAccessPath(si int) {
+	s := &pp.srcs[si]
+	pushed := pp.pushed[si]
+	if pushed == nil || s.ref.IsVirtual() {
+		return
+	}
+	type rng struct{ lo, hi any }
+	ranges := map[string]*rng{}
+	var cands []*core.AccessPath
+	bound := func(col string, v any, isLo bool) {
+		r := ranges[col]
+		if r == nil {
+			r = &rng{}
+			ranges[col] = r
+		}
+		// Tighten when the new bound is comparably stricter; keep the old
+		// one otherwise — either bound alone yields a candidate superset,
+		// the filter settles the intersection.
+		if isLo {
+			if r.lo == nil {
+				r.lo = v
+			} else if c, err := compare(v, r.lo); err == nil && c > 0 {
+				r.lo = v
+			}
+		} else {
+			if r.hi == nil {
+				r.hi = v
+			} else if c, err := compare(v, r.hi); err == nil && c < 0 {
+				r.hi = v
+			}
+		}
+	}
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case Binary:
+			if x.Op == "AND" {
+				walk(x.L)
+				walk(x.R)
+				return
+			}
+			col, v, flipped, ok := sargableAtom(x)
+			if !ok {
+				return
+			}
+			op := x.Op
+			if flipped {
+				op = flipCmp(op)
+			}
+			switch op {
+			case "=":
+				cands = append(cands, &core.AccessPath{Kind: core.IndexEq, Column: col, Eq: v})
+			case "<", "<=":
+				bound(col, v, false)
+			case ">", ">=":
+				bound(col, v, true)
+			}
+		case Between:
+			if x.Not {
+				return
+			}
+			id, okI := x.E.(Ident)
+			lo, okL := litScalar(x.Lo)
+			hi, okH := litScalar(x.Hi)
+			if okI && okL && okH && indexableCol(id) {
+				bound(id.Name, lo, true)
+				bound(id.Name, hi, false)
+			}
+		}
+	}
+	walk(pushed)
+	for col, r := range ranges {
+		if r.lo != nil || r.hi != nil {
+			cands = append(cands, &core.AccessPath{Kind: core.IndexRange, Column: col, Lo: r.lo, Hi: r.hi})
+		}
+	}
+	fullEst, _ := s.ref.EstimatePath(nil)
+	best, bestEst := (*core.AccessPath)(nil), fullEst
+	for _, c := range cands {
+		if est, ok := s.ref.EstimatePath(c); ok && est < bestEst {
+			best, bestEst = c, est
+		}
+	}
+	if best != nil {
+		s.path = best
+		s.scan.Access = best.String()
+		s.scan.EstRows = bestEst
+	}
+}
+
+// sargableAtom decomposes `col op lit` / `lit op col` comparisons; flipped
+// reports the literal was on the left (the caller mirrors the operator).
+func sargableAtom(b Binary) (col string, v any, flipped, ok bool) {
+	switch b.Op {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return "", nil, false, false
+	}
+	if id, isID := b.L.(Ident); isID && indexableCol(id) {
+		if v, okV := litScalar(b.R); okV {
+			return id.Name, v, false, true
+		}
+	}
+	if id, isID := b.R.(Ident); isID && indexableCol(id) {
+		if v, okV := litScalar(b.L); okV {
+			return id.Name, v, true, true
+		}
+	}
+	return "", nil, false, false
+}
+
+// flipCmp mirrors a comparison operator for a literal-on-the-left atom.
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// indexableCol rejects the pseudo-columns (partition pruning and snapshot
+// pinning already serve those; no index ever exists on them).
+func indexableCol(id Ident) bool {
+	return !strings.EqualFold(id.Name, core.ColPartitionKey) && !strings.EqualFold(id.Name, core.ColSSID)
+}
+
+// litScalar unwraps a non-NULL literal operand.
+func litScalar(e Expr) (any, bool) {
+	l, ok := e.(Lit)
+	if !ok || l.Val == nil {
+		return nil, false
+	}
+	return l.Val, true
+}
+
 // neededColumns computes the union of column names any client-side stage
 // can touch: select items, the residual filter, grouping, having, order
 // keys and join keys. Pushed predicates are excluded — they run before
@@ -402,7 +559,7 @@ func (r srcRow) Resolve(table, column string) (any, bool) {
 // be owned by the goroutine running the scan.
 func (pp *physPlan) spec(si int, ctx *evalCtx, done <-chan struct{}, examined *int64, errp *error) core.ScanSpec {
 	s := &pp.srcs[si]
-	spec := core.ScanSpec{SSID: s.ssid, Cols: pp.cols, Done: done}
+	spec := core.ScanSpec{SSID: s.ssid, Cols: pp.cols, Done: done, Path: s.path}
 	if pushed := pp.pushed[si]; pushed != nil {
 		alias, name := s.alias, s.name
 		spec.Filter = func(r core.TableRow) bool {

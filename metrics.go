@@ -56,6 +56,34 @@ func (e *Engine) registerSystemTables() {
 	// rebalance is still running.
 	e.cat.RegisterVirtual("sys.membership", e.sysMembership)
 	e.cat.RegisterVirtual("sys.rebalances", e.sysRebalances)
+	// Secondary-index accounting also reads the store directly: one row
+	// per index with its size and maintenance/lookup tallies.
+	e.cat.RegisterVirtual("sys.indexes", e.sysIndexes)
+}
+
+// sysIndexes is one row per secondary index: the table and column it
+// covers, its structure kind, entry/byte footprint, cumulative inline
+// maintenance operations with sampled p50/p99 latency, and how many
+// lookups it has served. KV map names equal SQL table names (snapshot
+// tables carry the snapshot_ prefix), so rows join the query surface
+// directly.
+func (e *Engine) sysIndexes() []core.TableRow {
+	infos := e.clu.Store().IndexInfos()
+	rows := make([]core.TableRow, 0, len(infos))
+	for _, ix := range infos {
+		rows = append(rows, core.TableRow{Key: ix.Map + "." + ix.Column, Value: kv.MapRow{
+			"table":      ix.Map,
+			"column":     ix.Column,
+			"kind":       ix.Kind,
+			"entries":    ix.Entries,
+			"bytes":      ix.Bytes,
+			"maintOps":   ix.MaintOps,
+			"maintP50Us": ix.MaintP50.Microseconds(),
+			"maintP99Us": ix.MaintP99.Microseconds(),
+			"lookups":    ix.Lookups,
+		}})
+	}
+	return rows
 }
 
 // sysMembership is one row per node ever provisioned: its lifecycle state,

@@ -90,6 +90,21 @@ type (
 	// ChaosHook intercepts checkpoint control-plane messages for fault
 	// injection (implemented by *chaos.Injector).
 	ChaosHook = dataflow.ChaosHook
+	// IndexKind selects a secondary index structure (IndexHash for
+	// equality probes, IndexBTree for ranges).
+	IndexKind = core.IndexKind
+	// IndexInfo describes one secondary index: footprint and
+	// maintenance/lookup accounting (the programmatic twin of
+	// sys.indexes).
+	IndexInfo = kv.IndexInfo
+)
+
+// Secondary index kinds.
+const (
+	// IndexHash serves equality probes in O(1).
+	IndexHash = core.IndexHash
+	// IndexBTree serves equality and inclusive-range probes in O(log n).
+	IndexBTree = core.IndexBTree
 )
 
 // Vertex and edge constructors re-exported from the dataflow runtime.
@@ -304,6 +319,24 @@ func (e *Engine) SetFaultHook(h FaultHook) { e.clu.SetFaultHook(h) }
 // mid-handoff, dropped epoch-bump broadcasts, stalled migrations. Nil
 // clears it.
 func (e *Engine) SetMigrationHook(h cluster.MigrationHook) { e.clu.SetMigrationHook(h) }
+
+// CreateIndex builds a secondary index on one column of a state table and
+// keeps it maintained inline on every subsequent state update, partition
+// migration and failover. The planner then serves equality (IndexHash or
+// IndexBTree) and range (IndexBTree) predicates on that column from the
+// index instead of full partition scans — EXPLAIN shows the chosen access
+// path, ExecOpts.DisableIndexes restores the full-scan baseline. Table
+// names follow the query surface: <operator> indexes live state,
+// snapshot_<operator> indexes committed snapshots (one index serves every
+// queryable snapshot id). Creating the same index twice is idempotent;
+// indexing a virtual sys.* table or a pseudo-column is an error.
+func (e *Engine) CreateIndex(table, column string, kind IndexKind) error {
+	return e.cat.CreateIndex(table, column, kind)
+}
+
+// IndexInfos returns accounting for every secondary index, sorted by
+// table then column — the programmatic twin of sys.indexes.
+func (e *Engine) IndexInfos() []IndexInfo { return e.clu.Store().IndexInfos() }
 
 // FenceStats returns the cumulative epoch-fencing counters of the state
 // store: writes rejected for carrying a stale partition-table epoch,
