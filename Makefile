@@ -1,7 +1,7 @@
 GO ?= go
 GOFILES := $(shell git ls-files '*.go')
 
-.PHONY: test vet lint race soak-chaos soak-rebalance fuzz-short obs-smoke bench-smoke ckpt-smoke index-smoke verify
+.PHONY: test vet lint race soak-chaos soak-rebalance fuzz-short obs-smoke health-smoke bench-smoke ckpt-smoke index-smoke verify
 
 # Tier-1: what CI gates on.
 test:
@@ -49,6 +49,15 @@ obs-smoke:
 	chmod +x scripts/obs-smoke.sh
 	./scripts/obs-smoke.sh
 
+# End-to-end smoke of the pipeline health plane: boots squery with an
+# injected stage stall, checks /statusz renders lag/pressure/history,
+# /metrics carries the health families (promcheck -require), and the
+# sys.watermarks / sys.backpressure / sys.history / sys.slow_queries
+# tables attribute the stall over the live SQL prompt.
+health-smoke:
+	chmod +x scripts/health-smoke.sh
+	./scripts/health-smoke.sh
+
 # Short fuzz wall: 30s per target against the SQL front end. The parser,
 # lexer and planner must be total — errors, never panics — on arbitrary
 # input.
@@ -92,4 +101,4 @@ index-smoke:
 	$(GO) test . -run 'TestIndexSurvivesRebalance|TestSysIndexesTable' -race -count=1 -v
 	$(GO) test ./internal/experiments -run 'TestIndexExpShape' -count=1 -v
 
-verify: lint race soak-chaos soak-rebalance bench-smoke ckpt-smoke index-smoke
+verify: lint race soak-chaos soak-rebalance bench-smoke ckpt-smoke index-smoke health-smoke

@@ -12,18 +12,26 @@
 //	        JOIN "snapshot_orderstate" USING(partitionKey)
 //	        WHERE orderState='PICKED_UP' GROUP BY deliveryZone;
 //
-// Meta-commands: \tables, \snapshots, \explain <sql>, \metrics, \q1..\q4
+// Meta-commands: \tables, \snapshots, \explain <sql>, \metrics, \health
+// (the pipeline health summary: watermark lag, backpressure, slow
+// queries, history sparklines — same renderer as GET /statusz), \q1..\q4
 // (the paper's queries), \quit. Prefix any query with EXPLAIN ANALYZE for
 // per-stage timings, or query the sys.* tables (sys.operators,
-// sys.partitions, sys.checkpoints, sys.queries, sys.spans, sys.traces)
+// sys.partitions, sys.checkpoints, sys.queries, sys.slow_queries,
+// sys.watermarks, sys.backpressure, sys.history, sys.spans, sys.traces)
 // for live engine telemetry. -metrics prints the full plain-text
 // instrument dump on exit. -serve-obs ADDR serves the HTTP observability
-// plane (/metrics, /tracez, /healthz, /readyz, /debug/pprof) while the
-// prompt runs:
+// plane (/metrics, /statusz, /tracez, /healthz, /readyz, /debug/pprof)
+// while the prompt runs:
 //
 //	squery -serve-obs 127.0.0.1:8080 &
 //	curl http://127.0.0.1:8080/metrics
+//	curl http://127.0.0.1:8080/statusz
 //	curl http://127.0.0.1:8080/tracez?kind=checkpoint
+//
+// -chaos-stall VERTEX injects a per-record stall into that vertex's
+// stage, so the health plane has something to attribute: watch the stage
+// go red in \health, sys.backpressure and sys.watermarks.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"time"
 
 	"squery"
+	"squery/internal/chaos"
 	"squery/internal/obshttp"
 	"squery/internal/qcommerce"
 	"squery/internal/transport"
@@ -48,6 +57,8 @@ func main() {
 	serveObs := flag.String("serve-obs", "", "serve the HTTP observability plane on this address (e.g. 127.0.0.1:8080)")
 	wireKind := flag.String("transport", "sim", `inter-node wire: "sim" (in-process) or "tcp" (loopback TCP frames)`)
 	persistDir := flag.String("persist", "", "write committed snapshots durably (full base + delta segments) under this directory")
+	chaosStall := flag.String("chaos-stall", "", "inject a per-record stall into this vertex's stage (e.g. orderinfo); watch sys.backpressure attribute it")
+	chaosStallDelay := flag.Duration("chaos-stall-delay", 20*time.Millisecond, "per-record delay of the -chaos-stall stage")
 	flag.Parse()
 
 	cfg := squery.Config{Nodes: *nodes}
@@ -100,6 +111,19 @@ func main() {
 		spec.State.Incremental = true
 		spec.PersistDir = *persistDir
 	}
+	if *chaosStall != "" {
+		inj := chaos.New(1)
+		inj.SetTracer(eng.Tracer())
+		inj.Add(chaos.Rule{
+			Kind:     chaos.StallStage,
+			Vertex:   *chaosStall,
+			Instance: chaos.Any,
+			Node:     chaos.Any,
+			Delay:    *chaosStallDelay,
+		})
+		spec.Chaos = inj
+		fmt.Printf("chaos: stalling stage %q %s per record\n", *chaosStall, *chaosStallDelay)
+	}
 	job, err := eng.SubmitJob(dag, spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "submit:", err)
@@ -113,7 +137,7 @@ func main() {
 	fmt.Printf("Q-commerce job running on %d nodes (%d orders, checkpoint every %s).\n",
 		*nodes, *orders, *interval)
 	fmt.Println(`Tables: orderinfo, orderstate, riderlocation (+ snapshot_ variants).`)
-	fmt.Println(`Type SQL, or \tables \snapshots \explain <sql> \metrics \q1..\q4 \quit.`)
+	fmt.Println(`Type SQL, or \tables \snapshots \explain <sql> \metrics \health \q1..\q4 \quit.`)
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -134,6 +158,8 @@ func main() {
 			}
 		case line == `\metrics`:
 			fmt.Print(eng.MetricsDump())
+		case line == `\health`:
+			obshttp.WriteStatus(os.Stdout, eng.Metrics())
 		case line == `\snapshots`:
 			fmt.Printf("  latest committed: %d, queryable: %v\n",
 				job.LatestSnapshotID(), job.QueryableSnapshots())

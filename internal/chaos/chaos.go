@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"squery/internal/trace"
@@ -73,6 +74,12 @@ const (
 	// frozen — long enough to observe the rebalance in flight through
 	// sys.rebalances.
 	StallMigration
+	// StallStage delays an operator instance by Delay per record — a
+	// data-plane fault, unlike StallPartition's query-path stall. The
+	// stage's inbox fills, its upstream blocks on sends, and its watermark
+	// freezes: the exact signature the health plane (sys.backpressure,
+	// sys.watermarks) must attribute to the stalled stage.
+	StallStage
 )
 
 // String implements fmt.Stringer.
@@ -100,6 +107,8 @@ func (k Kind) String() string {
 		return "drop-epoch-bump"
 	case StallMigration:
 		return "stall-migration"
+	case StallStage:
+		return "stall-stage"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -196,6 +205,11 @@ type Injector struct {
 	seed   int64
 	tracer *trace.Tracer
 
+	// stageRules counts StallStage rules in the schedule. It is the fast
+	// path of StageDelay, which workers consult per record: a schedule
+	// without stage stalls pays one atomic load, never the mutex.
+	stageRules atomic.Int32
+
 	mu     sync.Mutex
 	rules  []*rule
 	events []Event
@@ -229,6 +243,9 @@ func (in *Injector) Add(r Rule) *Injector {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.rules = append(in.rules, &rule{Rule: r})
+	if r.Kind == StallStage {
+		in.stageRules.Add(1)
+	}
 	return in
 }
 
@@ -358,6 +375,46 @@ func (in *Injector) CrashPreCommit(ssid int64) (bool, int) {
 		return false, Any
 	}
 	return true, r.CrashNode
+}
+
+// StageDelay reports how long the given operator instance must stall
+// before processing its next record (dataflow.ChaosHook). It fires like
+// any rule but records only the rule's *first* firing as an event and
+// span — a stage stall fires per record, and flooding the event log with
+// thousands of identical entries would bury the signal the health plane
+// exists to surface. MaxFires still bounds the stall's total duration in
+// records.
+func (in *Injector) StageDelay(vertex string, instance, node int) time.Duration {
+	if in.stageRules.Load() == 0 {
+		return 0
+	}
+	in.mu.Lock()
+	for _, r := range in.rules {
+		if r.Kind != StallStage {
+			continue
+		}
+		if !matchStr(r.Vertex, vertex) || !matchInt(r.Instance, instance) || !matchInt(r.Node, node) {
+			continue
+		}
+		if r.MaxFires > 0 && r.fires >= r.MaxFires {
+			continue
+		}
+		r.fires++
+		d := r.Delay
+		first := r.fires == 1
+		var ev Event
+		if first {
+			ev = Event{Kind: StallStage, Vertex: vertex, Instance: instance, Node: node, Part: Any}
+			in.events = append(in.events, ev)
+		}
+		in.mu.Unlock()
+		if first {
+			in.annotate(ev)
+		}
+		return d
+	}
+	in.mu.Unlock()
+	return 0
 }
 
 // Access intercepts one KV access of partition part (owned by node) from

@@ -1,6 +1,10 @@
 package dataflow
 
-import "squery/internal/chaos"
+import (
+	"time"
+
+	"squery/internal/chaos"
+)
 
 // ChaosHook is the fault-injection interface the checkpoint control plane
 // consults (implemented by *chaos.Injector; nil disables injection). All
@@ -18,4 +22,11 @@ type ChaosHook interface {
 	// checkpoint ssid completed but before commit, and which cluster node
 	// (>= 0) fails with it.
 	CrashPreCommit(ssid int64) (crash bool, node int)
+	// StageDelay reports how long the operator instance must stall before
+	// processing its next record — the data-plane fault behind the health
+	// plane's chaos test (a stalled stage must surface as backpressure and
+	// a frozen watermark in the sys tables). 0 means no stall. Workers call
+	// it once per record, so implementations must keep the no-fault path
+	// cheap.
+	StageDelay(vertex string, instance, node int) time.Duration
 }

@@ -200,24 +200,101 @@ type opInstruments struct {
 	recordsOut  *metrics.Counter
 	checkpoints *metrics.Counter
 	barrierWait *metrics.Histogram
+
+	// Health plane: event-time progress and backpressure. watermarkUs and
+	// lastRecordUs are written on the data path (one atomic store each);
+	// the lag/depth/pressure series derived from them are registered as
+	// read-time GaugeFuncs in opInstrumentsFor, so they cost nothing per
+	// record and are always fresh — a frozen stage still reports growing
+	// lag.
+	watermarkUs   *metrics.Gauge
+	lastRecordUs  *metrics.Gauge
+	blockedSends  *metrics.Counter
+	blockedSendNs *metrics.Counter
+}
+
+// noteBlocked records one downstream send that found the channel full,
+// measured from start. Nil-safe (no-op instruments).
+func (ins *opInstruments) noteBlocked(d time.Duration) {
+	ins.blockedSends.Inc()
+	ins.blockedSendNs.Add(d.Nanoseconds())
 }
 
 // opInstrumentsFor resolves one instance's instruments (and publishes its
 // scheduled node as a gauge). Resolution happens once at (re)start so the
-// data path pays one atomic op per event, never a registry lookup.
-func (j *Job) opInstrumentsFor(vertex string, instance, node int) opInstruments {
+// data path pays one atomic op per event, never a registry lookup. inbox
+// is the instance's bounded input channel (nil for sources); the derived
+// depth/pressure gauges close over it, and a restart re-registers them
+// over the new run's channel.
+func (j *Job) opInstrumentsFor(vertex string, instance, node int, inbox chan item) opInstruments {
 	reg := j.cfg.Metrics
 	if reg == nil {
 		return opInstruments{}
 	}
 	id := fmt.Sprintf("%s/%d", vertex, instance)
 	reg.Gauge("operator", id, "node").Set(int64(node))
-	return opInstruments{
-		recordsIn:   reg.Counter("operator", id, "records_in"),
-		recordsOut:  reg.Counter("operator", id, "records_out"),
-		checkpoints: reg.Counter("operator", id, "checkpoints"),
-		barrierWait: reg.Histogram("operator", id, "barrier_wait"),
+	ins := opInstruments{
+		recordsIn:     reg.Counter("operator", id, "records_in"),
+		recordsOut:    reg.Counter("operator", id, "records_out"),
+		checkpoints:   reg.Counter("operator", id, "checkpoints"),
+		barrierWait:   reg.Histogram("operator", id, "barrier_wait"),
+		watermarkUs:   reg.Gauge("operator", id, "watermark_us"),
+		lastRecordUs:  reg.Gauge("operator", id, "last_record_us"),
+		blockedSends:  reg.Counter("operator", id, "blocked_sends"),
+		blockedSendNs: reg.Counter("operator", id, "blocked_send_ns"),
 	}
+	wm := ins.watermarkUs
+	reg.GaugeFunc("operator", id, "watermark_lag_us", func() int64 {
+		w := wm.Value()
+		if w == 0 {
+			return 0 // no watermark yet — lag is undefined, not huge
+		}
+		if lag := time.Now().UnixMicro() - w; lag > 0 {
+			return lag
+		}
+		return 0
+	})
+	// Blocked-send share of lifetime, in permille. The counter survives
+	// restarts while the epoch resets with this resolution, so clamp.
+	blockedNs := ins.blockedSendNs
+	epoch := time.Now()
+	blockedShare := func() int64 {
+		up := time.Since(epoch).Nanoseconds()
+		if up <= 0 {
+			return 0
+		}
+		p := blockedNs.Value() * 1000 / up
+		if p > 1000 {
+			p = 1000
+		}
+		return p
+	}
+	reg.GaugeFunc("operator", id, "send_blocked_permille", blockedShare)
+	if inbox == nil {
+		// Sources have no inbox; their only pressure signal is being
+		// blocked sending downstream.
+		reg.Gauge("operator", id, "inbox_capacity").Set(0)
+		reg.GaugeFunc("operator", id, "inbox_depth", func() int64 { return 0 })
+		reg.GaugeFunc("operator", id, "pressure_permille", blockedShare)
+		return ins
+	}
+	capacity := int64(cap(inbox))
+	reg.Gauge("operator", id, "inbox_capacity").Set(capacity)
+	reg.GaugeFunc("operator", id, "inbox_depth", func() int64 { return int64(len(inbox)) })
+	// Pressure blames the right stage: a stalled stage's own inbox fills
+	// (fill fraction), while a stage throttled by its downstream spends
+	// its time in blocked sends. Either signal alone marks the stage.
+	reg.GaugeFunc("operator", id, "pressure_permille", func() int64 {
+		var fill int64
+		if capacity > 0 {
+			fill = int64(len(inbox)) * 1000 / capacity
+		}
+		if b := blockedShare(); b > fill {
+			return b
+		}
+		return fill
+	})
+	return ins
 }
 
 // Run validates the DAG, registers its stateful operators with a fresh
@@ -487,7 +564,7 @@ func (j *Job) start(restoreSSID int64, standby bool) {
 					killCh:    j.killCh,
 					offset:    j.liveOffset(v.Name, i),
 					wmPolicy:  v.Watermarks,
-					ins:       j.opInstrumentsFor(v.Name, i, node),
+					ins:       j.opInstrumentsFor(v.Name, i, node, nil),
 				}
 				j.sources = append(j.sources, sw)
 				continue
@@ -504,7 +581,7 @@ func (j *Job) start(restoreSSID int64, standby bool) {
 				killCh:    j.killCh,
 				aligned:   make(map[producerID]bool),
 				eos:       make(map[producerID]bool),
-				ins:       j.opInstrumentsFor(v.Name, i, node),
+				ins:       j.opInstrumentsFor(v.Name, i, node, inboxes[v.Name][i]),
 			}
 			if backend != nil && !j.cfg.SyncPhase1 {
 				// Asynchronous phase 1: the worker pins at the barrier and

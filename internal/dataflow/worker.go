@@ -96,6 +96,21 @@ func (w *worker) handle(it item) bool {
 	switch it.kind {
 	case kindRecord:
 		w.ins.recordsIn.Inc()
+		if g := w.ins.lastRecordUs; g != nil {
+			// Idle detection: the wall-clock time of the last processed
+			// record. Guarded so metrics-off runs skip the clock read.
+			g.Set(time.Now().UnixMicro())
+		}
+		if hook := w.job.cfg.Chaos; hook != nil {
+			if d := hook.StageDelay(w.vertex, w.instance, w.node); d > 0 {
+				// Interruptible: a frozen stage must not hold Stop hostage
+				// for the remainder of the injected delay.
+				select {
+				case <-time.After(d):
+				case <-w.killCh:
+				}
+			}
+		}
 		tr := w.job.cfg.Tracer
 		if tr == nil || !it.rec.Trace.Valid() {
 			w.proc.Process(it.rec, w.emit)
@@ -194,6 +209,7 @@ func (w *worker) advanceWatermark() {
 		return
 	}
 	w.curWM = min
+	w.ins.watermarkUs.Set(min.UnixMicro())
 	if h, ok := w.proc.(WatermarkHandler); ok {
 		h.OnWatermark(min, w.emit)
 	}
@@ -351,13 +367,45 @@ func (w *worker) broadcast(it item) {
 }
 
 // send delivers an item with backpressure; a closed kill channel aborts
-// the send so failure injection cannot deadlock on full queues.
+// the send so failure injection cannot deadlock on full queues. The fast
+// path is a non-blocking send: only a full downstream inbox pays the
+// blocked-send stopwatch, so an uncongested pipeline sees no extra clock
+// reads.
 func (w *worker) send(ch chan item, it item) {
+	select {
+	case ch <- it:
+		return
+	default:
+	}
+	start := time.Now()
 	select {
 	case ch <- it:
 	case <-w.killCh:
 		w.killed = true
 	}
+	d := time.Since(start)
+	w.ins.noteBlocked(d)
+	emitPressureSpan(w.job.cfg.Tracer, w.vertex, w.instance, start, d)
+}
+
+// pressureSpanMin is the blocked-send duration above which a health span
+// is emitted — long stalls become visible on /tracez and sys.spans
+// without flooding the ring with every brief full-buffer blip.
+const pressureSpanMin = 5 * time.Millisecond
+
+// emitPressureSpan records one blocked send as a single-span health trace.
+func emitPressureSpan(tr *trace.Tracer, vertex string, instance int, start time.Time, d time.Duration) {
+	if tr == nil || d < pressureSpanMin {
+		return
+	}
+	id := tr.NewID()
+	tr.Emit(trace.SpanData{
+		TraceID: id, SpanID: id,
+		Name: "backpressure:send", Kind: trace.KindHealth,
+		Vertex: vertex, Instance: instance,
+		Start: start, Dur: d,
+		Note: "downstream inbox full",
+	})
 }
 
 // sourceWorker drives one source instance: it pulls records, stamps event
@@ -427,6 +475,9 @@ func (s *sourceWorker) run() {
 				s.offset.Store(s.src.Offset())
 				s.job.sourceOut.Inc()
 				s.ins.recordsOut.Inc()
+				if g := s.ins.lastRecordUs; g != nil {
+					g.Set(time.Now().UnixMicro())
+				}
 				s.maybeWatermark(rec.EventTime)
 			}
 		}
@@ -450,7 +501,9 @@ func (s *sourceWorker) maybeWatermark(et time.Time) {
 		return
 	}
 	s.sinceWM = 0
-	s.broadcast(item{kind: kindWatermark, wm: s.maxEvent.Add(-s.wmPolicy.Lag)})
+	wm := s.maxEvent.Add(-s.wmPolicy.Lag)
+	s.ins.watermarkUs.Set(wm.UnixMicro())
+	s.broadcast(item{kind: kindWatermark, wm: wm})
 }
 
 // drainBarriers acks any barrier requests that raced with end-of-stream
@@ -500,9 +553,18 @@ func (s *sourceWorker) broadcast(it item) {
 func (s *sourceWorker) send(ch chan item, it item) {
 	select {
 	case ch <- it:
+		return
+	default:
+	}
+	start := time.Now()
+	select {
+	case ch <- it:
 	case <-s.killCh:
 		s.killed = true
 	}
+	d := time.Since(start)
+	s.ins.noteBlocked(d)
+	emitPressureSpan(s.job.cfg.Tracer, s.vertex, s.instance, start, d)
 }
 
 // sendAck delivers a phase-1 ack to the coordinator without blocking the

@@ -19,10 +19,12 @@ var (
 // ValidatePrometheusText checks that text parses as Prometheus text
 // exposition format (version 0.0.4): every sample line is well-formed,
 // every sample's family has a preceding # TYPE declaration of a known
-// type, counter samples end in _total, and values parse as floats. CI's
-// obs-plane smoke test runs scraped /metrics output through it.
+// type, HELP comments are well-formed, unique, and precede their family's
+// TYPE line, counter samples end in _total, and values parse as floats.
+// CI's obs-plane smoke test runs scraped /metrics output through it.
 func ValidatePrometheusText(text string) error {
 	types := map[string]string{}
+	helps := map[string]bool{}
 	for ln, line := range strings.Split(text, "\n") {
 		if line == "" {
 			continue
@@ -47,7 +49,23 @@ func ValidatePrometheusText(text string) error {
 				}
 				types[name] = typ
 			}
-			continue // HELP and free comments are unconstrained
+			if len(fields) >= 2 && fields[1] == "HELP" {
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: malformed HELP comment %q (need a name and non-empty text)", ln+1, line)
+				}
+				name := fields[2]
+				if !promNameRe.MatchString(name) {
+					return fmt.Errorf("line %d: bad family name in HELP %q", ln+1, name)
+				}
+				if helps[name] {
+					return fmt.Errorf("line %d: duplicate HELP for %q", ln+1, name)
+				}
+				if _, typed := types[name]; typed {
+					return fmt.Errorf("line %d: HELP for %q appears after its TYPE", ln+1, name)
+				}
+				helps[name] = true
+			}
+			continue // free comments are unconstrained
 		}
 		m := promSampleRe.FindStringSubmatch(line)
 		if m == nil {

@@ -18,8 +18,27 @@ import (
 //     _count, all in seconds.
 //
 // Families are emitted sorted by name, each under a single # TYPE line;
-// series within a family keep the registry's deterministic (sorted-key)
-// order. A nil registry renders as the empty exposition.
+// families with a registered description (promHelp) get a # HELP line
+// first; series within a family keep the registry's deterministic
+// (sorted-key) order. A nil registry renders as the empty exposition.
+//
+// promHelp documents the health-plane families: the lag/pressure gauges
+// are the ones external alerting is expected to scrape, so their meaning
+// and unit live in the exposition itself. Derived gauges are evaluated at
+// render time, so scraped lag is current even when the stage is frozen.
+var promHelp = map[string]string{
+	"squery_operator_watermark_lag_us":      "Event-time lag of the operator's current watermark behind the wall clock, in microseconds.",
+	"squery_operator_watermark_us":          "Current watermark of the operator instance as microseconds since the Unix epoch (0 before the first watermark).",
+	"squery_operator_last_record_us":        "Wall-clock time the operator last processed a record, microseconds since the Unix epoch (0 when idle since start).",
+	"squery_operator_inbox_depth":           "Records currently queued in the operator instance's bounded inbox channel.",
+	"squery_operator_inbox_capacity":        "Capacity of the operator instance's bounded inbox channel.",
+	"squery_operator_send_blocked_permille": "Share of the stage's lifetime spent blocked sending downstream, in permille.",
+	"squery_operator_pressure_permille":     "Backpressure score of the stage: max of inbox fill fraction and blocked-send share, in permille.",
+	"squery_operator_blocked_sends_total":   "Downstream sends that found the channel full and blocked.",
+	"squery_operator_blocked_send_ns_total": "Total nanoseconds spent blocked in downstream sends.",
+	"squery_sql_slow_queries_total":         "Queries whose wall time exceeded the configured slow-query threshold.",
+}
+
 func (r *Registry) PrometheusText() string {
 	type family struct {
 		typ   string
@@ -69,6 +88,9 @@ func (r *Registry) PrometheusText() string {
 	sort.Strings(names)
 	var b strings.Builder
 	for _, n := range names {
+		if help := promHelp[n]; help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", n, help)
+		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", n, fams[n].typ)
 		for _, l := range fams[n].lines {
 			b.WriteString(l)

@@ -195,8 +195,11 @@ type Registry struct {
 	mu       sync.RWMutex
 	counters map[InstrumentKey]*Counter
 	gauges   map[InstrumentKey]*Gauge
+	derived  map[InstrumentKey]func() int64
 	hists    map[InstrumentKey]*Histogram
 	logs     map[string]*EventLog
+
+	hist historyRing // periodic snapshot ring behind Retain / sys.history
 }
 
 // NewRegistry returns an empty registry.
@@ -204,9 +207,27 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[InstrumentKey]*Counter),
 		gauges:   make(map[InstrumentKey]*Gauge),
+		derived:  make(map[InstrumentKey]func() int64),
 		hists:    make(map[InstrumentKey]*Histogram),
 		logs:     make(map[string]*EventLog),
 	}
+}
+
+// GaugeFunc registers a derived gauge: fn is evaluated at read time
+// (Values, Points, history snapshots, the Prometheus exposition), so the
+// reported value is always current without any hot-path writes — the
+// instrument behind freshness-sensitive series like watermark lag and
+// queue depth. Re-registering the same key replaces the function (workers
+// re-resolve instruments on every restart). fn must be safe for
+// concurrent use and must not call back into the registry.
+func (r *Registry) GaugeFunc(subsystem, id, metric string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	k := InstrumentKey{subsystem, id, metric}
+	r.mu.Lock()
+	r.derived[k] = fn
+	r.mu.Unlock()
 }
 
 // Counter returns (creating if absent) the counter for the key.
@@ -313,7 +334,6 @@ func (r *Registry) Values(subsystem string) map[string]map[string]int64 {
 		m[k.Metric] = v
 	}
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	for k, c := range r.counters {
 		if k.Subsystem == subsystem {
 			put(k, c.Value())
@@ -323,6 +343,17 @@ func (r *Registry) Values(subsystem string) map[string]map[string]int64 {
 		if k.Subsystem == subsystem {
 			put(k, g.Value())
 		}
+	}
+	fns := make(map[InstrumentKey]func() int64)
+	for k, fn := range r.derived {
+		if k.Subsystem == subsystem {
+			fns[k] = fn
+		}
+	}
+	r.mu.RUnlock()
+	// Derived gauges run user code; evaluate them outside the registry lock.
+	for k, fn := range fns {
+		put(k, fn())
 	}
 	return out
 }
@@ -369,18 +400,28 @@ func (r *Registry) Points() []Point {
 		return nil
 	}
 	r.mu.RLock()
-	pts := make([]Point, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	pts := make([]Point, 0, len(r.counters)+len(r.gauges)+len(r.derived)+len(r.hists))
 	for k, c := range r.counters {
 		pts = append(pts, Point{Key: k, Kind: "counter", Value: c.Value()})
 	}
 	for k, g := range r.gauges {
 		pts = append(pts, Point{Key: k, Kind: "gauge", Value: g.Value()})
 	}
+	fns := make(map[InstrumentKey]func() int64, len(r.derived))
+	for k, fn := range r.derived {
+		fns[k] = fn
+	}
 	hists := make(map[InstrumentKey]*Histogram, len(r.hists))
 	for k, h := range r.hists {
 		hists[k] = h
 	}
 	r.mu.RUnlock()
+	// Derived gauges run user code (channel length reads, clock reads);
+	// evaluate them outside the registry lock for the same reason as
+	// histogram snapshots below.
+	for k, fn := range fns {
+		pts = append(pts, Point{Key: k, Kind: "gauge", Value: fn()})
+	}
 	// Histogram snapshots take the histogram's own lock; do it outside the
 	// registry lock so a slow summary never blocks instrument creation.
 	for k, h := range hists {

@@ -1,6 +1,8 @@
 // Package obshttp is the engine's HTTP observability plane: a single
 // handler exposing Prometheus metrics, a slowest-first trace inspector,
-// liveness/readiness probes and the Go pprof profiles. The package
+// a one-page health summary (/statusz: watermark lag, backpressure,
+// slowest queries, metric-history sparklines), liveness/readiness probes
+// and the Go pprof profiles. The package
 // depends only on the metrics and trace instrument types — the engine
 // (or any harness) passes its instruments in via Options, so cmd
 // binaries can serve the plane without an import cycle through the root
@@ -44,13 +46,17 @@ type Options struct {
 	Ready func() error
 }
 
-// Handler returns the observability mux: /metrics, /tracez, /healthz,
-// /readyz and /debug/pprof/*.
+// Handler returns the observability mux: /metrics, /statusz, /tracez,
+// /healthz, /readyz and /debug/pprof/*.
 func Handler(o Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		fmt.Fprint(w, o.Metrics.PrometheusText())
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteStatus(w, o.Metrics)
 	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
 		limit := 50

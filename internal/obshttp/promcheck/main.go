@@ -3,27 +3,34 @@
 // obs-smoke job pipes the live endpoint through it:
 //
 //	curl -fsS http://127.0.0.1:8080/metrics > metrics.prom
-//	go run ./internal/obshttp/promcheck metrics.prom
+//	go run ./internal/obshttp/promcheck -require squery_operator_pressure_permille metrics.prom
 //
 // It exits non-zero (printing the first violation) on malformed output.
+// -require takes a comma-separated list of metric families that must be
+// present in the exposition (each with a # TYPE line), so the smoke jobs
+// catch a family silently disappearing, not just syntax rot.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"squery/internal/metrics"
 )
 
 func main() {
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	flag.Parse()
 	var (
 		body []byte
 		err  error
 	)
 	switch {
-	case len(os.Args) == 2 && os.Args[1] != "-":
-		body, err = os.ReadFile(os.Args[1])
+	case flag.NArg() == 1 && flag.Arg(0) != "-":
+		body, err = os.ReadFile(flag.Arg(0))
 	default:
 		body, err = io.ReadAll(os.Stdin)
 	}
@@ -34,6 +41,24 @@ func main() {
 	if err := metrics.ValidatePrometheusText(string(body)); err != nil {
 		fmt.Fprintln(os.Stderr, "promcheck: invalid exposition:", err)
 		os.Exit(1)
+	}
+	if *require != "" {
+		types := map[string]bool{}
+		for _, line := range strings.Split(string(body), "\n") {
+			if fields := strings.Fields(line); len(fields) >= 3 && fields[0] == "#" && fields[1] == "TYPE" {
+				types[fields[2]] = true
+			}
+		}
+		var missing []string
+		for _, fam := range strings.Split(*require, ",") {
+			if fam = strings.TrimSpace(fam); fam != "" && !types[fam] {
+				missing = append(missing, fam)
+			}
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "promcheck: missing required families: %s\n", strings.Join(missing, ", "))
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("promcheck: ok (%d bytes)\n", len(body))
 }

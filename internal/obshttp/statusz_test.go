@@ -1,0 +1,86 @@
+package obshttp
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"squery/internal/metrics"
+)
+
+// healthRegistry builds a registry shaped like a running engine's: two
+// operator instances (one pressured), a slow query, and enough history
+// for sparklines.
+func healthRegistry() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	now := time.Now()
+	for _, id := range []string{"map/0", "map/1"} {
+		reg.Gauge("operator", id, "watermark_us").Set(now.Add(-2 * time.Second).UnixMicro())
+		reg.Gauge("operator", id, "last_record_us").Set(now.UnixMicro())
+		reg.Gauge("operator", id, "watermark_lag_us").Set(2_000_000)
+		reg.Gauge("operator", id, "inbox_capacity").Set(8)
+	}
+	reg.Gauge("operator", "map/0", "pressure_permille").Set(1000)
+	reg.Gauge("operator", "map/0", "inbox_depth").Set(8)
+	reg.Gauge("operator", "map/1", "pressure_permille").Set(10)
+	reg.Gauge("operator", "map/1", "inbox_depth").Set(0)
+	reg.Counter("operator", "map/0", "blocked_sends").Add(3)
+	reg.Log("slow_queries", 8).Append(map[string]any{
+		"query": "SELECT * FROM orders", "wallUs": int64(150_000),
+		"rowsScanned": int64(40), "bytesShipped": int64(2048),
+		"peakMemBytes": int64(4096), "stages": "scan=1ms project=80µs",
+	})
+	in := reg.Counter("operator", "map/0", "records_in")
+	reg.Capture(now.Add(-2 * time.Second))
+	in.Add(500)
+	reg.Capture(now.Add(-time.Second))
+	in.Add(1500)
+	reg.Capture(now)
+	return reg
+}
+
+func TestWriteStatusRendersAllSections(t *testing.T) {
+	var b strings.Builder
+	WriteStatus(&b, healthRegistry())
+	out := b.String()
+	for _, want := range []string{
+		"== watermarks", "map/0", "lag=2s",
+		"== backpressure", "1 pressured", "<-- PRESSURED", "inbox=8/8",
+		"== slow queries", "SELECT * FROM orders", "scan=1ms",
+		"== history (3 snapshots", "ingest rate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("statusz missing %q:\n%s", want, out)
+		}
+	}
+	// The ingest sparkline must show a rising rate (500/s then 1500/s).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "ingest rate") {
+			if !strings.Contains(line, "▃█") {
+				t.Fatalf("ingest sparkline not rising: %q", line)
+			}
+		}
+	}
+}
+
+func TestWriteStatusNilRegistry(t *testing.T) {
+	var b strings.Builder
+	WriteStatus(&b, nil)
+	if !strings.Contains(b.String(), "metrics disabled") {
+		t.Fatalf("nil-registry statusz = %q", b.String())
+	}
+}
+
+func TestStatuszEndpoint(t *testing.T) {
+	h := Handler(Options{Metrics: healthRegistry()})
+	code, body := get(t, h, "/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{"== watermarks", "== backpressure", "== slow queries", "== history"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/statusz missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -211,6 +211,10 @@ func DAG(cfg Config, sink *dataflow.Vertex) *dataflow.DAG {
 			}
 			return dataflow.Record{Key: key, Value: ev}, true
 		})
+	// Emit event-time watermarks so sys.watermarks tracks the workload's
+	// progress (records carry source-stamped event times); a frozen
+	// watermark with growing lag is the health plane's stall signal.
+	src.Watermarks = &dataflow.WatermarkPolicy{Every: 64}
 	return dataflow.NewDAG().
 		AddVertex(src).
 		AddVertex(dataflow.StatefulMapVertex("orderinfo", cfg.OperatorParallelism,

@@ -1,0 +1,102 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"squery/internal/metrics"
+)
+
+// logEvents reads one of the executor's event logs.
+func logEvents(reg *metrics.Registry, name string) []metrics.Event {
+	return reg.Log(name, 0).Events()
+}
+
+func TestQueryEventCarriesResourceAccounting(t *testing.T) {
+	f := newFixture(t, 40, liveSnapCfg())
+	reg := metered(f)
+	if _, err := f.ex.Query(`SELECT * FROM orderinfo`); err != nil {
+		t.Fatal(err)
+	}
+	evs := logEvents(reg, "queries")
+	if len(evs) != 1 {
+		t.Fatalf("queries log has %d events, want 1", len(evs))
+	}
+	ev := evs[0].Fields
+	if b, _ := ev["bytesShipped"].(int64); b <= 0 {
+		t.Fatalf("bytesShipped = %v, want > 0", ev["bytesShipped"])
+	}
+	if m, _ := ev["peakMemBytes"].(int64); m <= 0 {
+		t.Fatalf("peakMemBytes = %v, want > 0", ev["peakMemBytes"])
+	}
+	if s, _ := ev["stages"].(string); s == "" {
+		t.Fatal("stages breakdown is empty")
+	}
+	if counterVal(t, reg, "sql", "exec", "bytes_shipped") <= 0 {
+		t.Fatal("bytes_shipped counter did not accumulate")
+	}
+}
+
+func TestSlowQueryLogThresholdAndMirror(t *testing.T) {
+	f := newFixture(t, 20, liveSnapCfg())
+	reg := metrics.NewRegistry()
+	// Threshold 0ns is mapped to the default; use 1ns so every execution
+	// qualifies as slow.
+	f.ex.SetMetricsLimits(reg, MetricsLimits{SlowQueryThreshold: time.Nanosecond})
+	if _, err := f.ex.Query(`SELECT COUNT(*) FROM orderinfo`); err != nil {
+		t.Fatal(err)
+	}
+	if got := logEvents(reg, "slow_queries"); len(got) != 1 {
+		t.Fatalf("slow_queries has %d events, want 1", len(got))
+	}
+	// Mirrored, not moved: the event must also be in sys.queries' log.
+	if got := logEvents(reg, "queries"); len(got) != 1 {
+		t.Fatalf("queries has %d events, want 1", len(got))
+	}
+	if counterVal(t, reg, "sql", "exec", "slow_queries") != 1 {
+		t.Fatal("slow_queries counter != 1")
+	}
+
+	// A negative threshold disables the slow log entirely.
+	f2 := newFixture(t, 20, liveSnapCfg())
+	reg2 := metrics.NewRegistry()
+	f2.ex.SetMetricsLimits(reg2, MetricsLimits{SlowQueryThreshold: -1})
+	if _, err := f2.ex.Query(`SELECT COUNT(*) FROM orderinfo`); err != nil {
+		t.Fatal(err)
+	}
+	if got := logEvents(reg2, "slow_queries"); len(got) != 0 {
+		t.Fatalf("disabled slow log recorded %d events", len(got))
+	}
+}
+
+func TestQueryLogEvictionHonorsConfiguredCaps(t *testing.T) {
+	f := newFixture(t, 10, liveSnapCfg())
+	reg := metrics.NewRegistry()
+	f.ex.SetMetricsLimits(reg, MetricsLimits{
+		QueryLogCapacity:     4,
+		SlowQueryLogCapacity: 2,
+		SlowQueryThreshold:   time.Nanosecond,
+	})
+	for i := 0; i < 9; i++ {
+		q := fmt.Sprintf(`SELECT COUNT(*) FROM orderinfo WHERE customerLat > %d`, i)
+		if _, err := f.ex.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := logEvents(reg, "queries")
+	if len(evs) != 4 {
+		t.Fatalf("queries retained %d events, want cap 4", len(evs))
+	}
+	// Oldest evicted: the survivors are the last four queries, in order.
+	for i, ev := range evs {
+		want := fmt.Sprintf("customerLat > %d", 5+i)
+		if q, _ := ev.Fields["query"].(string); q == "" || !strings.Contains(q, want) {
+			t.Fatalf("event %d query %q, want suffix %q", i, ev.Fields["query"], want)
+		}
+	}
+	if got := logEvents(reg, "slow_queries"); len(got) != 2 {
+		t.Fatalf("slow_queries retained %d events, want cap 2", len(got))
+	}
+}

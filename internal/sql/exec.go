@@ -61,8 +61,15 @@ type execInstruments struct {
 	partsPruned  *metrics.Counter
 	indexScans   *metrics.Counter
 	degraded     *metrics.Counter
+	bytesShipped *metrics.Counter
 	latency      *metrics.Histogram
 	log          *metrics.EventLog
+	// Slow-query accounting: executions whose wall time reaches
+	// slowThreshold are counted and mirrored into the bounded slowLog
+	// (sys.slow_queries). slowThreshold <= 0 disables the mirror.
+	slowQueries   *metrics.Counter
+	slowLog       *metrics.EventLog
+	slowThreshold time.Duration
 	// planRows/planWall aggregate per-stage rows and wall time by plan
 	// node kind under ("sql", "plan"), fed from each query's plan tree.
 	planRows map[string]*metrics.Counter
@@ -85,8 +92,14 @@ type partScanIns struct {
 // the "queries" event log behind sys.queries. rows_scanned counts rows
 // examined on the owning nodes; rows_shipped counts the (possibly
 // filter-reduced) rows that crossed the client hop. Call before serving
-// queries; a nil registry leaves metrics disabled.
+// queries; a nil registry leaves metrics disabled. Log bounds and the
+// slow-query threshold take the MetricsLimits defaults — use
+// SetMetricsLimits to configure them.
 func (ex *Executor) SetMetrics(reg *metrics.Registry) {
+	ex.setMetrics(reg, MetricsLimits{}.WithDefaults())
+}
+
+func (ex *Executor) setMetrics(reg *metrics.Registry, lim MetricsLimits) {
 	ex.m = execInstruments{
 		reg:          reg,
 		queries:      reg.Counter("sql", "exec", "queries"),
@@ -98,8 +111,13 @@ func (ex *Executor) SetMetrics(reg *metrics.Registry) {
 		partsPruned:  reg.Counter("sql", "exec", "partitions_pruned"),
 		indexScans:   reg.Counter("sql", "exec", "index_scans"),
 		degraded:     reg.Counter("sql", "exec", "degraded_partitions"),
+		bytesShipped: reg.Counter("sql", "exec", "bytes_shipped"),
 		latency:      reg.Histogram("sql", "exec", "latency"),
-		log:          reg.Log("queries", 256),
+		log:          reg.Log("queries", lim.QueryLogCapacity),
+
+		slowQueries:   reg.Counter("sql", "exec", "slow_queries"),
+		slowLog:       reg.Log("slow_queries", lim.SlowQueryLogCapacity),
+		slowThreshold: lim.SlowQueryThreshold,
 	}
 	if reg != nil {
 		ex.m.planRows = make(map[string]*metrics.Counter, len(plan.Kinds))
@@ -321,6 +339,8 @@ func (ex *Executor) execTraced(stmt *Select, opts ExecOpts, query string) (*Resu
 	res, err := ex.run(pp, rc)
 	pp.total = sw.Elapsed()
 	pp.degraded = len(rc.deg.list)
+	pp.bytesShipped = rc.shippedBytes.Load()
+	pp.peakMemBytes = rc.mem.peak.Load()
 	if err == nil {
 		pp.returned = len(res.Rows)
 	}
@@ -340,7 +360,12 @@ func (ex *Executor) finishQuery(query string, pp *physPlan, total time.Duration,
 	ex.m.queries.Inc()
 	ex.m.latency.Record(total)
 	var scanned, pruned, indexed, examined, shipped, returned, degraded int64
+	var bytes, peakMem int64
+	var stages string
 	if pp != nil {
+		bytes = pp.bytesShipped
+		peakMem = pp.peakMemBytes
+		stages = stageWallSummary(pp.root)
 		for _, sc := range pp.scans {
 			st := sc.Stat()
 			scanned += st.Parts.Load()
@@ -366,6 +391,7 @@ func (ex *Executor) finishQuery(query string, pp *physPlan, total time.Duration,
 	ex.m.indexScans.Add(indexed)
 	ex.m.rowsScanned.Add(examined)
 	ex.m.rowsShipped.Add(shipped)
+	ex.m.bytesShipped.Add(bytes)
 	ex.m.degraded.Add(degraded)
 	if err != nil {
 		ex.m.errors.Inc()
@@ -411,7 +437,7 @@ func (ex *Executor) finishQuery(query string, pp *physPlan, total time.Duration,
 		}
 	}
 	if ex.m.log != nil {
-		ex.m.log.AppendFielder(&queryEvent{
+		ev := &queryEvent{
 			query:    query,
 			wallUs:   total.Microseconds(),
 			scanned:  examined,
@@ -420,9 +446,19 @@ func (ex *Executor) finishQuery(query string, pp *physPlan, total time.Duration,
 			parts:    scanned,
 			pruned:   pruned,
 			degraded: degraded,
+			bytes:    bytes,
+			peakMem:  peakMem,
+			stages:   stages,
 			failed:   err != nil,
 			traceID:  qsp.Context().TraceID,
-		})
+		}
+		ex.m.log.AppendFielder(ev)
+		// A slow execution is mirrored — not moved — into the bounded slow
+		// log, so it survives sys.queries churn long enough to diagnose.
+		if ex.m.slowThreshold > 0 && total >= ex.m.slowThreshold {
+			ex.m.slowQueries.Inc()
+			ex.m.slowLog.AppendFielder(ev)
+		}
 	}
 }
 
@@ -447,6 +483,9 @@ type queryEvent struct {
 	parts    int64
 	pruned   int64
 	degraded int64
+	bytes    int64  // estimated bytes shipped across the client hop
+	peakMem  int64  // peak estimated bytes in in-flight pipeline batches
+	stages   string // per-stage wall breakdown ("scan=1.2ms project=80µs")
 	failed   bool
 	traceID  uint64 // joins sys.queries to sys.spans; 0 when untraced
 }
@@ -461,6 +500,9 @@ func (q *queryEvent) EventFields() map[string]any {
 		"partitionsScanned":  q.parts,
 		"partitionsPruned":   q.pruned,
 		"degradedPartitions": q.degraded,
+		"bytesShipped":       q.bytes,
+		"peakMemBytes":       q.peakMem,
+		"stages":             q.stages,
 		"failed":             q.failed,
 		"traceId":            int64(q.traceID),
 	}

@@ -44,6 +44,11 @@ type physPlan struct {
 	total    time.Duration
 	degraded int
 	returned int
+	// Resource accounting, filled by execTraced from the run's memAccount:
+	// estimated bytes shipped across the client hop and peak estimated
+	// bytes held in in-flight pipeline batches.
+	bytesShipped int64
+	peakMemBytes int64
 }
 
 // render renders the plan tree (shared by EXPLAIN and EXPLAIN ANALYZE).

@@ -3,6 +3,7 @@ package sql
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"squery/internal/core"
@@ -23,16 +24,20 @@ import (
 // enough that channel traffic stays off the per-row path.
 const scanBatchRows = 128
 
-// scanBatch is one shipment of scanned rows from a node goroutine.
+// scanBatch is one shipment of scanned rows from a node goroutine. bytes
+// is its estimated footprint, accounted in the run's memAccount from send
+// to consumption.
 type scanBatch struct {
-	rows []core.TableRow
-	err  error
+	rows  []core.TableRow
+	bytes int64
+	err   error
 }
 
 // rowBatch is one shipment of working-set rows between pipeline stages.
 type rowBatch struct {
-	rows []joinedRow
-	err  error
+	rows  []joinedRow
+	bytes int64
+	err   error
 }
 
 // runCtx is the per-execution state every pipeline stage shares.
@@ -40,6 +45,10 @@ type runCtx struct {
 	ctx  *evalCtx // read-only, safe across goroutines
 	opts ExecOpts
 	deg  *degrades
+	// Resource accounting: estimated bytes shipped across the client hop
+	// and the in-flight batch memory high-water mark (sys.queries).
+	shippedBytes atomic.Int64
+	mem          memAccount
 	// done, once closed, tells every stage and partition scan to stop:
 	// the limit filled, an error surfaced, or the consumer is finished.
 	done chan struct{}
@@ -102,9 +111,15 @@ func (ex *Executor) streamScan(pp *physPlan, si int, rc *runCtx) <-chan scanBatc
 				if len(buf) == 0 {
 					return true
 				}
-				b := scanBatch{rows: buf}
+				b := scanBatch{rows: buf, bytes: estimateBatchBytes(buf)}
 				buf = nil
-				return send(b)
+				rc.shippedBytes.Add(b.bytes)
+				rc.mem.grab(b.bytes)
+				if !send(b) {
+					rc.mem.release(b.bytes)
+					return false
+				}
+				return true
 			}
 			for _, p := range parts {
 				select {
@@ -185,7 +200,9 @@ func streamBase(pp *physPlan, in <-chan scanBatch, rc *runCtx) <-chan rowBatch {
 		defer close(out)
 		defer drain(in)
 		for sb := range in {
-			b := rowBatch{err: sb.err}
+			// The joined rows reference the scan batch's backing rows, so
+			// the footprint transfers downstream rather than re-accruing.
+			b := rowBatch{err: sb.err, bytes: sb.bytes}
 			if sb.err == nil {
 				b.rows = make([]joinedRow, len(sb.rows))
 				for i := range sb.rows {
@@ -197,6 +214,7 @@ func streamBase(pp *physPlan, in <-chan scanBatch, rc *runCtx) <-chan rowBatch {
 			select {
 			case out <- b:
 			case <-rc.done:
+				rc.mem.release(b.bytes)
 				return
 			}
 			if sb.err != nil {
@@ -274,7 +292,13 @@ func (ex *Executor) streamCoJoin(pp *physPlan, rc *runCtx) <-chan rowBatch {
 				}
 				jst.Rows.Add(int64(len(b.rows)))
 				jst.WallNs.Add(int64(sw.Elapsed()))
-				if len(b.rows) > 0 && !send(b) {
+				if len(b.rows) == 0 {
+					continue
+				}
+				b.bytes = estimateJoinedBatchBytes(b.rows)
+				rc.mem.grab(b.bytes)
+				if !send(b) {
+					rc.mem.release(b.bytes)
 					return
 				}
 			}
@@ -299,6 +323,7 @@ func (ex *Executor) gatherSide(pp *physPlan, si, p int, rc *runCtx) ([]core.Tabl
 		examined = int64(len(rows))
 	}
 	ex.recordPartScan(s, p, examined, int64(len(rows)), sw.Elapsed())
+	rc.shippedBytes.Add(estimateBatchBytes(rows))
 	return rows, err
 }
 
@@ -327,13 +352,18 @@ func (ex *Executor) hashJoinStage(pp *physPlan, ji int, in <-chan rowBatch, rc *
 			return
 		}
 		// Build side: gather the joined table via its own scatter scan.
+		// Its batches are retained in the hash table for the stage's whole
+		// life, so their footprint stays accounted until the stage exits.
 		var right []core.TableRow
+		var buildBytes int64
+		defer func() { rc.mem.release(buildBytes) }()
 		for sb := range ex.streamScan(pp, si, rc) {
 			if sb.err != nil {
 				fail(sb.err)
 				return
 			}
 			right = append(right, sb.rows...)
+			buildBytes += sb.bytes
 		}
 		sw := metrics.StartStopwatch()
 		idx := make(map[joinKey][]*core.TableRow, len(right))
@@ -380,12 +410,16 @@ func (ex *Executor) hashJoinStage(pp *physPlan, ji int, in <-chan rowBatch, rc *
 			}
 			hst.Rows.Add(int64(len(ob.rows)))
 			hst.WallNs.Add(int64(sw.Elapsed()))
+			rc.mem.release(b.bytes)
 			if len(ob.rows) == 0 {
 				continue
 			}
+			ob.bytes = estimateJoinedBatchBytes(ob.rows)
+			rc.mem.grab(ob.bytes)
 			select {
 			case out <- ob:
 			case <-rc.done:
+				rc.mem.release(ob.bytes)
 				return
 			}
 		}
@@ -539,6 +573,7 @@ func (ex *Executor) projectStream(pp *physPlan, in <-chan rowBatch, rc *runCtx) 
 			return nil, err
 		}
 		if filled {
+			rc.mem.release(b.bytes)
 			continue // only reachable without early stop (e.g. DisablePushdown)
 		}
 		sw := metrics.StartStopwatch()
@@ -562,6 +597,7 @@ func (ex *Executor) projectStream(pp *physPlan, in <-chan rowBatch, rc *runCtx) 
 			}
 		}
 		pst.WallNs.Add(int64(sw.Elapsed()))
+		rc.mem.release(b.bytes)
 		if filled && pp.earlyStop {
 			rc.cancel()
 			break

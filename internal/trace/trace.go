@@ -32,6 +32,7 @@ const (
 	KindChaos      = "chaos"      // injected-fault annotations
 	KindNet        = "net"        // sampled inter-node batch messages (transport seam)
 	KindRebalance  = "rebalance"  // membership changes + per-partition migrations
+	KindHealth     = "health"     // backpressure stalls + watermark-lag annotations
 )
 
 // SpanContext is the propagated identity of a span: enough for a child in

@@ -17,9 +17,10 @@ import (
 // metrics.Registry — operator instances ("operator" subsystem), the
 // checkpoint coordinator ("checkpoint"), the KV store ("kv") and the SQL
 // executor ("sql") — and the registry is surfaced as virtual system tables
-// (sys.operators, sys.partitions, sys.checkpoints, sys.queries) that flow
-// through the normal SQL path: they can be filtered, joined, aggregated
-// and EXPLAIN ANALYZEd like any state table.
+// (sys.operators, sys.partitions, sys.checkpoints, sys.queries, and the
+// health plane: sys.watermarks, sys.backpressure, sys.history,
+// sys.slow_queries) that flow through the normal SQL path: they can be
+// filtered, joined, aggregated and EXPLAIN ANALYZEd like any state table.
 
 // Metrics returns the engine's registry, or nil when Config.DisableMetrics
 // was set. Callers may resolve their own instruments under it.
@@ -41,8 +42,14 @@ func (e *Engine) registerSystemTables() {
 			return eventRows(e.reg.Log("checkpoints", 256))
 		})
 		e.cat.RegisterVirtual("sys.queries", func() []core.TableRow {
-			return eventRows(e.reg.Log("queries", 256))
+			return eventRows(e.reg.Log("queries", e.lim.QueryLogCapacity))
 		})
+		e.cat.RegisterVirtual("sys.slow_queries", func() []core.TableRow {
+			return eventRows(e.reg.Log("slow_queries", e.lim.SlowQueryLogCapacity))
+		})
+		e.cat.RegisterVirtual("sys.watermarks", e.sysWatermarks)
+		e.cat.RegisterVirtual("sys.backpressure", e.sysBackpressure)
+		e.cat.RegisterVirtual("sys.history", e.sysHistory)
 	}
 	if e.tracer != nil {
 		e.cat.RegisterVirtual("sys.spans", e.sysSpans)
@@ -209,6 +216,140 @@ func (e *Engine) sysOperators() []core.TableRow {
 			"stateUpdates":     v["state_updates"],
 			"stateUpdateAvgUs": histMeanUs(h["state_update"]),
 		}})
+	}
+	return rows
+}
+
+// idleAfter is how long without a processed record an operator instance
+// must be before sys.watermarks reports it idle. Idleness is judged at
+// query time from the last_record_us gauge, so a stalled stage flips to
+// idle without any hot-path bookkeeping.
+const idleAfter = time.Second
+
+// operatorID splits a per-instance instrument id ("vertex/3") into its
+// vertex name and instance number.
+func operatorID(id string) (vertex string, instance int) {
+	vertex, instance = id, -1
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		vertex = id[:i]
+		instance, _ = strconv.Atoi(id[i+1:])
+	}
+	return vertex, instance
+}
+
+// sortedOperatorIDs returns the instance ids of the operator subsystem
+// that carry the given marker metric, sorted.
+func sortedOperatorIDs(vals map[string]map[string]int64, marker string) []string {
+	ids := make([]string, 0, len(vals))
+	for id, v := range vals {
+		if _, ok := v[marker]; ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// sysWatermarks is one row per operator instance with its event-time
+// progress: the current watermark, its lag behind the wall clock, when the
+// instance last processed (or emitted) a record, and whether it has gone
+// idle. The lag column is a derived gauge evaluated at read time, so a
+// frozen watermark shows ever-growing lag — the primary stall signal the
+// chaos tests assert on.
+func (e *Engine) sysWatermarks() []core.TableRow {
+	vals := e.reg.Values("operator")
+	now := time.Now()
+	ids := sortedOperatorIDs(vals, "watermark_us")
+	rows := make([]core.TableRow, 0, len(ids))
+	for _, id := range ids {
+		v := vals[id]
+		vertex, inst := operatorID(id)
+		last := v["last_record_us"]
+		idleUs := int64(0)
+		if last > 0 {
+			idleUs = now.UnixMicro() - last
+		}
+		rows = append(rows, core.TableRow{Key: id, Value: kv.MapRow{
+			"vertex":       vertex,
+			"instance":     inst,
+			"node":         v["node"],
+			"watermarkUs":  v["watermark_us"],
+			"lagUs":        v["watermark_lag_us"],
+			"lastRecordUs": last,
+			"idleUs":       idleUs,
+			"idle":         last == 0 || idleUs >= idleAfter.Microseconds(),
+		}})
+	}
+	return rows
+}
+
+// sysBackpressure is one row per operator instance with its queueing
+// health: inbox depth against capacity, cumulative blocked sends with the
+// time they cost, the lifetime share of wall time spent blocked, and the
+// combined pressure score — max(inbox fill, blocked-send share) in
+// permille, so both a stalled stage (full inbox) and the upstream stage it
+// throttles (blocked sends) read as pressured.
+func (e *Engine) sysBackpressure() []core.TableRow {
+	vals := e.reg.Values("operator")
+	ids := sortedOperatorIDs(vals, "pressure_permille")
+	rows := make([]core.TableRow, 0, len(ids))
+	for _, id := range ids {
+		v := vals[id]
+		vertex, inst := operatorID(id)
+		depth, capacity := v["inbox_depth"], v["inbox_capacity"]
+		fill := int64(0)
+		if capacity > 0 {
+			fill = depth * 1000 / capacity
+		}
+		rows = append(rows, core.TableRow{Key: id, Value: kv.MapRow{
+			"vertex":           vertex,
+			"instance":         inst,
+			"node":             v["node"],
+			"inboxDepth":       depth,
+			"inboxCapacity":    capacity,
+			"fillPermille":     fill,
+			"blockedSends":     v["blocked_sends"],
+			"blockedUs":        v["blocked_send_ns"] / 1000,
+			"blockedPermille":  v["send_blocked_permille"],
+			"pressurePermille": v["pressure_permille"],
+		}})
+	}
+	return rows
+}
+
+// sysHistory exposes the registry's retained metric snapshots as a time
+// series: one row per (snapshot, instrument), oldest snapshot first, with
+// a per-second rate computed against the same instrument in the previous
+// snapshot (counters only; gauges and histogram counts carry rate 0).
+// `WHERE metric = 'records_in'` recovers one instrument's series;
+// `WHERE snapshot = N` recovers one capture.
+func (e *Engine) sysHistory() []core.TableRow {
+	snaps := e.reg.History()
+	var rows []core.TableRow
+	var prev map[metrics.InstrumentKey]int64
+	var prevAt time.Time
+	for i, s := range snaps {
+		cur := make(map[metrics.InstrumentKey]int64, len(s.Points))
+		for _, p := range s.Points {
+			cur[p.Key] = p.Value
+			rate := 0.0
+			if p.Kind == "counter" && prev != nil {
+				if pv, ok := prev[p.Key]; ok {
+					rate = metrics.Rate(pv, p.Value, prevAt, s.At)
+				}
+			}
+			rows = append(rows, core.TableRow{Key: strconv.Itoa(i) + "/" + p.Key.String(), Value: kv.MapRow{
+				"snapshot":   int64(i),
+				"atUnixUs":   s.At.UnixMicro(),
+				"subsystem":  p.Key.Subsystem,
+				"id":         p.Key.ID,
+				"metric":     p.Key.Metric,
+				"kind":       p.Kind,
+				"value":      p.Value,
+				"ratePerSec": rate,
+			}})
+		}
+		prev, prevAt = cur, s.At
 	}
 	return rows
 }

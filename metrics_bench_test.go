@@ -117,6 +117,7 @@ func BenchmarkMetricsOverheadIngest(b *testing.B) {
 				emitted := job.SourceRecords() - before
 				total += float64(emitted) / time.Since(start).Seconds()
 				job.Stop()
+				eng.Close()
 			}
 			b.ReportMetric(total/float64(b.N), "events/s")
 			b.ReportMetric(0, "ns/op")

@@ -42,9 +42,14 @@ echo "obs-smoke: readyz ok"
 
 metrics=$(mktemp)
 curl -fsS "http://$addr/metrics" >"$metrics"
-go run ./internal/obshttp/promcheck "$metrics"
+go run ./internal/obshttp/promcheck \
+  -require squery_operator_watermark_lag_us,squery_operator_pressure_permille \
+  "$metrics"
 grep -q '^# TYPE squery_checkpoint_commits_total counter' "$metrics"
 grep -q 'squery_operator_records_in_total' "$metrics"
+# Health-plane families ship with HELP text for external alerting.
+grep -q '^# HELP squery_operator_watermark_lag_us ' "$metrics"
+grep -q '^# TYPE squery_operator_pressure_permille gauge' "$metrics"
 echo "obs-smoke: metrics scrape valid"
 
 tracez=$(curl -fsS "http://$addr/tracez?limit=5")

@@ -204,6 +204,25 @@ type Config struct {
 	// TraceCapacity bounds the number of completed spans retained in the
 	// tracer's ring buffer (default 4096); older spans are overwritten.
 	TraceCapacity int
+	// HistoryInterval is the period of metric-history snapshots feeding
+	// sys.history and the /statusz sparklines (default 1s).
+	HistoryInterval time.Duration
+	// HistoryWindow is how much history the snapshot ring retains
+	// (default 60s; the ring holds HistoryWindow/HistoryInterval
+	// snapshots, capped at 512).
+	HistoryWindow time.Duration
+	// DisableHistory turns periodic metric-history retention off;
+	// sys.history then stays empty unless Metrics().Capture is called by
+	// hand. The baseline of the health-plane overhead experiment.
+	DisableHistory bool
+	// SlowQueryThreshold is the wall time at or above which a query is
+	// also recorded in sys.slow_queries (default 100ms; negative disables
+	// the slow log).
+	SlowQueryThreshold time.Duration
+	// QueryLogCapacity caps the sys.queries event ring (default 256).
+	QueryLogCapacity int
+	// SlowQueryLogCapacity caps the sys.slow_queries ring (default 64).
+	SlowQueryLogCapacity int
 }
 
 // Engine owns a cluster, its state store, and the query subsystem, and
@@ -214,6 +233,7 @@ type Engine struct {
 	ex     *sql.Executor
 	reg    *metrics.Registry // nil when Config.DisableMetrics
 	tracer *trace.Tracer     // nil when Config.DisableTracing
+	lim    sql.MetricsLimits // resolved query-log/slow-query config
 
 	mu   sync.Mutex
 	jobs map[string]*Job
@@ -232,6 +252,17 @@ func New(cfg Config) *Engine {
 	var reg *metrics.Registry
 	if !cfg.DisableMetrics {
 		reg = metrics.NewRegistry()
+		if !cfg.DisableHistory {
+			interval := cfg.HistoryInterval
+			if interval <= 0 {
+				interval = time.Second
+			}
+			window := cfg.HistoryWindow
+			if window <= 0 {
+				window = time.Minute
+			}
+			reg.Retain(interval, window)
+		}
 	}
 	var tracer *trace.Tracer
 	if !cfg.DisableTracing {
@@ -250,7 +281,12 @@ func New(cfg Config) *Engine {
 		tracer: tracer,
 		jobs:   make(map[string]*Job),
 	}
-	e.ex.SetMetrics(reg)
+	e.lim = sql.MetricsLimits{
+		QueryLogCapacity:     cfg.QueryLogCapacity,
+		SlowQueryLogCapacity: cfg.SlowQueryLogCapacity,
+		SlowQueryThreshold:   cfg.SlowQueryThreshold,
+	}.WithDefaults()
+	e.ex.SetMetricsLimits(reg, e.lim)
 	e.ex.SetTracer(tracer)
 	clu.SetInstruments(reg, tracer)
 	e.registerSystemTables()
@@ -303,10 +339,13 @@ func (e *Engine) Messages() uint64 { return e.clu.Messages() }
 // Transport returns the wire the engine's cluster sends through.
 func (e *Engine) Transport() transport.Transport { return e.clu.Transport() }
 
-// Close releases the engine's transport: the listener and connections of
-// a networked transport, a no-op for the simulated one. Jobs should be
-// stopped first.
-func (e *Engine) Close() error { return e.clu.Close() }
+// Close stops the metric-history retention ticker and releases the
+// engine's transport: the listener and connections of a networked
+// transport, a no-op for the simulated one. Jobs should be stopped first.
+func (e *Engine) Close() error {
+	e.reg.StopRetain()
+	return e.clu.Close()
+}
 
 // SetFaultHook installs a fault-injection hook on the cluster's KV access
 // checks — stalled and unreachable partitions for guarded queries (see
