@@ -1,7 +1,7 @@
 GO ?= go
 GOFILES := $(shell git ls-files '*.go')
 
-.PHONY: test vet lint race soak-chaos soak-rebalance fuzz-short obs-smoke health-smoke bench-smoke ckpt-smoke index-smoke verify
+.PHONY: test vet lint race soak-chaos soak-rebalance fuzz-short obs-smoke health-smoke bench-smoke ckpt-smoke index-smoke subscribe-smoke verify
 
 # Tier-1: what CI gates on.
 test:
@@ -101,4 +101,18 @@ index-smoke:
 	$(GO) test . -run 'TestIndexSurvivesRebalance|TestSysIndexesTable' -race -count=1 -v
 	$(GO) test ./internal/experiments -run 'TestIndexExpShape' -count=1 -v
 
-verify: lint race soak-chaos soak-rebalance bench-smoke ckpt-smoke index-smoke health-smoke
+# Standing-query smoke: boots the live binary, drives `\watch` and the
+# SSE /subscribe endpoint against the running job, checks that
+# sys.subscriptions / sys.arrangements account for the live subscriber
+# and that /metrics carries the squery_sub_* families (promcheck
+# -require), then the arrangement/tap unit suites and subscribe-vs-poll
+# parity under -race.
+subscribe-smoke:
+	chmod +x scripts/subscribe-smoke.sh
+	./scripts/subscribe-smoke.sh
+	$(GO) test ./internal/kv -run 'TestTap|TestDetachTap' -race -count=1 -v
+	$(GO) test ./internal/core -run 'TestArrangement' -race -count=1 -v
+	$(GO) test . -run 'TestSubscribe' -race -count=1 -v
+	$(GO) test ./internal/experiments -run 'TestSubscribeExpShape' -count=1 -v
+
+verify: lint race soak-chaos soak-rebalance bench-smoke ckpt-smoke index-smoke health-smoke subscribe-smoke

@@ -9,7 +9,7 @@
 //	squery-bench -exp fig10 -quick
 //
 // Experiments: fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 queries
-// pushdown obs wire ckpt-scale index all.
+// pushdown obs wire ckpt-scale index subscribe all.
 //
 // -metrics additionally runs a short fully-instrumented Q-commerce job on
 // the engine and prints its plain-text metrics dump — every counter,
@@ -65,8 +65,9 @@ func main() {
 		"wire":       runWire,
 		"ckpt-scale": runCkptScale,
 		"index":      runIndex,
+		"subscribe":  runSubscribe,
 	}
-	order := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "queries", "pushdown", "obs", "wire", "ckpt-scale", "index"}
+	order := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "queries", "pushdown", "obs", "wire", "ckpt-scale", "index", "subscribe"}
 
 	switch *exp {
 	case "all":
@@ -246,4 +247,10 @@ func runCkptScale(o experiments.Options) {
 	fmt.Println(experiments.CkptScaleTable(
 		"Checkpoint scaling — full+sync vs delta+async persistence at 1x/3x/10x state, fixed hot set (3 nodes)",
 		experiments.CkptScale(o)))
+}
+
+func runSubscribe(o experiments.Options) {
+	fmt.Println(experiments.SubscribeTable(
+		"Standing queries — 10K subscriptions sharing one arrangement vs 10K polling clients (128 partitions, 3 nodes)",
+		experiments.Subscribe(o)))
 }

@@ -281,11 +281,16 @@ func runChaos(seed int64, deadline time.Duration, obsAddr string) {
 	for _, e := range rep.Events {
 		log.Printf("fired: %s", e)
 	}
-	fmt.Printf("chaos soak: seed %d, %d fault(s) fired, %d checkpoint abort(s), latest snapshot %d, %d guarded queries (%d degraded), %d span(s) (%d chaos, %d failed checkpoint traces), exactly-once: %v\n",
+	fmt.Printf("chaos soak: seed %d, %d fault(s) fired, %d checkpoint abort(s), latest snapshot %d, %d guarded queries (%d degraded), %d span(s) (%d chaos, %d failed checkpoint traces), subscriber %d delivered / %d shed / %d resyncs, exactly-once: %v, subscriber reconverged: %v\n",
 		seed, len(rep.Events), rep.Aborts, rep.Snapshots, rep.Queries, rep.Degraded,
-		rep.Spans, rep.ChaosSpans, rep.FailedCkptTraces, rep.Match)
+		rep.Spans, rep.ChaosSpans, rep.FailedCkptTraces,
+		rep.SubDelivered, rep.SubShed, rep.SubResyncs, rep.Match, rep.SubMatch)
 	if !rep.Match {
 		log.Printf("VIOLATION: chaos counts %v != oracle %v", rep.Counts, rep.Oracle)
+		os.Exit(1)
+	}
+	if !rep.SubMatch {
+		log.Printf("VIOLATION: shed subscriber failed to re-converge: folded view %v != live counts %v", rep.SubCounts, rep.Counts)
 		os.Exit(1)
 	}
 	if len(rep.Events) > 0 && rep.Spans == 0 {

@@ -12,22 +12,30 @@
 //	        JOIN "snapshot_orderstate" USING(partitionKey)
 //	        WHERE orderState='PICKED_UP' GROUP BY deliveryZone;
 //
+// Standing queries: prefix a SELECT with SUBSCRIBE (or use \watch <sql>)
+// to stream its result incrementally — one snapshot frame, then deltas as
+// operator state changes — until Enter stops the watch:
+//
+//	squery> SUBSCRIBE SELECT COUNT(*), deliveryZone FROM orderstate
+//	        GROUP BY deliveryZone;
+//
 // Meta-commands: \tables, \snapshots, \explain <sql>, \metrics, \health
 // (the pipeline health summary: watermark lag, backpressure, slow
-// queries, history sparklines — same renderer as GET /statusz), \q1..\q4
-// (the paper's queries), \quit. Prefix any query with EXPLAIN ANALYZE for
-// per-stage timings, or query the sys.* tables (sys.operators,
-// sys.partitions, sys.checkpoints, sys.queries, sys.slow_queries,
-// sys.watermarks, sys.backpressure, sys.history, sys.spans, sys.traces)
-// for live engine telemetry. -metrics prints the full plain-text
-// instrument dump on exit. -serve-obs ADDR serves the HTTP observability
-// plane (/metrics, /statusz, /tracez, /healthz, /readyz, /debug/pprof)
-// while the prompt runs:
+// queries, history sparklines — same renderer as GET /statusz), \watch
+// <sql>, \q1..\q4 (the paper's queries), \quit. Prefix any query with
+// EXPLAIN ANALYZE for per-stage timings, or query the sys.* tables
+// (sys.operators, sys.partitions, sys.checkpoints, sys.queries,
+// sys.slow_queries, sys.watermarks, sys.backpressure, sys.history,
+// sys.spans, sys.traces, sys.subscriptions, sys.arrangements) for live
+// engine telemetry. -metrics prints the full plain-text instrument dump
+// on exit. -serve-obs ADDR serves the HTTP observability plane
+// (/metrics, /statusz, /tracez, /healthz, /readyz, /subscribe,
+// /debug/pprof) while the prompt runs:
 //
 //	squery -serve-obs 127.0.0.1:8080 &
 //	curl http://127.0.0.1:8080/metrics
 //	curl http://127.0.0.1:8080/statusz
-//	curl http://127.0.0.1:8080/tracez?kind=checkpoint
+//	curl -N 'http://127.0.0.1:8080/subscribe?q=SELECT%20COUNT(*)%20FROM%20orderstate'
 //
 // -chaos-stall VERTEX injects a per-record stall into that vertex's
 // stage, so the health plane has something to attribute: watch the stage
@@ -79,10 +87,11 @@ func main() {
 	defer eng.Close()
 	if *serveObs != "" {
 		srv, addr, err := obshttp.Serve(*serveObs, obshttp.Options{
-			Metrics: eng.Metrics(),
-			Tracer:  eng.Tracer(),
-			Health:  eng.Health,
-			Ready:   eng.Ready,
+			Metrics:   eng.Metrics(),
+			Tracer:    eng.Tracer(),
+			Health:    eng.Health,
+			Ready:     eng.Ready,
+			Subscribe: eng.HTTPSubscribe,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "serve-obs:", err)
@@ -170,6 +179,10 @@ func main() {
 				continue
 			}
 			fmt.Print(plan)
+		case strings.HasPrefix(strings.ToUpper(line), "SUBSCRIBE"):
+			runSubscribe(eng, in, line)
+		case strings.HasPrefix(line, `\watch `):
+			runSubscribe(eng, in, "SUBSCRIBE "+strings.TrimPrefix(line, `\watch `))
 		case strings.HasPrefix(line, `\q`) && len(line) == 3:
 			idx := int(line[2] - '1')
 			if idx < 0 || idx >= len(qcommerce.Queries) {
@@ -181,6 +194,39 @@ func main() {
 			runQuery(eng, line)
 		}
 	}
+}
+
+// runSubscribe streams a standing query's snapshot + delta frames until
+// the user presses Enter (any input line stops the watch and is
+// discarded).
+func runSubscribe(eng *squery.Engine, in *bufio.Scanner, q string) {
+	sub, err := eng.Subscribe(q)
+	if err != nil {
+		fmt.Println("  error:", err)
+		return
+	}
+	defer sub.Close()
+	fmt.Printf("  watching (id %d, columns %v) — press Enter to stop\n", sub.ID(), sub.Columns())
+	go func() {
+		for ev := range sub.Events() {
+			switch {
+			case ev.Err != nil:
+				fmt.Printf("  !! standing query failed: %v\n", ev.Err)
+			case ev.Snapshot:
+				fmt.Printf("  -- snapshot @wm %d (%d rows)\n", ev.Watermark, len(ev.Deltas))
+			default:
+				fmt.Printf("  -- delta @wm %d\n", ev.Watermark)
+			}
+			for _, d := range ev.Deltas {
+				if d.Delete {
+					fmt.Printf("     - %s\n", d.Key)
+				} else {
+					fmt.Printf("     + %s %v\n", d.Key, d.Vals)
+				}
+			}
+		}
+	}()
+	in.Scan() // Enter (or EOF) ends the watch
 }
 
 func runQuery(eng *squery.Engine, q string) {

@@ -80,6 +80,13 @@ const (
 	// freezes: the exact signature the health plane (sys.backpressure,
 	// sys.watermarks) must attribute to the stalled stage.
 	StallStage
+	// ShedSubscriber stalls a standing-query consumer for Delay: the
+	// subscriber stops draining its bounded event queue while deltas keep
+	// arriving, forcing the shed-on-overload path (queued frames dropped,
+	// one resync snapshot enqueued). The soak harness then asserts the
+	// subscriber's folded view re-converges to the polling oracle —
+	// exactly-once delivery through overload, not just through crashes.
+	ShedSubscriber
 )
 
 // String implements fmt.Stringer.
@@ -109,6 +116,8 @@ func (k Kind) String() string {
 		return "stall-migration"
 	case StallStage:
 		return "stall-stage"
+	case ShedSubscriber:
+		return "shed-subscriber"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -417,6 +426,19 @@ func (in *Injector) StageDelay(vertex string, instance, node int) time.Duration 
 	return 0
 }
 
+// SubscriberStall reports how long a standing-query consumer must stop
+// draining its event queue (the soak harness's subscriber consults it
+// each receive loop). Like every hook it fires a rule — the firing shows
+// up in Events and as a chaos annotation span — so the harness can prove
+// the shed path was actually exercised.
+func (in *Injector) SubscriberStall() (time.Duration, bool) {
+	r, ok := in.fire([]Kind{ShedSubscriber}, 0, "", Any, Any, Any)
+	if !ok {
+		return 0, false
+	}
+	return r.Delay, true
+}
+
 // Access intercepts one KV access of partition part (owned by node) from
 // node from (kv.FaultHook). A stall sleeps outside the injector lock; an
 // unreachable partition returns a typed error.
@@ -439,6 +461,10 @@ type SoakProfile struct {
 	// StallDelay is the per-access latency of the stalled partition
 	// (default 50ms).
 	StallDelay time.Duration
+	// SubscriberStall is how long the ShedSubscriber fault freezes the
+	// standing-query consumer (default 150ms — long enough at soak rates
+	// to overflow any small queue several times over).
+	SubscriberStall time.Duration
 }
 
 // SoakSchedule derives a complete soak fault plan from a seed. Every
@@ -462,6 +488,9 @@ func SoakSchedule(seed int64, p SoakProfile) *Injector {
 	}
 	if p.StallDelay <= 0 {
 		p.StallDelay = 50 * time.Millisecond
+	}
+	if p.SubscriberStall <= 0 {
+		p.SubscriberStall = 150 * time.Millisecond
 	}
 	rng := rand.New(rand.NewSource(seed))
 	in := New(seed)
@@ -496,6 +525,11 @@ func SoakSchedule(seed int64, p SoakProfile) *Injector {
 	deadPart := rng.Intn(p.Partitions)
 	in.Add(Rule{Kind: StallPartition, Instance: Any, Node: Any, Partition: stallPart, CrashNode: Any, Delay: p.StallDelay, MaxFires: 4})
 	in.Add(Rule{Kind: Unreachable, Instance: Any, Node: Any, Partition: deadPart, CrashNode: Any, MaxFires: 4})
+
+	// A stalled standing-query consumer: the subscriber freezes once,
+	// overflows its queue, gets shed and must re-converge from the resync
+	// snapshot.
+	in.Add(Rule{Kind: ShedSubscriber, Instance: Any, Node: Any, Partition: Any, CrashNode: Any, Delay: p.SubscriberStall, MaxFires: 1})
 	return in
 }
 

@@ -206,3 +206,36 @@ func TestPaperQueriesRun(t *testing.T) {
 		}
 	}
 }
+
+func TestSubscribeExpShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness, -short")
+	}
+	res := Subscribe(ultraQuick)
+	// Sharing is the mechanism under test: every client must ride ONE
+	// arrangement, so engine-side cost is independent of client count.
+	if res.Arrangements != 1 || res.ArrRefs != int64(res.Clients) {
+		t.Fatalf("arrangements=%d refs=%d, want 1 arrangement carrying all %d clients",
+			res.Arrangements, res.ArrRefs, res.Clients)
+	}
+	// The row economics are structural, not timing-dependent: a poll
+	// rescans the table per client, a subscription ships only the
+	// burst's fan-out.
+	if want := int64(res.Updates) * int64(res.Clients/res.Zones); res.SubRowsRound != want {
+		t.Fatalf("SubRowsRound = %d, want %d", res.SubRowsRound, want)
+	}
+	if res.PollScanPerQ != int64(res.Keys) {
+		t.Fatalf("PollScanPerQ = %d, want the full table (%d)", res.PollScanPerQ, res.Keys)
+	}
+	if res.RowSpeedup < 100 {
+		t.Fatalf("RowSpeedup = %.0f, want the structural >=100x", res.RowSpeedup)
+	}
+	// Wall clock is load-dependent; only the direction is asserted.
+	if res.WallSpeedup <= 1 {
+		t.Errorf("WallSpeedup = %.2f — polling beat subscriptions", res.WallSpeedup)
+	}
+	tbl := SubscribeTable("t", res)
+	if !strings.Contains(tbl, "subscribe") || !strings.Contains(tbl, "poll") {
+		t.Errorf("table missing sections:\n%s", tbl)
+	}
+}

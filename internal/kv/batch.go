@@ -159,11 +159,18 @@ func (m *Map) applyGroup(v NodeView, g group, ops []Op, kss []string, force bool
 		}
 	}
 	ixs := m.indexSet()
+	taps := m.tapSet()
+	var deltas []Delta
+	var epoch int64
+	if len(taps) > 0 {
+		deltas = make([]Delta, 0, len(g.idx))
+		epoch = s.assign.PartitionEpoch(g.p)
+	}
 	puts, dels := 0, 0
 	for _, i := range g.idx {
 		var old Entry
 		had := false
-		if len(ixs) > 0 {
+		if len(ixs) > 0 || len(taps) > 0 {
 			old, had = seg.entries[kss[i]]
 		}
 		if ops[i].Delete {
@@ -174,14 +181,25 @@ func (m *Map) applyGroup(v NodeView, g group, ops []Op, kss []string, force bool
 					ix.update(g.p, kss[i], old.Value, true, nil, false)
 				}
 			}
+			if len(taps) > 0 && had {
+				seg.seq++
+				deltas = append(deltas, Delta{Map: m.name, Part: g.p, Seq: seg.seq,
+					Key: ops[i].Key, KeyS: kss[i], Tombstone: true, Epoch: epoch})
+			}
 		} else {
 			seg.entries[kss[i]] = Entry{Key: ops[i].Key, Value: ops[i].Value}
 			puts++
 			for _, ix := range ixs {
 				ix.update(g.p, kss[i], old.Value, had, ops[i].Value, true)
 			}
+			if len(taps) > 0 {
+				seg.seq++
+				deltas = append(deltas, Delta{Map: m.name, Part: g.p, Seq: seg.seq,
+					Key: ops[i].Key, KeyS: kss[i], Value: ops[i].Value, Epoch: epoch})
+			}
 		}
 	}
+	m.emitDeltas(taps, deltas)
 	seg.mu.Unlock()
 	ss.unlock(seg)
 	if st != nil {
@@ -272,6 +290,13 @@ func (m *Map) applyMergeGroup(v NodeView, g group, keys []partition.Key, kss []s
 		}
 	}
 	ixs := m.indexSet()
+	taps := m.tapSet()
+	var deltas []Delta
+	var epoch int64
+	if len(taps) > 0 {
+		deltas = make([]Delta, 0, len(g.idx))
+		epoch = s.assign.PartitionEpoch(g.p)
+	}
 	puts, dels := 0, 0
 	for _, i := range g.idx {
 		cur, ok := seg.entries[kss[i]]
@@ -287,6 +312,11 @@ func (m *Map) applyMergeGroup(v NodeView, g group, keys []partition.Key, kss []s
 			for _, ix := range ixs {
 				ix.update(g.p, kss[i], curVal, ok, nv, true)
 			}
+			if len(taps) > 0 {
+				seg.seq++
+				deltas = append(deltas, Delta{Map: m.name, Part: g.p, Seq: seg.seq,
+					Key: keys[i], KeyS: kss[i], Value: nv, Epoch: epoch})
+			}
 			if s.replicated {
 				bakOps = append(bakOps, bakOp{i: i, e: e})
 			}
@@ -297,12 +327,18 @@ func (m *Map) applyMergeGroup(v NodeView, g group, keys []partition.Key, kss []s
 				for _, ix := range ixs {
 					ix.update(g.p, kss[i], curVal, true, nil, false)
 				}
+				if len(taps) > 0 {
+					seg.seq++
+					deltas = append(deltas, Delta{Map: m.name, Part: g.p, Seq: seg.seq,
+						Key: keys[i], KeyS: kss[i], Tombstone: true, Epoch: epoch})
+				}
 			}
 			if s.replicated {
 				bakOps = append(bakOps, bakOp{i: i, delete: true})
 			}
 		}
 	}
+	m.emitDeltas(taps, deltas)
 	seg.mu.Unlock()
 	ss.unlock(seg)
 	if st != nil {

@@ -816,12 +816,21 @@ func (s *Store) RebuildPartitionIndexes(p int) {
 	}
 	s.mu.RUnlock()
 	for _, m := range maps {
-		if len(m.indexSet()) == 0 {
+		hasIx, hasTaps := len(m.indexSet()) > 0, len(m.tapSet()) > 0
+		if !hasIx && !hasTaps {
 			continue
 		}
 		seg := m.segs[p]
 		seg.mu.Lock()
-		m.rebuildIndexesLocked(p, seg.entries)
+		if hasIx {
+			m.rebuildIndexesLocked(p, seg.entries)
+		}
+		// Arrangements re-derive the same way the indexes do: the seat
+		// may have flipped without inline maintenance seeing the entries.
+		if hasTaps {
+			seg.seq++
+			m.notifyReset(p)
+		}
 		seg.mu.Unlock()
 	}
 }

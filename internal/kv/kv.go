@@ -168,6 +168,8 @@ func (s *Store) ClearMap(name string) {
 		seg.mu.Lock()
 		seg.entries = make(map[string]Entry)
 		m.rebuildIndexesLocked(p, seg.entries)
+		seg.seq++
+		m.notifyReset(p)
 		seg.mu.Unlock()
 	}
 	for _, seg := range m.backups {
@@ -275,6 +277,12 @@ type segment struct {
 	mu      sync.RWMutex // guards the entries map structure
 	stripes [lockStripes]sync.Mutex
 	entries map[string]Entry // canonical key string -> entry
+	// seq counts mutations of this segment, advanced under mu's write
+	// lock and never reset — the per-partition watermark of the change
+	// stream tap (see tap.go). A wholesale entry replacement bumps it
+	// too, so a tap consumer that re-snapshots after OnReset can still
+	// order the snapshot against buffered deltas.
+	seq uint64
 }
 
 func (g *segment) stripe(ks string) *sync.Mutex {
@@ -294,6 +302,7 @@ type Map struct {
 	segs    []*segment
 	backups []*segment
 	mapIndexState
+	mapTapState
 }
 
 func newMap(s *Store, name string) *Map {
@@ -313,6 +322,9 @@ func newMap(s *Store, name string) *Map {
 // Name returns the map's name. Live-state maps are named after their
 // operator; snapshot maps use the snapshot_<operator> convention (§V.B).
 func (m *Map) Name() string { return m.name }
+
+// Store returns the store this map belongs to.
+func (m *Map) Store() *Store { return m.store }
 
 // PartitionOf returns the partition owning the key.
 func (m *Map) PartitionOf(key partition.Key) int { return m.store.part.Of(key) }
@@ -348,6 +360,10 @@ func (m *Map) put(v NodeView, key partition.Key, value any, force bool) error {
 		}
 	} else {
 		seg.entries[ks] = e
+	}
+	if taps := m.tapSet(); len(taps) > 0 {
+		seg.seq++
+		m.emitDelta(taps, p, seg.seq, ks, key, value, false)
 	}
 	seg.mu.Unlock()
 	lk.Unlock()
@@ -414,6 +430,10 @@ func (m *Map) delete(v NodeView, key partition.Key, force bool) (present bool, e
 		for _, ix := range m.indexSet() {
 			ix.update(p, ks, old.Value, true, nil, false)
 		}
+		if taps := m.tapSet(); len(taps) > 0 {
+			seg.seq++
+			m.emitDelta(taps, p, seg.seq, ks, key, nil, true)
+		}
 	}
 	seg.mu.Unlock()
 	lk.Unlock()
@@ -443,6 +463,8 @@ func (m *Map) Clear() {
 		seg.mu.Lock()
 		seg.entries = make(map[string]Entry)
 		m.rebuildIndexesLocked(p, seg.entries)
+		seg.seq++
+		m.notifyReset(p)
 		seg.mu.Unlock()
 	}
 	for _, seg := range m.backups {

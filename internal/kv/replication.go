@@ -96,8 +96,11 @@ func (s *Store) FailNode(partitions []int) {
 				seg.entries = make(map[string]Entry)
 			}
 			// The entries map was replaced wholesale — inline maintenance
-			// never saw the promoted (or emptied) contents, so re-derive.
+			// never saw the promoted (or emptied) contents, so re-derive,
+			// and tell tap consumers to do the same.
 			m.rebuildIndexesLocked(p, seg.entries)
+			seg.seq++
+			m.notifyReset(p)
 			seg.mu.Unlock()
 		}
 	}

@@ -1,0 +1,174 @@
+package kv
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"squery/internal/partition"
+)
+
+// Change stream tap: the first-class form of the PR 7 change-notifier.
+// A Tap attached to a map observes every mutation as an ordered stream of
+// per-partition deltas — upserts and tombstones — stamped with the
+// partition's monotonic sequence number and its current epoch. Deltas are
+// emitted inside the same segment-write-lock critical section that
+// performs the mutation (exactly where inline index maintenance runs), so
+// the stream is totally ordered per partition and can never miss or
+// reorder a write relative to what readers of the map observe. Paths that
+// replace a partition's entries wholesale (failover promotion, migration
+// flip, Clear) instead signal OnReset, and the consumer re-derives from a
+// fresh snapshot — the same contract RebuildPartitionIndexes gives the
+// secondary indexes.
+//
+// This is the substrate the arrangement layer (internal/core) builds
+// standing queries on: attach a tap, snapshot each partition with its
+// sequence floor, then apply only deltas beyond the floor.
+
+// Delta is one observed mutation of a map partition.
+type Delta struct {
+	// Map is the mutated map's name.
+	Map string
+	// Part is the partition the key lives in.
+	Part int
+	// Seq is the partition's mutation sequence number: strictly
+	// increasing per (map, partition), never reset — the watermark stamp
+	// consumers deduplicate and order by.
+	Seq uint64
+	// Key is the mutated key; KeyS its canonical string form.
+	Key  partition.Key
+	KeyS string
+	// Value is the new value for an upsert; nil for a tombstone.
+	Value any
+	// Tombstone marks a delete.
+	Tombstone bool
+	// Epoch is the partition's seat epoch at emission time — deltas from
+	// before and after a rebalance of the partition are distinguishable.
+	Epoch int64
+}
+
+// Tap observes a map's change stream. Both methods are called with the
+// mutated partition's segment write lock held: implementations must be
+// non-blocking and must not call back into the store (buffer and hand off
+// to a consumer goroutine instead).
+type Tap interface {
+	// OnDeltas delivers one ordered group of deltas for one partition.
+	OnDeltas(ds []Delta)
+	// OnReset signals that partition p's entries were replaced wholesale
+	// (failover promotion, migration rebuild, clear): sequence numbers
+	// continue to grow, but the consumer must re-derive its view from a
+	// fresh SnapshotPartition rather than trust incremental history.
+	OnReset(p int)
+}
+
+// mapTapState holds a map's attached taps, published with the same
+// mutex-guarded atomic-pointer pattern as mapIndexState so the no-tap
+// fast path costs one atomic load and nothing else.
+type mapTapState struct {
+	tapMu sync.Mutex
+	taps  atomic.Pointer[[]Tap]
+}
+
+// tapSet returns the current taps, nil when none are attached.
+func (m *Map) tapSet() []Tap {
+	ts := m.taps.Load()
+	if ts == nil {
+		return nil
+	}
+	return *ts
+}
+
+// AttachTap subscribes t to the map's change stream. Mutations committed
+// after AttachTap returns are guaranteed to reach t; use SnapshotPartition
+// to bracket the attach against a consistent base.
+func (m *Map) AttachTap(t Tap) {
+	m.tapMu.Lock()
+	defer m.tapMu.Unlock()
+	cur := m.tapSet()
+	next := make([]Tap, 0, len(cur)+1)
+	next = append(next, cur...)
+	next = append(next, t)
+	m.taps.Store(&next)
+}
+
+// DetachTap unsubscribes t. After DetachTap returns no new delta groups
+// begin delivery, though a group already in flight may still complete.
+func (m *Map) DetachTap(t Tap) {
+	m.tapMu.Lock()
+	defer m.tapMu.Unlock()
+	cur := m.tapSet()
+	next := make([]Tap, 0, len(cur))
+	for _, x := range cur {
+		if x != t {
+			next = append(next, x)
+		}
+	}
+	m.taps.Store(&next)
+}
+
+// TapCount returns the number of attached taps (diagnostics/tests).
+func (m *Map) TapCount() int { return len(m.tapSet()) }
+
+// SnapshotPartition returns a point-in-time copy of partition p's entries
+// together with the partition's current mutation sequence number. A
+// consumer that attaches a tap first, then snapshots, can discard
+// buffered deltas with Seq <= the returned floor and apply the rest —
+// yielding an exactly-once consistent view with no write lock stall.
+func (m *Map) SnapshotPartition(p int) ([]Entry, uint64) {
+	seg := m.segs[p]
+	seg.mu.RLock()
+	entries := make([]Entry, 0, len(seg.entries))
+	for _, e := range seg.entries {
+		entries = append(entries, e)
+	}
+	seq := seg.seq
+	seg.mu.RUnlock()
+	return entries, seq
+}
+
+// PartitionSeq returns partition p's current mutation sequence number.
+func (m *Map) PartitionSeq(p int) uint64 {
+	seg := m.segs[p]
+	seg.mu.RLock()
+	seq := seg.seq
+	seg.mu.RUnlock()
+	return seq
+}
+
+// emitDelta builds and delivers a single-mutation delta group to every
+// attached tap. Caller holds seg(p)'s write lock; seg.seq has already
+// been advanced for this mutation.
+func (m *Map) emitDelta(taps []Tap, p int, seq uint64, ks string, key partition.Key, value any, tombstone bool) {
+	d := Delta{
+		Map:       m.name,
+		Part:      p,
+		Seq:       seq,
+		Key:       key,
+		KeyS:      ks,
+		Value:     value,
+		Tombstone: tombstone,
+		Epoch:     m.store.assign.PartitionEpoch(p),
+	}
+	ds := []Delta{d}
+	for _, t := range taps {
+		t.OnDeltas(ds)
+	}
+}
+
+// emitDeltas delivers an ordered multi-mutation group (one batch group's
+// worth) to every attached tap. Caller holds seg(p)'s write lock.
+func (m *Map) emitDeltas(taps []Tap, ds []Delta) {
+	if len(ds) == 0 {
+		return
+	}
+	for _, t := range taps {
+		t.OnDeltas(ds)
+	}
+}
+
+// notifyReset tells every attached tap that partition p was replaced
+// wholesale. Caller holds seg(p)'s write lock.
+func (m *Map) notifyReset(p int) {
+	for _, t := range m.tapSet() {
+		t.OnReset(p)
+	}
+}

@@ -37,6 +37,11 @@ var promHelp = map[string]string{
 	"squery_operator_blocked_sends_total":   "Downstream sends that found the channel full and blocked.",
 	"squery_operator_blocked_send_ns_total": "Total nanoseconds spent blocked in downstream sends.",
 	"squery_sql_slow_queries_total":         "Queries whose wall time exceeded the configured slow-query threshold.",
+	"squery_sub_active":                     "Standing-query subscriptions currently attached to the engine.",
+	"squery_sub_delivered_total":            "Subscription events delivered to subscriber queues (snapshot and delta frames).",
+	"squery_sub_shed_total":                 "Events dropped because a subscriber's bounded queue overflowed.",
+	"squery_sub_resyncs_total":              "Full-snapshot resync frames sent to subscribers after a shed.",
+	"squery_sub_failfast_total":             "Subscriptions closed by the fail-fast overflow policy.",
 }
 
 func (r *Registry) PrometheusText() string {

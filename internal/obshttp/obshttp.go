@@ -20,6 +20,7 @@
 package obshttp
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"squery/internal/metrics"
+	"squery/internal/sql"
 	"squery/internal/trace"
 )
 
@@ -44,6 +46,88 @@ type Options struct {
 	Health func() error
 	// Ready backs GET /readyz the same way.
 	Ready func() error
+	// Subscribe backs GET /subscribe?q=<standing query> as a Server-Sent
+	// Events stream: it starts the standing query and returns its output
+	// columns, ordered event channel, and a cancel function the handler
+	// calls when the client disconnects. Nil serves 404 (subscriptions
+	// disabled). The engine's adapter is Engine.HTTPSubscribe.
+	Subscribe func(query string) (cols []string, events <-chan sql.SubEvent, cancel func(), err error)
+}
+
+// sseDelta and sseEvent are the JSON wire forms of one standing-query
+// frame on the /subscribe stream.
+type sseDelta struct {
+	Key    string `json:"key"`
+	Vals   []any  `json:"vals,omitempty"`
+	Delete bool   `json:"delete,omitempty"`
+}
+
+type sseEvent struct {
+	Deltas    []sseDelta `json:"deltas,omitempty"`
+	Watermark uint64     `json:"watermark"`
+	Snapshot  bool       `json:"snapshot,omitempty"`
+	Error     string     `json:"error,omitempty"`
+}
+
+// serveSubscribe streams one standing query as SSE: a "columns" event,
+// then one "snapshot" or "delta" event per frame, a terminal "error"
+// event if the standing query fails, until the client disconnects or the
+// subscription ends.
+func serveSubscribe(w http.ResponseWriter, r *http.Request, subscribe func(string) ([]string, <-chan sql.SubEvent, func(), error)) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter (the standing query)", http.StatusBadRequest)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	cols, events, cancel, err := subscribe(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	emit := func(kind string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		_, werr := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", kind, data)
+		fl.Flush()
+		return werr == nil
+	}
+	if !emit("columns", cols) {
+		return
+	}
+	for {
+		select {
+		case ev, open := <-events:
+			if !open {
+				return
+			}
+			out := sseEvent{Watermark: ev.Watermark, Snapshot: ev.Snapshot}
+			for _, d := range ev.Deltas {
+				out.Deltas = append(out.Deltas, sseDelta{Key: d.Key, Vals: d.Vals, Delete: d.Delete})
+			}
+			kind := "delta"
+			if ev.Snapshot {
+				kind = "snapshot"
+			}
+			if ev.Err != nil {
+				kind, out.Error = "error", ev.Err.Error()
+			}
+			if !emit(kind, out) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // Handler returns the observability mux: /metrics, /statusz, /tracez,
@@ -79,6 +163,13 @@ func Handler(o Options) http.Handler {
 			fmt.Fprintln(w, "ok")
 		}
 	}
+	mux.HandleFunc("/subscribe", func(w http.ResponseWriter, r *http.Request) {
+		if o.Subscribe == nil {
+			http.Error(w, "subscriptions not enabled", http.StatusNotFound)
+			return
+		}
+		serveSubscribe(w, r, o.Subscribe)
+	})
 	mux.HandleFunc("/healthz", probe(o.Health))
 	mux.HandleFunc("/readyz", probe(o.Ready))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -104,6 +104,16 @@ type Report struct {
 	// aggressive sampling (1-in-16) so a run that fires faults without
 	// recording any spans indicates broken tracing, not a quiet run.
 	Spans, ChaosSpans, FailedCkptTraces int64
+	// Subscriber accounting. The chaos run keeps a small-queue standing
+	// query over the counting state whose consumer is frozen by the
+	// ShedSubscriber fault: SubShed / SubResyncs count the shed frames and
+	// resync snapshots that followed, SubCounts is the subscriber's final
+	// folded view, and SubMatch reports whether that view re-converged to
+	// the chaos run's polled live counts — the exactly-once verdict for
+	// the delta stream through overload, crash recovery and shedding.
+	SubShed, SubResyncs, SubDelivered uint64
+	SubCounts                         map[int]int64
+	SubMatch                          bool
 }
 
 // Run executes the oracle run, re-derives and checks the fault schedule,
@@ -142,6 +152,11 @@ func Run(cfg Config) (*Report, error) {
 		Spans:            st.spans,
 		ChaosSpans:       st.chaosSpans,
 		FailedCkptTraces: st.failedCkpts,
+		SubShed:          st.subShed,
+		SubResyncs:       st.subResyncs,
+		SubDelivered:     st.subDelivered,
+		SubCounts:        st.subCounts,
+		SubMatch:         st.subMatch,
 	}, nil
 }
 
@@ -150,6 +165,10 @@ type runStats struct {
 	aborts, snapshots              int64
 	queries, degraded              int64
 	spans, chaosSpans, failedCkpts int64
+	subShed, subResyncs            uint64
+	subDelivered                   uint64
+	subCounts                      map[int]int64
+	subMatch                       bool
 }
 
 // runWorkload runs the counting workload once. With inj == nil it is the
@@ -257,6 +276,70 @@ func runWorkload(cfg Config, inj *chaos.Injector, target map[int]int64) (*runSta
 		}()
 	}
 
+	// Standing-query subscriber with a deliberately tiny queue over the
+	// counting state. Its consumer folds frames into a view; the
+	// schedule's ShedSubscriber fault freezes the consumer mid-run, the
+	// queue overflows, frames are shed and the view must re-converge from
+	// the resync snapshot — through the same crashes and rollbacks the
+	// polled counts survive.
+	var (
+		sub     *squery.Subscription
+		subMu   sync.Mutex
+		subRows = map[string][]any{}
+	)
+	if inj != nil {
+		// The live map appears when the operator's backends come up, which
+		// races job submission — retry briefly instead of ordering on it.
+		for subBy := time.Now().Add(5 * time.Second); ; {
+			sub, err = eng.SubscribeWithOptions(`SUBSCRIBE SELECT partitionKey, value FROM chaoscount`, squery.SubOptions{Queue: 2})
+			if err == nil {
+				break
+			}
+			if time.Now().After(subBy) {
+				return nil, fmt.Errorf("soak: subscribe: %w", err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ev := range sub.Events() {
+				if d, ok := inj.SubscriberStall(); ok {
+					cfg.Logf("chaos: freezing subscriber for %s", d)
+					time.Sleep(d)
+				}
+				subMu.Lock()
+				if ev.Snapshot {
+					subRows = map[string][]any{}
+				}
+				for _, d := range ev.Deltas {
+					if d.Delete {
+						delete(subRows, d.Key)
+					} else {
+						subRows[d.Key] = append([]any(nil), d.Vals...)
+					}
+				}
+				subMu.Unlock()
+			}
+		}()
+	}
+	subCounts := func() map[int]int64 {
+		subMu.Lock()
+		defer subMu.Unlock()
+		out := make(map[int]int64, len(subRows))
+		for _, vals := range subRows {
+			if len(vals) != 2 {
+				continue
+			}
+			k, ok1 := asInt(vals[0])
+			v, ok2 := asInt(vals[1])
+			if ok1 && ok2 {
+				out[int(k)] = v
+			}
+		}
+		return out
+	}
+
 	readCounts := func() map[int]int64 {
 		ks := make([]squery.Key, keys)
 		for i := range ks {
@@ -295,6 +378,17 @@ func runWorkload(cfg Config, inj *chaos.Injector, target map[int]int64) (*runSta
 		}
 	}
 	close(stop)
+	var subStats squery.SubStats
+	if sub != nil {
+		// The delta stream lags the polled state by whatever is in flight;
+		// give the subscriber's view time to fold the tail before judging.
+		subDeadline := time.Now().Add(cfg.Deadline)
+		for !equalCounts(subCounts(), counts) && time.Now().Before(subDeadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		subStats = sub.Stats()
+		sub.Close()
+	}
 	wg.Wait()
 	st := &runStats{
 		counts:    counts,
@@ -302,6 +396,13 @@ func runWorkload(cfg Config, inj *chaos.Injector, target map[int]int64) (*runSta
 		snapshots: job.LatestSnapshotID(),
 		queries:   queries.Load(),
 		degraded:  degraded.Load(),
+	}
+	if sub != nil {
+		st.subShed = subStats.Shed
+		st.subResyncs = subStats.Resyncs
+		st.subDelivered = subStats.Delivered
+		st.subCounts = subCounts()
+		st.subMatch = equalCounts(st.subCounts, counts)
 	}
 	if tr := eng.Tracer(); tr != nil {
 		failedCkpts := map[uint64]bool{}
@@ -331,6 +432,22 @@ func equalCounts(a, b map[int]int64) bool {
 		}
 	}
 	return true
+}
+
+// asInt widens the subscriber's delta values (ints from the live state,
+// int64s from SQL evaluation) for count comparison.
+func asInt(v any) (int64, bool) {
+	switch n := v.(type) {
+	case int:
+		return int64(n), true
+	case int64:
+		return n, true
+	case uint64:
+		return int64(n), true
+	case float64:
+		return int64(n), true
+	}
+	return 0, false
 }
 
 func overshoots(got, want map[int]int64) bool {

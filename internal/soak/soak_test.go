@@ -37,14 +37,28 @@ func TestChaosSoakExactlyOnce(t *testing.T) {
 			if fired[chaos.DropAck] == 0 {
 				t.Errorf("seed %d never fired the coordinator–worker partition; events: %v", seed, rep.Events)
 			}
+			if fired[chaos.ShedSubscriber] == 0 {
+				t.Errorf("seed %d never froze the standing-query subscriber; events: %v", seed, rep.Events)
+			}
+			if rep.SubShed == 0 {
+				t.Errorf("seed %d froze the subscriber but shed no frames (queue never overflowed)", seed)
+			}
+			if rep.SubResyncs == 0 {
+				t.Errorf("seed %d shed subscriber frames but issued no resync snapshot", seed)
+			}
+			if !rep.SubMatch {
+				t.Errorf("shed subscriber failed to re-converge: folded view %v != live counts %v",
+					rep.SubCounts, rep.Counts)
+			}
 			if rep.Aborts == 0 {
 				t.Errorf("seed %d caused no checkpoint aborts despite crash + partition", seed)
 			}
 			if rep.Snapshots == 0 {
 				t.Errorf("seed %d committed no snapshot", seed)
 			}
-			t.Logf("seed %d: %d events, %d aborts, latest snapshot %d, %d queries (%d degraded)",
-				seed, len(rep.Events), rep.Aborts, rep.Snapshots, rep.Queries, rep.Degraded)
+			t.Logf("seed %d: %d events, %d aborts, latest snapshot %d, %d queries (%d degraded), subscriber %d delivered / %d shed / %d resyncs",
+				seed, len(rep.Events), rep.Aborts, rep.Snapshots, rep.Queries, rep.Degraded,
+				rep.SubDelivered, rep.SubShed, rep.SubResyncs)
 		})
 	}
 }

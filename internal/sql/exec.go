@@ -32,6 +32,9 @@ type Executor struct {
 	nodes  atomic.Int32
 	m      execInstruments
 	tracer *trace.Tracer
+	// arr is the shared arrangement registry standing queries attach to;
+	// nil means SUBSCRIBE is disabled (see SetArrangements).
+	arr *core.ArrangeRegistry
 }
 
 // clusterNodes returns the current scatter-gather fan-out.
@@ -296,6 +299,9 @@ func (ex *Executor) QueryWithOptions(query string, opts ExecOpts) (*Result, erro
 		return planResult(text), nil
 	case explainAnalyze:
 		return ex.explainAnalyze(rest, opts)
+	}
+	if ok, _ := splitSubscribe(query); ok {
+		return nil, fmt.Errorf("sql: SUBSCRIBE is a standing query — issue it through Engine.Subscribe (REPL: SUBSCRIBE ..., HTTP: /subscribe)")
 	}
 	stmt, err := Parse(query)
 	if err != nil {

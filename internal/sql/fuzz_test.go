@@ -39,6 +39,14 @@ var fuzzSeeds = []string{
 	`SELECT partitionKey FROM orderinfo WHERE 52.5 >= customerLat`,
 	`EXPLAIN SELECT partitionKey FROM orderinfo WHERE deliveryZone = 'north' AND customerLat < 53`,
 	`SELECT * FROM "sys.indexes" WHERE lookups >= 0`,
+	`SUBSCRIBE SELECT partitionKey, customerLat FROM orderinfo WHERE deliveryZone = 'north'`,
+	`SUBSCRIBE SELECT COUNT(*), deliveryZone FROM orderinfo GROUP BY deliveryZone`,
+	`SUBSCRIBE SELECT a.deliveryZone, b.orderState FROM orderinfo a JOIN orderstate b USING(partitionKey)`,
+	`SUBSCRIBE SELECT deliveryZone FROM orderinfo ORDER BY deliveryZone`,
+	`SUBSCRIBE SELECT deliveryZone FROM "snapshot_orderinfo" WHERE ssid = 1`,
+	`SUBSCRIBE SELECT * FROM sys.partitions`,
+	`SUBSCRIBE`,
+	`SUBSCRIBE SUBSCRIBE SELECT 1`,
 	`SELECT 'unterminated`,
 	`SELECT ((((((((((1))))))))))`,
 	`SELECT FROM WHERE`,
@@ -93,6 +101,10 @@ func fuzzExecutor() *Executor {
 		}
 		mgr.Commit(ssid)
 		fuzzEx = NewExecutor(cat, 3)
+		// Arrangements make SUBSCRIBE-prefixed corpus entries exercise
+		// the standing-query validate/attach path instead of failing at
+		// the registry check.
+		fuzzEx.SetArrangements(core.NewArrangeRegistry(store))
 	})
 	return fuzzEx
 }
@@ -131,6 +143,17 @@ func FuzzPlan(f *testing.F) {
 	f.Fuzz(func(t *testing.T, input string) {
 		if len(input) > 1<<16 {
 			t.Skip("oversized input")
+		}
+		// SUBSCRIBE routes to the standing-query path: validate/attach
+		// must be total too — reject or subscribe, never panic. A
+		// successful subscription is torn down immediately; the fuzz
+		// executor's arrangement registry refcounts back to zero.
+		if isSub, rest := splitSubscribe(input); isSub {
+			ex := fuzzExecutor()
+			if sq, err := ex.SubscribeQuery(rest, func(SubEvent) {}); err == nil {
+				sq.Close()
+			}
+			return
 		}
 		stmt, err := Parse(stripExplainPrefix(input))
 		if err != nil || stmt == nil {

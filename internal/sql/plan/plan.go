@@ -101,8 +101,11 @@ type Scan struct {
 	// ("index eq(zone = 'z1')"); "" means full scan.
 	Access string
 	// EstRows is the planner's candidate-row estimate for the chosen
-	// index path (meaningful only when Access != "").
-	EstRows int64
+	// path: index selectivity when Access != "", table cardinality for
+	// the full scan. Meaningful only when EstValid is set (virtual tables
+	// carry no statistics).
+	EstRows  int64
+	EstValid bool
 }
 
 // Kind implements Node.
@@ -138,8 +141,11 @@ func (s *Scan) Describe() string {
 	if s.Filter != "" {
 		fmt.Fprintf(&b, ", pushed filter %s", s.Filter)
 	}
-	if s.Access != "" {
+	switch {
+	case s.Access != "":
 		fmt.Fprintf(&b, ", access %s (est≈%d rows)", s.Access, s.EstRows)
+	case s.EstValid:
+		fmt.Fprintf(&b, ", full scan (est≈%d rows)", s.EstRows)
 	}
 	if s.Cols != nil {
 		fmt.Fprintf(&b, ", ship cols (%s)", strings.Join(s.Cols, ", "))

@@ -136,6 +136,15 @@ func (ex *Executor) compile(stmt *Select, opts ExecOpts, planOnly bool) (*physPl
 			sc.PartHint = s.partHint
 			sc.PrunedParts = int64(s.ref.Partitions() - 1)
 		}
+		// Full-scan cardinality estimate: every non-virtual scan carries
+		// one, so EXPLAIN shows what the chosen path was weighed against
+		// even when no index wins (chooseAccessPath overrides EstRows with
+		// the winner's selectivity).
+		if !s.ref.IsVirtual() {
+			if est, ok := s.ref.EstimatePath(nil); ok {
+				sc.EstRows, sc.EstValid = est, true
+			}
+		}
 		s.scan = sc
 		pp.scans[i] = sc
 	}

@@ -1,0 +1,750 @@
+package sql
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"time"
+
+	"squery/internal/core"
+	"squery/internal/partition"
+)
+
+// SUBSCRIBE <select>: standing queries over live operator state. Where the
+// one-shot path compiles a statement into a pipeline that scans, filters,
+// joins and aggregates once and exits, a standing query keeps the same
+// logical stages alive and drives them in two modes: an initial snapshot
+// scan over a shared arrangement's maintained view, then incremental delta
+// application as the arrangement streams changes. The one-shot execution
+// is the degenerate case — run the snapshot phase to the current
+// watermark, detach (see QueryStanding). There is one implementation of
+// the filter/project/join/agg logic for both drive modes: the snapshot
+// phase replays the arrangement's rows through exactly the delta-insert
+// path the live phase uses.
+//
+// The supported dialect is the incremental-maintainable core of the
+// engine's SELECT: single live tables or one inner equi-join, WHERE,
+// projections, GROUP BY / aggregates / HAVING. ORDER BY and LIMIT are
+// rejected (a standing result set has no stable order to page), as are
+// snapshot_ and sys.* tables (snapshots are immutable and virtual tables
+// have no change stream — poll those).
+
+// splitSubscribe strips a leading SUBSCRIBE keyword, reporting whether the
+// query requested a standing subscription and the statement that follows.
+func splitSubscribe(query string) (bool, string) {
+	rest, ok := cutKeyword(strings.TrimSpace(query), "SUBSCRIBE")
+	if !ok {
+		return false, query
+	}
+	return true, rest
+}
+
+// SetArrangements wires the executor to a shared arrangement registry,
+// enabling SUBSCRIBE. Without it every subscription attempt fails.
+func (ex *Executor) SetArrangements(r *core.ArrangeRegistry) { ex.arr = r }
+
+// SubDelta is one output-row change of a standing query. Key identifies
+// the output row the delta applies to: the source row's partition-key
+// string for plain standing queries, "left|right" for join rows, the
+// rendered grouping key (or "*" for a global aggregate) for aggregates.
+type SubDelta struct {
+	Key    string
+	Vals   []any // output column values; nil on Delete
+	Delete bool
+}
+
+// SubEvent is one ordered delivery to a subscriber.
+type SubEvent struct {
+	Deltas []SubDelta
+	// Watermark is the cumulative count of source deltas folded into the
+	// standing query's state when the event was emitted.
+	Watermark uint64
+	// Snapshot marks a full-state frame: the initial result at attach
+	// time, or a resync after the subscriber's queue overflowed and shed.
+	// Appliers must replace their view rather than merge.
+	Snapshot bool
+	// Err reports a standing-query evaluation failure; it is the final
+	// event, the standing query stops applying deltas after emitting it.
+	Err error
+}
+
+// matchedRow is one currently-matching output row of a non-aggregate
+// standing query: its display key and projected values.
+type matchedRow struct {
+	disp string
+	vals []any
+}
+
+// subGroup is one live group of an aggregate standing query: its rendered
+// key and the source rows of every joined row currently in the group.
+type subGroup struct {
+	disp string
+	rows map[string][]core.TableRow // joined-row id -> per-source rows
+}
+
+// pendDeltas is one buffered arrangement delivery, tagged with the source
+// it came from.
+type pendDeltas struct {
+	side int
+	ds   []core.ArrDelta
+}
+
+// batchEff accumulates the output effects of one delta batch so an
+// update (tombstone + upsert of the same key, or a value change) emits
+// one coalesced delta instead of a delete/insert pair.
+type batchEff struct {
+	// before records, per touched non-aggregate output id, the matched row
+	// at first touch (nil = was not matched).
+	before map[string]*matchedRow
+	// dirty records the aggregate groups needing recomputation.
+	dirty map[string]bool
+}
+
+func newBatchEff() *batchEff {
+	return &batchEff{before: map[string]*matchedRow{}, dirty: map[string]bool{}}
+}
+
+// StandingQuery is one compiled incrementally-maintained query: N of them
+// attach to the same shared arrangement per source table. Events reach the
+// sink in order — the initial snapshot frame synchronously during
+// subscription, delta frames from the standing query's applier goroutine.
+type StandingQuery struct {
+	ex    *Executor
+	stmt  *Select
+	query string
+	cols  []string
+	ctx   *evalCtx // LOCALTIMESTAMP is fixed at subscribe time
+	sink  func(SubEvent)
+
+	srcs    []tableSrc // name/alias only; the expression resolver's view
+	arrs    []*core.Arrangement
+	lisIDs  []int
+	aggMode bool
+	// joinCols[i] is source i's equi-join column (join mode only).
+	joinCols [2]string
+
+	// pending buffers arrangement deliveries (which run under the
+	// arrangement's state lock and must not block) for the applier.
+	pendMu  sync.Mutex
+	pending []pendDeltas
+	wake    chan struct{}
+	done    chan struct{}
+	stopped chan struct{}
+	closing sync.Once
+
+	mu        sync.Mutex
+	failed    error
+	watermark uint64
+	// sides mirrors each source's current rows (keyed by partition-key
+	// string); joins probe the opposite mirror through jindex.
+	sides  []map[string]core.TableRow
+	jindex []map[joinKey]map[string]bool
+	// matched is the non-aggregate output state; groups/rowGroup/emitted
+	// the aggregate one.
+	matched  map[string]*matchedRow
+	groups   map[string]*subGroup
+	rowGroup map[string]string
+	emitted  map[string]*matchedRow
+}
+
+// SubscribeQuery compiles a statement (with or without the SUBSCRIBE
+// prefix) into a standing query attached to shared arrangements. The sink
+// receives the initial snapshot frame synchronously before SubscribeQuery
+// returns, then ordered delta frames; it must not block (enqueue and
+// return) and must tolerate being called from another goroutine. Close
+// detaches and releases the arrangements.
+func (ex *Executor) SubscribeQuery(query string, sink func(SubEvent)) (*StandingQuery, error) {
+	if _, rest := splitSubscribe(query); true {
+		query = rest
+	}
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return ex.subscribeStmt(stmt, query, sink)
+}
+
+// subscribeStmt validates, acquires arrangements, seeds the standing
+// state through the delta-insert path, emits the snapshot frame and
+// starts the applier.
+func (ex *Executor) subscribeStmt(stmt *Select, query string, sink func(SubEvent)) (*StandingQuery, error) {
+	if ex.arr == nil {
+		return nil, fmt.Errorf("sql: subscriptions are not enabled (no arrangement registry)")
+	}
+	sq := &StandingQuery{
+		ex:    ex,
+		stmt:  stmt,
+		query: query,
+		ctx:   &evalCtx{now: time.Now()},
+		sink:  sink,
+
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
+
+		matched:  map[string]*matchedRow{},
+		groups:   map[string]*subGroup{},
+		rowGroup: map[string]string{},
+		emitted:  map[string]*matchedRow{},
+	}
+	if err := sq.validate(); err != nil {
+		return nil, err
+	}
+	sq.sides = make([]map[string]core.TableRow, len(sq.srcs))
+	sq.jindex = make([]map[joinKey]map[string]bool, len(sq.srcs))
+	for i := range sq.srcs {
+		sq.sides[i] = map[string]core.TableRow{}
+		sq.jindex[i] = map[joinKey]map[string]bool{}
+	}
+
+	// Acquire one shared arrangement per source and attach buffering
+	// listeners. Attach's clean cut plus the pending buffer means deltas
+	// racing the seed below are applied after it, never lost or doubled.
+	type seed struct {
+		rows []core.TableRow
+	}
+	seeds := make([]seed, len(sq.srcs))
+	for i := range sq.srcs {
+		a, err := ex.arr.Acquire(sq.srcs[i].name)
+		if err != nil {
+			for _, prev := range sq.arrs {
+				prev.Release()
+			}
+			return nil, err
+		}
+		sq.arrs = append(sq.arrs, a)
+		side := i
+		rows, _, id := a.Attach(func(ds []core.ArrDelta) { sq.enqueue(side, ds) })
+		sq.lisIDs = append(sq.lisIDs, id)
+		seeds[i].rows = rows
+	}
+
+	// Drive mode 1, the snapshot scan: replay the arrangements' current
+	// rows through the same insert path live deltas take.
+	sq.mu.Lock()
+	eff := newBatchEff()
+	if sq.aggMode && len(sq.stmt.GroupBy) == 0 {
+		// A global aggregate emits one row even over an empty input; the
+		// "*" group always exists and the snapshot frame always carries it.
+		sq.globalGroupLocked()
+		eff.dirty[""] = true
+	}
+	for i := range seeds {
+		for _, r := range seeds[i].rows {
+			if sq.failed != nil {
+				break
+			}
+			ks := partition.KeyString(r.Key)
+			sq.sides[i][ks] = r
+			sq.addSrcRow(i, ks, r, eff)
+		}
+	}
+	deltas := sq.settleLocked(eff)
+	failed := sq.failed
+	wm := sq.watermark
+	sq.mu.Unlock()
+	if failed != nil {
+		// The applier goroutine hasn't started, so nothing will ever
+		// close stopped — satisfy Close's handshake first or it blocks
+		// forever on a seed-time evaluation failure.
+		close(sq.stopped)
+		sq.Close()
+		return nil, failed
+	}
+	sink(SubEvent{Deltas: deltas, Watermark: wm, Snapshot: true})
+	go sq.run()
+	return sq, nil
+}
+
+// validate checks the statement against the incremental dialect and
+// resolves sources and join columns.
+func (sq *StandingQuery) validate() error {
+	stmt := sq.stmt
+	if len(stmt.OrderBy) > 0 {
+		return fmt.Errorf("sql: SUBSCRIBE does not support ORDER BY (standing results have no stable order)")
+	}
+	if stmt.Limit >= 0 {
+		return fmt.Errorf("sql: SUBSCRIBE does not support LIMIT")
+	}
+	for _, it := range stmt.Items {
+		if it.Star {
+			return fmt.Errorf("sql: SUBSCRIBE does not support SELECT * — name the output columns")
+		}
+	}
+	if len(stmt.Joins) > 1 {
+		return fmt.Errorf("sql: SUBSCRIBE supports at most one join")
+	}
+	if len(stmt.Joins) == 1 && stmt.Joins[0].Left {
+		return fmt.Errorf("sql: SUBSCRIBE does not support LEFT JOIN")
+	}
+	tables := []TableName{stmt.From}
+	if len(stmt.Joins) == 1 {
+		tables = append(tables, stmt.Joins[0].Table)
+	}
+	for _, t := range tables {
+		ref, err := sq.ex.cat.Table(t.Name)
+		if err != nil {
+			return err
+		}
+		if ref.IsVirtual() {
+			return fmt.Errorf("sql: cannot SUBSCRIBE to virtual table %q (no change stream — poll it)", t.Name)
+		}
+		if ref.IsSnapshot() {
+			return fmt.Errorf("sql: cannot SUBSCRIBE to snapshot table %q (snapshots are immutable — query it once)", t.Name)
+		}
+		sq.srcs = append(sq.srcs, tableSrc{name: t.Name, alias: t.Ref(), partHint: -1})
+	}
+	sq.aggMode = stmt.HasAggregates() || len(stmt.GroupBy) > 0
+	if stmt.Having != nil && !sq.aggMode {
+		return fmt.Errorf("sql: HAVING requires aggregation")
+	}
+	if len(sq.srcs) == 2 {
+		lk, rk, err := joinKeys(stmt.Joins[0], sq.srcs, 1)
+		if err != nil {
+			return err
+		}
+		sq.joinCols[0], sq.joinCols[1] = lk, rk
+	}
+	for _, it := range stmt.Items {
+		sq.cols = append(sq.cols, it.OutputName())
+	}
+	return nil
+}
+
+// Columns returns the output column names, aligned with SubDelta.Vals.
+func (sq *StandingQuery) Columns() []string { return append([]string(nil), sq.cols...) }
+
+// Query returns the statement text the subscription was created from.
+func (sq *StandingQuery) Query() string { return sq.query }
+
+// Tables returns the source table names, FROM first.
+func (sq *StandingQuery) Tables() []string {
+	out := make([]string, len(sq.srcs))
+	for i, s := range sq.srcs {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Watermark returns the cumulative count of source deltas folded in.
+func (sq *StandingQuery) Watermark() uint64 {
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
+	return sq.watermark
+}
+
+// Snapshot returns the standing query's full current output as a snapshot
+// frame — the resync a shed subscriber re-converges from.
+func (sq *StandingQuery) Snapshot() SubEvent {
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
+	out := sq.matched
+	if sq.aggMode {
+		out = sq.emitted
+	}
+	ds := make([]SubDelta, 0, len(out))
+	for _, m := range out {
+		ds = append(ds, SubDelta{Key: m.disp, Vals: m.vals})
+	}
+	return SubEvent{Deltas: ds, Watermark: sq.watermark, Snapshot: true}
+}
+
+// Close detaches from the arrangements (dropping them at zero readers)
+// and stops the applier. Idempotent; no events are delivered after it
+// returns.
+func (sq *StandingQuery) Close() {
+	sq.closing.Do(func() {
+		for i, a := range sq.arrs {
+			a.Detach(sq.lisIDs[i])
+		}
+		close(sq.done)
+		<-sq.stopped
+		for _, a := range sq.arrs {
+			a.Release()
+		}
+	})
+}
+
+// enqueue is the arrangement listener: called with the arrangement's state
+// lock held, it buffers and wakes the applier.
+func (sq *StandingQuery) enqueue(side int, ds []core.ArrDelta) {
+	sq.pendMu.Lock()
+	sq.pending = append(sq.pending, pendDeltas{side: side, ds: ds})
+	sq.pendMu.Unlock()
+	select {
+	case sq.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is drive mode 2, the delta applier: fold buffered arrangement
+// deltas through the standing stages and emit the resulting output deltas.
+func (sq *StandingQuery) run() {
+	defer close(sq.stopped)
+	for {
+		select {
+		case <-sq.done:
+			return
+		case <-sq.wake:
+		}
+		for {
+			sq.pendMu.Lock()
+			batches := sq.pending
+			sq.pending = nil
+			sq.pendMu.Unlock()
+			if len(batches) == 0 {
+				break
+			}
+			for _, b := range batches {
+				sq.mu.Lock()
+				if sq.failed != nil {
+					sq.mu.Unlock()
+					return
+				}
+				eff := newBatchEff()
+				for _, d := range b.ds {
+					sq.applyDelta(b.side, d, eff)
+				}
+				deltas := sq.settleLocked(eff)
+				failed := sq.failed
+				wm := sq.watermark
+				sq.mu.Unlock()
+				if failed != nil {
+					sq.sink(SubEvent{Err: failed, Watermark: wm})
+					return
+				}
+				if len(deltas) > 0 {
+					sq.sink(SubEvent{Deltas: deltas, Watermark: wm})
+				}
+			}
+		}
+	}
+}
+
+// applyDelta folds one arrangement delta into the mirrors and the derived
+// state. An upsert of an existing key is a remove + insert; batchEff
+// coalesces the pair back into one output delta.
+func (sq *StandingQuery) applyDelta(side int, d core.ArrDelta, eff *batchEff) {
+	sq.watermark++
+	old, had := sq.sides[side][d.KeyS]
+	if had {
+		sq.removeSrcRow(side, d.KeyS, old, eff)
+		delete(sq.sides[side], d.KeyS)
+	}
+	if d.Tombstone {
+		return
+	}
+	sq.sides[side][d.KeyS] = d.Row
+	sq.addSrcRow(side, d.KeyS, d.Row, eff)
+}
+
+// addSrcRow enumerates the joined rows a new source row creates and
+// inserts each into the standing result.
+func (sq *StandingQuery) addSrcRow(side int, ks string, row core.TableRow, eff *batchEff) {
+	if len(sq.srcs) == 1 {
+		sq.insertJR(ks, ks, []core.TableRow{row}, eff)
+		return
+	}
+	jk, ok := sq.joinKeyOf(side, row)
+	if !ok {
+		return
+	}
+	set := sq.jindex[side][jk]
+	if set == nil {
+		set = map[string]bool{}
+		sq.jindex[side][jk] = set
+	}
+	set[ks] = true
+	other := 1 - side
+	for pks := range sq.jindex[other][jk] {
+		prow, ok := sq.sides[other][pks]
+		if !ok {
+			continue
+		}
+		lks, rks, lrow, rrow := ks, pks, row, prow
+		if side == 1 {
+			lks, rks, lrow, rrow = pks, ks, prow, row
+		}
+		sq.insertJR(pairID(lks, rks), lks+"|"+rks, []core.TableRow{lrow, rrow}, eff)
+	}
+}
+
+// removeSrcRow removes every joined row a departing source row was part of.
+func (sq *StandingQuery) removeSrcRow(side int, ks string, row core.TableRow, eff *batchEff) {
+	if len(sq.srcs) == 1 {
+		sq.removeJR(ks, ks, eff)
+		return
+	}
+	jk, ok := sq.joinKeyOf(side, row)
+	if !ok {
+		return
+	}
+	if set := sq.jindex[side][jk]; set != nil {
+		delete(set, ks)
+		if len(set) == 0 {
+			delete(sq.jindex[side], jk)
+		}
+	}
+	other := 1 - side
+	for pks := range sq.jindex[other][jk] {
+		lks, rks := ks, pks
+		if side == 1 {
+			lks, rks = pks, ks
+		}
+		sq.removeJR(pairID(lks, rks), lks+"|"+rks, eff)
+	}
+}
+
+// joinKeyOf extracts a source row's equi-join key. A row missing the join
+// column fails the standing query — the same contract the one-shot hash
+// join enforces.
+func (sq *StandingQuery) joinKeyOf(side int, row core.TableRow) (joinKey, bool) {
+	v, ok := row.Field(sq.joinCols[side])
+	if !ok {
+		sq.fail(fmt.Errorf("sql: join column %q not found in %s", sq.joinCols[side], sq.srcs[side].name))
+		return joinKey{}, false
+	}
+	return makeJoinKey(v), true
+}
+
+// pairID encodes a join row's identity collision-free (display keys use
+// the readable "l|r" form, which may collide and is display-only).
+func pairID(lks, rks string) string {
+	return string(appendGroupKey(appendGroupKey(nil, lks), rks))
+}
+
+// insertJR runs one joined row through the standing WHERE and into the
+// output (non-aggregate) or group (aggregate) state.
+func (sq *StandingQuery) insertJR(id, disp string, rows []core.TableRow, eff *batchEff) {
+	if sq.failed != nil {
+		return
+	}
+	jr := sq.joined(rows)
+	if sq.stmt.Where != nil {
+		v, err := sq.ctx.eval(sq.stmt.Where, jr)
+		if err != nil {
+			sq.fail(err)
+			return
+		}
+		if keep, ok := truthy(v); !ok || !keep {
+			if !sq.aggMode {
+				sq.touch(id, eff) // an update may revoke a previous match
+			}
+			return
+		}
+	}
+	if sq.aggMode {
+		sq.insertGroupRow(id, jr, rows, eff)
+		return
+	}
+	sq.touch(id, eff)
+	vals := make([]any, len(sq.stmt.Items))
+	for i, it := range sq.stmt.Items {
+		v, err := sq.ctx.eval(it.Expr, jr)
+		if err != nil {
+			sq.fail(err)
+			return
+		}
+		vals[i] = v
+	}
+	sq.matched[id] = &matchedRow{disp: disp, vals: vals}
+}
+
+// removeJR removes one joined row from the output or its group.
+func (sq *StandingQuery) removeJR(id, disp string, eff *batchEff) {
+	if sq.failed != nil {
+		return
+	}
+	if sq.aggMode {
+		gk, ok := sq.rowGroup[id]
+		if !ok {
+			return
+		}
+		delete(sq.rowGroup, id)
+		if g := sq.groups[gk]; g != nil {
+			delete(g.rows, id)
+		}
+		eff.dirty[gk] = true
+		return
+	}
+	if _, ok := sq.matched[id]; !ok {
+		return
+	}
+	sq.touch(id, eff)
+	delete(sq.matched, id)
+}
+
+// touch records the pre-batch matched state of one non-aggregate output id.
+func (sq *StandingQuery) touch(id string, eff *batchEff) {
+	if _, seen := eff.before[id]; seen {
+		return
+	}
+	eff.before[id] = sq.matched[id]
+}
+
+// insertGroupRow files one matching joined row under its group and marks
+// the group dirty.
+func (sq *StandingQuery) insertGroupRow(id string, jr joinedRow, rows []core.TableRow, eff *batchEff) {
+	var gk string
+	var disp string
+	if len(sq.stmt.GroupBy) == 0 {
+		gk, disp = "", "*"
+	} else {
+		var keyBuf []byte
+		var parts []string
+		for _, ge := range sq.stmt.GroupBy {
+			v, err := sq.ctx.eval(ge, jr)
+			if err != nil {
+				sq.fail(err)
+				return
+			}
+			keyBuf = appendGroupKey(keyBuf, v)
+			parts = append(parts, fmt.Sprintf("%v", v))
+		}
+		gk, disp = string(keyBuf), strings.Join(parts, "|")
+	}
+	g := sq.groups[gk]
+	if g == nil {
+		g = &subGroup{disp: disp, rows: map[string][]core.TableRow{}}
+		sq.groups[gk] = g
+	}
+	g.rows[id] = rows
+	sq.rowGroup[id] = gk
+	eff.dirty[gk] = true
+}
+
+// globalGroupLocked ensures the "*" group of a global aggregate exists.
+func (sq *StandingQuery) globalGroupLocked() {
+	if sq.groups[""] == nil {
+		sq.groups[""] = &subGroup{disp: "*", rows: map[string][]core.TableRow{}}
+	}
+}
+
+// settleLocked turns a batch's accumulated effects into output deltas:
+// touched non-aggregate rows diff their before/after matched state, dirty
+// groups recompute their aggregates (suppressing no-op upserts).
+func (sq *StandingQuery) settleLocked(eff *batchEff) []SubDelta {
+	if sq.failed != nil {
+		return nil
+	}
+	var out []SubDelta
+	for id, prev := range eff.before {
+		cur := sq.matched[id]
+		switch {
+		case cur != nil:
+			if prev != nil && reflect.DeepEqual(prev.vals, cur.vals) {
+				continue
+			}
+			out = append(out, SubDelta{Key: cur.disp, Vals: cur.vals})
+		case prev != nil:
+			out = append(out, SubDelta{Key: prev.disp, Delete: true})
+		}
+	}
+	for gk := range eff.dirty {
+		d, ok := sq.settleGroup(gk)
+		if sq.failed != nil {
+			return nil
+		}
+		if ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// settleGroup recomputes one dirty group through HAVING and the select
+// list, returning the delta it produces (if any).
+func (sq *StandingQuery) settleGroup(gk string) (SubDelta, bool) {
+	g := sq.groups[gk]
+	global := len(sq.stmt.GroupBy) == 0
+	if g == nil || (len(g.rows) == 0 && !global) {
+		if g != nil {
+			delete(sq.groups, gk)
+		}
+		if prev, ok := sq.emitted[gk]; ok {
+			delete(sq.emitted, gk)
+			return SubDelta{Key: prev.disp, Delete: true}, true
+		}
+		return SubDelta{}, false
+	}
+	rows := make([]joinedRow, 0, len(g.rows))
+	for _, rs := range g.rows {
+		rows = append(rows, sq.joined(rs))
+	}
+	if sq.stmt.Having != nil {
+		hv, err := sq.ex.evalWithAggs(sq.ctx, sq.stmt.Having, rows)
+		if err != nil {
+			sq.fail(err)
+			return SubDelta{}, false
+		}
+		if keep, ok := truthy(hv); !ok || !keep {
+			if prev, ok := sq.emitted[gk]; ok {
+				delete(sq.emitted, gk)
+				return SubDelta{Key: prev.disp, Delete: true}, true
+			}
+			return SubDelta{}, false
+		}
+	}
+	vals := make([]any, len(sq.stmt.Items))
+	for i, it := range sq.stmt.Items {
+		v, err := sq.ex.evalWithAggs(sq.ctx, it.Expr, rows)
+		if err != nil {
+			sq.fail(err)
+			return SubDelta{}, false
+		}
+		vals[i] = v
+	}
+	if prev, ok := sq.emitted[gk]; ok && reflect.DeepEqual(prev.vals, vals) {
+		return SubDelta{}, false
+	}
+	sq.emitted[gk] = &matchedRow{disp: g.disp, vals: vals}
+	return SubDelta{Key: g.disp, Vals: vals}, true
+}
+
+// joined builds the evaluation view of one joined row. The source rows
+// are copied onto the heap once per insertion; group recomputation reuses
+// the stored copies.
+func (sq *StandingQuery) joined(rows []core.TableRow) joinedRow {
+	tabs := make([]*core.TableRow, len(rows))
+	for i := range rows {
+		r := rows[i]
+		tabs[i] = &r
+	}
+	return joinedRow{srcs: sq.srcs, tabs: tabs}
+}
+
+// fail records the first evaluation error; the standing query stops
+// producing deltas after it (the applier delivers it as the final event).
+func (sq *StandingQuery) fail(err error) {
+	if sq.failed == nil {
+		sq.failed = err
+	}
+}
+
+// QueryStanding runs a statement through the standing-query pipeline in
+// its degenerate one-shot mode: attach, take the initial snapshot frame at
+// the current watermark, detach. Row order is unspecified. It exists to
+// make "one stage implementation, two drive modes" checkable — the result
+// must equal the streaming executor's (unordered) result for the same
+// statement.
+func (ex *Executor) QueryStanding(query string) (*Result, error) {
+	var first *SubEvent
+	sq, err := ex.SubscribeQuery(query, func(ev SubEvent) {
+		if first == nil {
+			evCopy := ev
+			first = &evCopy
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sq.Close()
+	res := &Result{Columns: sq.Columns()}
+	if first != nil {
+		for _, d := range first.Deltas {
+			res.Rows = append(res.Rows, d.Vals)
+		}
+	}
+	return res, nil
+}

@@ -66,6 +66,60 @@ func (e *Engine) registerSystemTables() {
 	// Secondary-index accounting also reads the store directly: one row
 	// per index with its size and maintenance/lookup tallies.
 	e.cat.RegisterVirtual("sys.indexes", e.sysIndexes)
+	// Standing-query visibility reads the subscription registry and the
+	// arrangement registry directly, so it works with every plane
+	// disabled — SUBSCRIBE itself does not depend on metrics.
+	e.cat.RegisterVirtual("sys.subscriptions", e.sysSubscriptions)
+	e.cat.RegisterVirtual("sys.arrangements", e.sysArrangements)
+}
+
+// sysSubscriptions is one row per live subscription: its statement,
+// source tables and overload policy, queue occupancy against capacity,
+// and the delivery accounting — frames delivered, frames shed on
+// overload, resync snapshots issued, and the source-delta watermark the
+// standing result has folded in. The lag column is the queue depth: how
+// many frames the consumer is behind the standing query.
+func (e *Engine) sysSubscriptions() []core.TableRow {
+	stats := e.Subscriptions()
+	rows := make([]core.TableRow, 0, len(stats))
+	for _, s := range stats {
+		rows = append(rows, core.TableRow{Key: s.ID, Value: kv.MapRow{
+			"subscription": s.ID,
+			"query":        s.Query,
+			"tables":       strings.Join(s.Tables, ","),
+			"policy":       s.Policy.String(),
+			"queueCap":     int64(s.QueueCap),
+			"lag":          int64(s.Queued),
+			"delivered":    int64(s.Delivered),
+			"shed":         int64(s.Shed),
+			"resyncs":      int64(s.Resyncs),
+			"watermark":    int64(s.Watermark),
+			"ageUs":        s.Age.Microseconds(),
+		}})
+	}
+	return rows
+}
+
+// sysArrangements is one row per shared arrangement: the table it
+// maintains, how many standing queries share it, its current row count,
+// and its delta pipeline accounting — deltas received from the store's
+// tap, deltas applied to the view, and partition resets survived
+// (failovers and migrations that forced a re-snapshot).
+func (e *Engine) sysArrangements() []core.TableRow {
+	infos := e.Arrangements()
+	rows := make([]core.TableRow, 0, len(infos))
+	for _, a := range infos {
+		rows = append(rows, core.TableRow{Key: a.Table, Value: kv.MapRow{
+			"table":     a.Table,
+			"refs":      int64(a.Refs),
+			"rows":      int64(a.Rows),
+			"deltasIn":  int64(a.DeltasIn),
+			"applied":   int64(a.Applied),
+			"resets":    int64(a.Resets),
+			"watermark": int64(a.Watermark),
+		}})
+	}
+	return rows
 }
 
 // sysIndexes is one row per secondary index: the table and column it

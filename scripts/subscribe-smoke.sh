@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# subscribe-smoke: boot the real squery binary with -serve-obs and attach
+# a standing query two ways — the REPL's \watch and the SSE /subscribe
+# endpoint — then verify the push plane from the outside: snapshot and
+# delta frames arrive on both surfaces, sys.subscriptions and
+# sys.arrangements account for the live subscriber over the SQL prompt,
+# and /metrics carries the squery_sub_* families with HELP text
+# (promcheck -require). Run via `make subscribe-smoke`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp -d)/squery
+log=$(mktemp)
+sse=$(mktemp)
+go build -o "$bin" ./cmd/squery
+
+# The SQL prompt is the test driver: watch a grouped standing query for a
+# few seconds (Enter stops it), then — with the SSE subscriber below
+# still attached — query the subscription and arrangement tables.
+(
+  {
+    sleep 6
+    printf '\\watch SELECT COUNT(*), orderState FROM orderstate GROUP BY orderState\n'
+    sleep 3
+    printf '\n'
+    sleep 4
+    printf 'SELECT subscription, tables, delivered, lag FROM sys.subscriptions\n'
+    printf 'SELECT refs, rows FROM sys.arrangements\n'
+    sleep 1
+    printf '\\quit\n'
+  } | "$bin" -orders 4000 -interval 200ms -serve-obs 127.0.0.1:0 >"$log" 2>&1
+) &
+pid=$!
+cleanup() { kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true; }
+trap cleanup EXIT
+
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's#^observability plane on http://##p' "$log" | head -1)
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "subscribe-smoke: no serve-obs address in:"; cat "$log"; exit 1; }
+echo "subscribe-smoke: plane at $addr"
+
+# Second subscriber, over SSE. It outlives the REPL's sys.subscriptions
+# query, so the table has a live row to report; the server closing on
+# \quit (or --max-time) ends the stream.
+curl -NsS --max-time 15 \
+  "http://$addr/subscribe?q=SELECT%20COUNT(*)%20FROM%20orderstate" >"$sse" &
+ssepid=$!
+
+# Scrape while both the watch and the SSE subscriber are attached.
+sleep 9
+metrics=$(mktemp)
+curl -fsS "http://$addr/metrics" >"$metrics"
+go run ./internal/obshttp/promcheck \
+  -require squery_sub_active,squery_sub_delivered_total,squery_sub_shed_total,squery_sub_resyncs_total,squery_sub_failfast_total \
+  "$metrics"
+grep -q '^# HELP squery_sub_delivered_total ' "$metrics"
+grep -q '^# HELP squery_sub_active ' "$metrics"
+echo "subscribe-smoke: metrics families ok"
+
+wait "$ssepid" || true # curl exits non-zero when the server closes the stream
+grep -q '^event: columns' "$sse" || {
+  echo "subscribe-smoke: SSE stream missing columns frame:"; cat "$sse"; exit 1; }
+grep -q '^event: snapshot' "$sse" || {
+  echo "subscribe-smoke: SSE stream missing snapshot frame:"; cat "$sse"; exit 1; }
+echo "subscribe-smoke: SSE frames ok"
+
+wait "$pid"
+trap - EXIT
+if grep -q 'error:' "$log"; then
+  echo "subscribe-smoke: a query errored:"; cat "$log"; exit 1
+fi
+# \watch streamed its initial full-result frame into the REPL.
+grep -qF -- '-- snapshot @wm' "$log" || {
+  echo "subscribe-smoke: \\watch produced no snapshot frame:"; cat "$log"; exit 1; }
+# sys.subscriptions reported the SSE subscriber (its tables column).
+grep -q 'orderstate' "$log" || {
+  echo "subscribe-smoke: sys.subscriptions shows no subscriber:"; cat "$log"; exit 1; }
+echo "subscribe-smoke: REPL watch + sys tables ok"
+echo "subscribe-smoke: PASS"

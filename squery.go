@@ -27,6 +27,7 @@ package squery
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"squery/internal/cluster"
@@ -234,9 +235,26 @@ type Engine struct {
 	reg    *metrics.Registry // nil when Config.DisableMetrics
 	tracer *trace.Tracer     // nil when Config.DisableTracing
 	lim    sql.MetricsLimits // resolved query-log/slow-query config
+	arr    *core.ArrangeRegistry
 
 	mu   sync.Mutex
 	jobs map[string]*Job
+
+	// Standing-query registry (see subscribe.go).
+	subMu  sync.Mutex
+	subs   map[int64]*Subscription
+	subSeq int64
+	subIns subInstruments
+}
+
+// subInstruments aggregates subscription accounting under the ("sub",
+// "reg") metric family; every field is a nil-safe no-op without metrics.
+type subInstruments struct {
+	active    atomic.Int64 // live subscriptions (squery_sub_active)
+	delivered *metrics.Counter
+	shed      *metrics.Counter
+	resyncs   *metrics.Counter
+	failfast  *metrics.Counter
 }
 
 // New creates an engine over a fresh simulated cluster.
@@ -280,7 +298,15 @@ func New(cfg Config) *Engine {
 		reg:    reg,
 		tracer: tracer,
 		jobs:   make(map[string]*Job),
+		subs:   make(map[int64]*Subscription),
 	}
+	e.arr = core.NewArrangeRegistry(clu.Store())
+	e.ex.SetArrangements(e.arr)
+	e.subIns.delivered = reg.Counter("sub", "reg", "delivered")
+	e.subIns.shed = reg.Counter("sub", "reg", "shed")
+	e.subIns.resyncs = reg.Counter("sub", "reg", "resyncs")
+	e.subIns.failfast = reg.Counter("sub", "reg", "failfast")
+	reg.GaugeFunc("sub", "reg", "active", e.subIns.active.Load)
 	e.lim = sql.MetricsLimits{
 		QueryLogCapacity:     cfg.QueryLogCapacity,
 		SlowQueryLogCapacity: cfg.SlowQueryLogCapacity,
